@@ -1,0 +1,66 @@
+// Ablation: the App Dependency Analyzer's effect on checking cost
+// (paper §5): each expert group verified per related set vs. as one
+// monolithic model, at the same event bound.  Both must find the same
+// violated properties; the related-set decomposition explores far fewer
+// states per model.
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "core/sanitizer.hpp"
+#include "corpus/groups.hpp"
+
+using namespace iotsan;
+
+int main() {
+  std::printf("=== Ablation: dependency analysis on/off ===\n");
+  std::printf("(expert groups, depth 4, 60s budget per run)\n\n");
+  std::printf("%-32s %14s %10s %14s %10s %s\n", "group", "states(sets)",
+              "time", "states(mono)", "time", "same props?");
+
+  for (const corpus::SystemUnderTest& sut : corpus::ExpertGroups()) {
+    core::Sanitizer sanitizer(sut.deployment);
+    for (const auto& [name, source] : sut.extra_sources) {
+      sanitizer.AddAppSource(name, source);
+    }
+    core::SanitizerOptions options;
+    options.check.max_events = 4;
+    options.check.time_budget_seconds = 60;
+
+    options.use_dependency_analysis = true;
+    core::SanitizerReport with = sanitizer.Check(options);
+
+    options.use_dependency_analysis = false;
+    core::SanitizerReport without = sanitizer.Check(options);
+
+    std::set<std::string> with_ids;
+    for (const auto& v : with.violations) with_ids.insert(v.property_id);
+    std::set<std::string> without_ids;
+    for (const auto& v : without.violations) {
+      without_ids.insert(v.property_id);
+    }
+    // Decomposed checking may find *more* (smaller models explore deeper
+    // within budget); it must not lose monolithic findings.
+    bool no_loss = true;
+    for (const std::string& id : without_ids) {
+      no_loss = no_loss && with_ids.count(id) > 0;
+    }
+
+    std::printf("%-32s %14llu %9.2fs %14llu %9.2fs %s\n",
+                sut.deployment.name.c_str(),
+                static_cast<unsigned long long>(with.states_explored),
+                with.seconds,
+                static_cast<unsigned long long>(without.states_explored),
+                without.seconds, no_loss ? "yes" : "NO");
+  }
+
+  std::printf("\nexpectation: the related-set decomposition (paper §5) "
+              "finds the same violated\n  properties as the monolithic "
+              "model in every group.  Total state counts can go\n  either "
+              "way at small depths (overlapping sets re-explore shared "
+              "subspaces, while\n  the monolithic store merges them), but "
+              "decomposition bounds the size of each\n  *individual* model "
+              "— the limit that matters for Spin, whose Promela file-size\n"
+              "  cap restricts IotSan to ~30 apps per model (paper §11).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation: observed-only vs. all-sensor event permutation space.
+//
+// The Model Generator restricts Algorithm 1's permutation space to the
+// (device, attribute) pairs some installed app actually observes — the
+// companion optimization to §5's related sets ("the model checker should
+// not have to check interactions that do not exist").  This bench
+// measures what enumerating *every* sensor attribute instead would cost,
+// and verifies both spaces find the same violated properties (events no
+// app observes cannot change app behaviour; they can only re-time
+// environment-violations).
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "core/sanitizer.hpp"
+#include "corpus/groups.hpp"
+
+using namespace iotsan;
+
+int main() {
+  std::printf("=== Ablation: observed-only vs all-sensor event space ===\n");
+  std::printf("(expert groups, depth 2, 10s budget per related set)\n\n");
+  std::printf("%-32s %14s %10s %14s %10s %s\n", "group", "states(obs)",
+              "time", "states(all)", "time", "extra props (all)");
+
+  for (const corpus::SystemUnderTest& sut : corpus::ExpertGroups()) {
+    core::Sanitizer sanitizer(sut.deployment);
+    for (const auto& [name, source] : sut.extra_sources) {
+      sanitizer.AddAppSource(name, source);
+    }
+    core::SanitizerOptions options;
+    options.check.max_events = 2;
+    options.check.time_budget_seconds = 10;
+
+    options.model.all_sensor_events = false;
+    core::SanitizerReport observed = sanitizer.Check(options);
+
+    options.model.all_sensor_events = true;
+    core::SanitizerReport all = sanitizer.Check(options);
+
+    std::set<std::string> observed_ids;
+    for (const auto& v : observed.violations) {
+      observed_ids.insert(v.property_id);
+    }
+    // Properties the full space flags beyond the observed space: these
+    // involve sensor attributes no app subscribes to (alarm self-triggers,
+    // battery drops, secondary CO channels) — environment transitions, not
+    // app interactions.
+    std::string extra;
+    for (const auto& v : all.violations) {
+      if (!observed_ids.count(v.property_id)) {
+        extra += (extra.empty() ? "" : ",") + v.property_id;
+      }
+    }
+    std::printf("%-32s %14llu %9.2fs %14llu %9.2fs %s\n",
+                sut.deployment.name.c_str(),
+                static_cast<unsigned long long>(observed.states_explored),
+                observed.seconds,
+                static_cast<unsigned long long>(all.states_explored),
+                all.seconds,
+                extra.empty() ? "none" : ("+" + extra).c_str());
+  }
+
+  std::printf("\nexpectation: the observed-only space explores 1-2 orders "
+              "of magnitude fewer\n  states.  Anything it misses involves "
+              "sensor attributes no installed app\n  observes (alarm "
+              "self-triggers, battery drops, a detector's secondary "
+              "channel)\n  — environment-driven states, not app "
+              "interactions, which is why the paper's\n  generator "
+              "enumerates only the configured inputs.\n");
+  return 0;
+}

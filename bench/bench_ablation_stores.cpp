@@ -1,0 +1,97 @@
+// Ablation: exhaustive state storage vs Spin-style BITSTATE hashing
+// (paper §2.3).  BITSTATE trades completeness (hash collisions prune
+// unvisited states) for constant memory; the paper relies on it for
+// large systems.  This bench compares states explored, store memory, and
+// violations found across bit-field sizes.
+#include <cstdio>
+
+#include "config/builder.hpp"
+#include "core/sanitizer.hpp"
+
+using namespace iotsan;
+
+namespace {
+
+config::Deployment MidSizeSystem() {
+  config::DeploymentBuilder b("ablation system");
+  b.Device("temp1", "temperatureSensor", {"tempSensor"});
+  b.Device("hum1", "humiditySensor");
+  b.Device("lux1", "illuminanceSensor");
+  b.Device("motion1", "motionSensor");
+  b.Device("motion2", "motionSensor");
+  b.Device("frontDoor", "contactSensor", {"frontDoorContact"});
+  b.Device("alicePresence", "presenceSensor", {"presence"});
+  b.Device("doorLock", "smartLock", {"mainDoorLock"});
+  b.Device("sw1", "smartSwitch", {"light"});
+  b.Device("sw2", "smartSwitch", {"light"});
+
+  b.App("Auto Mode Change")
+      .Devices("people", {"alicePresence"})
+      .Text("homeMode", "Home")
+      .Text("awayMode", "Away");
+  b.App("Unlock Door").Devices("lock1", {"doorLock"});
+  b.App("Brighten Dark Places")
+      .Devices("contact1", {"frontDoor"})
+      .Devices("luminance1", {"lux1"})
+      .Devices("switches", {"sw1"});
+  b.App("Let There Be Dark!")
+      .Devices("contact1", {"frontDoor"})
+      .Devices("switches", {"sw1", "sw2"});
+  b.App("Smart Humidifier")
+      .Devices("humidity1", {"hum1"})
+      .Devices("humidifier", {"sw2"})
+      .Number("dryPoint", 40);
+  b.App("It's Too Cold")
+      .Devices("temperatureSensor1", {"temp1"})
+      .Number("temperature1", 65);
+  b.App("Brighten My Path")
+      .Devices("motion1", {"motion1"})
+      .Devices("switches", {"sw2"});
+  b.App("Darken Behind Me")
+      .Devices("motion1", {"motion2"})
+      .Devices("switches", {"sw1"});
+  return b.Build();
+}
+
+void Run(const config::Deployment& deployment, const char* label,
+         checker::StoreKind store, std::size_t bits) {
+  core::Sanitizer sanitizer(deployment);
+  core::SanitizerOptions options;
+  options.use_dependency_analysis = false;
+  options.check.max_events = 5;
+  options.check.store = store;
+  options.check.bitstate_bits = bits;
+  core::SanitizerReport report = sanitizer.Check(options);
+  std::printf("%-24s %12llu %12llu %10zu %8.3fs\n", label,
+              static_cast<unsigned long long>(report.states_explored),
+              static_cast<unsigned long long>(report.states_matched),
+              report.violations.size(), report.seconds);
+}
+
+}  // namespace
+
+int main() {
+  const config::Deployment deployment = MidSizeSystem();
+
+  std::printf("=== Ablation: exhaustive vs BITSTATE state storage ===\n");
+  std::printf("(8 apps, 10 devices, depth 5, whole-system model)\n\n");
+  std::printf("%-24s %12s %12s %10s %9s\n", "store", "explored", "matched",
+              "violations", "time");
+  Run(deployment, "exhaustive", checker::StoreKind::kExhaustive, 0);
+  Run(deployment, "bitstate 2^24 (2 MiB)", checker::StoreKind::kBitstate,
+      std::size_t{1} << 24);
+  Run(deployment, "bitstate 2^20 (128 KiB)", checker::StoreKind::kBitstate,
+      std::size_t{1} << 20);
+  Run(deployment, "bitstate 2^14 (2 KiB)", checker::StoreKind::kBitstate,
+      std::size_t{1} << 14);
+  Run(deployment, "bitstate 2^10 (128 B)", checker::StoreKind::kBitstate,
+      std::size_t{1} << 10);
+
+  std::printf("\nexpectation: with ample bits, BITSTATE explores the same "
+              "state count as the\n  exhaustive store and finds the same "
+              "violations in constant memory; as the\n  bit-field shrinks, "
+              "hash saturation prunes unexplored states (Holzmann's\n  "
+              "coverage analysis [45]) yet the headline violations are "
+              "still found.\n");
+  return 0;
+}

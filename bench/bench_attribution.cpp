@@ -1,0 +1,122 @@
+// Reproduces paper §10.3: violation attribution.
+//
+//   * the 9 ContexIoT-style malicious apps must be attributed as
+//     potentially malicious with 100% phase-1 violation ratios;
+//   * 11 potentially-bad market apps: several detected at 100% (bad
+//     apps), the rest attributed to misconfiguration;
+//   * 10 good market apps round out the input set.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "attrib/output_analyzer.hpp"
+#include "config/builder.hpp"
+#include "corpus/corpus.hpp"
+
+using namespace iotsan;
+
+namespace {
+
+/// A reference home whose devices cover every candidate app's inputs.
+config::Deployment BaseHome() {
+  config::DeploymentBuilder b("attribution home");
+  b.ContactPhone("555-0100");
+  b.Device("alicePresence", "presenceSensor", {"presence"});
+  b.Device("doorLock", "smartLock", {"mainDoorLock"});
+  b.Device("smokeDet", "smokeDetector", {"smokeSensor", "coSensor"});
+  b.Device("valve1", "waterValve", {"waterValve"});
+  b.Device("siren1", "smartAlarm", {"alarmSiren"});
+  b.Device("panicButton", "buttonController");
+  b.Device("hallMotion", "motionSensor", {"securityMotion"});
+  b.Device("frontDoor", "contactSensor", {"frontDoorContact"});
+  b.Device("heaterOutlet", "smartOutlet", {"heaterOutlet"});
+  b.Device("acOutlet", "smartOutlet", {"acOutlet"});
+  b.Device("tempMeas", "temperatureSensor", {"tempSensor"});
+  b.Device("hallLight", "smartSwitch", {"light"});
+  b.Device("garageDoor", "garageDoorOpener", {"garageDoor"});
+  b.Device("shade1", "windowShadeController", {"windowShade"});
+  b.Device("lightMeter", "illuminanceSensor");
+  b.Device("cam1", "camera", {"camera"});
+  b.Device("speaker1", "speaker", {"speaker"});
+  b.Device("leak1", "waterLeakSensor", {"leakSensor"});
+
+  // Previously-installed apps: phase 2 verifies each candidate jointly
+  // with these (§9).
+  b.App("Auto Mode Change")
+      .Devices("people", {"alicePresence"})
+      .Text("homeMode", "Home")
+      .Text("awayMode", "Away");
+  b.App("Lock It When I Leave")
+      .Devices("people", {"alicePresence"})
+      .Devices("locks", {"doorLock"})
+      .Text("phone", "555-0100");
+  b.App("Smart Security")
+      .Devices("motions", {"hallMotion"})
+      .Devices("contacts", {"frontDoor"})
+      .Devices("alarms", {"siren1"})
+      .Text("armedMode", "Away")
+      .Text("phone", "555-0100");
+  b.App("It's Too Cold")
+      .Devices("temperatureSensor1", {"tempMeas"})
+      .Number("temperature1", 65)
+      .Devices("switch1", {"heaterOutlet"});
+  return b.Build();
+}
+
+void Report(const std::string& kind, const std::vector<std::string>& apps,
+            const config::Deployment& home, int* flagged,
+            attrib::Verdict flag_as) {
+  attrib::AttributionOptions options;
+  options.enumeration.max_configs = 16;
+  options.check.max_events = 2;
+  std::printf("--- %s ---\n", kind.c_str());
+  for (const std::string& name : apps) {
+    attrib::AttributionResult result =
+        attrib::AttributeCorpusApp(name, home, options);
+    if (result.verdict == flag_as && flagged != nullptr) ++(*flagged);
+    std::printf("%s\n", attrib::FormatAttribution(name, result).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const config::Deployment home = BaseHome();
+
+  std::printf("=== §10.3: violation attribution ===\n\n");
+
+  std::vector<std::string> malicious;
+  for (const corpus::CorpusApp* app : corpus::MaliciousApps()) {
+    malicious.push_back(app->name);
+  }
+  int malicious_flagged = 0;
+  Report("9 ContexIoT-style malicious apps", malicious, home,
+         &malicious_flagged, attrib::Verdict::kMalicious);
+
+  // 11 potentially-bad market apps found in the Table 5 experiments.
+  const std::vector<std::string> bad_market = {
+      "Unlock Door",        "Big Turn On",      "Big Turn Off",
+      "Vacation Lighting",  "Weather Logger",   "Remote Status Reporter",
+      "Energy Saver",       "Let There Be Dark!", "Garage Door Opener",
+      "Sunrise Shades",     "Switch Changes Mode"};
+  Report("11 potentially-bad market apps", bad_market, home, nullptr,
+         attrib::Verdict::kBadApp);
+
+  const std::vector<std::string> good_market = {
+      "Presence Change Push", "Camera On Motion",   "Lock It When I Leave",
+      "Lock It At Night",     "Auto Lock Door",     "CO2 Vent",
+      "Leak Guard",           "Welcome Home Lights", "Music When Home",
+      "Curfew Check"};
+  Report("10 good market apps", good_market, home, nullptr,
+         attrib::Verdict::kClean);
+
+  std::printf("malicious apps attributed: %d / 9\n\n", malicious_flagged);
+  std::printf("paper expectation (§10.3): all 9 malicious apps attributed "
+              "with 100%% ratios\n  (2 via information leakage, 2 via "
+              "security-sensitive commands, 5 via unsafe\n  physical "
+              "states); of the 11 market apps, ~6 at 100%% (bad apps), the "
+              "rest\n  misconfiguration (70%% or lower, safe configs "
+              "exist).\n");
+  return malicious_flagged == 9 ? 0 : 1;
+}

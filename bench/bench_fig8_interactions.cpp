@@ -1,0 +1,113 @@
+// Reproduces paper Fig. 8: two showcase violations.
+//   (a) a 4-app interaction chain: lights off -> Good Night enters
+//       sleeping mode -> Unlock Door unlocks the main door while people
+//       sleep ("extremely difficult to spot manually", §1);
+//   (b) a device-failure violation: the motion sensor fails, the
+//       mode-change chain never runs, and the door is left unlocked when
+//       people leave (with no notification to the user).
+#include <cstdio>
+
+#include "config/builder.hpp"
+#include "core/sanitizer.hpp"
+
+using namespace iotsan;
+
+int main() {
+  int failures = 0;
+
+  {
+    // Fig. 8a: Light Follows Me + Light Off When Close + Good Night +
+    // Unlock Door.
+    config::DeploymentBuilder b("fig8a home");
+    b.Device("hallMotion", "motionSensor");
+    b.Device("frontDoor", "contactSensor", {"frontDoorContact"});
+    b.Device("light1", "smartSwitch", {"light"});
+    b.Device("light2", "smartSwitch", {"light"});
+    b.Device("doorLock", "smartLock", {"mainDoorLock"});
+    b.App("Light Follows Me")
+        .Devices("motion1", {"hallMotion"})
+        .Number("minutes1", 1)
+        .Devices("switches", {"light1"});
+    b.App("Light Off When Close")
+        .Devices("contact1", {"frontDoor"})
+        .Devices("switches", {"light2"});
+    b.App("Good Night")
+        .Devices("switches", {"light1", "light2"})
+        .Text("sleepMode", "Night")
+        .Text("startTime", "22:00");
+    b.App("Unlock Door").Devices("lock1", {"doorLock"});
+
+    core::Sanitizer sanitizer(b.Build());
+    core::SanitizerOptions options;
+    options.check.max_events = 4;
+    core::SanitizerReport report = sanitizer.Check(options);
+
+    std::printf("=== Fig. 8a: violation due to bad app interactions ===\n");
+    std::printf("expected: the main door is unlocked when people are "
+                "sleeping at night (P07),\n"
+                "involving 4 apps.\n\n");
+    if (const checker::Violation* v = [&report]() -> const checker::Violation* {
+          for (const checker::Violation& violation : report.violations) {
+            if (violation.property_id == "P07") return &violation;
+          }
+          return nullptr;
+        }()) {
+      std::printf("%s\n", checker::FormatViolation(*v).c_str());
+    } else {
+      std::printf("UNEXPECTED: P07 not violated\n");
+      ++failures;
+    }
+  }
+
+  {
+    // Fig. 8b: Darken Behind Me + Switch Changes Mode + Make It So; the
+    // motion sensor fails, so the chain that locks the door never runs.
+    config::DeploymentBuilder b("fig8b home");
+    b.Device("hallMotion", "motionSensor", {"securityMotion"});
+    b.Device("porchLight", "smartSwitch", {"securityLight"});
+    b.Device("doorLock", "smartLock", {"mainDoorLock"});
+    b.Device("alicePresence", "presenceSensor", {"presence"});
+    b.Device("frontDoor", "contactSensor", {"frontDoorContact"});
+    b.Device("siren1", "smartAlarm", {"alarmSiren"});
+    b.App("Darken Behind Me")
+        .Devices("motion1", {"hallMotion"})
+        .Devices("switches", {"porchLight"});
+    b.App("Switch Changes Mode")
+        .Devices("trigger", {"porchLight"})
+        .Text("offMode", "Away");
+    b.App("Make It So")
+        .Devices("locks", {"doorLock"})
+        .Devices("offSwitches", {"porchLight"})
+        .Text("awayMode", "Away");
+    b.App("Unlock Door").Devices("lock1", {"doorLock"});
+    b.App("Smart Security")
+        .Devices("motions", {"hallMotion"})
+        .Devices("contacts", {"frontDoor"})
+        .Devices("alarms", {"siren1"})
+        .Text("armedMode", "Away")
+        .Text("phone", "555-0100");
+
+    core::Sanitizer sanitizer(b.Build());
+    core::SanitizerOptions options;
+    options.check.max_events = 3;
+    options.check.model_failures = true;
+    core::SanitizerReport report = sanitizer.Check(options);
+
+    std::printf("\n=== Fig. 8b: violation due to a device failure ===\n");
+    std::printf("expected: with failures modeled, a failure-labelled "
+                "violation appears\n"
+                "(missed events leave the system unprotected).\n\n");
+    bool found = false;
+    for (const checker::Violation& v : report.violations) {
+      if (v.failure.empty()) continue;
+      std::printf("%s\n", checker::FormatViolation(v).c_str());
+      found = true;
+      break;
+    }
+    if (!found) {
+      std::printf("UNEXPECTED: no failure-induced violation\n");
+      ++failures;
+    }
+  }
+  return failures;
+}

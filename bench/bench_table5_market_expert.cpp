@@ -1,0 +1,152 @@
+// Reproduces paper Table 5: verification results for the 150 market apps
+// in six expert-configured groups — violations by type, without and with
+// device/communication failures (§10.2).
+//
+// Violation unit: one (group, property) pair, i.e. "this group's
+// configuration violates this property" — the same property violated in
+// another group counts again, matching how the paper tallies 38
+// violations of 11 properties across its configurations.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/sanitizer.hpp"
+#include "corpus/groups.hpp"
+#include "util/strings.hpp"
+
+using namespace iotsan;
+
+namespace {
+
+struct Tally {
+  int conflicting = 0;
+  int repeated = 0;
+  int unsafe_state = 0;
+  int leakage = 0;
+  int robustness = 0;
+  std::set<std::string> properties;
+  std::map<std::string, std::string> examples;
+
+  int total() const {
+    return conflicting + repeated + unsafe_state + leakage + robustness;
+  }
+};
+
+std::set<std::string> Count(const core::SanitizerReport& report,
+                            Tally& tally) {
+  std::set<std::string> group_props;
+  for (const checker::Violation& v : report.violations) {
+    if (!group_props.insert(v.property_id).second) continue;
+    switch (v.kind) {
+      case props::PropertyKind::kNoConflict: ++tally.conflicting; break;
+      case props::PropertyKind::kNoRepeat: ++tally.repeated; break;
+      case props::PropertyKind::kInvariant: ++tally.unsafe_state; break;
+      case props::PropertyKind::kRobustness: ++tally.robustness; break;
+      default: ++tally.leakage; break;
+    }
+    tally.properties.insert(v.property_id);
+    if (!tally.examples.count(v.property_id) && !v.apps.empty()) {
+      tally.examples[v.property_id] =
+          v.description + "  (" + strings::Join(v.apps, ", ") + ")";
+    }
+  }
+  return group_props;
+}
+
+}  // namespace
+
+int main() {
+  Tally base;
+  Tally with_failures;
+  // Distinct app pairs behind conflicting/repeated commands (the unit
+  // the paper's Table 5 uses for those two rows).
+  std::set<std::string> conflict_pairs;
+  std::set<std::string> repeat_pairs;
+  int failure_only_violations = 0;
+  std::set<std::string> failure_only_properties;
+  std::uint64_t states = 0;
+  double seconds = 0;
+
+  std::printf("=== Table 5: verification results with market apps ===\n");
+  std::printf("(150 apps, 6 expert-configured groups)\n\n");
+  std::printf("%-32s %-12s %-12s %s\n", "group", "violations",
+              "+failures", "scale ratio");
+
+  for (const corpus::SystemUnderTest& sut : corpus::ExpertGroups()) {
+    core::Sanitizer sanitizer(sut.deployment);
+    for (const auto& [name, source] : sut.extra_sources) {
+      sanitizer.AddAppSource(name, source);
+    }
+    core::SanitizerOptions options;
+    options.check.max_events = 3;
+
+    core::SanitizerReport report = sanitizer.Check(options);
+    std::set<std::string> base_props = Count(report, base);
+    states += report.states_explored;
+    seconds += report.seconds;
+    for (const checker::Violation& v : report.per_set_violations) {
+      std::vector<std::string> apps = v.apps;
+      std::sort(apps.begin(), apps.end());
+      if (v.kind == props::PropertyKind::kNoConflict) {
+        conflict_pairs.insert(strings::Join(apps, "|"));
+      } else if (v.kind == props::PropertyKind::kNoRepeat) {
+        repeat_pairs.insert(strings::Join(apps, "|"));
+      }
+    }
+
+    options.check.model_failures = true;
+    options.check.max_events = 2;  // failure scenarios multiply transitions
+    core::SanitizerReport failure_report = sanitizer.Check(options);
+    std::set<std::string> failure_props = Count(failure_report,
+                                                with_failures);
+    states += failure_report.states_explored;
+    seconds += failure_report.seconds;
+
+    int extra = 0;
+    for (const std::string& id : failure_props) {
+      if (!base_props.count(id)) {
+        ++extra;
+        failure_only_properties.insert(id);
+      }
+    }
+    failure_only_violations += extra;
+
+    std::printf("%-32s %-12zu %-+12d %.1f\n", sut.deployment.name.c_str(),
+                base_props.size(), extra, report.scale.ratio);
+  }
+
+  std::printf("\n%-28s %10s\n", "Violation type", "violations");
+  std::printf("%-28s %10zu   (distinct app combinations)\n",
+              "Conflicting commands", conflict_pairs.size());
+  std::printf("%-28s %10zu   (distinct app combinations)\n",
+              "Repeated commands", repeat_pairs.size());
+  std::printf("%-28s %10d\n", "Unsafe physical states", base.unsafe_state);
+  std::printf("%-28s %10d\n", "Leakage/suspicious behavior", base.leakage);
+  std::printf("%-28s %10d   of %zu properties\n", "TOTAL (no failures)",
+              base.total(), base.properties.size());
+  std::printf("%-28s %10d   of %zu properties\n",
+              "failure-induced (extra)", failure_only_violations,
+              failure_only_properties.size());
+
+  std::printf("\nexample violated properties:\n");
+  int shown = 0;
+  for (const auto& [id, example] : base.examples) {
+    std::printf("  %s: %s\n", id.c_str(), example.c_str());
+    if (++shown >= 8) break;
+  }
+  std::printf("\nfailure-induced property ids:");
+  for (const std::string& id : failure_only_properties) {
+    std::printf(" %s", id.c_str());
+  }
+  std::printf("\n\nstates explored: %llu, wall time: %.2fs\n",
+              static_cast<unsigned long long>(states), seconds);
+  std::printf("\npaper expectation (Table 5 + §10.2): 38 violations of 11 "
+              "properties without failures\n  (8 conflicting, 10 repeated, "
+              "20 unsafe-state); failures add 12 violations of 9\n  further "
+              "properties.  Shape: app interactions dominate; every "
+              "violation class\n  is populated; failures expose additional "
+              "properties.\n");
+  return 0;
+}

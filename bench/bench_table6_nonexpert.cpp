@@ -1,0 +1,99 @@
+// Reproduces paper Table 6: verification results with non-expert
+// ("volunteer") configurations — 10 groups of ~5 related apps, 7 simulated
+// volunteers each = 70 configurations (§10.1's user study).
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "attrib/config_enum.hpp"
+#include "core/sanitizer.hpp"
+#include "corpus/corpus.hpp"
+#include "corpus/groups.hpp"
+#include "dsl/parser.hpp"
+#include "util/rng.hpp"
+
+using namespace iotsan;
+
+int main() {
+  constexpr int kVolunteers = 7;
+  int configurations = 0;
+  int conflicting = 0;
+  int repeated = 0;
+  int unsafe_state = 0;
+  int other = 0;
+  std::set<std::string> violated_properties;
+  std::set<std::string> conflict_props;
+  std::set<std::string> repeat_props;
+  std::set<std::string> unsafe_props;
+
+  std::printf("=== Table 6: market apps with volunteer configurations ===\n");
+  std::printf("(10 groups x %d simulated volunteers, seeded)\n\n",
+              kVolunteers);
+  std::printf("%-18s %s\n", "group", "violations per volunteer config");
+
+  Rng rng(2018);  // the year of CoNEXT '18: fixed seed, reproducible
+  for (const corpus::VolunteerGroup& group : corpus::VolunteerGroups()) {
+    std::printf("%-18s ", group.name.c_str());
+    for (int volunteer = 0; volunteer < kVolunteers; ++volunteer) {
+      config::Deployment deployment = group.device_pool;
+      for (const std::string& app_name : group.apps) {
+        const corpus::CorpusApp* app = corpus::FindApp(app_name);
+        dsl::App parsed = dsl::ParseApp(app->source, app_name);
+        deployment.apps.push_back(
+            attrib::GenerateVolunteerConfig(parsed, deployment, rng));
+      }
+      ++configurations;
+
+      core::Sanitizer sanitizer(deployment);
+      core::SanitizerOptions options;
+      options.check.max_events = 3;
+      core::SanitizerReport report = sanitizer.Check(options);
+
+      int config_violations = 0;
+      for (const checker::Violation& v : report.violations) {
+        ++config_violations;
+        violated_properties.insert(v.property_id);
+        switch (v.kind) {
+          case props::PropertyKind::kNoConflict:
+            ++conflicting;
+            conflict_props.insert(v.property_id);
+            break;
+          case props::PropertyKind::kNoRepeat:
+            ++repeated;
+            repeat_props.insert(v.property_id);
+            break;
+          case props::PropertyKind::kInvariant:
+            ++unsafe_state;
+            unsafe_props.insert(v.property_id);
+            break;
+          default:
+            ++other;
+            break;
+        }
+      }
+      std::printf("%3d", config_violations);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n%-28s %-22s %s\n", "Violation type", "violated properties",
+              "violations");
+  std::printf("%-28s %-22zu %d\n", "Conflicting commands",
+              conflict_props.size(), conflicting);
+  std::printf("%-28s %-22zu %d\n", "Repeated commands", repeat_props.size(),
+              repeated);
+  std::printf("%-28s %-22zu %d\n", "Unsafe physical states",
+              unsafe_props.size(), unsafe_state);
+  std::printf("%-28s %-22s %d\n", "Other (leakage/robustness)", "-", other);
+  std::printf("%-28s %-22zu %d  (from %d configurations)\n", "TOTAL",
+              violated_properties.size(),
+              conflicting + repeated + unsafe_state + other, configurations);
+
+  std::printf("\npaper expectation (Table 6): 70 configurations; 97 "
+              "violations of 10 properties\n  (19 conflicting via 1 "
+              "property, 12 repeated via 1, 66 unsafe states via 8).\n"
+              "  Shape: non-expert configurations violate substantially "
+              "more than expert ones,\n  with unsafe physical states "
+              "dominating.\n");
+  return 0;
+}

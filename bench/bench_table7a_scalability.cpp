@@ -1,0 +1,46 @@
+// Reproduces paper Table 7a: scalability benefit of the App Dependency
+// Analyzer — per group, the total number of event handlers vs. the
+// largest related set's handler count, and the resulting scale ratio.
+#include <cstdio>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "corpus/groups.hpp"
+#include "deps/dependency_graph.hpp"
+#include "ir/analyzer.hpp"
+
+using namespace iotsan;
+
+int main() {
+  std::printf("=== Table 7a: scalability with dependency graphs ===\n\n");
+  std::printf("%-8s %-14s %-10s %s\n", "Group", "Original Size", "New Size",
+              "Scale Ratio");
+
+  double ratio_sum = 0;
+  int group_index = 0;
+  for (const corpus::SystemUnderTest& sut : corpus::ExpertGroups()) {
+    ++group_index;
+    std::vector<ir::AnalyzedApp> apps;
+    for (const config::AppConfig& instance : sut.deployment.apps) {
+      const corpus::CorpusApp* base = corpus::FindApp(instance.app);
+      std::string source;
+      if (base != nullptr) {
+        source = base->source;
+      } else {
+        source = sut.extra_sources.at(instance.app);
+      }
+      apps.push_back(ir::AnalyzeSource(source, instance.app));
+    }
+    deps::ScaleStats stats = deps::ComputeScaleStats(apps);
+    ratio_sum += stats.ratio;
+    std::printf("%-8d %-14d %-10d %.1f\n", group_index, stats.original_size,
+                stats.new_size, stats.ratio);
+  }
+  std::printf("%-8s %-14s %-10s %.1f\n", "", "", "Mean",
+              ratio_sum / group_index);
+
+  std::printf("\npaper expectation (Table 7a): per-group ratios "
+              "3.4/5.4/1.5/2.5/2.2/5.7, mean 3.4x.\n  Shape: every group "
+              "shrinks; the mean reduction is severalfold.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Reproduces paper Table 7b: runtimes of the concurrent vs. sequential
+// designs (§8's concurrency model, §10.5).
+//
+// System under test, as in §10.1 "Performance": the two bad groups
+// (Auto Mode Change, Unlock Door) and (Brighten Dark Places, Let There Be
+// Dark) plus the good group (Good Night, It's Too Cold), controlling 3
+// switch devices, 3 motion sensors, and 1 temperature sensor.
+//
+// The concurrent design explores every interleaving of internal events;
+// the paper reports it taking "forever" (stopped after a week) at 4
+// events.  We cap each concurrent run with a wall-clock budget and print
+// ">budget" when it is exceeded — the equivalent of the paper's entry.
+#include <cstdio>
+#include <string>
+
+#include "config/builder.hpp"
+#include "core/sanitizer.hpp"
+
+using namespace iotsan;
+
+namespace {
+
+config::Deployment PerformanceSystem() {
+  config::DeploymentBuilder b("performance system");
+  b.Device("switch1", "smartSwitch", {"light"});
+  b.Device("switch2", "smartSwitch", {"light"});
+  b.Device("switch3", "smartSwitch", {"light"});
+  b.Device("motion1", "motionSensor");
+  b.Device("motion2", "motionSensor");
+  b.Device("motion3", "motionSensor");
+  b.Device("tempMeas", "temperatureSensor", {"tempSensor"});
+  b.Device("alicePresence", "presenceSensor", {"presence"});
+  b.Device("doorLock", "smartLock", {"mainDoorLock"});
+  b.Device("frontDoor", "contactSensor", {"frontDoorContact"});
+  b.Device("lightMeter", "illuminanceSensor");
+
+  // Bad group 1.
+  b.App("Auto Mode Change")
+      .Devices("people", {"alicePresence"})
+      .Text("homeMode", "Home")
+      .Text("awayMode", "Away");
+  b.App("Unlock Door").Devices("lock1", {"doorLock"});
+  // Bad group 2: both apps drive all three switches, so one contact
+  // event floods the queue with six conflicting internal events — the
+  // interleaving explosion the concurrent design must explore.
+  b.App("Brighten Dark Places")
+      .Devices("contact1", {"frontDoor"})
+      .Devices("luminance1", {"lightMeter"})
+      .Devices("switches", {"switch1", "switch2", "switch3"});
+  b.App("Let There Be Dark!")
+      .Devices("contact1", {"frontDoor"})
+      .Devices("switches", {"switch1", "switch2", "switch3"});
+  // Good group.
+  b.App("Good Night")
+      .Devices("switches", {"switch1", "switch2", "switch3"})
+      .Text("sleepMode", "Night")
+      .Text("startTime", "22:00");
+  b.App("It's Too Cold")
+      .Devices("temperatureSensor1", {"tempMeas"})
+      .Number("temperature1", 65)
+      .Devices("switch1", {"switch3"});
+  // Motion-reactive apps so the motion sensors participate.
+  b.App("Brighten My Path")
+      .Devices("motion1", {"motion1"})
+      .Devices("switches", {"switch2"});
+  b.App("Darken Behind Me")
+      .Devices("motion1", {"motion2"})
+      .Devices("switches", {"switch3"});
+  b.App("Automated Light")
+      .Devices("motionSensor", {"motion3"})
+      .Devices("lights", {"switch1"})
+      .Number("offDelay", 1);
+  return b.Build();
+}
+
+std::string RunOnce(const config::Deployment& deployment, int events,
+                    model::Scheduling scheduling, double budget_seconds,
+                    bool& exceeded) {
+  core::Sanitizer sanitizer(deployment);
+  core::SanitizerOptions options;
+  options.use_dependency_analysis = false;  // one whole-system model
+  options.check.max_events = events;
+  options.check.scheduling = scheduling;
+  options.check.time_budget_seconds = budget_seconds;
+  core::SanitizerReport report = sanitizer.Check(options);
+  exceeded = !report.completed;
+  char buffer[64];
+  if (!report.completed) {
+    std::snprintf(buffer, sizeof(buffer), ">%.0fs (budget)", budget_seconds);
+  } else if (report.seconds < 1) {
+    std::snprintf(buffer, sizeof(buffer), "%.3fs", report.seconds);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2fs", report.seconds);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+int main() {
+  const config::Deployment deployment = PerformanceSystem();
+  constexpr double kBudget = 15.0;
+
+  std::printf("=== Table 7b: concurrent vs sequential design runtimes ===\n");
+  std::printf("(2 bad groups + 1 good group; 3 switches, 3 motion sensors, "
+              "1 temperature sensor)\n\n");
+  std::printf("%-10s %-18s %s\n", "events", "concurrent", "sequential");
+
+  bool concurrent_dead = false;
+  for (int events = 1; events <= 7; ++events) {
+    std::string concurrent = "(skipped: exceeded budget earlier)";
+    if (!concurrent_dead) {
+      bool exceeded = false;
+      concurrent = RunOnce(deployment, events,
+                           model::Scheduling::kConcurrent, kBudget,
+                           exceeded);
+      concurrent_dead = exceeded;
+    }
+    bool seq_exceeded = false;
+    std::string sequential = RunOnce(
+        deployment, events, model::Scheduling::kSequential, kBudget,
+        seq_exceeded);
+    std::printf("%-10d %-18s %s\n", events, concurrent.c_str(),
+                sequential.c_str());
+  }
+
+  std::printf("\npaper expectation (Table 7b): concurrent 1s / 56.5s / 139m "
+              "/ forever; sequential <= 16.3s\n  up to 7 events.  Shape: "
+              "the concurrent design blows up combinatorially within a\n"
+              "  few events while the sequential design stays fast.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Reproduces paper Table 8: sequential verification time vs. number of
+// events for a bigger violation-free system (5 related apps, 10 devices).
+//
+// The paper's times (6.61s at 6 events to 23.39h at 11) come from Spin
+// exploring the event-permutation tree; absolute numbers depend on the
+// engine, but the growth must be roughly geometric in the event bound.
+// Each run gets a wall-clock budget; runs exceeding it print ">budget".
+#include <cstdio>
+
+#include "config/builder.hpp"
+#include "core/sanitizer.hpp"
+
+using namespace iotsan;
+
+namespace {
+
+/// Five related apps over ten devices with no property violation (no
+/// device carries a role, so no invariant applies, and no app pair
+/// conflicts).  The observed sensors span large domains — two
+/// temperature sensors, humidity, illuminance, and three battery levels —
+/// so the reachable state space keeps growing deep into the event bound,
+/// as in the paper's measurement.
+config::Deployment QuietSystem() {
+  config::DeploymentBuilder b("quiet system");
+  b.Device("temp1", "temperatureSensor");
+  b.Device("temp2", "temperatureSensor");
+  b.Device("hum1", "humiditySensor");
+  b.Device("lux1", "illuminanceSensor");
+  b.Device("motion1", "motionSensor");
+  b.Device("motion2", "motionSensor");
+  b.Device("temp3", "temperatureSensor");
+  b.Device("sw1", "smartSwitch");
+  b.Device("sw2", "smartSwitch");
+  b.Device("sw3", "smartSwitch");
+
+  b.App("It's Too Cold")
+      .Devices("temperatureSensor1", {"temp1"})
+      .Number("temperature1", 65);
+  b.App("It's Too Hot")
+      .Devices("temperatureSensor1", {"temp2"})
+      .Number("temperature1", 80);
+  b.App("Smart Humidifier")
+      .Devices("humidity1", {"hum1"})
+      .Devices("humidifier", {"sw1"})
+      .Number("dryPoint", 40);
+  b.App("Turn On Before Sunset")
+      .Devices("luminance1", {"lux1"})
+      .Devices("switches", {"sw2", "sw3"})
+      .Number("darkPoint", 100);
+  b.App("Low Battery Notifier")
+      .Devices("sensors", {"motion1", "motion2", "temp3", "temp2"})
+      .Number("threshold", 20);
+  return b.Build();
+}
+
+}  // namespace
+
+int main() {
+  const config::Deployment deployment = QuietSystem();
+  constexpr double kBudget = 60.0;
+
+  std::printf("=== Table 8: verification time vs number of events ===\n");
+  std::printf("(5 related apps, 10 devices, sequential design, no "
+              "violation)\n\n");
+  std::printf("%-8s %-14s %-16s %s\n", "events", "time", "states",
+              "violations");
+
+  double previous = 0;
+  for (int events = 2; events <= 11; ++events) {
+    core::Sanitizer sanitizer(deployment);
+    core::SanitizerOptions options;
+    options.use_dependency_analysis = false;
+    options.check.max_events = events;
+    options.check.time_budget_seconds = kBudget;
+    core::SanitizerReport report = sanitizer.Check(options);
+
+    char time_buf[48];
+    if (!report.completed) {
+      std::snprintf(time_buf, sizeof(time_buf), ">%.0fs (budget)", kBudget);
+    } else {
+      std::snprintf(time_buf, sizeof(time_buf), "%.3fs", report.seconds);
+    }
+    char growth[32] = "";
+    if (previous > 1e-4 && report.completed) {
+      std::snprintf(growth, sizeof(growth), " (x%.1f)",
+                    report.seconds / previous);
+    }
+    std::printf("%-8d %-14s %-16llu %zu%s\n", events, time_buf,
+                static_cast<unsigned long long>(report.states_explored),
+                report.violations.size(), growth);
+    previous = report.completed ? report.seconds : 0;
+    if (!report.completed) break;
+  }
+
+  std::printf("\npaper expectation (Table 8): 6.61s / 50.9s / 396s / 49.83m "
+              "/ 5.89h / 23.39h for 6..11\n  events — roughly 7-8x per "
+              "added event.  Shape: geometric growth in the event\n  "
+              "bound (the Promela loop counter keeps every depth "
+              "distinct), no violations found.\n");
+  return 0;
+}

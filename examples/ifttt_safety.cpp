@@ -1,0 +1,56 @@
+// Check a set of IFTTT applets for unsafe interactions (paper §11):
+// each rule is translated into a one-handler app and the full pipeline
+// runs unchanged.
+//
+//   $ ./ifttt_safety
+#include <cstdio>
+
+#include "core/sanitizer.hpp"
+#include "ifttt/applet.hpp"
+
+using namespace iotsan;
+
+int main() {
+  // A small automation setup: arm the siren on motion, hush it by voice,
+  // unlock the door when the owner's phone leaves (a typo — they meant
+  // "arrives"), and lights on arrival.
+  const char* applets_json = R"JSON([
+    {"name": "arm siren on motion",
+     "trigger": {"service": "smartthings_motion", "event": "active"},
+     "action": {"service": "ring_siren", "command": "siren"}},
+    {"name": "voice: quiet",
+     "trigger": {"service": "amazon_alexa", "event": "alexa be quiet"},
+     "action": {"service": "ring_siren", "command": "off"}},
+    {"name": "unlock when I leave",
+     "trigger": {"service": "smartthings_presence", "event": "notpresent"},
+     "action": {"service": "august_lock", "command": "unlock"}},
+    {"name": "lights on arrival",
+     "trigger": {"service": "smartthings_presence", "event": "present"},
+     "action": {"service": "wemo_switch", "command": "on"}}
+  ])JSON";
+
+  std::vector<ifttt::Applet> applets = ifttt::ParseApplets(applets_json);
+  config::Deployment home = ifttt::BuildDeployment(applets, "ifttt demo");
+
+  std::printf("translated %zu applets into one-handler apps:\n\n",
+              applets.size());
+  std::printf("%s\n", ifttt::ToSmartScript(applets[2]).c_str());
+
+  core::Sanitizer sanitizer(home);
+  for (const auto& [name, source] : ifttt::RuleSources(applets)) {
+    sanitizer.AddAppSource(name, source);
+  }
+  core::SanitizerOptions options;
+  options.use_dependency_analysis = false;
+  options.check.max_events = 3;
+  core::SanitizerReport report = sanitizer.Check(options);
+
+  std::printf("--- verification results ---\n");
+  if (report.violations.empty()) {
+    std::printf("no violations\n");
+  }
+  for (const checker::Violation& violation : report.violations) {
+    std::printf("%s\n", checker::FormatViolation(violation).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,280 @@
+#include "attrib/config_enum.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "devices/device_type.hpp"
+#include "dsl/type_infer.hpp"
+#include "util/strings.hpp"
+
+namespace iotsan::attrib {
+
+namespace {
+
+std::vector<std::string> CompatibleDevices(const config::Deployment& deployment,
+                                           const std::string& capability) {
+  std::vector<std::string> out;
+  for (const config::DeviceConfig& device : deployment.devices) {
+    const devices::DeviceTypeSpec* type =
+        devices::DeviceTypeRegistry::Instance().Find(device.type);
+    if (type != nullptr && type->HasCapability(capability)) {
+      out.push_back(device.id);
+    }
+  }
+  return out;
+}
+
+bool ContainsAny(const std::string& haystack,
+                 std::initializer_list<const char*> needles) {
+  const std::string lowered = strings::ToLower(haystack);
+  for (const char* needle : needles) {
+    if (lowered.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Representative numeric candidates chosen by input name, matching how
+/// users fill in thresholds.
+std::vector<double> NumericCandidates(const dsl::InputDecl& input) {
+  if (ContainsAny(input.name, {"setpoint", "temp", "heat", "cool", "cold",
+                               "hot", "degree"})) {
+    return {65, 75, 85};
+  }
+  if (ContainsAny(input.name, {"minute", "second", "delay", "time"})) {
+    return {5};
+  }
+  if (ContainsAny(input.name, {"percent", "humid", "moist", "dry", "wet",
+                               "threshold", "battery", "point"})) {
+    return {20, 60};
+  }
+  if (ContainsAny(input.name, {"lux", "light", "dark"})) {
+    return {100};
+  }
+  return {1};
+}
+
+/// All candidate bindings for one input.
+std::vector<config::Binding> CandidateBindings(
+    const dsl::InputDecl& input, const config::Deployment& deployment) {
+  std::vector<config::Binding> out;
+  const dsl::Type type = dsl::InputDeclType(input);
+  const bool is_device =
+      type.is_device() || (type.is_list() && type.element().is_device());
+
+  if (is_device) {
+    const std::string capability = type.is_list()
+                                       ? type.element().capability()
+                                       : type.capability();
+    std::vector<std::string> compatible =
+        CompatibleDevices(deployment, capability);
+    for (const std::string& id : compatible) {
+      config::Binding binding;
+      binding.device_ids = {id};
+      out.push_back(std::move(binding));
+    }
+    if (input.multiple && compatible.size() > 1) {
+      config::Binding binding;
+      binding.device_ids = compatible;
+      out.push_back(std::move(binding));
+    }
+    return out;
+  }
+
+  if (input.type == "number" || input.type == "decimal") {
+    for (double v : NumericCandidates(input)) {
+      config::Binding binding;
+      binding.number = v;
+      out.push_back(std::move(binding));
+    }
+    return out;
+  }
+  if (input.type == "enum") {
+    for (const std::string& option : input.options) {
+      config::Binding binding;
+      binding.text = option;
+      out.push_back(std::move(binding));
+    }
+    if (out.empty()) {
+      config::Binding binding;
+      binding.text = "default";
+      out.push_back(std::move(binding));
+    }
+    return out;
+  }
+  if (input.type == "mode") {
+    for (const std::string& mode : deployment.modes) {
+      config::Binding binding;
+      binding.text = mode;
+      out.push_back(std::move(binding));
+    }
+    return out;
+  }
+  if (input.type == "phone" || input.type == "contact") {
+    config::Binding binding;
+    binding.text = deployment.contact_phone.empty() ? "555-0100"
+                                                    : deployment.contact_phone;
+    out.push_back(std::move(binding));
+    return out;
+  }
+  if (input.type == "bool" || input.type == "boolean") {
+    config::Binding on;
+    on.flag = true;
+    out.push_back(std::move(on));
+    config::Binding off;
+    off.flag = false;
+    out.push_back(std::move(off));
+    return out;
+  }
+  if (input.type == "time") {
+    config::Binding binding;
+    binding.text = "22:00";
+    out.push_back(std::move(binding));
+    return out;
+  }
+  // text / unknown: a single placeholder value.
+  config::Binding binding;
+  binding.text = "value";
+  out.push_back(std::move(binding));
+  return out;
+}
+
+}  // namespace
+
+std::vector<config::AppConfig> EnumerateConfigs(
+    const dsl::App& app, const config::Deployment& deployment,
+    const EnumOptions& options) {
+  // Candidates per input; optional inputs additionally allow "unbound".
+  struct InputChoices {
+    const dsl::InputDecl* input;
+    std::vector<config::Binding> candidates;
+    bool allow_unbound;
+  };
+  std::vector<InputChoices> all;
+  for (const dsl::InputDecl& input : app.inputs) {
+    InputChoices choices;
+    choices.input = &input;
+    choices.candidates = CandidateBindings(input, deployment);
+    choices.allow_unbound = !input.required;
+    if (choices.candidates.empty() && input.required) {
+      return {};  // unconfigurable: a required input has no candidates
+    }
+    all.push_back(std::move(choices));
+  }
+
+  // Mixed-radix enumeration: each input contributes a digit (candidates,
+  // plus one "unbound" digit for optional inputs).  When the product
+  // exceeds max_configs, configurations are sampled at an even stride so
+  // the cut-off does not bias toward the first candidates of the leading
+  // inputs.
+  std::vector<std::size_t> radix;
+  double total = 1;
+  for (const InputChoices& choices : all) {
+    const std::size_t digits =
+        choices.candidates.size() + (choices.allow_unbound ? 1 : 0);
+    radix.push_back(digits == 0 ? 1 : digits);
+    total *= static_cast<double>(radix.back());
+  }
+  const double capped_total = std::min(total, 1e15);
+  const std::size_t count = static_cast<std::size_t>(
+      std::min<double>(capped_total, options.max_configs));
+  if (count == 0) return {};
+
+  // Deterministically sample `count` distinct combination indices.  A
+  // fixed stride would align with the radix of the leading inputs and
+  // bias the sample; seeded random sampling spreads it evenly.
+  std::set<std::uint64_t> indices;
+  if (static_cast<double>(count) == capped_total) {
+    for (std::uint64_t i = 0; i < count; ++i) indices.insert(i);
+  } else {
+    Rng rng(0x107Au);  // fixed seed: enumeration is reproducible
+    const auto bound = static_cast<std::uint64_t>(capped_total);
+    while (indices.size() < count) {
+      indices.insert(rng.NextBelow(bound));
+    }
+  }
+
+  std::vector<config::AppConfig> configs;
+  configs.reserve(count);
+  for (std::uint64_t sampled : indices) {
+    std::uint64_t index = sampled;
+    config::AppConfig current;
+    current.app = app.name;
+    current.label = app.name;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      const std::size_t digit = index % radix[i];
+      index /= radix[i];
+      if (digit < all[i].candidates.size()) {
+        current.inputs[all[i].input->name] = all[i].candidates[digit];
+      }
+      // digit == candidates.size(): optional input left unbound.
+    }
+    configs.push_back(std::move(current));
+  }
+  return configs;
+}
+
+config::AppConfig GenerateVolunteerConfig(const dsl::App& app,
+                                          const config::Deployment& deployment,
+                                          Rng& rng) {
+  config::AppConfig out;
+  out.app = app.name;
+  out.label = app.name;
+
+  for (const dsl::InputDecl& input : app.inputs) {
+    const dsl::Type type = dsl::InputDeclType(input);
+    const bool is_device =
+        type.is_device() || (type.is_list() && type.element().is_device());
+
+    if (is_device) {
+      const std::string capability = type.is_list()
+                                         ? type.element().capability()
+                                         : type.capability();
+      std::vector<std::string> compatible =
+          CompatibleDevices(deployment, capability);
+      if (compatible.empty()) continue;
+      config::Binding binding;
+      if (input.multiple && compatible.size() > 1 && rng.NextBool(0.5)) {
+        // The §2.2 confusion: bind several compatible devices where the
+        // developer expected one class of device ("the heater OR the AC").
+        const std::size_t count =
+            1 + rng.NextBelow(std::min<std::uint64_t>(compatible.size(), 3));
+        std::vector<std::string> pool = compatible;
+        for (std::size_t i = 0; i < count && !pool.empty(); ++i) {
+          const std::size_t pick = rng.NextBelow(pool.size());
+          binding.device_ids.push_back(pool[pick]);
+          pool.erase(pool.begin() + static_cast<long>(pick));
+        }
+      } else {
+        binding.device_ids.push_back(
+            compatible[rng.NextBelow(compatible.size())]);
+      }
+      out.inputs[input.name] = std::move(binding);
+      continue;
+    }
+    if (!input.required && rng.NextBool(0.3)) {
+      continue;  // non-experts frequently skip optional inputs
+    }
+    config::Binding binding;
+    if (input.type == "number" || input.type == "decimal") {
+      std::vector<double> candidates = NumericCandidates(input);
+      binding.number = candidates[rng.NextBelow(candidates.size())];
+    } else if (input.type == "enum" && !input.options.empty()) {
+      binding.text = input.options[rng.NextBelow(input.options.size())];
+    } else if (input.type == "mode") {
+      binding.text =
+          deployment.modes[rng.NextBelow(deployment.modes.size())];
+    } else if (input.type == "phone" || input.type == "contact") {
+      binding.text = deployment.contact_phone.empty()
+                         ? "555-0100"
+                         : deployment.contact_phone;
+    } else if (input.type == "bool" || input.type == "boolean") {
+      binding.flag = rng.NextBool(0.5);
+    } else {
+      binding.text = "value";
+    }
+    out.inputs[input.name] = std::move(binding);
+  }
+  return out;
+}
+
+}  // namespace iotsan::attrib

@@ -1,0 +1,44 @@
+// Configuration enumeration (paper §9 phase 1/2) and the simulated
+// non-expert ("volunteer") configuration generator (paper §10.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/deployment.hpp"
+#include "dsl/ast.hpp"
+#include "util/rng.hpp"
+
+namespace iotsan::attrib {
+
+struct EnumOptions {
+  /// Cap on the number of configurations produced (the Cartesian product
+  /// over inputs is cut off deterministically at this size).
+  int max_configs = 64;
+};
+
+/// Enumerates possible configurations of `app` against the devices of
+/// `deployment`:
+///   * capability inputs bind every compatible device (and, when
+///     `multiple`, also the full compatible set),
+///   * enum inputs take each declared option,
+///   * mode inputs take each location mode,
+///   * numeric inputs take representative values chosen by input name
+///     (setpoints, delays, percentages),
+///   * phone inputs take the configured contact.
+/// Returns at least one configuration when all required inputs can be
+/// bound, and an empty vector otherwise.
+std::vector<config::AppConfig> EnumerateConfigs(
+    const dsl::App& app, const config::Deployment& deployment,
+    const EnumOptions& options = {});
+
+/// Draws one plausible non-expert configuration, reproducing the
+/// misconfiguration patterns of the paper's user study (§2.2, §10.1):
+/// users bind several outlets where one is expected, pick confusable
+/// devices with the right capability but the wrong role, and guess
+/// thresholds.  Deterministic in `rng`.
+config::AppConfig GenerateVolunteerConfig(const dsl::App& app,
+                                          const config::Deployment& deployment,
+                                          Rng& rng);
+
+}  // namespace iotsan::attrib

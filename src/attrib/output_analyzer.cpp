@@ -1,0 +1,172 @@
+#include "attrib/output_analyzer.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/sanitizer.hpp"
+#include "corpus/corpus.hpp"
+#include "dsl/parser.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace iotsan::attrib {
+
+std::string_view VerdictName(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kMalicious: return "potentially malicious";
+    case Verdict::kBadApp: return "bad app";
+    case Verdict::kMisconfiguration: return "misconfiguration";
+    case Verdict::kClean: return "clean";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Property ids violated by `deployment` with the candidate app acting
+/// along the counter-example (violations the environment or other apps
+/// produce on their own are never charged to the newcomer), beyond
+/// `baseline`.
+std::set<std::string> ViolationsOf(const config::Deployment& deployment,
+                                   const std::string& app_source,
+                                   const std::string& app_label,
+                                   const AttributionOptions& attribution,
+                                   const std::set<std::string>& baseline) {
+  const checker::CheckOptions& check = attribution.check;
+  core::Sanitizer sanitizer(deployment);
+  // Register the candidate source under its definition name so instances
+  // resolve even for non-corpus apps.
+  dsl::App parsed = dsl::ParseApp(app_source, "<candidate>");
+  sanitizer.AddAppSource(parsed.name, app_source);
+
+  core::SanitizerOptions options;
+  options.check = check;
+  options.allow_dynamic_discovery = attribution.allow_dynamic_discovery;
+  // Attribution widens the permutation space with user-initiated mode
+  // switches (companion app), so mode-reactive attacks trigger even when
+  // the candidate is installed alone.
+  options.model.user_mode_events = true;
+  core::SanitizerReport report = sanitizer.Check(options);
+  std::set<std::string> ids;
+  for (const checker::Violation& v : report.violations) {
+    if (baseline.count(v.property_id)) continue;
+    bool involved = false;
+    for (const std::string& app : v.apps) {
+      involved = involved || app == app_label;
+    }
+    if (involved) ids.insert(v.property_id);
+  }
+  return ids;
+}
+
+}  // namespace
+
+AttributionResult AttributeApp(const std::string& app_source,
+                               const config::Deployment& deployment,
+                               const AttributionOptions& options) {
+  dsl::App parsed = dsl::ParseApp(app_source, "<candidate>");
+  AttributionResult result;
+
+  std::vector<config::AppConfig> configs =
+      EnumerateConfigs(parsed, deployment, options.enumeration);
+  if (configs.empty()) {
+    throw ConfigError("app '" + parsed.name +
+                      "' cannot be configured against this deployment");
+  }
+
+  std::set<std::string> violated_union;
+
+  // Baseline: violations the installed system already has without the
+  // new app (never charged to the newcomer).
+  std::set<std::string> baseline;
+  {
+    config::Deployment base = deployment;
+    core::Sanitizer sanitizer(base);
+    core::SanitizerOptions base_options;
+    base_options.check = options.check;
+    for (const checker::Violation& v :
+         sanitizer.Check(base_options).violations) {
+      baseline.insert(v.property_id);
+    }
+  }
+
+  // Phase 1: the new app alone (devices only, no other apps).
+  int phase1_bad = 0;
+  for (const config::AppConfig& candidate : configs) {
+    config::Deployment alone = deployment;
+    alone.apps.clear();
+    alone.apps.push_back(candidate);
+    std::set<std::string> ids = ViolationsOf(
+        alone, app_source, candidate.label, options, /*baseline=*/{});
+    if (!ids.empty()) ++phase1_bad;
+    violated_union.insert(ids.begin(), ids.end());
+  }
+  result.phase1_configs = static_cast<int>(configs.size());
+  result.phase1_ratio =
+      static_cast<double>(phase1_bad) / static_cast<double>(configs.size());
+
+  if (result.phase1_ratio >= options.threshold) {
+    result.verdict = Verdict::kMalicious;
+    result.violated_properties.assign(violated_union.begin(),
+                                      violated_union.end());
+    return result;
+  }
+
+  // Phase 2: jointly with the previously-installed apps.
+  int phase2_bad = 0;
+  for (const config::AppConfig& candidate : configs) {
+    config::Deployment joint = deployment;
+    joint.apps.push_back(candidate);
+    std::set<std::string> ids = ViolationsOf(joint, app_source,
+                                             candidate.label, options,
+                                             baseline);
+    if (!ids.empty()) {
+      ++phase2_bad;
+      violated_union.insert(ids.begin(), ids.end());
+    } else {
+      result.safe_configs.push_back(candidate);
+    }
+  }
+  result.phase2_configs = static_cast<int>(configs.size());
+  result.phase2_ratio =
+      static_cast<double>(phase2_bad) / static_cast<double>(configs.size());
+  result.violated_properties.assign(violated_union.begin(),
+                                    violated_union.end());
+
+  if (result.phase2_ratio >= options.threshold) {
+    result.verdict = Verdict::kBadApp;
+  } else if (phase2_bad > 0) {
+    result.verdict = Verdict::kMisconfiguration;
+  } else {
+    result.verdict = Verdict::kClean;
+  }
+  return result;
+}
+
+AttributionResult AttributeCorpusApp(const std::string& app_name,
+                                     const config::Deployment& deployment,
+                                     const AttributionOptions& options) {
+  const corpus::CorpusApp* app = corpus::FindApp(app_name);
+  if (app == nullptr) {
+    throw ConfigError("app '" + app_name + "' is not in the corpus");
+  }
+  return AttributeApp(app->source, deployment, options);
+}
+
+std::string FormatAttribution(const std::string& app_name,
+                              const AttributionResult& result) {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "%-28s verdict=%-22s phase1=%3.0f%% (%d cfg)  "
+                "phase2=%3.0f%% (%d cfg)",
+                app_name.c_str(), std::string(VerdictName(result.verdict)).c_str(),
+                result.phase1_ratio * 100, result.phase1_configs,
+                result.phase2_ratio * 100, result.phase2_configs);
+  std::string out = buffer;
+  if (!result.violated_properties.empty()) {
+    out += "  violates: " + strings::Join(result.violated_properties, ",");
+  }
+  return out;
+}
+
+}  // namespace iotsan::attrib

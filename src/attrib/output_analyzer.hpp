@@ -1,0 +1,69 @@
+// Output Analyzer: violation attribution (paper §9).
+//
+// When a user installs a new app, IotSan enumerates the app's possible
+// configurations and verifies each one:
+//   * phase 1 — the new app alone.  A violation ratio above the threshold
+//     (default 90%) attributes the app as potentially MALICIOUS.
+//   * phase 2 — the new app together with the already-installed apps.  A
+//     ratio above the threshold attributes it as a BAD APP; otherwise the
+//     observed violations are attributed to MISCONFIGURATION and safe
+//     configurations are suggested.  No violations => CLEAN.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attrib/config_enum.hpp"
+#include "checker/checker.hpp"
+#include "config/deployment.hpp"
+
+namespace iotsan::attrib {
+
+enum class Verdict {
+  kMalicious,         // phase-1 ratio >= threshold
+  kBadApp,            // phase-2 ratio >= threshold
+  kMisconfiguration,  // some configurations violate, safe ones exist
+  kClean,             // no violation in any configuration
+};
+
+std::string_view VerdictName(Verdict verdict);
+
+struct AttributionOptions {
+  /// Violation-ratio threshold (paper: "e.g., 90%").
+  double threshold = 0.9;
+  /// EXTENSION: vet dynamic-discovery apps instead of refusing them.
+  bool allow_dynamic_discovery = false;
+  EnumOptions enumeration;
+  checker::CheckOptions check;
+  AttributionOptions() { check.max_events = 2; }
+};
+
+struct AttributionResult {
+  Verdict verdict = Verdict::kClean;
+  double phase1_ratio = 0;
+  double phase2_ratio = 0;
+  int phase1_configs = 0;
+  int phase2_configs = 0;
+  /// Property ids violated across configurations (union).
+  std::vector<std::string> violated_properties;
+  /// Safe configurations found in phase 2 (suggestions to the user).
+  std::vector<config::AppConfig> safe_configs;
+};
+
+/// Attributes app `app_source` (SmartScript text) being installed into
+/// `deployment` (its devices plus previously-installed apps).  Violations
+/// already present in the base system are not charged to the new app.
+AttributionResult AttributeApp(const std::string& app_source,
+                               const config::Deployment& deployment,
+                               const AttributionOptions& options = {});
+
+/// Convenience: look the app up in the bundled corpus by name.
+AttributionResult AttributeCorpusApp(const std::string& app_name,
+                                     const config::Deployment& deployment,
+                                     const AttributionOptions& options = {});
+
+/// Renders a short human-readable report.
+std::string FormatAttribution(const std::string& app_name,
+                              const AttributionResult& result);
+
+}  // namespace iotsan::attrib

@@ -1,0 +1,398 @@
+#include "checker/checker.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "checker/state_store.hpp"
+#include "model/state_view.hpp"
+#include "props/eval.hpp"
+#include "util/error.hpp"
+
+namespace iotsan::checker {
+
+bool CheckResult::HasViolation(const std::string& property_id) const {
+  return Find(property_id) != nullptr;
+}
+
+const Violation* CheckResult::Find(const std::string& property_id) const {
+  for (const Violation& v : violations) {
+    if (v.property_id == property_id) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+class Search {
+ public:
+  Search(const model::SystemModel& model, const CheckOptions& options)
+      : model_(model), options_(options), engine_(model) {
+    if (options.store == StoreKind::kExhaustive) {
+      store_ = std::make_unique<ExhaustiveStore>();
+    } else {
+      store_ = std::make_unique<BitstateStore>(options.bitstate_bits);
+    }
+  }
+
+  CheckResult Run() {
+    start_ = Clock::now();
+    model::SystemState initial = model_.MakeInitialState();
+    std::vector<std::uint8_t> bytes = initial.Serialize();
+    store_->TestAndInsert(bytes);
+    Explore(initial, 0);
+    result_.seconds =
+        std::chrono::duration<double>(Clock::now() - start_).count();
+    // Order violations by property id for stable reports.
+    std::sort(result_.violations.begin(), result_.violations.end(),
+              [](const Violation& a, const Violation& b) {
+                return a.property_id < b.property_id;
+              });
+    return std::move(result_);
+  }
+
+ private:
+  const model::SystemModel& model_;
+  const CheckOptions& options_;
+  model::CascadeEngine engine_;
+  std::unique_ptr<StateStore> store_;
+  CheckResult result_;
+  Clock::time_point start_;
+  bool stopped_ = false;
+
+  // Current DFS path context: counter-example lines, and causality data
+  // for violation charging — which app actuated which device, and which
+  // apps changed the location mode, along the path.
+  std::vector<std::string> path_trace_;
+  std::vector<std::pair<int, int>> path_actuations_;
+  std::vector<int> path_mode_setters_;
+
+  bool BudgetExceeded() {
+    if (stopped_) return true;
+    if (options_.max_states != 0 &&
+        result_.states_explored >= options_.max_states) {
+      result_.completed = false;
+      stopped_ = true;
+    }
+    if (options_.time_budget_seconds > 0) {
+      const double elapsed =
+          std::chrono::duration<double>(Clock::now() - start_).count();
+      if (elapsed > options_.time_budget_seconds) {
+        result_.completed = false;
+        stopped_ = true;
+      }
+    }
+    return stopped_;
+  }
+
+  Violation* RecordViolation(const props::Property& property, int depth,
+                             const std::string& failure_label,
+                             const std::vector<std::string>& extra_trace,
+                             const std::set<int>& charged_apps) {
+    for (Violation& existing : result_.violations) {
+      if (existing.property_id == property.id) {
+        ++existing.occurrences;
+        // Keep the first counter-example but accumulate every charged
+        // app across re-violations: attribution (§9) needs to know all
+        // apps that can drive the system into this bad state.
+        for (int app : charged_apps) {
+          const std::string& label = model_.apps()[app].config.label;
+          bool known = false;
+          for (const std::string& existing_app : existing.apps) {
+            known = known || existing_app == label;
+          }
+          if (!known) existing.apps.push_back(label);
+        }
+        return nullptr;
+      }
+    }
+    Violation violation;
+    violation.property_id = property.id;
+    violation.category = property.category;
+    violation.description = property.description;
+    violation.kind = property.kind;
+    violation.trace = path_trace_;
+    violation.trace.insert(violation.trace.end(), extra_trace.begin(),
+                           extra_trace.end());
+    for (int app : charged_apps) {
+      violation.apps.push_back(model_.apps()[app].config.label);
+    }
+    violation.failure = failure_label;
+    violation.depth = depth;
+    result_.violations.push_back(std::move(violation));
+    if (options_.stop_at_first_violation) {
+      stopped_ = true;
+      result_.completed = false;  // the search was cut short on purpose
+    }
+    return &result_.violations.back();
+  }
+
+  /// Apps responsible for an invariant violation: those that actuated a
+  /// device carrying one of the property's roles along the path, plus —
+  /// when the property reads the location mode — the apps that changed
+  /// the mode.
+  std::set<int> ChargedApps(const props::Property& property) const {
+    std::set<int> charged;
+    for (const auto& [app, device] : path_actuations_) {
+      for (const std::string& role : property.roles) {
+        if (model_.devices()[device].HasRole(role)) {
+          charged.insert(app);
+          break;
+        }
+      }
+    }
+    if (props::ReferencesMode(property.ParsedExpression())) {
+      charged.insert(path_mode_setters_.begin(), path_mode_setters_.end());
+    }
+    return charged;
+  }
+
+  void CheckInvariants(const model::SystemState& state, int depth,
+                       const std::string& failure_label) {
+    model::ModelStateView view(model_, state);
+    for (const props::Property& property : model_.active_properties()) {
+      if (stopped_) return;
+      if (property.kind != props::PropertyKind::kInvariant) continue;
+      if (props::EvalPropertyExpr(property.ParsedExpression(), view)) {
+        continue;
+      }
+      std::vector<std::string> assertion = {
+          "assertion violated: " + property.description + " (" +
+          property.id + ")"};
+      RecordViolation(property, depth, failure_label, assertion,
+                      ChargedApps(property));
+    }
+  }
+
+  bool MonitorActive(props::PropertyKind kind) const {
+    for (const props::Property& property : model_.active_properties()) {
+      if (property.kind == kind) return true;
+    }
+    return false;
+  }
+
+  const props::Property& MonitorProperty(props::PropertyKind kind) const {
+    for (const props::Property& property : model_.active_properties()) {
+      if (property.kind == kind) return property;
+    }
+    throw Error("monitor property not active");
+  }
+
+  void RunMonitors(const model::CascadeLog& log, int depth,
+                   const model::FailureScenario& failure) {
+    if (stopped_) return;
+    const std::string failure_label = failure.Any() ? failure.Label() : "";
+
+    // Conflicting / repeated commands (Algorithm 1, line 16).
+    if (MonitorActive(props::PropertyKind::kNoConflict)) {
+      for (std::size_t i = 0;
+           i < log.commands.size() &&
+           !MonitorTriggered(props::PropertyKind::kNoConflict);
+           ++i) {
+        for (std::size_t j = i + 1; j < log.commands.size(); ++j) {
+          const model::CommandRecord& a = log.commands[i];
+          const model::CommandRecord& b = log.commands[j];
+          if (a.device != b.device) continue;
+          const bool conflicting =
+              std::find(a.spec->conflicts_with.begin(),
+                        a.spec->conflicts_with.end(),
+                        b.spec->name) != a.spec->conflicts_with.end();
+          if (!conflicting) continue;
+          std::vector<std::string> detail = log.trace;
+          detail.push_back("conflicting commands on " +
+                           model_.devices()[a.device].id() + ": " +
+                           a.spec->name + " vs " + b.spec->name);
+          RecordViolation(MonitorProperty(props::PropertyKind::kNoConflict),
+                          depth, failure_label, detail, {a.app, b.app});
+          break;
+        }
+      }
+    }
+    if (MonitorActive(props::PropertyKind::kNoRepeat)) {
+      for (std::size_t i = 0;
+           i < log.commands.size() &&
+           !MonitorTriggered(props::PropertyKind::kNoRepeat);
+           ++i) {
+        for (std::size_t j = i + 1; j < log.commands.size(); ++j) {
+          const model::CommandRecord& a = log.commands[i];
+          const model::CommandRecord& b = log.commands[j];
+          if (a.device != b.device || a.spec->name != b.spec->name ||
+              a.value_index != b.value_index) {
+            continue;
+          }
+          std::vector<std::string> detail = log.trace;
+          detail.push_back("repeated command on " +
+                           model_.devices()[a.device].id() + ": " +
+                           a.spec->name + " received twice");
+          RecordViolation(MonitorProperty(props::PropertyKind::kNoRepeat),
+                          depth, failure_label, detail, {a.app, b.app});
+          break;
+        }
+      }
+    }
+
+    for (const model::ApiCallRecord& api : log.api_calls) {
+      if (stopped_) return;
+      switch (api.kind) {
+        case model::ApiCallRecord::Kind::kHttp:
+          if (!model_.deployment().allow_network_interfaces &&
+              MonitorActive(props::PropertyKind::kNoNetworkLeak)) {
+            std::vector<std::string> detail = log.trace;
+            detail.push_back("network interface used: " + api.detail);
+            RecordViolation(
+                MonitorProperty(props::PropertyKind::kNoNetworkLeak), depth,
+                failure_label, detail, {api.app});
+          }
+          break;
+        case model::ApiCallRecord::Kind::kSms:
+          if (api.recipient_mismatch &&
+              MonitorActive(props::PropertyKind::kSmsRecipient)) {
+            std::vector<std::string> detail = log.trace;
+            detail.push_back("SMS recipient '" + api.detail +
+                             "' does not match the configured contact");
+            RecordViolation(
+                MonitorProperty(props::PropertyKind::kSmsRecipient), depth,
+                failure_label, detail, {api.app});
+          }
+          break;
+        case model::ApiCallRecord::Kind::kUnsubscribe:
+          if (MonitorActive(props::PropertyKind::kNoSensitiveCmd)) {
+            std::vector<std::string> detail = log.trace;
+            detail.push_back("security-sensitive command: unsubscribe()");
+            RecordViolation(
+                MonitorProperty(props::PropertyKind::kNoSensitiveCmd), depth,
+                failure_label, detail, {api.app});
+          }
+          break;
+        case model::ApiCallRecord::Kind::kFakeEvent:
+          if (MonitorActive(props::PropertyKind::kNoFakeEvent)) {
+            std::vector<std::string> detail = log.trace;
+            detail.push_back("fake event injected: " + api.detail);
+            RecordViolation(
+                MonitorProperty(props::PropertyKind::kNoFakeEvent), depth,
+                failure_label, detail, {api.app});
+          }
+          break;
+        case model::ApiCallRecord::Kind::kPush:
+          break;
+      }
+    }
+
+    // Robustness: a command was lost to a failure and the user was never
+    // notified (§8's robustness property).
+    if (failure.Any() && log.failed_deliveries > 0 && !log.user_notified &&
+        MonitorActive(props::PropertyKind::kRobustness)) {
+      std::vector<std::string> detail = log.trace;
+      detail.push_back(std::to_string(log.failed_deliveries) +
+                       " command(s) lost to " + failure.Label() +
+                       " with no user notification");
+      std::set<int> losers;
+      for (const model::CommandRecord& cmd : log.commands) {
+        if (!cmd.delivered) losers.insert(cmd.app);
+      }
+      RecordViolation(MonitorProperty(props::PropertyKind::kRobustness),
+                      depth, failure_label, detail, losers);
+    }
+  }
+
+  bool MonitorTriggered(props::PropertyKind kind) const {
+    for (const Violation& v : result_.violations) {
+      if (v.kind == kind) return true;
+    }
+    return false;
+  }
+
+  void Explore(const model::SystemState& state, int depth) {
+    if (BudgetExceeded()) return;
+    ++result_.states_explored;
+    if (depth >= options_.max_events) return;
+
+    const auto& scenarios = options_.model_failures
+                                ? model::FailureScenario::AllScenarios()
+                                : model::FailureScenario::NoFailure();
+
+    for (const model::ExternalEvent& event : engine_.EnabledEvents(state)) {
+      for (const model::FailureScenario& failure : scenarios) {
+        if (BudgetExceeded()) return;
+        std::vector<model::StepOutcome> outcomes =
+            engine_.Apply(state, event, failure, options_.scheduling);
+        for (model::StepOutcome& outcome : outcomes) {
+          if (BudgetExceeded()) return;
+          ++result_.transitions;
+
+          // Extend the path context for this step.
+          const std::size_t trace_mark = path_trace_.size();
+          path_trace_.push_back(
+              "== event " + std::to_string(depth + 1) + ": " +
+              event.Describe(model_) +
+              (failure.Any() ? " [" + failure.Label() + "]" : ""));
+          for (const std::string& line : outcome.log.trace) {
+            path_trace_.push_back("   " + line);
+          }
+          const std::size_t actuation_mark = path_actuations_.size();
+          const std::size_t mode_mark = path_mode_setters_.size();
+          path_actuations_.insert(path_actuations_.end(),
+                                  outcome.log.actuations.begin(),
+                                  outcome.log.actuations.end());
+          path_mode_setters_.insert(path_mode_setters_.end(),
+                                    outcome.log.mode_setters.begin(),
+                                    outcome.log.mode_setters.end());
+
+          RunMonitors(outcome.log, depth + 1, failure);
+          CheckInvariants(outcome.state, depth + 1,
+                          failure.Any() ? failure.Label() : "");
+
+          std::vector<std::uint8_t> bytes = outcome.state.Serialize();
+          if (options_.include_depth_in_state) {
+            bytes.push_back(static_cast<std::uint8_t>(depth + 1));
+          }
+          if (store_->TestAndInsert(bytes)) {
+            ++result_.states_matched;
+          } else {
+            Explore(outcome.state, depth + 1);
+          }
+
+          // Restore path context.
+          path_trace_.resize(trace_mark);
+          path_actuations_.resize(actuation_mark);
+          path_mode_setters_.resize(mode_mark);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+CheckResult Checker::Run(const CheckOptions& options) const {
+  return Search(model_, options).Run();
+}
+
+std::string FormatViolation(const Violation& violation) {
+  std::string out;
+  out += "violated property " + violation.property_id + " [" +
+         violation.category + "]\n";
+  out += "  safe state: " + violation.description + "\n";
+  if (!violation.failure.empty()) {
+    out += "  failure scenario: " + violation.failure + "\n";
+  }
+  if (!violation.apps.empty()) {
+    out += "  involved apps: (";
+    for (std::size_t i = 0; i < violation.apps.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += violation.apps[i];
+    }
+    out += ")\n";
+  }
+  out += "  counter-example (" + std::to_string(violation.depth) +
+         " external event(s), seen " + std::to_string(violation.occurrences) +
+         "x):\n";
+  for (const std::string& line : violation.trace) {
+    out += "    " + line + "\n";
+  }
+  return out;
+}
+
+}  // namespace iotsan::checker

@@ -1,0 +1,92 @@
+// The model checker: bounded DFS over external-event permutations
+// (paper §2.3, §8 Algorithm 1).
+//
+// Spin-equivalent: the search enumerates all permutations of external
+// physical events up to `max_events`, drains each cascade (sequential or
+// concurrent scheduling), evaluates the active safety properties at every
+// stable state, runs the per-cascade monitors, and prunes revisited
+// states through an exhaustive or BITSTATE store.  Counter-example traces
+// are produced in the style of the paper's Fig. 7.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/engine.hpp"
+#include "model/system_model.hpp"
+#include "props/property.hpp"
+
+namespace iotsan::checker {
+
+enum class StoreKind { kExhaustive, kBitstate };
+
+struct CheckOptions {
+  /// Maximum number of external events per run (Algorithm 1's bound).
+  int max_events = 3;
+  model::Scheduling scheduling = model::Scheduling::kSequential;
+  /// Enumerate device/communication failure scenarios per event (§8).
+  bool model_failures = false;
+  StoreKind store = StoreKind::kExhaustive;
+  /// Bit-field size for BITSTATE (Spin -w): 2^27 bits = 16 MiB.
+  std::size_t bitstate_bits = std::size_t{1} << 27;
+  /// Include the event-loop counter in the hashed state vector.  The
+  /// generated Promela model keeps Algorithm 1's loop index `i` as a
+  /// global, so Spin's state vector distinguishes "same system state,
+  /// different event budget"; true reproduces that behaviour.  Setting
+  /// false merges such states, trading fidelity for pruning (ablation).
+  bool include_depth_in_state = true;
+  /// Stop as soon as any property is violated.
+  bool stop_at_first_violation = false;
+  /// Hard budget on expanded stable states (0 = unlimited).
+  std::uint64_t max_states = 0;
+  /// Wall-clock budget in seconds (0 = unlimited).
+  double time_budget_seconds = 0;
+};
+
+/// One detected property violation with its counter-example.
+struct Violation {
+  std::string property_id;
+  std::string category;
+  std::string description;
+  props::PropertyKind kind = props::PropertyKind::kInvariant;
+  /// Counter-example: one line per model step (Fig. 7 style).
+  std::vector<std::string> trace;
+  /// Labels of the apps that acted along the counter-example path.
+  std::vector<std::string> apps;
+  /// Failure scenario in effect ("" when none).
+  std::string failure;
+  /// External events consumed before the violation.
+  int depth = 0;
+  /// How many times this property was (re)violated during the search.
+  std::uint64_t occurrences = 1;
+};
+
+struct CheckResult {
+  std::vector<Violation> violations;  // one entry per violated property
+  std::uint64_t states_explored = 0;  // stable states expanded
+  std::uint64_t states_matched = 0;   // pruned as already-seen
+  std::uint64_t transitions = 0;      // (event, failure) applications
+  bool completed = true;              // false when a budget stopped the run
+  double seconds = 0;
+
+  bool HasViolation(const std::string& property_id) const;
+  const Violation* Find(const std::string& property_id) const;
+};
+
+class Checker {
+ public:
+  explicit Checker(const model::SystemModel& model) : model_(model) {}
+
+  CheckResult Run(const CheckOptions& options) const;
+
+ private:
+  const model::SystemModel& model_;
+};
+
+/// Renders a violation report (description, involved apps, trace).
+std::string FormatViolation(const Violation& violation);
+
+}  // namespace iotsan::checker

@@ -1,0 +1,33 @@
+#include "checker/state_store.hpp"
+
+#include "util/hash.hpp"
+
+namespace iotsan::checker {
+
+bool ExhaustiveStore::TestAndInsert(std::span<const std::uint8_t> bytes) {
+  std::string key(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  auto [it, inserted] = states_.insert(std::move(key));
+  (void)it;
+  if (inserted) memory_ += bytes.size() + sizeof(void*) * 2;
+  return !inserted;
+}
+
+BitstateStore::BitstateStore(std::size_t bit_count, unsigned hash_count)
+    : bits_(bit_count), hash_count_(hash_count == 0 ? 1 : hash_count) {}
+
+bool BitstateStore::TestAndInsert(std::span<const std::uint8_t> bytes) {
+  const std::uint64_t base = hash::Fnv1a64(bytes);
+  bool seen = true;
+  for (unsigned i = 0; i < hash_count_; ++i) {
+    seen &= bits_.TestAndSet(hash::NthHash(base, i));
+  }
+  if (!seen) ++inserted_;
+  return seen;
+}
+
+double BitstateStore::Occupancy() const {
+  return static_cast<double>(bits_.PopCount()) /
+         static_cast<double>(bits_.size());
+}
+
+}  // namespace iotsan::checker

@@ -1,0 +1,68 @@
+// Visited-state stores (paper §2.3).
+//
+// The checker prunes states it has already expanded.  Two storage
+// strategies are provided, mirroring Spin:
+//   * ExhaustiveStore — keeps full serialized state vectors; exact, but
+//     memory grows with the state space.
+//   * BitstateStore — Spin's BITSTATE hashing: k hash functions set bits
+//     in a fixed bit field.  False positives ("seen" for a new state) are
+//     possible, trading completeness for constant memory; the paper uses
+//     this mode for large systems.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_set>
+
+#include "util/bitarray.hpp"
+
+namespace iotsan::checker {
+
+class StateStore {
+ public:
+  virtual ~StateStore() = default;
+
+  /// Records `bytes`; returns true if it was (possibly) seen before.
+  virtual bool TestAndInsert(std::span<const std::uint8_t> bytes) = 0;
+
+  /// Number of distinct states recorded (exact for exhaustive; equals the
+  /// number of inserts that were new for bitstate).
+  virtual std::uint64_t size() const = 0;
+
+  /// Bytes of memory used by the store (approximate for exhaustive).
+  virtual std::uint64_t memory_bytes() const = 0;
+};
+
+class ExhaustiveStore final : public StateStore {
+ public:
+  bool TestAndInsert(std::span<const std::uint8_t> bytes) override;
+  std::uint64_t size() const override { return states_.size(); }
+  std::uint64_t memory_bytes() const override { return memory_; }
+
+ private:
+  std::unordered_set<std::string> states_;
+  std::uint64_t memory_ = 0;
+};
+
+class BitstateStore final : public StateStore {
+ public:
+  /// `bit_count` is the size of the bit field (Spin's -w); `hash_count`
+  /// the number of hash functions (Spin's default is 3).
+  explicit BitstateStore(std::size_t bit_count, unsigned hash_count = 3);
+
+  bool TestAndInsert(std::span<const std::uint8_t> bytes) override;
+  std::uint64_t size() const override { return inserted_; }
+  std::uint64_t memory_bytes() const override { return bits_.size() / 8; }
+
+  /// Fraction of bits set; occupancy above ~0.5 means heavy hash
+  /// saturation and unreliable pruning.
+  double Occupancy() const;
+
+ private:
+  BitArray bits_;
+  unsigned hash_count_;
+  std::uint64_t inserted_ = 0;
+};
+
+}  // namespace iotsan::checker

@@ -1,0 +1,73 @@
+#include "config/builder.hpp"
+
+namespace iotsan::config {
+
+AppConfig& AppBinder::app() { return builder_->deployment_.apps[index_]; }
+
+AppBinder& AppBinder::Devices(const std::string& input,
+                              std::vector<std::string> device_ids) {
+  Binding binding;
+  binding.device_ids = std::move(device_ids);
+  app().inputs[input] = std::move(binding);
+  return *this;
+}
+
+AppBinder& AppBinder::Number(const std::string& input, double value) {
+  Binding binding;
+  binding.number = value;
+  app().inputs[input] = std::move(binding);
+  return *this;
+}
+
+AppBinder& AppBinder::Text(const std::string& input, std::string value) {
+  Binding binding;
+  binding.text = std::move(value);
+  app().inputs[input] = std::move(binding);
+  return *this;
+}
+
+AppBinder& AppBinder::Flag(const std::string& input, bool value) {
+  Binding binding;
+  binding.flag = value;
+  app().inputs[input] = std::move(binding);
+  return *this;
+}
+
+DeploymentBuilder::DeploymentBuilder(std::string name) {
+  deployment_.name = std::move(name);
+}
+
+DeploymentBuilder& DeploymentBuilder::Modes(std::vector<std::string> modes) {
+  deployment_.modes = std::move(modes);
+  return *this;
+}
+
+DeploymentBuilder& DeploymentBuilder::ContactPhone(std::string phone) {
+  deployment_.contact_phone = std::move(phone);
+  return *this;
+}
+
+DeploymentBuilder& DeploymentBuilder::AllowNetwork(bool allow) {
+  deployment_.allow_network_interfaces = allow;
+  return *this;
+}
+
+DeploymentBuilder& DeploymentBuilder::Device(std::string id, std::string type,
+                                             std::vector<std::string> roles) {
+  DeviceConfig device;
+  device.id = std::move(id);
+  device.type = std::move(type);
+  device.roles = std::move(roles);
+  deployment_.devices.push_back(std::move(device));
+  return *this;
+}
+
+AppBinder DeploymentBuilder::App(std::string app_name, std::string label) {
+  AppConfig app;
+  app.app = std::move(app_name);
+  app.label = label.empty() ? app.app : std::move(label);
+  deployment_.apps.push_back(std::move(app));
+  return AppBinder(*this, deployment_.apps.size() - 1);
+}
+
+}  // namespace iotsan::config

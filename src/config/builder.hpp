@@ -1,0 +1,51 @@
+// Fluent builder for deployments (used by tests, benches, and examples).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/deployment.hpp"
+
+namespace iotsan::config {
+
+class DeploymentBuilder;
+
+/// Configures one installed app; obtained from DeploymentBuilder::App.
+class AppBinder {
+ public:
+  AppBinder(DeploymentBuilder& builder, std::size_t index)
+      : builder_(&builder), index_(index) {}
+
+  /// Binds a capability input to one or more devices.
+  AppBinder& Devices(const std::string& input,
+                     std::vector<std::string> device_ids);
+  AppBinder& Number(const std::string& input, double value);
+  AppBinder& Text(const std::string& input, std::string value);
+  AppBinder& Flag(const std::string& input, bool value);
+
+ private:
+  AppConfig& app();
+  DeploymentBuilder* builder_;
+  std::size_t index_;
+};
+
+class DeploymentBuilder {
+ public:
+  explicit DeploymentBuilder(std::string name);
+
+  DeploymentBuilder& Modes(std::vector<std::string> modes);
+  DeploymentBuilder& ContactPhone(std::string phone);
+  DeploymentBuilder& AllowNetwork(bool allow);
+  DeploymentBuilder& Device(std::string id, std::string type,
+                            std::vector<std::string> roles = {});
+  /// Adds an app instance; bind its inputs through the returned AppBinder.
+  AppBinder App(std::string app_name, std::string label = "");
+
+  Deployment Build() const { return deployment_; }
+
+ private:
+  friend class AppBinder;
+  Deployment deployment_;
+};
+
+}  // namespace iotsan::config

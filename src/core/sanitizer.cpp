@@ -1,0 +1,183 @@
+#include "core/sanitizer.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "corpus/corpus.hpp"
+#include "ir/analyzer.hpp"
+#include "model/system_model.hpp"
+#include "util/error.hpp"
+
+namespace iotsan::core {
+
+bool SanitizerReport::HasViolation(const std::string& property_id) const {
+  for (const checker::Violation& v : violations) {
+    if (v.property_id == property_id) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> SanitizerReport::ViolatedPropertyIds() const {
+  std::vector<std::string> ids;
+  for (const checker::Violation& v : violations) ids.push_back(v.property_id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Sanitizer::Sanitizer(config::Deployment deployment)
+    : deployment_(std::move(deployment)) {}
+
+void Sanitizer::AddAppSource(const std::string& name,
+                             const std::string& source) {
+  sources_[name] = source;
+}
+
+std::string Sanitizer::SourceFor(const std::string& app_name) const {
+  auto it = sources_.find(app_name);
+  if (it != sources_.end()) return it->second;
+  if (const corpus::CorpusApp* app = corpus::FindApp(app_name)) {
+    return app->source;
+  }
+  throw ConfigError("no source for app '" + app_name +
+                    "' (not in the corpus; AddAppSource it)");
+}
+
+std::vector<ir::AnalyzedApp> Sanitizer::AnalyzeInstalledApps(
+    SanitizerReport& report, std::vector<bool>& rejected,
+    bool allow_dynamic_discovery) const {
+  std::vector<ir::AnalyzedApp> analyzed;
+  rejected.assign(deployment_.apps.size(), false);
+  for (std::size_t i = 0; i < deployment_.apps.size(); ++i) {
+    const config::AppConfig& instance = deployment_.apps[i];
+    ir::AnalyzedApp app;
+    try {
+      app = ir::AnalyzeSource(SourceFor(instance.app), instance.app);
+    } catch (const Error& e) {
+      report.rejected_apps.push_back(instance.label + ": " + e.what());
+      rejected[i] = true;
+      analyzed.emplace_back();  // placeholder keeps indices aligned
+      continue;
+    }
+    if (app.dynamic_device_discovery && !allow_dynamic_discovery) {
+      report.rejected_apps.push_back(
+          instance.label +
+          ": uses dynamic device discovery (unsupported, rejected)");
+      rejected[i] = true;
+    }
+    for (const std::string& problem : app.problems) {
+      report.analysis_problems.push_back(problem);
+    }
+    analyzed.push_back(std::move(app));
+  }
+  return analyzed;
+}
+
+namespace {
+
+void MergeResult(SanitizerReport& report, checker::CheckResult result) {
+  report.states_explored += result.states_explored;
+  report.states_matched += result.states_matched;
+  report.transitions += result.transitions;
+  report.seconds += result.seconds;
+  report.completed = report.completed && result.completed;
+  for (const checker::Violation& violation : result.violations) {
+    report.per_set_violations.push_back(violation);
+  }
+  for (checker::Violation& violation : result.violations) {
+    bool merged = false;
+    for (checker::Violation& existing : report.violations) {
+      if (existing.property_id == violation.property_id) {
+        existing.occurrences += violation.occurrences;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) report.violations.push_back(std::move(violation));
+  }
+}
+
+}  // namespace
+
+SanitizerReport Sanitizer::Check(const SanitizerOptions& options) const {
+  SanitizerReport report;
+  std::vector<bool> rejected;
+  model::ModelOptions model_options = options.model;
+  model_options.dynamic_discovery =
+      model_options.dynamic_discovery || options.allow_dynamic_discovery;
+  // Discovery apps can reach every device, so the permutation space must
+  // cover every sensor, not just the subscribed ones.
+  model_options.all_sensor_events =
+      model_options.all_sensor_events || model_options.dynamic_discovery;
+  std::vector<ir::AnalyzedApp> analyzed = AnalyzeInstalledApps(
+      report, rejected, model_options.dynamic_discovery);
+
+  // Index sets of app instances to check together.
+  std::vector<std::vector<std::size_t>> groups;
+  std::vector<std::size_t> accepted;
+  for (std::size_t i = 0; i < analyzed.size(); ++i) {
+    if (!rejected[i]) accepted.push_back(i);
+  }
+
+  if (options.use_dependency_analysis) {
+    // Dependency analysis over accepted instances only.
+    std::vector<ir::AnalyzedApp> view;
+    for (std::size_t i : accepted) view.push_back(std::move(analyzed[i]));
+    report.scale = deps::ComputeScaleStats(view);
+    deps::DependencyGraph graph = deps::DependencyGraph::Build(view);
+    std::vector<deps::RelatedSet> sets = deps::ComputeRelatedSets(graph);
+    report.related_set_count = static_cast<int>(sets.size());
+    std::set<std::size_t> covered;
+    for (const deps::RelatedSet& set : sets) {
+      std::vector<std::size_t> group;
+      for (int app : set.apps) {
+        group.push_back(accepted[static_cast<std::size_t>(app)]);
+        covered.insert(accepted[static_cast<std::size_t>(app)]);
+      }
+      groups.push_back(std::move(group));
+    }
+    // Apps with no handlers (no vertices) still deserve a pass (their
+    // lifecycle may still violate nothing, but invariants about their
+    // devices can fire from environment events).
+    for (std::size_t i : accepted) {
+      if (!covered.count(i)) groups.push_back({i});
+    }
+  } else {
+    if (!accepted.empty()) groups.push_back(accepted);
+    report.related_set_count = static_cast<int>(groups.size());
+  }
+
+  for (const std::vector<std::size_t>& group : groups) {
+    // Build a sub-deployment with this group's app instances; all devices
+    // stay visible so role-based properties bind identically.
+    config::Deployment sub = deployment_;
+    sub.apps.clear();
+    std::vector<ir::AnalyzedApp> group_apps;
+    for (std::size_t i : group) {
+      sub.apps.push_back(deployment_.apps[i]);
+      // Re-analyze per group: AnalyzedApp is consumed by SystemModel and
+      // related sets may overlap.
+      group_apps.push_back(
+          ir::AnalyzeSource(SourceFor(deployment_.apps[i].app),
+                            deployment_.apps[i].app));
+    }
+    model::SystemModel model(std::move(sub), std::move(group_apps),
+                             model_options);
+    if (!options.extra_properties.empty()) {
+      std::vector<props::Property> all = props::BuiltinProperties();
+      for (const props::Property& p : options.extra_properties) {
+        all.push_back(p);
+      }
+      model.SelectProperties(all);
+    }
+    checker::Checker checker(model);
+    MergeResult(report, checker.Run(options.check));
+  }
+
+  std::sort(report.violations.begin(), report.violations.end(),
+            [](const checker::Violation& a, const checker::Violation& b) {
+              return a.property_id < b.property_id;
+            });
+  return report;
+}
+
+}  // namespace iotsan::core

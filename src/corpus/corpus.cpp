@@ -1,0 +1,59 @@
+#include "corpus/corpus.hpp"
+
+#include "corpus/market_apps.hpp"
+#include "util/strings.hpp"
+
+namespace iotsan::corpus {
+
+const std::vector<CorpusApp>& AllApps() {
+  static const std::vector<CorpusApp>& apps = *new std::vector<CorpusApp>([] {
+    std::vector<CorpusApp> all;
+    for (auto* part : {&MarketAppsPartA, &MarketAppsPartB, &MarketAppsPartC,
+                       &MarketAppsPartD, &MaliciousAppsPart,
+                       &UnsupportedAppsPart}) {
+      std::vector<CorpusApp> chunk = (*part)();
+      for (CorpusApp& app : chunk) all.push_back(std::move(app));
+    }
+    return all;
+  }());
+  return apps;
+}
+
+namespace {
+std::vector<const CorpusApp*> Filter(AppKind kind) {
+  std::vector<const CorpusApp*> out;
+  for (const CorpusApp& app : AllApps()) {
+    if (app.kind == kind) out.push_back(&app);
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<const CorpusApp*> MarketApps() {
+  return Filter(AppKind::kMarket);
+}
+
+std::vector<const CorpusApp*> MaliciousApps() {
+  return Filter(AppKind::kMalicious);
+}
+
+std::vector<const CorpusApp*> UnsupportedApps() {
+  return Filter(AppKind::kUnsupported);
+}
+
+const CorpusApp* FindApp(std::string_view name) {
+  for (const CorpusApp& app : AllApps()) {
+    if (app.name == name) return &app;
+  }
+  return nullptr;
+}
+
+std::string MakeVariant(const CorpusApp& base, std::string_view suffix) {
+  const std::string variant_name =
+      base.name + " (" + std::string(suffix) + ")";
+  // Rewrite only the definition(name: "...") occurrence.
+  return strings::ReplaceAll(base.source, "name: \"" + base.name + "\"",
+                             "name: \"" + variant_name + "\"");
+}
+
+}  // namespace iotsan::corpus

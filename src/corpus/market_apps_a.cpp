@@ -1,0 +1,617 @@
+// Market corpus, part A: the apps named in the paper (§2.2, §5 Table 2,
+// §10, Fig. 8) plus closely related lighting/mode apps.
+#include "corpus/market_apps.hpp"
+
+namespace iotsan::corpus {
+
+std::vector<CorpusApp> MarketAppsPartA() {
+  std::vector<CorpusApp> apps;
+  auto add = [&apps](std::string name, std::string source) {
+    apps.push_back({std::move(name), AppKind::kMarket, std::move(source)});
+  };
+
+  // Paper Fig. 1 / §2.2: the Virtual Thermostat misconfiguration example.
+  add("Virtual Thermostat", R"APP(
+definition(name: "Virtual Thermostat", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Control a space heater or window air conditioner in conjunction with any temperature sensor, like a SmartSense Multi.")
+
+preferences {
+    section("Choose a temperature sensor... ") {
+        input "sensor", "capability.temperatureMeasurement", title: "Sensor"
+    }
+    section("Select the heater or air conditioner outlet(s)... ") {
+        input "outlets", "capability.switch", title: "Outlets", multiple: true
+    }
+    section("Set the desired temperature ...") {
+        input "setpoint", "decimal", title: "Set Temp"
+    }
+    section("When there's been movement from (optional)") {
+        input "motion", "capability.motionSensor", title: "Motion", required: false
+    }
+    section("Within this number of minutes ...") {
+        input "minutes", "number", title: "Minutes", required: false
+    }
+    section("But never go below (or above if A/C) this value with or without motion ...") {
+        input "emergencySetpoint", "decimal", title: "Emer Temp", required: false
+    }
+    section("Select 'heat' for a heater and 'cool' for an air conditioner ...") {
+        input "mode", "enum", title: "Heating or cooling?", options: ["heat", "cool"]
+    }
+}
+
+def installed() {
+    subscribe(sensor, "temperature", temperatureHandler)
+    if (motion) {
+        subscribe(motion, "motion", motionHandler)
+    }
+}
+
+def temperatureHandler(evt) {
+    def isActive = hasBeenRecentMotion()
+    if (isActive || emergencySetpoint) {
+        evaluateTemp(evt.numericValue, isActive ? setpoint : emergencySetpoint)
+    } else {
+        outlets.off()
+    }
+}
+
+def motionHandler(evt) {
+    if (evt.value == "active") {
+        def lastTemp = sensor.currentTemperature
+        if (lastTemp != null) {
+            evaluateTemp(lastTemp, setpoint)
+        }
+    } else if (evt.value == "inactive") {
+        def isActive = hasBeenRecentMotion()
+        if (isActive || emergencySetpoint) {
+            def lastTemp = sensor.currentTemperature
+            if (lastTemp != null) {
+                evaluateTemp(lastTemp, isActive ? setpoint : emergencySetpoint)
+            }
+        } else {
+            outlets.off()
+        }
+    }
+}
+
+def evaluateTemp(currentTemp, desiredTemp) {
+    if (mode == "cool") {
+        // Air conditioner.
+        if (currentTemp - desiredTemp >= 1.0) {
+            outlets.on()
+        } else if (desiredTemp - currentTemp >= 1.0) {
+            outlets.off()
+        }
+    } else {
+        // Heater.
+        if (desiredTemp - currentTemp >= 1.0) {
+            outlets.on()
+        } else if (currentTemp - desiredTemp >= 1.0) {
+            outlets.off()
+        }
+    }
+}
+
+def hasBeenRecentMotion() {
+    def isActive = false
+    if (motion && minutes) {
+        if (motion.currentMotion == "active") {
+            isActive = true
+        }
+    } else {
+        isActive = true
+    }
+    return isActive
+}
+)APP");
+
+  // Paper Table 2, vertex 0.
+  add("Brighten Dark Places", R"APP(
+definition(name: "Brighten Dark Places", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Turn your lights on when an open/close sensor opens and the space is dark.")
+
+preferences {
+    section("When the door opens...") {
+        input "contact1", "capability.contactSensor", title: "Where?"
+    }
+    section("And it's dark...") {
+        input "luminance1", "capability.illuminanceMeasurement", title: "Where?"
+    }
+    section("Turn on a light...") {
+        input "switches", "capability.switch", title: "Lights", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(contact1, "contact.open", contactOpenHandler)
+}
+
+def contactOpenHandler(evt) {
+    def lightSensorState = luminance1.currentIlluminance
+    if (lightSensorState != null && lightSensorState < 100) {
+        log.debug "light level is ${lightSensorState}, turning on lights"
+        switches.on()
+    }
+}
+)APP");
+
+  // Paper Table 2, vertex 1 (conflicting with Brighten Dark Places).
+  add("Let There Be Dark!", R"APP(
+definition(name: "Let There Be Dark!", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Turn your lights off when an open/close sensor opens and on when it closes.")
+
+preferences {
+    section("When the door opens/closes...") {
+        input "contact1", "capability.contactSensor", title: "Where?"
+    }
+    section("Turn lights off/on...") {
+        input "switches", "capability.switch", title: "Lights", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(contact1, "contact", contactHandler)
+}
+
+def contactHandler(evt) {
+    if (evt.value == "open") {
+        switches.off()
+    } else if (evt.value == "closed") {
+        switches.on()
+    }
+}
+)APP");
+
+  // Paper Table 2, vertex 2.
+  add("Auto Mode Change", R"APP(
+definition(name: "Auto Mode Change", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Change location mode based on presence.")
+
+preferences {
+    section("Who?") {
+        input "people", "capability.presenceSensor", title: "Presence sensors", multiple: true
+    }
+    section("Mode when someone is home") {
+        input "homeMode", "mode", title: "Home mode"
+    }
+    section("Mode when everyone leaves") {
+        input "awayMode", "mode", title: "Away mode"
+    }
+}
+
+def installed() {
+    subscribe(people, "presence", presenceHandler)
+}
+
+def presenceHandler(evt) {
+    if (evt.value == "notpresent") {
+        if (everyoneIsAway()) {
+            setLocationMode(awayMode)
+        }
+    } else if (evt.value == "present") {
+        setLocationMode(homeMode)
+    }
+}
+
+def everyoneIsAway() {
+    def result = true
+    for (person in people) {
+        if (person.currentPresence == "present") {
+            result = false
+        }
+    }
+    return result
+}
+)APP");
+
+  // Paper Table 2, vertices 3-4; §8's running counter-example (Fig. 7).
+  add("Unlock Door", R"APP(
+definition(name: "Unlock Door", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Unlocks the door when you tell it to.")
+
+preferences {
+    section("Which lock?") {
+        input "lock1", "capability.lock", title: "Lock"
+    }
+}
+
+def installed() {
+    subscribe(app, appTouch)
+    subscribe(location, "mode", changedLocationMode)
+}
+
+def appTouch(evt) {
+    lock1.unlock()
+}
+
+def changedLocationMode(evt) {
+    // Inconsistent with the description: also unlocks on mode change
+    // (the paper's §8 example violation).
+    lock1.unlock()
+}
+)APP");
+
+  // Paper Table 2, vertices 5-6.
+  add("Big Turn On", R"APP(
+definition(name: "Big Turn On", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Turn your lights on when the SmartApp is tapped or activated.")
+
+preferences {
+    section("These switches...") {
+        input "switches", "capability.switch", title: "Switches", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(app, appTouch)
+    subscribe(location, "mode", changedLocationMode)
+}
+
+def appTouch(evt) {
+    switches.on()
+}
+
+def changedLocationMode(evt) {
+    switches.on()
+}
+)APP");
+
+  add("Big Turn Off", R"APP(
+definition(name: "Big Turn Off", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Turn your lights off when the SmartApp is tapped or activated.")
+
+preferences {
+    section("These switches...") {
+        input "switches", "capability.switch", title: "Switches", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(app, appTouch)
+    subscribe(location, "mode", changedLocationMode)
+}
+
+def appTouch(evt) {
+    switches.off()
+}
+
+def changedLocationMode(evt) {
+    switches.off()
+}
+)APP");
+
+  // Paper Fig. 8a.
+  add("Good Night", R"APP(
+definition(name: "Good Night", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Changes the mode to a sleeping mode when all the lights are turned off after a given time.")
+
+preferences {
+    section("When all of these lights are off...") {
+        input "switches", "capability.switch", title: "Lights", multiple: true
+    }
+    section("Change to this mode...") {
+        input "sleepMode", "mode", title: "Sleeping mode"
+    }
+    section("After this time of day") {
+        input "startTime", "time", title: "Start time", required: false
+    }
+}
+
+def installed() {
+    subscribe(switches, "switch.off", switchOffHandler)
+}
+
+def switchOffHandler(evt) {
+    def anyOn = switches.find { it.currentSwitch == "on" }
+    if (anyOn == null && timeOfDayIsBetween(startTime, "23:59")) {
+        setLocationMode(sleepMode)
+    }
+}
+)APP");
+
+  // Paper Fig. 8a.
+  add("Light Follows Me", R"APP(
+definition(name: "Light Follows Me", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Turn your lights on when motion is detected then off again once the motion stops.")
+
+preferences {
+    section("Turn on when there's movement...") {
+        input "motion1", "capability.motionSensor", title: "Where?"
+    }
+    section("And off when there's been no movement for...") {
+        input "minutes1", "number", title: "Minutes?", required: false
+    }
+    section("Turn on/off light(s)...") {
+        input "switches", "capability.switch", title: "Switches", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(motion1, "motion", motionHandler)
+}
+
+def motionHandler(evt) {
+    if (evt.value == "active") {
+        switches.on()
+    } else if (evt.value == "inactive") {
+        runIn((minutes1 ?: 1) * 60, scheduledLightsOff)
+    }
+}
+
+def scheduledLightsOff() {
+    if (motion1.currentMotion == "inactive") {
+        switches.off()
+    }
+}
+)APP");
+
+  // Paper Fig. 8a.
+  add("Light Off When Close", R"APP(
+definition(name: "Light Off When Close", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Turn lights off when a contact sensor closes.")
+
+preferences {
+    section("When the door closes...") {
+        input "contact1", "capability.contactSensor", title: "Where?"
+    }
+    section("Turn off light(s)...") {
+        input "switches", "capability.switch", title: "Switches", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(contact1, "contact.closed", contactClosedHandler)
+}
+
+def contactClosedHandler(evt) {
+    switches.off()
+}
+)APP");
+
+  // Paper Fig. 8b.
+  add("Make It So", R"APP(
+definition(name: "Make It So", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Lock the doors and turn off devices when the location changes to Away.")
+
+preferences {
+    section("Lock these locks...") {
+        input "locks", "capability.lock", title: "Locks", multiple: true, required: false
+    }
+    section("Turn off these switches...") {
+        input "offSwitches", "capability.switch", title: "Switches", multiple: true, required: false
+    }
+    section("When the mode becomes") {
+        input "awayMode", "mode", title: "Away mode"
+    }
+}
+
+def installed() {
+    subscribe(location, "mode", modeChangeHandler)
+}
+
+def modeChangeHandler(evt) {
+    if (evt.value == awayMode) {
+        if (locks) {
+            locks.lock()
+        }
+        if (offSwitches) {
+            offSwitches.off()
+        }
+    }
+}
+)APP");
+
+  // Paper Fig. 8b.
+  add("Darken Behind Me", R"APP(
+definition(name: "Darken Behind Me", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Turn your lights off after there has been no motion.")
+
+preferences {
+    section("When there's no movement...") {
+        input "motion1", "capability.motionSensor", title: "Where?"
+    }
+    section("Turn off...") {
+        input "switches", "capability.switch", title: "Switches", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(motion1, "motion.inactive", motionInactiveHandler)
+}
+
+def motionInactiveHandler(evt) {
+    switches.off()
+}
+)APP");
+
+  // Paper Fig. 8b's mode-changing link.
+  add("Switch Changes Mode", R"APP(
+definition(name: "Switch Changes Mode", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Change the location mode when a switch turns on or off.")
+
+preferences {
+    section("Which switch?") {
+        input "trigger", "capability.switch", title: "Switch"
+    }
+    section("Mode when on") {
+        input "onMode", "mode", title: "On mode", required: false
+    }
+    section("Mode when off") {
+        input "offMode", "mode", title: "Off mode", required: false
+    }
+}
+
+def installed() {
+    subscribe(trigger, "switch", switchHandler)
+}
+
+def switchHandler(evt) {
+    if (evt.value == "on" && onMode) {
+        setLocationMode(onMode)
+    } else if (evt.value == "off" && offMode) {
+        setLocationMode(offMode)
+    }
+}
+)APP");
+
+  // Paper Table 5: "A heater is turned off at night ..." (Energy Saver).
+  add("Energy Saver", R"APP(
+definition(name: "Energy Saver", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Turn off energy-hungry devices on a nightly schedule.")
+
+preferences {
+    section("Turn off these devices...") {
+        input "outlets", "capability.switch", title: "Outlets", multiple: true
+    }
+}
+
+def installed() {
+    schedule("0 0 22 * * ?", nightlyOff)
+}
+
+def nightlyOff() {
+    outlets.off()
+}
+)APP");
+
+  add("It's Too Cold", R"APP(
+definition(name: "It's Too Cold", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Monitor the temperature and when it drops below your setting get a notification and turn on a heater.")
+
+preferences {
+    section("Monitor the temperature...") {
+        input "temperatureSensor1", "capability.temperatureMeasurement", title: "Sensor"
+    }
+    section("When the temperature drops below...") {
+        input "temperature1", "number", title: "Temperature?"
+    }
+    section("Turn on a heater...") {
+        input "switch1", "capability.switch", title: "Heater", required: false, multiple: true
+    }
+}
+
+def installed() {
+    subscribe(temperatureSensor1, "temperature", temperatureHandler)
+}
+
+def temperatureHandler(evt) {
+    def tooCold = temperature1
+    if (evt.numericValue <= tooCold) {
+        sendPush("Temperature dropped below ${tooCold}")
+        if (switch1) {
+            switch1.on()
+        }
+    }
+}
+)APP");
+
+  add("It's Too Hot", R"APP(
+definition(name: "It's Too Hot", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Monitor the temperature and when it rises above your setting get a notification and turn on an A/C unit.")
+
+preferences {
+    section("Monitor the temperature...") {
+        input "temperatureSensor1", "capability.temperatureMeasurement", title: "Sensor"
+    }
+    section("When the temperature rises above...") {
+        input "temperature1", "number", title: "Temperature?"
+    }
+    section("Turn on an A/C unit...") {
+        input "switch1", "capability.switch", title: "A/C", required: false, multiple: true
+    }
+}
+
+def installed() {
+    subscribe(temperatureSensor1, "temperature", temperatureHandler)
+}
+
+def temperatureHandler(evt) {
+    def tooHot = temperature1
+    if (evt.numericValue >= tooHot) {
+        sendPush("Temperature rose above ${tooHot}")
+        if (switch1) {
+            switch1.on()
+        }
+    }
+}
+)APP");
+
+  add("Brighten My Path", R"APP(
+definition(name: "Brighten My Path", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Turn your lights on when motion is detected.")
+
+preferences {
+    section("When there's movement...") {
+        input "motion1", "capability.motionSensor", title: "Where?"
+    }
+    section("Turn on...") {
+        input "switches", "capability.switch", title: "Lights", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(motion1, "motion.active", motionActiveHandler)
+}
+
+def motionActiveHandler(evt) {
+    switches.on()
+}
+)APP");
+
+  add("Automated Light", R"APP(
+definition(name: "Automated Light", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Turn a light on with motion and off after a delay.")
+
+preferences {
+    section("When there's movement...") {
+        input "motionSensor", "capability.motionSensor", title: "Where?"
+    }
+    section("Control this light...") {
+        input "lights", "capability.switch", title: "Light", multiple: true
+    }
+    section("Off after (minutes)") {
+        input "offDelay", "number", title: "Minutes", required: false
+    }
+}
+
+def installed() {
+    subscribe(motionSensor, "motion", motionChanged)
+}
+
+def motionChanged(evt) {
+    if (evt.value == "active") {
+        lights.on()
+    } else {
+        runIn((offDelay ?: 5) * 60, delayedOff)
+    }
+}
+
+def delayedOff() {
+    if (motionSensor.currentMotion == "inactive") {
+        lights.off()
+    }
+}
+)APP");
+
+  return apps;
+}
+
+}  // namespace iotsan::corpus

@@ -1,0 +1,547 @@
+// Market corpus, part B: security, alarming, locks, and climate apps.
+#include "corpus/market_apps.hpp"
+
+namespace iotsan::corpus {
+
+std::vector<CorpusApp> MarketAppsPartB() {
+  std::vector<CorpusApp> apps;
+  auto add = [&apps](std::string name, std::string source) {
+    apps.push_back({std::move(name), AppKind::kMarket, std::move(source)});
+  };
+
+  add("Smart Security", R"APP(
+definition(name: "Smart Security", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Alerts you when there is motion or a door opens while you are away.")
+
+preferences {
+    section("Sense motion with...") {
+        input "motions", "capability.motionSensor", title: "Motion sensors", multiple: true, required: false
+    }
+    section("Or door openings with...") {
+        input "contacts", "capability.contactSensor", title: "Contact sensors", multiple: true, required: false
+    }
+    section("Sound the alarm") {
+        input "alarms", "capability.alarm", title: "Sirens", multiple: true
+    }
+    section("Armed when mode is") {
+        input "armedMode", "mode", title: "Armed mode"
+    }
+    section("Text me at") {
+        input "phone", "phone", title: "Phone number", required: false
+    }
+}
+
+def installed() {
+    if (motions) {
+        subscribe(motions, "motion.active", triggerHandler)
+    }
+    if (contacts) {
+        subscribe(contacts, "contact.open", triggerHandler)
+    }
+}
+
+def triggerHandler(evt) {
+    if (location.mode == armedMode) {
+        alarms.both()
+        if (phone) {
+            sendSms(phone, "Intruder detected: ${evt.descriptionText}")
+        } else {
+            sendPush("Intruder detected: ${evt.descriptionText}")
+        }
+    }
+}
+)APP");
+
+  add("Smoke Alarm Deluxe", R"APP(
+definition(name: "Smoke Alarm Deluxe", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "When smoke is detected: sound the alarm, unlock the doors, cut the heater, and notify you.")
+
+preferences {
+    section("Smoke detected by") {
+        input "smoke1", "capability.smokeDetector", title: "Smoke detector"
+    }
+    section("Sound these alarms") {
+        input "alarms", "capability.alarm", title: "Alarms", multiple: true
+    }
+    section("Unlock these doors") {
+        input "locks", "capability.lock", title: "Locks", multiple: true, required: false
+    }
+    section("Cut power to the heater") {
+        input "heaters", "capability.switch", title: "Heater outlets", multiple: true, required: false
+    }
+}
+
+def installed() {
+    subscribe(smoke1, "smoke", smokeHandler)
+}
+
+def smokeHandler(evt) {
+    if (evt.value == "detected") {
+        alarms.both()
+        if (locks) {
+            locks.unlock()
+        }
+        if (heaters) {
+            heaters.off()
+        }
+        sendPush("Smoke detected!")
+    } else if (evt.value == "clear") {
+        alarms.off()
+    }
+}
+)APP");
+
+  add("CO2 Vent", R"APP(
+definition(name: "CO2 Vent", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Turn on a ventilation fan when carbon monoxide is detected.")
+
+preferences {
+    section("CO detected by") {
+        input "coDetector", "capability.carbonMonoxideDetector", title: "CO detector"
+    }
+    section("Turn on this fan") {
+        input "fans", "capability.switch", title: "Fan switches", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(coDetector, "carbonMonoxide", coHandler)
+}
+
+def coHandler(evt) {
+    if (evt.value == "detected") {
+        fans.on()
+    }
+}
+)APP");
+
+  add("Lock It When I Leave", R"APP(
+definition(name: "Lock It When I Leave", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Locks the door and notifies you when everyone leaves.")
+
+preferences {
+    section("When these people leave") {
+        input "people", "capability.presenceSensor", title: "Presence sensors", multiple: true
+    }
+    section("Lock these locks") {
+        input "locks", "capability.lock", title: "Locks", multiple: true
+    }
+    section("Text me at") {
+        input "phone", "phone", title: "Phone number", required: false
+    }
+}
+
+def installed() {
+    subscribe(people, "presence.notpresent", departureHandler)
+}
+
+def departureHandler(evt) {
+    def anyoneHome = people.find { it.currentPresence == "present" }
+    if (anyoneHome == null) {
+        locks.lock()
+        if (phone) {
+            sendSms(phone, "Doors locked: everyone left")
+        }
+    }
+}
+)APP");
+
+  add("Lock It At Night", R"APP(
+definition(name: "Lock It At Night", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Locks the doors when the location switches to night mode.")
+
+preferences {
+    section("Lock these locks") {
+        input "locks", "capability.lock", title: "Locks", multiple: true
+    }
+    section("When mode becomes") {
+        input "nightMode", "mode", title: "Night mode"
+    }
+}
+
+def installed() {
+    subscribe(location, "mode", modeHandler)
+}
+
+def modeHandler(evt) {
+    if (evt.value == nightMode) {
+        locks.lock()
+    }
+}
+)APP");
+
+  add("Auto Lock Door", R"APP(
+definition(name: "Auto Lock Door", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Automatically locks the door after it closes.")
+
+preferences {
+    section("Which door contact?") {
+        input "contact1", "capability.contactSensor", title: "Door contact"
+    }
+    section("Which lock?") {
+        input "lock1", "capability.lock", title: "Lock"
+    }
+    section("Lock after (seconds)") {
+        input "delaySeconds", "number", title: "Seconds", required: false
+    }
+}
+
+def installed() {
+    subscribe(contact1, "contact.closed", doorClosedHandler)
+}
+
+def doorClosedHandler(evt) {
+    runIn(delaySeconds ?: 30, lockTheDoor)
+}
+
+def lockTheDoor() {
+    if (contact1.currentContact == "closed") {
+        lock1.lock()
+    }
+}
+)APP");
+
+  add("Presence Change Push", R"APP(
+definition(name: "Presence Change Push", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Get a push notification when someone arrives or leaves.")
+
+preferences {
+    section("Who?") {
+        input "person", "capability.presenceSensor", title: "Presence sensor"
+    }
+}
+
+def installed() {
+    subscribe(person, "presence", presenceHandler)
+}
+
+def presenceHandler(evt) {
+    sendPush("${evt.displayName} is ${evt.value}")
+}
+)APP");
+
+  add("Welcome Home Lights", R"APP(
+definition(name: "Welcome Home Lights", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Turn lights on when someone arrives.")
+
+preferences {
+    section("When someone arrives") {
+        input "people", "capability.presenceSensor", title: "Presence sensors", multiple: true
+    }
+    section("Turn on") {
+        input "switches", "capability.switch", title: "Lights", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(people, "presence.present", arrivalHandler)
+}
+
+def arrivalHandler(evt) {
+    switches.on()
+}
+)APP");
+
+  add("Goodbye Lights", R"APP(
+definition(name: "Goodbye Lights", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Turn lights off when everyone leaves.")
+
+preferences {
+    section("When these people leave") {
+        input "people", "capability.presenceSensor", title: "Presence sensors", multiple: true
+    }
+    section("Turn off") {
+        input "switches", "capability.switch", title: "Lights", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(people, "presence.notpresent", departureHandler)
+}
+
+def departureHandler(evt) {
+    def anyoneHome = people.find { it.currentPresence == "present" }
+    if (anyoneHome == null) {
+        switches.off()
+    }
+}
+)APP");
+
+  add("Appliances Off When Away", R"APP(
+definition(name: "Appliances Off When Away", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Cut power to appliances when the mode changes to Away.")
+
+preferences {
+    section("Turn off these appliances") {
+        input "outlets", "capability.switch", title: "Outlets", multiple: true
+    }
+    section("When mode becomes") {
+        input "awayMode", "mode", title: "Away mode"
+    }
+}
+
+def installed() {
+    subscribe(location, "mode", modeHandler)
+}
+
+def modeHandler(evt) {
+    if (evt.value == awayMode) {
+        outlets.off()
+    }
+}
+)APP");
+
+  add("Vacation Lighting", R"APP(
+definition(name: "Vacation Lighting", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Simulate occupancy by turning lights on while you are away.")
+
+preferences {
+    section("Cycle these lights") {
+        input "switches", "capability.switch", title: "Lights", multiple: true
+    }
+    section("When mode is") {
+        input "awayMode", "mode", title: "Away mode"
+    }
+}
+
+def installed() {
+    schedule("0 0/30 * * * ?", cycleLights)
+}
+
+def cycleLights() {
+    if (location.mode == awayMode) {
+        def anyOn = switches.find { it.currentSwitch == "on" }
+        if (anyOn == null) {
+            switches.on()
+        } else {
+            switches.off()
+        }
+    }
+}
+)APP");
+
+  add("Thermostat Mode Director", R"APP(
+definition(name: "Thermostat Mode Director", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Switch the thermostat between heating and cooling based on the outdoor temperature.")
+
+preferences {
+    section("Outdoor temperature from") {
+        input "sensor", "capability.temperatureMeasurement", title: "Sensor"
+    }
+    section("Thermostat") {
+        input "thermostat", "capability.thermostat", title: "Thermostat"
+    }
+    section("Heat when below") {
+        input "heatPoint", "number", title: "Degrees"
+    }
+    section("Cool when above") {
+        input "coolPoint", "number", title: "Degrees"
+    }
+}
+
+def installed() {
+    subscribe(sensor, "temperature", temperatureHandler)
+}
+
+def temperatureHandler(evt) {
+    if (evt.numericValue <= heatPoint) {
+        thermostat.heat()
+    } else if (evt.numericValue >= coolPoint) {
+        thermostat.cool()
+    } else {
+        thermostat.off()
+    }
+}
+)APP");
+
+  add("Keep Me Cozy", R"APP(
+definition(name: "Keep Me Cozy", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Set the thermostat setpoints when you tap the app.")
+
+preferences {
+    section("Thermostat") {
+        input "thermostat", "capability.thermostat", title: "Thermostat"
+    }
+    section("Heating setpoint") {
+        input "heatingSetpoint", "decimal", title: "Degrees"
+    }
+    section("Cooling setpoint") {
+        input "coolingSetpoint", "decimal", title: "Degrees"
+    }
+}
+
+def installed() {
+    subscribe(app, appTouch)
+}
+
+def appTouch(evt) {
+    thermostat.setHeatingSetpoint(heatingSetpoint)
+    thermostat.setCoolingSetpoint(coolingSetpoint)
+}
+)APP");
+
+  add("Camera On Motion", R"APP(
+definition(name: "Camera On Motion", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Take a photo when motion is detected.")
+
+preferences {
+    section("When motion here") {
+        input "motion1", "capability.motionSensor", title: "Motion sensor"
+    }
+    section("Use this camera") {
+        input "camera1", "capability.imageCapture", title: "Camera"
+    }
+}
+
+def installed() {
+    subscribe(motion1, "motion.active", motionHandler)
+}
+
+def motionHandler(evt) {
+    camera1.take()
+}
+)APP");
+
+  add("Shade Closer", R"APP(
+definition(name: "Shade Closer", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Close the window shades when the mode changes to Away.")
+
+preferences {
+    section("Close these shades") {
+        input "shades", "capability.windowShade", title: "Shades", multiple: true
+    }
+    section("When mode becomes") {
+        input "awayMode", "mode", title: "Away mode"
+    }
+}
+
+def installed() {
+    subscribe(location, "mode", modeHandler)
+}
+
+def modeHandler(evt) {
+    if (evt.value == awayMode) {
+        shades.close()
+    }
+}
+)APP");
+
+  add("Sunrise Shades", R"APP(
+definition(name: "Sunrise Shades", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Open the window shades every morning.")
+
+preferences {
+    section("Open these shades") {
+        input "shades", "capability.windowShade", title: "Shades", multiple: true
+    }
+}
+
+def installed() {
+    schedule("0 30 6 * * ?", morningOpen)
+}
+
+def morningOpen() {
+    shades.open()
+}
+)APP");
+
+  add("Night Light", R"APP(
+definition(name: "Night Light", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Turn a night light on with motion during night mode.")
+
+preferences {
+    section("When motion here") {
+        input "motion1", "capability.motionSensor", title: "Motion sensor"
+    }
+    section("Turn on this light") {
+        input "nightLight", "capability.switch", title: "Night light"
+    }
+    section("Only when mode is") {
+        input "nightMode", "mode", title: "Night mode"
+    }
+}
+
+def installed() {
+    subscribe(motion1, "motion", motionHandler)
+}
+
+def motionHandler(evt) {
+    if (location.mode == nightMode) {
+        if (evt.value == "active") {
+            nightLight.on()
+        } else {
+            nightLight.off()
+        }
+    }
+}
+)APP");
+
+  add("Garage Door Auto Close", R"APP(
+definition(name: "Garage Door Auto Close", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Close the garage door when the mode changes to Away.")
+
+preferences {
+    section("Close this door") {
+        input "door1", "capability.doorControl", title: "Garage door"
+    }
+    section("When mode becomes") {
+        input "awayMode", "mode", title: "Away mode"
+    }
+}
+
+def installed() {
+    subscribe(location, "mode", modeHandler)
+}
+
+def modeHandler(evt) {
+    if (evt.value == awayMode) {
+        door1.close()
+    }
+}
+)APP");
+
+  add("Garage Door Opener", R"APP(
+definition(name: "Garage Door Opener", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Open the garage door when you arrive home.")
+
+preferences {
+    section("When this person arrives") {
+        input "person", "capability.presenceSensor", title: "Presence sensor"
+    }
+    section("Open this door") {
+        input "door1", "capability.doorControl", title: "Garage door"
+    }
+}
+
+def installed() {
+    subscribe(person, "presence.present", arrivalHandler)
+}
+
+def arrivalHandler(evt) {
+    door1.open()
+}
+)APP");
+
+  return apps;
+}
+
+}  // namespace iotsan::corpus

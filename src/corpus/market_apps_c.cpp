@@ -1,0 +1,520 @@
+// Market corpus, part C: water/sprinkler, humidity, audio, and apps with
+// questionable information-flow behaviour.
+#include "corpus/market_apps.hpp"
+
+namespace iotsan::corpus {
+
+std::vector<CorpusApp> MarketAppsPartC() {
+  std::vector<CorpusApp> apps;
+  auto add = [&apps](std::string name, std::string source) {
+    apps.push_back({std::move(name), AppKind::kMarket, std::move(source)});
+  };
+
+  add("Soil Moisture Watcher", R"APP(
+definition(name: "Soil Moisture Watcher", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Run the sprinkler when the soil is dry and stop it when moist.")
+
+preferences {
+    section("Soil moisture from") {
+        input "moisture1", "capability.soilMoistureMeasurement", title: "Moisture sensor"
+    }
+    section("Sprinkler switch") {
+        input "sprinklers", "capability.switch", title: "Sprinklers", multiple: true
+    }
+    section("Run when moisture below") {
+        input "dryPoint", "number", title: "Percent"
+    }
+    section("Stop when moisture above") {
+        input "wetPoint", "number", title: "Percent"
+    }
+}
+
+def installed() {
+    subscribe(moisture1, "soilMoisture", moistureHandler)
+}
+
+def moistureHandler(evt) {
+    if (evt.numericValue <= dryPoint) {
+        sprinklers.on()
+    } else if (evt.numericValue >= wetPoint) {
+        sprinklers.off()
+    }
+}
+)APP");
+
+  add("Sprinkler Timer", R"APP(
+definition(name: "Sprinkler Timer", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Run the sprinkler on a daily schedule.")
+
+preferences {
+    section("Sprinkler switch") {
+        input "sprinklers", "capability.switch", title: "Sprinklers", multiple: true
+    }
+    section("Run for (minutes)") {
+        input "runMinutes", "number", title: "Minutes", required: false
+    }
+}
+
+def installed() {
+    schedule("0 0 6 * * ?", startWatering)
+}
+
+def startWatering() {
+    sprinklers.on()
+    runIn((runMinutes ?: 10) * 60, stopWatering)
+}
+
+def stopWatering() {
+    sprinklers.off()
+}
+)APP");
+
+  add("Leak Guard", R"APP(
+definition(name: "Leak Guard", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Shut the water valve and alert you when a leak is detected.")
+
+preferences {
+    section("Leak detected by") {
+        input "leak1", "capability.waterSensor", title: "Leak sensor"
+    }
+    section("Close this valve") {
+        input "valve1", "capability.valve", title: "Water valve"
+    }
+    section("Text me at") {
+        input "phone", "phone", title: "Phone number", required: false
+    }
+}
+
+def installed() {
+    subscribe(leak1, "water.wet", leakHandler)
+}
+
+def leakHandler(evt) {
+    valve1.close()
+    if (phone) {
+        sendSms(phone, "Water leak detected! Valve closed.")
+    } else {
+        sendPush("Water leak detected! Valve closed.")
+    }
+}
+)APP");
+
+  add("Flood Night Alarm", R"APP(
+definition(name: "Flood Night Alarm", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Sound the alarm and light the way when water is detected.")
+
+preferences {
+    section("Water detected by") {
+        input "leak1", "capability.waterSensor", title: "Leak sensor"
+    }
+    section("Sound these alarms") {
+        input "alarms", "capability.alarm", title: "Alarms", multiple: true
+    }
+    section("And turn on") {
+        input "lights", "capability.switch", title: "Lights", multiple: true, required: false
+    }
+}
+
+def installed() {
+    subscribe(leak1, "water", waterHandler)
+}
+
+def waterHandler(evt) {
+    if (evt.value == "wet") {
+        alarms.siren()
+        if (lights) {
+            lights.on()
+        }
+    } else {
+        alarms.off()
+    }
+}
+)APP");
+
+  add("Smart Humidifier", R"APP(
+definition(name: "Smart Humidifier", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Turn on the humidifier when the air is too dry.")
+
+preferences {
+    section("Humidity from") {
+        input "humidity1", "capability.relativeHumidityMeasurement", title: "Humidity sensor"
+    }
+    section("Humidifier outlet") {
+        input "humidifier", "capability.switch", title: "Humidifier"
+    }
+    section("On when humidity below") {
+        input "dryPoint", "number", title: "Percent"
+    }
+}
+
+def installed() {
+    subscribe(humidity1, "humidity", humidityHandler)
+}
+
+def humidityHandler(evt) {
+    if (evt.numericValue <= dryPoint) {
+        humidifier.on()
+    } else {
+        humidifier.off()
+    }
+}
+)APP");
+
+  add("Dehumidifier Controller", R"APP(
+definition(name: "Dehumidifier Controller", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Turn on the dehumidifier when the air is too damp.")
+
+preferences {
+    section("Humidity from") {
+        input "humidity1", "capability.relativeHumidityMeasurement", title: "Humidity sensor"
+    }
+    section("Dehumidifier outlet") {
+        input "dehumidifier", "capability.switch", title: "Dehumidifier"
+    }
+    section("On when humidity above") {
+        input "wetPoint", "number", title: "Percent"
+    }
+}
+
+def installed() {
+    subscribe(humidity1, "humidity", humidityHandler)
+}
+
+def humidityHandler(evt) {
+    if (evt.numericValue >= wetPoint) {
+        dehumidifier.on()
+    } else {
+        dehumidifier.off()
+    }
+}
+)APP");
+
+  add("Music When Home", R"APP(
+definition(name: "Music When Home", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Start the music when someone arrives.")
+
+preferences {
+    section("When someone arrives") {
+        input "people", "capability.presenceSensor", title: "Presence sensors", multiple: true
+    }
+    section("Play on") {
+        input "player", "capability.musicPlayer", title: "Speaker"
+    }
+}
+
+def installed() {
+    subscribe(people, "presence.present", arrivalHandler)
+}
+
+def arrivalHandler(evt) {
+    player.play()
+}
+)APP");
+
+  add("Silence When Away", R"APP(
+definition(name: "Silence When Away", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Stop the music when everyone leaves.")
+
+preferences {
+    section("When these people leave") {
+        input "people", "capability.presenceSensor", title: "Presence sensors", multiple: true
+    }
+    section("Stop") {
+        input "player", "capability.musicPlayer", title: "Speaker"
+    }
+}
+
+def installed() {
+    subscribe(people, "presence.notpresent", departureHandler)
+}
+
+def departureHandler(evt) {
+    def anyoneHome = people.find { it.currentPresence == "present" }
+    if (anyoneHome == null) {
+        player.stop()
+    }
+}
+)APP");
+
+  add("Window Left Open Alert", R"APP(
+definition(name: "Window Left Open Alert", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Warn me when a window is open and it is cold outside.")
+
+preferences {
+    section("Window contact") {
+        input "window1", "capability.contactSensor", title: "Window"
+    }
+    section("Outdoor temperature from") {
+        input "sensor", "capability.temperatureMeasurement", title: "Sensor"
+    }
+    section("Warn when below") {
+        input "coldPoint", "number", title: "Degrees"
+    }
+    section("Text me at") {
+        input "phone", "phone", title: "Phone number", required: false
+    }
+}
+
+def installed() {
+    subscribe(sensor, "temperature", temperatureHandler)
+    subscribe(window1, "contact.open", windowHandler)
+}
+
+def temperatureHandler(evt) {
+    if (evt.numericValue <= coldPoint && window1.currentContact == "open") {
+        notifyUser()
+    }
+}
+
+def windowHandler(evt) {
+    if (sensor.currentTemperature <= coldPoint) {
+        notifyUser()
+    }
+}
+
+def notifyUser() {
+    if (phone) {
+        sendSms(phone, "A window is open and it is cold outside")
+    } else {
+        sendPush("A window is open and it is cold outside")
+    }
+}
+)APP");
+
+  add("Door Knocker Alert", R"APP(
+definition(name: "Door Knocker Alert", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Notify me when somebody knocks on the door.")
+
+preferences {
+    section("Knocks sensed by") {
+        input "accel1", "capability.accelerationSensor", title: "Sensor"
+    }
+    section("But not when the door is opening") {
+        input "contact1", "capability.contactSensor", title: "Door contact"
+    }
+}
+
+def installed() {
+    subscribe(accel1, "acceleration.active", knockHandler)
+}
+
+def knockHandler(evt) {
+    if (contact1.currentContact == "closed") {
+        sendPush("Somebody is knocking on the door")
+    }
+}
+)APP");
+
+  // Apps below use network interfaces: benign-looking, but they violate
+  // the information-leakage policy when the user has not allowed raw
+  // network access (paper §3).
+  add("Weather Logger", R"APP(
+definition(name: "Weather Logger", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Log temperature readings to a web service.")
+
+preferences {
+    section("Temperature from") {
+        input "sensor", "capability.temperatureMeasurement", title: "Sensor"
+    }
+}
+
+def installed() {
+    subscribe(sensor, "temperature", temperatureHandler)
+}
+
+def temperatureHandler(evt) {
+    httpPost("http://weather-stats.example.com/log", "temp=${evt.value}")
+}
+)APP");
+
+  add("Remote Status Reporter", R"APP(
+definition(name: "Remote Status Reporter", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Report switch states to a home-grown dashboard.")
+
+preferences {
+    section("Watch these switches") {
+        input "switches", "capability.switch", title: "Switches", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(switches, "switch", switchHandler)
+}
+
+def switchHandler(evt) {
+    httpPostJson("http://dashboard.example.com/update", "state=${evt.value}")
+}
+)APP");
+
+  add("Once A Day", R"APP(
+definition(name: "Once A Day", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Turn switches on in the morning and off at night every day.")
+
+preferences {
+    section("Control these switches") {
+        input "switches", "capability.switch", title: "Switches", multiple: true
+    }
+}
+
+def installed() {
+    schedule("0 0 7 * * ?", morningOn)
+    schedule("0 0 21 * * ?", eveningOff)
+}
+
+def morningOn() {
+    switches.on()
+}
+
+def eveningOff() {
+    switches.off()
+}
+)APP");
+
+  add("Scheduled Mode Change", R"APP(
+definition(name: "Scheduled Mode Change", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Change the location mode on a daily schedule.")
+
+preferences {
+    section("Change to") {
+        input "targetMode", "mode", title: "Mode"
+    }
+}
+
+def installed() {
+    schedule("0 0 23 * * ?", changeMode)
+}
+
+def changeMode() {
+    if (location.mode != targetMode) {
+        setLocationMode(targetMode)
+    }
+}
+)APP");
+
+  add("Curfew Check", R"APP(
+definition(name: "Curfew Check", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Tell me if the front door opens at night.")
+
+preferences {
+    section("Front door contact") {
+        input "contact1", "capability.contactSensor", title: "Door contact"
+    }
+    section("Night mode is") {
+        input "nightMode", "mode", title: "Night mode"
+    }
+}
+
+def installed() {
+    subscribe(contact1, "contact.open", doorOpenHandler)
+}
+
+def doorOpenHandler(evt) {
+    if (location.mode == nightMode) {
+        sendPush("The front door opened during the night")
+    }
+}
+)APP");
+
+  add("Turn On Before Sunset", R"APP(
+definition(name: "Turn On Before Sunset", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Turn lights on when it gets dark outside.")
+
+preferences {
+    section("Light level from") {
+        input "luminance1", "capability.illuminanceMeasurement", title: "Sensor"
+    }
+    section("Turn on") {
+        input "switches", "capability.switch", title: "Lights", multiple: true
+    }
+    section("When light drops below") {
+        input "darkPoint", "number", title: "Lux"
+    }
+}
+
+def installed() {
+    subscribe(luminance1, "illuminance", lightHandler)
+}
+
+def lightHandler(evt) {
+    if (evt.numericValue <= darkPoint) {
+        switches.on()
+    } else {
+        switches.off()
+    }
+}
+)APP");
+
+  add("Undead Early Warning", R"APP(
+definition(name: "Undead Early Warning", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Flash the lights and sound the siren when the back gate opens.")
+
+preferences {
+    section("Back gate contact") {
+        input "contact1", "capability.contactSensor", title: "Gate contact"
+    }
+    section("Flash these lights") {
+        input "switches", "capability.switch", title: "Lights", multiple: true
+    }
+    section("Siren") {
+        input "alarms", "capability.alarm", title: "Alarms", multiple: true, required: false
+    }
+}
+
+def installed() {
+    subscribe(contact1, "contact.open", gateHandler)
+}
+
+def gateHandler(evt) {
+    switches.on()
+    if (alarms) {
+        alarms.siren()
+    }
+}
+)APP");
+
+  add("Low Battery Notifier", R"APP(
+definition(name: "Low Battery Notifier", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Notify me when a device battery runs low.")
+
+preferences {
+    section("Watch batteries of") {
+        input "sensors", "capability.battery", title: "Devices", multiple: true
+    }
+    section("Warn below") {
+        input "threshold", "number", title: "Percent"
+    }
+}
+
+def installed() {
+    subscribe(sensors, "battery", batteryHandler)
+}
+
+def batteryHandler(evt) {
+    if (evt.numericValue <= threshold) {
+        sendPush("${evt.displayName} battery is at ${evt.value}%")
+    }
+}
+)APP");
+
+  return apps;
+}
+
+}  // namespace iotsan::corpus

@@ -1,0 +1,331 @@
+// Market corpus, part D: apps exercising the wider device surface —
+// power metering, buttons, sleep sensors, color bulbs, thermostats with
+// remembered state, and timer-based "did you forget?" patterns.
+#include "corpus/market_apps.hpp"
+
+namespace iotsan::corpus {
+
+std::vector<CorpusApp> MarketAppsPartD() {
+  std::vector<CorpusApp> apps;
+  auto add = [&apps](std::string name, std::string source) {
+    apps.push_back({std::move(name), AppKind::kMarket, std::move(source)});
+  };
+
+  add("Laundry Monitor", R"APP(
+definition(name: "Laundry Monitor", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Notify me when the washing machine cycle finishes.")
+
+preferences {
+    section("Washer plugged into") {
+        input "meter", "capability.powerMeter", title: "Outlet"
+    }
+    section("Running above (watts)") {
+        input "wattThreshold", "number", title: "Watts"
+    }
+}
+
+def installed() {
+    subscribe(meter, "power", powerHandler)
+}
+
+def powerHandler(evt) {
+    if (evt.numericValue > wattThreshold) {
+        state.running = true
+    } else if (state.running) {
+        state.running = false
+        sendPush("The laundry is done!")
+    }
+}
+)APP");
+
+  add("Energy Alerts", R"APP(
+definition(name: "Energy Alerts", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Warn me when a device draws too much power.")
+
+preferences {
+    section("Monitor") {
+        input "meters", "capability.powerMeter", title: "Outlets", multiple: true
+    }
+    section("Alert above (watts)") {
+        input "wattThreshold", "number", title: "Watts"
+    }
+    section("Text me at") {
+        input "phone", "phone", title: "Phone", required: false
+    }
+}
+
+def installed() {
+    subscribe(meters, "power", powerHandler)
+}
+
+def powerHandler(evt) {
+    if (evt.numericValue >= wattThreshold) {
+        if (phone) {
+            sendSms(phone, "High power draw: ${evt.value}W on ${evt.displayName}")
+        } else {
+            sendPush("High power draw: ${evt.value}W on ${evt.displayName}")
+        }
+    }
+}
+)APP");
+
+  add("Button Controller", R"APP(
+definition(name: "Button Controller", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Toggle lights with a button; hold to turn everything off.")
+
+preferences {
+    section("Button") {
+        input "button1", "capability.button", title: "Button"
+    }
+    section("Toggle these") {
+        input "switches", "capability.switch", title: "Lights", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(button1, "button", buttonHandler)
+}
+
+def buttonHandler(evt) {
+    if (evt.value == "pushed") {
+        def anyOn = switches.find { it.currentSwitch == "on" }
+        if (anyOn != null) {
+            switches.off()
+        } else {
+            switches.on()
+        }
+    } else if (evt.value == "held") {
+        switches.off()
+    }
+}
+)APP");
+
+  add("Bedtime Routine", R"APP(
+definition(name: "Bedtime Routine", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "When the sleep sensor sees you asleep: lights off, night mode.")
+
+preferences {
+    section("Sleep sensor") {
+        input "sleeper", "capability.sleepSensor", title: "Sensor"
+    }
+    section("Turn off") {
+        input "switches", "capability.switch", title: "Lights", multiple: true
+    }
+    section("Night mode") {
+        input "nightMode", "mode", title: "Mode"
+    }
+}
+
+def installed() {
+    subscribe(sleeper, "sleeping", sleepHandler)
+}
+
+def sleepHandler(evt) {
+    if (evt.value == "sleeping") {
+        switches.off()
+        setLocationMode(nightMode)
+    }
+}
+)APP");
+
+  add("Thermostat Window Check", R"APP(
+definition(name: "Thermostat Window Check", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Pause the thermostat while a window is open and restore it after.")
+
+preferences {
+    section("Windows") {
+        input "windows", "capability.contactSensor", title: "Contacts", multiple: true
+    }
+    section("Thermostat") {
+        input "thermostat", "capability.thermostat", title: "Thermostat"
+    }
+}
+
+def installed() {
+    subscribe(windows, "contact", contactHandler)
+}
+
+def contactHandler(evt) {
+    if (evt.value == "open") {
+        state.savedMode = thermostat.currentThermostatMode
+        thermostat.off()
+    } else {
+        def anyOpen = windows.find { it.currentContact == "open" }
+        if (anyOpen == null && state.savedMode != null && state.savedMode != "off") {
+            thermostat.setThermostatMode(state.savedMode)
+            state.savedMode = null
+        }
+    }
+}
+)APP");
+
+  add("Left It Open", R"APP(
+definition(name: "Left It Open", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Notify me when a door is left open too long.")
+
+preferences {
+    section("Door contact") {
+        input "contact1", "capability.contactSensor", title: "Door"
+    }
+    section("After (minutes)") {
+        input "openMinutes", "number", title: "Minutes"
+    }
+}
+
+def installed() {
+    subscribe(contact1, "contact", contactHandler)
+}
+
+def contactHandler(evt) {
+    if (evt.value == "open") {
+        runIn(openMinutes * 60, stillOpenCheck)
+    }
+}
+
+def stillOpenCheck() {
+    if (contact1.currentContact == "open") {
+        sendPush("${contact1.displayName} has been left open")
+    }
+}
+)APP");
+
+  add("Smart Nightlight", R"APP(
+definition(name: "Smart Nightlight", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Light the way at night, but only when it is dark.")
+
+preferences {
+    section("Motion") {
+        input "motion1", "capability.motionSensor", title: "Sensor"
+    }
+    section("Light level from") {
+        input "luminance1", "capability.illuminanceMeasurement", title: "Sensor"
+    }
+    section("Control") {
+        input "lights", "capability.switch", title: "Nightlights", multiple: true
+    }
+    section("Dark below (lux)") {
+        input "darkPoint", "number", title: "Lux"
+    }
+}
+
+def installed() {
+    subscribe(motion1, "motion", motionHandler)
+}
+
+def motionHandler(evt) {
+    if (evt.value == "active") {
+        if (luminance1.currentIlluminance <= darkPoint) {
+            lights.on()
+        }
+    } else {
+        runIn(120, lightsOut)
+    }
+}
+
+def lightsOut() {
+    if (motion1.currentMotion == "inactive") {
+        lights.off()
+    }
+}
+)APP");
+
+  add("Color Alert", R"APP(
+definition(name: "Color Alert", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Flash a color bulb red when water is detected.")
+
+preferences {
+    section("Leak sensor") {
+        input "leak1", "capability.waterSensor", title: "Sensor"
+    }
+    section("Color bulb") {
+        input "bulb", "capability.colorControl", title: "Bulb"
+    }
+}
+
+def installed() {
+    subscribe(leak1, "water", waterHandler)
+}
+
+def waterHandler(evt) {
+    if (evt.value == "wet") {
+        bulb.on()
+        bulb.setColor("red")
+    } else {
+        bulb.setColor("white")
+    }
+}
+)APP");
+
+  add("Dry The Wetspot", R"APP(
+definition(name: "Dry The Wetspot", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Run a pump when moisture is detected and stop it when dry.")
+
+preferences {
+    section("Moisture sensor") {
+        input "leak1", "capability.waterSensor", title: "Sensor"
+    }
+    section("Pump outlet") {
+        input "pump", "capability.switch", title: "Pump"
+    }
+}
+
+def installed() {
+    subscribe(leak1, "water", waterHandler)
+}
+
+def waterHandler(evt) {
+    if (evt.value == "wet") {
+        pump.on()
+    } else {
+        pump.off()
+    }
+}
+)APP");
+
+  add("Knock Knock Lights", R"APP(
+definition(name: "Knock Knock Lights", namespace: "iotsan.market",
+    author: "SmartThings",
+    description: "Blink the porch light when somebody knocks while you are home.")
+
+preferences {
+    section("Knocks from") {
+        input "accel1", "capability.accelerationSensor", title: "Sensor"
+    }
+    section("Porch light") {
+        input "porch", "capability.switch", title: "Light"
+    }
+    section("Only when home") {
+        input "people", "capability.presenceSensor", title: "Presence", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(accel1, "acceleration.active", knockHandler)
+}
+
+def knockHandler(evt) {
+    def anyoneHome = people.find { it.currentPresence == "present" }
+    if (anyoneHome != null) {
+        porch.on()
+        runIn(60, porchOff)
+    }
+}
+
+def porchOff() {
+    porch.off()
+}
+)APP");
+
+  return apps;
+}
+
+}  // namespace iotsan::corpus

@@ -1,0 +1,363 @@
+#include "devices/capability.hpp"
+
+#include <cstdlib>
+
+namespace iotsan::devices {
+
+int AttributeSpec::IndexOfValue(const std::string& value) const {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] == value) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int AttributeSpec::IndexOfNumeric(int value) const {
+  int best = 0;
+  int best_distance = -1;
+  for (std::size_t i = 0; i < numeric_values.size(); ++i) {
+    const int distance = std::abs(numeric_values[i] - value);
+    if (best_distance < 0 || distance < best_distance) {
+      best_distance = distance;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+std::string AttributeSpec::ValueName(int index) const {
+  if (kind == AttributeKind::kEnum) {
+    if (index >= 0 && index < static_cast<int>(values.size())) {
+      return values[index];
+    }
+    return "?";
+  }
+  if (index >= 0 && index < static_cast<int>(numeric_values.size())) {
+    return std::to_string(numeric_values[index]);
+  }
+  return "?";
+}
+
+int AttributeSpec::NumericAt(int index) const {
+  if (index >= 0 && index < static_cast<int>(numeric_values.size())) {
+    return numeric_values[index];
+  }
+  return 0;
+}
+
+const AttributeSpec* CapabilitySpec::FindAttribute(
+    const std::string& attr_name) const {
+  for (const AttributeSpec& a : attributes) {
+    if (a.name == attr_name) return &a;
+  }
+  return nullptr;
+}
+
+const CommandSpec* CapabilitySpec::FindCommand(
+    const std::string& command_name) const {
+  for (const CommandSpec& c : commands) {
+    if (c.name == command_name) return &c;
+  }
+  return nullptr;
+}
+
+namespace {
+
+AttributeSpec EnumAttr(std::string name, std::vector<std::string> values) {
+  AttributeSpec a;
+  a.name = std::move(name);
+  a.kind = AttributeKind::kEnum;
+  a.values = std::move(values);
+  return a;
+}
+
+AttributeSpec NumAttr(std::string name, std::vector<int> values) {
+  AttributeSpec a;
+  a.name = std::move(name);
+  a.kind = AttributeKind::kNumeric;
+  a.numeric_values = std::move(values);
+  return a;
+}
+
+CommandSpec Cmd(std::string name, std::string attribute, std::string value,
+                std::vector<std::string> conflicts = {}) {
+  CommandSpec c;
+  c.name = std::move(name);
+  c.attribute = std::move(attribute);
+  c.value = std::move(value);
+  c.conflicts_with = std::move(conflicts);
+  return c;
+}
+
+CommandSpec ArgCmd(std::string name, std::string attribute) {
+  CommandSpec c;
+  c.name = std::move(name);
+  c.attribute = std::move(attribute);
+  c.takes_argument = true;
+  return c;
+}
+
+}  // namespace
+
+CapabilityRegistry::CapabilityRegistry() {
+  // --- Actuation capabilities -------------------------------------------
+  {
+    CapabilitySpec cap;
+    cap.name = "switch";
+    cap.attributes = {EnumAttr("switch", {"off", "on"})};
+    cap.commands = {Cmd("on", "switch", "on", {"off"}),
+                    Cmd("off", "switch", "off", {"on"})};
+    capabilities_.push_back(std::move(cap));
+  }
+  {
+    CapabilitySpec cap;
+    cap.name = "switchLevel";
+    cap.attributes = {NumAttr("level", {0, 25, 50, 75, 100})};
+    cap.commands = {ArgCmd("setLevel", "level")};
+    capabilities_.push_back(std::move(cap));
+  }
+  {
+    CapabilitySpec cap;
+    cap.name = "lock";
+    cap.attributes = {EnumAttr("lock", {"locked", "unlocked"})};
+    cap.commands = {Cmd("lock", "lock", "locked", {"unlock"}),
+                    Cmd("unlock", "lock", "unlocked", {"lock"})};
+    capabilities_.push_back(std::move(cap));
+  }
+  {
+    CapabilitySpec cap;
+    cap.name = "doorControl";
+    cap.attributes = {EnumAttr("door", {"closed", "open"})};
+    cap.commands = {Cmd("open", "door", "open", {"close"}),
+                    Cmd("close", "door", "closed", {"open"})};
+    capabilities_.push_back(std::move(cap));
+  }
+  {
+    CapabilitySpec cap;
+    cap.name = "alarm";
+    // Combo units (smoke siren/strobe) can trigger locally without a hub
+    // command, so the alarm state is also an environment-driven input.
+    cap.sensor = true;
+    cap.attributes = {EnumAttr("alarm", {"off", "siren", "strobe", "both"})};
+    cap.commands = {Cmd("siren", "alarm", "siren", {"off"}),
+                    Cmd("strobe", "alarm", "strobe", {"off"}),
+                    Cmd("both", "alarm", "both", {"off"}),
+                    Cmd("off", "alarm", "off", {"siren", "strobe", "both"})};
+    capabilities_.push_back(std::move(cap));
+  }
+  {
+    CapabilitySpec cap;
+    cap.name = "valve";
+    cap.attributes = {EnumAttr("valve", {"closed", "open"})};
+    cap.commands = {Cmd("open", "valve", "open", {"close"}),
+                    Cmd("close", "valve", "closed", {"open"})};
+    capabilities_.push_back(std::move(cap));
+  }
+  {
+    CapabilitySpec cap;
+    cap.name = "thermostat";
+    cap.attributes = {EnumAttr("thermostatMode", {"off", "heat", "cool", "auto"}),
+                      NumAttr("heatingSetpoint", {65, 70, 75}),
+                      NumAttr("coolingSetpoint", {70, 75, 80})};
+    cap.commands = {Cmd("heat", "thermostatMode", "heat", {"cool", "off"}),
+                    Cmd("cool", "thermostatMode", "cool", {"heat", "off"}),
+                    Cmd("auto", "thermostatMode", "auto", {"off"}),
+                    Cmd("off", "thermostatMode", "off",
+                        {"heat", "cool", "auto"}),
+                    ArgCmd("setHeatingSetpoint", "heatingSetpoint"),
+                    ArgCmd("setCoolingSetpoint", "coolingSetpoint"),
+                    ArgCmd("setThermostatMode", "thermostatMode")};
+    capabilities_.push_back(std::move(cap));
+  }
+  {
+    CapabilitySpec cap;
+    cap.name = "colorControl";
+    cap.attributes = {EnumAttr("color", {"white", "red", "green", "blue"})};
+    cap.commands = {ArgCmd("setColor", "color")};
+    capabilities_.push_back(std::move(cap));
+  }
+  {
+    CapabilitySpec cap;
+    cap.name = "musicPlayer";
+    cap.attributes = {EnumAttr("status", {"stopped", "playing"})};
+    cap.commands = {Cmd("play", "status", "playing", {"stop"}),
+                    Cmd("stop", "status", "stopped", {"play"}),
+                    Cmd("playText", "status", "playing", {"stop"})};
+    capabilities_.push_back(std::move(cap));
+  }
+  {
+    CapabilitySpec cap;
+    cap.name = "imageCapture";
+    cap.attributes = {EnumAttr("image", {"none", "taken"})};
+    cap.commands = {Cmd("take", "image", "taken")};
+    capabilities_.push_back(std::move(cap));
+  }
+  {
+    CapabilitySpec cap;
+    cap.name = "windowShade";
+    cap.attributes = {EnumAttr("windowShade", {"closed", "open"})};
+    cap.commands = {Cmd("open", "windowShade", "open", {"close"}),
+                    Cmd("close", "windowShade", "closed", {"open"})};
+    capabilities_.push_back(std::move(cap));
+  }
+
+  // --- Sensing capabilities ----------------------------------------------
+  {
+    CapabilitySpec cap;
+    cap.name = "motionSensor";
+    cap.sensor = true;
+    cap.attributes = {EnumAttr("motion", {"inactive", "active"})};
+    capabilities_.push_back(std::move(cap));
+  }
+  {
+    CapabilitySpec cap;
+    cap.name = "contactSensor";
+    cap.sensor = true;
+    cap.attributes = {EnumAttr("contact", {"closed", "open"})};
+    capabilities_.push_back(std::move(cap));
+  }
+  {
+    CapabilitySpec cap;
+    cap.name = "presenceSensor";
+    cap.sensor = true;
+    // "notpresent" matches the event rendering in the paper's Fig. 7 log.
+    cap.attributes = {EnumAttr("presence", {"present", "notpresent"})};
+    capabilities_.push_back(std::move(cap));
+  }
+  {
+    CapabilitySpec cap;
+    cap.name = "temperatureMeasurement";
+    cap.sensor = true;
+    cap.attributes = {NumAttr("temperature", {70, 60, 80, 90})};
+    capabilities_.push_back(std::move(cap));
+  }
+  {
+    CapabilitySpec cap;
+    cap.name = "relativeHumidityMeasurement";
+    cap.sensor = true;
+    cap.attributes = {NumAttr("humidity", {50, 30, 70})};
+    capabilities_.push_back(std::move(cap));
+  }
+  {
+    CapabilitySpec cap;
+    cap.name = "illuminanceMeasurement";
+    cap.sensor = true;
+    cap.attributes = {NumAttr("illuminance", {300, 10, 1000})};
+    capabilities_.push_back(std::move(cap));
+  }
+  {
+    CapabilitySpec cap;
+    cap.name = "smokeDetector";
+    cap.sensor = true;
+    cap.attributes = {EnumAttr("smoke", {"clear", "detected", "tested"})};
+    capabilities_.push_back(std::move(cap));
+  }
+  {
+    CapabilitySpec cap;
+    cap.name = "carbonMonoxideDetector";
+    cap.sensor = true;
+    cap.attributes = {
+        EnumAttr("carbonMonoxide", {"clear", "detected", "tested"})};
+    capabilities_.push_back(std::move(cap));
+  }
+  {
+    CapabilitySpec cap;
+    cap.name = "waterSensor";
+    cap.sensor = true;
+    cap.attributes = {EnumAttr("water", {"dry", "wet"})};
+    capabilities_.push_back(std::move(cap));
+  }
+  {
+    CapabilitySpec cap;
+    cap.name = "soilMoistureMeasurement";
+    cap.sensor = true;
+    cap.attributes = {NumAttr("soilMoisture", {40, 10, 70})};
+    capabilities_.push_back(std::move(cap));
+  }
+  {
+    CapabilitySpec cap;
+    cap.name = "accelerationSensor";
+    cap.sensor = true;
+    cap.attributes = {EnumAttr("acceleration", {"inactive", "active"})};
+    capabilities_.push_back(std::move(cap));
+  }
+  {
+    CapabilitySpec cap;
+    cap.name = "threeAxis";
+    cap.sensor = true;
+    cap.attributes = {EnumAttr("orientation", {"flat", "tilted"})};
+    capabilities_.push_back(std::move(cap));
+  }
+  {
+    CapabilitySpec cap;
+    cap.name = "button";
+    cap.sensor = true;
+    cap.attributes = {EnumAttr("button", {"released", "pushed", "held"})};
+    capabilities_.push_back(std::move(cap));
+  }
+  {
+    CapabilitySpec cap;
+    cap.name = "sleepSensor";
+    cap.sensor = true;
+    cap.attributes = {EnumAttr("sleeping", {"notSleeping", "sleeping"})};
+    capabilities_.push_back(std::move(cap));
+  }
+  {
+    CapabilitySpec cap;
+    cap.name = "battery";
+    cap.sensor = true;
+    cap.attributes = {NumAttr("battery", {100, 50, 10})};
+    capabilities_.push_back(std::move(cap));
+  }
+  {
+    CapabilitySpec cap;
+    cap.name = "powerMeter";
+    cap.sensor = true;
+    cap.attributes = {NumAttr("power", {0, 100, 1500})};
+    capabilities_.push_back(std::move(cap));
+  }
+  {
+    CapabilitySpec cap;
+    cap.name = "energyMeter";
+    cap.sensor = true;
+    cap.attributes = {NumAttr("energy", {0, 10})};
+    capabilities_.push_back(std::move(cap));
+  }
+  // VoIP call service (used by the IFTTT front-end's phone-call actions,
+  // paper §11 / Table 9).
+  {
+    CapabilitySpec cap;
+    cap.name = "voiceCall";
+    cap.attributes = {EnumAttr("call", {"idle", "ringing"})};
+    cap.commands = {Cmd("ring", "call", "ringing", {"hangup"}),
+                    Cmd("hangup", "call", "idle", {"ring"})};
+    capabilities_.push_back(std::move(cap));
+  }
+  // Marker capability carried by smart power outlets, so apps can ask for
+  // "an outlet" specifically (capability.outlet in SmartThings).
+  {
+    CapabilitySpec cap;
+    cap.name = "outlet";
+    capabilities_.push_back(std::move(cap));
+  }
+  // Marker capability used by `input "x", "device.*"` style inputs and by
+  // role-based property binding; carries no state of its own.
+  {
+    CapabilitySpec cap;
+    cap.name = "actuator";
+    capabilities_.push_back(std::move(cap));
+  }
+}
+
+const CapabilityRegistry& CapabilityRegistry::Instance() {
+  static const CapabilityRegistry registry;
+  return registry;
+}
+
+const CapabilitySpec* CapabilityRegistry::Find(const std::string& name) const {
+  for (const CapabilitySpec& cap : capabilities_) {
+    if (cap.name == name) return &cap;
+  }
+  return nullptr;
+}
+
+}  // namespace iotsan::devices

@@ -1,0 +1,88 @@
+// Capability model (paper §2.1, §8).
+//
+// SmartThings devices expose *capabilities* ("switch", "lock",
+// "motionSensor", ...).  A capability defines attributes (observable
+// state) and commands (actuations).  Smart apps are configured against
+// capabilities (`input "outlets", "capability.switch"`) and subscribe to
+// attribute events ("motion.active").
+//
+// For model checking, every attribute has a *finite* domain: enumerated
+// attributes list their symbolic values; numeric attributes list the
+// representative values the event generator enumerates (the paper lets
+// Spin enumerate all event permutations; finite domains are what make
+// that possible).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iotsan::devices {
+
+enum class AttributeKind : std::uint8_t { kEnum, kNumeric };
+
+struct AttributeSpec {
+  std::string name;            // "switch", "temperature"
+  AttributeKind kind = AttributeKind::kEnum;
+  /// Symbolic values for kEnum (first is the initial state).
+  std::vector<std::string> values;
+  /// Representative values for kNumeric (first is the initial state).
+  std::vector<int> numeric_values;
+
+  int domain_size() const {
+    return static_cast<int>(kind == AttributeKind::kEnum
+                                ? values.size()
+                                : numeric_values.size());
+  }
+
+  /// Index of a symbolic value; -1 if unknown.
+  int IndexOfValue(const std::string& value) const;
+  /// Index of the numeric value closest to `value`.
+  int IndexOfNumeric(int value) const;
+  /// Rendering of the value at `index` ("on", "72").
+  std::string ValueName(int index) const;
+  /// Raw numeric value at `index` (kNumeric only).
+  int NumericAt(int index) const;
+};
+
+struct CommandSpec {
+  std::string name;        // "on", "setLevel", "setThermostatMode"
+  std::string attribute;   // attribute the command drives
+  /// For argument-less commands: the symbolic value the attribute takes.
+  std::string value;
+  /// True for commands like setLevel(50) whose argument is the new value.
+  bool takes_argument = false;
+  /// Commands that conflict with this one on the same actuator within a
+  /// single external-event cascade ("on" vs "off"): used by the
+  /// free-of-conflicting-commands property (paper §8).
+  std::vector<std::string> conflicts_with;
+};
+
+/// A capability: named bundle of attributes and commands.
+struct CapabilitySpec {
+  std::string name;        // "switch", "temperatureMeasurement"
+  std::vector<AttributeSpec> attributes;
+  std::vector<CommandSpec> commands;
+  /// True if the physical environment (not apps) can change the attribute
+  /// (sensors); such attributes are event-generator inputs.
+  bool sensor = false;
+
+  const AttributeSpec* FindAttribute(const std::string& name) const;
+  const CommandSpec* FindCommand(const std::string& name) const;
+};
+
+/// Registry of all built-in capabilities.  Immutable after construction.
+class CapabilityRegistry {
+ public:
+  /// The process-wide registry of SmartThings-equivalent capabilities.
+  static const CapabilityRegistry& Instance();
+
+  const CapabilitySpec* Find(const std::string& name) const;
+  const std::vector<CapabilitySpec>& All() const { return capabilities_; }
+
+ private:
+  CapabilityRegistry();
+  std::vector<CapabilitySpec> capabilities_;
+};
+
+}  // namespace iotsan::devices

@@ -1,0 +1,147 @@
+#include "devices/device_type.hpp"
+
+#include "util/error.hpp"
+
+namespace iotsan::devices {
+
+namespace {
+const CapabilitySpec& Cap(const std::string& name) {
+  const CapabilitySpec* cap = CapabilityRegistry::Instance().Find(name);
+  if (cap == nullptr) {
+    throw SemanticError("unknown capability '" + name + "'");
+  }
+  return *cap;
+}
+}  // namespace
+
+bool DeviceTypeSpec::IsSensor() const {
+  for (const std::string& name : capabilities) {
+    if (Cap(name).sensor) return true;
+  }
+  return false;
+}
+
+bool DeviceTypeSpec::IsActuator() const {
+  for (const std::string& name : capabilities) {
+    if (!Cap(name).commands.empty()) return true;
+  }
+  return false;
+}
+
+bool DeviceTypeSpec::HasCapability(const std::string& capability) const {
+  if (capability == "actuator") return IsActuator();
+  if (capability == "sensor") return IsSensor();
+  for (const std::string& name : capabilities) {
+    if (name == capability) return true;
+  }
+  return false;
+}
+
+std::vector<const AttributeSpec*> DeviceTypeSpec::Attributes() const {
+  std::vector<const AttributeSpec*> out;
+  for (const std::string& name : capabilities) {
+    for (const AttributeSpec& attr : Cap(name).attributes) {
+      out.push_back(&attr);
+    }
+  }
+  return out;
+}
+
+const AttributeSpec* DeviceTypeSpec::FindAttribute(
+    const std::string& attr_name) const {
+  for (const std::string& name : capabilities) {
+    if (const AttributeSpec* attr = Cap(name).FindAttribute(attr_name)) {
+      return attr;
+    }
+  }
+  return nullptr;
+}
+
+const CommandSpec* DeviceTypeSpec::FindCommand(
+    const std::string& command_name) const {
+  for (const std::string& name : capabilities) {
+    if (const CommandSpec* cmd = Cap(name).FindCommand(command_name)) {
+      return cmd;
+    }
+  }
+  return nullptr;
+}
+
+DeviceTypeRegistry::DeviceTypeRegistry() {
+  auto add = [this](std::string name, std::string display,
+                    std::vector<std::string> caps) {
+    DeviceTypeSpec spec;
+    spec.name = std::move(name);
+    spec.display_name = std::move(display);
+    spec.capabilities = std::move(caps);
+    types_.push_back(std::move(spec));
+  };
+
+  // Sensors.
+  add("motionSensor", "SmartSense Motion Sensor",
+      {"motionSensor", "battery"});
+  add("contactSensor", "SmartSense Open/Closed Sensor",
+      {"contactSensor", "battery"});
+  add("presenceSensor", "SmartSense Presence Sensor",
+      {"presenceSensor", "battery"});
+  add("temperatureSensor", "Temperature Sensor",
+      {"temperatureMeasurement", "battery"});
+  add("multiSensor", "SmartSense Multi",
+      {"contactSensor", "temperatureMeasurement", "accelerationSensor",
+       "threeAxis", "battery"});
+  add("motionTempSensor", "Motion/Temperature Sensor",
+      {"motionSensor", "temperatureMeasurement", "battery"});
+  add("smokeDetector", "Smoke Detector",
+      {"smokeDetector", "carbonMonoxideDetector", "battery"});
+  add("coDetector", "Carbon Monoxide Detector",
+      {"carbonMonoxideDetector", "battery"});
+  add("waterLeakSensor", "Water Leak Sensor", {"waterSensor", "battery"});
+  add("illuminanceSensor", "Illuminance Sensor",
+      {"illuminanceMeasurement", "battery"});
+  add("humiditySensor", "Humidity Sensor",
+      {"relativeHumidityMeasurement", "battery"});
+  add("soilMoistureSensor", "Soil Moisture Sensor",
+      {"soilMoistureMeasurement", "battery"});
+  add("buttonController", "Button Controller", {"button", "battery"});
+  add("sleepSensor", "Sleep Sensor", {"sleepSensor", "battery"});
+  add("weatherSensor", "Weather Station",
+      {"temperatureMeasurement", "relativeHumidityMeasurement",
+       "illuminanceMeasurement"});
+
+  // Actuators.
+  add("smartOutlet", "Smart Power Outlet",
+      {"switch", "outlet", "powerMeter", "energyMeter"});
+  add("smartSwitch", "In-Wall Smart Switch", {"switch"});
+  add("relaySwitch", "Relay Switch", {"switch"});
+  add("dimmerSwitch", "Dimmer Switch", {"switch", "switchLevel"});
+  add("smartBulb", "Smart Bulb", {"switch", "switchLevel"});
+  add("colorBulb", "Color Smart Bulb",
+      {"switch", "switchLevel", "colorControl"});
+  add("smartLock", "Z-Wave Smart Lock", {"lock", "battery"});
+  add("doorController", "Door Controller", {"doorControl"});
+  add("garageDoorOpener", "Garage Door Opener",
+      {"doorControl", "contactSensor"});
+  add("thermostatDevice", "Smart Thermostat",
+      {"thermostat", "temperatureMeasurement"});
+  add("smartAlarm", "Siren/Strobe Alarm", {"alarm"});
+  add("waterValve", "Water Shut-off Valve", {"valve"});
+  add("sprinklerController", "Sprinkler Controller", {"switch", "valve"});
+  add("windowShadeController", "Window Shade", {"windowShade"});
+  add("speaker", "Connected Speaker", {"musicPlayer"});
+  add("camera", "Connected Camera", {"imageCapture"});
+  add("voipCall", "VoIP Call Service", {"voiceCall"});
+}
+
+const DeviceTypeRegistry& DeviceTypeRegistry::Instance() {
+  static const DeviceTypeRegistry registry;
+  return registry;
+}
+
+const DeviceTypeSpec* DeviceTypeRegistry::Find(const std::string& name) const {
+  for (const DeviceTypeSpec& type : types_) {
+    if (type.name == name) return &type;
+  }
+  return nullptr;
+}
+
+}  // namespace iotsan::devices

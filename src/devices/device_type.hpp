@@ -1,0 +1,49 @@
+// Device types: concrete products as bundles of capabilities.
+//
+// The paper's Model Generator "currently supports 30 different IoT
+// devices" (§8).  Each device type here corresponds to a class of
+// SmartThings-compatible hardware (SmartSense Multi, smart outlet, Z-Wave
+// lock, ...) and is defined purely by the capabilities it exposes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "devices/capability.hpp"
+
+namespace iotsan::devices {
+
+struct DeviceTypeSpec {
+  std::string name;          // "smartOutlet", "multiSensor", ...
+  std::string display_name;  // "Smart Power Outlet"
+  std::vector<std::string> capabilities;
+
+  /// True if any capability is a sensing capability.
+  bool IsSensor() const;
+  /// True if any capability has commands.
+  bool IsActuator() const;
+  /// True if this type exposes `capability` (the "actuator" marker
+  /// capability matches every type with commands).
+  bool HasCapability(const std::string& capability) const;
+
+  /// All attribute specs across capabilities, in declaration order.
+  std::vector<const AttributeSpec*> Attributes() const;
+  const AttributeSpec* FindAttribute(const std::string& name) const;
+  /// First command with this name across capabilities.
+  const CommandSpec* FindCommand(const std::string& name) const;
+};
+
+/// Registry of the built-in device types.
+class DeviceTypeRegistry {
+ public:
+  static const DeviceTypeRegistry& Instance();
+
+  const DeviceTypeSpec* Find(const std::string& name) const;
+  const std::vector<DeviceTypeSpec>& All() const { return types_; }
+
+ private:
+  DeviceTypeRegistry();
+  std::vector<DeviceTypeSpec> types_;
+};
+
+}  // namespace iotsan::devices

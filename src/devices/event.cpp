@@ -1,0 +1,14 @@
+#include "devices/event.hpp"
+
+namespace iotsan::devices {
+
+std::string DescribeDeviceEvent(const Device& device, const Event& event) {
+  if (event.attribute < 0 ||
+      event.attribute >= static_cast<int>(device.attributes().size())) {
+    return device.id() + "/?";
+  }
+  const AttributeSpec& attr = *device.attributes()[event.attribute];
+  return attr.name + "/" + attr.ValueName(event.value);
+}
+
+}  // namespace iotsan::devices

@@ -1,0 +1,45 @@
+// Cyber events (paper Fig. 2).
+//
+// Sensors convert physical events into cyber events; actuators emit state
+// update events after executing commands; the platform emits location-mode
+// changes, app-touch events, and timer fires.  A single Event value covers
+// all of these so the model's dispatch queue is homogeneous.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "devices/device.hpp"
+
+namespace iotsan::devices {
+
+enum class EventSource : std::uint8_t {
+  kDevice,        // device attribute changed (sensor reading or actuator ack)
+  kLocationMode,  // location.mode changed
+  kAppTouch,      // user tapped the app in the companion app
+  kTimer,         // a schedule()/runIn() timer fired
+};
+
+struct Event {
+  EventSource source = EventSource::kDevice;
+  /// kDevice: index into the system's device table.
+  int device = -1;
+  /// kDevice: index into the device's attribute list.
+  int attribute = -1;
+  /// kDevice: new value index; kLocationMode: new mode index.
+  int value = 0;
+  /// kAppTouch / kTimer: index of the app touched / owning the timer.
+  int app = -1;
+  /// kTimer: which schedule within the app fired.
+  int timer = -1;
+  /// True when this event was injected by an app (sendEvent) rather than
+  /// observed from a device — security-sensitive fake events (§8).
+  bool synthetic = false;
+
+  bool operator==(const Event&) const = default;
+};
+
+/// "presence/notpresent"-style rendering given the source device.
+std::string DescribeDeviceEvent(const Device& device, const Event& event);
+
+}  // namespace iotsan::devices

@@ -1,0 +1,304 @@
+#include "dsl/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace iotsan::dsl {
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "end of input";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kString: return "string";
+    case TokenKind::kDef: return "'def'";
+    case TokenKind::kIf: return "'if'";
+    case TokenKind::kElse: return "'else'";
+    case TokenKind::kFor: return "'for'";
+    case TokenKind::kWhile: return "'while'";
+    case TokenKind::kIn: return "'in'";
+    case TokenKind::kReturn: return "'return'";
+    case TokenKind::kTrue: return "'true'";
+    case TokenKind::kFalse: return "'false'";
+    case TokenKind::kNull: return "'null'";
+    case TokenKind::kLeftParen: return "'('";
+    case TokenKind::kRightParen: return "')'";
+    case TokenKind::kLeftBrace: return "'{'";
+    case TokenKind::kRightBrace: return "'}'";
+    case TokenKind::kLeftBracket: return "'['";
+    case TokenKind::kRightBracket: return "']'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kSafeDot: return "'?.'";
+    case TokenKind::kArrow: return "'->'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlusAssign: return "'+='";
+    case TokenKind::kMinusAssign: return "'-='";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kAndAnd: return "'&&'";
+    case TokenKind::kOrOr: return "'||'";
+    case TokenKind::kNot: return "'!'";
+    case TokenKind::kQuestion: return "'?'";
+    case TokenKind::kElvis: return "'?:'";
+  }
+  return "unknown token";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& Keywords() {
+  static const std::unordered_map<std::string_view, TokenKind> kKeywords = {
+      {"def", TokenKind::kDef},       {"if", TokenKind::kIf},
+      {"else", TokenKind::kElse},     {"for", TokenKind::kFor},
+      {"while", TokenKind::kWhile},   {"in", TokenKind::kIn},
+      {"return", TokenKind::kReturn}, {"true", TokenKind::kTrue},
+      {"false", TokenKind::kFalse},   {"null", TokenKind::kNull},
+  };
+  return kKeywords;
+}
+
+class Lexer {
+ public:
+  Lexer(std::string_view source, std::string_view source_name)
+      : source_(source), source_name_(source_name) {}
+
+  std::vector<Token> Run() {
+    std::vector<Token> tokens;
+    bool line_start = true;
+    while (true) {
+      line_start = SkipTrivia() || line_start;
+      if (AtEnd()) break;
+      Token token = Next();
+      token.starts_line = line_start;
+      line_start = false;
+      tokens.push_back(std::move(token));
+    }
+    Token end;
+    end.kind = TokenKind::kEnd;
+    end.line = line_;
+    end.column = column_;
+    end.starts_line = line_start;
+    tokens.push_back(std::move(end));
+    return tokens;
+  }
+
+ private:
+  std::string_view source_;
+  std::string_view source_name_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+
+  bool AtEnd() const { return pos_ >= source_.size(); }
+  char Peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+
+  char Advance() {
+    char c = source_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw ParseError(std::string(source_name_) + ":" + std::to_string(line_) +
+                     ":" + std::to_string(column_) + ": " + message);
+  }
+
+  /// Skips whitespace and comments; returns true if a newline was crossed.
+  bool SkipTrivia() {
+    bool crossed_newline = false;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == '\n') {
+        crossed_newline = true;
+        Advance();
+      } else if (c == ' ' || c == '\t' || c == '\r') {
+        Advance();
+      } else if (c == '/' && Peek(1) == '/') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else if (c == '/' && Peek(1) == '*') {
+        Advance();
+        Advance();
+        while (!AtEnd() && !(Peek() == '*' && Peek(1) == '/')) {
+          if (Peek() == '\n') crossed_newline = true;
+          Advance();
+        }
+        if (AtEnd()) Fail("unterminated block comment");
+        Advance();
+        Advance();
+      } else {
+        break;
+      }
+    }
+    return crossed_newline;
+  }
+
+  Token Make(TokenKind kind, int line, int column) const {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    t.column = column;
+    return t;
+  }
+
+  Token Next() {
+    const int line = line_;
+    const int column = column_;
+    char c = Peek();
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+      return LexIdentifier(line, column);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      return LexNumber(line, column);
+    }
+    if (c == '"' || c == '\'') {
+      return LexString(line, column);
+    }
+
+    Advance();
+    switch (c) {
+      case '(': return Make(TokenKind::kLeftParen, line, column);
+      case ')': return Make(TokenKind::kRightParen, line, column);
+      case '{': return Make(TokenKind::kLeftBrace, line, column);
+      case '}': return Make(TokenKind::kRightBrace, line, column);
+      case '[': return Make(TokenKind::kLeftBracket, line, column);
+      case ']': return Make(TokenKind::kRightBracket, line, column);
+      case ',': return Make(TokenKind::kComma, line, column);
+      case ':': return Make(TokenKind::kColon, line, column);
+      case ';': return Make(TokenKind::kSemicolon, line, column);
+      case '.': return Make(TokenKind::kDot, line, column);
+      case '%': return Make(TokenKind::kPercent, line, column);
+      case '*': return Make(TokenKind::kStar, line, column);
+      case '/': return Make(TokenKind::kSlash, line, column);
+      case '+':
+        if (Peek() == '=') { Advance(); return Make(TokenKind::kPlusAssign, line, column); }
+        return Make(TokenKind::kPlus, line, column);
+      case '-':
+        if (Peek() == '>') { Advance(); return Make(TokenKind::kArrow, line, column); }
+        if (Peek() == '=') { Advance(); return Make(TokenKind::kMinusAssign, line, column); }
+        return Make(TokenKind::kMinus, line, column);
+      case '=':
+        if (Peek() == '=') { Advance(); return Make(TokenKind::kEq, line, column); }
+        return Make(TokenKind::kAssign, line, column);
+      case '!':
+        if (Peek() == '=') { Advance(); return Make(TokenKind::kNe, line, column); }
+        return Make(TokenKind::kNot, line, column);
+      case '<':
+        if (Peek() == '=') { Advance(); return Make(TokenKind::kLe, line, column); }
+        return Make(TokenKind::kLt, line, column);
+      case '>':
+        if (Peek() == '=') { Advance(); return Make(TokenKind::kGe, line, column); }
+        return Make(TokenKind::kGt, line, column);
+      case '&':
+        if (Peek() == '&') { Advance(); return Make(TokenKind::kAndAnd, line, column); }
+        Fail("unexpected '&' (did you mean '&&'?)");
+      case '|':
+        if (Peek() == '|') { Advance(); return Make(TokenKind::kOrOr, line, column); }
+        Fail("unexpected '|' (did you mean '||'?)");
+      case '?':
+        if (Peek() == '.') { Advance(); return Make(TokenKind::kSafeDot, line, column); }
+        if (Peek() == ':') { Advance(); return Make(TokenKind::kElvis, line, column); }
+        return Make(TokenKind::kQuestion, line, column);
+      default:
+        Fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Token LexIdentifier(int line, int column) {
+    std::size_t start = pos_;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_' || Peek() == '$')) {
+      Advance();
+    }
+    std::string_view text = source_.substr(start, pos_ - start);
+    auto it = Keywords().find(text);
+    Token t = Make(it != Keywords().end() ? it->second : TokenKind::kIdentifier,
+                   line, column);
+    t.text = std::string(text);
+    return t;
+  }
+
+  Token LexNumber(int line, int column) {
+    std::size_t start = pos_;
+    bool is_decimal = false;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+    // A '.' is part of the number only if followed by a digit; otherwise it
+    // is a member access (e.g. `5.toString()` is not SmartScript anyway).
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_decimal = true;
+      Advance();
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+    }
+    const std::string text(source_.substr(start, pos_ - start));
+    Token t = Make(TokenKind::kNumber, line, column);
+    t.text = text;
+    t.number = std::strtod(text.c_str(), nullptr);
+    t.is_decimal = is_decimal;
+    return t;
+  }
+
+  Token LexString(int line, int column) {
+    const char quote = Advance();
+    std::string value;
+    while (true) {
+      if (AtEnd()) Fail("unterminated string literal");
+      char c = Advance();
+      if (c == quote) break;
+      if (c == '\n') Fail("newline in string literal");
+      if (c == '\\') {
+        if (AtEnd()) Fail("unterminated escape sequence");
+        char e = Advance();
+        switch (e) {
+          case 'n': value += '\n'; break;
+          case 't': value += '\t'; break;
+          case 'r': value += '\r'; break;
+          case '\\': value += '\\'; break;
+          case '\'': value += '\''; break;
+          case '"': value += '"'; break;
+          case '$': value += '$'; break;
+          default: Fail(std::string("unknown escape '\\") + e + "'");
+        }
+      } else {
+        value += c;
+      }
+    }
+    Token t = Make(TokenKind::kString, line, column);
+    t.text = std::move(value);
+    return t;
+  }
+};
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view source,
+                            std::string_view source_name) {
+  return Lexer(source, source_name).Run();
+}
+
+}  // namespace iotsan::dsl

@@ -1,0 +1,19 @@
+// SmartScript lexer.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dsl/token.hpp"
+
+namespace iotsan::dsl {
+
+/// Tokenizes SmartScript source.  Supports // and /* */ comments,
+/// single- and double-quoted strings with escapes, integer and decimal
+/// literals.  Throws iotsan::ParseError on malformed input; the
+/// `source_name` is included in error messages.
+std::vector<Token> Tokenize(std::string_view source,
+                            std::string_view source_name = "<input>");
+
+}  // namespace iotsan::dsl

@@ -1,0 +1,225 @@
+#include "dsl/printer.hpp"
+
+#include "util/strings.hpp"
+
+namespace iotsan::dsl {
+
+namespace {
+
+const char* BinaryOpText(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "&&";
+    case BinaryOp::kOr: return "||";
+    case BinaryOp::kIn: return "in";
+  }
+  return "?";
+}
+
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void PrintBody(const std::vector<StmtPtr>& body, int indent,
+               std::string& out) {
+  for (const StmtPtr& s : body) out += PrintStmt(*s, indent);
+}
+
+}  // namespace
+
+std::string PrintExpr(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kNullLit: return "null";
+    case ExprKind::kBoolLit: return expr.bool_value ? "true" : "false";
+    case ExprKind::kNumberLit: return strings::FormatNumber(expr.number_value);
+    case ExprKind::kStringLit: return Quote(expr.text);
+    case ExprKind::kListLit: {
+      std::vector<std::string> parts;
+      for (const ExprPtr& e : expr.items) parts.push_back(PrintExpr(*e));
+      return "[" + strings::Join(parts, ", ") + "]";
+    }
+    case ExprKind::kMapLit: {
+      if (expr.named.empty()) return "[:]";
+      std::vector<std::string> parts;
+      for (const NamedArg& a : expr.named) {
+        parts.push_back(a.name + ": " + PrintExpr(*a.value));
+      }
+      return "[" + strings::Join(parts, ", ") + "]";
+    }
+    case ExprKind::kIdent: return expr.text;
+    case ExprKind::kBinary:
+      return "(" + PrintExpr(*expr.a) + " " + BinaryOpText(expr.binary_op) +
+             " " + PrintExpr(*expr.b) + ")";
+    case ExprKind::kUnary:
+      return std::string(expr.unary_op == UnaryOp::kNeg ? "-" : "!") +
+             PrintExpr(*expr.a);
+    case ExprKind::kTernary:
+      if (!expr.b) {
+        return "(" + PrintExpr(*expr.a) + " ?: " + PrintExpr(*expr.c) + ")";
+      }
+      return "(" + PrintExpr(*expr.a) + " ? " + PrintExpr(*expr.b) + " : " +
+             PrintExpr(*expr.c) + ")";
+    case ExprKind::kCall: {
+      std::string out;
+      if (expr.a) {
+        out = PrintExpr(*expr.a) + (expr.safe_navigation ? "?." : ".");
+      }
+      out += expr.text + "(";
+      std::vector<std::string> parts;
+      for (const ExprPtr& e : expr.items) parts.push_back(PrintExpr(*e));
+      for (const NamedArg& a : expr.named) {
+        parts.push_back(a.name + ": " + PrintExpr(*a.value));
+      }
+      out += strings::Join(parts, ", ") + ")";
+      return out;
+    }
+    case ExprKind::kMember:
+      return PrintExpr(*expr.a) + (expr.safe_navigation ? "?." : ".") +
+             expr.text;
+    case ExprKind::kIndex:
+      return PrintExpr(*expr.a) + "[" + PrintExpr(*expr.b) + "]";
+    case ExprKind::kClosure: {
+      std::string out = "{ ";
+      if (!expr.params.empty()) {
+        std::vector<std::string> names(expr.params.begin(), expr.params.end());
+        out += strings::Join(names, ", ") + " -> ";
+      }
+      for (const StmtPtr& s : expr.body) {
+        std::string stmt = PrintStmt(*s, 0);
+        while (!stmt.empty() && stmt.back() == '\n') stmt.pop_back();
+        out += stmt + "; ";
+      }
+      out += "}";
+      return out;
+    }
+    case ExprKind::kAssign: {
+      const char* op = expr.assign_op == AssignOp::kAssign
+                           ? " = "
+                           : (expr.assign_op == AssignOp::kAddAssign
+                                  ? " += "
+                                  : " -= ");
+      return PrintExpr(*expr.a) + op + PrintExpr(*expr.b);
+    }
+  }
+  return "<?>";
+}
+
+std::string PrintStmt(const Stmt& stmt, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 4, ' ');
+  std::string out;
+  switch (stmt.kind) {
+    case StmtKind::kExpr:
+      out = pad + PrintExpr(*stmt.expr) + "\n";
+      break;
+    case StmtKind::kVarDecl:
+      out = pad + "def " + stmt.name;
+      if (stmt.expr) out += " = " + PrintExpr(*stmt.expr);
+      out += "\n";
+      break;
+    case StmtKind::kIf:
+      out = pad + "if (" + PrintExpr(*stmt.expr) + ") {\n";
+      PrintBody(stmt.body, indent + 1, out);
+      out += pad + "}";
+      if (!stmt.else_body.empty()) {
+        if (stmt.else_body.size() == 1 &&
+            stmt.else_body[0]->kind == StmtKind::kIf) {
+          std::string chained = PrintStmt(*stmt.else_body[0], indent);
+          out += " else " + std::string(strings::Trim(chained)) + "\n";
+          return out;
+        }
+        out += " else {\n";
+        PrintBody(stmt.else_body, indent + 1, out);
+        out += pad + "}";
+      }
+      out += "\n";
+      break;
+    case StmtKind::kReturn:
+      out = pad + "return";
+      if (stmt.expr) out += " " + PrintExpr(*stmt.expr);
+      out += "\n";
+      break;
+    case StmtKind::kForIn:
+      out = pad + "for (" + stmt.name + " in " + PrintExpr(*stmt.expr) +
+            ") {\n";
+      PrintBody(stmt.body, indent + 1, out);
+      out += pad + "}\n";
+      break;
+    case StmtKind::kWhile:
+      out = pad + "while (" + PrintExpr(*stmt.expr) + ") {\n";
+      PrintBody(stmt.body, indent + 1, out);
+      out += pad + "}\n";
+      break;
+    case StmtKind::kBlock:
+      out = pad + "{\n";
+      PrintBody(stmt.body, indent + 1, out);
+      out += pad + "}\n";
+      break;
+  }
+  return out;
+}
+
+std::string PrintApp(const App& app) {
+  std::string out = "definition(name: " + Quote(app.name);
+  if (!app.namespace_.empty()) out += ", namespace: " + Quote(app.namespace_);
+  if (!app.author.empty()) out += ", author: " + Quote(app.author);
+  if (!app.description.empty()) {
+    out += ", description: " + Quote(app.description);
+  }
+  out += ")\n\n";
+
+  if (!app.inputs.empty()) {
+    out += "preferences {\n";
+    std::string current_section;
+    bool section_open = false;
+    for (const InputDecl& input : app.inputs) {
+      if (input.section != current_section || !section_open) {
+        if (section_open) out += "    }\n";
+        out += "    section(" + Quote(input.section) + ") {\n";
+        current_section = input.section;
+        section_open = true;
+      }
+      out += "        input " + Quote(input.name) + ", " + Quote(input.type);
+      if (!input.title.empty()) out += ", title: " + Quote(input.title);
+      if (!input.required) out += ", required: false";
+      if (input.multiple) out += ", multiple: true";
+      if (!input.options.empty()) {
+        std::vector<std::string> opts;
+        for (const std::string& o : input.options) opts.push_back(Quote(o));
+        out += ", options: [" + strings::Join(opts, ", ") + "]";
+      }
+      out += "\n";
+    }
+    if (section_open) out += "    }\n";
+    out += "}\n\n";
+  }
+
+  for (const MethodDecl& m : app.methods) {
+    std::vector<std::string> params(m.params.begin(), m.params.end());
+    out += "def " + m.name + "(" + strings::Join(params, ", ") + ") {\n";
+    PrintBody(m.body, 1, out);
+    out += "}\n\n";
+  }
+  return out;
+}
+
+}  // namespace iotsan::dsl

@@ -1,0 +1,20 @@
+// AST pretty-printer: renders parsed SmartScript back to source-like text.
+// Used by tests (round-trip checks) and by translation reports.
+#pragma once
+
+#include <string>
+
+#include "dsl/ast.hpp"
+
+namespace iotsan::dsl {
+
+/// Renders an expression as SmartScript source.
+std::string PrintExpr(const Expr& expr);
+
+/// Renders a statement (with trailing newline) at the given indent level.
+std::string PrintStmt(const Stmt& stmt, int indent = 0);
+
+/// Renders an entire app: definition header, preferences, methods.
+std::string PrintApp(const App& app);
+
+}  // namespace iotsan::dsl

@@ -1,0 +1,85 @@
+// Token model for SmartScript, iotsan's Groovy-like smart-app language.
+//
+// SmartScript reproduces the analysis-relevant surface of the Groovy
+// dialect SmartThings apps are written in (paper §2.1/§6): dynamic typing,
+// `def` declarations, closures, list/map literals, Groovy "command call"
+// syntax (`input "sensor", "capability.temperatureMeasurement"`), and the
+// preferences/subscribe/schedule app-lifecycle DSL.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace iotsan::dsl {
+
+enum class TokenKind : std::uint8_t {
+  kEnd,
+  kIdentifier,
+  kNumber,      // integer or decimal literal
+  kString,      // single- or double-quoted
+  // Keywords.
+  kDef,
+  kIf,
+  kElse,
+  kFor,
+  kWhile,
+  kIn,
+  kReturn,
+  kTrue,
+  kFalse,
+  kNull,
+  // Punctuation and operators.
+  kLeftParen,
+  kRightParen,
+  kLeftBrace,
+  kRightBrace,
+  kLeftBracket,
+  kRightBracket,
+  kComma,
+  kColon,
+  kSemicolon,
+  kDot,
+  kSafeDot,     // ?.
+  kArrow,       // ->
+  kAssign,      // =
+  kPlusAssign,  // +=
+  kMinusAssign, // -=
+  kEq,          // ==
+  kNe,          // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAndAnd,
+  kOrOr,
+  kNot,
+  kQuestion,    // ternary
+  kElvis,       // ?:
+};
+
+/// Human-readable token-kind name for diagnostics.
+std::string_view TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  /// Raw text for identifiers; decoded value for strings.
+  std::string text;
+  /// Numeric value when kind == kNumber.
+  double number = 0;
+  /// True when the numeric literal contained '.', i.e. is a decimal.
+  bool is_decimal = false;
+  /// 1-based source position.
+  int line = 0;
+  int column = 0;
+  /// True if this token is the first on its source line.  Groovy-style
+  /// command-call parsing is line-sensitive.
+  bool starts_line = false;
+};
+
+}  // namespace iotsan::dsl

@@ -1,0 +1,88 @@
+#include "dsl/type.hpp"
+
+#include <cctype>
+
+namespace iotsan::dsl {
+
+Type Type::Device(std::string capability) {
+  Type t(TypeKind::kDevice);
+  t.capability_ = std::move(capability);
+  return t;
+}
+
+Type Type::ListOf(const Type& element) {
+  Type t(TypeKind::kList);
+  t.element_ = std::make_shared<Type>(element);
+  return t;
+}
+
+Type Type::element() const {
+  if (kind_ == TypeKind::kList && element_) return *element_;
+  return Dynamic();
+}
+
+Type Type::Join(const Type& a, const Type& b) {
+  if (a == b) return a;
+  if (a.is_dynamic()) return b;
+  if (b.is_dynamic()) return a;
+  if (a.is_numeric() && b.is_numeric()) return Decimal();
+  if (a.kind() == TypeKind::kList && b.kind() == TypeKind::kList) {
+    return ListOf(Join(a.element(), b.element()));
+  }
+  // Void joins transparently (a branch without a return).
+  if (a.kind() == TypeKind::kVoid) return b;
+  if (b.kind() == TypeKind::kVoid) return a;
+  return Dynamic();
+}
+
+std::string Type::ToString() const {
+  switch (kind_) {
+    case TypeKind::kDynamic: return "def";
+    case TypeKind::kVoid: return "void";
+    case TypeKind::kBoolean: return "Boolean";
+    case TypeKind::kInteger: return "Integer";
+    case TypeKind::kDecimal: return "Decimal";
+    case TypeKind::kString: return "String";
+    case TypeKind::kDevice: return "Device<" + capability_ + ">";
+    case TypeKind::kList: return "List<" + element().ToString() + ">";
+    case TypeKind::kMap: return "Map";
+    case TypeKind::kClosure: return "Closure";
+  }
+  return "def";
+}
+
+namespace {
+/// "temperatureMeasurement" -> "TemperatureMeasurement".
+std::string Capitalize(const std::string& s) {
+  std::string out = s;
+  if (!out.empty()) {
+    out[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(out[0])));
+  }
+  return out;
+}
+}  // namespace
+
+std::string Type::ToJavaString() const {
+  switch (kind_) {
+    case TypeKind::kDynamic: return "Object";
+    case TypeKind::kVoid: return "void";
+    case TypeKind::kBoolean: return "boolean";
+    case TypeKind::kInteger: return "int";
+    case TypeKind::kDecimal: return "double";
+    case TypeKind::kString: return "String";
+    case TypeKind::kDevice: return "ST" + Capitalize(capability_);
+    case TypeKind::kList: return element().ToJavaString() + "[]";
+    case TypeKind::kMap: return "java.util.Map";
+    case TypeKind::kClosure: return "Closure";
+  }
+  return "Object";
+}
+
+bool Type::operator==(const Type& other) const {
+  if (kind_ != other.kind_) return false;
+  if (kind_ == TypeKind::kDevice) return capability_ == other.capability_;
+  if (kind_ == TypeKind::kList) return element() == other.element();
+  return true;
+}
+
+}  // namespace iotsan::dsl

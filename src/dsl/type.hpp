@@ -1,0 +1,85 @@
+// Static types inferred for SmartScript programs.
+//
+// SmartScript (like Groovy, paper §6) is dynamically typed; the
+// Translator must infer static types so the model can be lowered to a
+// fixed-width state vector and to Promela.  This header defines the type
+// lattice used by the inference pass in type_infer.hpp:
+//
+//        Dynamic (top: unknown)
+//      /   |    \        ...
+//  Integer Decimal String Boolean Device<cap> List<T> Map Closure Void
+//
+// Integer <: Decimal is the only subtyping edge (numeric widening).
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace iotsan::dsl {
+
+enum class TypeKind {
+  kDynamic,   // unknown / any
+  kVoid,
+  kBoolean,
+  kInteger,
+  kDecimal,
+  kString,
+  kDevice,    // a device reference with a capability, e.g. Device<switch>
+  kList,      // List<element>
+  kMap,       // string-keyed map with dynamic values
+  kClosure,
+};
+
+/// An inferred SmartScript type.  Value type; cheap to copy.
+class Type {
+ public:
+  Type() : kind_(TypeKind::kDynamic) {}
+
+  static Type Dynamic() { return Type(TypeKind::kDynamic); }
+  static Type Void() { return Type(TypeKind::kVoid); }
+  static Type Boolean() { return Type(TypeKind::kBoolean); }
+  static Type Integer() { return Type(TypeKind::kInteger); }
+  static Type Decimal() { return Type(TypeKind::kDecimal); }
+  static Type String() { return Type(TypeKind::kString); }
+  static Type Map() { return Type(TypeKind::kMap); }
+  static Type Closure() { return Type(TypeKind::kClosure); }
+  static Type Device(std::string capability);
+  static Type ListOf(const Type& element);
+
+  TypeKind kind() const { return kind_; }
+  bool is_dynamic() const { return kind_ == TypeKind::kDynamic; }
+  bool is_numeric() const {
+    return kind_ == TypeKind::kInteger || kind_ == TypeKind::kDecimal;
+  }
+  bool is_device() const { return kind_ == TypeKind::kDevice; }
+  bool is_list() const { return kind_ == TypeKind::kList; }
+
+  /// Capability name for kDevice ("switch", "lock", ...).
+  const std::string& capability() const { return capability_; }
+
+  /// Element type for kList; Dynamic for other kinds.
+  Type element() const;
+
+  /// Least upper bound used when merging flow paths and list elements.
+  /// Integer⊔Decimal = Decimal; T⊔T = T; otherwise Dynamic.
+  static Type Join(const Type& a, const Type& b);
+
+  /// Rendering such as "Integer", "Device<switch>", "List<Device<switch>>".
+  std::string ToString() const;
+
+  /// Java-flavored rendering used in translation reports (paper Fig. 6):
+  /// Device<switch> -> "STSwitch", List<...> -> "STSwitch[]".
+  std::string ToJavaString() const;
+
+  bool operator==(const Type& other) const;
+  bool operator!=(const Type& other) const { return !(*this == other); }
+
+ private:
+  explicit Type(TypeKind kind) : kind_(kind) {}
+
+  TypeKind kind_;
+  std::string capability_;
+  std::shared_ptr<Type> element_;
+};
+
+}  // namespace iotsan::dsl

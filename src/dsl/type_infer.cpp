@@ -1,0 +1,695 @@
+#include "dsl/type_infer.hpp"
+
+#include <cctype>
+#include <set>
+
+#include "util/strings.hpp"
+
+namespace iotsan::dsl {
+
+Type TypeInfo::LocalType(const std::string& method,
+                         const std::string& var) const {
+  auto it = locals.find(method + "." + var);
+  if (it != locals.end()) return it->second;
+  auto pit = params.find(method + "." + var);
+  if (pit != params.end()) return pit->second;
+  return Type::Dynamic();
+}
+
+Type TypeInfo::ReturnType(const std::string& method) const {
+  auto it = returns.find(method);
+  return it != returns.end() ? it->second : Type::Dynamic();
+}
+
+Type InputDeclType(const InputDecl& input) {
+  Type base;
+  if (strings::StartsWith(input.type, "capability.")) {
+    base = Type::Device(input.type.substr(std::string("capability.").size()));
+  } else if (input.type == "number") {
+    base = Type::Integer();
+  } else if (input.type == "decimal") {
+    base = Type::Decimal();
+  } else if (input.type == "bool" || input.type == "boolean") {
+    base = Type::Boolean();
+  } else if (input.type == "enum" || input.type == "text" ||
+             input.type == "string" || input.type == "time" ||
+             input.type == "phone" || input.type == "contact" ||
+             input.type == "mode" || input.type == "hub" ||
+             input.type == "password" || input.type == "email") {
+    base = Type::String();
+  } else if (input.type == "device.*" || input.type == "device") {
+    base = Type::Device("actuator");
+  } else {
+    base = Type::Dynamic();
+  }
+  return input.multiple ? Type::ListOf(base) : base;
+}
+
+namespace {
+
+/// Attributes whose `current<Attr>` reading is numeric.
+const std::set<std::string>& NumericAttributes() {
+  static const std::set<std::string> kNumeric = {
+      "temperature", "humidity",     "illuminance", "battery",
+      "level",       "power",        "energy",      "soilMoisture",
+      "carbonDioxide", "heatingSetpoint", "coolingSetpoint",
+      "thermostatSetpoint",
+  };
+  return kNumeric;
+}
+
+/// Platform free functions and their return types (SmartThings API).
+bool PlatformFunctionType(const std::string& name, Type& out) {
+  static const std::map<std::string, Type>& kApi = *new std::map<std::string, Type>{
+      {"subscribe", Type::Void()},
+      {"unsubscribe", Type::Void()},
+      {"schedule", Type::Void()},
+      {"unschedule", Type::Void()},
+      {"runIn", Type::Void()},
+      {"runEvery5Minutes", Type::Void()},
+      {"runEvery10Minutes", Type::Void()},
+      {"runEvery15Minutes", Type::Void()},
+      {"runEvery30Minutes", Type::Void()},
+      {"runEvery1Hour", Type::Void()},
+      {"runEvery3Hours", Type::Void()},
+      {"runOnce", Type::Void()},
+      {"sendSms", Type::Void()},
+      {"sendSmsMessage", Type::Void()},
+      {"sendPush", Type::Void()},
+      {"sendPushMessage", Type::Void()},
+      {"sendNotification", Type::Void()},
+      {"sendNotificationEvent", Type::Void()},
+      {"sendNotificationToContacts", Type::Void()},
+      {"httpPost", Type::Void()},
+      {"httpGet", Type::Void()},
+      {"httpPostJson", Type::Void()},
+      {"setLocationMode", Type::Void()},
+      {"sendLocationEvent", Type::Void()},
+      {"sendEvent", Type::Void()},
+      {"createFakeEvent", Type::Void()},
+      {"now", Type::Integer()},
+      {"timeOfDayIsBetween", Type::Boolean()},
+      {"timeToday", Type::Integer()},
+      {"getSunriseAndSunset", Type::Map()},
+      {"parseJson", Type::Map()},
+      {"pause", Type::Void()},
+      {"log", Type::Void()},
+  };
+  auto it = kApi.find(name);
+  if (it == kApi.end()) return false;
+  out = it->second;
+  return true;
+}
+
+class Inference {
+ public:
+  explicit Inference(const App& app) : app_(app) {}
+
+  TypeInfo Run() {
+    SeedGlobals();
+    SeedHandlerParams();
+    // Iterate to a fixed point; bound the pass count defensively (the
+    // lattice has height 2 per variable, so convergence is fast).
+    for (int pass = 0; pass < 16; ++pass) {
+      changed_ = false;
+      for (const MethodDecl& method : app_.methods) {
+        AnalyzeMethod(method);
+      }
+      ++info_.iterations;
+      if (!changed_) break;
+    }
+    // Problems are reported once, after convergence, so messages reflect
+    // final types.
+    report_problems_ = true;
+    for (const MethodDecl& method : app_.methods) AnalyzeMethod(method);
+    return std::move(info_);
+  }
+
+ private:
+  const App& app_;
+  TypeInfo info_;
+  bool changed_ = false;
+  bool report_problems_ = false;
+  const MethodDecl* current_method_ = nullptr;
+  std::vector<std::map<std::string, Type>> scopes_;
+
+  void Problem(int line, const std::string& message) {
+    if (!report_problems_) return;
+    std::string where = app_.source_name + ":" + std::to_string(line);
+    std::string text = where + ": " + message;
+    for (const std::string& existing : info_.problems) {
+      if (existing == text) return;
+    }
+    info_.problems.push_back(std::move(text));
+  }
+
+  void SeedGlobals() {
+    for (const InputDecl& input : app_.inputs) {
+      info_.globals[input.name] = InputDeclType(input);
+    }
+    info_.globals["state"] = Type::Map();
+  }
+
+  /// Handler methods (referenced by subscribe/schedule/runIn) receive one
+  /// event argument, modeled as Map.
+  void SeedHandlerParams() {
+    for (const MethodDecl& method : app_.methods) {
+      for (const StmtPtr& stmt : method.body) {
+        SeedHandlersIn(*stmt);
+      }
+    }
+    // Lifecycle methods take no arguments; any other single-parameter
+    // method defaults its parameter to the event type too (a handler may
+    // be referenced only via a string name).
+    for (const MethodDecl& method : app_.methods) {
+      if (method.params.size() == 1) {
+        JoinInto(info_.params, method.name + "." + method.params[0],
+                 Type::Map());
+      }
+    }
+  }
+
+  void SeedHandlersIn(const Stmt& stmt) {
+    if (stmt.expr) SeedHandlersInExpr(*stmt.expr);
+    for (const StmtPtr& s : stmt.body) SeedHandlersIn(*s);
+    for (const StmtPtr& s : stmt.else_body) SeedHandlersIn(*s);
+  }
+
+  void SeedHandlersInExpr(const Expr& expr) {
+    if (expr.kind == ExprKind::kCall &&
+        (expr.text == "subscribe" || expr.text == "runIn" ||
+         expr.text == "schedule" || expr.text == "runOnce")) {
+      for (const ExprPtr& arg : expr.items) {
+        if (arg->kind == ExprKind::kIdent) {
+          if (const MethodDecl* m = app_.FindMethod(arg->text);
+              m && m->params.size() == 1) {
+            JoinInto(info_.params, m->name + "." + m->params[0], Type::Map());
+          }
+        }
+      }
+    }
+    if (expr.a) SeedHandlersInExpr(*expr.a);
+    if (expr.b) SeedHandlersInExpr(*expr.b);
+    if (expr.c) SeedHandlersInExpr(*expr.c);
+    for (const ExprPtr& item : expr.items) SeedHandlersInExpr(*item);
+    for (const NamedArg& arg : expr.named) SeedHandlersInExpr(*arg.value);
+  }
+
+  void JoinInto(std::map<std::string, Type>& table, const std::string& key,
+                const Type& type) {
+    auto [it, inserted] = table.emplace(key, type);
+    if (inserted) {
+      if (!type.is_dynamic()) changed_ = true;
+      return;
+    }
+    Type joined = Type::Join(it->second, type);
+    if (joined != it->second) {
+      it->second = joined;
+      changed_ = true;
+    }
+  }
+
+  // ---- Environment -----------------------------------------------------
+
+  void PushScope() { scopes_.emplace_back(); }
+  void PopScope() { scopes_.pop_back(); }
+
+  void DeclareLocal(const std::string& name, const Type& type) {
+    scopes_.back()[name] = type;
+    JoinInto(info_.locals, current_method_->name + "." + name, type);
+  }
+
+  bool LookupLocal(const std::string& name, Type& out) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) {
+        out = found->second;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void UpdateVariable(const std::string& name, const Type& type) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) {
+        found->second = Type::Join(found->second, type);
+        JoinInto(info_.locals, current_method_->name + "." + name,
+                 found->second);
+        return;
+      }
+    }
+    // Assignment to an undeclared name: Groovy treats it as a binding
+    // variable; record it as an app global.
+    JoinInto(info_.globals, name, type);
+  }
+
+  Type VariableType(const std::string& name) {
+    Type t;
+    if (LookupLocal(name, t)) return t;
+    if (current_method_) {
+      auto pit = info_.params.find(current_method_->name + "." + name);
+      if (pit != info_.params.end()) return pit->second;
+    }
+    auto git = info_.globals.find(name);
+    if (git != info_.globals.end()) return git->second;
+    return Type::Dynamic();
+  }
+
+  // ---- Methods and statements -------------------------------------------
+
+  void AnalyzeMethod(const MethodDecl& method) {
+    current_method_ = &method;
+    scopes_.clear();
+    PushScope();
+    Type return_type = Type::Void();
+    AnalyzeBody(method.body, return_type);
+    JoinInto(info_.returns, method.name, return_type);
+    PopScope();
+    current_method_ = nullptr;
+  }
+
+  void AnalyzeBody(const std::vector<StmtPtr>& body, Type& return_type) {
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      const Stmt& stmt = *body[i];
+      const bool is_last = i + 1 == body.size();
+      AnalyzeStmt(stmt, return_type, is_last);
+    }
+  }
+
+  void AnalyzeStmt(const Stmt& stmt, Type& return_type, bool is_last) {
+    switch (stmt.kind) {
+      case StmtKind::kVarDecl: {
+        Type t = stmt.expr ? TypeOf(*stmt.expr) : Type::Dynamic();
+        DeclareLocal(stmt.name, t);
+        break;
+      }
+      case StmtKind::kExpr: {
+        Type t = TypeOf(*stmt.expr);
+        // Groovy implicit return: the value of the trailing expression is
+        // the method's return value (paper Fig. 6: `switches + onSwitches`).
+        if (is_last && t.kind() != TypeKind::kVoid) {
+          return_type = Type::Join(return_type, t);
+        }
+        break;
+      }
+      case StmtKind::kReturn:
+        if (stmt.expr) {
+          return_type = Type::Join(return_type, TypeOf(*stmt.expr));
+        }
+        break;
+      case StmtKind::kIf: {
+        TypeOf(*stmt.expr);
+        PushScope();
+        AnalyzeBody(stmt.body, return_type);
+        PopScope();
+        PushScope();
+        AnalyzeBody(stmt.else_body, return_type);
+        PopScope();
+        break;
+      }
+      case StmtKind::kForIn: {
+        Type iterable = TypeOf(*stmt.expr);
+        PushScope();
+        DeclareLocal(stmt.name, iterable.is_list() ? iterable.element()
+                                                   : Type::Dynamic());
+        AnalyzeBody(stmt.body, return_type);
+        PopScope();
+        break;
+      }
+      case StmtKind::kWhile: {
+        TypeOf(*stmt.expr);
+        PushScope();
+        AnalyzeBody(stmt.body, return_type);
+        PopScope();
+        break;
+      }
+      case StmtKind::kBlock: {
+        PushScope();
+        AnalyzeBody(stmt.body, return_type);
+        PopScope();
+        break;
+      }
+    }
+  }
+
+  // ---- Expressions -------------------------------------------------------
+
+  Type TypeOf(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kNullLit:
+        return Type::Dynamic();
+      case ExprKind::kBoolLit:
+        return Type::Boolean();
+      case ExprKind::kNumberLit:
+        return expr.is_decimal ? Type::Decimal() : Type::Integer();
+      case ExprKind::kStringLit:
+        return Type::String();
+      case ExprKind::kListLit:
+        return ListLiteralType(expr);
+      case ExprKind::kMapLit: {
+        for (const NamedArg& entry : expr.named) TypeOf(*entry.value);
+        return Type::Map();
+      }
+      case ExprKind::kIdent:
+        return IdentType(expr);
+      case ExprKind::kBinary:
+        return BinaryType(expr);
+      case ExprKind::kUnary: {
+        Type operand = TypeOf(*expr.a);
+        if (expr.unary_op == UnaryOp::kNot) return Type::Boolean();
+        return operand.is_numeric() ? operand : Type::Dynamic();
+      }
+      case ExprKind::kTernary: {
+        Type cond = TypeOf(*expr.a);
+        Type then_t = expr.b ? TypeOf(*expr.b) : cond;  // elvis reuses cond
+        Type else_t = TypeOf(*expr.c);
+        return Type::Join(then_t, else_t);
+      }
+      case ExprKind::kCall:
+        return CallType(expr);
+      case ExprKind::kMember:
+        return MemberType(TypeOf(*expr.a), expr.text, expr);
+      case ExprKind::kIndex: {
+        Type recv = TypeOf(*expr.a);
+        TypeOf(*expr.b);
+        if (recv.is_list()) return recv.element();
+        return Type::Dynamic();
+      }
+      case ExprKind::kClosure:
+        return Type::Closure();
+      case ExprKind::kAssign:
+        return AssignType(expr);
+    }
+    return Type::Dynamic();
+  }
+
+  Type ListLiteralType(const Expr& expr) {
+    Type element = Type::Dynamic();
+    bool first = true;
+    for (const ExprPtr& item : expr.items) {
+      Type t = TypeOf(*item);
+      if (first) {
+        element = t;
+        first = false;
+        continue;
+      }
+      Type joined = Type::Join(element, t);
+      if (joined.is_dynamic() && !element.is_dynamic() && !t.is_dynamic()) {
+        // Heterogeneous collection: a documented Translator limitation
+        // (paper §11, limitation 5).
+        Problem(expr.line, "heterogeneous collection: elements of type " +
+                               element.ToString() + " and " + t.ToString() +
+                               " in one list literal (unsupported by the "
+                               "G2J translation)");
+      }
+      element = joined;
+    }
+    return Type::ListOf(element);
+  }
+
+  Type IdentType(const Expr& expr) {
+    const std::string& name = expr.text;
+    if (name == "location") return Type::Map();
+    if (name == "app") return Type::Map();
+    if (name == "it") return VariableType("it");
+    if (name == "Math") return Type::Map();
+    return VariableType(name);
+  }
+
+  Type BinaryType(const Expr& expr) {
+    Type lhs = TypeOf(*expr.a);
+    Type rhs = TypeOf(*expr.b);
+    switch (expr.binary_op) {
+      case BinaryOp::kAnd:
+      case BinaryOp::kOr:
+      case BinaryOp::kEq:
+      case BinaryOp::kNe:
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+      case BinaryOp::kIn:
+        return Type::Boolean();
+      case BinaryOp::kAdd:
+        // Groovy `+` on lists concatenates (paper Fig. 6); on strings
+        // concatenates; on numbers adds.
+        if (lhs.is_list() || rhs.is_list()) {
+          return Type::Join(lhs.is_list() ? lhs : Type::ListOf(lhs),
+                            rhs.is_list() ? rhs : Type::ListOf(rhs));
+        }
+        if (lhs.kind() == TypeKind::kString || rhs.kind() == TypeKind::kString) {
+          return Type::String();
+        }
+        if (lhs.is_numeric() && rhs.is_numeric()) return Type::Join(lhs, rhs);
+        return Type::Dynamic();
+      case BinaryOp::kSub:
+      case BinaryOp::kMul:
+      case BinaryOp::kMod:
+        if (lhs.is_numeric() && rhs.is_numeric()) return Type::Join(lhs, rhs);
+        return Type::Dynamic();
+      case BinaryOp::kDiv:
+        if (lhs.is_numeric() && rhs.is_numeric()) return Type::Decimal();
+        return Type::Dynamic();
+    }
+    return Type::Dynamic();
+  }
+
+  Type AssignType(const Expr& expr) {
+    Type value = TypeOf(*expr.b);
+    const Expr& target = *expr.a;
+    if (target.kind == ExprKind::kIdent) {
+      if (expr.assign_op == AssignOp::kAssign) {
+        UpdateVariable(target.text, value);
+      } else {
+        UpdateVariable(target.text, Type::Join(TypeOf(target), value));
+      }
+    } else if (target.kind == ExprKind::kMember &&
+               target.a->kind == ExprKind::kIdent &&
+               target.a->text == "state") {
+      // Track `state.<field>` types as pseudo-globals.
+      JoinInto(info_.globals, "state." + target.text, value);
+    } else {
+      TypeOf(target);
+    }
+    return value;
+  }
+
+  /// Closure return type with `it`/params bound to `element`.
+  Type ClosureResult(const Expr& closure, const Type& element) {
+    PushScope();
+    if (closure.params.empty()) {
+      DeclareLocal("it", element);
+    } else {
+      for (const std::string& p : closure.params) DeclareLocal(p, element);
+    }
+    Type return_type = Type::Void();
+    AnalyzeBody(closure.body, return_type);
+    PopScope();
+    return return_type;
+  }
+
+  Type CallType(const Expr& expr) {
+    // Evaluate named arguments for their side effects on inference.
+    for (const NamedArg& arg : expr.named) TypeOf(*arg.value);
+
+    if (!expr.a) {
+      return FreeCallType(expr);
+    }
+    Type recv = TypeOf(*expr.a);
+    return MethodCallType(recv, expr);
+  }
+
+  Type FreeCallType(const Expr& expr) {
+    const std::string& name = expr.text;
+    // User-defined methods: join argument types into parameter types and
+    // use the method's inferred return type (the §6 "calling context"
+    // consultation).
+    if (const MethodDecl* method = app_.FindMethod(name)) {
+      for (std::size_t i = 0; i < expr.items.size(); ++i) {
+        Type arg = TypeOf(*expr.items[i]);
+        if (i < method->params.size()) {
+          JoinInto(info_.params, method->name + "." + method->params[i], arg);
+        }
+      }
+      return info_.ReturnType(name);
+    }
+    Type api_type;
+    if (PlatformFunctionType(name, api_type)) {
+      for (const ExprPtr& arg : expr.items) TypeOf(*arg);
+      return api_type;
+    }
+    for (const ExprPtr& arg : expr.items) TypeOf(*arg);
+    Problem(expr.line, "unknown function '" + name + "'");
+    return Type::Dynamic();
+  }
+
+  Type MethodCallType(const Type& recv, const Expr& expr) {
+    const std::string& name = expr.text;
+    for (const ExprPtr& arg : expr.items) {
+      if (arg->kind != ExprKind::kClosure) TypeOf(*arg);
+    }
+
+    const Expr* closure = nullptr;
+    if (!expr.items.empty() &&
+        expr.items.back()->kind == ExprKind::kClosure) {
+      closure = expr.items.back().get();
+    }
+
+    if (recv.is_list() || recv.is_dynamic()) {
+      const Type element = recv.is_list() ? recv.element() : Type::Dynamic();
+      if (name == "each") {
+        if (closure) ClosureResult(*closure, element);
+        return recv;
+      }
+      if (name == "find" || name == "first" || name == "last" ||
+          name == "min" || name == "max") {
+        if (closure) ClosureResult(*closure, element);
+        return element;
+      }
+      if (name == "findAll" || name == "sort" || name == "unique" ||
+          name == "reverse") {
+        if (closure) ClosureResult(*closure, element);
+        return recv.is_list() ? recv : Type::ListOf(element);
+      }
+      if (name == "collect") {
+        Type mapped =
+            closure ? ClosureResult(*closure, element) : Type::Dynamic();
+        return Type::ListOf(mapped);
+      }
+      if (name == "any" || name == "every" || name == "contains" ||
+          name == "isEmpty") {
+        if (closure) ClosureResult(*closure, element);
+        return Type::Boolean();
+      }
+      if (name == "size" || name == "count" || name == "indexOf") {
+        return Type::Integer();
+      }
+      if (name == "sum") return element;
+      if (name == "join") return Type::String();
+    }
+
+    if (recv.kind() == TypeKind::kString || recv.is_dynamic()) {
+      if (name == "toInteger") return Type::Integer();
+      if (name == "toDouble" || name == "toBigDecimal" || name == "toFloat") {
+        return Type::Decimal();
+      }
+      if (name == "toLowerCase" || name == "toUpperCase" || name == "trim" ||
+          name == "toString" || name == "replaceAll") {
+        return Type::String();
+      }
+      if (name == "startsWith" || name == "endsWith" ||
+          name == "equalsIgnoreCase") {
+        return Type::Boolean();
+      }
+      if (name == "length") return Type::Integer();
+    }
+
+    if (recv.is_device()) {
+      if (name == "currentValue" || name == "latestValue") {
+        return Type::Dynamic();
+      }
+      if (name == "currentState" || name == "latestState") return Type::Map();
+      if (name == "hasCapability" || name == "hasCommand" ||
+          name == "hasAttribute") {
+        return Type::Boolean();
+      }
+      // Any other method on a device is an actuator command: on(), off(),
+      // lock(), setLevel(50), ... — all void.
+      return Type::Void();
+    }
+
+    // Map/unknown receivers.
+    if (name == "toString") return Type::String();
+    if (name == "get" || name == "put") return Type::Dynamic();
+    if (name == "containsKey") return Type::Boolean();
+    if (name == "abs" || name == "max" || name == "min" ||
+        name == "round" || name == "floor" || name == "ceil") {
+      return Type::Decimal();
+    }
+    if (name == "debug" || name == "info" || name == "warn" ||
+        name == "error" || name == "trace") {
+      return Type::Void();  // log.debug(...)
+    }
+    if (closure) ClosureResult(*closure, Type::Dynamic());
+    return Type::Dynamic();
+  }
+
+  Type MemberType(const Type& recv, const std::string& name,
+                  const Expr& expr) {
+    // `location.mode`, `location.modes`.
+    if (expr.a->kind == ExprKind::kIdent && expr.a->text == "location") {
+      if (name == "mode") return Type::String();
+      if (name == "modes") return Type::ListOf(Type::String());
+      if (name == "name") return Type::String();
+      return Type::Dynamic();
+    }
+    if (expr.a->kind == ExprKind::kIdent && expr.a->text == "state") {
+      auto it = info_.globals.find("state." + name);
+      return it != info_.globals.end() ? it->second : Type::Dynamic();
+    }
+
+    if (recv.is_device()) {
+      if (strings::StartsWith(name, "current") && name.size() > 7) {
+        std::string attr = name.substr(7);
+        attr[0] = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(attr[0])));
+        return NumericAttributes().count(attr) ? Type::Decimal()
+                                               : Type::String();
+      }
+      if (name == "id" || name == "label" || name == "displayName" ||
+          name == "name") {
+        return Type::String();
+      }
+      return Type::Dynamic();
+    }
+
+    if (recv.is_list()) {
+      if (name == "size") return Type::Integer();
+      if (name == "first" || name == "last") return recv.element();
+      // Groovy "spread" property read: devices.currentSwitch is the list
+      // of per-device readings.
+      Type element_member = MemberOfElement(recv.element(), name);
+      return Type::ListOf(element_member);
+    }
+
+    // Event object fields (events are modeled as Map).
+    if (name == "value" || name == "name" || name == "displayName" ||
+        name == "descriptionText" || name == "deviceId") {
+      return Type::String();
+    }
+    if (name == "numericValue" || name == "doubleValue" ||
+        name == "floatValue") {
+      return Type::Decimal();
+    }
+    if (name == "integerValue" || name == "longValue") {
+      return Type::Integer();
+    }
+    if (name == "isStateChange" || name == "physical" || name == "digital") {
+      return Type::Boolean();
+    }
+    if (name == "device") return Type::Device("actuator");
+    return Type::Dynamic();
+  }
+
+  Type MemberOfElement(const Type& element, const std::string& name) {
+    if (element.is_device() && strings::StartsWith(name, "current") &&
+        name.size() > 7) {
+      std::string attr = name.substr(7);
+      attr[0] = static_cast<char>(
+          std::tolower(static_cast<unsigned char>(attr[0])));
+      return NumericAttributes().count(attr) ? Type::Decimal()
+                                             : Type::String();
+    }
+    return Type::Dynamic();
+  }
+};
+
+}  // namespace
+
+TypeInfo InferTypes(const App& app) {
+  return Inference(app).Run();
+}
+
+}  // namespace iotsan::dsl

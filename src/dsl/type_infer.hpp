@@ -1,0 +1,51 @@
+// Anchor-point type inference for SmartScript (paper §6).
+//
+// Groovy app code is dynamically typed but the Translator needs static
+// types.  Following the paper, types are seeded at *anchor points* —
+// assignments from literals, `input` declarations, return values of known
+// platform APIs, and known platform objects — then propagated iteratively
+// through assignments, method arguments and return values until a fixed
+// point is reached.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dsl/ast.hpp"
+#include "dsl/type.hpp"
+
+namespace iotsan::dsl {
+
+/// Result of running inference over one app.
+struct TypeInfo {
+  /// Inferred type of each app global (one per `input` plus `state`).
+  std::map<std::string, Type> globals;
+  /// Per-method local variable types, keyed "method.variable".
+  std::map<std::string, Type> locals;
+  /// Per-method parameter types, keyed "method.param".
+  std::map<std::string, Type> params;
+  /// Inferred return type of each method.
+  std::map<std::string, Type> returns;
+  /// Translation problems found (heterogeneous collections, unknown
+  /// identifiers); each entry is a human-readable message.
+  std::vector<std::string> problems;
+  /// Number of propagation passes needed to reach the fixed point.
+  int iterations = 0;
+
+  Type LocalType(const std::string& method, const std::string& var) const;
+  Type ReturnType(const std::string& method) const;
+};
+
+/// Runs type inference over `app`.  Never throws on type problems — they
+/// are accumulated in TypeInfo::problems so the caller (the Translator)
+/// can report all of them at once, as Bandera does.
+TypeInfo InferTypes(const App& app);
+
+/// Maps an `input` declaration type string to a SmartScript type:
+/// "capability.switch" -> Device<switch> (List<...> when multiple),
+/// "number" -> Integer, "decimal" -> Decimal, "bool" -> Boolean,
+/// "enum"/"text"/"time"/"phone"/"contact"/"mode" -> String.
+Type InputDeclType(const InputDecl& input);
+
+}  // namespace iotsan::dsl

@@ -1,0 +1,223 @@
+#include "ifttt/applet.hpp"
+
+#include <map>
+#include <set>
+
+#include "devices/device_type.hpp"
+#include "util/error.hpp"
+
+namespace iotsan::ifttt {
+
+const std::vector<ServiceSpec>& Services() {
+  static const std::vector<ServiceSpec>& services =
+      *new std::vector<ServiceSpec>{
+          // Trigger services (sensors).
+          {"smartthings_motion", "motionSensor", "motion", true, false},
+          {"smartthings_contact", "contactSensor", "contact", true, false},
+          {"smartthings_presence", "presenceSensor", "presence", true, false},
+          {"amazon_alexa", "buttonController", "button", true, false},
+          {"google_assistant", "buttonController", "button", true, false},
+          // Action services (actuators).
+          {"ring_siren", "smartAlarm", "alarm", false, true},
+          {"august_lock", "smartLock", "lock", false, true},
+          {"wemo_switch", "smartSwitch", "switch", false, true},
+          {"voip_call", "voipCall", "call", false, true},
+          {"myq_garage", "doorController", "door", false, true},
+          {"nest_thermostat", "thermostatDevice", "thermostatMode", false,
+           true},
+      };
+  return services;
+}
+
+const ServiceSpec* FindService(const std::string& name) {
+  for (const ServiceSpec& service : Services()) {
+    if (service.name == name) return &service;
+  }
+  return nullptr;
+}
+
+Applet ParseApplet(const json::Value& doc) {
+  Applet applet;
+  applet.name = doc.GetString("name");
+  const json::Value& trigger = doc.At("trigger");
+  const json::Value& action = doc.At("action");
+  applet.trigger_service = trigger.GetString("service");
+  applet.trigger_event = trigger.GetString("event");
+  applet.action_service = action.GetString("service");
+  applet.action_command = action.GetString("command");
+
+  if (applet.name.empty()) throw ParseError("applet needs a name");
+  const ServiceSpec* ts = FindService(applet.trigger_service);
+  if (ts == nullptr || !ts->is_trigger) {
+    throw SemanticError("applet '" + applet.name +
+                        "': unknown trigger service '" +
+                        applet.trigger_service + "'");
+  }
+  const ServiceSpec* as = FindService(applet.action_service);
+  if (as == nullptr || !as->is_action) {
+    throw SemanticError("applet '" + applet.name +
+                        "': unknown action service '" +
+                        applet.action_service + "'");
+  }
+  // Validate the command against the action device type.
+  const devices::DeviceTypeSpec* type =
+      devices::DeviceTypeRegistry::Instance().Find(as->device_type);
+  if (type == nullptr || type->FindCommand(applet.action_command) == nullptr) {
+    throw SemanticError("applet '" + applet.name + "': action service '" +
+                        applet.action_service + "' has no command '" +
+                        applet.action_command + "'");
+  }
+  return applet;
+}
+
+std::vector<Applet> ParseApplets(std::string_view json_text) {
+  std::vector<Applet> out;
+  const json::Value doc = json::Parse(json_text);
+  for (const json::Value& entry : doc.AsArray()) {
+    out.push_back(ParseApplet(entry));
+  }
+  return out;
+}
+
+namespace {
+
+/// Capability (within `type`) that owns `attribute`.
+std::string CapabilityOfAttribute(const std::string& device_type,
+                                  const std::string& attribute) {
+  const devices::DeviceTypeSpec* type =
+      devices::DeviceTypeRegistry::Instance().Find(device_type);
+  if (type == nullptr) throw SemanticError("unknown type " + device_type);
+  for (const std::string& cap_name : type->capabilities) {
+    const devices::CapabilitySpec* cap =
+        devices::CapabilityRegistry::Instance().Find(cap_name);
+    if (cap != nullptr && cap->FindAttribute(attribute) != nullptr) {
+      return cap_name;
+    }
+  }
+  throw SemanticError("type " + device_type + " has no attribute " +
+                      attribute);
+}
+
+/// Capability (within `type`) that owns `command`.
+std::string CapabilityOfCommand(const std::string& device_type,
+                                const std::string& command) {
+  const devices::DeviceTypeSpec* type =
+      devices::DeviceTypeRegistry::Instance().Find(device_type);
+  if (type == nullptr) throw SemanticError("unknown type " + device_type);
+  for (const std::string& cap_name : type->capabilities) {
+    const devices::CapabilitySpec* cap =
+        devices::CapabilityRegistry::Instance().Find(cap_name);
+    if (cap != nullptr && cap->FindCommand(command) != nullptr) {
+      return cap_name;
+    }
+  }
+  throw SemanticError("type " + device_type + " has no command " + command);
+}
+
+/// Roles attached to each service's device so the built-in safety
+/// properties bind (paper Table 9's properties reference intrusion,
+/// locks, sirens, and phone calls).
+std::vector<std::string> RolesForService(const ServiceSpec& service) {
+  if (service.name == "smartthings_motion") return {"securityMotion"};
+  if (service.name == "smartthings_contact") return {"frontDoorContact"};
+  if (service.name == "smartthings_presence") return {"presence"};
+  if (service.name == "ring_siren") return {"alarmSiren"};
+  if (service.name == "august_lock") return {"mainDoorLock"};
+  if (service.name == "wemo_switch") return {"light"};
+  if (service.name == "voip_call") return {"phoneCall"};
+  if (service.name == "myq_garage") return {"garageDoor"};
+  return {};
+}
+
+}  // namespace
+
+std::string ToSmartScript(const Applet& applet) {
+  const ServiceSpec& trigger = *FindService(applet.trigger_service);
+  const ServiceSpec& action = *FindService(applet.action_service);
+  const std::string trigger_cap =
+      CapabilityOfAttribute(trigger.device_type, trigger.attribute);
+  const std::string action_cap =
+      CapabilityOfCommand(action.device_type, applet.action_command);
+
+  // Voice phrases map onto button pushes: the phrase itself is free text.
+  std::string event_spec = trigger.attribute;
+  const devices::DeviceTypeSpec* trigger_type =
+      devices::DeviceTypeRegistry::Instance().Find(trigger.device_type);
+  const devices::AttributeSpec* attr =
+      trigger_type->FindAttribute(trigger.attribute);
+  if (attr != nullptr && attr->IndexOfValue(applet.trigger_event) >= 0) {
+    event_spec += "." + applet.trigger_event;
+  } else if (trigger.attribute == "button") {
+    event_spec += ".pushed";  // any phrase = a push of the voice trigger
+  }
+
+  std::string out;
+  out += "definition(name: \"" + applet.name + "\",\n";
+  out += "    namespace: \"iotsan.ifttt\", author: \"ifttt\",\n";
+  out += "    description: \"IF " + applet.trigger_service + "/" +
+         applet.trigger_event + " THEN " + applet.action_service + "." +
+         applet.action_command + "\")\n\n";
+  out += "preferences {\n";
+  out += "    section(\"Trigger\") {\n";
+  out += "        input \"triggerDev\", \"capability." + trigger_cap +
+         "\", title: \"Trigger\"\n";
+  out += "    }\n";
+  out += "    section(\"Action\") {\n";
+  out += "        input \"actionDev\", \"capability." + action_cap +
+         "\", title: \"Action\"\n";
+  out += "    }\n";
+  out += "}\n\n";
+  out += "def installed() {\n";
+  out += "    subscribe(triggerDev, \"" + event_spec + "\", ruleHandler)\n";
+  out += "}\n\n";
+  out += "def ruleHandler(evt) {\n";
+  out += "    actionDev." + applet.action_command + "()\n";
+  out += "}\n";
+  return out;
+}
+
+config::Deployment BuildDeployment(const std::vector<Applet>& applets,
+                                   const std::string& name) {
+  config::Deployment deployment;
+  deployment.name = name;
+
+  std::set<std::string> services_used;
+  for (const Applet& applet : applets) {
+    services_used.insert(applet.trigger_service);
+    services_used.insert(applet.action_service);
+  }
+  // Deterministic device per service.
+  for (const ServiceSpec& service : Services()) {
+    if (!services_used.count(service.name)) continue;
+    config::DeviceConfig device;
+    device.id = service.name + "Dev";
+    device.type = service.device_type;
+    device.roles = RolesForService(service);
+    deployment.devices.push_back(std::move(device));
+  }
+
+  for (const Applet& applet : applets) {
+    config::AppConfig app;
+    app.app = applet.name;
+    app.label = applet.name;
+    config::Binding trigger_binding;
+    trigger_binding.device_ids = {applet.trigger_service + "Dev"};
+    app.inputs["triggerDev"] = std::move(trigger_binding);
+    config::Binding action_binding;
+    action_binding.device_ids = {applet.action_service + "Dev"};
+    app.inputs["actionDev"] = std::move(action_binding);
+    deployment.apps.push_back(std::move(app));
+  }
+  return deployment;
+}
+
+std::vector<std::pair<std::string, std::string>> RuleSources(
+    const std::vector<Applet>& applets) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const Applet& applet : applets) {
+    out.emplace_back(applet.name, ToSmartScript(applet));
+  }
+  return out;
+}
+
+}  // namespace iotsan::ifttt

@@ -1,0 +1,66 @@
+// IFTTT front-end (paper §11).
+//
+// IFTTT applets ("IF This Then That" rules) have a Trigger Service and an
+// Action Service.  As in the paper, each rule is translated into a
+// one-handler app — the subscribed device and event come from the trigger
+// service, the controlled device and command from the action service —
+// and the rest of the IotSan pipeline is reused unchanged.  Eight
+// IoT-relevant services are modeled as sensor or actuator devices.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/deployment.hpp"
+#include "util/json.hpp"
+
+namespace iotsan::ifttt {
+
+/// One parsed applet.
+struct Applet {
+  std::string name;             // rule name, e.g. "rule #1"
+  std::string trigger_service;  // "smartthings_motion", "alexa", ...
+  std::string trigger_event;    // "active", "open", a phrase for voice
+  std::string action_service;   // "ring_siren", "august_lock", ...
+  std::string action_command;   // "siren", "unlock", "on", ...
+};
+
+/// A modeled IFTTT service: how it maps onto a device.
+struct ServiceSpec {
+  std::string name;          // service id in applet JSON
+  std::string device_type;   // devices::DeviceTypeRegistry type
+  std::string attribute;     // trigger attribute (sensor services)
+  bool is_trigger = false;   // usable as "This"
+  bool is_action = false;    // usable as "That"
+};
+
+/// The modeled services (the paper models 8 popular IoT services).
+const std::vector<ServiceSpec>& Services();
+const ServiceSpec* FindService(const std::string& name);
+
+/// Parses one applet from JSON:
+///   {"name": "rule #1",
+///    "trigger": {"service": "smartthings_motion", "event": "active"},
+///    "action": {"service": "ring_siren", "command": "siren"}}
+Applet ParseApplet(const json::Value& doc);
+
+/// Parses a JSON array of applets.
+std::vector<Applet> ParseApplets(std::string_view json_text);
+
+/// Translates the applet into a one-handler SmartScript app (the paper's
+/// IFTTT-to-Java translation, retargeted at SmartScript).  The app's
+/// single input is named "triggerDev"; the controlled device "actionDev".
+std::string ToSmartScript(const Applet& applet);
+
+/// Builds a deployment installing `applets` in one smart home: one device
+/// per distinct service, with sensible roles for the safety properties.
+/// The returned deployment's app sources must be registered with
+/// Sanitizer::AddAppSource using RuleSources().
+config::Deployment BuildDeployment(const std::vector<Applet>& applets,
+                                   const std::string& name = "ifttt home");
+
+/// (app name, SmartScript source) pairs for the translated rules.
+std::vector<std::pair<std::string, std::string>> RuleSources(
+    const std::vector<Applet>& applets);
+
+}  // namespace iotsan::ifttt

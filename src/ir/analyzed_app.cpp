@@ -1,0 +1,57 @@
+#include "ir/analyzed_app.hpp"
+
+namespace iotsan::ir {
+
+std::string EventPattern::ToString() const {
+  switch (scope) {
+    case EventScope::kDevice:
+      return attribute + "/" + (value.empty() ? "\"...\"" : value);
+    case EventScope::kLocationMode:
+      return "location/" + (value.empty() ? std::string("mode") : value);
+    case EventScope::kAppTouch:
+      return "app/touch";
+    case EventScope::kTime:
+      return "time/tick";
+  }
+  return "?";
+}
+
+bool EventPattern::Overlaps(const EventPattern& other) const {
+  if (scope != other.scope) return false;
+  switch (scope) {
+    case EventScope::kAppTouch:
+    case EventScope::kTime:
+      return true;
+    case EventScope::kLocationMode:
+      return value.empty() || other.value.empty() || value == other.value;
+    case EventScope::kDevice:
+      // An empty attribute is a wildcard (dynamic-discovery apps can
+      // actuate anything).
+      if (!attribute.empty() && !other.attribute.empty() &&
+          attribute != other.attribute) {
+        return false;
+      }
+      return value.empty() || other.value.empty() || value == other.value;
+  }
+  return false;
+}
+
+bool EventPattern::ConflictsWith(const EventPattern& other) const {
+  if (scope != other.scope) return false;
+  if (scope == EventScope::kDevice && attribute != other.attribute) {
+    return false;
+  }
+  if (scope == EventScope::kAppTouch || scope == EventScope::kTime) {
+    return false;
+  }
+  return !value.empty() && !other.value.empty() && value != other.value;
+}
+
+const HandlerInfo* AnalyzedApp::FindHandler(const std::string& name) const {
+  for (const HandlerInfo& h : handlers) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+}  // namespace iotsan::ir

@@ -1,0 +1,267 @@
+#include "model/engine.hpp"
+
+namespace iotsan::model {
+
+std::string ExternalEvent::Describe(const SystemModel& model) const {
+  switch (kind) {
+    case ExternalEventSpec::Kind::kSensor: {
+      const devices::Device& dev = model.devices()[device];
+      const devices::AttributeSpec& attr = *dev.attributes()[attribute];
+      return dev.id() + ": " + attr.name + "/" + attr.ValueName(value);
+    }
+    case ExternalEventSpec::Kind::kAppTouch:
+      return "app touch: " + model.apps()[app].config.label;
+    case ExternalEventSpec::Kind::kTimerTick:
+      return "timer tick";
+    case ExternalEventSpec::Kind::kUserModeChange:
+      return "user sets mode " + model.modes()[value];
+  }
+  return "?";
+}
+
+std::vector<ExternalEvent> CascadeEngine::EnabledEvents(
+    const SystemState& state) const {
+  std::vector<ExternalEvent> events;
+  for (const ExternalEventSpec& spec : model_.external_events()) {
+    switch (spec.kind) {
+      case ExternalEventSpec::Kind::kSensor: {
+        const devices::Device& device = model_.devices()[spec.device];
+        const devices::AttributeSpec& attr =
+            *device.attributes()[spec.attribute];
+        const int current =
+            state.devices[spec.device].physical[spec.attribute];
+        for (int v = 0; v < attr.domain_size(); ++v) {
+          if (v == current) continue;  // Algorithm 1, line 8: no-op events
+          ExternalEvent event;
+          event.kind = spec.kind;
+          event.device = spec.device;
+          event.attribute = spec.attribute;
+          event.value = v;
+          events.push_back(event);
+        }
+        break;
+      }
+      case ExternalEventSpec::Kind::kAppTouch: {
+        ExternalEvent event;
+        event.kind = spec.kind;
+        event.app = spec.app;
+        events.push_back(event);
+        break;
+      }
+      case ExternalEventSpec::Kind::kTimerTick: {
+        // A tick is enabled when a one-shot timer is pending or any app
+        // has a recurring schedule.
+        bool enabled = !state.timers.empty();
+        for (const InstalledApp& app : model_.apps()) {
+          for (const ir::ScheduleInfo& schedule : app.analysis.schedules) {
+            enabled = enabled || schedule.recurring;
+          }
+        }
+        if (enabled) {
+          ExternalEvent event;
+          event.kind = spec.kind;
+          events.push_back(event);
+        }
+        break;
+      }
+      case ExternalEventSpec::Kind::kUserModeChange: {
+        for (std::size_t m = 0; m < model_.modes().size(); ++m) {
+          if (static_cast<int>(m) == state.mode) continue;
+          ExternalEvent event;
+          event.kind = spec.kind;
+          event.value = static_cast<int>(m);
+          events.push_back(event);
+        }
+        break;
+      }
+    }
+  }
+  return events;
+}
+
+void CascadeEngine::InjectExternal(SystemState& state,
+                                   const ExternalEvent& event,
+                                   const FailureScenario& failure,
+                                   std::deque<devices::Event>& queue,
+                                   CascadeLog& log) const {
+  switch (event.kind) {
+    case ExternalEventSpec::Kind::kSensor: {
+      const devices::Device& device = model_.devices()[event.device];
+      const devices::AttributeSpec& attr =
+          *device.attributes()[event.attribute];
+      // The physical world changes regardless of sensor availability.
+      if (state.devices[event.device].physical[event.attribute] ==
+          event.value) {
+        return;
+      }
+      state.devices[event.device].physical[event.attribute] =
+          static_cast<std::int16_t>(event.value);
+      if (failure.sensor_offline) {
+        // The physical event happened but the sensor cannot report it:
+        // no cyber event is generated, and the cyber reading goes stale
+        // (paper §8 failure model, Fig. 8b).
+        log.trace.push_back("-- sensor " + device.id() +
+                            " offline: physical event " + attr.name + "/" +
+                            attr.ValueName(event.value) + " missed");
+        return;
+      }
+      // sensor_state_update (Algorithm 1, lines 8-12).
+      state.devices[event.device].values[event.attribute] =
+          static_cast<std::int16_t>(event.value);
+      devices::Event cyber;
+      cyber.source = devices::EventSource::kDevice;
+      cyber.device = event.device;
+      cyber.attribute = event.attribute;
+      cyber.value = event.value;
+      queue.push_back(cyber);
+      log.trace.push_back("generatedEvent.evtType = " +
+                          attr.ValueName(event.value) + " (" + device.id() +
+                          "/" + attr.name + ")");
+      break;
+    }
+    case ExternalEventSpec::Kind::kAppTouch: {
+      devices::Event cyber;
+      cyber.source = devices::EventSource::kAppTouch;
+      cyber.app = event.app;
+      queue.push_back(cyber);
+      log.trace.push_back("app touch: " +
+                          model_.apps()[event.app].config.label);
+      break;
+    }
+    case ExternalEventSpec::Kind::kTimerTick: {
+      // Fire pending one-shot timers; when none are pending, fire the
+      // recurring schedules (system time advanced past their deadline).
+      if (!state.timers.empty()) {
+        std::vector<TimerEntry> firing = state.timers;
+        state.timers.clear();
+        for (const TimerEntry& timer : firing) {
+          devices::Event cyber;
+          cyber.source = devices::EventSource::kTimer;
+          cyber.app = timer.app;
+          cyber.timer = timer.schedule;
+          queue.push_back(cyber);
+        }
+      } else {
+        for (std::size_t a = 0; a < model_.apps().size(); ++a) {
+          const auto& schedules = model_.apps()[a].analysis.schedules;
+          for (std::size_t s = 0; s < schedules.size(); ++s) {
+            if (!schedules[s].recurring) continue;
+            devices::Event cyber;
+            cyber.source = devices::EventSource::kTimer;
+            cyber.app = static_cast<int>(a);
+            cyber.timer = static_cast<int>(s);
+            queue.push_back(cyber);
+          }
+        }
+      }
+      log.trace.push_back("timer tick");
+      break;
+    }
+    case ExternalEventSpec::Kind::kUserModeChange: {
+      if (state.mode == event.value) break;
+      state.mode = static_cast<std::int16_t>(event.value);
+      devices::Event cyber;
+      cyber.source = devices::EventSource::kLocationMode;
+      cyber.value = event.value;
+      queue.push_back(cyber);
+      log.trace.push_back("user sets location.mode = " +
+                          model_.modes()[event.value]);
+      break;
+    }
+  }
+}
+
+void CascadeEngine::DispatchOne(SystemState& state,
+                                const devices::Event& event,
+                                std::deque<devices::Event>& queue,
+                                CascadeLog& log,
+                                const FailureScenario& failure) const {
+  Evaluator evaluator(model_, state, queue, log, failure);
+  if (event.source == devices::EventSource::kTimer) {
+    const InstalledApp& app = model_.apps()[event.app];
+    const ir::ScheduleInfo& schedule = app.analysis.schedules[event.timer];
+    log.trace.push_back("dispatch timer -> " + app.config.label + "." +
+                        schedule.handler);
+    evaluator.InvokeHandler(event.app, schedule.handler, &event);
+    return;
+  }
+  for (const ResolvedSubscription* sub : model_.Subscribers(event)) {
+    std::string description;
+    if (event.source == devices::EventSource::kDevice) {
+      description =
+          devices::DescribeDeviceEvent(model_.devices()[event.device], event);
+    } else if (event.source == devices::EventSource::kLocationMode) {
+      description = "location/" + model_.modes()[event.value];
+    } else {
+      description = "app/touch";
+    }
+    log.trace.push_back("dispatch " + description + " -> " +
+                        model_.apps()[sub->app].config.label + "." +
+                        sub->handler);
+    evaluator.InvokeHandler(sub->app, sub->handler, &event);
+  }
+}
+
+void CascadeEngine::RunSequential(SystemState& state,
+                                  std::deque<devices::Event>& queue,
+                                  CascadeLog& log,
+                                  const FailureScenario& failure) const {
+  int processed = 0;
+  while (!queue.empty()) {
+    if (++processed > kCascadeBound) {
+      log.truncated = true;
+      break;
+    }
+    devices::Event event = queue.front();
+    queue.pop_front();
+    DispatchOne(state, event, queue, log, failure);
+  }
+}
+
+void CascadeEngine::RunConcurrent(const SystemState& state,
+                                  const std::deque<devices::Event>& queue,
+                                  const CascadeLog& log,
+                                  const FailureScenario& failure, int depth,
+                                  std::vector<StepOutcome>& outcomes) const {
+  if (static_cast<int>(outcomes.size()) >= kMaxInterleavings) return;
+  if (queue.empty() || depth > kCascadeBound) {
+    StepOutcome outcome;
+    outcome.state = state;
+    outcome.log = log;
+    outcome.log.truncated = outcome.log.truncated || depth > kCascadeBound;
+    outcomes.push_back(std::move(outcome));
+    return;
+  }
+  // Choose which pending event is delivered next: all orders explored.
+  for (std::size_t pick = 0; pick < queue.size(); ++pick) {
+    SystemState next_state = state;
+    CascadeLog next_log = log;
+    std::deque<devices::Event> next_queue = queue;
+    devices::Event event = next_queue[pick];
+    next_queue.erase(next_queue.begin() + static_cast<long>(pick));
+    DispatchOne(next_state, event, next_queue, next_log, failure);
+    RunConcurrent(next_state, next_queue, next_log, failure, depth + 1,
+                  outcomes);
+  }
+}
+
+std::vector<StepOutcome> CascadeEngine::Apply(
+    const SystemState& from, const ExternalEvent& event,
+    const FailureScenario& failure, Scheduling scheduling) const {
+  SystemState state = from;
+  std::deque<devices::Event> queue;
+  CascadeLog log;
+  InjectExternal(state, event, failure, queue, log);
+
+  if (scheduling == Scheduling::kSequential) {
+    RunSequential(state, queue, log, failure);
+    std::vector<StepOutcome> outcomes;
+    outcomes.push_back({std::move(state), std::move(log)});
+    return outcomes;
+  }
+  std::vector<StepOutcome> outcomes;
+  RunConcurrent(state, queue, log, failure, 0, outcomes);
+  return outcomes;
+}
+
+}  // namespace iotsan::model

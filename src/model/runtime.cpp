@@ -1,0 +1,33 @@
+#include "model/runtime.hpp"
+
+namespace iotsan::model {
+
+std::string FailureScenario::Label() const {
+  if (!Any()) return "no failure";
+  std::string out;
+  auto add = [&out](const char* label) {
+    if (!out.empty()) out += "+";
+    out += label;
+  };
+  if (sensor_offline) add("sensor offline");
+  if (actuator_offline) add("actuator offline");
+  if (comm_fail) add("communication failure");
+  return out;
+}
+
+const std::vector<FailureScenario>& FailureScenario::AllScenarios() {
+  static const std::vector<FailureScenario> kAll = {
+      FailureScenario{},
+      FailureScenario{.sensor_offline = true},
+      FailureScenario{.actuator_offline = true},
+      FailureScenario{.comm_fail = true},
+  };
+  return kAll;
+}
+
+const std::vector<FailureScenario>& FailureScenario::NoFailure() {
+  static const std::vector<FailureScenario> kNone = {FailureScenario{}};
+  return kNone;
+}
+
+}  // namespace iotsan::model

@@ -1,0 +1,80 @@
+#include "model/state.hpp"
+
+#include "util/error.hpp"
+
+namespace iotsan::model {
+
+namespace {
+
+void PutU16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void PutString(std::vector<std::uint8_t>& out, const std::string& s) {
+  PutU16(out, static_cast<std::uint16_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void PutScalar(std::vector<std::uint8_t>& out, const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      out.push_back(0);
+      break;
+    case Value::Kind::kBool:
+      out.push_back(1);
+      out.push_back(v.AsBool() ? 1 : 0);
+      break;
+    case Value::Kind::kNumber: {
+      out.push_back(2);
+      const double d = v.AsNumber();
+      const auto* bytes = reinterpret_cast<const std::uint8_t*>(&d);
+      out.insert(out.end(), bytes, bytes + sizeof(double));
+      break;
+    }
+    case Value::Kind::kString:
+      out.push_back(3);
+      PutString(out, v.AsString());
+      break;
+    default:
+      throw Error(
+          "app `state` may only hold scalar values (null/bool/number/"
+          "string); got " + v.ToDisplayString());
+  }
+}
+
+}  // namespace
+
+void SystemState::SerializeTo(std::vector<std::uint8_t>& out) const {
+  for (const devices::State& device : devices) {
+    out.push_back(device.online ? 1 : 0);
+    for (std::int16_t value : device.values) {
+      PutU16(out, static_cast<std::uint16_t>(value));
+    }
+    for (std::int16_t value : device.physical) {
+      PutU16(out, static_cast<std::uint16_t>(value));
+    }
+  }
+  PutU16(out, static_cast<std::uint16_t>(mode));
+  for (const auto& state_map : app_state) {
+    PutU16(out, static_cast<std::uint16_t>(state_map.size()));
+    for (const auto& [key, value] : state_map) {  // std::map: sorted keys
+      PutString(out, key);
+      PutScalar(out, value);
+    }
+  }
+  PutU16(out, static_cast<std::uint16_t>(timers.size()));
+  for (const TimerEntry& timer : timers) {
+    PutU16(out, static_cast<std::uint16_t>(timer.app));
+    PutU16(out, static_cast<std::uint16_t>(timer.schedule));
+  }
+}
+
+std::vector<std::uint8_t> SystemState::Serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(64);
+  SerializeTo(out);
+  return out;
+}
+
+}  // namespace iotsan::model

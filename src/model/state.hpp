@@ -1,0 +1,45 @@
+// The model checker's state vector (paper §8).
+//
+// A SystemState captures everything the generated Promela model would
+// hold in global variables: every device's attribute values and
+// availability, the location mode, each app's persistent `state` map, and
+// pending one-shot timers.  States are snapshotted/restored by the DFS
+// and serialized to bytes for hashing (exhaustive or BITSTATE storage).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "devices/device.hpp"
+#include "model/value.hpp"
+
+namespace iotsan::model {
+
+/// A pending one-shot timer created by runIn()/runOnce().
+struct TimerEntry {
+  int app = 0;       // owning app index
+  int schedule = 0;  // index into the app's schedule list
+  bool operator==(const TimerEntry&) const = default;
+};
+
+struct SystemState {
+  std::vector<devices::State> devices;
+  std::int16_t mode = 0;
+  /// Per-app persistent `state` map.  Values must be scalars (null, bool,
+  /// number, string) — the evaluator enforces this so states hash
+  /// deterministically.
+  std::vector<std::map<std::string, Value>> app_state;
+  std::vector<TimerEntry> timers;
+
+  /// Appends a canonical byte serialization to `out` (for hashing).
+  void SerializeTo(std::vector<std::uint8_t>& out) const;
+
+  /// Canonical byte serialization.
+  std::vector<std::uint8_t> Serialize() const;
+
+  bool operator==(const SystemState&) const = default;
+};
+
+}  // namespace iotsan::model

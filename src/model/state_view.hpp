@@ -1,0 +1,28 @@
+// Adapts (SystemModel, SystemState) to the property evaluator's StateView.
+#pragma once
+
+#include "model/state.hpp"
+#include "model/system_model.hpp"
+#include "props/eval.hpp"
+
+namespace iotsan::model {
+
+class ModelStateView final : public props::StateView {
+ public:
+  ModelStateView(const SystemModel& model, const SystemState& state)
+      : model_(model), state_(state) {}
+
+  std::vector<int> DevicesWithRole(const std::string& role) const override;
+  std::optional<std::string> AttributeValue(
+      int device, const std::string& attr) const override;
+  std::optional<double> NumericValue(int device,
+                                     const std::string& attr) const override;
+  std::string LocationMode() const override;
+  bool DeviceOnline(int device) const override;
+
+ private:
+  const SystemModel& model_;
+  const SystemState& state_;
+};
+
+}  // namespace iotsan::model

@@ -1,0 +1,134 @@
+#include "model/value.hpp"
+
+#include "util/strings.hpp"
+
+namespace iotsan::model {
+
+Value Value::Bool(bool b) {
+  Value v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::Number(double n) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+Value Value::String(std::string s) {
+  Value v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::Device(int index) {
+  Value v;
+  v.kind_ = Kind::kDevice;
+  v.device_ = index;
+  return v;
+}
+
+Value Value::List(ValueList items) {
+  Value v;
+  v.kind_ = Kind::kList;
+  v.list_ = std::make_shared<ValueList>(std::move(items));
+  return v;
+}
+
+Value Value::Map(ValueMap entries) {
+  Value v;
+  v.kind_ = Kind::kMap;
+  v.map_ = std::make_shared<ValueMap>(std::move(entries));
+  return v;
+}
+
+Value Value::Closure(const dsl::Expr* closure) {
+  Value v;
+  v.kind_ = Kind::kClosure;
+  v.closure_ = closure;
+  return v;
+}
+
+bool Value::Truthy() const {
+  switch (kind_) {
+    case Kind::kNull: return false;
+    case Kind::kBool: return bool_;
+    case Kind::kNumber: return number_ != 0;
+    case Kind::kString: return !string_.empty();
+    case Kind::kDevice: return device_ >= 0;
+    case Kind::kList: return !list_->empty();
+    case Kind::kMap: return !map_->empty();
+    case Kind::kClosure: return true;
+  }
+  return false;
+}
+
+bool Value::Equals(const Value& other) const {
+  if (kind_ == Kind::kNull || other.kind_ == Kind::kNull) {
+    return kind_ == other.kind_;
+  }
+  if (kind_ == Kind::kNumber && other.kind_ == Kind::kNumber) {
+    return number_ == other.number_;
+  }
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kBool: return bool_ == other.bool_;
+    case Kind::kString: return string_ == other.string_;
+    case Kind::kDevice: return device_ == other.device_;
+    case Kind::kList: {
+      if (list_->size() != other.list_->size()) return false;
+      for (std::size_t i = 0; i < list_->size(); ++i) {
+        if (!(*list_)[i].Equals((*other.list_)[i])) return false;
+      }
+      return true;
+    }
+    case Kind::kMap: {
+      if (map_->size() != other.map_->size()) return false;
+      for (const auto& [key, value] : *map_) {
+        auto it = other.map_->find(key);
+        if (it == other.map_->end() || !value.Equals(it->second)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+std::string Value::ToDisplayString() const {
+  switch (kind_) {
+    case Kind::kNull: return "null";
+    case Kind::kBool: return bool_ ? "true" : "false";
+    case Kind::kNumber: return strings::FormatNumber(number_);
+    case Kind::kString: return string_;
+    case Kind::kDevice: return "<device " + std::to_string(device_) + ">";
+    case Kind::kList: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < list_->size(); ++i) {
+        if (i > 0) out += ", ";
+        out += (*list_)[i].ToDisplayString();
+      }
+      return out + "]";
+    }
+    case Kind::kMap: {
+      std::string out = "[";
+      bool first = true;
+      for (const auto& [key, value] : *map_) {
+        if (!first) out += ", ";
+        first = false;
+        out += key + ": " + value.ToDisplayString();
+      }
+      return out + "]";
+    }
+    case Kind::kClosure: return "<closure>";
+  }
+  return "?";
+}
+
+}  // namespace iotsan::model

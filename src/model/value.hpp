@@ -1,0 +1,92 @@
+// Dynamic values for the SmartScript evaluator.
+//
+// The model generator executes app event handlers directly over the
+// system state (the C++ equivalent of the paper's generated Promela
+// code).  SmartScript is dynamically typed, so the evaluator operates on
+// this tagged Value.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace iotsan::dsl {
+struct Expr;
+}
+
+namespace iotsan::model {
+
+class Value;
+using ValueList = std::vector<Value>;
+using ValueMap = std::map<std::string, Value>;
+
+class Value {
+ public:
+  enum class Kind {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kDevice,   // index into the system's device table
+    kList,
+    kMap,
+    kClosure,  // unevaluated closure AST
+  };
+
+  Value() : kind_(Kind::kNull) {}
+  static Value Null() { return Value(); }
+  static Value Bool(bool b);
+  static Value Number(double n);
+  static Value String(std::string s);
+  static Value Device(int index);
+  static Value List(ValueList items);
+  static Value Map(ValueMap entries);
+  static Value Closure(const dsl::Expr* closure);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_device() const { return kind_ == Kind::kDevice; }
+  bool is_list() const { return kind_ == Kind::kList; }
+  bool is_map() const { return kind_ == Kind::kMap; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  int DeviceIndex() const { return device_; }
+  const ValueList& AsList() const { return *list_; }
+  ValueList& MutableList() { return *list_; }
+  const ValueMap& AsMap() const { return *map_; }
+  ValueMap& MutableMap() { return *map_; }
+  const dsl::Expr* closure() const { return closure_; }
+
+  /// Groovy truthiness: null/false/0/""/[]/[:]/ are false, all else true.
+  bool Truthy() const;
+
+  /// Groovy == semantics (numeric comparison across int/double; string
+  /// equality; "72" == 72 is false here — SmartScript apps compare
+  /// like-typed values).
+  bool Equals(const Value& other) const;
+
+  /// Debug / message rendering ("on", "72.5", "[a, b]").
+  std::string ToDisplayString() const;
+
+  /// Structural equality (same as Equals; enables defaulted comparisons
+  /// on aggregates holding Values).
+  bool operator==(const Value& other) const { return Equals(other); }
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  int device_ = -1;
+  std::shared_ptr<ValueList> list_;
+  std::shared_ptr<ValueMap> map_;
+  const dsl::Expr* closure_ = nullptr;
+};
+
+}  // namespace iotsan::model

@@ -1,0 +1,30 @@
+// Promela emitter (paper §6/§8).
+//
+// The paper's Translator lowers Groovy apps (via Bandera) into Promela
+// and the Model Generator assembles the Promela model of the IoT system
+// that Spin checks.  iotsan's checker runs natively on the IR, but this
+// emitter reproduces the Translator's output: a complete Promela
+// rendition of the generated model — device typedefs and global state
+// (the g_ST*Arr naming of Fig. 7), one inline per event handler, the
+// Algorithm-1 main event loop, and one LTL formula per active invariant.
+// The emitted model is suitable for inspection and for running under a
+// real Spin installation.
+#pragma once
+
+#include <string>
+
+#include "model/system_model.hpp"
+
+namespace iotsan::promela {
+
+struct EmitOptions {
+  /// Bound on the main event loop (Algorithm 1's "maximum number of
+  /// events").
+  int max_events = 3;
+};
+
+/// Emits the Promela model of `model`.
+std::string EmitPromela(const model::SystemModel& model,
+                        const EmitOptions& options = {});
+
+}  // namespace iotsan::promela

@@ -1,0 +1,38 @@
+// Evaluation of invariant property expressions against a system state.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsl/ast.hpp"
+
+namespace iotsan::props {
+
+/// Read-only view of a system state, implemented by the model checker's
+/// SystemModel.  Devices are referred to by index.
+class StateView {
+ public:
+  virtual ~StateView() = default;
+
+  /// Indices of devices carrying `role`.
+  virtual std::vector<int> DevicesWithRole(const std::string& role) const = 0;
+  /// Symbolic value of `attr` on device `device` ("on", "locked"); empty
+  /// optional when the device lacks the attribute.
+  virtual std::optional<std::string> AttributeValue(
+      int device, const std::string& attr) const = 0;
+  /// Numeric value when `attr` is numeric.
+  virtual std::optional<double> NumericValue(int device,
+                                             const std::string& attr) const = 0;
+  /// Current location mode name.
+  virtual std::string LocationMode() const = 0;
+  /// Availability flag of `device`.
+  virtual bool DeviceOnline(int device) const = 0;
+};
+
+/// Evaluates a property predicate over `state`.  Supports the property
+/// language of props/property.hpp.  Throws iotsan::SemanticError on
+/// malformed expressions (unknown identifiers, bad quantifier usage).
+bool EvalPropertyExpr(const dsl::Expr& expr, const StateView& state);
+
+}  // namespace iotsan::props

@@ -1,0 +1,22 @@
+// Loading user-defined safety properties (paper §3/§8: "safety
+// requirements can come from both the users and security experts"; users
+// select/provide properties through an interface).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "props/property.hpp"
+
+namespace iotsan::props {
+
+/// Parses user-defined invariant properties from JSON:
+///   [{"id": "U1", "category": "User",
+///     "description": "the heater is never on at night",
+///     "expression": "!(mode == \"Night\"
+///                      && any(\"heaterOutlet\", \"switch\") == \"on\")"}]
+/// Ids must be unique and not collide with the built-in P01..P45.
+/// Throws iotsan::ParseError / iotsan::SemanticError on malformed input.
+std::vector<Property> LoadPropertiesJson(std::string_view text);
+
+}  // namespace iotsan::props

@@ -1,0 +1,38 @@
+#include "util/bitarray.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace iotsan {
+
+BitArray::BitArray(std::size_t bit_count) : bit_count_(bit_count) {
+  if (bit_count == 0) throw Error("BitArray: bit_count must be > 0");
+  words_.assign((bit_count + 63) / 64, 0);
+}
+
+bool BitArray::Test(std::uint64_t index) const {
+  const std::uint64_t i = index % bit_count_;
+  return (words_[i >> 6] >> (i & 63)) & 1ULL;
+}
+
+bool BitArray::TestAndSet(std::uint64_t index) {
+  const std::uint64_t i = index % bit_count_;
+  std::uint64_t& word = words_[i >> 6];
+  const std::uint64_t mask = 1ULL << (i & 63);
+  const bool was_set = (word & mask) != 0;
+  word |= mask;
+  return was_set;
+}
+
+std::size_t BitArray::PopCount() const {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+void BitArray::Reset() {
+  words_.assign(words_.size(), 0);
+}
+
+}  // namespace iotsan

@@ -1,0 +1,39 @@
+// Fixed-size dynamic bit array backing the BITSTATE hash store.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace iotsan {
+
+/// A flat array of bits with O(1) test/set.  Size is fixed at
+/// construction; the checker sizes it from its memory budget, exactly
+/// like Spin's -w flag sizes the bitstate field.
+class BitArray {
+ public:
+  /// Creates an all-zero array of `bit_count` bits (rounded up to a
+  /// multiple of 64).  `bit_count` must be > 0.
+  explicit BitArray(std::size_t bit_count);
+
+  /// Number of addressable bits.
+  std::size_t size() const { return bit_count_; }
+
+  /// Returns the bit at `index % size()`.
+  bool Test(std::uint64_t index) const;
+
+  /// Sets the bit at `index % size()`; returns its previous value.
+  bool TestAndSet(std::uint64_t index);
+
+  /// Number of set bits (linear scan; used for occupancy reporting).
+  std::size_t PopCount() const;
+
+  /// Clears all bits.
+  void Reset();
+
+ private:
+  std::size_t bit_count_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace iotsan

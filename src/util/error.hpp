@@ -1,0 +1,41 @@
+// Error type shared across all iotsan modules.
+//
+// iotsan follows the C++ Core Guidelines convention of using exceptions
+// for errors that cannot be handled locally (E.2).  All exceptions thrown
+// by the library derive from iotsan::Error so callers can catch a single
+// type at the API boundary.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace iotsan {
+
+/// Base class of every exception thrown by the iotsan library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when input text (SmartScript, JSON, property expressions,
+/// IFTTT applets) cannot be parsed.
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when a structurally valid input is semantically inconsistent
+/// (unknown capability, unbound input, type error, ...).
+class SemanticError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when a model-checking run is configured inconsistently
+/// (e.g. a property references a role no device carries).
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace iotsan

@@ -1,0 +1,43 @@
+#include "util/hash.hpp"
+
+namespace iotsan::hash {
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+}  // namespace
+
+std::uint64_t Fnv1a64(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = kFnvOffset;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t Fnv1a64(std::string_view s) {
+  std::uint64_t h = kFnvOffset;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t NthHash(std::uint64_t base, unsigned i) {
+  // h_i = h1 + i*h2, with h1/h2 derived from the base hash.  The +1 keeps
+  // h2 odd-ish so distinct i yield distinct positions even for small bases.
+  const std::uint64_t h1 = SplitMix64(base);
+  const std::uint64_t h2 = SplitMix64(base ^ 0xa5a5a5a5a5a5a5a5ULL) | 1ULL;
+  return h1 + static_cast<std::uint64_t>(i) * h2;
+}
+
+}  // namespace iotsan::hash

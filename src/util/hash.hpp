@@ -1,0 +1,29 @@
+// Hashing primitives used by the model checker's state stores.
+//
+// The checker hashes serialized state vectors.  The exhaustive store uses
+// Fnv1a64; the BITSTATE store (Spin's approximate verification mode, paper
+// §2.3) derives k independent bit positions from one 64-bit seed hash via
+// SplitMix64 remixing, the standard double-hashing construction for Bloom
+// filters.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace iotsan::hash {
+
+/// 64-bit FNV-1a over raw bytes.
+std::uint64_t Fnv1a64(std::span<const std::uint8_t> bytes);
+
+/// 64-bit FNV-1a over a string.
+std::uint64_t Fnv1a64(std::string_view s);
+
+/// SplitMix64 finalizer; a strong 64-bit mixing function.
+std::uint64_t SplitMix64(std::uint64_t x);
+
+/// Derives the i-th hash for a k-hash Bloom filter from a base hash,
+/// using the Kirsch-Mitzenmacher double-hashing scheme.
+std::uint64_t NthHash(std::uint64_t base, unsigned i);
+
+}  // namespace iotsan::hash

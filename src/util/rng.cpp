@@ -1,0 +1,38 @@
+#include "util/rng.hpp"
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace iotsan {
+
+std::uint64_t Rng::Next() {
+  state_ += 0x9e3779b97f4a7c15ULL;
+  return hash::SplitMix64(state_);
+}
+
+std::uint64_t Rng::NextBelow(std::uint64_t bound) {
+  if (bound == 0) throw Error("Rng::NextBelow: bound must be > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ULL - (~0ULL % bound);
+  std::uint64_t x;
+  do {
+    x = Next();
+  } while (x > limit);
+  return x % bound;
+}
+
+std::int64_t Rng::NextInRange(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw Error("Rng::NextInRange: lo > hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(NextBelow(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  return NextDouble() < p;
+}
+
+}  // namespace iotsan

@@ -1,0 +1,37 @@
+// Deterministic random number generation.
+//
+// All stochastic workload generation in iotsan (the simulated
+// "volunteer" configurations of paper §10.1, randomized test sweeps) is
+// seeded explicitly so every experiment is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace iotsan {
+
+/// SplitMix64 generator: tiny state, excellent statistical quality for
+/// non-cryptographic use, fully deterministic from the seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability `p`.
+  bool NextBool(double p);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace iotsan

@@ -1,0 +1,47 @@
+// Small string utilities used throughout iotsan.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iotsan::strings {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits `s` on `sep`, trimming each field and dropping empty fields.
+std::vector<std::string> SplitTrimmed(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+/// Replaces every occurrence of `from` with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// True if `s` consists only of [A-Za-z0-9_] and starts with a letter or '_'.
+bool IsIdentifier(std::string_view s);
+
+/// Formats a double trimming trailing zeros ("75", "2.5").
+std::string FormatNumber(double value);
+
+/// Pads `s` on the right with spaces to at least `width` columns.
+std::string PadRight(std::string_view s, std::size_t width);
+
+/// Pads `s` on the left with spaces to at least `width` columns.
+std::string PadLeft(std::string_view s, std::size_t width);
+
+}  // namespace iotsan::strings

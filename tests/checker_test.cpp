@@ -1,0 +1,213 @@
+// Model-checker tests: state stores, search bounds, budgets, traces, and
+// the depth-in-state fidelity option (paper §2.3/§8).
+#include <gtest/gtest.h>
+
+#include "checker/checker.hpp"
+#include "checker/state_store.hpp"
+#include "config/builder.hpp"
+#include "ir/analyzer.hpp"
+
+namespace iotsan::checker {
+namespace {
+
+// ---- Stores ------------------------------------------------------------------
+
+std::vector<std::uint8_t> Bytes(std::initializer_list<int> values) {
+  std::vector<std::uint8_t> out;
+  for (int v : values) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+TEST(ExhaustiveStoreTest, ExactMembership) {
+  ExhaustiveStore store;
+  EXPECT_FALSE(store.TestAndInsert(Bytes({1, 2, 3})));
+  EXPECT_TRUE(store.TestAndInsert(Bytes({1, 2, 3})));
+  EXPECT_FALSE(store.TestAndInsert(Bytes({1, 2, 4})));
+  EXPECT_FALSE(store.TestAndInsert(Bytes({})));
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_GT(store.memory_bytes(), 0u);
+}
+
+TEST(BitstateStoreTest, BasicMembership) {
+  BitstateStore store(1 << 16);
+  EXPECT_FALSE(store.TestAndInsert(Bytes({1, 2, 3})));
+  EXPECT_TRUE(store.TestAndInsert(Bytes({1, 2, 3})));
+  EXPECT_FALSE(store.TestAndInsert(Bytes({9, 9})));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.memory_bytes(), (1u << 16) / 8);
+  EXPECT_GT(store.Occupancy(), 0.0);
+}
+
+TEST(BitstateStoreTest, NoFalsePositivesWhenSparse) {
+  BitstateStore store(1 << 20);
+  int collisions = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (store.TestAndInsert(Bytes({i & 0xFF, (i >> 8) & 0xFF, 7}))) {
+      ++collisions;
+    }
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(BitstateStoreTest, SaturationCausesFalsePositives) {
+  // Spin's known BITSTATE trade-off: a tiny bit field saturates.
+  BitstateStore store(64, 3);
+  int collisions = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (store.TestAndInsert(Bytes({i & 0xFF, (i >> 8) & 0xFF}))) {
+      ++collisions;
+    }
+  }
+  EXPECT_GT(collisions, 0);
+  EXPECT_GT(store.Occupancy(), 0.3);
+}
+
+// ---- Search ------------------------------------------------------------------
+
+constexpr const char* kUnlockApp = R"(
+definition(name: "UnlockOnAway", namespace: "t")
+preferences {
+    section("S") {
+        input "p1", "capability.presenceSensor"
+        input "lock1", "capability.lock"
+    }
+}
+def installed() {
+    subscribe(p1, "presence.notpresent", handler)
+}
+def handler(evt) {
+    lock1.unlock()
+}
+)";
+
+model::SystemModel UnlockModel() {
+  config::DeploymentBuilder b("home");
+  b.Device("p1", "presenceSensor", {"presence"});
+  b.Device("lock1", "smartLock", {"mainDoorLock"});
+  b.App("UnlockOnAway").Devices("p1", {"p1"}).Devices("lock1", {"lock1"});
+  std::vector<ir::AnalyzedApp> apps;
+  apps.push_back(ir::AnalyzeSource(kUnlockApp, "UnlockOnAway"));
+  return model::SystemModel(b.Build(), std::move(apps));
+}
+
+TEST(CheckerTest, FindsInvariantViolationWithTrace) {
+  model::SystemModel model = UnlockModel();
+  Checker checker(model);
+  CheckOptions options;
+  options.max_events = 1;
+  CheckResult result = checker.Run(options);
+
+  ASSERT_TRUE(result.HasViolation("P06"));
+  const Violation& v = *result.Find("P06");
+  EXPECT_EQ(v.kind, props::PropertyKind::kInvariant);
+  EXPECT_EQ(v.depth, 1);
+  EXPECT_EQ(v.apps, (std::vector<std::string>{"UnlockOnAway"}));
+  ASSERT_FALSE(v.trace.empty());
+  EXPECT_NE(v.trace.front().find("notpresent"), std::string::npos);
+  EXPECT_NE(v.trace.back().find("assertion violated"), std::string::npos);
+  EXPECT_TRUE(result.completed);
+  EXPECT_GT(result.states_explored, 0u);
+  EXPECT_GT(result.transitions, 0u);
+}
+
+TEST(CheckerTest, DepthZeroExploresNothing) {
+  model::SystemModel model = UnlockModel();
+  Checker checker(model);
+  CheckOptions options;
+  options.max_events = 0;
+  CheckResult result = checker.Run(options);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(result.transitions, 0u);
+}
+
+TEST(CheckerTest, StopAtFirstViolation) {
+  model::SystemModel model = UnlockModel();
+  Checker checker(model);
+  CheckOptions options;
+  options.max_events = 3;
+  options.stop_at_first_violation = true;
+  CheckResult result = checker.Run(options);
+  EXPECT_EQ(result.violations.size(), 1u);
+  EXPECT_FALSE(result.completed);
+}
+
+TEST(CheckerTest, StateBudgetStopsSearch) {
+  model::SystemModel model = UnlockModel();
+  Checker checker(model);
+  CheckOptions options;
+  options.max_events = 8;
+  options.max_states = 3;
+  CheckResult result = checker.Run(options);
+  EXPECT_FALSE(result.completed);
+  EXPECT_LE(result.states_explored, 3u);
+}
+
+TEST(CheckerTest, OccurrencesCountRevisits) {
+  model::SystemModel model = UnlockModel();
+  Checker checker(model);
+  CheckOptions options;
+  options.max_events = 3;
+  CheckResult result = checker.Run(options);
+  ASSERT_TRUE(result.HasViolation("P06"));
+  // The unsafe state recurs along many permutations at depth 3.
+  EXPECT_GT(result.Find("P06")->occurrences, 1u);
+}
+
+TEST(CheckerTest, DepthInStateControlsPruning) {
+  model::SystemModel model = UnlockModel();
+  Checker checker(model);
+  CheckOptions with_depth;
+  with_depth.max_events = 6;
+  with_depth.include_depth_in_state = true;
+  CheckOptions sans_depth;
+  sans_depth.max_events = 6;
+  sans_depth.include_depth_in_state = false;
+  CheckResult a = checker.Run(with_depth);
+  CheckResult b = checker.Run(sans_depth);
+  // Same verdicts, but the Spin-faithful mode distinguishes states per
+  // depth and therefore expands strictly more.
+  EXPECT_EQ(a.HasViolation("P06"), b.HasViolation("P06"));
+  EXPECT_GT(a.states_explored, b.states_explored);
+}
+
+TEST(CheckerTest, BitstateModeFindsSameViolations) {
+  model::SystemModel model = UnlockModel();
+  Checker checker(model);
+  CheckOptions exhaustive;
+  exhaustive.max_events = 4;
+  CheckOptions bitstate;
+  bitstate.max_events = 4;
+  bitstate.store = StoreKind::kBitstate;
+  bitstate.bitstate_bits = 1 << 20;
+  CheckResult a = checker.Run(exhaustive);
+  CheckResult b = checker.Run(bitstate);
+  ASSERT_EQ(a.violations.size(), b.violations.size());
+  EXPECT_EQ(a.states_explored, b.states_explored);
+}
+
+TEST(CheckerTest, FormatViolationIsReadable) {
+  model::SystemModel model = UnlockModel();
+  Checker checker(model);
+  CheckOptions options;
+  options.max_events = 1;
+  CheckResult result = checker.Run(options);
+  std::string report = FormatViolation(*result.Find("P06"));
+  EXPECT_NE(report.find("violated property P06"), std::string::npos);
+  EXPECT_NE(report.find("UnlockOnAway"), std::string::npos);
+  EXPECT_NE(report.find("counter-example"), std::string::npos);
+}
+
+TEST(CheckerTest, MonitorViolationsCarryFailureLabels) {
+  model::SystemModel model = UnlockModel();
+  Checker checker(model);
+  CheckOptions options;
+  options.max_events = 1;
+  options.model_failures = true;
+  CheckResult result = checker.Run(options);
+  // The lost unlock command with no notification violates robustness.
+  ASSERT_TRUE(result.HasViolation("P45"));
+  EXPECT_FALSE(result.Find("P45")->failure.empty());
+}
+
+}  // namespace
+}  // namespace iotsan::checker

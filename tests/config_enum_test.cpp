@@ -1,0 +1,183 @@
+// Configuration enumeration and volunteer-simulation tests (paper §9
+// phase 1/2 enumeration; §10.1 non-expert configurations).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "attrib/config_enum.hpp"
+#include "config/builder.hpp"
+#include "corpus/corpus.hpp"
+#include "dsl/parser.hpp"
+
+namespace iotsan::attrib {
+namespace {
+
+config::Deployment Home() {
+  config::DeploymentBuilder b("enum home");
+  b.ContactPhone("555-0100");
+  b.Device("tempMeas", "temperatureSensor", {"tempSensor"});
+  b.Device("heaterOutlet", "smartOutlet", {"heaterOutlet"});
+  b.Device("acOutlet", "smartOutlet", {"acOutlet"});
+  b.Device("livRoomMotion", "motionSensor");
+  b.Device("batRoomMotion", "motionSensor");
+  return b.Build();
+}
+
+dsl::App VirtualThermostat() {
+  return dsl::ParseApp(corpus::FindApp("Virtual Thermostat")->source);
+}
+
+TEST(EnumerateConfigsTest, BindsAllRequiredInputs) {
+  dsl::App app = VirtualThermostat();
+  EnumOptions options;
+  options.max_configs = 32;
+  auto configs = EnumerateConfigs(app, Home(), options);
+  ASSERT_FALSE(configs.empty());
+  for (const config::AppConfig& cfg : configs) {
+    EXPECT_EQ(cfg.app, "Virtual Thermostat");
+    // Required inputs are always bound.
+    EXPECT_TRUE(cfg.inputs.count("sensor"));
+    EXPECT_TRUE(cfg.inputs.count("outlets"));
+    EXPECT_TRUE(cfg.inputs.count("setpoint"));
+    EXPECT_TRUE(cfg.inputs.count("mode"));
+    // Device bindings are compatible.
+    EXPECT_EQ(cfg.inputs.at("sensor").device_ids[0], "tempMeas");
+  }
+}
+
+TEST(EnumerateConfigsTest, CoversTheCandidateSpace) {
+  dsl::App app = VirtualThermostat();
+  EnumOptions options;
+  options.max_configs = 64;
+  auto configs = EnumerateConfigs(app, Home(), options);
+
+  std::set<std::string> outlet_choices;
+  std::set<std::string> modes;
+  std::set<double> setpoints;
+  bool motion_unbound = false;
+  for (const config::AppConfig& cfg : configs) {
+    std::string key;
+    for (const std::string& id : cfg.inputs.at("outlets").device_ids) {
+      key += id + ",";
+    }
+    outlet_choices.insert(key);
+    modes.insert(*cfg.inputs.at("mode").text);
+    setpoints.insert(*cfg.inputs.at("setpoint").number);
+    motion_unbound = motion_unbound || !cfg.inputs.count("motion");
+  }
+  // Single-device choices AND the §2.2 both-outlets misconfiguration.
+  EXPECT_GE(outlet_choices.size(), 3u);
+  EXPECT_EQ(modes, (std::set<std::string>{"heat", "cool"}));
+  EXPECT_GE(setpoints.size(), 2u);
+  EXPECT_TRUE(motion_unbound) << "optional inputs must sometimes stay unbound";
+}
+
+TEST(EnumerateConfigsTest, DeterministicAcrossCalls) {
+  dsl::App app = VirtualThermostat();
+  EnumOptions options;
+  options.max_configs = 16;
+  auto a = EnumerateConfigs(app, Home(), options);
+  auto b = EnumerateConfigs(app, Home(), options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(config::DeploymentToJson([&] {
+                config::Deployment d;
+                d.apps.push_back(a[i]);
+                return d;
+              }()).Dump(),
+              config::DeploymentToJson([&] {
+                config::Deployment d;
+                d.apps.push_back(b[i]);
+                return d;
+              }()).Dump());
+  }
+}
+
+TEST(EnumerateConfigsTest, RespectsMaxConfigs) {
+  dsl::App app = VirtualThermostat();
+  EnumOptions options;
+  options.max_configs = 5;
+  EXPECT_EQ(EnumerateConfigs(app, Home(), options).size(), 5u);
+}
+
+TEST(EnumerateConfigsTest, UnconfigurableAppYieldsNothing) {
+  dsl::App app = VirtualThermostat();
+  config::DeploymentBuilder b("empty home");  // no temperature sensor
+  b.Device("sw", "smartSwitch");
+  EXPECT_TRUE(EnumerateConfigs(app, b.Build(), {}).empty());
+}
+
+TEST(EnumerateConfigsTest, SmallSpacesEnumerateExhaustively) {
+  dsl::App app = dsl::ParseApp(R"(
+definition(name: "Tiny", namespace: "t")
+preferences {
+    section("S") {
+        input "sw", "capability.switch"
+        input "flag", "bool"
+    }
+}
+def installed() { subscribe(sw, "switch", h) }
+def h(evt) { }
+)");
+  config::DeploymentBuilder b("h");
+  b.Device("s1", "smartSwitch");
+  b.Device("s2", "smartSwitch");
+  // 2 devices x 2 flags = 4 total combinations.
+  auto configs = EnumerateConfigs(app, b.Build(), {});
+  EXPECT_EQ(configs.size(), 4u);
+  std::set<std::string> distinct;
+  for (const config::AppConfig& cfg : configs) {
+    distinct.insert(cfg.inputs.at("sw").device_ids[0] + "/" +
+                    (*cfg.inputs.at("flag").flag ? "t" : "f"));
+  }
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(VolunteerConfigTest, DeterministicPerSeed) {
+  dsl::App app = VirtualThermostat();
+  Rng a(5);
+  Rng b(5);
+  config::AppConfig ca = GenerateVolunteerConfig(app, Home(), a);
+  config::AppConfig cb = GenerateVolunteerConfig(app, Home(), b);
+  EXPECT_EQ(config::DeploymentToJson([&] {
+              config::Deployment d;
+              d.apps.push_back(ca);
+              return d;
+            }()).Dump(),
+            config::DeploymentToJson([&] {
+              config::Deployment d;
+              d.apps.push_back(cb);
+              return d;
+            }()).Dump());
+}
+
+TEST(VolunteerConfigTest, SometimesMultiBindsConfusableOutlets) {
+  // The §2.2 user-study mistake must be reproducible: across many draws,
+  // some volunteer binds several outlets to the `outlets` input.
+  dsl::App app = VirtualThermostat();
+  Rng rng(2018);
+  bool saw_multi = false;
+  bool saw_single = false;
+  for (int i = 0; i < 40; ++i) {
+    config::AppConfig cfg = GenerateVolunteerConfig(app, Home(), rng);
+    const std::size_t n = cfg.inputs.at("outlets").device_ids.size();
+    saw_multi = saw_multi || n > 1;
+    saw_single = saw_single || n == 1;
+  }
+  EXPECT_TRUE(saw_multi);
+  EXPECT_TRUE(saw_single);
+}
+
+TEST(VolunteerConfigTest, AlwaysBindsRequiredDeviceInputs) {
+  dsl::App app = VirtualThermostat();
+  Rng rng(99);
+  for (int i = 0; i < 20; ++i) {
+    config::AppConfig cfg = GenerateVolunteerConfig(app, Home(), rng);
+    EXPECT_TRUE(cfg.inputs.count("sensor"));
+    EXPECT_TRUE(cfg.inputs.count("outlets"));
+    EXPECT_TRUE(cfg.inputs.count("setpoint"));
+  }
+}
+
+}  // namespace
+}  // namespace iotsan::attrib

@@ -1,0 +1,133 @@
+// Deployment configuration tests (the Configuration Extractor's output,
+// paper §7).
+#include <gtest/gtest.h>
+
+#include "config/builder.hpp"
+#include "config/deployment.hpp"
+#include "util/error.hpp"
+
+namespace iotsan::config {
+namespace {
+
+constexpr const char* kDoc = R"JSON({
+  "name": "test home",
+  "modes": ["Home", "Away", "Night"],
+  "contactPhone": "555-0100",
+  "allowNetworkInterfaces": false,
+  "devices": [
+    {"id": "lock1", "type": "smartLock", "roles": ["mainDoorLock"]},
+    {"id": "p1", "type": "presenceSensor", "roles": ["presence"]},
+    {"id": "sw1", "type": "smartSwitch"}
+  ],
+  "apps": [
+    {"app": "Unlock Door", "inputs": {"lock1": ["lock1"]}},
+    {"app": "It's Too Cold", "label": "basement",
+     "inputs": {"temperature1": 65, "phone": "555-0100",
+                "enabled": true}}
+  ]
+})JSON";
+
+TEST(DeploymentParseTest, FullDocument) {
+  Deployment d = ParseDeploymentText(kDoc);
+  EXPECT_EQ(d.name, "test home");
+  EXPECT_EQ(d.modes, (std::vector<std::string>{"Home", "Away", "Night"}));
+  EXPECT_EQ(d.contact_phone, "555-0100");
+  EXPECT_FALSE(d.allow_network_interfaces);
+  ASSERT_EQ(d.devices.size(), 3u);
+  EXPECT_EQ(d.devices[0].roles, (std::vector<std::string>{"mainDoorLock"}));
+  ASSERT_EQ(d.apps.size(), 2u);
+  EXPECT_EQ(d.apps[0].label, "Unlock Door");  // defaults to app name
+  EXPECT_EQ(d.apps[1].label, "basement");
+}
+
+TEST(DeploymentParseTest, BindingAlternatives) {
+  Deployment d = ParseDeploymentText(kDoc);
+  const AppConfig& app = d.apps[1];
+  EXPECT_TRUE(app.inputs.at("temperature1").number.has_value());
+  EXPECT_DOUBLE_EQ(*app.inputs.at("temperature1").number, 65);
+  EXPECT_EQ(*app.inputs.at("phone").text, "555-0100");
+  EXPECT_TRUE(*app.inputs.at("enabled").flag);
+  EXPECT_TRUE(d.apps[0].inputs.at("lock1").IsDeviceBinding());
+}
+
+TEST(DeploymentParseTest, Lookups) {
+  Deployment d = ParseDeploymentText(kDoc);
+  EXPECT_NE(d.FindDevice("lock1"), nullptr);
+  EXPECT_EQ(d.FindDevice("nope"), nullptr);
+  EXPECT_EQ(d.DevicesWithRole("presence"),
+            (std::vector<std::string>{"p1"}));
+  EXPECT_TRUE(d.DevicesWithRole("garageDoor").empty());
+  EXPECT_EQ(d.ModeIndex("Away"), 1);
+  EXPECT_EQ(d.ModeIndex("Vacation"), -1);
+}
+
+TEST(DeploymentParseTest, DefaultModes) {
+  Deployment d = ParseDeploymentText(R"({"name": "x"})");
+  EXPECT_EQ(d.modes, (std::vector<std::string>{"Home", "Away", "Night"}));
+}
+
+TEST(DeploymentParseTest, RejectsUnknownDeviceType) {
+  EXPECT_THROW(ParseDeploymentText(
+                   R"({"devices": [{"id": "d", "type": "flyingCar"}]})"),
+               ConfigError);
+}
+
+TEST(DeploymentParseTest, RejectsDuplicateDeviceIds) {
+  EXPECT_THROW(
+      ParseDeploymentText(R"({"devices": [
+        {"id": "d", "type": "smartSwitch"},
+        {"id": "d", "type": "smartLock"}]})"),
+      ConfigError);
+}
+
+TEST(DeploymentParseTest, RejectsBindingToUnknownDevice) {
+  EXPECT_THROW(ParseDeploymentText(R"({
+    "devices": [{"id": "d", "type": "smartSwitch"}],
+    "apps": [{"app": "A", "inputs": {"x": ["ghost"]}}]})"),
+               ConfigError);
+}
+
+TEST(DeploymentParseTest, RejectsEmptyModes) {
+  EXPECT_THROW(ParseDeploymentText(R"({"modes": []})"), ConfigError);
+}
+
+TEST(DeploymentParseTest, RejectsIncompleteEntries) {
+  EXPECT_THROW(ParseDeploymentText(R"({"devices": [{"id": "d"}]})"),
+               ConfigError);
+  EXPECT_THROW(ParseDeploymentText(R"({"apps": [{"label": "x"}]})"),
+               ConfigError);
+}
+
+TEST(DeploymentJsonTest, RoundTrip) {
+  Deployment original = ParseDeploymentText(kDoc);
+  Deployment reparsed = ParseDeployment(DeploymentToJson(original));
+  EXPECT_EQ(reparsed.name, original.name);
+  EXPECT_EQ(reparsed.modes, original.modes);
+  EXPECT_EQ(reparsed.devices.size(), original.devices.size());
+  EXPECT_EQ(reparsed.apps.size(), original.apps.size());
+  EXPECT_EQ(reparsed.apps[1].label, "basement");
+  EXPECT_DOUBLE_EQ(*reparsed.apps[1].inputs.at("temperature1").number, 65);
+}
+
+TEST(DeploymentBuilderTest, BuildsEquivalentDeployment) {
+  DeploymentBuilder b("built home");
+  b.ContactPhone("555-0100");
+  b.Modes({"Day", "Night"});
+  b.AllowNetwork(true);
+  b.Device("lock1", "smartLock", {"mainDoorLock"});
+  b.App("Unlock Door").Devices("lock1", {"lock1"});
+  b.App("It's Too Cold", "basement")
+      .Number("temperature1", 65)
+      .Text("phone", "555-0100")
+      .Flag("enabled", true);
+  Deployment d = b.Build();
+  EXPECT_EQ(d.name, "built home");
+  EXPECT_EQ(d.modes, (std::vector<std::string>{"Day", "Night"}));
+  EXPECT_TRUE(d.allow_network_interfaces);
+  EXPECT_EQ(d.apps[1].label, "basement");
+  EXPECT_DOUBLE_EQ(*d.apps[1].inputs.at("temperature1").number, 65);
+  EXPECT_TRUE(*d.apps[1].inputs.at("enabled").flag);
+}
+
+}  // namespace
+}  // namespace iotsan::config

@@ -1,0 +1,127 @@
+// Corpus integrity: every bundled app must parse, analyze cleanly, and
+// carry the structure its kind promises (paper §10.1's app sets).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+
+#include "corpus/corpus.hpp"
+#include "dsl/parser.hpp"
+#include "dsl/type_infer.hpp"
+#include "ir/analyzer.hpp"
+
+namespace iotsan::corpus {
+namespace {
+
+TEST(CorpusTest, Counts) {
+  EXPECT_GE(MarketApps().size(), 45u);
+  EXPECT_EQ(MaliciousApps().size(), 9u);   // ContexIoT-relevant apps
+  EXPECT_EQ(UnsupportedApps().size(), 4u); // dynamic-discovery apps
+  EXPECT_EQ(AllApps().size(),
+            MarketApps().size() + MaliciousApps().size() +
+                UnsupportedApps().size());
+}
+
+TEST(CorpusTest, PaperNamedAppsPresent) {
+  for (const char* name :
+       {"Virtual Thermostat", "Brighten Dark Places", "Let There Be Dark!",
+        "Auto Mode Change", "Unlock Door", "Big Turn On", "Good Night",
+        "Light Follows Me", "Light Off When Close", "Make It So",
+        "Darken Behind Me", "Energy Saver", "Midnight Camera",
+        "Auto Camera", "Auto Camera 2", "Alarm Manager"}) {
+    EXPECT_NE(FindApp(name), nullptr) << name;
+  }
+  EXPECT_EQ(FindApp("No Such App"), nullptr);
+}
+
+TEST(CorpusTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const CorpusApp& app : AllApps()) {
+    EXPECT_TRUE(names.insert(app.name).second) << app.name;
+  }
+}
+
+TEST(CorpusTest, VariantsRenameOnlyTheDefinition) {
+  const CorpusApp* base = FindApp("Light Follows Me");
+  ASSERT_NE(base, nullptr);
+  std::string variant = MakeVariant(*base, "bedroom");
+  dsl::App app = dsl::ParseApp(variant);
+  EXPECT_EQ(app.name, "Light Follows Me (bedroom)");
+  // Same inputs and methods as the base.
+  dsl::App original = dsl::ParseApp(base->source);
+  EXPECT_EQ(app.inputs.size(), original.inputs.size());
+  EXPECT_EQ(app.methods.size(), original.methods.size());
+}
+
+TEST(CorpusTest, UnsupportedAppsUseDynamicDiscovery) {
+  for (const CorpusApp* app : UnsupportedApps()) {
+    ir::AnalyzedApp analyzed = ir::AnalyzeSource(app->source, app->name);
+    EXPECT_TRUE(analyzed.dynamic_device_discovery) << app->name;
+  }
+}
+
+TEST(CorpusTest, VirtualThermostatMatchesPaperFig1) {
+  // Fig. 1's preferences: sensor, outlets (multiple), setpoint, optional
+  // motion/minutes/emergencySetpoint, and the heat/cool enum.
+  dsl::App app = dsl::ParseApp(FindApp("Virtual Thermostat")->source);
+  ASSERT_EQ(app.inputs.size(), 7u);
+  EXPECT_EQ(app.inputs[0].name, "sensor");
+  EXPECT_EQ(app.inputs[0].type, "capability.temperatureMeasurement");
+  EXPECT_EQ(app.inputs[1].name, "outlets");
+  EXPECT_TRUE(app.inputs[1].multiple);
+  EXPECT_EQ(app.inputs[2].name, "setpoint");
+  EXPECT_FALSE(app.inputs[3].required);  // motion
+  EXPECT_FALSE(app.inputs[4].required);  // minutes
+  EXPECT_FALSE(app.inputs[5].required);  // emergencySetpoint
+  EXPECT_EQ(app.inputs[6].options,
+            (std::vector<std::string>{"heat", "cool"}));
+}
+
+/// Parameterized sweep: every corpus app parses, type-checks without
+/// heterogeneous-collection problems, and (for supported apps) yields at
+/// least one subscription or schedule.
+class CorpusAppTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CorpusAppTest, ParsesAndAnalyzes) {
+  const CorpusApp* app = FindApp(GetParam());
+  ASSERT_NE(app, nullptr);
+  dsl::App parsed = dsl::ParseApp(app->source, app->name);
+  EXPECT_EQ(parsed.name, app->name) << "definition name mismatch";
+  EXPECT_FALSE(parsed.methods.empty());
+
+  ir::AnalyzedApp analyzed = ir::AnalyzeApp(std::move(parsed));
+  if (app->kind != AppKind::kUnsupported) {
+    // Supported apps must analyze without diagnostics; the unsupported
+    // ones legitimately flag their discovery APIs as unknown.
+    for (const std::string& problem : analyzed.problems) {
+      ADD_FAILURE() << app->name << ": " << problem;
+    }
+    EXPECT_TRUE(!analyzed.subscriptions.empty() ||
+                !analyzed.schedules.empty())
+        << app->name << " neither subscribes nor schedules";
+    // Every subscription handler must exist and have >= 1 handler vertex.
+    EXPECT_FALSE(analyzed.handlers.empty());
+  }
+}
+
+std::vector<std::string> AllAppNames() {
+  std::vector<std::string> names;
+  for (const CorpusApp& app : AllApps()) names.push_back(app.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, CorpusAppTest,
+                         ::testing::ValuesIn(AllAppNames()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(
+                                     static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace iotsan::corpus

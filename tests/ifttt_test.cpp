@@ -1,0 +1,140 @@
+// IFTTT front-end tests (paper §11): applet parsing, translation into
+// one-handler apps, deployment construction, and end-to-end checking.
+#include <gtest/gtest.h>
+
+#include "core/sanitizer.hpp"
+#include "dsl/parser.hpp"
+#include "ifttt/applet.hpp"
+#include "ir/analyzer.hpp"
+#include "util/error.hpp"
+
+namespace iotsan::ifttt {
+namespace {
+
+constexpr const char* kUnlockRule = R"JSON({
+  "name": "rule u",
+  "trigger": {"service": "smartthings_presence", "event": "notpresent"},
+  "action": {"service": "august_lock", "command": "unlock"}})JSON";
+
+TEST(AppletTest, ParseSingle) {
+  Applet applet = ParseApplet(json::Parse(kUnlockRule));
+  EXPECT_EQ(applet.name, "rule u");
+  EXPECT_EQ(applet.trigger_service, "smartthings_presence");
+  EXPECT_EQ(applet.trigger_event, "notpresent");
+  EXPECT_EQ(applet.action_service, "august_lock");
+  EXPECT_EQ(applet.action_command, "unlock");
+}
+
+TEST(AppletTest, ServicesAreModeled) {
+  // The paper models 8 popular IoT services; we bundle a few more.
+  EXPECT_GE(Services().size(), 8u);
+  const ServiceSpec* motion = FindService("smartthings_motion");
+  ASSERT_NE(motion, nullptr);
+  EXPECT_TRUE(motion->is_trigger);
+  EXPECT_FALSE(motion->is_action);
+  const ServiceSpec* siren = FindService("ring_siren");
+  ASSERT_NE(siren, nullptr);
+  EXPECT_TRUE(siren->is_action);
+  EXPECT_EQ(FindService("nope"), nullptr);
+}
+
+TEST(AppletTest, RejectsUnknownServicesAndCommands) {
+  EXPECT_THROW(ParseApplet(json::Parse(R"({
+    "name": "r", "trigger": {"service": "telepathy", "event": "x"},
+    "action": {"service": "ring_siren", "command": "siren"}})")),
+               SemanticError);
+  EXPECT_THROW(ParseApplet(json::Parse(R"({
+    "name": "r",
+    "trigger": {"service": "smartthings_motion", "event": "active"},
+    "action": {"service": "ring_siren", "command": "selfdestruct"}})")),
+               SemanticError);
+  // Action services cannot trigger and vice versa.
+  EXPECT_THROW(ParseApplet(json::Parse(R"({
+    "name": "r", "trigger": {"service": "ring_siren", "event": "siren"},
+    "action": {"service": "august_lock", "command": "lock"}})")),
+               SemanticError);
+}
+
+TEST(AppletTest, TranslationIsAOneHandlerApp) {
+  Applet applet = ParseApplet(json::Parse(kUnlockRule));
+  std::string source = ToSmartScript(applet);
+  // §11: each rule is an app with a single event handler holding a
+  // single instruction.
+  dsl::App app = dsl::ParseApp(source);
+  EXPECT_EQ(app.name, "rule u");
+  ASSERT_EQ(app.inputs.size(), 2u);
+  EXPECT_EQ(app.inputs[0].name, "triggerDev");
+  EXPECT_EQ(app.inputs[1].name, "actionDev");
+
+  ir::AnalyzedApp analyzed = ir::AnalyzeSource(source, applet.name);
+  ASSERT_EQ(analyzed.handlers.size(), 1u);
+  EXPECT_EQ(analyzed.handlers[0].name, "ruleHandler");
+  ASSERT_EQ(analyzed.handlers[0].outputs.size(), 1u);
+  EXPECT_EQ(analyzed.handlers[0].outputs[0].ToString(), "lock/unlocked");
+  ASSERT_EQ(analyzed.subscriptions.size(), 1u);
+  EXPECT_EQ(analyzed.subscriptions[0].attribute, "presence");
+  EXPECT_EQ(analyzed.subscriptions[0].value, "notpresent");
+}
+
+TEST(AppletTest, VoicePhrasesMapToButtonPushes) {
+  Applet applet = ParseApplet(json::Parse(R"({
+    "name": "voice rule",
+    "trigger": {"service": "amazon_alexa", "event": "alexa open"},
+    "action": {"service": "august_lock", "command": "unlock"}})"));
+  ir::AnalyzedApp analyzed =
+      ir::AnalyzeSource(ToSmartScript(applet), applet.name);
+  ASSERT_EQ(analyzed.subscriptions.size(), 1u);
+  EXPECT_EQ(analyzed.subscriptions[0].attribute, "button");
+  EXPECT_EQ(analyzed.subscriptions[0].value, "pushed");
+}
+
+TEST(AppletTest, BuildDeploymentWiresDevicesAndRoles) {
+  std::vector<Applet> applets =
+      ParseApplets(std::string("[") + kUnlockRule + "]");
+  config::Deployment deployment = BuildDeployment(applets);
+  ASSERT_EQ(deployment.devices.size(), 2u);
+  EXPECT_NE(deployment.FindDevice("smartthings_presenceDev"), nullptr);
+  EXPECT_NE(deployment.FindDevice("august_lockDev"), nullptr);
+  EXPECT_EQ(deployment.DevicesWithRole("presence").size(), 1u);
+  EXPECT_EQ(deployment.DevicesWithRole("mainDoorLock").size(), 1u);
+  ASSERT_EQ(deployment.apps.size(), 1u);
+  EXPECT_EQ(deployment.apps[0].inputs.at("triggerDev").device_ids[0],
+            "smartthings_presenceDev");
+}
+
+TEST(AppletTest, SharedServicesShareOneDevice) {
+  std::vector<Applet> applets = ParseApplets(R"JSON([
+    {"name": "r1",
+     "trigger": {"service": "smartthings_motion", "event": "active"},
+     "action": {"service": "ring_siren", "command": "siren"}},
+    {"name": "r2",
+     "trigger": {"service": "smartthings_motion", "event": "inactive"},
+     "action": {"service": "ring_siren", "command": "off"}}
+  ])JSON");
+  config::Deployment deployment = BuildDeployment(applets);
+  EXPECT_EQ(deployment.devices.size(), 2u);  // one per distinct service
+  EXPECT_EQ(deployment.apps.size(), 2u);
+}
+
+TEST(AppletTest, EndToEndUnlockRuleViolatesP06) {
+  std::vector<Applet> applets =
+      ParseApplets(std::string("[") + kUnlockRule + "]");
+  config::Deployment deployment = BuildDeployment(applets);
+  core::Sanitizer sanitizer(deployment);
+  for (const auto& [name, source] : RuleSources(applets)) {
+    sanitizer.AddAppSource(name, source);
+  }
+  core::SanitizerOptions options;
+  options.check.max_events = 2;
+  core::SanitizerReport report = sanitizer.Check(options);
+  EXPECT_TRUE(report.HasViolation("P06"));
+}
+
+TEST(AppletTest, ParseAppletsArray) {
+  EXPECT_EQ(ParseApplets("[]").size(), 0u);
+  EXPECT_THROW(ParseApplets("{}"), Error);
+  EXPECT_THROW(ParseApplets(R"([{"name": ""}])"), Error);
+}
+
+}  // namespace
+}  // namespace iotsan::ifttt

@@ -1,0 +1,286 @@
+// Static-analysis tests: input/output event extraction per handler
+// (paper §5 "Extracting input/output events").
+#include <gtest/gtest.h>
+
+#include "ir/analyzer.hpp"
+
+namespace iotsan::ir {
+namespace {
+
+AnalyzedApp Analyze(const std::string& body) {
+  return AnalyzeSource("definition(name: \"T\", namespace: \"t\")\n" + body,
+                       "T");
+}
+
+TEST(AnalyzerTest, SubscriptionExtraction) {
+  AnalyzedApp app = Analyze(R"(
+preferences {
+    section("S") {
+        input "motion1", "capability.motionSensor"
+        input "sw", "capability.switch", multiple: true
+    }
+}
+def installed() {
+    subscribe(motion1, "motion.active", onMotion)
+    subscribe(sw, "switch", onSwitch)
+    subscribe(app, appTouch)
+    subscribe(location, "mode", onMode)
+}
+def onMotion(evt) { }
+def onSwitch(evt) { }
+def appTouch(evt) { }
+def onMode(evt) { }
+)");
+  ASSERT_EQ(app.subscriptions.size(), 4u);
+  EXPECT_EQ(app.subscriptions[0].scope, EventScope::kDevice);
+  EXPECT_EQ(app.subscriptions[0].input, "motion1");
+  EXPECT_EQ(app.subscriptions[0].attribute, "motion");
+  EXPECT_EQ(app.subscriptions[0].value, "active");
+  EXPECT_EQ(app.subscriptions[1].value, "");  // any value
+  EXPECT_EQ(app.subscriptions[2].scope, EventScope::kAppTouch);
+  EXPECT_EQ(app.subscriptions[3].scope, EventScope::kLocationMode);
+}
+
+TEST(AnalyzerTest, HandlerInterfaceMatchesTable2) {
+  // Brighten Dark Places' shape from the paper's Table 2, row 0.
+  AnalyzedApp app = Analyze(R"(
+preferences {
+    section("S") {
+        input "contact1", "capability.contactSensor"
+        input "luminance1", "capability.illuminanceMeasurement"
+        input "switches", "capability.switch", multiple: true
+    }
+}
+def installed() {
+    subscribe(contact1, "contact.open", contactOpenHandler)
+}
+def contactOpenHandler(evt) {
+    if (luminance1.currentIlluminance < 100) {
+        switches.on()
+    }
+}
+)");
+  ASSERT_EQ(app.handlers.size(), 1u);
+  const HandlerInfo& h = app.handlers[0];
+  EXPECT_EQ(h.name, "contactOpenHandler");
+  // Inputs: the subscription plus the illuminance state read.
+  ASSERT_EQ(h.inputs.size(), 2u);
+  EXPECT_EQ(h.inputs[0].ToString(), "contact/open");
+  EXPECT_EQ(h.inputs[1].ToString(), "illuminance/\"...\"");
+  // Output: switch/on.
+  ASSERT_EQ(h.outputs.size(), 1u);
+  EXPECT_EQ(h.outputs[0].ToString(), "switch/on");
+}
+
+TEST(AnalyzerTest, OutputsThroughCallGraph) {
+  AnalyzedApp app = Analyze(R"(
+preferences {
+    section("S") {
+        input "lock1", "capability.lock"
+        input "p1", "capability.presenceSensor"
+    }
+}
+def installed() {
+    subscribe(p1, "presence", handler)
+}
+def handler(evt) {
+    helperA()
+}
+def helperA() {
+    helperB()
+}
+def helperB() {
+    lock1.unlock()
+}
+)");
+  ASSERT_EQ(app.handlers.size(), 1u);
+  ASSERT_EQ(app.handlers[0].outputs.size(), 1u);
+  EXPECT_EQ(app.handlers[0].outputs[0].ToString(), "lock/unlocked");
+}
+
+TEST(AnalyzerTest, CommandsThroughClosuresAndAliases) {
+  AnalyzedApp app = Analyze(R"(
+preferences {
+    section("S") {
+        input "switches", "capability.switch", multiple: true
+        input "m1", "capability.motionSensor"
+    }
+}
+def installed() {
+    subscribe(m1, "motion.active", handler)
+}
+def handler(evt) {
+    def mine = switches
+    mine.each { it.off() }
+}
+)");
+  ASSERT_EQ(app.handlers.size(), 1u);
+  ASSERT_EQ(app.handlers[0].outputs.size(), 1u);
+  EXPECT_EQ(app.handlers[0].outputs[0].ToString(), "switch/off");
+  EXPECT_EQ(app.handlers[0].outputs[0].input, "switches");
+}
+
+TEST(AnalyzerTest, EvtDeviceCommandsResolveToSubscribedInput) {
+  AnalyzedApp app = Analyze(R"(
+preferences {
+    section("S") {
+        input "switches", "capability.switch", multiple: true
+    }
+}
+def installed() {
+    subscribe(switches, "switch.on", handler)
+}
+def handler(evt) {
+    evt.device.off()
+}
+)");
+  ASSERT_EQ(app.handlers[0].outputs.size(), 1u);
+  EXPECT_EQ(app.handlers[0].outputs[0].input, "switches");
+  EXPECT_EQ(app.handlers[0].outputs[0].ToString(), "switch/off");
+}
+
+TEST(AnalyzerTest, SchedulesExtracted) {
+  AnalyzedApp app = Analyze(R"(
+preferences {
+    section("S") {
+        input "sw", "capability.switch"
+    }
+}
+def installed() {
+    schedule("0 0 22 * * ?", nightly)
+    runIn(600, delayed)
+}
+def nightly() { sw.off() }
+def delayed() { sw.on() }
+)");
+  ASSERT_EQ(app.schedules.size(), 2u);
+  EXPECT_TRUE(app.schedules[0].recurring);
+  EXPECT_EQ(app.schedules[0].handler, "nightly");
+  EXPECT_FALSE(app.schedules[1].recurring);
+  EXPECT_EQ(app.schedules[1].delay_seconds, 600);
+  // Scheduled handlers are vertices with a time input.
+  const HandlerInfo* nightly = app.FindHandler("nightly");
+  ASSERT_NE(nightly, nullptr);
+  ASSERT_EQ(nightly->inputs.size(), 1u);
+  EXPECT_EQ(nightly->inputs[0].scope, EventScope::kTime);
+}
+
+TEST(AnalyzerTest, ApiUsesRecorded) {
+  AnalyzedApp app = Analyze(R"(
+preferences {
+    section("S") {
+        input "p1", "capability.presenceSensor"
+        input "phone", "phone"
+    }
+}
+def installed() {
+    subscribe(p1, "presence", handler)
+}
+def handler(evt) {
+    sendSms(phone, "hello")
+    sendSms("555-HARDCODED", "exfil")
+    sendPush("note")
+    httpPost("http://x.example", "data")
+    unsubscribe()
+    sendEvent(name: "smoke", value: "detected")
+}
+)");
+  ASSERT_EQ(app.api_uses.size(), 6u);
+  EXPECT_EQ(app.api_uses[0].kind, ApiUseKind::kSms);
+  EXPECT_EQ(app.api_uses[0].recipient, "phone");
+  EXPECT_FALSE(app.api_uses[0].recipient_is_literal);
+  EXPECT_EQ(app.api_uses[1].recipient, "555-HARDCODED");
+  EXPECT_TRUE(app.api_uses[1].recipient_is_literal);
+  EXPECT_EQ(app.api_uses[2].kind, ApiUseKind::kPush);
+  EXPECT_EQ(app.api_uses[3].kind, ApiUseKind::kHttp);
+  EXPECT_EQ(app.api_uses[4].kind, ApiUseKind::kUnsubscribe);
+  EXPECT_EQ(app.api_uses[5].kind, ApiUseKind::kFakeEvent);
+  // The fake event also appears as an output pattern.
+  bool smoke_output = false;
+  for (const HandlerInfo& h : app.handlers) {
+    for (const EventPattern& out : h.outputs) {
+      smoke_output = smoke_output || out.ToString() == "smoke/detected";
+    }
+  }
+  EXPECT_TRUE(smoke_output);
+}
+
+TEST(AnalyzerTest, DynamicDiscoveryDetected) {
+  AnalyzedApp app = Analyze(R"(
+def installed() {
+    subscribe(app, appTouch)
+}
+def appTouch(evt) {
+    def all = getAllDevices()
+    all.each { it.off() }
+}
+)");
+  EXPECT_TRUE(app.dynamic_device_discovery);
+}
+
+TEST(AnalyzerTest, LocationModeOutputs) {
+  AnalyzedApp app = Analyze(R"(
+preferences {
+    section("S") {
+        input "p1", "capability.presenceSensor"
+        input "awayMode", "mode"
+    }
+}
+def installed() {
+    subscribe(p1, "presence.notpresent", handler)
+}
+def handler(evt) {
+    setLocationMode(awayMode)
+}
+)");
+  ASSERT_EQ(app.handlers[0].outputs.size(), 1u);
+  EXPECT_EQ(app.handlers[0].outputs[0].scope, EventScope::kLocationMode);
+}
+
+TEST(AnalyzerTest, ProblemsForBadSubscriptions) {
+  AnalyzedApp app = Analyze(R"(
+def installed() {
+    subscribe(ghostInput, "switch", handler)
+    subscribe(app, missingHandler)
+}
+def handler(evt) { }
+)");
+  EXPECT_GE(app.problems.size(), 2u);
+}
+
+TEST(EventPatternTest, OverlapRules) {
+  EventPattern out;
+  out.scope = EventScope::kDevice;
+  out.attribute = "switch";
+  out.value = "on";
+  EventPattern in_any = out;
+  in_any.value = "";
+  EventPattern in_off = out;
+  in_off.value = "off";
+  EXPECT_TRUE(in_any.Overlaps(out));
+  EXPECT_TRUE(out.Overlaps(out));
+  EXPECT_FALSE(in_off.Overlaps(out));
+  EventPattern other_attr = out;
+  other_attr.attribute = "lock";
+  EXPECT_FALSE(other_attr.Overlaps(out));
+}
+
+TEST(EventPatternTest, ConflictRules) {
+  EventPattern on;
+  on.scope = EventScope::kDevice;
+  on.attribute = "switch";
+  on.value = "on";
+  EventPattern off = on;
+  off.value = "off";
+  EventPattern any = on;
+  any.value = "";
+  EXPECT_TRUE(on.ConflictsWith(off));
+  EXPECT_FALSE(on.ConflictsWith(on));
+  EXPECT_FALSE(on.ConflictsWith(any));  // wildcard is not a conflict
+  EventPattern lock = off;
+  lock.attribute = "lock";
+  EXPECT_FALSE(on.ConflictsWith(lock));
+}
+
+}  // namespace
+}  // namespace iotsan::ir

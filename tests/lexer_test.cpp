@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "dsl/lexer.hpp"
+#include "util/error.hpp"
+
+namespace iotsan::dsl {
+namespace {
+
+std::vector<TokenKind> Kinds(std::string_view source) {
+  std::vector<TokenKind> kinds;
+  for (const Token& t : Tokenize(source)) kinds.push_back(t.kind);
+  return kinds;
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = Tokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  auto tokens = Tokenize("def foo if else return while for in");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kDef);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "foo");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kIf);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kElse);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kReturn);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kWhile);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kFor);
+  EXPECT_EQ(tokens[7].kind, TokenKind::kIn);
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = Tokenize("42 2.5 0");
+  EXPECT_DOUBLE_EQ(tokens[0].number, 42);
+  EXPECT_FALSE(tokens[0].is_decimal);
+  EXPECT_DOUBLE_EQ(tokens[1].number, 2.5);
+  EXPECT_TRUE(tokens[1].is_decimal);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 0);
+}
+
+TEST(LexerTest, DotAfterNumberIsMemberAccessUnlessDigitFollows) {
+  auto tokens = Tokenize("5.toString");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDot);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kIdentifier);
+}
+
+TEST(LexerTest, Strings) {
+  auto tokens = Tokenize(R"("double" 'single' "es\"c\n")");
+  EXPECT_EQ(tokens[0].text, "double");
+  EXPECT_EQ(tokens[1].text, "single");
+  EXPECT_EQ(tokens[2].text, "es\"c\n");
+}
+
+TEST(LexerTest, OperatorDisambiguation) {
+  EXPECT_EQ(Kinds("== = != ! <= < >= > && || ?. ?: ? -> - += + -="),
+            (std::vector<TokenKind>{
+                TokenKind::kEq, TokenKind::kAssign, TokenKind::kNe,
+                TokenKind::kNot, TokenKind::kLe, TokenKind::kLt,
+                TokenKind::kGe, TokenKind::kGt, TokenKind::kAndAnd,
+                TokenKind::kOrOr, TokenKind::kSafeDot, TokenKind::kElvis,
+                TokenKind::kQuestion, TokenKind::kArrow, TokenKind::kMinus,
+                TokenKind::kPlusAssign, TokenKind::kPlus,
+                TokenKind::kMinusAssign, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Tokenize("a // line comment\nb /* block\ncomment */ c");
+  ASSERT_EQ(tokens.size(), 4u);  // a b c end
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[2].text, "c");
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto tokens = Tokenize("a\n  b");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(LexerTest, StartsLineFlag) {
+  auto tokens = Tokenize("a b\nc");
+  EXPECT_TRUE(tokens[0].starts_line);
+  EXPECT_FALSE(tokens[1].starts_line);
+  EXPECT_TRUE(tokens[2].starts_line);
+}
+
+TEST(LexerTest, ErrorsIncludeSourceName) {
+  try {
+    Tokenize("\"unterminated", "myapp.groovy");
+    FAIL();
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("myapp.groovy"), std::string::npos);
+  }
+}
+
+TEST(LexerTest, RejectsMalformed) {
+  EXPECT_THROW(Tokenize("a & b"), ParseError);
+  EXPECT_THROW(Tokenize("a | b"), ParseError);
+  EXPECT_THROW(Tokenize("'\n'"), ParseError);
+  EXPECT_THROW(Tokenize("\"bad \\q\""), ParseError);
+  EXPECT_THROW(Tokenize("/* open"), ParseError);
+  EXPECT_THROW(Tokenize("#"), ParseError);
+}
+
+TEST(LexerTest, DollarAllowedInIdentifiers) {
+  auto tokens = Tokenize("$var");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "$var");
+}
+
+}  // namespace
+}  // namespace iotsan::dsl

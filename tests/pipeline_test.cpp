@@ -1,0 +1,180 @@
+// End-to-end pipeline tests: the paper's §8 running example (Fig. 7) and
+// related multi-app interaction scenarios.
+#include <gtest/gtest.h>
+
+#include "checker/checker.hpp"
+#include "core/sanitizer.hpp"
+
+namespace iotsan {
+namespace {
+
+/// The §8 example: Alice's presence sensor + smart lock, with Auto Mode
+/// Change and Unlock Door installed.  The checker must find the unsafe
+/// state "main door unlocked when no one is at home" (P06).
+config::Deployment Fig7Deployment() {
+  return config::ParseDeploymentText(R"JSON({
+    "name": "alice's home",
+    "devices": [
+      {"id": "alicePresence", "type": "presenceSensor", "roles": ["presence"]},
+      {"id": "doorLock", "type": "smartLock", "roles": ["mainDoorLock"]}
+    ],
+    "apps": [
+      {"app": "Auto Mode Change",
+       "inputs": {"people": ["alicePresence"],
+                  "homeMode": "Home", "awayMode": "Away"}},
+      {"app": "Unlock Door", "inputs": {"lock1": ["doorLock"]}}
+    ]
+  })JSON");
+}
+
+TEST(PipelineTest, Fig7ViolationFound) {
+  core::Sanitizer sanitizer(Fig7Deployment());
+  core::SanitizerOptions options;
+  options.check.max_events = 2;
+  core::SanitizerReport report = sanitizer.Check(options);
+
+  ASSERT_TRUE(report.rejected_apps.empty())
+      << report.rejected_apps.front();
+  EXPECT_TRUE(report.HasViolation("P06"))
+      << "expected 'main door unlocked when no one home' violation";
+}
+
+TEST(PipelineTest, Fig7CounterExampleMentionsTheChain) {
+  core::Sanitizer sanitizer(Fig7Deployment());
+  core::SanitizerOptions options;
+  options.check.max_events = 2;
+  core::SanitizerReport report = sanitizer.Check(options);
+
+  bool found = false;
+  for (const checker::Violation& v : report.violations) {
+    if (v.property_id != "P06") continue;
+    found = true;
+    const std::string trace = [&v] {
+      std::string joined;
+      for (const std::string& line : v.trace) joined += line + "\n";
+      return joined;
+    }();
+    // The chain of Fig. 7: notpresent event -> Auto Mode Change -> mode
+    // Away -> Unlock Door -> unlock command.
+    EXPECT_NE(trace.find("notpresent"), std::string::npos) << trace;
+    EXPECT_NE(trace.find("Auto Mode Change"), std::string::npos) << trace;
+    EXPECT_NE(trace.find("location.mode = Away"), std::string::npos) << trace;
+    EXPECT_NE(trace.find("Unlock Door"), std::string::npos) << trace;
+    EXPECT_NE(trace.find("unlock"), std::string::npos) << trace;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PipelineTest, SafeSystemHasNoViolations) {
+  // Lock It When I Leave keeps the door locked; no unlocking app.
+  config::Deployment deployment = config::ParseDeploymentText(R"JSON({
+    "name": "safe home",
+    "devices": [
+      {"id": "alicePresence", "type": "presenceSensor", "roles": ["presence"]},
+      {"id": "doorLock", "type": "smartLock", "roles": ["mainDoorLock"]}
+    ],
+    "apps": [
+      {"app": "Lock It When I Leave",
+       "inputs": {"people": ["alicePresence"], "locks": ["doorLock"]}}
+    ]
+  })JSON");
+  core::Sanitizer sanitizer(deployment);
+  core::SanitizerOptions options;
+  options.check.max_events = 3;
+  core::SanitizerReport report = sanitizer.Check(options);
+  EXPECT_FALSE(report.HasViolation("P06"));
+}
+
+TEST(PipelineTest, ConflictingCommandsDetected) {
+  // Brighten Dark Places (open -> on) vs Let There Be Dark! (open -> off)
+  // on the same light: paper Table 5's conflicting-commands example.
+  config::Deployment deployment = config::ParseDeploymentText(R"JSON({
+    "name": "conflict home",
+    "devices": [
+      {"id": "frontDoor", "type": "contactSensor", "roles": ["frontDoorContact"]},
+      {"id": "lightMeter", "type": "illuminanceSensor"},
+      {"id": "hallLight", "type": "smartSwitch", "roles": ["light"]}
+    ],
+    "apps": [
+      {"app": "Brighten Dark Places",
+       "inputs": {"contact1": ["frontDoor"], "luminance1": ["lightMeter"],
+                  "switches": ["hallLight"]}},
+      {"app": "Let There Be Dark!",
+       "inputs": {"contact1": ["frontDoor"], "switches": ["hallLight"]}}
+    ]
+  })JSON");
+  core::Sanitizer sanitizer(deployment);
+  core::SanitizerOptions options;
+  options.check.max_events = 2;
+  core::SanitizerReport report = sanitizer.Check(options);
+  EXPECT_TRUE(report.HasViolation("P39")) << "conflicting commands expected";
+}
+
+TEST(PipelineTest, RepeatedCommandsDetected) {
+  // Brighten My Path + Automated Light both turn the same light on for
+  // the same motion event (paper Table 5's repeated-commands example).
+  config::Deployment deployment = config::ParseDeploymentText(R"JSON({
+    "name": "repeat home",
+    "devices": [
+      {"id": "hallMotion", "type": "motionSensor"},
+      {"id": "hallLight", "type": "smartSwitch", "roles": ["light"]}
+    ],
+    "apps": [
+      {"app": "Brighten My Path",
+       "inputs": {"motion1": ["hallMotion"], "switches": ["hallLight"]}},
+      {"app": "Automated Light",
+       "inputs": {"motionSensor": ["hallMotion"], "lights": ["hallLight"]}}
+    ]
+  })JSON");
+  core::Sanitizer sanitizer(deployment);
+  core::SanitizerOptions options;
+  options.check.max_events = 2;
+  core::SanitizerReport report = sanitizer.Check(options);
+  EXPECT_TRUE(report.HasViolation("P40")) << "repeated commands expected";
+}
+
+TEST(PipelineTest, DynamicDiscoveryAppsAreRejected) {
+  config::Deployment deployment = config::ParseDeploymentText(R"JSON({
+    "name": "discovery home",
+    "devices": [
+      {"id": "cam", "type": "camera", "roles": ["camera"]}
+    ],
+    "apps": [
+      {"app": "Midnight Camera", "inputs": {}}
+    ]
+  })JSON");
+  core::Sanitizer sanitizer(deployment);
+  core::SanitizerReport report = sanitizer.Check();
+  ASSERT_EQ(report.rejected_apps.size(), 1u);
+  EXPECT_NE(report.rejected_apps[0].find("dynamic device discovery"),
+            std::string::npos);
+}
+
+TEST(PipelineTest, DeviceFailureCausesViolation) {
+  // Paper Fig. 8b: with failures modeled, a failed presence sensor means
+  // Lock It When I Leave never fires -> robustness/lock violations appear
+  // only in failure scenarios.  Unlock Door's mode-change unlock plus a
+  // lost lock command shows P45 (no notification of failure).
+  config::Deployment deployment = config::ParseDeploymentText(R"JSON({
+    "name": "failure home",
+    "devices": [
+      {"id": "alicePresence", "type": "presenceSensor", "roles": ["presence"]},
+      {"id": "doorLock", "type": "smartLock", "roles": ["mainDoorLock"]}
+    ],
+    "apps": [
+      {"app": "Unlock Door", "inputs": {"lock1": ["doorLock"]}},
+      {"app": "Auto Mode Change",
+       "inputs": {"people": ["alicePresence"], "homeMode": "Home", "awayMode": "Away"}}
+    ]
+  })JSON");
+  core::Sanitizer sanitizer(deployment);
+  core::SanitizerOptions options;
+  options.check.max_events = 2;
+  options.check.model_failures = true;
+  core::SanitizerReport report = sanitizer.Check(options);
+  EXPECT_TRUE(report.HasViolation("P45"))
+      << "expected robustness violation under failure scenarios";
+}
+
+}  // namespace
+}  // namespace iotsan

@@ -1,0 +1,94 @@
+// AST printer tests: renderings must be stable, re-parseable, and
+// faithful for every corpus app (the printer backs translation reports
+// and corpus variants).
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "corpus/corpus.hpp"
+#include "dsl/parser.hpp"
+#include "dsl/printer.hpp"
+
+namespace iotsan::dsl {
+namespace {
+
+TEST(PrinterTest, ExpressionForms) {
+  EXPECT_EQ(PrintExpr(*ParseExpression("a?.b")), "a?.b");
+  EXPECT_EQ(PrintExpr(*ParseExpression("[:]")), "[:]");
+  EXPECT_EQ(PrintExpr(*ParseExpression("x in [1, 2]")), "(x in [1, 2])");
+  EXPECT_EQ(PrintExpr(*ParseExpression("a ?: b")), "(a ?: b)");
+  EXPECT_EQ(PrintExpr(*ParseExpression("f(x) { it }")),
+            "f(x, { it; })");
+  EXPECT_EQ(PrintExpr(*ParseExpression("m(name: \"x\")")),
+            "m(name: \"x\")");
+  EXPECT_EQ(PrintExpr(*ParseExpression("\"say \\\"hi\\\"\"")),
+            "\"say \\\"hi\\\"\"");
+}
+
+TEST(PrinterTest, StatementForms) {
+  App app = ParseApp(R"(
+definition(name: "P", namespace: "t")
+def run() {
+    def x = 1
+    x += 2
+    if (x > 2) {
+        return x
+    } else if (x == 2) {
+        return 0
+    } else {
+        x -= 1
+    }
+    for (i in [1, 2]) {
+        while (x < 10) {
+            x = x + i
+        }
+    }
+    return
+}
+)");
+  std::string printed = PrintApp(app);
+  EXPECT_NE(printed.find("def x = 1"), std::string::npos);
+  EXPECT_NE(printed.find("x += 2"), std::string::npos);
+  EXPECT_NE(printed.find("} else if ((x == 2)) {"), std::string::npos);
+  EXPECT_NE(printed.find("for (i in [1, 2]) {"), std::string::npos);
+  EXPECT_NE(printed.find("while ((x < 10)) {"), std::string::npos);
+  // The printed form must re-parse to an identical rendering (fixpoint).
+  EXPECT_EQ(PrintApp(ParseApp(printed)), printed);
+}
+
+/// Print -> parse -> print must reach a fixpoint for every corpus app:
+/// the printer loses no structure the parser can see.
+class CorpusRoundTripTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CorpusRoundTripTest, PrintParseFixpoint) {
+  const corpus::CorpusApp* app = corpus::FindApp(GetParam());
+  ASSERT_NE(app, nullptr);
+  App parsed = ParseApp(app->source, app->name);
+  std::string once = PrintApp(parsed);
+  App reparsed = ParseApp(once, app->name);
+  EXPECT_EQ(PrintApp(reparsed), once) << app->name;
+  EXPECT_EQ(reparsed.inputs.size(), parsed.inputs.size());
+  EXPECT_EQ(reparsed.methods.size(), parsed.methods.size());
+}
+
+std::vector<std::string> SomeApps() {
+  // A representative slice (full-corpus parsing is covered elsewhere).
+  return {"Virtual Thermostat", "Good Night",          "Smart Security",
+          "Laundry Monitor",    "Thermostat Window Check",
+          "Auto Mode Change",   "Leak Guard",          "Alarm Silencer"};
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CorpusRoundTripTest,
+                         ::testing::ValuesIn(SomeApps()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace iotsan::dsl

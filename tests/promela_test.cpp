@@ -1,0 +1,154 @@
+// Promela emitter tests: the Translator's output (paper §6/§8, Fig. 7's
+// g_ST*Arr naming) must be structurally complete — mtypes, typedefs,
+// globals, one inline per handler, the Algorithm-1 loop, and one LTL
+// formula per active invariant.
+#include <gtest/gtest.h>
+
+#include "config/builder.hpp"
+#include "ir/analyzer.hpp"
+#include "model/system_model.hpp"
+#include "promela/emitter.hpp"
+
+namespace iotsan::promela {
+namespace {
+
+model::SystemModel Fig7Model() {
+  config::DeploymentBuilder b("alice's home");
+  b.Device("alicePresence", "presenceSensor", {"presence"});
+  b.Device("doorLock", "smartLock", {"mainDoorLock"});
+  const char* source = R"(
+definition(name: "Unlocker", namespace: "t")
+preferences {
+    section("S") {
+        input "p1", "capability.presenceSensor"
+        input "lock1", "capability.lock"
+        input "awayMode", "mode"
+    }
+}
+def installed() {
+    subscribe(p1, "presence.notpresent", left)
+    subscribe(location, "mode", modeChanged)
+}
+def left(evt) {
+    setLocationMode(awayMode)
+}
+def modeChanged(evt) {
+    if (location.mode == awayMode) {
+        lock1.unlock()
+    }
+}
+)";
+  b.App("Unlocker")
+      .Devices("p1", {"alicePresence"})
+      .Devices("lock1", {"doorLock"})
+      .Text("awayMode", "Away");
+  std::vector<ir::AnalyzedApp> apps;
+  apps.push_back(ir::AnalyzeSource(source, "Unlocker"));
+  return model::SystemModel(b.Build(), std::move(apps));
+}
+
+TEST(PromelaTest, StructuralCompleteness) {
+  model::SystemModel model = Fig7Model();
+  std::string promela = EmitPromela(model);
+
+  // mtype covers enum values and modes.
+  EXPECT_NE(promela.find("mtype = {"), std::string::npos);
+  for (const char* value :
+       {"present", "notpresent", "locked", "unlocked", "Home", "Away"}) {
+    EXPECT_NE(promela.find(value), std::string::npos) << value;
+  }
+  // Typedefs + Fig. 7-style globals.
+  EXPECT_NE(promela.find("typedef STPresenceSensor"), std::string::npos);
+  EXPECT_NE(promela.find("typedef STSmartLock"), std::string::npos);
+  EXPECT_NE(promela.find("g_STSmartLockArr[1]"), std::string::npos);
+  EXPECT_NE(promela.find("mtype location_mode = Home"), std::string::npos);
+  EXPECT_NE(promela.find("subNotifiers"), std::string::npos);
+  // One inline per handler.
+  EXPECT_NE(promela.find("inline Unlocker_left()"), std::string::npos);
+  EXPECT_NE(promela.find("inline Unlocker_modeChanged()"),
+            std::string::npos);
+  // Algorithm-1 main loop with the event bound.
+  EXPECT_NE(promela.find("#define MAX_EVENTS 3"), std::string::npos);
+  EXPECT_NE(promela.find("active proctype SmartThingsMain()"),
+            std::string::npos);
+  EXPECT_NE(promela.find("for (event_i : 1 .. MAX_EVENTS)"),
+            std::string::npos);
+}
+
+TEST(PromelaTest, HandlerBodiesTranslate) {
+  std::string promela = EmitPromela(Fig7Model());
+  // setLocationMode lowers to a location_mode assignment.
+  EXPECT_NE(promela.find("location_mode = Away"), std::string::npos);
+  // The unlock command lowers to the Fig. 7 ST_Command + field update.
+  EXPECT_NE(promela.find("ST_Command.evtType = unlock"), std::string::npos);
+  EXPECT_NE(promela.find(".currentLock = unlocked"), std::string::npos);
+  // The mode guard becomes a Promela if/fi.
+  EXPECT_NE(promela.find(":: (("), std::string::npos);
+  EXPECT_NE(promela.find("fi;"), std::string::npos);
+}
+
+TEST(PromelaTest, LtlFormulasForActiveInvariants) {
+  model::SystemModel model = Fig7Model();
+  std::string promela = EmitPromela(model);
+  int invariants = 0;
+  for (const props::Property& p : model.active_properties()) {
+    if (p.kind == props::PropertyKind::kInvariant) ++invariants;
+  }
+  ASSERT_GT(invariants, 0);
+  std::size_t ltl_count = 0;
+  for (std::size_t pos = promela.find("ltl p"); pos != std::string::npos;
+       pos = promela.find("ltl p", pos + 1)) {
+    ++ltl_count;
+  }
+  EXPECT_EQ(ltl_count, static_cast<std::size_t>(invariants));
+  // P06's expansion references concrete device fields.
+  EXPECT_NE(promela.find("ltl p06 { [] "), std::string::npos);
+  EXPECT_NE(
+      promela.find("g_STSmartLockArr[0].currentLock == unlocked"),
+      std::string::npos);
+  EXPECT_NE(
+      promela.find("g_STPresenceSensorArr[0].currentPresence == notpresent"),
+      std::string::npos);
+}
+
+TEST(PromelaTest, EventLoopEnumeratesSensorValues) {
+  std::string promela = EmitPromela(Fig7Model());
+  EXPECT_NE(promela.find(
+                ":: g_STPresenceSensorArr[0].currentPresence = present"),
+            std::string::npos);
+  EXPECT_NE(promela.find(
+                ":: g_STPresenceSensorArr[0].currentPresence = notpresent"),
+            std::string::npos);
+}
+
+TEST(PromelaTest, MaxEventsOption) {
+  EmitOptions options;
+  options.max_events = 7;
+  std::string promela = EmitPromela(Fig7Model(), options);
+  EXPECT_NE(promela.find("#define MAX_EVENTS 7"), std::string::npos);
+}
+
+TEST(PromelaTest, UnsupportedConstructsDegradeToComments) {
+  config::DeploymentBuilder b("h");
+  b.Device("m1", "motionSensor");
+  const char* source = R"(
+definition(name: "Loopy", namespace: "t")
+preferences { section("S") { input "m1", "capability.motionSensor" } }
+def installed() { subscribe(m1, "motion.active", h) }
+def h(evt) {
+    for (x in [1, 2]) {
+        sendPush("x")
+    }
+}
+)";
+  b.App("Loopy").Devices("m1", {"m1"});
+  std::vector<ir::AnalyzedApp> apps;
+  apps.push_back(ir::AnalyzeSource(source, "Loopy"));
+  model::SystemModel model(b.Build(), std::move(apps));
+  std::string promela = EmitPromela(model);
+  // Loops lower to d_step placeholders, never to silently-wrong code.
+  EXPECT_NE(promela.find("d_step"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iotsan::promela

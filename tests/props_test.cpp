@@ -1,0 +1,251 @@
+// Property-language and built-in property tests (paper §8, Table 4).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dsl/parser.hpp"
+#include "props/eval.hpp"
+#include "props/property.hpp"
+#include "util/error.hpp"
+
+namespace iotsan::props {
+namespace {
+
+/// A scriptable StateView for evaluator tests.
+class FakeState final : public StateView {
+ public:
+  struct FakeDevice {
+    std::vector<std::string> roles;
+    std::map<std::string, std::string> attrs;
+    std::map<std::string, double> numeric;
+    bool online = true;
+  };
+
+  std::vector<FakeDevice> devices;
+  std::string mode = "Home";
+
+  std::vector<int> DevicesWithRole(const std::string& role) const override {
+    std::vector<int> out;
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      for (const std::string& r : devices[i].roles) {
+        if (r == role) out.push_back(static_cast<int>(i));
+      }
+    }
+    return out;
+  }
+  std::optional<std::string> AttributeValue(
+      int device, const std::string& attr) const override {
+    const auto& attrs = devices[static_cast<std::size_t>(device)].attrs;
+    auto it = attrs.find(attr);
+    if (it == attrs.end()) return std::nullopt;
+    return it->second;
+  }
+  std::optional<double> NumericValue(int device,
+                                     const std::string& attr) const override {
+    const auto& nums = devices[static_cast<std::size_t>(device)].numeric;
+    auto it = nums.find(attr);
+    if (it == nums.end()) return std::nullopt;
+    return it->second;
+  }
+  std::string LocationMode() const override { return mode; }
+  bool DeviceOnline(int device) const override {
+    return devices[static_cast<std::size_t>(device)].online;
+  }
+};
+
+bool Eval(const std::string& expr, const FakeState& state) {
+  return EvalPropertyExpr(*dsl::ParseExpression(expr), state);
+}
+
+TEST(PropEvalTest, ModeIdentifier) {
+  FakeState s;
+  s.mode = "Away";
+  EXPECT_TRUE(Eval("mode == \"Away\"", s));
+  EXPECT_FALSE(Eval("mode == \"Home\"", s));
+  EXPECT_TRUE(Eval("mode != \"Home\"", s));
+}
+
+TEST(PropEvalTest, AnyQuantifier) {
+  FakeState s;
+  s.devices.push_back({{"light"}, {{"switch", "off"}}, {}, true});
+  s.devices.push_back({{"light"}, {{"switch", "on"}}, {}, true});
+  EXPECT_TRUE(Eval(R"(any("light", "switch") == "on")", s));
+  EXPECT_FALSE(Eval(R"(all("light", "switch") == "on")", s));
+  EXPECT_TRUE(Eval(R"(any("light", "switch") == "off")", s));
+}
+
+TEST(PropEvalTest, AllQuantifier) {
+  FakeState s;
+  s.devices.push_back({{"presence"}, {{"presence", "notpresent"}}, {}, true});
+  s.devices.push_back({{"presence"}, {{"presence", "notpresent"}}, {}, true});
+  EXPECT_TRUE(Eval(R"(all("presence", "presence") == "notpresent")", s));
+  s.devices[1].attrs["presence"] = "present";
+  EXPECT_FALSE(Eval(R"(all("presence", "presence") == "notpresent")", s));
+  EXPECT_TRUE(Eval(R"(any("presence", "presence") == "present")", s));
+}
+
+TEST(PropEvalTest, VacuousQuantification) {
+  FakeState s;  // no devices at all
+  EXPECT_TRUE(Eval(R"(all("ghost", "switch") == "on")", s));
+  EXPECT_FALSE(Eval(R"(any("ghost", "switch") == "on")", s));
+}
+
+TEST(PropEvalTest, NumericComparisons) {
+  FakeState s;
+  s.devices.push_back({{"tempSensor"}, {}, {{"temperature", 60}}, true});
+  EXPECT_TRUE(Eval(R"(any("tempSensor", "temperature") < 65)", s));
+  EXPECT_FALSE(Eval(R"(any("tempSensor", "temperature") > 80)", s));
+  EXPECT_TRUE(Eval(R"(any("tempSensor", "temperature") >= 60)", s));
+  // Mirrored comparison (scalar on the left).
+  EXPECT_TRUE(Eval(R"(65 > any("tempSensor", "temperature"))", s));
+}
+
+TEST(PropEvalTest, CountFunction) {
+  FakeState s;
+  s.devices.push_back({{"light"}, {{"switch", "on"}}, {}, true});
+  s.devices.push_back({{"light"}, {{"switch", "on"}}, {}, true});
+  s.devices.push_back({{"light"}, {{"switch", "off"}}, {}, true});
+  EXPECT_TRUE(Eval(R"(count("light", "switch", "on") == 2)", s));
+  EXPECT_TRUE(Eval(R"(count("light", "switch", "off") < 2)", s));
+}
+
+TEST(PropEvalTest, OnlineFunction) {
+  FakeState s;
+  s.devices.push_back({{"presence"}, {}, {}, true});
+  s.devices.push_back({{"presence"}, {}, {}, false});
+  EXPECT_FALSE(Eval(R"(online("presence"))", s));
+  EXPECT_TRUE(Eval(R"(offline("presence"))", s));
+  s.devices[1].online = true;
+  EXPECT_TRUE(Eval(R"(online("presence"))", s));
+}
+
+TEST(PropEvalTest, ExistsFunction) {
+  FakeState s;
+  s.devices.push_back({{"camera"}, {}, {}, true});
+  EXPECT_TRUE(Eval(R"(exists("camera"))", s));
+  EXPECT_FALSE(Eval(R"(exists("drone"))", s));
+}
+
+TEST(PropEvalTest, BooleanStructure) {
+  FakeState s;
+  s.mode = "Night";
+  s.devices.push_back({{"mainDoorLock"}, {{"lock", "unlocked"}}, {}, true});
+  EXPECT_FALSE(Eval(
+      R"(!(mode == "Night" && any("mainDoorLock", "lock") == "unlocked"))",
+      s));
+  s.devices[0].attrs["lock"] = "locked";
+  EXPECT_TRUE(Eval(
+      R"(!(mode == "Night" && any("mainDoorLock", "lock") == "unlocked"))",
+      s));
+}
+
+TEST(PropEvalTest, DevicesMissingAttributeAreSkipped) {
+  FakeState s;
+  s.devices.push_back({{"light"}, {{"switch", "on"}}, {}, true});
+  s.devices.push_back({{"light"}, {}, {}, true});  // no switch attribute
+  EXPECT_TRUE(Eval(R"(all("light", "switch") == "on")", s));
+}
+
+TEST(PropEvalTest, MalformedExpressionsThrow) {
+  FakeState s;
+  EXPECT_THROW(Eval("unknownIdent == 1", s), SemanticError);
+  EXPECT_THROW(Eval("any(\"r\")", s), SemanticError);
+  EXPECT_THROW(Eval("frobnicate(\"r\")", s), SemanticError);
+  EXPECT_THROW(Eval("1 + 2", s), SemanticError);  // not boolean
+  EXPECT_THROW(Eval(R"(any("a", "b") == all("c", "d"))", s), SemanticError);
+}
+
+TEST(BuiltinPropertiesTest, CountsMatchThePaper) {
+  const auto& props = BuiltinProperties();
+  // 45 properties: 38 safe-physical-state invariants + 7 monitors (§8).
+  EXPECT_EQ(props.size(), 45u);
+  std::map<std::string, int> by_category;
+  int invariants = 0;
+  for (const Property& p : props) {
+    if (p.kind == PropertyKind::kInvariant) {
+      ++invariants;
+      ++by_category[p.category];
+    }
+  }
+  EXPECT_EQ(invariants, 38);
+  // Table 4's category counts.
+  EXPECT_EQ(by_category["Thermostat, AC, and Heater"], 5);
+  EXPECT_EQ(by_category["Lock and door control"], 8);
+  EXPECT_EQ(by_category["Location mode"], 3);
+  EXPECT_EQ(by_category["Security and alarming"], 14);
+  EXPECT_EQ(by_category["Water and sprinkler"], 3);
+  EXPECT_EQ(by_category["Others"], 5);
+}
+
+TEST(BuiltinPropertiesTest, MonitorsPresent) {
+  EXPECT_EQ(FindBuiltinProperty("P39")->kind, PropertyKind::kNoConflict);
+  EXPECT_EQ(FindBuiltinProperty("P40")->kind, PropertyKind::kNoRepeat);
+  EXPECT_EQ(FindBuiltinProperty("P41")->kind, PropertyKind::kNoNetworkLeak);
+  EXPECT_EQ(FindBuiltinProperty("P42")->kind, PropertyKind::kSmsRecipient);
+  EXPECT_EQ(FindBuiltinProperty("P43")->kind, PropertyKind::kNoSensitiveCmd);
+  EXPECT_EQ(FindBuiltinProperty("P44")->kind, PropertyKind::kNoFakeEvent);
+  EXPECT_EQ(FindBuiltinProperty("P45")->kind, PropertyKind::kRobustness);
+  EXPECT_EQ(FindBuiltinProperty("P99"), nullptr);
+}
+
+TEST(RolesReferencedTest, ExtractsAllRoles) {
+  Property p = MakeInvariant("X", "c", "d",
+                             R"(!(any("roleA", "x") == "1"
+                                 && all("roleB", "y") == "2"
+                                 && count("roleC", "z", "v") > 0))");
+  EXPECT_EQ(p.roles,
+            (std::vector<std::string>{"roleA", "roleB", "roleC"}));
+  EXPECT_EQ(p.universal_roles, (std::vector<std::string>{"roleB"}));
+}
+
+TEST(ReferencesModeTest, DetectsModeReads) {
+  EXPECT_TRUE(ReferencesMode(*dsl::ParseExpression("mode == \"Away\"")));
+  EXPECT_FALSE(
+      ReferencesMode(*dsl::ParseExpression(R"(any("a", "b") == "c")")));
+}
+
+/// Every built-in invariant must parse, reference at least one role or
+/// the mode, and be satisfied by an "everything quiet" state.
+class BuiltinInvariantTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BuiltinInvariantTest, ParsesAndHoldsInQuietState) {
+  const Property& p = *FindBuiltinProperty(GetParam());
+  ASSERT_NO_THROW(p.ParsedExpression());
+  EXPECT_TRUE(!p.roles.empty() || ReferencesMode(p.ParsedExpression()))
+      << p.id;
+
+  // A quiet home: someone present, everything off/closed/locked/clear,
+  // comfortable readings, mode Home.  No invariant may fire here.
+  FakeState s;
+  s.mode = "Home";
+  FakeState::FakeDevice quiet;
+  quiet.roles = p.roles;  // one device carrying every referenced role
+  quiet.attrs = {{"switch", "off"},   {"lock", "locked"},
+                 {"door", "closed"},  {"contact", "closed"},
+                 {"presence", "present"}, {"motion", "inactive"},
+                 {"smoke", "clear"},  {"carbonMonoxide", "clear"},
+                 {"water", "dry"},    {"alarm", "off"},
+                 {"valve", "open"},   {"windowShade", "closed"},
+                 {"status", "stopped"}, {"image", "none"},
+                 {"sleeping", "notSleeping"}, {"call", "idle"}};
+  quiet.numeric = {{"temperature", 70}, {"humidity", 50},
+                   {"illuminance", 300}, {"soilMoisture", 40}};
+  s.devices.push_back(quiet);
+  EXPECT_TRUE(EvalPropertyExpr(p.ParsedExpression(), s))
+      << p.id << ": " << p.description;
+}
+
+std::vector<std::string> InvariantIds() {
+  std::vector<std::string> ids;
+  for (const Property& p : BuiltinProperties()) {
+    if (p.kind == PropertyKind::kInvariant) ids.push_back(p.id);
+  }
+  return ids;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInvariants, BuiltinInvariantTest,
+                         ::testing::ValuesIn(InvariantIds()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace iotsan::props

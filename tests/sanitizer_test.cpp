@@ -1,0 +1,161 @@
+// Sanitizer facade tests: source resolution, user-defined properties,
+// multiple installs, per-set reporting, and model options plumbing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "config/builder.hpp"
+#include "core/sanitizer.hpp"
+#include "util/error.hpp"
+
+namespace iotsan::core {
+namespace {
+
+TEST(SanitizerTest, UnknownAppSourceIsRejectedNotFatal) {
+  config::DeploymentBuilder b("h");
+  b.Device("sw", "smartSwitch");
+  b.App("Totally Unknown App").Devices("x", {"sw"});
+  Sanitizer sanitizer(b.Build());
+  SanitizerReport report = sanitizer.Check();
+  ASSERT_EQ(report.rejected_apps.size(), 1u);
+  EXPECT_NE(report.rejected_apps[0].find("no source"), std::string::npos);
+}
+
+TEST(SanitizerTest, AddAppSourceOverridesCorpus) {
+  config::DeploymentBuilder b("h");
+  b.Device("sw", "smartSwitch", {"light"});
+  b.Device("m1", "motionSensor");
+  b.App("My Custom App").Devices("m1", {"m1"}).Devices("sw", {"sw"});
+  Sanitizer sanitizer(b.Build());
+  sanitizer.AddAppSource("My Custom App", R"(
+definition(name: "My Custom App", namespace: "user")
+preferences {
+    section("S") {
+        input "m1", "capability.motionSensor"
+        input "sw", "capability.switch"
+    }
+}
+def installed() { subscribe(m1, "motion.active", h) }
+def h(evt) { sw.on() }
+)");
+  SanitizerReport report = sanitizer.Check();
+  EXPECT_TRUE(report.rejected_apps.empty());
+  EXPECT_GT(report.states_explored, 0u);
+}
+
+TEST(SanitizerTest, UserDefinedProperties) {
+  config::DeploymentBuilder b("h");
+  b.Device("m1", "motionSensor", {"watchedMotion"});
+  b.Device("sw", "smartSwitch", {"watchedLight"});
+  b.App("Brighten My Path").Devices("motion1", {"m1"}).Devices("switches",
+                                                               {"sw"});
+  Sanitizer sanitizer(b.Build());
+  SanitizerOptions options;
+  options.check.max_events = 2;
+  options.extra_properties.push_back(props::MakeInvariant(
+      "U1", "User", "The watched light is never on",
+      R"(!(any("watchedLight", "switch") == "on"))"));
+  SanitizerReport report = sanitizer.Check(options);
+  EXPECT_TRUE(report.HasViolation("U1"));
+}
+
+TEST(SanitizerTest, SameAppInstalledTwice) {
+  config::DeploymentBuilder b("h");
+  b.Device("m1", "motionSensor");
+  b.Device("m2", "motionSensor");
+  b.Device("sw1", "smartSwitch", {"light"});
+  b.Device("sw2", "smartSwitch", {"light"});
+  b.App("Brighten My Path", "hall")
+      .Devices("motion1", {"m1"})
+      .Devices("switches", {"sw1"});
+  b.App("Brighten My Path", "garage")
+      .Devices("motion1", {"m2"})
+      .Devices("switches", {"sw2"});
+  Sanitizer sanitizer(b.Build());
+  SanitizerOptions options;
+  options.check.max_events = 1;
+  SanitizerReport report = sanitizer.Check(options);
+  EXPECT_TRUE(report.rejected_apps.empty());
+  EXPECT_GE(report.related_set_count, 2);
+}
+
+TEST(SanitizerTest, PerSetViolationsKeepDuplicates) {
+  // The same property found in several related sets appears once in
+  // `violations` (merged) but once per set in `per_set_violations`.
+  config::DeploymentBuilder b("h");
+  b.Device("c1", "contactSensor", {"frontDoorContact"});
+  b.Device("lightMeter", "illuminanceSensor");
+  b.Device("sw", "smartSwitch", {"light"});
+  b.App("Brighten Dark Places")
+      .Devices("contact1", {"c1"})
+      .Devices("luminance1", {"lightMeter"})
+      .Devices("switches", {"sw"});
+  b.App("Let There Be Dark!")
+      .Devices("contact1", {"c1"})
+      .Devices("switches", {"sw"});
+  Sanitizer sanitizer(b.Build());
+  SanitizerOptions options;
+  options.check.max_events = 2;
+  SanitizerReport report = sanitizer.Check(options);
+  int merged = 0;
+  for (const checker::Violation& v : report.violations) {
+    if (v.property_id == "P39") ++merged;
+  }
+  EXPECT_EQ(merged, 1);
+  EXPECT_GE(report.per_set_violations.size(), report.violations.size());
+}
+
+TEST(SanitizerTest, ScaleStatsPopulated) {
+  config::DeploymentBuilder b("h");
+  b.Device("p1", "presenceSensor", {"presence"});
+  b.Device("lock1", "smartLock", {"mainDoorLock"});
+  b.App("Auto Mode Change")
+      .Devices("people", {"p1"})
+      .Text("homeMode", "Home")
+      .Text("awayMode", "Away");
+  b.App("Unlock Door").Devices("lock1", {"lock1"});
+  Sanitizer sanitizer(b.Build());
+  SanitizerReport report = sanitizer.Check();
+  EXPECT_EQ(report.scale.original_size, 3);  // 3 handlers
+  EXPECT_GE(report.scale.new_size, 1);
+  EXPECT_GE(report.related_set_count, 1);
+}
+
+TEST(SanitizerTest, BindingErrorsSurfaceAsConfigError) {
+  config::DeploymentBuilder b("h");
+  b.Device("lock1", "smartLock");
+  // Unlock Door's lock1 input requires capability.lock; bind a switch.
+  b.Device("sw", "smartSwitch");
+  b.App("Unlock Door").Devices("lock1", {"sw"});
+  Sanitizer sanitizer(b.Build());
+  EXPECT_THROW(sanitizer.Check(), ConfigError);
+}
+
+TEST(SanitizerTest, MissingRequiredInputThrows) {
+  config::DeploymentBuilder b("h");
+  b.Device("lock1", "smartLock");
+  b.App("Unlock Door");  // lock1 input unbound
+  Sanitizer sanitizer(b.Build());
+  EXPECT_THROW(sanitizer.Check(), ConfigError);
+}
+
+TEST(SanitizerTest, ViolatedPropertyIdsSorted) {
+  config::DeploymentBuilder b("h");
+  b.Device("p1", "presenceSensor", {"presence"});
+  b.Device("lock1", "smartLock", {"mainDoorLock"});
+  b.App("Auto Mode Change")
+      .Devices("people", {"p1"})
+      .Text("homeMode", "Home")
+      .Text("awayMode", "Away");
+  b.App("Unlock Door").Devices("lock1", {"lock1"});
+  Sanitizer sanitizer(b.Build());
+  SanitizerOptions options;
+  options.check.max_events = 2;
+  SanitizerReport report = sanitizer.Check(options);
+  auto ids = report.ViolatedPropertyIds();
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  EXPECT_FALSE(ids.empty());
+}
+
+}  // namespace
+}  // namespace iotsan::core

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "util/strings.hpp"
+
+namespace iotsan::strings {
+namespace {
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("\t\nhello\r\n"), "hello");
+  EXPECT_EQ(Trim("hello"), "hello");
+}
+
+TEST(TrimTest, EmptyAndAllWhitespace) {
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   \t\n  "), "");
+}
+
+TEST(TrimTest, PreservesInnerWhitespace) {
+  EXPECT_EQ(Trim("  a b  c "), "a b  c");
+}
+
+TEST(SplitTest, BasicFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split(",a,,b,", ','),
+            (std::vector<std::string>{"", "a", "", "b", ""}));
+}
+
+TEST(SplitTest, SingleField) {
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitTrimmedTest, TrimsAndDropsEmpty) {
+  EXPECT_EQ(SplitTrimmed("  a , , b ,c  ", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"only"}, ", "), "only");
+}
+
+TEST(StartsEndsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("capability.switch", "capability."));
+  EXPECT_FALSE(StartsWith("cap", "capability."));
+  EXPECT_TRUE(EndsWith("motion.active", ".active"));
+  EXPECT_FALSE(EndsWith("active", "motion.active.x"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_TRUE(EndsWith("abc", ""));
+}
+
+TEST(ToLowerTest, MixedCase) {
+  EXPECT_EQ(ToLower("MotionSensor"), "motionsensor");
+  EXPECT_EQ(ToLower("ABC123xyz"), "abc123xyz");
+}
+
+TEST(ReplaceAllTest, MultipleOccurrences) {
+  EXPECT_EQ(ReplaceAll("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(ReplaceAll("abc", "x", "y"), "abc");
+  EXPECT_EQ(ReplaceAll("abc", "", "y"), "abc");
+}
+
+TEST(ReplaceAllTest, ReplacementContainsNeedle) {
+  // Must not loop on replacements that re-introduce the needle.
+  EXPECT_EQ(ReplaceAll("aa", "a", "aa"), "aaaa");
+}
+
+TEST(IsIdentifierTest, Accepts) {
+  EXPECT_TRUE(IsIdentifier("foo"));
+  EXPECT_TRUE(IsIdentifier("_bar9"));
+  EXPECT_TRUE(IsIdentifier("CamelCase"));
+}
+
+TEST(IsIdentifierTest, Rejects) {
+  EXPECT_FALSE(IsIdentifier(""));
+  EXPECT_FALSE(IsIdentifier("9lives"));
+  EXPECT_FALSE(IsIdentifier("a-b"));
+  EXPECT_FALSE(IsIdentifier("a b"));
+}
+
+TEST(FormatNumberTest, IntegersHaveNoDecimalPoint) {
+  EXPECT_EQ(FormatNumber(75), "75");
+  EXPECT_EQ(FormatNumber(-3), "-3");
+  EXPECT_EQ(FormatNumber(0), "0");
+}
+
+TEST(FormatNumberTest, Decimals) {
+  EXPECT_EQ(FormatNumber(2.5), "2.5");
+  EXPECT_EQ(FormatNumber(-0.25), "-0.25");
+}
+
+TEST(PadTest, RightAndLeft) {
+  EXPECT_EQ(PadRight("ab", 5), "ab   ");
+  EXPECT_EQ(PadLeft("ab", 5), "   ab");
+  EXPECT_EQ(PadRight("abcdef", 3), "abcdef");
+  EXPECT_EQ(PadLeft("abcdef", 3), "abcdef");
+}
+
+}  // namespace
+}  // namespace iotsan::strings

@@ -1,0 +1,241 @@
+// Anchor-point type inference tests (paper §6), including the paper's
+// Fig. 6 example: the Groovy method `onSwitches()` returning
+// `switches + onSwitches` must be typed List<Device<switch>> and render
+// as STSwitch[] in Java notation.
+#include <gtest/gtest.h>
+
+#include "dsl/parser.hpp"
+#include "dsl/type_infer.hpp"
+
+namespace iotsan::dsl {
+namespace {
+
+TypeInfo Infer(std::string_view methods,
+               std::string_view inputs = R"(
+    section("S") {
+        input "switches", "capability.switch", multiple: true
+        input "onSwitches", "capability.switch", multiple: true
+        input "sensor", "capability.temperatureMeasurement"
+        input "setpoint", "decimal"
+        input "minutes", "number", required: false
+        input "mode", "enum", options: ["heat", "cool"]
+    })") {
+  std::string source = "definition(name: \"T\", namespace: \"t\")\n";
+  source += "preferences {\n" + std::string(inputs) + "\n}\n";
+  source += methods;
+  return InferTypes(ParseApp(source));
+}
+
+TEST(TypeInferTest, InputDeclTypes) {
+  TypeInfo info = Infer("");
+  EXPECT_EQ(info.globals.at("switches").ToString(),
+            "List<Device<switch>>");
+  EXPECT_EQ(info.globals.at("sensor").ToString(),
+            "Device<temperatureMeasurement>");
+  EXPECT_EQ(info.globals.at("setpoint").ToString(), "Decimal");
+  EXPECT_EQ(info.globals.at("minutes").ToString(), "Integer");
+  EXPECT_EQ(info.globals.at("mode").ToString(), "String");
+}
+
+TEST(TypeInferTest, PaperFig6OnSwitches) {
+  // The exact shape of paper Fig. 6a: a method whose body is the Groovy
+  // `+` of two device lists; its return type must be inferred as a list
+  // of switches and lower to Java's STSwitch[].
+  TypeInfo info = Infer(R"(
+def onSwitchesMethod() {
+    switches + onSwitches
+}
+)");
+  Type ret = info.ReturnType("onSwitchesMethod");
+  EXPECT_EQ(ret.ToString(), "List<Device<switch>>");
+  EXPECT_EQ(ret.ToJavaString(), "STSwitch[]");
+}
+
+TEST(TypeInferTest, LiteralAnchors) {
+  TypeInfo info = Infer(R"(
+def f() {
+    def a = 0
+    def b = 2.5
+    def c = "text"
+    def d = true
+    def e = [1, 2]
+    return a
+}
+)");
+  EXPECT_EQ(info.LocalType("f", "a").ToString(), "Integer");
+  EXPECT_EQ(info.LocalType("f", "b").ToString(), "Decimal");
+  EXPECT_EQ(info.LocalType("f", "c").ToString(), "String");
+  EXPECT_EQ(info.LocalType("f", "d").ToString(), "Boolean");
+  EXPECT_EQ(info.LocalType("f", "e").ToString(), "List<Integer>");
+  EXPECT_EQ(info.ReturnType("f").ToString(), "Integer");
+}
+
+TEST(TypeInferTest, NumericJoinWidensToDecimal) {
+  TypeInfo info = Infer(R"(
+def f(flag) {
+    def x = 1
+    if (flag) {
+        x = 2.5
+    }
+    return x
+}
+)");
+  EXPECT_EQ(info.ReturnType("f").ToString(), "Decimal");
+}
+
+TEST(TypeInferTest, CallingContextPropagatesToParams) {
+  // §6: argument and return types are inferred from calling contexts.
+  TypeInfo info = Infer(R"(
+def caller() {
+    helper(setpoint)
+}
+def helper(value) {
+    return value
+}
+)");
+  EXPECT_EQ(info.params.at("helper.value").ToString(), "Decimal");
+  EXPECT_EQ(info.ReturnType("helper").ToString(), "Decimal");
+}
+
+TEST(TypeInferTest, DeviceAttributeReads) {
+  TypeInfo info = Infer(R"(
+def f() {
+    def t = sensor.currentTemperature
+    def s = switches.first.currentSwitch
+    return t
+}
+)");
+  EXPECT_EQ(info.LocalType("f", "t").ToString(), "Decimal");
+  EXPECT_EQ(info.LocalType("f", "s").ToString(), "String");
+}
+
+TEST(TypeInferTest, CollectionUtilities) {
+  TypeInfo info = Infer(R"(
+def f() {
+    def found = switches.find { it.currentSwitch == "on" }
+    def all = switches.findAll { it.currentSwitch == "on" }
+    def n = switches.size()
+    def names = switches.collect { it.currentSwitch }
+    return found
+}
+)");
+  EXPECT_EQ(info.LocalType("f", "found").ToString(), "Device<switch>");
+  EXPECT_EQ(info.LocalType("f", "all").ToString(), "List<Device<switch>>");
+  EXPECT_EQ(info.LocalType("f", "n").ToString(), "Integer");
+  EXPECT_EQ(info.LocalType("f", "names").ToString(), "List<String>");
+}
+
+TEST(TypeInferTest, HandlerParamIsEventLike) {
+  TypeInfo info = Infer(R"(
+def installed() {
+    subscribe(sensor, "temperature", tempHandler)
+}
+def tempHandler(evt) {
+    def v = evt.value
+    def n = evt.numericValue
+    return v
+}
+)");
+  EXPECT_EQ(info.LocalType("tempHandler", "v").ToString(), "String");
+  EXPECT_EQ(info.LocalType("tempHandler", "n").ToString(), "Decimal");
+}
+
+TEST(TypeInferTest, StateFieldsTracked) {
+  TypeInfo info = Infer(R"(
+def f() {
+    state.count = 1
+    state.label = "x"
+}
+)");
+  EXPECT_EQ(info.globals.at("state.count").ToString(), "Integer");
+  EXPECT_EQ(info.globals.at("state.label").ToString(), "String");
+}
+
+TEST(TypeInferTest, HeterogeneousCollectionReported) {
+  // Paper §11 limitation 5: heterogeneous collections are a translation
+  // error, surfaced as a problem.
+  TypeInfo info = Infer(R"(
+def f() {
+    def mixed = [1, "two"]
+    return mixed
+}
+)");
+  ASSERT_FALSE(info.problems.empty());
+  EXPECT_NE(info.problems[0].find("heterogeneous collection"),
+            std::string::npos);
+}
+
+TEST(TypeInferTest, UnknownFunctionReported) {
+  TypeInfo info = Infer(R"(
+def f() {
+    frobnicate(1)
+}
+)");
+  ASSERT_FALSE(info.problems.empty());
+  EXPECT_NE(info.problems[0].find("unknown function 'frobnicate'"),
+            std::string::npos);
+}
+
+TEST(TypeInferTest, PlatformApiReturnTypes) {
+  TypeInfo info = Infer(R"(
+def f() {
+    def t = now()
+    def b = timeOfDayIsBetween("22:00", "06:00")
+    def m = getSunriseAndSunset()
+    return t
+}
+)");
+  EXPECT_EQ(info.LocalType("f", "t").ToString(), "Integer");
+  EXPECT_EQ(info.LocalType("f", "b").ToString(), "Boolean");
+  EXPECT_EQ(info.LocalType("f", "m").ToString(), "Map");
+}
+
+TEST(TypeInferTest, TernaryJoins) {
+  TypeInfo info = Infer(R"(
+def f(flag) {
+    def x = flag ? 1 : 2.0
+    def y = minutes ?: 5
+    return x
+}
+)");
+  EXPECT_EQ(info.LocalType("f", "x").ToString(), "Decimal");
+  EXPECT_EQ(info.LocalType("f", "y").ToString(), "Integer");
+}
+
+TEST(TypeInferTest, ConvergesQuickly) {
+  TypeInfo info = Infer(R"(
+def a() { return b() }
+def b() { return c() }
+def c() { return 42 }
+)");
+  EXPECT_EQ(info.ReturnType("a").ToString(), "Integer");
+  EXPECT_LE(info.iterations, 8);
+}
+
+TEST(TypeInferTest, JavaRenderings) {
+  EXPECT_EQ(Type::Integer().ToJavaString(), "int");
+  EXPECT_EQ(Type::Decimal().ToJavaString(), "double");
+  EXPECT_EQ(Type::Boolean().ToJavaString(), "boolean");
+  EXPECT_EQ(Type::String().ToJavaString(), "String");
+  EXPECT_EQ(Type::Device("lock").ToJavaString(), "STLock");
+  EXPECT_EQ(Type::ListOf(Type::Device("lock")).ToJavaString(), "STLock[]");
+  EXPECT_EQ(Type::Dynamic().ToJavaString(), "Object");
+}
+
+TEST(TypeTest, JoinLattice) {
+  EXPECT_EQ(Type::Join(Type::Integer(), Type::Integer()).ToString(),
+            "Integer");
+  EXPECT_EQ(Type::Join(Type::Integer(), Type::Decimal()).ToString(),
+            "Decimal");
+  EXPECT_EQ(Type::Join(Type::Integer(), Type::String()).ToString(), "def");
+  EXPECT_EQ(Type::Join(Type::Dynamic(), Type::String()).ToString(),
+            "String");
+  EXPECT_EQ(Type::Join(Type::Void(), Type::String()).ToString(), "String");
+  EXPECT_EQ(Type::Join(Type::ListOf(Type::Integer()),
+                       Type::ListOf(Type::Decimal()))
+                .ToString(),
+            "List<Decimal>");
+}
+
+}  // namespace
+}  // namespace iotsan::dsl

@@ -1,0 +1,275 @@
+// iotsan command-line interface: the paper's envisioned service (§4
+// "Our work in perspective") as a tool.
+//
+//   iotsan check <deployment.json> [--events N] [--failures] [--mono]
+//                [--bitstate] [--first] [--properties props.json]
+//       Verify a deployment against the built-in safety properties plus
+//       any user-defined ones.
+//
+//   iotsan attribute <app.smartscript|corpus-app-name> <deployment.json>
+//       Vet a new app before installation (§9 Output Analyzer).
+//
+//   iotsan deps <deployment.json>
+//       Print the dependency graph and related sets (§5).
+//
+//   iotsan promela <deployment.json> [--events N]
+//       Emit the generated Promela model (§6/§8).
+//
+//   iotsan apps
+//       List the bundled corpus apps.
+//
+// Deployment files use the JSON schema of config/deployment.hpp; app
+// sources not in the bundled corpus can be given in the deployment under
+// "appSources": {"Name": "path/to/app.smartscript"}.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "attrib/output_analyzer.hpp"
+#include "core/sanitizer.hpp"
+#include "corpus/corpus.hpp"
+#include "deps/dependency_graph.hpp"
+#include "dsl/parser.hpp"
+#include "ir/analyzer.hpp"
+#include "model/system_model.hpp"
+#include "promela/emitter.hpp"
+#include "props/loader.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace iotsan;
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Loads the deployment plus any side-loaded app sources.
+struct LoadedSystem {
+  config::Deployment deployment;
+  std::map<std::string, std::string> extra_sources;
+};
+
+LoadedSystem LoadSystem(const std::string& path) {
+  LoadedSystem out;
+  const json::Value doc = json::Parse(ReadFile(path));
+  out.deployment = config::ParseDeployment(doc);
+  if (doc.Has("appSources")) {
+    for (const auto& [name, source_path] : doc.At("appSources").AsObject()) {
+      out.extra_sources[name] = ReadFile(source_path.AsString());
+    }
+  }
+  return out;
+}
+
+core::Sanitizer MakeSanitizer(const LoadedSystem& system) {
+  core::Sanitizer sanitizer(system.deployment);
+  for (const auto& [name, source] : system.extra_sources) {
+    sanitizer.AddAppSource(name, source);
+  }
+  return sanitizer;
+}
+
+int CmdCheck(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr, "usage: iotsan check <deployment.json> "
+                         "[--events N] [--failures] [--mono] [--bitstate] "
+                         "[--first] [--properties props.json]\n");
+    return 2;
+  }
+  LoadedSystem system = LoadSystem(args[0]);
+  core::Sanitizer sanitizer = MakeSanitizer(system);
+  core::SanitizerOptions options;
+  options.check.max_events = 3;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--events" && i + 1 < args.size()) {
+      options.check.max_events = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--failures") {
+      options.check.model_failures = true;
+    } else if (args[i] == "--mono") {
+      options.use_dependency_analysis = false;
+    } else if (args[i] == "--bitstate") {
+      options.check.store = checker::StoreKind::kBitstate;
+    } else if (args[i] == "--first") {
+      options.check.stop_at_first_violation = true;
+    } else if (args[i] == "--properties" && i + 1 < args.size()) {
+      options.extra_properties =
+          props::LoadPropertiesJson(ReadFile(args[++i]));
+    } else if (args[i] == "--allow-discovery") {
+      options.allow_dynamic_discovery = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", args[i].c_str());
+      return 2;
+    }
+  }
+
+  core::SanitizerReport report = sanitizer.Check(options);
+  std::printf("system: %s (%zu devices, %zu apps)\n",
+              system.deployment.name.c_str(),
+              system.deployment.devices.size(),
+              system.deployment.apps.size());
+  for (const std::string& rejected : report.rejected_apps) {
+    std::printf("REJECTED: %s\n", rejected.c_str());
+  }
+  std::printf("dependency analysis: %d handlers -> %d related sets "
+              "(scale ratio %.1f)\n",
+              report.scale.original_size, report.related_set_count,
+              report.scale.ratio);
+  std::printf("explored %llu states (%llu matched) in %.3fs%s\n\n",
+              static_cast<unsigned long long>(report.states_explored),
+              static_cast<unsigned long long>(report.states_matched),
+              report.seconds, report.completed ? "" : " (budget hit)");
+  if (report.violations.empty()) {
+    std::printf("RESULT: no safety violations found\n");
+    return 0;
+  }
+  for (const checker::Violation& v : report.violations) {
+    std::printf("%s\n", checker::FormatViolation(v).c_str());
+  }
+  std::printf("RESULT: %zu violated propert%s\n", report.violations.size(),
+              report.violations.size() == 1 ? "y" : "ies");
+  return 1;
+}
+
+int CmdAttribute(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    std::fprintf(stderr,
+                 "usage: iotsan attribute <app.smartscript|corpus-name> "
+                 "<deployment.json>\n");
+    return 2;
+  }
+  std::string source;
+  if (const corpus::CorpusApp* app = corpus::FindApp(args[0])) {
+    source = app->source;
+  } else {
+    source = ReadFile(args[0]);
+  }
+  LoadedSystem system = LoadSystem(args[1]);
+
+  attrib::AttributionOptions options;
+  options.enumeration.max_configs = 24;
+  options.check.max_events = 2;
+  attrib::AttributionResult result =
+      attrib::AttributeApp(source, system.deployment, options);
+  dsl::App parsed = dsl::ParseApp(source);
+  std::printf("%s\n", attrib::FormatAttribution(parsed.name, result).c_str());
+  if (!result.safe_configs.empty()) {
+    std::printf("safe configurations found: %zu\n",
+                result.safe_configs.size());
+  }
+  return result.verdict == attrib::Verdict::kClean ? 0 : 1;
+}
+
+int CmdDeps(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr, "usage: iotsan deps <deployment.json>\n");
+    return 2;
+  }
+  LoadedSystem system = LoadSystem(args[0]);
+  std::vector<ir::AnalyzedApp> apps;
+  for (const config::AppConfig& instance : system.deployment.apps) {
+    std::string source;
+    auto it = system.extra_sources.find(instance.app);
+    if (it != system.extra_sources.end()) {
+      source = it->second;
+    } else if (const corpus::CorpusApp* app = corpus::FindApp(instance.app)) {
+      source = app->source;
+    } else {
+      throw ConfigError("no source for app '" + instance.app + "'");
+    }
+    apps.push_back(ir::AnalyzeSource(source, instance.app));
+  }
+  deps::DependencyGraph graph = deps::DependencyGraph::Build(apps);
+  std::printf("%s", graph.ToDot(apps).c_str());
+  std::printf("\nrelated sets:\n");
+  for (const deps::RelatedSet& set : deps::ComputeRelatedSets(graph)) {
+    std::printf("  {");
+    for (std::size_t i = 0; i < set.vertices.size(); ++i) {
+      std::printf("%s%d", i ? ", " : "", set.vertices[i]);
+    }
+    std::printf("}  apps:");
+    for (int app : set.apps) {
+      std::printf(" %s;", apps[static_cast<std::size_t>(app)].app.name.c_str());
+    }
+    std::printf("\n");
+  }
+  deps::ScaleStats stats = deps::ComputeScaleStats(apps);
+  std::printf("scale: %d handlers -> %d (ratio %.1f)\n",
+              stats.original_size, stats.new_size, stats.ratio);
+  return 0;
+}
+
+int CmdPromela(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr,
+                 "usage: iotsan promela <deployment.json> [--events N]\n");
+    return 2;
+  }
+  LoadedSystem system = LoadSystem(args[0]);
+  promela::EmitOptions options;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--events" && i + 1 < args.size()) {
+      options.max_events = std::atoi(args[++i].c_str());
+    }
+  }
+  std::vector<ir::AnalyzedApp> apps;
+  for (const config::AppConfig& instance : system.deployment.apps) {
+    std::string source;
+    auto it = system.extra_sources.find(instance.app);
+    if (it != system.extra_sources.end()) {
+      source = it->second;
+    } else if (const corpus::CorpusApp* app = corpus::FindApp(instance.app)) {
+      source = app->source;
+    } else {
+      throw ConfigError("no source for app '" + instance.app + "'");
+    }
+    apps.push_back(ir::AnalyzeSource(source, instance.app));
+  }
+  model::SystemModel model(system.deployment, std::move(apps));
+  std::printf("%s", promela::EmitPromela(model, options).c_str());
+  return 0;
+}
+
+int CmdApps() {
+  std::printf("%-32s %s\n", "name", "kind");
+  for (const corpus::CorpusApp& app : corpus::AllApps()) {
+    const char* kind = "market";
+    if (app.kind == corpus::AppKind::kMalicious) kind = "malicious";
+    if (app.kind == corpus::AppKind::kUnsupported) kind = "unsupported";
+    std::printf("%-32s %s\n", app.name.c_str(), kind);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::fprintf(stderr,
+                 "iotsan — IoT safety sanitizer (IotSan, CoNEXT '18)\n"
+                 "commands: check, attribute, deps, promela, apps\n");
+    return 2;
+  }
+  const std::string command = args[0];
+  args.erase(args.begin());
+  try {
+    if (command == "check") return CmdCheck(args);
+    if (command == "attribute") return CmdAttribute(args);
+    if (command == "deps") return CmdDeps(args);
+    if (command == "promela") return CmdPromela(args);
+    if (command == "apps") return CmdApps();
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    return 2;
+  } catch (const iotsan::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
