@@ -5,6 +5,7 @@
 // violations found across bit-field sizes.
 #include <cstdio>
 
+#include "bench_stats.hpp"
 #include "config/builder.hpp"
 #include "core/sanitizer.hpp"
 
@@ -62,10 +63,13 @@ void Run(const config::Deployment& deployment, const char* label,
   options.check.store = store;
   options.check.bitstate_bits = bits;
   core::SanitizerReport report = sanitizer.Check(options);
-  std::printf("%-24s %12llu %12llu %10zu %8.3fs\n", label,
+  std::printf("%-24s %12llu %12llu %10zu %8.3fs  fill %.4f  omit %.3g\n",
+              label,
               static_cast<unsigned long long>(report.states_explored),
               static_cast<unsigned long long>(report.states_matched),
-              report.violations.size(), report.seconds);
+              report.violations.size(), report.seconds,
+              report.store_fill_ratio, report.est_omission_probability);
+  bench::EmitStats("ablation_stores", label, report);
 }
 
 }  // namespace

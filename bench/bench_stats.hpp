@@ -1,0 +1,62 @@
+// Machine-readable stats emission for the bench harness.
+//
+// Each measurement prints one line of the form
+//
+//   BENCH_STATS {"bench":"table8","label":"events=6","seconds":0.667,...}
+//
+// so CI and ad-hoc tooling can `grep ^BENCH_STATS` and parse the JSON
+// payload without scraping the human tables.  The payload carries the
+// bench coordinates plus the SanitizerReport's search and store
+// telemetry; when a telemetry::Registry is active its per-phase and
+// counter snapshot is attached under "telemetry".
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/sanitizer.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/json.hpp"
+
+namespace iotsan::bench {
+
+/// Generic form: stamps the bench coordinates onto a caller-built payload
+/// and prints the line.  Benches without a SanitizerReport (e.g. the
+/// dependency-analysis scalability table) use this directly.
+inline void EmitStatsJson(const std::string& bench, const std::string& label,
+                          json::Object payload) {
+  payload["bench"] = bench;
+  payload["label"] = label;
+  std::printf("BENCH_STATS %s\n",
+              json::Value(std::move(payload)).Dump(0).c_str());
+}
+
+inline void EmitStats(const std::string& bench, const std::string& label,
+                      const core::SanitizerReport& report) {
+  json::Object payload;
+  payload["seconds"] = report.seconds;
+  payload["completed"] = report.completed;
+  payload["states_explored"] =
+      static_cast<std::int64_t>(report.states_explored);
+  payload["states_matched"] =
+      static_cast<std::int64_t>(report.states_matched);
+  payload["transitions"] = static_cast<std::int64_t>(report.transitions);
+  payload["cascade_drains"] =
+      static_cast<std::int64_t>(report.cascade_drains);
+  payload["violations"] = static_cast<std::int64_t>(report.violations.size());
+  payload["store_fill_ratio"] = report.store_fill_ratio;
+  payload["est_omission_probability"] = report.est_omission_probability;
+  payload["store_memory_bytes"] =
+      static_cast<std::int64_t>(report.store_memory_bytes);
+  json::Array depths;
+  for (std::uint64_t count : report.depth_histogram) {
+    depths.push_back(static_cast<std::int64_t>(count));
+  }
+  payload["depth_histogram"] = std::move(depths);
+  if (telemetry::Registry* registry = telemetry::Active()) {
+    payload["telemetry"] = registry->ToJson();
+  }
+  EmitStatsJson(bench, label, std::move(payload));
+}
+
+}  // namespace iotsan::bench

@@ -2,8 +2,10 @@
 // Analyzer — per group, the total number of event handlers vs. the
 // largest related set's handler count, and the resulting scale ratio.
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_stats.hpp"
 #include "corpus/corpus.hpp"
 #include "corpus/groups.hpp"
 #include "deps/dependency_graph.hpp"
@@ -35,6 +37,12 @@ int main() {
     ratio_sum += stats.ratio;
     std::printf("%-8d %-14d %-10d %.1f\n", group_index, stats.original_size,
                 stats.new_size, stats.ratio);
+    json::Object payload;
+    payload["original_size"] = stats.original_size;
+    payload["new_size"] = stats.new_size;
+    payload["scale_ratio"] = stats.ratio;
+    bench::EmitStatsJson("table7a", "group=" + std::to_string(group_index),
+                         std::move(payload));
   }
   std::printf("%-8s %-14s %-10s %.1f\n", "", "", "Mean",
               ratio_sum / group_index);

@@ -6,7 +6,9 @@
 // engine, but the growth must be roughly geometric in the event bound.
 // Each run gets a wall-clock budget; runs exceeding it print ">budget".
 #include <cstdio>
+#include <string>
 
+#include "bench_stats.hpp"
 #include "config/builder.hpp"
 #include "core/sanitizer.hpp"
 
@@ -88,6 +90,7 @@ int main() {
     std::printf("%-8d %-14s %-16llu %zu%s\n", events, time_buf,
                 static_cast<unsigned long long>(report.states_explored),
                 report.violations.size(), growth);
+    bench::EmitStats("table8", "events=" + std::to_string(events), report);
     previous = report.completed ? report.seconds : 0;
     if (!report.completed) break;
   }

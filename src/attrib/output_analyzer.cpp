@@ -6,6 +6,7 @@
 #include "core/sanitizer.hpp"
 #include "corpus/corpus.hpp"
 #include "dsl/parser.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -65,10 +66,16 @@ AttributionResult AttributeApp(const std::string& app_source,
                                const config::Deployment& deployment,
                                const AttributionOptions& options) {
   dsl::App parsed = dsl::ParseApp(app_source, "<candidate>");
+  telemetry::ScopedSpan span("attribution");
+  span.Attr("app", parsed.name);
   AttributionResult result;
 
   std::vector<config::AppConfig> configs =
       EnumerateConfigs(parsed, deployment, options.enumeration);
+  if (auto* t = telemetry::Active()) {
+    t->pipeline.configs_enumerated += configs.size();
+    ++t->pipeline.attributions;
+  }
   if (configs.empty()) {
     throw ConfigError("app '" + parsed.name +
                       "' cannot be configured against this deployment");

@@ -1,6 +1,7 @@
 #include "checker/checker.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <set>
 
@@ -22,6 +23,24 @@ const Violation* CheckResult::Find(const std::string& property_id) const {
   return nullptr;
 }
 
+telemetry::ProgressSnapshot CheckResult::Progress() const {
+  telemetry::ProgressSnapshot snapshot;
+  snapshot.states_explored = states_explored;
+  snapshot.states_matched = states_matched;
+  snapshot.transitions = transitions;
+  snapshot.cascade_drains = cascade_drains;
+  snapshot.elapsed_seconds = seconds;
+  snapshot.states_per_second =
+      seconds > 0 ? static_cast<double>(states_explored) / seconds : 0;
+  const double considered =
+      static_cast<double>(states_explored + states_matched);
+  snapshot.pruning_ratio =
+      considered > 0 ? static_cast<double>(states_matched) / considered : 0;
+  snapshot.store_fill_ratio = store_fill_ratio;
+  snapshot.depth_histogram = depth_histogram;
+  return snapshot;
+}
+
 namespace {
 
 using Clock = std::chrono::steady_clock;
@@ -35,9 +54,13 @@ class Search {
     } else {
       store_ = std::make_unique<BitstateStore>(options.bitstate_bits);
     }
+    result_.depth_histogram.assign(
+        static_cast<std::size_t>(std::max(options.max_events, 0)) + 1, 0);
+    cancel_ = [this] { return BudgetExceeded(); };
   }
 
   CheckResult Run() {
+    telemetry::ScopedSpan span("check");
     start_ = Clock::now();
     model::SystemState initial = model_.MakeInitialState();
     std::vector<std::uint8_t> bytes = initial.Serialize();
@@ -45,6 +68,10 @@ class Search {
     Explore(initial, 0);
     result_.seconds =
         std::chrono::duration<double>(Clock::now() - start_).count();
+    FinishDiagnostics();
+    span.Attr("states", result_.states_explored);
+    span.Attr("transitions", result_.transitions);
+    span.Attr("completed", std::int64_t{result_.completed ? 1 : 0});
     // Order violations by property id for stable reports.
     std::sort(result_.violations.begin(), result_.violations.end(),
               [](const Violation& a, const Violation& b) {
@@ -61,6 +88,8 @@ class Search {
   CheckResult result_;
   Clock::time_point start_;
   bool stopped_ = false;
+  // Handed to the cascade engine so budgets are honored between drains.
+  model::CancelFn cancel_;
 
   // Current DFS path context: counter-example lines, and causality data
   // for violation charging — which app actuated which device, and which
@@ -85,6 +114,75 @@ class Search {
       }
     }
     return stopped_;
+  }
+
+  double Elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  telemetry::ProgressSnapshot ProgressNow() const {
+    telemetry::ProgressSnapshot snapshot;
+    snapshot.states_explored = result_.states_explored;
+    snapshot.states_matched = result_.states_matched;
+    snapshot.transitions = result_.transitions;
+    snapshot.cascade_drains = result_.cascade_drains;
+    snapshot.elapsed_seconds = Elapsed();
+    snapshot.states_per_second =
+        snapshot.elapsed_seconds > 0
+            ? static_cast<double>(result_.states_explored) /
+                  snapshot.elapsed_seconds
+            : 0;
+    const double considered = static_cast<double>(result_.states_explored +
+                                                  result_.states_matched);
+    snapshot.pruning_ratio =
+        considered > 0
+            ? static_cast<double>(result_.states_matched) / considered
+            : 0;
+    snapshot.store_fill_ratio = store_->FillRatio();
+    snapshot.depth_histogram = result_.depth_histogram;
+    return snapshot;
+  }
+
+  void EmitProgress() {
+    options_.on_progress(ProgressNow());
+    if (auto* t = telemetry::Active()) ++t->search.progress_reports;
+  }
+
+  void FinishDiagnostics() {
+    result_.store_entries = store_->size();
+    result_.store_memory_bytes = store_->memory_bytes();
+    result_.store_fill_ratio = store_->FillRatio();
+    result_.est_omission_probability = store_->EstOmissionProbability();
+    if (options_.store == StoreKind::kBitstate &&
+        result_.store_fill_ratio > 0.5) {
+      // Spin's rule of thumb: above 50% occupancy BITSTATE coverage is
+      // unreliable — a saturated bit field silently under-reports
+      // violations.
+      std::fprintf(stderr,
+                   "warning: bitstate store is %.0f%% full (est. omission "
+                   "probability %.2g); coverage is unreliable, increase "
+                   "bitstate_bits\n",
+                   result_.store_fill_ratio * 100.0,
+                   result_.est_omission_probability);
+    }
+    // The final snapshot at stop time: budget-stopped runs still report
+    // where the search stood.
+    if (!result_.completed && options_.on_progress) EmitProgress();
+    if (auto* t = telemetry::Active()) {
+      t->search.states_explored += result_.states_explored;
+      t->search.states_matched += result_.states_matched;
+      t->search.transitions += result_.transitions;
+      t->search.cascade_drains += result_.cascade_drains;
+      t->search.violations_recorded += result_.violations.size();
+      if (!result_.completed) ++t->search.budget_stops;
+      ++t->pipeline.checks_run;
+      t->store.entries = result_.store_entries;
+      t->store.memory_bytes = result_.store_memory_bytes;
+      t->store.fill_permille =
+          static_cast<std::uint64_t>(result_.store_fill_ratio * 1000.0);
+      t->store.omission_ppm = static_cast<std::uint64_t>(
+          result_.est_omission_probability * 1e6);
+    }
   }
 
   Violation* RecordViolation(const props::Property& property, int depth,
@@ -155,6 +253,7 @@ class Search {
     for (const props::Property& property : model_.active_properties()) {
       if (stopped_) return;
       if (property.kind != props::PropertyKind::kInvariant) continue;
+      if (auto* t = telemetry::Active()) ++t->search.invariant_evals;
       if (props::EvalPropertyExpr(property.ParsedExpression(), view)) {
         continue;
       }
@@ -307,6 +406,11 @@ class Search {
   void Explore(const model::SystemState& state, int depth) {
     if (BudgetExceeded()) return;
     ++result_.states_explored;
+    ++result_.depth_histogram[static_cast<std::size_t>(depth)];
+    if (options_.progress_every != 0 && options_.on_progress &&
+        result_.states_explored % options_.progress_every == 0) {
+      EmitProgress();
+    }
     if (depth >= options_.max_events) return;
 
     const auto& scenarios = options_.model_failures
@@ -316,8 +420,9 @@ class Search {
     for (const model::ExternalEvent& event : engine_.EnabledEvents(state)) {
       for (const model::FailureScenario& failure : scenarios) {
         if (BudgetExceeded()) return;
-        std::vector<model::StepOutcome> outcomes =
-            engine_.Apply(state, event, failure, options_.scheduling);
+        std::vector<model::StepOutcome> outcomes = engine_.Apply(
+            state, event, failure, options_.scheduling, cancel_);
+        result_.cascade_drains += outcomes.size();
         for (model::StepOutcome& outcome : outcomes) {
           if (BudgetExceeded()) return;
           ++result_.transitions;

@@ -18,6 +18,7 @@
 #include "model/engine.hpp"
 #include "model/system_model.hpp"
 #include "props/property.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace iotsan::checker {
 
@@ -42,8 +43,15 @@ struct CheckOptions {
   bool stop_at_first_violation = false;
   /// Hard budget on expanded stable states (0 = unlimited).
   std::uint64_t max_states = 0;
-  /// Wall-clock budget in seconds (0 = unlimited).
+  /// Wall-clock budget in seconds (0 = unlimited).  Checked between
+  /// cascade drains too, so a single event fanning out into a large
+  /// interleaving space cannot overshoot the budget.
   double time_budget_seconds = 0;
+  /// Invoke `on_progress` after every `progress_every` expanded states
+  /// (0 disables).  A final snapshot is also delivered when a budget
+  /// stops the run, so the caller always sees the state at stop time.
+  std::uint64_t progress_every = 0;
+  telemetry::ProgressCallback on_progress;
 };
 
 /// One detected property violation with its counter-example.
@@ -69,11 +77,28 @@ struct CheckResult {
   std::uint64_t states_explored = 0;  // stable states expanded
   std::uint64_t states_matched = 0;   // pruned as already-seen
   std::uint64_t transitions = 0;      // (event, failure) applications
+  std::uint64_t cascade_drains = 0;   // cascades drained to quiescence
   bool completed = true;              // false when a budget stopped the run
   double seconds = 0;
 
+  // State-store diagnostics (§2.3 / Spin -w).  For BITSTATE,
+  // `store_fill_ratio` is the bit occupancy and
+  // `est_omission_probability` ≈ fill^k the chance a new state was
+  // mistaken for a visited one; above 50% fill the search silently
+  // under-reports violations and a stderr warning is emitted.
+  double store_fill_ratio = 0;
+  double est_omission_probability = 0;
+  std::uint64_t store_entries = 0;
+  std::uint64_t store_memory_bytes = 0;
+  /// States expanded per external-event depth (index 0 = initial state).
+  std::vector<std::uint64_t> depth_histogram;
+
   bool HasViolation(const std::string& property_id) const;
   const Violation* Find(const std::string& property_id) const;
+
+  /// The final telemetry snapshot of the run (also what `on_progress`
+  /// received last when a budget stopped the search).
+  telemetry::ProgressSnapshot Progress() const;
 };
 
 class Checker {

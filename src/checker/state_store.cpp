@@ -30,4 +30,11 @@ double BitstateStore::Occupancy() const {
          static_cast<double>(bits_.size());
 }
 
+double BitstateStore::EstOmissionProbability() const {
+  double p = 1;
+  const double fill = Occupancy();
+  for (unsigned i = 0; i < hash_count_; ++i) p *= fill;
+  return p;
+}
+
 }  // namespace iotsan::checker

@@ -32,6 +32,15 @@ class StateStore {
 
   /// Bytes of memory used by the store (approximate for exhaustive).
   virtual std::uint64_t memory_bytes() const = 0;
+
+  /// Fraction of the store's fixed capacity in use: bit occupancy for
+  /// BITSTATE, 0 for the unbounded exhaustive store.
+  virtual double FillRatio() const { return 0; }
+
+  /// Estimated probability that TestAndInsert misreported a genuinely
+  /// new state as seen (Spin's -w omission concern).  Exact stores never
+  /// omit, so the base answer is 0.
+  virtual double EstOmissionProbability() const { return 0; }
 };
 
 class ExhaustiveStore final : public StateStore {
@@ -58,6 +67,15 @@ class BitstateStore final : public StateStore {
   /// Fraction of bits set; occupancy above ~0.5 means heavy hash
   /// saturation and unreliable pruning.
   double Occupancy() const;
+
+  double FillRatio() const override { return Occupancy(); }
+
+  /// With fraction p of bits set and k independent hash functions, a new
+  /// state is falsely reported as seen only when all k probed bits are
+  /// already set: p^k under uniform hashing.  Above p ≈ 0.5 the estimate
+  /// (and hence coverage claims) becomes unreliable — Spin's rule of
+  /// thumb for growing -w.
+  double EstOmissionProbability() const override;
 
  private:
   BitArray bits_;

@@ -6,6 +6,7 @@
 #include "corpus/corpus.hpp"
 #include "ir/analyzer.hpp"
 #include "model/system_model.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace iotsan::core {
@@ -45,6 +46,7 @@ std::string Sanitizer::SourceFor(const std::string& app_name) const {
 std::vector<ir::AnalyzedApp> Sanitizer::AnalyzeInstalledApps(
     SanitizerReport& report, std::vector<bool>& rejected,
     bool allow_dynamic_discovery) const {
+  telemetry::ScopedSpan span("analyze_apps");
   std::vector<ir::AnalyzedApp> analyzed;
   rejected.assign(deployment_.apps.size(), false);
   for (std::size_t i = 0; i < deployment_.apps.size(); ++i) {
@@ -53,6 +55,7 @@ std::vector<ir::AnalyzedApp> Sanitizer::AnalyzeInstalledApps(
     try {
       app = ir::AnalyzeSource(SourceFor(instance.app), instance.app);
     } catch (const Error& e) {
+      if (auto* t = telemetry::Active()) ++t->pipeline.parse_failures;
       report.rejected_apps.push_back(instance.label + ": " + e.what());
       rejected[i] = true;
       analyzed.emplace_back();  // placeholder keeps indices aligned
@@ -78,8 +81,21 @@ void MergeResult(SanitizerReport& report, checker::CheckResult result) {
   report.states_explored += result.states_explored;
   report.states_matched += result.states_matched;
   report.transitions += result.transitions;
+  report.cascade_drains += result.cascade_drains;
   report.seconds += result.seconds;
   report.completed = report.completed && result.completed;
+  report.store_fill_ratio =
+      std::max(report.store_fill_ratio, result.store_fill_ratio);
+  report.est_omission_probability = std::max(
+      report.est_omission_probability, result.est_omission_probability);
+  report.store_memory_bytes =
+      std::max(report.store_memory_bytes, result.store_memory_bytes);
+  if (report.depth_histogram.size() < result.depth_histogram.size()) {
+    report.depth_histogram.resize(result.depth_histogram.size(), 0);
+  }
+  for (std::size_t i = 0; i < result.depth_histogram.size(); ++i) {
+    report.depth_histogram[i] += result.depth_histogram[i];
+  }
   for (const checker::Violation& violation : result.violations) {
     report.per_set_violations.push_back(violation);
   }
@@ -99,6 +115,10 @@ void MergeResult(SanitizerReport& report, checker::CheckResult result) {
 }  // namespace
 
 SanitizerReport Sanitizer::Check(const SanitizerOptions& options) const {
+  telemetry::ScopedSpan pipeline_span("pipeline");
+  pipeline_span.Attr("system", deployment_.name);
+  pipeline_span.Attr("apps",
+                     static_cast<std::int64_t>(deployment_.apps.size()));
   SanitizerReport report;
   std::vector<bool> rejected;
   model::ModelOptions model_options = options.model;
@@ -119,6 +139,7 @@ SanitizerReport Sanitizer::Check(const SanitizerOptions& options) const {
   }
 
   if (options.use_dependency_analysis) {
+    telemetry::ScopedSpan deps_span("dependency_analysis");
     // Dependency analysis over accepted instances only.
     std::vector<ir::AnalyzedApp> view;
     for (std::size_t i : accepted) view.push_back(std::move(analyzed[i]));
@@ -126,6 +147,8 @@ SanitizerReport Sanitizer::Check(const SanitizerOptions& options) const {
     deps::DependencyGraph graph = deps::DependencyGraph::Build(view);
     std::vector<deps::RelatedSet> sets = deps::ComputeRelatedSets(graph);
     report.related_set_count = static_cast<int>(sets.size());
+    deps_span.Attr("related_sets",
+                   static_cast<std::int64_t>(sets.size()));
     std::set<std::size_t> covered;
     for (const deps::RelatedSet& set : sets) {
       std::vector<std::size_t> group;
@@ -160,8 +183,13 @@ SanitizerReport Sanitizer::Check(const SanitizerOptions& options) const {
           ir::AnalyzeSource(SourceFor(deployment_.apps[i].app),
                             deployment_.apps[i].app));
     }
-    model::SystemModel model(std::move(sub), std::move(group_apps),
-                             model_options);
+    model::SystemModel model = [&] {
+      telemetry::ScopedSpan build_span("model_build");
+      build_span.Attr("apps", static_cast<std::int64_t>(group.size()));
+      if (auto* t = telemetry::Active()) ++t->pipeline.models_built;
+      return model::SystemModel(std::move(sub), std::move(group_apps),
+                                model_options);
+    }();
     if (!options.extra_properties.empty()) {
       std::vector<props::Property> all = props::BuiltinProperties();
       for (const props::Property& p : options.extra_properties) {

@@ -48,8 +48,17 @@ struct SanitizerReport {
   std::uint64_t states_explored = 0;
   std::uint64_t states_matched = 0;
   std::uint64_t transitions = 0;
+  std::uint64_t cascade_drains = 0;
   double seconds = 0;
   bool completed = true;
+  /// Store diagnostics aggregated across related-set runs: the worst
+  /// (largest) fill ratio and omission estimate decide whether the whole
+  /// report's coverage can be trusted; memory is the peak single store.
+  double store_fill_ratio = 0;
+  double est_omission_probability = 0;
+  std::uint64_t store_memory_bytes = 0;
+  /// Element-wise sum of the per-run depth histograms.
+  std::vector<std::uint64_t> depth_histogram;
 
   bool HasViolation(const std::string& property_id) const;
   /// Ids of violated properties, sorted.

@@ -4,6 +4,8 @@
 #include <functional>
 #include <set>
 
+#include "telemetry/telemetry.hpp"
+
 namespace iotsan::deps {
 
 namespace {
@@ -166,6 +168,9 @@ DependencyGraph DependencyGraph::Build(
       }
     }
   }
+  if (auto* t = telemetry::Active()) {
+    t->pipeline.dependency_edges += edges.size();
+  }
   return graph;
 }
 
@@ -261,6 +266,9 @@ std::vector<RelatedSet> ComputeRelatedSets(const DependencyGraph& graph) {
     }
     set.apps.assign(apps.begin(), apps.end());
     result.push_back(std::move(set));
+  }
+  if (auto* t = telemetry::Active()) {
+    t->pipeline.related_sets += result.size();
   }
   return result;
 }

@@ -5,6 +5,7 @@
 
 #include "devices/capability.hpp"
 #include "dsl/parser.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/strings.hpp"
 
 namespace iotsan::ir {
@@ -66,7 +67,13 @@ class Analyzer {
   }
 
   AnalyzedApp Run() {
-    result_.types = dsl::InferTypes(result_.app);
+    {
+      telemetry::ScopedSpan span("type_infer");
+      result_.types = dsl::InferTypes(result_.app);
+    }
+    if (auto* t = telemetry::Active()) {
+      t->pipeline.type_problems += result_.types.problems.size();
+    }
     for (const std::string& problem : result_.types.problems) {
       result_.problems.push_back(problem);
     }
@@ -637,7 +644,13 @@ AnalyzedApp AnalyzeApp(dsl::App app) {
 
 AnalyzedApp AnalyzeSource(std::string_view source,
                           std::string_view source_name) {
-  return AnalyzeApp(dsl::ParseApp(source, source_name));
+  dsl::App app = [&] {
+    telemetry::ScopedSpan span("parse");
+    span.Attr("app", source_name);
+    if (auto* t = telemetry::Active()) ++t->pipeline.apps_parsed;
+    return dsl::ParseApp(source, source_name);
+  }();
+  return AnalyzeApp(std::move(app));
 }
 
 }  // namespace iotsan::ir

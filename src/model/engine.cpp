@@ -1,5 +1,7 @@
 #include "model/engine.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 namespace iotsan::model {
 
 std::string ExternalEvent::Describe(const SystemModel& model) const {
@@ -84,6 +86,7 @@ void CascadeEngine::InjectExternal(SystemState& state,
                                    const FailureScenario& failure,
                                    std::deque<devices::Event>& queue,
                                    CascadeLog& log) const {
+  if (auto* t = telemetry::Active()) ++t->search.events_injected;
   switch (event.kind) {
     case ExternalEventSpec::Kind::kSensor: {
       const devices::Device& device = model_.devices()[event.device];
@@ -176,6 +179,7 @@ void CascadeEngine::DispatchOne(SystemState& state,
                                 std::deque<devices::Event>& queue,
                                 CascadeLog& log,
                                 const FailureScenario& failure) const {
+  if (auto* t = telemetry::Active()) ++t->search.handler_dispatches;
   Evaluator evaluator(model_, state, queue, log, failure);
   if (event.source == devices::EventSource::kTimer) {
     const InstalledApp& app = model_.apps()[event.app];
@@ -205,10 +209,15 @@ void CascadeEngine::DispatchOne(SystemState& state,
 void CascadeEngine::RunSequential(SystemState& state,
                                   std::deque<devices::Event>& queue,
                                   CascadeLog& log,
-                                  const FailureScenario& failure) const {
+                                  const FailureScenario& failure,
+                                  const CancelFn& cancel) const {
   int processed = 0;
   while (!queue.empty()) {
     if (++processed > kCascadeBound) {
+      log.truncated = true;
+      break;
+    }
+    if (cancel && cancel()) {
       log.truncated = true;
       break;
     }
@@ -222,8 +231,10 @@ void CascadeEngine::RunConcurrent(const SystemState& state,
                                   const std::deque<devices::Event>& queue,
                                   const CascadeLog& log,
                                   const FailureScenario& failure, int depth,
-                                  std::vector<StepOutcome>& outcomes) const {
+                                  std::vector<StepOutcome>& outcomes,
+                                  const CancelFn& cancel) const {
   if (static_cast<int>(outcomes.size()) >= kMaxInterleavings) return;
+  if (cancel && cancel()) return;
   if (queue.empty() || depth > kCascadeBound) {
     StepOutcome outcome;
     outcome.state = state;
@@ -241,26 +252,27 @@ void CascadeEngine::RunConcurrent(const SystemState& state,
     next_queue.erase(next_queue.begin() + static_cast<long>(pick));
     DispatchOne(next_state, event, next_queue, next_log, failure);
     RunConcurrent(next_state, next_queue, next_log, failure, depth + 1,
-                  outcomes);
+                  outcomes, cancel);
   }
 }
 
 std::vector<StepOutcome> CascadeEngine::Apply(
     const SystemState& from, const ExternalEvent& event,
-    const FailureScenario& failure, Scheduling scheduling) const {
+    const FailureScenario& failure, Scheduling scheduling,
+    const CancelFn& cancel) const {
   SystemState state = from;
   std::deque<devices::Event> queue;
   CascadeLog log;
   InjectExternal(state, event, failure, queue, log);
 
   if (scheduling == Scheduling::kSequential) {
-    RunSequential(state, queue, log, failure);
+    RunSequential(state, queue, log, failure, cancel);
     std::vector<StepOutcome> outcomes;
     outcomes.push_back({std::move(state), std::move(log)});
     return outcomes;
   }
   std::vector<StepOutcome> outcomes;
-  RunConcurrent(state, queue, log, failure, 0, outcomes);
+  RunConcurrent(state, queue, log, failure, 0, outcomes, cancel);
   return outcomes;
 }
 

@@ -12,6 +12,7 @@
 //     factorially; this design exists to reproduce Table 7b.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,11 @@ struct StepOutcome {
   CascadeLog log;
 };
 
+/// Cooperative cancellation: polled between cascade drains (and between
+/// dispatches within a drain) so wall-clock budgets hold even when a
+/// single external event fans out into a huge interleaving space.
+using CancelFn = std::function<bool()>;
+
 class CascadeEngine {
  public:
   explicit CascadeEngine(const SystemModel& model) : model_(model) {}
@@ -49,11 +55,14 @@ class CascadeEngine {
   /// Applies `event` under `failure` starting from `from`.  Sequential
   /// scheduling returns exactly one outcome; concurrent scheduling one
   /// outcome per internal-event interleaving (bounded by
-  /// `max_interleavings`).
+  /// `max_interleavings`).  When `cancel` is set and returns true the
+  /// enumeration stops early; already-drained outcomes are returned and
+  /// the caller decides what to do with the partial set.
   std::vector<StepOutcome> Apply(const SystemState& from,
                                  const ExternalEvent& event,
                                  const FailureScenario& failure,
-                                 Scheduling scheduling) const;
+                                 Scheduling scheduling,
+                                 const CancelFn& cancel = {}) const;
 
   /// All concrete external events enabled in `state`: every sensor
   /// (device, attribute, value != current), app touches, and a timer tick
@@ -77,11 +86,13 @@ class CascadeEngine {
                    std::deque<devices::Event>& queue, CascadeLog& log,
                    const FailureScenario& failure) const;
   void RunSequential(SystemState& state, std::deque<devices::Event>& queue,
-                     CascadeLog& log, const FailureScenario& failure) const;
+                     CascadeLog& log, const FailureScenario& failure,
+                     const CancelFn& cancel) const;
   void RunConcurrent(const SystemState& state,
                      const std::deque<devices::Event>& queue,
                      const CascadeLog& log, const FailureScenario& failure,
-                     int depth, std::vector<StepOutcome>& outcomes) const;
+                     int depth, std::vector<StepOutcome>& outcomes,
+                     const CancelFn& cancel) const;
 };
 
 }  // namespace iotsan::model

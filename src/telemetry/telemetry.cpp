@@ -1,0 +1,195 @@
+#include "telemetry/telemetry.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace iotsan::telemetry {
+
+namespace {
+
+Registry* g_registry = nullptr;
+TraceSink* g_trace = nullptr;
+
+}  // namespace
+
+// ---- Registry ----------------------------------------------------------------
+
+Registry* Active() { return g_registry; }
+void SetActive(Registry* registry) { g_registry = registry; }
+
+std::vector<Sample> Registry::Snapshot() const {
+  std::vector<Sample> out;
+  auto add = [&out](const char* name, std::uint64_t value) {
+    out.push_back({name, value});
+  };
+  add("search.states_explored", search.states_explored);
+  add("search.states_matched", search.states_matched);
+  add("search.transitions", search.transitions);
+  add("search.cascade_drains", search.cascade_drains);
+  add("search.events_injected", search.events_injected);
+  add("search.handler_dispatches", search.handler_dispatches);
+  add("search.invariant_evals", search.invariant_evals);
+  add("search.violations_recorded", search.violations_recorded);
+  add("search.budget_stops", search.budget_stops);
+  add("search.progress_reports", search.progress_reports);
+  add("pipeline.apps_parsed", pipeline.apps_parsed);
+  add("pipeline.parse_failures", pipeline.parse_failures);
+  add("pipeline.type_problems", pipeline.type_problems);
+  add("pipeline.dependency_edges", pipeline.dependency_edges);
+  add("pipeline.related_sets", pipeline.related_sets);
+  add("pipeline.models_built", pipeline.models_built);
+  add("pipeline.checks_run", pipeline.checks_run);
+  add("pipeline.configs_enumerated", pipeline.configs_enumerated);
+  add("pipeline.attributions", pipeline.attributions);
+  add("store.entries", store.entries);
+  add("store.memory_bytes", store.memory_bytes);
+  add("store.fill_permille", store.fill_permille);
+  add("store.omission_ppm", store.omission_ppm);
+  return out;
+}
+
+json::Value Registry::ToJson() const {
+  json::Object search_obj;
+  json::Object pipeline_obj;
+  json::Object store_obj;
+  for (const Sample& sample : Snapshot()) {
+    const auto dot = sample.name.find('.');
+    const std::string group = sample.name.substr(0, dot);
+    const std::string key = sample.name.substr(dot + 1);
+    const json::Value value(static_cast<std::int64_t>(sample.value));
+    if (group == "search") {
+      search_obj[key] = value;
+    } else if (group == "pipeline") {
+      pipeline_obj[key] = value;
+    } else {
+      store_obj[key] = value;
+    }
+  }
+  json::Object doc;
+  doc["search"] = json::Value(std::move(search_obj));
+  doc["pipeline"] = json::Value(std::move(pipeline_obj));
+  doc["store"] = json::Value(std::move(store_obj));
+  return json::Value(std::move(doc));
+}
+
+// ---- TraceSink ---------------------------------------------------------------
+
+TraceSink* ActiveTrace() { return g_trace; }
+void SetActiveTrace(TraceSink* sink) { g_trace = sink; }
+
+TraceSink::TraceSink() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceSink::TraceSink(const std::string& path)
+    : epoch_(std::chrono::steady_clock::now()),
+      out_(path, std::ios::trunc),
+      to_file_(true) {
+  if (!out_) throw Error("cannot open trace file: " + path);
+}
+
+TraceSink::~TraceSink() {
+  if (to_file_) out_.flush();
+}
+
+std::uint64_t TraceSink::NowUs() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void TraceSink::Flush() {
+  if (to_file_) out_.flush();
+}
+
+void TraceSink::EndSpan(const std::string& name, std::uint64_t start_us,
+                        std::uint64_t dur_us, int depth,
+                        const json::Object* attrs) {
+  Total& total = totals_[name];
+  ++total.count;
+  total.total_us += dur_us;
+  if (!to_file_) return;
+  // One JSON object per line; spans appear in completion order
+  // (children before their parent), which keeps emission O(1) and the
+  // stream well-formed even if the process dies mid-run.
+  json::Object line;
+  line["name"] = json::Value(name);
+  line["start_us"] = json::Value(static_cast<std::int64_t>(start_us));
+  line["dur_us"] = json::Value(static_cast<std::int64_t>(dur_us));
+  line["depth"] = json::Value(depth);
+  if (attrs != nullptr && !attrs->empty()) {
+    line["attrs"] = json::Value(*attrs);
+  }
+  out_ << json::Value(std::move(line)).Dump() << '\n';
+}
+
+// ---- ScopedSpan --------------------------------------------------------------
+
+ScopedSpan::ScopedSpan(TraceSink* sink, std::string_view name) : sink_(sink) {
+  if (sink_ == nullptr) return;
+  name_ = name;
+  start_us_ = sink_->NowUs();
+  depth_ = sink_->open_spans_++;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (sink_ == nullptr) return;
+  --sink_->open_spans_;
+  sink_->EndSpan(name_, start_us_, sink_->NowUs() - start_us_, depth_,
+                 attrs_.get());
+}
+
+json::Object& ScopedSpan::MutableAttrs() {
+  if (!attrs_) attrs_ = std::make_unique<json::Object>();
+  return *attrs_;
+}
+
+void ScopedSpan::Attr(std::string_view key, std::string_view value) {
+  if (sink_ == nullptr) return;
+  MutableAttrs()[std::string(key)] = json::Value(std::string(value));
+}
+
+void ScopedSpan::Attr(std::string_view key, std::int64_t value) {
+  if (sink_ == nullptr) return;
+  MutableAttrs()[std::string(key)] = json::Value(value);
+}
+
+void ScopedSpan::Attr(std::string_view key, std::uint64_t value) {
+  Attr(key, static_cast<std::int64_t>(value));
+}
+
+void ScopedSpan::Attr(std::string_view key, double value) {
+  if (sink_ == nullptr) return;
+  MutableAttrs()[std::string(key)] = json::Value(value);
+}
+
+// ---- Progress ----------------------------------------------------------------
+
+std::string FormatProgress(const ProgressSnapshot& snapshot) {
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "progress: %" PRIu64 " states (%.0f/s), %" PRIu64
+                " matched (%.1f%% pruned), %" PRIu64 " transitions, %" PRIu64
+                " drains",
+                snapshot.states_explored, snapshot.states_per_second,
+                snapshot.states_matched, snapshot.pruning_ratio * 100.0,
+                snapshot.transitions, snapshot.cascade_drains);
+  std::string out = head;
+  if (!snapshot.depth_histogram.empty()) {
+    out += ", depth ";
+    for (std::size_t i = 0; i < snapshot.depth_histogram.size(); ++i) {
+      if (i > 0) out += '|';
+      out += std::to_string(snapshot.depth_histogram[i]);
+    }
+  }
+  if (snapshot.store_fill_ratio > 0) {
+    char fill[48];
+    std::snprintf(fill, sizeof(fill), ", store fill %.2f%%",
+                  snapshot.store_fill_ratio * 100.0);
+    out += fill;
+  }
+  return out;
+}
+
+}  // namespace iotsan::telemetry

@@ -1,0 +1,205 @@
+// Telemetry: lightweight observability for the checking pipeline.
+//
+// Three cooperating pieces, all zero-dependency and lock-free on the
+// sequential hot path:
+//   * Registry — named monotonic counters and gauges.  Counters are
+//     plain uint64_t members grouped in structs; instrumented code pays
+//     exactly one branch per event when telemetry is disabled
+//     (`if (auto* t = Active())`) and one increment when enabled.
+//     Snapshots are taken on demand; nothing is formatted until asked.
+//   * TraceSink + ScopedSpan — RAII phase spans over a steady clock.
+//     Each completed span is one JSON object per line (JSONL): name,
+//     start_us, dur_us, depth, attrs.  The sink also aggregates
+//     per-name totals so `--stats` can report per-phase cost without a
+//     trace file.
+//   * ProgressSnapshot — the periodic search-progress report the
+//     checker hands to `CheckOptions::on_progress`: states/sec, depth
+//     histogram, queue-drain counts, pruning ratio, store fill.
+//
+// The active Registry/TraceSink are process-global raw pointers set by
+// the embedding tool (CLI, bench, test); null means disabled.  The
+// search itself is single-threaded, so no synchronization is needed —
+// the globals must only be flipped between runs, not during one.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace iotsan::telemetry {
+
+// ---- Counter registry --------------------------------------------------------
+
+/// Search-layer counters (checker + cascade engine).  All monotonic.
+struct SearchCounters {
+  std::uint64_t states_explored = 0;    // stable states expanded
+  std::uint64_t states_matched = 0;     // pruned as already-seen
+  std::uint64_t transitions = 0;        // (event, failure) applications
+  std::uint64_t cascade_drains = 0;     // cascades drained to quiescence
+  std::uint64_t events_injected = 0;    // external events injected
+  std::uint64_t handler_dispatches = 0; // app handler invocations
+  std::uint64_t invariant_evals = 0;    // property-expression evaluations
+  std::uint64_t violations_recorded = 0;
+  std::uint64_t budget_stops = 0;       // runs cut short by a budget
+  std::uint64_t progress_reports = 0;   // on_progress invocations
+};
+
+/// Pipeline-layer counters (translator, dependency analyzer, model
+/// generator, output analyzer).  All monotonic.
+struct PipelineCounters {
+  std::uint64_t apps_parsed = 0;        // SmartScript sources parsed
+  std::uint64_t parse_failures = 0;
+  std::uint64_t type_problems = 0;      // type-inference diagnostics
+  std::uint64_t dependency_edges = 0;   // edges in dependency graphs
+  std::uint64_t related_sets = 0;       // related sets computed
+  std::uint64_t models_built = 0;       // SystemModel instantiations
+  std::uint64_t checks_run = 0;         // Checker::Run completions
+  std::uint64_t configs_enumerated = 0; // attribution configurations
+  std::uint64_t attributions = 0;       // AttributeApp completions
+};
+
+/// State-store gauges: last-written values, not monotonic.  Ratios are
+/// kept in fixed point so every sample is a uint64 (permille = 1/1000,
+/// ppm = 1/1e6).
+struct StoreGauges {
+  std::uint64_t entries = 0;
+  std::uint64_t memory_bytes = 0;
+  std::uint64_t fill_permille = 0;   // bit occupancy for BITSTATE
+  std::uint64_t omission_ppm = 0;    // estimated hash-omission probability
+};
+
+struct Sample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+class Registry {
+ public:
+  SearchCounters search;
+  PipelineCounters pipeline;
+  StoreGauges store;
+
+  /// All counters and gauges as dotted names ("search.states_explored"),
+  /// in a stable order.
+  std::vector<Sample> Snapshot() const;
+
+  /// {"search": {...}, "pipeline": {...}, "store": {...}}.
+  json::Value ToJson() const;
+
+  void Reset() { *this = Registry(); }
+};
+
+/// The process-global registry; null = telemetry disabled (the one
+/// branch instrumented code pays).
+Registry* Active();
+void SetActive(Registry* registry);
+
+// ---- Phase spans and the JSONL trace sink ------------------------------------
+
+class TraceSink {
+ public:
+  /// Totals-only sink: spans are timed and aggregated but not written.
+  TraceSink();
+  /// Additionally appends one JSON object per completed span to `path`.
+  /// Throws iotsan::Error when the file cannot be opened.
+  explicit TraceSink(const std::string& path);
+  ~TraceSink();
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  struct Total {
+    std::uint64_t count = 0;
+    std::uint64_t total_us = 0;
+  };
+  /// Aggregated span durations by name.
+  const std::map<std::string, Total, std::less<>>& totals() const {
+    return totals_;
+  }
+
+  /// Microseconds since the sink was created (steady clock).
+  std::uint64_t NowUs() const;
+
+  void Flush();
+
+ private:
+  friend class ScopedSpan;
+
+  void EndSpan(const std::string& name, std::uint64_t start_us,
+               std::uint64_t dur_us, int depth, const json::Object* attrs);
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::ofstream out_;
+  bool to_file_ = false;
+  int open_spans_ = 0;  // current nesting depth
+  std::map<std::string, Total, std::less<>> totals_;
+};
+
+/// The process-global trace sink; null = tracing disabled.
+TraceSink* ActiveTrace();
+void SetActiveTrace(TraceSink* sink);
+
+/// RAII phase span.  Construction records the start time and nesting
+/// depth; destruction emits one JSONL line and feeds the per-name
+/// totals.  A null sink makes every operation a no-op (the clock is not
+/// even read).
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceSink* sink, std::string_view name);
+  /// Opens the span on the process-global sink (ActiveTrace()).
+  explicit ScopedSpan(std::string_view name)
+      : ScopedSpan(ActiveTrace(), name) {}
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attach a key/value attribute, emitted with the span's JSONL line.
+  void Attr(std::string_view key, std::string_view value);
+  void Attr(std::string_view key, std::int64_t value);
+  void Attr(std::string_view key, std::uint64_t value);
+  void Attr(std::string_view key, double value);
+
+ private:
+  json::Object& MutableAttrs();
+
+  TraceSink* sink_;
+  std::string name_;
+  std::uint64_t start_us_ = 0;
+  int depth_ = 0;
+  std::unique_ptr<json::Object> attrs_;  // allocated only when used
+};
+
+// ---- Search progress ---------------------------------------------------------
+
+/// A point-in-time view of a running (or finished) search, delivered to
+/// `CheckOptions::on_progress` every `progress_every` expanded states
+/// and once more when a budget stops the run.
+struct ProgressSnapshot {
+  std::uint64_t states_explored = 0;
+  std::uint64_t states_matched = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t cascade_drains = 0;
+  double elapsed_seconds = 0;
+  double states_per_second = 0;
+  /// matched / (explored + matched): how much of the reachable frontier
+  /// the store is pruning.
+  double pruning_ratio = 0;
+  /// Bit occupancy for BITSTATE stores, 0 for exhaustive.
+  double store_fill_ratio = 0;
+  /// States expanded per external-event depth (index 0 = initial state).
+  std::vector<std::uint64_t> depth_histogram;
+};
+
+using ProgressCallback = std::function<void(const ProgressSnapshot&)>;
+
+/// One-line human rendering ("progress: 12000 states (3400/s), ...").
+std::string FormatProgress(const ProgressSnapshot& snapshot);
+
+}  // namespace iotsan::telemetry

@@ -1,0 +1,274 @@
+// Telemetry tests: counter/gauge snapshots, span nesting and JSONL
+// shape, search-progress cadence, and store-diagnostic math.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checker/checker.hpp"
+#include "checker/state_store.hpp"
+#include "config/builder.hpp"
+#include "ir/analyzer.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/json.hpp"
+
+namespace iotsan::telemetry {
+namespace {
+
+// ---- Registry ----------------------------------------------------------------
+
+std::uint64_t SampleValue(const std::vector<Sample>& samples,
+                          const std::string& name) {
+  for (const Sample& sample : samples) {
+    if (sample.name == name) return sample.value;
+  }
+  ADD_FAILURE() << "no sample named " << name;
+  return 0;
+}
+
+TEST(RegistryTest, SnapshotUsesDottedNamesAndLiveValues) {
+  Registry registry;
+  registry.search.states_explored = 42;
+  registry.pipeline.apps_parsed = 7;
+  registry.store.fill_permille = 123;
+
+  std::vector<Sample> samples = registry.Snapshot();
+  EXPECT_EQ(SampleValue(samples, "search.states_explored"), 42u);
+  EXPECT_EQ(SampleValue(samples, "pipeline.apps_parsed"), 7u);
+  EXPECT_EQ(SampleValue(samples, "store.fill_permille"), 123u);
+  EXPECT_EQ(SampleValue(samples, "search.transitions"), 0u);
+}
+
+TEST(RegistryTest, ToJsonGroupsByLayer) {
+  Registry registry;
+  registry.search.transitions = 9;
+  registry.store.entries = 5;
+
+  const json::Value doc = registry.ToJson();
+  EXPECT_EQ(doc.At("search").At("transitions").AsNumber(), 9);
+  EXPECT_EQ(doc.At("store").At("entries").AsNumber(), 5);
+  EXPECT_TRUE(doc.Has("pipeline"));
+}
+
+TEST(RegistryTest, ResetZeroesEverything) {
+  Registry registry;
+  registry.search.states_explored = 10;
+  registry.store.memory_bytes = 99;
+  registry.Reset();
+  for (const Sample& sample : registry.Snapshot()) {
+    EXPECT_EQ(sample.value, 0u) << sample.name;
+  }
+}
+
+// ---- Spans and the trace sink ------------------------------------------------
+
+TEST(TraceSinkTest, TotalsAggregateByName) {
+  TraceSink sink;  // totals-only
+  {
+    ScopedSpan outer(&sink, "outer");
+    ScopedSpan inner1(&sink, "inner");
+  }
+  {
+    ScopedSpan inner2(&sink, "inner");
+  }
+  ASSERT_EQ(sink.totals().size(), 2u);
+  EXPECT_EQ(sink.totals().at("outer").count, 1u);
+  EXPECT_EQ(sink.totals().at("inner").count, 2u);
+}
+
+TEST(TraceSinkTest, NestedSpansEmitWellFormedJsonl) {
+  const std::string path = testing::TempDir() + "/telemetry_spans.jsonl";
+  {
+    TraceSink sink(path);
+    ScopedSpan outer(&sink, "outer");
+    outer.Attr("system", "test");
+    {
+      ScopedSpan inner(&sink, "inner");
+      inner.Attr("states", std::int64_t{17});
+    }
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<json::Value> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    lines.push_back(json::Parse(line));  // throws on malformed JSON
+  }
+  ASSERT_EQ(lines.size(), 2u);
+
+  // Spans are emitted on destruction: children before parents.
+  EXPECT_EQ(lines[0].At("name").AsString(), "inner");
+  EXPECT_EQ(lines[0].At("depth").AsNumber(), 1);
+  EXPECT_EQ(lines[0].At("attrs").At("states").AsNumber(), 17);
+  EXPECT_EQ(lines[1].At("name").AsString(), "outer");
+  EXPECT_EQ(lines[1].At("depth").AsNumber(), 0);
+  EXPECT_EQ(lines[1].At("attrs").At("system").AsString(), "test");
+
+  // The parent's interval covers the child's.
+  const double outer_start = lines[1].At("start_us").AsNumber();
+  const double outer_end = outer_start + lines[1].At("dur_us").AsNumber();
+  const double inner_start = lines[0].At("start_us").AsNumber();
+  const double inner_end = inner_start + lines[0].At("dur_us").AsNumber();
+  EXPECT_LE(outer_start, inner_start);
+  EXPECT_LE(inner_end, outer_end);
+}
+
+TEST(ScopedSpanTest, NullSinkIsANoop) {
+  ScopedSpan span(nullptr, "ignored");
+  span.Attr("key", "value");
+  span.Attr("n", std::int64_t{1});
+  // Also via the (unset) process-global sink.
+  SetActiveTrace(nullptr);
+  ScopedSpan global("also_ignored");
+  global.Attr("x", 2.0);
+}
+
+// ---- Search progress ---------------------------------------------------------
+
+constexpr const char* kUnlockApp = R"(
+definition(name: "UnlockOnAway", namespace: "t")
+preferences {
+    section("S") {
+        input "p1", "capability.presenceSensor"
+        input "lock1", "capability.lock"
+    }
+}
+def installed() {
+    subscribe(p1, "presence.notpresent", handler)
+}
+def handler(evt) {
+    lock1.unlock()
+}
+)";
+
+model::SystemModel UnlockModel() {
+  config::DeploymentBuilder b("home");
+  b.Device("p1", "presenceSensor", {"presence"});
+  b.Device("lock1", "smartLock", {"mainDoorLock"});
+  b.App("UnlockOnAway").Devices("p1", {"p1"}).Devices("lock1", {"lock1"});
+  std::vector<ir::AnalyzedApp> apps;
+  apps.push_back(ir::AnalyzeSource(kUnlockApp, "UnlockOnAway"));
+  return model::SystemModel(b.Build(), std::move(apps));
+}
+
+TEST(ProgressTest, CallbackFiresAtTheRequestedCadence) {
+  model::SystemModel model = UnlockModel();
+  checker::Checker checker(model);
+  checker::CheckOptions options;
+  options.max_events = 2;
+  options.progress_every = 1;
+  std::vector<ProgressSnapshot> seen;
+  options.on_progress = [&seen](const ProgressSnapshot& snapshot) {
+    seen.push_back(snapshot);
+  };
+  checker::CheckResult result = checker.Run(options);
+
+  // Cadence 1 → one report per expanded state.
+  EXPECT_EQ(seen.size(), result.states_explored);
+  ASSERT_FALSE(seen.empty());
+  const ProgressSnapshot& last = seen.back();
+  EXPECT_LE(last.states_explored, result.states_explored);
+  EXPECT_GE(last.elapsed_seconds, 0.0);
+  EXPECT_GE(last.pruning_ratio, 0.0);
+  EXPECT_LE(last.pruning_ratio, 1.0);
+  EXPECT_EQ(last.depth_histogram.size(), result.depth_histogram.size());
+}
+
+TEST(ProgressTest, BudgetStopDeliversFinalSnapshot) {
+  model::SystemModel model = UnlockModel();
+  checker::Checker checker(model);
+  checker::CheckOptions options;
+  options.max_events = 3;
+  options.max_states = 2;  // force an early stop
+  std::vector<ProgressSnapshot> seen;
+  options.on_progress = [&seen](const ProgressSnapshot& snapshot) {
+    seen.push_back(snapshot);
+  };
+  checker::CheckResult result = checker.Run(options);
+
+  EXPECT_FALSE(result.completed);
+  // progress_every stayed 0, so the only report is the stop-time one.
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen.back().states_explored, result.states_explored);
+}
+
+TEST(ProgressTest, FormatProgressMentionsTheHeadlineNumbers) {
+  ProgressSnapshot snapshot;
+  snapshot.states_explored = 1200;
+  snapshot.states_matched = 300;
+  snapshot.transitions = 4000;
+  snapshot.states_per_second = 600;
+  snapshot.pruning_ratio = 0.2;
+  snapshot.depth_histogram = {1, 3, 8};
+  const std::string line = FormatProgress(snapshot);
+  EXPECT_NE(line.find("progress:"), std::string::npos);
+  EXPECT_NE(line.find("1200"), std::string::npos);
+  EXPECT_NE(line.find("4000"), std::string::npos);
+}
+
+// ---- Store diagnostics -------------------------------------------------------
+
+TEST(StoreDiagnosticsTest, OmissionProbabilityIsFillToThePowerK) {
+  checker::BitstateStore store(64, 2);
+  for (int i = 0; i < 40; ++i) {
+    std::uint8_t bytes[2] = {static_cast<std::uint8_t>(i),
+                             static_cast<std::uint8_t>(i * 7)};
+    store.TestAndInsert(bytes);
+  }
+  const double fill = store.FillRatio();
+  ASSERT_GT(fill, 0.0);
+  EXPECT_NEAR(store.EstOmissionProbability(), fill * fill, 1e-12);
+}
+
+TEST(StoreDiagnosticsTest, ExhaustiveStoreNeverOmits) {
+  checker::ExhaustiveStore store;
+  std::uint8_t bytes[1] = {1};
+  store.TestAndInsert(bytes);
+  EXPECT_EQ(store.FillRatio(), 0.0);
+  EXPECT_EQ(store.EstOmissionProbability(), 0.0);
+}
+
+TEST(StoreDiagnosticsTest, CheckResultCarriesStoreDiagnostics) {
+  model::SystemModel model = UnlockModel();
+  checker::Checker checker(model);
+  checker::CheckOptions options;
+  options.max_events = 2;
+  options.store = checker::StoreKind::kBitstate;
+  options.bitstate_bits = 1 << 10;
+  checker::CheckResult result = checker.Run(options);
+
+  EXPECT_GT(result.store_entries, 0u);
+  EXPECT_GT(result.store_memory_bytes, 0u);
+  EXPECT_GT(result.store_fill_ratio, 0.0);
+  EXPECT_GE(result.est_omission_probability, 0.0);
+  std::uint64_t histogram_sum = 0;
+  for (std::uint64_t count : result.depth_histogram) histogram_sum += count;
+  EXPECT_EQ(histogram_sum, result.states_explored);
+}
+
+TEST(StoreDiagnosticsTest, RunPublishesGaugesToActiveRegistry) {
+  Registry registry;
+  SetActive(&registry);
+  model::SystemModel model = UnlockModel();
+  checker::Checker checker(model);
+  checker::CheckOptions options;
+  options.max_events = 1;
+  options.store = checker::StoreKind::kBitstate;
+  options.bitstate_bits = 1 << 10;
+  checker::CheckResult result = checker.Run(options);
+  SetActive(nullptr);
+
+  EXPECT_EQ(registry.search.states_explored, result.states_explored);
+  EXPECT_EQ(registry.pipeline.checks_run, 1u);
+  EXPECT_EQ(registry.store.entries, result.store_entries);
+  EXPECT_GT(registry.store.fill_permille, 0u);
+  EXPECT_GT(registry.search.handler_dispatches, 0u);
+}
+
+}  // namespace
+}  // namespace iotsan::telemetry

@@ -1,22 +1,25 @@
 // iotsan command-line interface: the paper's envisioned service (§4
 // "Our work in perspective") as a tool.
 //
-//   iotsan check <deployment.json> [--events N] [--failures] [--mono]
-//                [--bitstate] [--first] [--properties props.json]
+//   iotsan check <deployment.json> [flags]
 //       Verify a deployment against the built-in safety properties plus
 //       any user-defined ones.
-//
 //   iotsan attribute <app.smartscript|corpus-app-name> <deployment.json>
 //       Vet a new app before installation (§9 Output Analyzer).
-//
 //   iotsan deps <deployment.json>
 //       Print the dependency graph and related sets (§5).
-//
 //   iotsan promela <deployment.json> [--events N]
 //       Emit the generated Promela model (§6/§8).
-//
 //   iotsan apps
 //       List the bundled corpus apps.
+//   iotsan help
+//       Full flag reference.
+//
+// Flags are declared once in kFlagTable — the parser and the generated
+// help text both read it, so the two cannot drift.  Telemetry flags
+// (--stats, --trace-out, --progress-every) surface the src/telemetry
+// observability layer: counters, per-phase spans, search progress, and
+// bitstate-saturation diagnostics (see docs/observability.md).
 //
 // Deployment files use the JSON schema of config/deployment.hpp; app
 // sources not in the bundled corpus can be given in the deployment under
@@ -24,6 +27,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -37,11 +41,295 @@
 #include "model/system_model.hpp"
 #include "promela/emitter.hpp"
 #include "props/loader.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace {
 
 using namespace iotsan;
+
+// ---- Flag table: single source of truth for parser and help -----------------
+
+enum : unsigned {
+  kCmdCheck = 1u << 0,
+  kCmdAttribute = 1u << 1,
+  kCmdDeps = 1u << 2,
+  kCmdPromela = 1u << 3,
+};
+
+enum class Flag {
+  kEvents,
+  kFailures,
+  kMono,
+  kBitstate,
+  kBitstateBits,
+  kFirst,
+  kProperties,
+  kAllowDiscovery,
+  kStats,
+  kTraceOut,
+  kProgressEvery,
+  kHelp,
+};
+
+struct FlagSpec {
+  Flag id;
+  const char* name;
+  const char* arg;    // metavar; nullptr when the flag takes no value
+  unsigned commands;  // bitmask of commands accepting the flag
+  const char* help;
+};
+
+constexpr FlagSpec kFlagTable[] = {
+    {Flag::kEvents, "--events", "N",
+     kCmdCheck | kCmdAttribute | kCmdPromela,
+     "external-event bound per run (Algorithm 1; default 3, attribute: 2)"},
+    {Flag::kFailures, "--failures", nullptr, kCmdCheck,
+     "enumerate device/communication failure scenarios per event (paper §8)"},
+    {Flag::kMono, "--mono", nullptr, kCmdCheck,
+     "skip dependency analysis; check all apps in one monolithic model"},
+    {Flag::kBitstate, "--bitstate", nullptr, kCmdCheck | kCmdAttribute,
+     "use Spin-style BITSTATE hashing instead of the exhaustive store"},
+    {Flag::kBitstateBits, "--bitstate-bits", "P", kCmdCheck | kCmdAttribute,
+     "BITSTATE bit-field size as a power of two (Spin -w; default 27 = "
+     "16 MiB)"},
+    {Flag::kFirst, "--first", nullptr, kCmdCheck,
+     "stop at the first property violation"},
+    {Flag::kProperties, "--properties", "FILE", kCmdCheck,
+     "load additional user-defined safety properties from JSON"},
+    {Flag::kAllowDiscovery, "--allow-discovery", nullptr,
+     kCmdCheck | kCmdAttribute,
+     "check dynamic-device-discovery apps instead of rejecting them"},
+    {Flag::kStats, "--stats", nullptr,
+     kCmdCheck | kCmdAttribute | kCmdDeps,
+     "print telemetry after the run: counters, per-phase durations, store "
+     "diagnostics"},
+    {Flag::kTraceOut, "--trace-out", "FILE",
+     kCmdCheck | kCmdAttribute | kCmdDeps,
+     "write a JSONL span trace (one JSON object per line) to FILE"},
+    {Flag::kProgressEvery, "--progress-every", "N", kCmdCheck,
+     "report search progress to stderr every N expanded states"},
+    {Flag::kHelp, "--help", nullptr,
+     kCmdCheck | kCmdAttribute | kCmdDeps | kCmdPromela,
+     "show this help"},
+};
+
+struct CommandSpec {
+  unsigned id;
+  const char* name;
+  const char* positionals;
+  const char* summary;
+};
+
+constexpr CommandSpec kCommands[] = {
+    {kCmdCheck, "check", "<deployment.json>",
+     "verify a deployment against the active safety properties"},
+    {kCmdAttribute, "attribute", "<app.smartscript|corpus-name> "
+                                 "<deployment.json>",
+     "vet a new app before installation (§9 Output Analyzer)"},
+    {kCmdDeps, "deps", "<deployment.json>",
+     "print the dependency graph and related sets (§5)"},
+    {kCmdPromela, "promela", "<deployment.json>",
+     "emit the generated Promela model (§6/§8)"},
+    {0, "apps", "", "list the bundled corpus apps"},
+    {0, "help", "", "show this help"},
+};
+
+const FlagSpec* FindFlag(const std::string& name) {
+  for (const FlagSpec& spec : kFlagTable) {
+    if (name == spec.name) return &spec;
+  }
+  return nullptr;
+}
+
+/// Flag letters for the global help ("CA" = check and attribute).
+std::string CommandLetters(unsigned mask) {
+  std::string out;
+  if (mask & kCmdCheck) out += 'C';
+  if (mask & kCmdAttribute) out += 'A';
+  if (mask & kCmdDeps) out += 'D';
+  if (mask & kCmdPromela) out += 'P';
+  return out;
+}
+
+std::string FlagUsage(const FlagSpec& spec) {
+  std::string out = spec.name;
+  if (spec.arg != nullptr) {
+    out += ' ';
+    out += spec.arg;
+  }
+  return out;
+}
+
+/// "iotsan check <deployment.json> [--events N] [...]", generated from
+/// the tables so usage errors always list exactly the accepted flags.
+std::string UsageFor(unsigned command) {
+  std::string out = "usage: iotsan";
+  for (const CommandSpec& cmd : kCommands) {
+    if (cmd.id != command) continue;
+    out += ' ';
+    out += cmd.name;
+    if (cmd.positionals[0] != '\0') {
+      out += ' ';
+      out += cmd.positionals;
+    }
+  }
+  for (const FlagSpec& spec : kFlagTable) {
+    if (spec.id == Flag::kHelp || !(spec.commands & command)) continue;
+    out += " [" + FlagUsage(spec) + "]";
+  }
+  return out;
+}
+
+void PrintHelp(std::FILE* out) {
+  std::fprintf(out, "iotsan — IoT safety sanitizer (IotSan, CoNEXT '18)\n\n");
+  std::fprintf(out, "commands:\n");
+  for (const CommandSpec& cmd : kCommands) {
+    std::string invocation = cmd.name;
+    if (cmd.positionals[0] != '\0') {
+      invocation += ' ';
+      invocation += cmd.positionals;
+    }
+    std::fprintf(out, "  %-52s %s\n", invocation.c_str(), cmd.summary);
+  }
+  std::fprintf(out, "\nflags (letters mark the accepting commands: "
+                    "C=check, A=attribute, D=deps, P=promela):\n");
+  for (const FlagSpec& spec : kFlagTable) {
+    if (spec.id == Flag::kHelp) continue;
+    std::fprintf(out, "  %-4s %-22s %s\n",
+                 CommandLetters(spec.commands).c_str(),
+                 FlagUsage(spec).c_str(), spec.help);
+  }
+  std::fprintf(out,
+               "\ntelemetry: --stats prints counters, per-phase durations "
+               "and store fill after the\nrun; --trace-out writes one JSON "
+               "object per span (name, start_us, dur_us, depth,\nattrs).  "
+               "See docs/observability.md for the schema and the counter "
+               "taxonomy.\n");
+}
+
+/// Values collected from the flag table; each command reads the fields
+/// relevant to it.
+struct CliFlags {
+  int events = -1;  // -1 = keep the command's default
+  bool failures = false;
+  bool mono = false;
+  bool bitstate = false;
+  int bitstate_bits_pow = 0;  // 0 = default (27)
+  bool first = false;
+  bool allow_discovery = false;
+  bool stats = false;
+  bool help = false;
+  std::string properties_path;
+  std::string trace_out;
+  std::uint64_t progress_every = 0;
+};
+
+/// Parses `args` for `command`, separating positionals from flags.
+/// Throws iotsan::Error on unknown flags, missing values, or flags the
+/// command does not accept.
+std::vector<std::string> ParseFlags(unsigned command,
+                                    const std::vector<std::string>& args,
+                                    CliFlags& flags) {
+  std::vector<std::string> positionals;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      positionals.push_back(arg);
+      continue;
+    }
+    const FlagSpec* spec = FindFlag(arg);
+    if (spec == nullptr) {
+      throw Error("unknown option: " + arg + " (see 'iotsan help')");
+    }
+    if (!(spec->commands & command)) {
+      throw Error("option " + arg + " does not apply to this command\n" +
+                  UsageFor(command));
+    }
+    std::string value;
+    if (spec->arg != nullptr) {
+      if (i + 1 >= args.size()) {
+        throw Error("option " + arg + " needs a value (" + spec->arg + ")");
+      }
+      value = args[++i];
+    }
+    switch (spec->id) {
+      case Flag::kEvents: flags.events = std::atoi(value.c_str()); break;
+      case Flag::kFailures: flags.failures = true; break;
+      case Flag::kMono: flags.mono = true; break;
+      case Flag::kBitstate: flags.bitstate = true; break;
+      case Flag::kBitstateBits:
+        flags.bitstate_bits_pow = std::atoi(value.c_str());
+        if (flags.bitstate_bits_pow < 10 || flags.bitstate_bits_pow > 40) {
+          throw Error("--bitstate-bits wants a power of two in [10, 40]");
+        }
+        flags.bitstate = true;
+        break;
+      case Flag::kFirst: flags.first = true; break;
+      case Flag::kProperties: flags.properties_path = value; break;
+      case Flag::kAllowDiscovery: flags.allow_discovery = true; break;
+      case Flag::kStats: flags.stats = true; break;
+      case Flag::kTraceOut: flags.trace_out = value; break;
+      case Flag::kProgressEvery:
+        flags.progress_every =
+            static_cast<std::uint64_t>(std::atoll(value.c_str()));
+        break;
+      case Flag::kHelp: flags.help = true; break;
+    }
+  }
+  return positionals;
+}
+
+// ---- Telemetry session -------------------------------------------------------
+
+/// Owns the registry and trace sink for one command and installs them as
+/// the process-global telemetry targets; uninstalls on destruction even
+/// when the command throws.
+class TelemetrySession {
+ public:
+  explicit TelemetrySession(const CliFlags& flags) : stats_(flags.stats) {
+    if (flags.stats || !flags.trace_out.empty()) {
+      sink_ = flags.trace_out.empty()
+                  ? std::make_unique<telemetry::TraceSink>()
+                  : std::make_unique<telemetry::TraceSink>(flags.trace_out);
+      telemetry::SetActiveTrace(sink_.get());
+    }
+    if (flags.stats) telemetry::SetActive(&registry_);
+  }
+
+  ~TelemetrySession() {
+    telemetry::SetActive(nullptr);
+    telemetry::SetActiveTrace(nullptr);
+  }
+
+  /// Per-phase durations plus every non-zero counter.  Call after the
+  /// run, once all spans have closed.
+  void PrintStats() const {
+    if (!stats_) return;
+    std::printf("\n-- telemetry --\n");
+    if (sink_ != nullptr && !sink_->totals().empty()) {
+      std::printf("%-24s %8s %14s\n", "phase", "spans", "total");
+      for (const auto& [name, total] : sink_->totals()) {
+        std::printf("%-24s %8llu %11.3fms\n", name.c_str(),
+                    static_cast<unsigned long long>(total.count),
+                    static_cast<double>(total.total_us) / 1000.0);
+      }
+    }
+    std::printf("counters (non-zero):\n");
+    for (const telemetry::Sample& sample : registry_.Snapshot()) {
+      if (sample.value == 0) continue;
+      std::printf("  %-32s %12llu\n", sample.name.c_str(),
+                  static_cast<unsigned long long>(sample.value));
+    }
+  }
+
+ private:
+  bool stats_;
+  telemetry::Registry registry_;
+  std::unique_ptr<telemetry::TraceSink> sink_;
+};
+
+// ---- Shared loading ----------------------------------------------------------
 
 std::string ReadFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -77,102 +365,8 @@ core::Sanitizer MakeSanitizer(const LoadedSystem& system) {
   return sanitizer;
 }
 
-int CmdCheck(const std::vector<std::string>& args) {
-  if (args.empty()) {
-    std::fprintf(stderr, "usage: iotsan check <deployment.json> "
-                         "[--events N] [--failures] [--mono] [--bitstate] "
-                         "[--first] [--properties props.json]\n");
-    return 2;
-  }
-  LoadedSystem system = LoadSystem(args[0]);
-  core::Sanitizer sanitizer = MakeSanitizer(system);
-  core::SanitizerOptions options;
-  options.check.max_events = 3;
-  for (std::size_t i = 1; i < args.size(); ++i) {
-    if (args[i] == "--events" && i + 1 < args.size()) {
-      options.check.max_events = std::atoi(args[++i].c_str());
-    } else if (args[i] == "--failures") {
-      options.check.model_failures = true;
-    } else if (args[i] == "--mono") {
-      options.use_dependency_analysis = false;
-    } else if (args[i] == "--bitstate") {
-      options.check.store = checker::StoreKind::kBitstate;
-    } else if (args[i] == "--first") {
-      options.check.stop_at_first_violation = true;
-    } else if (args[i] == "--properties" && i + 1 < args.size()) {
-      options.extra_properties =
-          props::LoadPropertiesJson(ReadFile(args[++i]));
-    } else if (args[i] == "--allow-discovery") {
-      options.allow_dynamic_discovery = true;
-    } else {
-      std::fprintf(stderr, "unknown option: %s\n", args[i].c_str());
-      return 2;
-    }
-  }
-
-  core::SanitizerReport report = sanitizer.Check(options);
-  std::printf("system: %s (%zu devices, %zu apps)\n",
-              system.deployment.name.c_str(),
-              system.deployment.devices.size(),
-              system.deployment.apps.size());
-  for (const std::string& rejected : report.rejected_apps) {
-    std::printf("REJECTED: %s\n", rejected.c_str());
-  }
-  std::printf("dependency analysis: %d handlers -> %d related sets "
-              "(scale ratio %.1f)\n",
-              report.scale.original_size, report.related_set_count,
-              report.scale.ratio);
-  std::printf("explored %llu states (%llu matched) in %.3fs%s\n\n",
-              static_cast<unsigned long long>(report.states_explored),
-              static_cast<unsigned long long>(report.states_matched),
-              report.seconds, report.completed ? "" : " (budget hit)");
-  if (report.violations.empty()) {
-    std::printf("RESULT: no safety violations found\n");
-    return 0;
-  }
-  for (const checker::Violation& v : report.violations) {
-    std::printf("%s\n", checker::FormatViolation(v).c_str());
-  }
-  std::printf("RESULT: %zu violated propert%s\n", report.violations.size(),
-              report.violations.size() == 1 ? "y" : "ies");
-  return 1;
-}
-
-int CmdAttribute(const std::vector<std::string>& args) {
-  if (args.size() < 2) {
-    std::fprintf(stderr,
-                 "usage: iotsan attribute <app.smartscript|corpus-name> "
-                 "<deployment.json>\n");
-    return 2;
-  }
-  std::string source;
-  if (const corpus::CorpusApp* app = corpus::FindApp(args[0])) {
-    source = app->source;
-  } else {
-    source = ReadFile(args[0]);
-  }
-  LoadedSystem system = LoadSystem(args[1]);
-
-  attrib::AttributionOptions options;
-  options.enumeration.max_configs = 24;
-  options.check.max_events = 2;
-  attrib::AttributionResult result =
-      attrib::AttributeApp(source, system.deployment, options);
-  dsl::App parsed = dsl::ParseApp(source);
-  std::printf("%s\n", attrib::FormatAttribution(parsed.name, result).c_str());
-  if (!result.safe_configs.empty()) {
-    std::printf("safe configurations found: %zu\n",
-                result.safe_configs.size());
-  }
-  return result.verdict == attrib::Verdict::kClean ? 0 : 1;
-}
-
-int CmdDeps(const std::vector<std::string>& args) {
-  if (args.empty()) {
-    std::fprintf(stderr, "usage: iotsan deps <deployment.json>\n");
-    return 2;
-  }
-  LoadedSystem system = LoadSystem(args[0]);
+std::vector<ir::AnalyzedApp> AnalyzeDeploymentApps(
+    const LoadedSystem& system) {
   std::vector<ir::AnalyzedApp> apps;
   for (const config::AppConfig& instance : system.deployment.apps) {
     std::string source;
@@ -186,6 +380,185 @@ int CmdDeps(const std::vector<std::string>& args) {
     }
     apps.push_back(ir::AnalyzeSource(source, instance.app));
   }
+  return apps;
+}
+
+void InstallProgressReporter(checker::CheckOptions& check,
+                             std::uint64_t every) {
+  if (every == 0) return;
+  check.progress_every = every;
+  check.on_progress = [](const telemetry::ProgressSnapshot& snapshot) {
+    std::fprintf(stderr, "%s\n",
+                 telemetry::FormatProgress(snapshot).c_str());
+  };
+}
+
+std::string HumanBytes(std::uint64_t bytes) {
+  char buf[48];
+  if (bytes >= (1u << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB",
+                  static_cast<double>(bytes) / (1 << 20));
+  } else if (bytes >= (1u << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB",
+                  static_cast<double>(bytes) / (1 << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+// ---- Commands ----------------------------------------------------------------
+
+int CmdCheck(const std::vector<std::string>& args) {
+  CliFlags flags;
+  std::vector<std::string> positionals = ParseFlags(kCmdCheck, args, flags);
+  if (flags.help) {
+    PrintHelp(stdout);
+    return 0;
+  }
+  if (positionals.size() != 1) {
+    std::fprintf(stderr, "%s\n", UsageFor(kCmdCheck).c_str());
+    return 2;
+  }
+  LoadedSystem system = LoadSystem(positionals[0]);
+  core::Sanitizer sanitizer = MakeSanitizer(system);
+  core::SanitizerOptions options;
+  options.check.max_events = flags.events > 0 ? flags.events : 3;
+  options.check.model_failures = flags.failures;
+  options.use_dependency_analysis = !flags.mono;
+  if (flags.bitstate) {
+    options.check.store = checker::StoreKind::kBitstate;
+    if (flags.bitstate_bits_pow > 0) {
+      options.check.bitstate_bits = std::size_t{1} << flags.bitstate_bits_pow;
+    }
+  }
+  options.check.stop_at_first_violation = flags.first;
+  options.allow_dynamic_discovery = flags.allow_discovery;
+  if (!flags.properties_path.empty()) {
+    options.extra_properties =
+        props::LoadPropertiesJson(ReadFile(flags.properties_path));
+  }
+  InstallProgressReporter(options.check, flags.progress_every);
+
+  TelemetrySession telemetry_session(flags);
+  core::SanitizerReport report = sanitizer.Check(options);
+  std::printf("system: %s (%zu devices, %zu apps)\n",
+              system.deployment.name.c_str(),
+              system.deployment.devices.size(),
+              system.deployment.apps.size());
+  for (const std::string& rejected : report.rejected_apps) {
+    std::printf("REJECTED: %s\n", rejected.c_str());
+  }
+  std::printf("dependency analysis: %d handlers -> %d related sets "
+              "(scale ratio %.1f)\n",
+              report.scale.original_size, report.related_set_count,
+              report.scale.ratio);
+  std::printf("explored %llu states (%llu matched) in %.3fs%s\n",
+              static_cast<unsigned long long>(report.states_explored),
+              static_cast<unsigned long long>(report.states_matched),
+              report.seconds, report.completed ? "" : " (budget hit)");
+
+  if (flags.stats) {
+    std::printf("\n-- search stats --\n");
+    const double considered = static_cast<double>(report.states_explored +
+                                                  report.states_matched);
+    std::printf("states: %llu explored, %llu matched (%.1f%% pruned)\n",
+                static_cast<unsigned long long>(report.states_explored),
+                static_cast<unsigned long long>(report.states_matched),
+                considered > 0
+                    ? 100.0 * static_cast<double>(report.states_matched) /
+                          considered
+                    : 0.0);
+    std::printf("transitions: %llu, cascade drains: %llu\n",
+                static_cast<unsigned long long>(report.transitions),
+                static_cast<unsigned long long>(report.cascade_drains));
+    if (!report.depth_histogram.empty()) {
+      std::printf("states by depth:");
+      for (std::uint64_t count : report.depth_histogram) {
+        std::printf(" %llu", static_cast<unsigned long long>(count));
+      }
+      std::printf("\n");
+    }
+    std::printf("store: %s, peak %s, fill ratio %.4f, est. omission "
+                "probability %.3g\n",
+                flags.bitstate ? "bitstate" : "exhaustive",
+                HumanBytes(report.store_memory_bytes).c_str(),
+                report.store_fill_ratio, report.est_omission_probability);
+  }
+  telemetry_session.PrintStats();
+
+  std::printf("\n");
+  if (report.violations.empty()) {
+    std::printf("RESULT: no safety violations found\n");
+    return 0;
+  }
+  for (const checker::Violation& v : report.violations) {
+    std::printf("%s\n", checker::FormatViolation(v).c_str());
+  }
+  std::printf("RESULT: %zu violated propert%s\n", report.violations.size(),
+              report.violations.size() == 1 ? "y" : "ies");
+  return 1;
+}
+
+int CmdAttribute(const std::vector<std::string>& args) {
+  CliFlags flags;
+  std::vector<std::string> positionals =
+      ParseFlags(kCmdAttribute, args, flags);
+  if (flags.help) {
+    PrintHelp(stdout);
+    return 0;
+  }
+  if (positionals.size() != 2) {
+    std::fprintf(stderr, "%s\n", UsageFor(kCmdAttribute).c_str());
+    return 2;
+  }
+  std::string source;
+  if (const corpus::CorpusApp* app = corpus::FindApp(positionals[0])) {
+    source = app->source;
+  } else {
+    source = ReadFile(positionals[0]);
+  }
+  LoadedSystem system = LoadSystem(positionals[1]);
+
+  attrib::AttributionOptions options;
+  options.enumeration.max_configs = 24;
+  options.check.max_events = flags.events > 0 ? flags.events : 2;
+  options.allow_dynamic_discovery = flags.allow_discovery;
+  if (flags.bitstate) {
+    options.check.store = checker::StoreKind::kBitstate;
+    if (flags.bitstate_bits_pow > 0) {
+      options.check.bitstate_bits = std::size_t{1} << flags.bitstate_bits_pow;
+    }
+  }
+
+  TelemetrySession telemetry_session(flags);
+  attrib::AttributionResult result =
+      attrib::AttributeApp(source, system.deployment, options);
+  dsl::App parsed = dsl::ParseApp(source);
+  std::printf("%s\n", attrib::FormatAttribution(parsed.name, result).c_str());
+  if (!result.safe_configs.empty()) {
+    std::printf("safe configurations found: %zu\n",
+                result.safe_configs.size());
+  }
+  telemetry_session.PrintStats();
+  return result.verdict == attrib::Verdict::kClean ? 0 : 1;
+}
+
+int CmdDeps(const std::vector<std::string>& args) {
+  CliFlags flags;
+  std::vector<std::string> positionals = ParseFlags(kCmdDeps, args, flags);
+  if (flags.help) {
+    PrintHelp(stdout);
+    return 0;
+  }
+  if (positionals.size() != 1) {
+    std::fprintf(stderr, "%s\n", UsageFor(kCmdDeps).c_str());
+    return 2;
+  }
+  TelemetrySession telemetry_session(flags);
+  LoadedSystem system = LoadSystem(positionals[0]);
+  std::vector<ir::AnalyzedApp> apps = AnalyzeDeploymentApps(system);
   deps::DependencyGraph graph = deps::DependencyGraph::Build(apps);
   std::printf("%s", graph.ToDot(apps).c_str());
   std::printf("\nrelated sets:\n");
@@ -203,35 +576,25 @@ int CmdDeps(const std::vector<std::string>& args) {
   deps::ScaleStats stats = deps::ComputeScaleStats(apps);
   std::printf("scale: %d handlers -> %d (ratio %.1f)\n",
               stats.original_size, stats.new_size, stats.ratio);
+  telemetry_session.PrintStats();
   return 0;
 }
 
 int CmdPromela(const std::vector<std::string>& args) {
-  if (args.empty()) {
-    std::fprintf(stderr,
-                 "usage: iotsan promela <deployment.json> [--events N]\n");
+  CliFlags flags;
+  std::vector<std::string> positionals = ParseFlags(kCmdPromela, args, flags);
+  if (flags.help) {
+    PrintHelp(stdout);
+    return 0;
+  }
+  if (positionals.size() != 1) {
+    std::fprintf(stderr, "%s\n", UsageFor(kCmdPromela).c_str());
     return 2;
   }
-  LoadedSystem system = LoadSystem(args[0]);
+  LoadedSystem system = LoadSystem(positionals[0]);
   promela::EmitOptions options;
-  for (std::size_t i = 1; i < args.size(); ++i) {
-    if (args[i] == "--events" && i + 1 < args.size()) {
-      options.max_events = std::atoi(args[++i].c_str());
-    }
-  }
-  std::vector<ir::AnalyzedApp> apps;
-  for (const config::AppConfig& instance : system.deployment.apps) {
-    std::string source;
-    auto it = system.extra_sources.find(instance.app);
-    if (it != system.extra_sources.end()) {
-      source = it->second;
-    } else if (const corpus::CorpusApp* app = corpus::FindApp(instance.app)) {
-      source = app->source;
-    } else {
-      throw ConfigError("no source for app '" + instance.app + "'");
-    }
-    apps.push_back(ir::AnalyzeSource(source, instance.app));
-  }
+  if (flags.events > 0) options.max_events = flags.events;
+  std::vector<ir::AnalyzedApp> apps = AnalyzeDeploymentApps(system);
   model::SystemModel model(system.deployment, std::move(apps));
   std::printf("%s", promela::EmitPromela(model, options).c_str());
   return 0;
@@ -255,7 +618,8 @@ int main(int argc, char** argv) {
   if (args.empty()) {
     std::fprintf(stderr,
                  "iotsan — IoT safety sanitizer (IotSan, CoNEXT '18)\n"
-                 "commands: check, attribute, deps, promela, apps\n");
+                 "commands: check, attribute, deps, promela, apps, help\n"
+                 "run 'iotsan help' for the full flag reference\n");
     return 2;
   }
   const std::string command = args[0];
@@ -266,7 +630,12 @@ int main(int argc, char** argv) {
     if (command == "deps") return CmdDeps(args);
     if (command == "promela") return CmdPromela(args);
     if (command == "apps") return CmdApps();
-    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    if (command == "help" || command == "--help" || command == "-h") {
+      PrintHelp(stdout);
+      return 0;
+    }
+    std::fprintf(stderr, "unknown command: %s (see 'iotsan help')\n",
+                 command.c_str());
     return 2;
   } catch (const iotsan::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
