@@ -1,6 +1,7 @@
 #include "attrib/output_analyzer.hpp"
 
 #include <algorithm>
+#include <map>
 #include <set>
 
 #include "core/sanitizer.hpp"
@@ -28,11 +29,11 @@ namespace {
 /// along the counter-example (violations the environment or other apps
 /// produce on their own are never charged to the newcomer), beyond
 /// `baseline`.
-std::set<std::string> ViolationsOf(const config::Deployment& deployment,
-                                   const std::string& app_source,
-                                   const std::string& app_label,
-                                   const AttributionOptions& attribution,
-                                   const std::set<std::string>& baseline) {
+std::set<std::string> ViolationsOf(
+    const config::Deployment& deployment, const std::string& app_source,
+    const std::string& app_label, const AttributionOptions& attribution,
+    const std::set<std::string>& baseline,
+    std::map<std::string, checker::Violation>* evidence) {
   const checker::CheckOptions& check = attribution.check;
   core::Sanitizer sanitizer(deployment);
   // Register the candidate source under its definition name so instances
@@ -55,7 +56,9 @@ std::set<std::string> ViolationsOf(const config::Deployment& deployment,
     for (const std::string& app : v.apps) {
       involved = involved || app == app_label;
     }
-    if (involved) ids.insert(v.property_id);
+    if (!involved) continue;
+    ids.insert(v.property_id);
+    if (evidence != nullptr) evidence->emplace(v.property_id, v);
   }
   return ids;
 }
@@ -82,6 +85,9 @@ AttributionResult AttributeApp(const std::string& app_source,
   }
 
   std::set<std::string> violated_union;
+  // First counter-example seen per violated property, across all
+  // configurations and both phases (std::map keeps them id-ordered).
+  std::map<std::string, checker::Violation> evidence;
 
   // Baseline: violations the installed system already has without the
   // new app (never charged to the newcomer).
@@ -103,8 +109,9 @@ AttributionResult AttributeApp(const std::string& app_source,
     config::Deployment alone = deployment;
     alone.apps.clear();
     alone.apps.push_back(candidate);
-    std::set<std::string> ids = ViolationsOf(
-        alone, app_source, candidate.label, options, /*baseline=*/{});
+    std::set<std::string> ids =
+        ViolationsOf(alone, app_source, candidate.label, options,
+                     /*baseline=*/{}, &evidence);
     if (!ids.empty()) ++phase1_bad;
     violated_union.insert(ids.begin(), ids.end());
   }
@@ -116,6 +123,9 @@ AttributionResult AttributeApp(const std::string& app_source,
     result.verdict = Verdict::kMalicious;
     result.violated_properties.assign(violated_union.begin(),
                                       violated_union.end());
+    for (auto& [id, violation] : evidence) {
+      result.evidence.push_back(std::move(violation));
+    }
     return result;
   }
 
@@ -124,9 +134,8 @@ AttributionResult AttributeApp(const std::string& app_source,
   for (const config::AppConfig& candidate : configs) {
     config::Deployment joint = deployment;
     joint.apps.push_back(candidate);
-    std::set<std::string> ids = ViolationsOf(joint, app_source,
-                                             candidate.label, options,
-                                             baseline);
+    std::set<std::string> ids = ViolationsOf(
+        joint, app_source, candidate.label, options, baseline, &evidence);
     if (!ids.empty()) {
       ++phase2_bad;
       violated_union.insert(ids.begin(), ids.end());
@@ -139,6 +148,9 @@ AttributionResult AttributeApp(const std::string& app_source,
       static_cast<double>(phase2_bad) / static_cast<double>(configs.size());
   result.violated_properties.assign(violated_union.begin(),
                                     violated_union.end());
+  for (auto& [id, violation] : evidence) {
+    result.evidence.push_back(std::move(violation));
+  }
 
   if (result.phase2_ratio >= options.threshold) {
     result.verdict = Verdict::kBadApp;

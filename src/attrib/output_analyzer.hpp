@@ -46,6 +46,10 @@ struct AttributionResult {
   int phase2_configs = 0;
   /// Property ids violated across configurations (union).
   std::vector<std::string> violated_properties;
+  /// One full counter-example per violated property (first configuration
+  /// that produced it), carrying the structured trace for artifact
+  /// export and replay.  Parallel to nothing: ordered by property id.
+  std::vector<checker::Violation> evidence;
   /// Safe configurations found in phase 2 (suggestions to the user).
   std::vector<config::AppConfig> safe_configs;
 };

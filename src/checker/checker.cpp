@@ -8,6 +8,7 @@
 #include "checker/state_store.hpp"
 #include "model/state_view.hpp"
 #include "props/eval.hpp"
+#include "util/build_info.hpp"
 #include "util/error.hpp"
 
 namespace iotsan::checker {
@@ -45,10 +46,114 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+// The once-per-run latch for the bitstate saturation warning: re-armed
+// by ResetSaturationWarning() (the CLI does so per command), so a run
+// checking dozens of related sets warns once instead of once per check.
+bool g_saturation_warned = false;
+
+std::string_view PropertyKindName(props::PropertyKind kind) {
+  switch (kind) {
+    case props::PropertyKind::kInvariant: return "invariant";
+    case props::PropertyKind::kNoConflict: return "no_conflict";
+    case props::PropertyKind::kNoRepeat: return "no_repeat";
+    case props::PropertyKind::kNoNetworkLeak: return "no_network_leak";
+    case props::PropertyKind::kSmsRecipient: return "sms_recipient";
+    case props::PropertyKind::kNoSensitiveCmd: return "no_sensitive_cmd";
+    case props::PropertyKind::kNoFakeEvent: return "no_fake_event";
+    case props::PropertyKind::kRobustness: return "robustness";
+  }
+  return "invariant";
+}
+
+/// One step of a guided (replay) search: the recorded external event,
+/// failure scenario, and interleaving choice, resolved against a
+/// concrete model.
+struct GuideStep {
+  model::ExternalEvent event;
+  model::FailureScenario failure;
+  int outcome_index = 0;
+};
+
+/// Resolves an artifact's name-based event coordinates to model indices.
+/// Throws iotsan::Error when the model does not match the recording.
+std::vector<GuideStep> ResolveSteps(const model::SystemModel& model,
+                                    const std::vector<TraceStep>& steps) {
+  std::vector<GuideStep> guide;
+  for (const TraceStep& step : steps) {
+    GuideStep g;
+    g.outcome_index = step.outcome_index;
+    g.failure.sensor_offline = step.sensor_offline;
+    g.failure.actuator_offline = step.actuator_offline;
+    g.failure.comm_fail = step.comm_fail;
+    if (step.kind == "sensor") {
+      g.event.kind = model::ExternalEventSpec::Kind::kSensor;
+      g.event.device = model.DeviceIndex(step.device);
+      if (g.event.device < 0) {
+        throw Error("replay: device '" + step.device +
+                    "' is not in the model");
+      }
+      const devices::Device& device = model.devices()[g.event.device];
+      g.event.attribute = device.AttributeIndex(step.attribute);
+      if (g.event.attribute < 0) {
+        throw Error("replay: device '" + step.device +
+                    "' has no attribute '" + step.attribute + "'");
+      }
+      const devices::AttributeSpec& attr =
+          *device.attributes()[g.event.attribute];
+      g.event.value = -1;
+      for (int v = 0; v < attr.domain_size(); ++v) {
+        if (attr.ValueName(v) == step.value) {
+          g.event.value = v;
+          break;
+        }
+      }
+      if (g.event.value < 0) {
+        throw Error("replay: attribute '" + step.attribute +
+                    "' has no value '" + step.value + "'");
+      }
+    } else if (step.kind == "app_touch") {
+      g.event.kind = model::ExternalEventSpec::Kind::kAppTouch;
+      g.event.app = -1;
+      for (std::size_t a = 0; a < model.apps().size(); ++a) {
+        if (model.apps()[a].config.label == step.app) {
+          g.event.app = static_cast<int>(a);
+          break;
+        }
+      }
+      if (g.event.app < 0) {
+        throw Error("replay: app '" + step.app + "' is not in the model");
+      }
+    } else if (step.kind == "timer") {
+      g.event.kind = model::ExternalEventSpec::Kind::kTimerTick;
+    } else if (step.kind == "user_mode") {
+      g.event.kind = model::ExternalEventSpec::Kind::kUserModeChange;
+      g.event.value = -1;
+      for (std::size_t m = 0; m < model.modes().size(); ++m) {
+        if (model.modes()[m] == step.value) {
+          g.event.value = static_cast<int>(m);
+          break;
+        }
+      }
+      if (g.event.value < 0) {
+        throw Error("replay: mode '" + step.value + "' is not in the model");
+      }
+    } else {
+      throw Error("replay: unknown event kind '" + step.kind + "'");
+    }
+    guide.push_back(std::move(g));
+  }
+  return guide;
+}
+
 class Search {
  public:
-  Search(const model::SystemModel& model, const CheckOptions& options)
-      : model_(model), options_(options), engine_(model) {
+  /// `guide` switches the search into guided-replay mode: the recorded
+  /// path is followed step by step (no event enumeration, no store
+  /// pruning), re-running the monitors and invariants along the way —
+  /// Spin's guided simulation of a .trail file.
+  Search(const model::SystemModel& model, const CheckOptions& options,
+         const std::vector<GuideStep>* guide = nullptr)
+      : model_(model), options_(options), engine_(model), guide_(guide) {
     if (options.store == StoreKind::kExhaustive) {
       store_ = std::make_unique<ExhaustiveStore>();
     } else {
@@ -60,7 +165,7 @@ class Search {
   }
 
   CheckResult Run() {
-    telemetry::ScopedSpan span("check");
+    telemetry::ScopedSpan span(guide_ != nullptr ? "replay" : "check");
     start_ = Clock::now();
     model::SystemState initial = model_.MakeInitialState();
     std::vector<std::uint8_t> bytes = initial.Serialize();
@@ -84,6 +189,7 @@ class Search {
   const model::SystemModel& model_;
   const CheckOptions& options_;
   model::CascadeEngine engine_;
+  const std::vector<GuideStep>* guide_;
   std::unique_ptr<StateStore> store_;
   CheckResult result_;
   Clock::time_point start_;
@@ -91,10 +197,10 @@ class Search {
   // Handed to the cascade engine so budgets are honored between drains.
   model::CancelFn cancel_;
 
-  // Current DFS path context: counter-example lines, and causality data
+  // Current DFS path context: structured trace steps, and causality data
   // for violation charging — which app actuated which device, and which
   // apps changed the location mode, along the path.
-  std::vector<std::string> path_trace_;
+  std::vector<TraceStep> path_steps_;
   std::vector<std::pair<int, int>> path_actuations_;
   std::vector<int> path_mode_setters_;
 
@@ -153,17 +259,28 @@ class Search {
     result_.store_memory_bytes = store_->memory_bytes();
     result_.store_fill_ratio = store_->FillRatio();
     result_.est_omission_probability = store_->EstOmissionProbability();
+    if (guide_ != nullptr) {
+      // Guided replays neither saturate the store (exhaustive, short
+      // path) nor count as checks: their telemetry is the replay
+      // counters the caller ticks.
+      return;
+    }
     if (options_.store == StoreKind::kBitstate &&
         result_.store_fill_ratio > 0.5) {
+      if (auto* t = telemetry::Active()) ++t->store.saturation_warnings;
       // Spin's rule of thumb: above 50% occupancy BITSTATE coverage is
       // unreliable — a saturated bit field silently under-reports
-      // violations.
-      std::fprintf(stderr,
-                   "warning: bitstate store is %.0f%% full (est. omission "
-                   "probability %.2g); coverage is unreliable, increase "
-                   "bitstate_bits\n",
-                   result_.store_fill_ratio * 100.0,
-                   result_.est_omission_probability);
+      // violations.  Emitted once per run (ResetSaturationWarning
+      // re-arms), mirrored per check in store.saturation_warnings.
+      if (!g_saturation_warned) {
+        g_saturation_warned = true;
+        std::fprintf(stderr,
+                     "warning: bitstate store is %.0f%% full (est. omission "
+                     "probability %.2g); coverage is unreliable, increase "
+                     "bitstate_bits\n",
+                     result_.store_fill_ratio * 100.0,
+                     result_.est_omission_probability);
+      }
     }
     // The final snapshot at stop time: budget-stopped runs still report
     // where the search stood.
@@ -185,9 +302,75 @@ class Search {
     }
   }
 
+  /// Builds the structured record of one external-event step: the event
+  /// coordinates (by stable names, for replay), the failure flags, and
+  /// everything observed while the cascade drained.
+  TraceStep MakeStep(const model::SystemState& before,
+                     const model::ExternalEvent& event,
+                     const model::FailureScenario& failure,
+                     const model::StepOutcome& outcome, int depth,
+                     int outcome_index) const {
+    TraceStep step;
+    step.index = depth + 1;
+    step.sim_time_ms = (depth + 1) * 1000;
+    switch (event.kind) {
+      case model::ExternalEventSpec::Kind::kSensor: {
+        const devices::Device& device = model_.devices()[event.device];
+        step.kind = "sensor";
+        step.device = device.id();
+        step.attribute = device.attributes()[event.attribute]->name;
+        step.value =
+            device.attributes()[event.attribute]->ValueName(event.value);
+        break;
+      }
+      case model::ExternalEventSpec::Kind::kAppTouch:
+        step.kind = "app_touch";
+        step.app = model_.apps()[event.app].config.label;
+        break;
+      case model::ExternalEventSpec::Kind::kTimerTick:
+        step.kind = "timer";
+        break;
+      case model::ExternalEventSpec::Kind::kUserModeChange:
+        step.kind = "user_mode";
+        step.value = model_.modes()[event.value];
+        break;
+    }
+    step.description = event.Describe(model_);
+    step.sensor_offline = failure.sensor_offline;
+    step.actuator_offline = failure.actuator_offline;
+    step.comm_fail = failure.comm_fail;
+    step.outcome_index = outcome_index;
+    for (const model::HandlerDispatch& d : outcome.log.dispatches) {
+      step.dispatches.push_back(
+          {model_.apps()[d.app].config.label, d.handler});
+    }
+    for (const model::CommandRecord& c : outcome.log.commands) {
+      TraceCommand command;
+      command.app = model_.apps()[c.app].config.label;
+      if (c.device >= 0) command.device = model_.devices()[c.device].id();
+      command.command = c.spec->name;
+      if (c.device >= 0 && c.value_index >= 0) {
+        const devices::Device& device = model_.devices()[c.device];
+        const int attr = device.AttributeIndex(c.spec->attribute);
+        if (attr >= 0) {
+          command.value = device.attributes()[attr]->ValueName(c.value_index);
+        }
+      }
+      command.delivered = c.delivered;
+      step.commands.push_back(std::move(command));
+    }
+    step.deltas = DiffStates(model_, before, outcome.state);
+    step.notes = outcome.log.trace;
+    step.failed_sends = outcome.log.failed_deliveries;
+    step.user_notified = outcome.log.user_notified;
+    step.queue_peak = outcome.log.max_queue_depth;
+    step.truncated = outcome.log.truncated;
+    return step;
+  }
+
   Violation* RecordViolation(const props::Property& property, int depth,
                              const std::string& failure_label,
-                             const std::vector<std::string>& extra_trace,
+                             const std::string& detail,
                              const std::set<int>& charged_apps) {
     for (Violation& existing : result_.violations) {
       if (existing.property_id == property.id) {
@@ -211,11 +394,13 @@ class Search {
     violation.category = property.category;
     violation.description = property.description;
     violation.kind = property.kind;
-    violation.trace = path_trace_;
-    violation.trace.insert(violation.trace.end(), extra_trace.begin(),
-                           extra_trace.end());
+    violation.steps = path_steps_;
+    violation.detail = detail;
     for (int app : charged_apps) {
       violation.apps.push_back(model_.apps()[app].config.label);
+    }
+    for (const model::InstalledApp& app : model_.apps()) {
+      violation.model_apps.push_back(app.config.label);
     }
     violation.failure = failure_label;
     violation.depth = depth;
@@ -257,10 +442,9 @@ class Search {
       if (props::EvalPropertyExpr(property.ParsedExpression(), view)) {
         continue;
       }
-      std::vector<std::string> assertion = {
-          "assertion violated: " + property.description + " (" +
-          property.id + ")"};
-      RecordViolation(property, depth, failure_label, assertion,
+      RecordViolation(property, depth, failure_label,
+                      "assertion violated: " + property.description + " (" +
+                          property.id + ")",
                       ChargedApps(property));
     }
   }
@@ -299,12 +483,12 @@ class Search {
                         a.spec->conflicts_with.end(),
                         b.spec->name) != a.spec->conflicts_with.end();
           if (!conflicting) continue;
-          std::vector<std::string> detail = log.trace;
-          detail.push_back("conflicting commands on " +
-                           model_.devices()[a.device].id() + ": " +
-                           a.spec->name + " vs " + b.spec->name);
           RecordViolation(MonitorProperty(props::PropertyKind::kNoConflict),
-                          depth, failure_label, detail, {a.app, b.app});
+                          depth, failure_label,
+                          "conflicting commands on " +
+                              model_.devices()[a.device].id() + ": " +
+                              a.spec->name + " vs " + b.spec->name,
+                          {a.app, b.app});
           break;
         }
       }
@@ -321,12 +505,12 @@ class Search {
               a.value_index != b.value_index) {
             continue;
           }
-          std::vector<std::string> detail = log.trace;
-          detail.push_back("repeated command on " +
-                           model_.devices()[a.device].id() + ": " +
-                           a.spec->name + " received twice");
           RecordViolation(MonitorProperty(props::PropertyKind::kNoRepeat),
-                          depth, failure_label, detail, {a.app, b.app});
+                          depth, failure_label,
+                          "repeated command on " +
+                              model_.devices()[a.device].id() + ": " +
+                              a.spec->name + " received twice",
+                          {a.app, b.app});
           break;
         }
       }
@@ -338,40 +522,37 @@ class Search {
         case model::ApiCallRecord::Kind::kHttp:
           if (!model_.deployment().allow_network_interfaces &&
               MonitorActive(props::PropertyKind::kNoNetworkLeak)) {
-            std::vector<std::string> detail = log.trace;
-            detail.push_back("network interface used: " + api.detail);
             RecordViolation(
                 MonitorProperty(props::PropertyKind::kNoNetworkLeak), depth,
-                failure_label, detail, {api.app});
+                failure_label, "network interface used: " + api.detail,
+                {api.app});
           }
           break;
         case model::ApiCallRecord::Kind::kSms:
           if (api.recipient_mismatch &&
               MonitorActive(props::PropertyKind::kSmsRecipient)) {
-            std::vector<std::string> detail = log.trace;
-            detail.push_back("SMS recipient '" + api.detail +
-                             "' does not match the configured contact");
             RecordViolation(
                 MonitorProperty(props::PropertyKind::kSmsRecipient), depth,
-                failure_label, detail, {api.app});
+                failure_label,
+                "SMS recipient '" + api.detail +
+                    "' does not match the configured contact",
+                {api.app});
           }
           break;
         case model::ApiCallRecord::Kind::kUnsubscribe:
           if (MonitorActive(props::PropertyKind::kNoSensitiveCmd)) {
-            std::vector<std::string> detail = log.trace;
-            detail.push_back("security-sensitive command: unsubscribe()");
             RecordViolation(
                 MonitorProperty(props::PropertyKind::kNoSensitiveCmd), depth,
-                failure_label, detail, {api.app});
+                failure_label,
+                "security-sensitive command: unsubscribe()", {api.app});
           }
           break;
         case model::ApiCallRecord::Kind::kFakeEvent:
           if (MonitorActive(props::PropertyKind::kNoFakeEvent)) {
-            std::vector<std::string> detail = log.trace;
-            detail.push_back("fake event injected: " + api.detail);
             RecordViolation(
                 MonitorProperty(props::PropertyKind::kNoFakeEvent), depth,
-                failure_label, detail, {api.app});
+                failure_label, "fake event injected: " + api.detail,
+                {api.app});
           }
           break;
         case model::ApiCallRecord::Kind::kPush:
@@ -383,16 +564,16 @@ class Search {
     // notified (§8's robustness property).
     if (failure.Any() && log.failed_deliveries > 0 && !log.user_notified &&
         MonitorActive(props::PropertyKind::kRobustness)) {
-      std::vector<std::string> detail = log.trace;
-      detail.push_back(std::to_string(log.failed_deliveries) +
-                       " command(s) lost to " + failure.Label() +
-                       " with no user notification");
       std::set<int> losers;
       for (const model::CommandRecord& cmd : log.commands) {
         if (!cmd.delivered) losers.insert(cmd.app);
       }
       RecordViolation(MonitorProperty(props::PropertyKind::kRobustness),
-                      depth, failure_label, detail, losers);
+                      depth, failure_label,
+                      std::to_string(log.failed_deliveries) +
+                          " command(s) lost to " + failure.Label() +
+                          " with no user notification",
+                      losers);
     }
   }
 
@@ -401,6 +582,54 @@ class Search {
       if (v.kind == kind) return true;
     }
     return false;
+  }
+
+  /// Processes one drained cascade outcome: extends the path context,
+  /// runs the monitors and invariants, and (in free-search mode) prunes
+  /// through the store and recurses.  Shared by the free DFS and the
+  /// guided replay.
+  void ProcessOutcome(const model::SystemState& before,
+                      const model::ExternalEvent& event,
+                      const model::FailureScenario& failure,
+                      model::StepOutcome& outcome, int depth,
+                      int outcome_index) {
+    ++result_.transitions;
+
+    const std::size_t actuation_mark = path_actuations_.size();
+    const std::size_t mode_mark = path_mode_setters_.size();
+    path_steps_.push_back(
+        MakeStep(before, event, failure, outcome, depth, outcome_index));
+    path_actuations_.insert(path_actuations_.end(),
+                            outcome.log.actuations.begin(),
+                            outcome.log.actuations.end());
+    path_mode_setters_.insert(path_mode_setters_.end(),
+                              outcome.log.mode_setters.begin(),
+                              outcome.log.mode_setters.end());
+
+    RunMonitors(outcome.log, depth + 1, failure);
+    CheckInvariants(outcome.state, depth + 1,
+                    failure.Any() ? failure.Label() : "");
+
+    if (guide_ != nullptr) {
+      // Guided replay follows the recorded path unconditionally — a
+      // prefix may revisit states the store would prune.
+      Explore(outcome.state, depth + 1);
+    } else {
+      std::vector<std::uint8_t> bytes = outcome.state.Serialize();
+      if (options_.include_depth_in_state) {
+        bytes.push_back(static_cast<std::uint8_t>(depth + 1));
+      }
+      if (store_->TestAndInsert(bytes)) {
+        ++result_.states_matched;
+      } else {
+        Explore(outcome.state, depth + 1);
+      }
+    }
+
+    // Restore path context.
+    path_steps_.pop_back();
+    path_actuations_.resize(actuation_mark);
+    path_mode_setters_.resize(mode_mark);
   }
 
   void Explore(const model::SystemState& state, int depth) {
@@ -413,6 +642,19 @@ class Search {
     }
     if (depth >= options_.max_events) return;
 
+    if (guide_ != nullptr) {
+      const GuideStep& g = (*guide_)[static_cast<std::size_t>(depth)];
+      std::vector<model::StepOutcome> outcomes = engine_.Apply(
+          state, g.event, g.failure, options_.scheduling, cancel_);
+      result_.cascade_drains += outcomes.size();
+      if (outcomes.empty()) return;
+      const int index = std::min(g.outcome_index,
+                                 static_cast<int>(outcomes.size()) - 1);
+      ProcessOutcome(state, g.event, g.failure,
+                     outcomes[static_cast<std::size_t>(index)], depth, index);
+      return;
+    }
+
     const auto& scenarios = options_.model_failures
                                 ? model::FailureScenario::AllScenarios()
                                 : model::FailureScenario::NoFailure();
@@ -423,56 +665,91 @@ class Search {
         std::vector<model::StepOutcome> outcomes = engine_.Apply(
             state, event, failure, options_.scheduling, cancel_);
         result_.cascade_drains += outcomes.size();
-        for (model::StepOutcome& outcome : outcomes) {
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
           if (BudgetExceeded()) return;
-          ++result_.transitions;
-
-          // Extend the path context for this step.
-          const std::size_t trace_mark = path_trace_.size();
-          path_trace_.push_back(
-              "== event " + std::to_string(depth + 1) + ": " +
-              event.Describe(model_) +
-              (failure.Any() ? " [" + failure.Label() + "]" : ""));
-          for (const std::string& line : outcome.log.trace) {
-            path_trace_.push_back("   " + line);
-          }
-          const std::size_t actuation_mark = path_actuations_.size();
-          const std::size_t mode_mark = path_mode_setters_.size();
-          path_actuations_.insert(path_actuations_.end(),
-                                  outcome.log.actuations.begin(),
-                                  outcome.log.actuations.end());
-          path_mode_setters_.insert(path_mode_setters_.end(),
-                                    outcome.log.mode_setters.begin(),
-                                    outcome.log.mode_setters.end());
-
-          RunMonitors(outcome.log, depth + 1, failure);
-          CheckInvariants(outcome.state, depth + 1,
-                          failure.Any() ? failure.Label() : "");
-
-          std::vector<std::uint8_t> bytes = outcome.state.Serialize();
-          if (options_.include_depth_in_state) {
-            bytes.push_back(static_cast<std::uint8_t>(depth + 1));
-          }
-          if (store_->TestAndInsert(bytes)) {
-            ++result_.states_matched;
-          } else {
-            Explore(outcome.state, depth + 1);
-          }
-
-          // Restore path context.
-          path_trace_.resize(trace_mark);
-          path_actuations_.resize(actuation_mark);
-          path_mode_setters_.resize(mode_mark);
+          ProcessOutcome(state, event, failure, outcomes[i], depth,
+                         static_cast<int>(i));
         }
       }
     }
   }
 };
 
+/// Re-executes a recorded path against `model` and reports whether
+/// `property_id` fired at `expected_depth`.  Ticks the replay telemetry
+/// counters.
+ReplayResult ReplayPath(const model::SystemModel& model,
+                        const std::vector<TraceStep>& steps,
+                        model::Scheduling scheduling,
+                        const std::string& property_id, int expected_depth) {
+  CheckOptions options;  // exhaustive store, no budgets: exact re-execution
+  options.max_events = static_cast<int>(steps.size());
+  options.scheduling = scheduling;
+  const std::vector<GuideStep> guide = ResolveSteps(model, steps);
+  Search search(model, options, &guide);
+  CheckResult result = search.Run();
+
+  ReplayResult out;
+  out.property_id = property_id;
+  out.expected_step = expected_depth;
+  out.seconds = result.seconds;
+  const Violation* fired = result.Find(property_id);
+  if (fired != nullptr) out.fired_step = fired->depth;
+  out.reproduced = fired != nullptr && fired->depth == expected_depth;
+  if (out.reproduced) {
+    out.message = "violation of " + property_id +
+                  " reproduced deterministically at step " +
+                  std::to_string(out.fired_step) + " of " +
+                  std::to_string(steps.size());
+  } else if (fired != nullptr) {
+    out.message = property_id + " fired at step " +
+                  std::to_string(out.fired_step) + ", recorded at step " +
+                  std::to_string(expected_depth);
+  } else {
+    out.message = property_id + " did not fire along the recorded path";
+  }
+  if (auto* t = telemetry::Active()) {
+    ++t->search.replays_run;
+    if (out.reproduced) {
+      ++t->search.replays_reproduced;
+    } else {
+      ++t->search.replays_refuted;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 CheckResult Checker::Run(const CheckOptions& options) const {
-  return Search(model_, options).Run();
+  CheckResult result = Search(model_, options).Run();
+  if (options.reverify_bitstate && options.store == StoreKind::kBitstate &&
+      !result.violations.empty()) {
+    // Built-in false-positive filter: every violation found under
+    // approximate hashing is replayed with an exhaustive store before
+    // being reported.
+    std::vector<Violation> confirmed;
+    for (Violation& violation : result.violations) {
+      ReplayResult replay =
+          ReplayPath(model_, violation.steps, options.scheduling,
+                     violation.property_id, violation.depth);
+      if (replay.reproduced) {
+        violation.replay_verified = true;
+        confirmed.push_back(std::move(violation));
+      }
+    }
+    result.violations = std::move(confirmed);
+  }
+  return result;
+}
+
+ReplayResult Checker::Replay(const ViolationArtifact& artifact) const {
+  const model::Scheduling scheduling =
+      artifact.manifest.scheduling == "concurrent"
+          ? model::Scheduling::kConcurrent
+          : model::Scheduling::kSequential;
+  return ReplayPath(model_, artifact.steps, scheduling, artifact.property_id,
+                    artifact.depth);
 }
 
 std::string FormatViolation(const Violation& violation) {
@@ -493,11 +770,56 @@ std::string FormatViolation(const Violation& violation) {
   }
   out += "  counter-example (" + std::to_string(violation.depth) +
          " external event(s), seen " + std::to_string(violation.occurrences) +
-         "x):\n";
-  for (const std::string& line : violation.trace) {
+         "x" + (violation.replay_verified ? ", replay-verified" : "") +
+         "):\n";
+  for (const std::string& line : violation.TraceLines()) {
     out += "    " + line + "\n";
   }
   return out;
 }
+
+ViolationArtifact MakeArtifact(const Violation& violation,
+                               const CheckOptions& options,
+                               const std::string& deployment_name,
+                               const std::string& config_hash,
+                               std::uint64_t rng_seed) {
+  ViolationArtifact artifact;
+  RunManifest& manifest = artifact.manifest;
+  const build::BuildInfo& info = build::GetBuildInfo();
+  manifest.version = info.version;
+  manifest.compiler = info.compiler;
+  manifest.build_type = info.build_type;
+  manifest.deployment = deployment_name;
+  manifest.config_hash = config_hash;
+  manifest.model_apps = violation.model_apps;
+  manifest.rng_seed = rng_seed;
+  manifest.max_events = options.max_events;
+  manifest.scheduling = options.scheduling == model::Scheduling::kConcurrent
+                            ? "concurrent"
+                            : "sequential";
+  manifest.model_failures = options.model_failures;
+  manifest.store =
+      options.store == StoreKind::kBitstate ? "bitstate" : "exhaustive";
+  manifest.bitstate_bits =
+      options.store == StoreKind::kBitstate ? options.bitstate_bits : 0;
+  manifest.include_depth_in_state = options.include_depth_in_state;
+  manifest.stop_at_first_violation = options.stop_at_first_violation;
+  manifest.max_states = options.max_states;
+  manifest.time_budget_seconds = options.time_budget_seconds;
+
+  artifact.property_id = violation.property_id;
+  artifact.category = violation.category;
+  artifact.description = violation.description;
+  artifact.property_kind = std::string(PropertyKindName(violation.kind));
+  artifact.failure = violation.failure;
+  artifact.detail = violation.detail;
+  artifact.depth = violation.depth;
+  artifact.occurrences = violation.occurrences;
+  artifact.apps = violation.apps;
+  artifact.steps = violation.steps;
+  return artifact;
+}
+
+void ResetSaturationWarning() { g_saturation_warned = false; }
 
 }  // namespace iotsan::checker

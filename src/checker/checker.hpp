@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "checker/trace.hpp"
 #include "model/engine.hpp"
 #include "model/system_model.hpp"
 #include "props/property.hpp"
@@ -52,6 +53,13 @@ struct CheckOptions {
   /// stops the run, so the caller always sees the state at stop time.
   std::uint64_t progress_every = 0;
   telemetry::ProgressCallback on_progress;
+  /// Re-execute every BITSTATE violation's recorded event permutation
+  /// deterministically (exhaustive store, guided path) before reporting
+  /// it; violations that do not reproduce are dropped.  Bitstate hashing
+  /// can only *omit* states, so a reported trace is genuine — but this
+  /// built-in false-positive filter makes each report self-certifying
+  /// (`Violation::replay_verified`) and counts refutations in telemetry.
+  bool reverify_bitstate = false;
 };
 
 /// One detected property violation with its counter-example.
@@ -60,16 +68,32 @@ struct Violation {
   std::string category;
   std::string description;
   props::PropertyKind kind = props::PropertyKind::kInvariant;
-  /// Counter-example: one line per model step (Fig. 7 style).
-  std::vector<std::string> trace;
+  /// Structured counter-example: one TraceStep per external event (see
+  /// checker/trace.hpp).  Machine-readable, diffable, and replayable.
+  std::vector<TraceStep> steps;
+  /// Final diagnosis line ("assertion violated: …", "conflicting
+  /// commands on …"), rendered after the steps in the Fig. 7 layout.
+  std::string detail;
   /// Labels of the apps that acted along the counter-example path.
   std::vector<std::string> apps;
+  /// Labels of every app instance in the checked model (the related
+  /// set); replay rebuilds the model from exactly these.
+  std::vector<std::string> model_apps;
   /// Failure scenario in effect ("" when none).
   std::string failure;
   /// External events consumed before the violation.
   int depth = 0;
   /// How many times this property was (re)violated during the search.
   std::uint64_t occurrences = 1;
+  /// True once a deterministic replay reproduced this violation
+  /// (CheckOptions::reverify_bitstate or Checker::Replay).
+  bool replay_verified = false;
+
+  /// Legacy flat rendering (Fig. 7 style): step headers, indented
+  /// cascade notes, then the diagnosis line.
+  std::vector<std::string> TraceLines() const {
+    return FlattenTrace(steps, detail);
+  }
 };
 
 struct CheckResult {
@@ -101,11 +125,33 @@ struct CheckResult {
   telemetry::ProgressSnapshot Progress() const;
 };
 
+/// Outcome of deterministically re-executing a recorded counter-example
+/// (Checker::Replay): did the same property fire at the same step?
+struct ReplayResult {
+  bool reproduced = false;
+  std::string property_id;
+  /// Step at which the artifact says the property fired.
+  int expected_step = 0;
+  /// Step at which it actually fired during replay (-1 = never).
+  int fired_step = -1;
+  /// Human explanation of the outcome.
+  std::string message;
+  double seconds = 0;
+};
+
 class Checker {
  public:
   explicit Checker(const model::SystemModel& model) : model_(model) {}
 
   CheckResult Run(const CheckOptions& options) const;
+
+  /// Feeds the artifact's recorded external-event permutation back
+  /// through the cascade engine (guided search, exhaustive store,
+  /// Spin's `-t` guided simulation) and checks that the same property
+  /// fires at the same step.  The model must match the artifact's
+  /// manifest (deployment + model_apps); unresolvable event coordinates
+  /// throw iotsan::Error.
+  ReplayResult Replay(const ViolationArtifact& artifact) const;
 
  private:
   const model::SystemModel& model_;
@@ -113,5 +159,21 @@ class Checker {
 
 /// Renders a violation report (description, involved apps, trace).
 std::string FormatViolation(const Violation& violation);
+
+/// Bundles a violation with a reproducibility manifest.  `options` must
+/// be the CheckOptions of the run that found it; deployment name/hash
+/// come from the caller (which holds the config); build info is filled
+/// from util/build_info.
+ViolationArtifact MakeArtifact(const Violation& violation,
+                               const CheckOptions& options,
+                               const std::string& deployment_name,
+                               const std::string& config_hash,
+                               std::uint64_t rng_seed = 0);
+
+/// Re-arms the once-per-run bitstate saturation warning.  The >50%
+/// occupancy warning prints to stderr at most once between resets (each
+/// saturated check still ticks `telemetry::StoreGauges::
+/// saturation_warnings`); the CLI resets at the start of each command.
+void ResetSaturationWarning();
 
 }  // namespace iotsan::checker

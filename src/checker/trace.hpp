@@ -1,0 +1,180 @@
+// Structured counter-example traces and violation artifacts.
+//
+// The Output Analyzer (paper §9, Fig. 7) attributes violations to bad
+// apps or misconfigurations from the event sequences the checker finds.
+// A flat string trace cannot be machine-read, diffed, or re-executed —
+// and under BITSTATE hashing a reported trace should not be trusted
+// until it has been re-run.  This header gives every counter-example a
+// structured form:
+//
+//   * TraceStep — one external event along the path, with the firing
+//     handlers, actuator commands, device attribute deltas, failure
+//     flags, send failures, and queue depths observed while the cascade
+//     drained.  Steps carry enough coordinates (device/attribute/value
+//     names, interleaving index) to re-execute the exact permutation.
+//   * RunManifest — everything needed to reproduce the run: tool
+//     version and build info, the full CheckOptions, store kind/size,
+//     the deployment fingerprint, and the app instances in the checked
+//     model.
+//   * ViolationArtifact — one JSON bundle per violation: manifest +
+//     violated property + structured trace.  Serialized by the CLI's
+//     --artifacts-dir, re-executed by Checker::Replay / --replay, and
+//     inspected/diffed/exported by tools/iotsan_trace.
+//
+// All records serialize to/from util/json with deterministic key order,
+// so identical runs produce byte-identical artifacts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace iotsan::model {
+class SystemModel;
+struct SystemState;
+}  // namespace iotsan::model
+
+namespace iotsan::checker {
+
+/// Schema identifier embedded in every artifact ("iotsan.violation/1").
+inline constexpr const char* kArtifactSchema = "iotsan.violation/1";
+
+/// One app event-handler invocation, in dispatch order.
+struct TraceDispatch {
+  std::string app;      // app instance label
+  std::string handler;  // handler function name
+  bool operator==(const TraceDispatch&) const = default;
+};
+
+/// One actuator command received during the step's cascade.
+struct TraceCommand {
+  std::string app;
+  std::string device;
+  std::string command;     // "unlock", "on", ...
+  std::string value;       // resolved target value name ("" if none)
+  bool delivered = true;   // false: lost to an offline actuator/comm fail
+  bool operator==(const TraceCommand&) const = default;
+};
+
+/// One device-attribute (or location-mode) change caused by the step.
+/// `space` distinguishes the cyber state apps see from the physical
+/// ground truth — the two diverge exactly under sensor failures (§8).
+struct TraceDelta {
+  std::string device;     // device id, or "location" for the mode
+  std::string attribute;  // attribute name, "mode", or "online"
+  std::string from;
+  std::string to;
+  std::string space;      // "cyber" | "physical" | "both"
+  bool operator==(const TraceDelta&) const = default;
+};
+
+/// One external-event step along a counter-example path (Fig. 7, made
+/// machine-readable).  The event coordinates use stable names rather
+/// than model indices so an artifact replays against a freshly built
+/// model of the same deployment.
+struct TraceStep {
+  int index = 0;         // 1-based external-event number
+  int sim_time_ms = 0;   // logical clock: each external event = 1000 ms
+  /// External-event coordinates: kind is one of "sensor", "app_touch",
+  /// "timer", "user_mode".
+  std::string kind = "sensor";
+  std::string device;     // sensor: device id
+  std::string attribute;  // sensor: attribute name
+  std::string value;      // sensor value name / target mode name
+  std::string app;        // app_touch: app instance label
+  std::string description;  // human rendering ("alicePresence: presence/…")
+  /// Failure scenario in effect for this step (§8).
+  bool sensor_offline = false;
+  bool actuator_offline = false;
+  bool comm_fail = false;
+  /// Which internal-event interleaving the checker followed (always 0
+  /// under sequential scheduling).
+  int outcome_index = 0;
+  /// Observations while the cascade drained.
+  std::vector<TraceDispatch> dispatches;
+  std::vector<TraceCommand> commands;
+  std::vector<TraceDelta> deltas;
+  std::vector<std::string> notes;  // Fig. 7-style log lines
+  int failed_sends = 0;            // commands lost to the failure scenario
+  bool user_notified = false;      // an SMS/push reached the user
+  int queue_peak = 0;              // deepest pending cyber-event queue
+  bool truncated = false;          // cascade hit the internal-event bound
+
+  bool operator==(const TraceStep&) const = default;
+};
+
+/// Everything needed to re-execute the run that produced a violation.
+struct RunManifest {
+  std::string tool = "iotsan";
+  std::string version;
+  std::string compiler;
+  std::string build_type;
+  /// Deployment name and configuration fingerprint (config::
+  /// DeploymentFingerprint): replaying against a different config is
+  /// detected up-front instead of producing a confusing mismatch.
+  std::string deployment;
+  std::string config_hash;  // 16 hex digits
+  /// App instance labels in the checked model (the related set): replay
+  /// rebuilds the model from exactly these instances.
+  std::vector<std::string> model_apps;
+  /// Seed for any stochastic workload generation (0 = none involved).
+  std::uint64_t rng_seed = 0;
+  // ---- CheckOptions, in full ----
+  int max_events = 3;
+  std::string scheduling = "sequential";  // | "concurrent"
+  bool model_failures = false;
+  std::string store = "exhaustive";       // | "bitstate"
+  std::uint64_t bitstate_bits = 0;        // 0 for exhaustive
+  bool include_depth_in_state = true;
+  bool stop_at_first_violation = false;
+  std::uint64_t max_states = 0;
+  double time_budget_seconds = 0;
+
+  bool operator==(const RunManifest&) const = default;
+};
+
+/// One violation, fully self-describing: run manifest + violated
+/// property + structured counter-example.
+struct ViolationArtifact {
+  RunManifest manifest;
+  std::string property_id;
+  std::string category;
+  std::string description;
+  std::string property_kind = "invariant";  // PropertyKind name
+  std::string failure;  // failure scenario label ("" when none)
+  std::string detail;   // final diagnosis line ("assertion violated: …")
+  int depth = 0;        // external events consumed before the violation
+  std::uint64_t occurrences = 1;
+  std::vector<std::string> apps;  // charged app labels
+  std::vector<TraceStep> steps;
+
+  bool operator==(const ViolationArtifact&) const = default;
+};
+
+// ---- JSON (de)serialization --------------------------------------------------
+
+json::Value ToJson(const TraceStep& step);
+json::Value ToJson(const RunManifest& manifest);
+json::Value ToJson(const ViolationArtifact& artifact);
+
+/// Inverse of ToJson; throw iotsan::Error on malformed or
+/// wrong-schema input.
+TraceStep TraceStepFromJson(const json::Value& value);
+RunManifest ManifestFromJson(const json::Value& value);
+ViolationArtifact ArtifactFromJson(const json::Value& value);
+
+/// Computes the attribute/mode/online deltas between two states of the
+/// same model (used by the checker when recording each step).
+std::vector<TraceDelta> DiffStates(const model::SystemModel& model,
+                                   const model::SystemState& before,
+                                   const model::SystemState& after);
+
+/// Legacy flat rendering of a structured trace: "== event N: …" headers
+/// followed by the indented cascade notes, then `detail` (when set) as
+/// the last line — the paper's Fig. 7 layout.
+std::vector<std::string> FlattenTrace(const std::vector<TraceStep>& steps,
+                                      const std::string& detail);
+
+}  // namespace iotsan::checker

@@ -1,7 +1,10 @@
 #include "config/deployment.hpp"
 
+#include <cstdio>
+
 #include "devices/device_type.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 
 namespace iotsan::config {
 
@@ -183,6 +186,20 @@ json::Value DeploymentToJson(const Deployment& deployment) {
   }
   root["apps"] = std::move(apps);
   return json::Value(std::move(root));
+}
+
+std::uint64_t DeploymentFingerprint(const Deployment& deployment) {
+  // The canonical JSON form (std::map-ordered keys, compact dump) is
+  // already deterministic, so hashing it yields a stable fingerprint.
+  return hash::Fnv1a64(DeploymentToJson(deployment).Dump(0));
+}
+
+std::string DeploymentFingerprintHex(const Deployment& deployment) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(
+                    DeploymentFingerprint(deployment)));
+  return buf;
 }
 
 }  // namespace iotsan::config

@@ -92,4 +92,12 @@ Deployment ParseDeploymentText(std::string_view text);
 /// when suggesting safe configurations).
 json::Value DeploymentToJson(const Deployment& deployment);
 
+/// Stable 64-bit fingerprint of a deployment configuration (FNV-1a over
+/// its canonical JSON form).  Embedded in violation-artifact manifests so
+/// a replay against a different configuration is detected up-front.
+std::uint64_t DeploymentFingerprint(const Deployment& deployment);
+
+/// The fingerprint as the 16-hex-digit string artifacts carry.
+std::string DeploymentFingerprintHex(const Deployment& deployment);
+
 }  // namespace iotsan::config

@@ -1,5 +1,7 @@
 #include "model/engine.hpp"
 
+#include <algorithm>
+
 #include "telemetry/telemetry.hpp"
 
 namespace iotsan::model {
@@ -186,6 +188,7 @@ void CascadeEngine::DispatchOne(SystemState& state,
     const ir::ScheduleInfo& schedule = app.analysis.schedules[event.timer];
     log.trace.push_back("dispatch timer -> " + app.config.label + "." +
                         schedule.handler);
+    log.dispatches.push_back({event.app, schedule.handler});
     evaluator.InvokeHandler(event.app, schedule.handler, &event);
     return;
   }
@@ -202,6 +205,7 @@ void CascadeEngine::DispatchOne(SystemState& state,
     log.trace.push_back("dispatch " + description + " -> " +
                         model_.apps()[sub->app].config.label + "." +
                         sub->handler);
+    log.dispatches.push_back({sub->app, sub->handler});
     evaluator.InvokeHandler(sub->app, sub->handler, &event);
   }
 }
@@ -213,6 +217,8 @@ void CascadeEngine::RunSequential(SystemState& state,
                                   const CancelFn& cancel) const {
   int processed = 0;
   while (!queue.empty()) {
+    log.max_queue_depth =
+        std::max(log.max_queue_depth, static_cast<int>(queue.size()));
     if (++processed > kCascadeBound) {
       log.truncated = true;
       break;
@@ -248,6 +254,8 @@ void CascadeEngine::RunConcurrent(const SystemState& state,
     SystemState next_state = state;
     CascadeLog next_log = log;
     std::deque<devices::Event> next_queue = queue;
+    next_log.max_queue_depth = std::max(next_log.max_queue_depth,
+                                        static_cast<int>(queue.size()));
     devices::Event event = next_queue[pick];
     next_queue.erase(next_queue.begin() + static_cast<long>(pick));
     DispatchOne(next_state, event, next_queue, next_log, failure);
@@ -264,6 +272,7 @@ std::vector<StepOutcome> CascadeEngine::Apply(
   std::deque<devices::Event> queue;
   CascadeLog log;
   InjectExternal(state, event, failure, queue, log);
+  log.max_queue_depth = static_cast<int>(queue.size());
 
   if (scheduling == Scheduling::kSequential) {
     RunSequential(state, queue, log, failure, cancel);

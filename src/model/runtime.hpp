@@ -50,10 +50,19 @@ struct ApiCallRecord {
   int line = 0;
 };
 
+/// One app event-handler invocation during a cascade, in dispatch order.
+/// The structured counter-example traces (checker/trace.hpp) report these
+/// as the "firing handler" sequence of each step.
+struct HandlerDispatch {
+  int app = 0;
+  std::string handler;
+};
+
 /// Everything observed while processing one external event.
 struct CascadeLog {
   std::vector<CommandRecord> commands;
   std::vector<ApiCallRecord> api_calls;
+  std::vector<HandlerDispatch> dispatches;
   /// Counter-example trace lines in the paper's Fig. 7 style.
   std::vector<std::string> trace;
   /// (app, device) pairs for every actuation attempt this cascade; used
@@ -65,6 +74,9 @@ struct CascadeLog {
   int failed_deliveries = 0;
   bool user_notified = false;  // an SMS/push reached the user
   bool truncated = false;      // cascade exceeded the internal event bound
+  /// Deepest the pending cyber-event queue got while draining this
+  /// cascade (a congestion signal for the structured traces).
+  int max_queue_depth = 0;
 };
 
 }  // namespace iotsan::model

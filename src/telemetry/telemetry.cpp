@@ -34,6 +34,9 @@ std::vector<Sample> Registry::Snapshot() const {
   add("search.violations_recorded", search.violations_recorded);
   add("search.budget_stops", search.budget_stops);
   add("search.progress_reports", search.progress_reports);
+  add("search.replays_run", search.replays_run);
+  add("search.replays_reproduced", search.replays_reproduced);
+  add("search.replays_refuted", search.replays_refuted);
   add("pipeline.apps_parsed", pipeline.apps_parsed);
   add("pipeline.parse_failures", pipeline.parse_failures);
   add("pipeline.type_problems", pipeline.type_problems);
@@ -47,6 +50,7 @@ std::vector<Sample> Registry::Snapshot() const {
   add("store.memory_bytes", store.memory_bytes);
   add("store.fill_permille", store.fill_permille);
   add("store.omission_ppm", store.omission_ppm);
+  add("store.saturation_warnings", store.saturation_warnings);
   return out;
 }
 

@@ -50,6 +50,9 @@ struct SearchCounters {
   std::uint64_t violations_recorded = 0;
   std::uint64_t budget_stops = 0;       // runs cut short by a budget
   std::uint64_t progress_reports = 0;   // on_progress invocations
+  std::uint64_t replays_run = 0;        // deterministic trace re-executions
+  std::uint64_t replays_reproduced = 0; // replays that re-fired the property
+  std::uint64_t replays_refuted = 0;    // bitstate violations replay killed
 };
 
 /// Pipeline-layer counters (translator, dependency analyzer, model
@@ -74,6 +77,10 @@ struct StoreGauges {
   std::uint64_t memory_bytes = 0;
   std::uint64_t fill_permille = 0;   // bit occupancy for BITSTATE
   std::uint64_t omission_ppm = 0;    // estimated hash-omission probability
+  /// How many checks ended above the 50%-occupancy saturation threshold
+  /// (the stderr warning itself is emitted once per run; this counter
+  /// still ticks per saturated check).  Monotonic, unlike the gauges.
+  std::uint64_t saturation_warnings = 0;
 };
 
 struct Sample {

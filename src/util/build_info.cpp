@@ -1,0 +1,52 @@
+#include "util/build_info.hpp"
+
+namespace iotsan::build {
+
+namespace {
+
+#ifndef IOTSAN_VERSION
+#define IOTSAN_VERSION "0.0.0"
+#endif
+#ifndef IOTSAN_BUILD_TYPE
+#define IOTSAN_BUILD_TYPE "unknown"
+#endif
+
+std::string CompilerString() {
+#if defined(__clang__)
+  return "clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+std::string StandardString() {
+#if __cplusplus >= 202302L
+  return "C++23";
+#elif __cplusplus >= 202002L
+  return "C++20";
+#else
+  return "C++17";
+#endif
+}
+
+}  // namespace
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info = {IOTSAN_VERSION, CompilerString(),
+                                 IOTSAN_BUILD_TYPE, StandardString()};
+  return info;
+}
+
+std::string VersionLine() {
+  const BuildInfo& info = GetBuildInfo();
+  return "iotsan " + info.version + " (" + info.compiler + ", " +
+         info.build_type + ", " + info.standard + ")";
+}
+
+}  // namespace iotsan::build

@@ -1,0 +1,24 @@
+// Build identification: version, compiler, and build type.
+//
+// Every reported incident must be traceable to the binary that produced
+// it, so the CLI's --version output and the run manifest embedded in
+// violation artifacts (checker/trace.hpp) share this single source.
+#pragma once
+
+#include <string>
+
+namespace iotsan::build {
+
+struct BuildInfo {
+  std::string version;     // project version ("0.2.0")
+  std::string compiler;    // "gcc 13.2.0" / "clang 17.0.1"
+  std::string build_type;  // CMAKE_BUILD_TYPE ("RelWithDebInfo")
+  std::string standard;    // "C++20"
+};
+
+const BuildInfo& GetBuildInfo();
+
+/// One-line rendering: "iotsan 0.2.0 (gcc 13.2.0, RelWithDebInfo, C++20)".
+std::string VersionLine();
+
+}  // namespace iotsan::build

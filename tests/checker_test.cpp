@@ -102,9 +102,11 @@ TEST(CheckerTest, FindsInvariantViolationWithTrace) {
   EXPECT_EQ(v.kind, props::PropertyKind::kInvariant);
   EXPECT_EQ(v.depth, 1);
   EXPECT_EQ(v.apps, (std::vector<std::string>{"UnlockOnAway"}));
-  ASSERT_FALSE(v.trace.empty());
-  EXPECT_NE(v.trace.front().find("notpresent"), std::string::npos);
-  EXPECT_NE(v.trace.back().find("assertion violated"), std::string::npos);
+  ASSERT_FALSE(v.steps.empty());
+  const std::vector<std::string> trace = v.TraceLines();
+  ASSERT_FALSE(trace.empty());
+  EXPECT_NE(trace.front().find("notpresent"), std::string::npos);
+  EXPECT_NE(trace.back().find("assertion violated"), std::string::npos);
   EXPECT_TRUE(result.completed);
   EXPECT_GT(result.states_explored, 0u);
   EXPECT_GT(result.transitions, 0u);

@@ -51,7 +51,7 @@ TEST(PipelineTest, Fig7CounterExampleMentionsTheChain) {
     found = true;
     const std::string trace = [&v] {
       std::string joined;
-      for (const std::string& line : v.trace) joined += line + "\n";
+      for (const std::string& line : v.TraceLines()) joined += line + "\n";
       return joined;
     }();
     // The chain of Fig. 7: notpresent event -> Auto Mode Change -> mode

@@ -150,7 +150,7 @@ TEST(DeterminismTest, RepeatedChecksAreIdentical) {
   EXPECT_EQ(a.ViolatedPropertyIds(), b.ViolatedPropertyIds());
   ASSERT_EQ(a.violations.size(), b.violations.size());
   for (std::size_t i = 0; i < a.violations.size(); ++i) {
-    EXPECT_EQ(a.violations[i].trace, b.violations[i].trace);
+    EXPECT_EQ(a.violations[i].steps, b.violations[i].steps);
     EXPECT_EQ(a.violations[i].apps, b.violations[i].apps);
     EXPECT_EQ(a.violations[i].occurrences, b.violations[i].occurrences);
   }

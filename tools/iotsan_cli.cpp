@@ -12,6 +12,8 @@
 //       Emit the generated Promela model (§6/§8).
 //   iotsan apps
 //       List the bundled corpus apps.
+//   iotsan version | --version
+//       Print the tool version and build information.
 //   iotsan help
 //       Full flag reference.
 //
@@ -26,6 +28,7 @@
 // "appSources": {"Name": "path/to/app.smartscript"}.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -42,6 +45,7 @@
 #include "promela/emitter.hpp"
 #include "props/loader.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/build_info.hpp"
 #include "util/error.hpp"
 
 namespace {
@@ -69,6 +73,9 @@ enum class Flag {
   kStats,
   kTraceOut,
   kProgressEvery,
+  kArtifactsDir,
+  kReplay,
+  kReverifyBitstate,
   kHelp,
 };
 
@@ -109,6 +116,17 @@ constexpr FlagSpec kFlagTable[] = {
      "write a JSONL span trace (one JSON object per line) to FILE"},
     {Flag::kProgressEvery, "--progress-every", "N", kCmdCheck,
      "report search progress to stderr every N expanded states"},
+    {Flag::kArtifactsDir, "--artifacts-dir", "DIR",
+     kCmdCheck | kCmdAttribute,
+     "write one violation artifact (JSON: run manifest + structured "
+     "trace) per violated property into DIR"},
+    {Flag::kReplay, "--replay", "FILE", kCmdCheck,
+     "deterministically re-execute a recorded violation artifact instead "
+     "of searching; exit 0 iff it reproduces"},
+    {Flag::kReverifyBitstate, "--reverify-bitstate", nullptr,
+     kCmdCheck | kCmdAttribute,
+     "replay-verify every BITSTATE violation with an exhaustive store "
+     "before reporting it (false-positive filter)"},
     {Flag::kHelp, "--help", nullptr,
      kCmdCheck | kCmdAttribute | kCmdDeps | kCmdPromela,
      "show this help"},
@@ -132,6 +150,7 @@ constexpr CommandSpec kCommands[] = {
     {kCmdPromela, "promela", "<deployment.json>",
      "emit the generated Promela model (§6/§8)"},
     {0, "apps", "", "list the bundled corpus apps"},
+    {0, "version", "", "print the tool version and build information"},
     {0, "help", "", "show this help"},
 };
 
@@ -220,8 +239,11 @@ struct CliFlags {
   bool allow_discovery = false;
   bool stats = false;
   bool help = false;
+  bool reverify_bitstate = false;
   std::string properties_path;
   std::string trace_out;
+  std::string artifacts_dir;
+  std::string replay_path;
   std::uint64_t progress_every = 0;
 };
 
@@ -274,6 +296,9 @@ std::vector<std::string> ParseFlags(unsigned command,
         flags.progress_every =
             static_cast<std::uint64_t>(std::atoll(value.c_str()));
         break;
+      case Flag::kArtifactsDir: flags.artifacts_dir = value; break;
+      case Flag::kReplay: flags.replay_path = value; break;
+      case Flag::kReverifyBitstate: flags.reverify_bitstate = true; break;
       case Flag::kHelp: flags.help = true; break;
     }
   }
@@ -408,6 +433,77 @@ std::string HumanBytes(std::uint64_t bytes) {
   return buf;
 }
 
+// ---- Violation artifacts and replay ------------------------------------------
+
+/// Writes one artifact bundle per violation into `dir` (created on
+/// demand), named `<property_id>.json`.
+void WriteArtifacts(const std::string& dir,
+                    const std::vector<checker::Violation>& violations,
+                    const checker::CheckOptions& check,
+                    const config::Deployment& deployment) {
+  if (dir.empty() || violations.empty()) return;
+  std::filesystem::create_directories(dir);
+  const std::string hash = config::DeploymentFingerprintHex(deployment);
+  for (const checker::Violation& v : violations) {
+    checker::ViolationArtifact artifact =
+        checker::MakeArtifact(v, check, deployment.name, hash);
+    const std::string path = dir + "/" + v.property_id + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) throw Error("cannot write artifact: " + path);
+    out << checker::ToJson(artifact).Dump(2) << '\n';
+    std::printf("artifact: %s\n", path.c_str());
+  }
+}
+
+/// `iotsan check <deployment.json> --replay FILE`: rebuild the model the
+/// artifact was recorded against (the manifest's app subset, one
+/// monolithic model) and re-execute the recorded event permutation.
+int RunReplay(const CliFlags& flags, const LoadedSystem& system) {
+  const json::Value doc = json::Parse(ReadFile(flags.replay_path));
+  const checker::ViolationArtifact artifact =
+      checker::ArtifactFromJson(doc);
+
+  // Restrict the deployment to the apps the artifact's model contained
+  // (a related set is a subset of the installed apps).
+  LoadedSystem restricted = system;
+  restricted.deployment.apps.clear();
+  for (const config::AppConfig& app : system.deployment.apps) {
+    for (const std::string& label : artifact.manifest.model_apps) {
+      if (app.label == label) {
+        restricted.deployment.apps.push_back(app);
+        break;
+      }
+    }
+  }
+  if (restricted.deployment.apps.size() !=
+      artifact.manifest.model_apps.size()) {
+    throw Error("replay: deployment does not contain all apps the "
+                "artifact was recorded against");
+  }
+
+  model::ModelOptions model_options;
+  for (const checker::TraceStep& step : artifact.steps) {
+    if (step.kind == "user_mode") model_options.user_mode_events = true;
+  }
+  model::SystemModel model(restricted.deployment,
+                           AnalyzeDeploymentApps(restricted), model_options);
+  if (!flags.properties_path.empty()) {
+    std::vector<props::Property> all = props::BuiltinProperties();
+    for (props::Property& p :
+         props::LoadPropertiesJson(ReadFile(flags.properties_path))) {
+      all.push_back(std::move(p));
+    }
+    model.SelectProperties(all);
+  }
+
+  checker::Checker checker(model);
+  checker::ReplayResult result = checker.Replay(artifact);
+  std::printf("replay: %s\n", result.message.c_str());
+  std::printf("replay: %zu recorded step(s) re-executed in %.3fs\n",
+              artifact.steps.size(), result.seconds);
+  return result.reproduced ? 0 : 1;
+}
+
 // ---- Commands ----------------------------------------------------------------
 
 int CmdCheck(const std::vector<std::string>& args) {
@@ -421,7 +517,14 @@ int CmdCheck(const std::vector<std::string>& args) {
     std::fprintf(stderr, "%s\n", UsageFor(kCmdCheck).c_str());
     return 2;
   }
+  checker::ResetSaturationWarning();
   LoadedSystem system = LoadSystem(positionals[0]);
+  if (!flags.replay_path.empty()) {
+    TelemetrySession telemetry_session(flags);
+    const int status = RunReplay(flags, system);
+    telemetry_session.PrintStats();
+    return status;
+  }
   core::Sanitizer sanitizer = MakeSanitizer(system);
   core::SanitizerOptions options;
   options.check.max_events = flags.events > 0 ? flags.events : 3;
@@ -434,6 +537,7 @@ int CmdCheck(const std::vector<std::string>& args) {
     }
   }
   options.check.stop_at_first_violation = flags.first;
+  options.check.reverify_bitstate = flags.reverify_bitstate;
   options.allow_dynamic_discovery = flags.allow_discovery;
   if (!flags.properties_path.empty()) {
     options.extra_properties =
@@ -496,6 +600,8 @@ int CmdCheck(const std::vector<std::string>& args) {
   for (const checker::Violation& v : report.violations) {
     std::printf("%s\n", checker::FormatViolation(v).c_str());
   }
+  WriteArtifacts(flags.artifacts_dir, report.violations, options.check,
+                 system.deployment);
   std::printf("RESULT: %zu violated propert%s\n", report.violations.size(),
               report.violations.size() == 1 ? "y" : "ies");
   return 1;
@@ -513,6 +619,7 @@ int CmdAttribute(const std::vector<std::string>& args) {
     std::fprintf(stderr, "%s\n", UsageFor(kCmdAttribute).c_str());
     return 2;
   }
+  checker::ResetSaturationWarning();
   std::string source;
   if (const corpus::CorpusApp* app = corpus::FindApp(positionals[0])) {
     source = app->source;
@@ -524,6 +631,7 @@ int CmdAttribute(const std::vector<std::string>& args) {
   attrib::AttributionOptions options;
   options.enumeration.max_configs = 24;
   options.check.max_events = flags.events > 0 ? flags.events : 2;
+  options.check.reverify_bitstate = flags.reverify_bitstate;
   options.allow_dynamic_discovery = flags.allow_discovery;
   if (flags.bitstate) {
     options.check.store = checker::StoreKind::kBitstate;
@@ -541,6 +649,8 @@ int CmdAttribute(const std::vector<std::string>& args) {
     std::printf("safe configurations found: %zu\n",
                 result.safe_configs.size());
   }
+  WriteArtifacts(flags.artifacts_dir, result.evidence, options.check,
+                 system.deployment);
   telemetry_session.PrintStats();
   return result.verdict == attrib::Verdict::kClean ? 0 : 1;
 }
@@ -630,6 +740,10 @@ int main(int argc, char** argv) {
     if (command == "deps") return CmdDeps(args);
     if (command == "promela") return CmdPromela(args);
     if (command == "apps") return CmdApps();
+    if (command == "version" || command == "--version") {
+      std::printf("%s\n", build::VersionLine().c_str());
+      return 0;
+    }
     if (command == "help" || command == "--help" || command == "-h") {
       PrintHelp(stdout);
       return 0;

@@ -1,0 +1,346 @@
+// iotsan_trace: inspector for the observability artifacts the checker
+// emits — violation artifacts (checker/trace.hpp, one JSON bundle per
+// violated property) and JSONL span traces (telemetry/telemetry.hpp).
+//
+//   iotsan_trace summary <artifact.json>...
+//       One compact report per artifact: manifest, property, trace.
+//   iotsan_trace diff <a.json> <b.json>
+//       Structural diff of two artifacts; exit 0 iff equivalent.
+//   iotsan_trace chrome <file>...
+//       Convert span JSONL traces and/or violation artifacts to Chrome
+//       trace-event JSON (load in Perfetto / chrome://tracing).  Output
+//       goes to stdout; spans keep their microsecond timeline, artifact
+//       steps are laid out on the checker's simulated clock (1 s per
+//       external event).
+//
+// `--summary`, `--diff`, and `--chrome` are accepted as aliases.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checker/trace.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace iotsan;
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool IsArtifactDoc(const json::Value& doc) {
+  return doc.type() == json::Type::kObject && doc.Has("schema") &&
+         doc.At("schema").AsString() == checker::kArtifactSchema;
+}
+
+/// A parsed input file: either one violation artifact or a list of span
+/// records from a JSONL trace.
+struct Input {
+  std::string path;
+  bool is_artifact = false;
+  checker::ViolationArtifact artifact;
+  std::vector<json::Value> spans;
+};
+
+Input LoadInput(const std::string& path) {
+  Input input;
+  input.path = path;
+  const std::string text = ReadFile(path);
+  // An artifact is a single JSON document carrying our schema marker; a
+  // span trace is one JSON object per line.  Try the document first.
+  try {
+    json::Value doc = json::Parse(text);
+    if (IsArtifactDoc(doc)) {
+      input.is_artifact = true;
+      input.artifact = checker::ArtifactFromJson(doc);
+      return input;
+    }
+  } catch (const Error&) {
+    // fall through to JSONL
+  }
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    json::Value span = json::Parse(line);
+    if (span.type() != json::Type::kObject || !span.Has("name") ||
+        !span.Has("start_us")) {
+      throw Error(path + ": neither a violation artifact nor a span trace");
+    }
+    input.spans.push_back(std::move(span));
+  }
+  if (input.spans.empty()) {
+    throw Error(path + ": neither a violation artifact nor a span trace");
+  }
+  return input;
+}
+
+// ---- summary -----------------------------------------------------------------
+
+void PrintSummary(const Input& input) {
+  if (!input.is_artifact) {
+    std::printf("%s: span trace, %zu span(s)\n", input.path.c_str(),
+                input.spans.size());
+    return;
+  }
+  const checker::ViolationArtifact& a = input.artifact;
+  std::printf("%s\n", input.path.c_str());
+  std::printf("  %s %s [%s]: %s\n", a.property_kind.c_str(),
+              a.property_id.c_str(), a.category.c_str(),
+              a.description.c_str());
+  std::printf("  recorded by iotsan %s (%s, %s) on deployment '%s' "
+              "(config %s)\n",
+              a.manifest.version.c_str(), a.manifest.compiler.c_str(),
+              a.manifest.build_type.c_str(), a.manifest.deployment.c_str(),
+              a.manifest.config_hash.c_str());
+  std::printf("  search: %s scheduling, %s store, %d-event bound%s\n",
+              a.manifest.scheduling.c_str(), a.manifest.store.c_str(),
+              a.manifest.max_events,
+              a.manifest.model_failures ? ", failure scenarios" : "");
+  if (!a.failure.empty()) {
+    std::printf("  failure scenario: %s\n", a.failure.c_str());
+  }
+  std::printf("  violated after %d external event(s), seen %llux\n", a.depth,
+              static_cast<unsigned long long>(a.occurrences));
+  for (const checker::TraceStep& step : a.steps) {
+    std::printf("    %2d. %-44s", step.index, step.description.c_str());
+    std::printf(" %zu dispatch(es), %zu command(s), %zu delta(s)\n",
+                step.dispatches.size(), step.commands.size(),
+                step.deltas.size());
+  }
+  std::printf("  %s\n", a.detail.c_str());
+}
+
+// ---- diff --------------------------------------------------------------------
+
+/// Field-wise comparison of two JSON objects under a dotted prefix;
+/// returns the number of differences printed.
+int DiffObjects(const std::string& prefix, const json::Value& a,
+                const json::Value& b) {
+  int differences = 0;
+  if (a.type() == json::Type::kObject && b.type() == json::Type::kObject) {
+    // Union of keys, both maps are ordered.
+    std::vector<std::string> keys;
+    for (const auto& [key, value] : a.AsObject()) keys.push_back(key);
+    for (const auto& [key, value] : b.AsObject()) {
+      if (!a.Has(key)) keys.push_back(key);
+    }
+    for (const std::string& key : keys) {
+      const std::string path = prefix.empty() ? key : prefix + "." + key;
+      if (!a.Has(key)) {
+        std::printf("  %-32s (absent) != %s\n", path.c_str(),
+                    b.At(key).Dump().c_str());
+        ++differences;
+      } else if (!b.Has(key)) {
+        std::printf("  %-32s %s != (absent)\n", path.c_str(),
+                    a.At(key).Dump().c_str());
+        ++differences;
+      } else {
+        differences += DiffObjects(path, a.At(key), b.At(key));
+      }
+    }
+    return differences;
+  }
+  if (a.Dump() != b.Dump()) {
+    std::printf("  %-32s %s != %s\n", prefix.c_str(), a.Dump().c_str(),
+                b.Dump().c_str());
+    ++differences;
+  }
+  return differences;
+}
+
+int CmdDiff(const std::string& path_a, const std::string& path_b) {
+  Input a = LoadInput(path_a);
+  Input b = LoadInput(path_b);
+  if (!a.is_artifact || !b.is_artifact) {
+    throw Error("diff expects two violation artifacts");
+  }
+  const json::Value ja = checker::ToJson(a.artifact);
+  const json::Value jb = checker::ToJson(b.artifact);
+  if (ja.Dump() == jb.Dump()) {
+    std::printf("artifacts are identical (%s %s, %zu step(s))\n",
+                a.artifact.property_id.c_str(),
+                a.artifact.manifest.config_hash.c_str(),
+                a.artifact.steps.size());
+    return 0;
+  }
+  std::printf("artifacts differ:\n");
+  // Compare the trace step-by-step first: the most useful signal is the
+  // first step where two recordings diverge.
+  const std::size_t common =
+      std::min(a.artifact.steps.size(), b.artifact.steps.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (!(a.artifact.steps[i] == b.artifact.steps[i])) {
+      std::printf("first divergence at trace step %zu:\n", i + 1);
+      DiffObjects("step", checker::ToJson(a.artifact.steps[i]),
+                  checker::ToJson(b.artifact.steps[i]));
+      break;
+    }
+  }
+  if (a.artifact.steps.size() != b.artifact.steps.size()) {
+    std::printf("  trace length: %zu != %zu step(s)\n",
+                a.artifact.steps.size(), b.artifact.steps.size());
+  }
+  json::Object manifest_a = ja.At("manifest").AsObject();
+  json::Object manifest_b = jb.At("manifest").AsObject();
+  DiffObjects("manifest", json::Value(manifest_a), json::Value(manifest_b));
+  DiffObjects("property", ja.At("property"), jb.At("property"));
+  DiffObjects("violation", ja.At("violation"), jb.At("violation"));
+  return 1;
+}
+
+// ---- chrome export -----------------------------------------------------------
+
+/// Complete ("ph":"X") trace event.
+json::Value ChromeEvent(const std::string& name, std::int64_t ts_us,
+                        std::int64_t dur_us, int pid, int tid,
+                        json::Object args = {}) {
+  json::Object event;
+  event["name"] = json::Value(name);
+  event["ph"] = json::Value(std::string("X"));
+  event["ts"] = json::Value(ts_us);
+  event["dur"] = json::Value(dur_us);
+  event["pid"] = json::Value(pid);
+  event["tid"] = json::Value(tid);
+  if (!args.empty()) event["args"] = json::Value(std::move(args));
+  return json::Value(std::move(event));
+}
+
+void AppendSpanEvents(const Input& input, int pid, json::Array& events) {
+  for (const json::Value& span : input.spans) {
+    json::Object args;
+    if (span.Has("attrs")) args = span.At("attrs").AsObject();
+    // Nesting depth maps to the thread lane, so parent/child spans stack
+    // visually the way a flame chart expects.
+    events.push_back(ChromeEvent(
+        span.At("name").AsString(),
+        static_cast<std::int64_t>(span.At("start_us").AsNumber()),
+        static_cast<std::int64_t>(span.At("dur_us").AsNumber()), pid,
+        1 + static_cast<int>(span.Has("depth") ? span.At("depth").AsNumber()
+                                               : 0),
+        std::move(args)));
+  }
+}
+
+void AppendArtifactEvents(const Input& input, int pid, json::Array& events) {
+  const checker::ViolationArtifact& a = input.artifact;
+  for (const checker::TraceStep& step : a.steps) {
+    json::Object args;
+    args["kind"] = json::Value(step.kind);
+    if (!step.device.empty()) args["device"] = json::Value(step.device);
+    if (!step.app.empty()) args["app"] = json::Value(step.app);
+    args["dispatches"] =
+        json::Value(static_cast<std::int64_t>(step.dispatches.size()));
+    args["commands"] =
+        json::Value(static_cast<std::int64_t>(step.commands.size()));
+    args["deltas"] =
+        json::Value(static_cast<std::int64_t>(step.deltas.size()));
+    // The checker's simulated clock: one second per external event.
+    events.push_back(ChromeEvent(step.description,
+                                 std::int64_t{1000} * (step.sim_time_ms -
+                                                       1000),
+                                 1000000, pid, 1, std::move(args)));
+    int lane = 2;
+    for (const checker::TraceCommand& command : step.commands) {
+      json::Object cmd_args;
+      cmd_args["app"] = json::Value(command.app);
+      cmd_args["delivered"] = json::Value(command.delivered);
+      events.push_back(ChromeEvent(
+          command.device + "." + command.command,
+          std::int64_t{1000} * (step.sim_time_ms - 1000) + 100000, 800000,
+          pid, lane++, std::move(cmd_args)));
+    }
+  }
+  json::Object verdict;
+  verdict["detail"] = json::Value(a.detail);
+  events.push_back(ChromeEvent(
+      "VIOLATED " + a.property_id,
+      std::int64_t{1000} * (a.depth > 0 ? a.steps.back().sim_time_ms : 0),
+      100000, pid, 1, std::move(verdict)));
+}
+
+int CmdChrome(const std::vector<std::string>& paths) {
+  json::Array events;
+  int pid = 1;
+  for (const std::string& path : paths) {
+    Input input = LoadInput(path);
+    json::Object process_name;
+    process_name["name"] = json::Value(
+        (input.is_artifact ? "artifact " + input.artifact.property_id + ": "
+                           : "spans: ") +
+        path);
+    json::Object meta;
+    meta["name"] = json::Value(std::string("process_name"));
+    meta["ph"] = json::Value(std::string("M"));
+    meta["pid"] = json::Value(pid);
+    meta["args"] = json::Value(std::move(process_name));
+    events.push_back(json::Value(std::move(meta)));
+    if (input.is_artifact) {
+      AppendArtifactEvents(input, pid, events);
+    } else {
+      AppendSpanEvents(input, pid, events);
+    }
+    ++pid;
+  }
+  json::Object doc;
+  doc["traceEvents"] = json::Value(std::move(events));
+  doc["displayTimeUnit"] = json::Value(std::string("ms"));
+  std::printf("%s\n", json::Value(std::move(doc)).Dump(2).c_str());
+  return 0;
+}
+
+int Usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "iotsan_trace — inspect iotsan violation artifacts and span traces\n"
+      "\n"
+      "usage:\n"
+      "  iotsan_trace summary <artifact.json>...   summarize artifacts\n"
+      "  iotsan_trace diff <a.json> <b.json>       compare two artifacts "
+      "(exit 0 iff identical)\n"
+      "  iotsan_trace chrome <file>...             convert artifacts / "
+      "span JSONL to Chrome\n"
+      "                                            trace-event JSON on "
+      "stdout (Perfetto)\n");
+  return out == stdout ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return Usage(stderr);
+  std::string command = args[0];
+  args.erase(args.begin());
+  // Flag spellings are aliases for the subcommands.
+  if (command.rfind("--", 0) == 0) command = command.substr(2);
+  try {
+    if (command == "summary") {
+      if (args.empty()) return Usage(stderr);
+      for (const std::string& path : args) PrintSummary(LoadInput(path));
+      return 0;
+    }
+    if (command == "diff") {
+      if (args.size() != 2) return Usage(stderr);
+      return CmdDiff(args[0], args[1]);
+    }
+    if (command == "chrome") {
+      if (args.empty()) return Usage(stderr);
+      return CmdChrome(args);
+    }
+    if (command == "help" || command == "h") return Usage(stdout);
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    return Usage(stderr);
+  } catch (const iotsan::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
