@@ -31,8 +31,12 @@ inline void EmitStatsJson(const std::string& bench, const std::string& label,
               json::Value(std::move(payload)).Dump(0).c_str());
 }
 
+/// `extra` entries (e.g. a jobs-sweep's "jobs"/"speedup_vs_serial") are
+/// merged into the payload after the report fields, so they win on
+/// key collisions.
 inline void EmitStats(const std::string& bench, const std::string& label,
-                      const core::SanitizerReport& report) {
+                      const core::SanitizerReport& report,
+                      json::Object extra = {}) {
   json::Object payload;
   payload["seconds"] = report.seconds;
   payload["completed"] = report.completed;
@@ -55,6 +59,9 @@ inline void EmitStats(const std::string& bench, const std::string& label,
   payload["depth_histogram"] = std::move(depths);
   if (telemetry::Registry* registry = telemetry::Active()) {
     payload["telemetry"] = registry->ToJson();
+  }
+  for (auto& [key, value] : extra) {
+    payload[key] = std::move(value);
   }
   EmitStatsJson(bench, label, std::move(payload));
 }

@@ -5,6 +5,7 @@
 // exploring the event-permutation tree; absolute numbers depend on the
 // engine, but the growth must be roughly geometric in the event bound.
 // Each run gets a wall-clock budget; runs exceeding it print ">budget".
+#include <chrono>
 #include <cstdio>
 #include <string>
 
@@ -64,35 +65,61 @@ int main() {
   std::printf("=== Table 8: verification time vs number of events ===\n");
   std::printf("(5 related apps, 10 devices, sequential design, no "
               "violation)\n\n");
-  std::printf("%-8s %-14s %-16s %s\n", "events", "time", "states",
-              "violations");
+  std::printf("%-8s %-6s %-14s %-16s %-12s %s\n", "events", "jobs", "time",
+              "states", "violations", "speedup");
 
   double previous = 0;
-  for (int events = 2; events <= 11; ++events) {
-    core::Sanitizer sanitizer(deployment);
-    core::SanitizerOptions options;
-    options.use_dependency_analysis = false;
-    options.check.max_events = events;
-    options.check.time_budget_seconds = kBudget;
-    core::SanitizerReport report = sanitizer.Check(options);
+  bool budget_hit = false;
+  for (int events = 2; events <= 11 && !budget_hit; ++events) {
+    // The --jobs sweep at each depth: serial first (the Table 8 number),
+    // then the multi-threaded search over the same space.
+    double serial_seconds = 0;
+    for (int jobs : {1, 4}) {
+      core::Sanitizer sanitizer(deployment);
+      core::SanitizerOptions options;
+      options.use_dependency_analysis = false;
+      options.check.max_events = events;
+      options.check.jobs = jobs;
+      options.check.time_budget_seconds = kBudget;
+      const auto start = std::chrono::steady_clock::now();
+      core::SanitizerReport report = sanitizer.Check(options);
+      const double wall = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+      if (jobs == 1) serial_seconds = wall;
+      const double speedup = wall > 1e-9 ? serial_seconds / wall : 0;
 
-    char time_buf[48];
-    if (!report.completed) {
-      std::snprintf(time_buf, sizeof(time_buf), ">%.0fs (budget)", kBudget);
-    } else {
-      std::snprintf(time_buf, sizeof(time_buf), "%.3fs", report.seconds);
+      char time_buf[48];
+      if (!report.completed) {
+        std::snprintf(time_buf, sizeof(time_buf), ">%.0fs (budget)", kBudget);
+      } else {
+        std::snprintf(time_buf, sizeof(time_buf), "%.3fs", report.seconds);
+      }
+      char growth[32] = "";
+      if (jobs == 1 && previous > 1e-4 && report.completed) {
+        std::snprintf(growth, sizeof(growth), " (x%.1f)",
+                      report.seconds / previous);
+      }
+      std::printf("%-8d %-6d %-14s %-16llu %-12zu x%.2f%s\n", events, jobs,
+                  time_buf,
+                  static_cast<unsigned long long>(report.states_explored),
+                  report.violations.size(), speedup, growth);
+      json::Object extra;
+      extra["jobs"] = jobs;
+      extra["wall_seconds"] = wall;
+      extra["speedup_vs_serial"] = speedup;
+      bench::EmitStats("table8",
+                       "events=" + std::to_string(events) +
+                           ",jobs=" + std::to_string(jobs),
+                       report, std::move(extra));
+      if (jobs == 1) previous = report.completed ? report.seconds : 0;
+      // A budget hit means the next depth cannot finish either at any
+      // jobs value we sweep; stop the table to bound CI time.
+      if (!report.completed) {
+        budget_hit = true;
+        break;
+      }
     }
-    char growth[32] = "";
-    if (previous > 1e-4 && report.completed) {
-      std::snprintf(growth, sizeof(growth), " (x%.1f)",
-                    report.seconds / previous);
-    }
-    std::printf("%-8d %-14s %-16llu %zu%s\n", events, time_buf,
-                static_cast<unsigned long long>(report.states_explored),
-                report.violations.size(), growth);
-    bench::EmitStats("table8", "events=" + std::to_string(events), report);
-    previous = report.completed ? report.seconds : 0;
-    if (!report.completed) break;
   }
 
   std::printf("\npaper expectation (Table 8): 6.61s / 50.9s / 396s / 49.83m "

@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "core/sanitizer.hpp"
 #include "corpus/corpus.hpp"
 #include "dsl/parser.hpp"
+#include "props/property.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace iotsan::attrib {
 
@@ -84,6 +87,29 @@ AttributionResult AttributeApp(const std::string& app_source,
                       "' cannot be configured against this deployment");
   }
 
+  // Configurations are independent full pipeline runs, so both phases
+  // fan them out across one pool shared with the nested sanitizer and
+  // checker layers.  Per-config results are merged in enumeration order
+  // below, so the report is identical to the serial loop's.
+  const unsigned jobs = util::ResolveJobs(options.check.jobs);
+  AttributionOptions run_options = options;
+  std::unique_ptr<util::ThreadPool> owned_pool;
+  if (jobs > 1 && run_options.check.pool == nullptr) {
+    // Pre-parse the shared built-in property expressions before any
+    // config worker can race on their lazy cache (invariants only;
+    // monitor kinds have no expression).
+    for (const props::Property& p : props::BuiltinProperties()) {
+      if (p.kind == props::PropertyKind::kInvariant) p.ParsedExpression();
+    }
+    owned_pool = std::make_unique<util::ThreadPool>(jobs);
+    run_options.check.pool = owned_pool.get();
+    if (auto* t = telemetry::Active()) {
+      ++t->parallel.pools_created;
+      t->parallel.workers_spawned += owned_pool->jobs() - 1;
+    }
+  }
+  util::ThreadPool* pool = run_options.check.pool;
+
   std::set<std::string> violated_union;
   // First counter-example seen per violated property, across all
   // configurations and both phases (std::map keeps them id-ordered).
@@ -96,24 +122,51 @@ AttributionResult AttributeApp(const std::string& app_source,
     config::Deployment base = deployment;
     core::Sanitizer sanitizer(base);
     core::SanitizerOptions base_options;
-    base_options.check = options.check;
+    base_options.check = run_options.check;
     for (const checker::Violation& v :
          sanitizer.Check(base_options).violations) {
       baseline.insert(v.property_id);
     }
   }
 
+  // One configuration's verdict: the violated ids plus the (first)
+  // counter-example per id found while probing it.
+  struct ConfigProbe {
+    std::set<std::string> ids;
+    std::map<std::string, checker::Violation> evidence;
+  };
+  auto probe_config = [&](const config::AppConfig& candidate, bool joint) {
+    ConfigProbe probe;
+    config::Deployment d = deployment;
+    if (!joint) d.apps.clear();
+    d.apps.push_back(candidate);
+    probe.ids = ViolationsOf(d, app_source, candidate.label, run_options,
+                             joint ? baseline : std::set<std::string>{},
+                             &probe.evidence);
+    return probe;
+  };
+  auto run_phase = [&](bool joint) {
+    std::vector<ConfigProbe> probes(configs.size());
+    auto body = [&](std::size_t i) { probes[i] = probe_config(configs[i], joint); };
+    if (pool != nullptr) {
+      pool->ParallelFor(configs.size(), body);
+      if (auto* t = telemetry::Active()) {
+        t->parallel.config_tasks += configs.size();
+      }
+    } else {
+      for (std::size_t i = 0; i < configs.size(); ++i) body(i);
+    }
+    return probes;
+  };
+
   // Phase 1: the new app alone (devices only, no other apps).
   int phase1_bad = 0;
-  for (const config::AppConfig& candidate : configs) {
-    config::Deployment alone = deployment;
-    alone.apps.clear();
-    alone.apps.push_back(candidate);
-    std::set<std::string> ids =
-        ViolationsOf(alone, app_source, candidate.label, options,
-                     /*baseline=*/{}, &evidence);
-    if (!ids.empty()) ++phase1_bad;
-    violated_union.insert(ids.begin(), ids.end());
+  for (ConfigProbe& probe : run_phase(/*joint=*/false)) {
+    if (!probe.ids.empty()) ++phase1_bad;
+    violated_union.insert(probe.ids.begin(), probe.ids.end());
+    for (auto& [id, violation] : probe.evidence) {
+      evidence.emplace(id, std::move(violation));
+    }
   }
   result.phase1_configs = static_cast<int>(configs.size());
   result.phase1_ratio =
@@ -131,16 +184,19 @@ AttributionResult AttributeApp(const std::string& app_source,
 
   // Phase 2: jointly with the previously-installed apps.
   int phase2_bad = 0;
-  for (const config::AppConfig& candidate : configs) {
-    config::Deployment joint = deployment;
-    joint.apps.push_back(candidate);
-    std::set<std::string> ids = ViolationsOf(
-        joint, app_source, candidate.label, options, baseline, &evidence);
-    if (!ids.empty()) {
-      ++phase2_bad;
-      violated_union.insert(ids.begin(), ids.end());
-    } else {
-      result.safe_configs.push_back(candidate);
+  {
+    std::vector<ConfigProbe> probes = run_phase(/*joint=*/true);
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      ConfigProbe& probe = probes[i];
+      if (!probe.ids.empty()) {
+        ++phase2_bad;
+        violated_union.insert(probe.ids.begin(), probe.ids.end());
+        for (auto& [id, violation] : probe.evidence) {
+          evidence.emplace(id, std::move(violation));
+        }
+      } else {
+        result.safe_configs.push_back(configs[i]);
+      }
     }
   }
   result.phase2_configs = static_cast<int>(configs.size());

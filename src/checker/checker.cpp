@@ -1,8 +1,10 @@
 #include "checker/checker.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <set>
 
 #include "checker/state_store.hpp"
@@ -10,6 +12,7 @@
 #include "props/eval.hpp"
 #include "util/build_info.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace iotsan::checker {
 
@@ -26,6 +29,10 @@ const Violation* CheckResult::Find(const std::string& property_id) const {
 
 telemetry::ProgressSnapshot CheckResult::Progress() const {
   telemetry::ProgressSnapshot snapshot;
+  snapshot.jobs = jobs;
+  snapshot.branches_total = parallel_branches;
+  snapshot.branches_done = parallel_branches;
+  snapshot.worker_states_explored = worker_states_explored;
   snapshot.states_explored = states_explored;
   snapshot.states_matched = states_matched;
   snapshot.transitions = transitions;
@@ -49,7 +56,10 @@ using Clock = std::chrono::steady_clock;
 // The once-per-run latch for the bitstate saturation warning: re-armed
 // by ResetSaturationWarning() (the CLI does so per command), so a run
 // checking dozens of related sets warns once instead of once per check.
-bool g_saturation_warned = false;
+// An atomic_flag because parallel workers (or parallel related-set
+// checks) may finish saturated checks concurrently: exactly one of them
+// wins the test_and_set and prints.
+std::atomic_flag g_saturation_warned = ATOMIC_FLAG_INIT;
 
 std::string_view PropertyKindName(props::PropertyKind kind) {
   switch (kind) {
@@ -145,19 +155,177 @@ std::vector<GuideStep> ResolveSteps(const model::SystemModel& model,
   return guide;
 }
 
+// ---- Canonical counter-example selection -------------------------------------
+//
+// A property can fire on many edges of the search.  Which edge a DFS
+// reaches first depends on exploration order, and under parallel search
+// exploration order depends on scheduling — so "first found" would make
+// reports vary run to run.  Instead every path (serial and parallel)
+// keeps the *minimal* counter-example: fewest external events, ties
+// broken by the identifying event coordinates.  Only the coordinates
+// that determine the re-execution (kind/device/attribute/value/app,
+// failure flags, interleaving index) participate: they fix the entire
+// step content, so comparing the rest would be redundant.
+
+int CompareStepIdentity(const TraceStep& a, const TraceStep& b) {
+  if (int c = a.kind.compare(b.kind)) return c;
+  if (int c = a.device.compare(b.device)) return c;
+  if (int c = a.attribute.compare(b.attribute)) return c;
+  if (int c = a.value.compare(b.value)) return c;
+  if (int c = a.app.compare(b.app)) return c;
+  if (a.sensor_offline != b.sensor_offline) return a.sensor_offline ? 1 : -1;
+  if (a.actuator_offline != b.actuator_offline) {
+    return a.actuator_offline ? 1 : -1;
+  }
+  if (a.comm_fail != b.comm_fail) return a.comm_fail ? 1 : -1;
+  if (a.outcome_index != b.outcome_index) {
+    return a.outcome_index < b.outcome_index ? -1 : 1;
+  }
+  return 0;
+}
+
+int ComparePaths(const std::vector<TraceStep>& a, const std::string& a_detail,
+                 const std::vector<TraceStep>& b,
+                 const std::string& b_detail) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (int c = CompareStepIdentity(a[i], b[i])) return c;
+  }
+  return a_detail.compare(b_detail);
+}
+
+/// Merges a violation of the same property found elsewhere in the search
+/// into `existing`: occurrences accumulate, charged apps union, and the
+/// canonically smaller counter-example wins.
+void MergeViolationInto(Violation& existing, Violation v) {
+  existing.occurrences += v.occurrences;
+  for (std::string& app : v.apps) {
+    bool known = false;
+    for (const std::string& have : existing.apps) {
+      known = known || have == app;
+    }
+    if (!known) existing.apps.push_back(std::move(app));
+  }
+  if (ComparePaths(v.steps, v.detail, existing.steps, existing.detail) < 0) {
+    existing.steps = std::move(v.steps);
+    existing.detail = std::move(v.detail);
+    existing.depth = v.depth;
+    existing.failure = std::move(v.failure);
+  }
+}
+
+/// Final report canonicalization, applied identically by the serial and
+/// parallel paths: violations ordered by property id, charged apps
+/// ordered lexicographically.
+void CanonicalizeViolations(std::vector<Violation>& violations) {
+  for (Violation& v : violations) std::sort(v.apps.begin(), v.apps.end());
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return a.property_id < b.property_id;
+            });
+}
+
+// ---- Run-finalization helpers (shared by serial and parallel paths) ----------
+
+void NoteStoreDiagnostics(CheckResult& result, const StateStore& store) {
+  result.store_entries = store.size();
+  result.store_memory_bytes = store.memory_bytes();
+  result.store_fill_ratio = store.FillRatio();
+  result.est_omission_probability = store.EstOmissionProbability();
+}
+
+void WarnIfSaturated(const CheckResult& result, const CheckOptions& options) {
+  if (options.store != StoreKind::kBitstate ||
+      result.store_fill_ratio <= 0.5) {
+    return;
+  }
+  if (auto* t = telemetry::Active()) ++t->store.saturation_warnings;
+  // Spin's rule of thumb: above 50% occupancy BITSTATE coverage is
+  // unreliable — a saturated bit field silently under-reports
+  // violations.  Emitted once per run (ResetSaturationWarning re-arms),
+  // mirrored per check in store.saturation_warnings.
+  if (!g_saturation_warned.test_and_set()) {
+    std::fprintf(stderr,
+                 "warning: bitstate store is %.0f%% full (est. omission "
+                 "probability %.2g); coverage is unreliable, increase "
+                 "bitstate_bits\n",
+                 result.store_fill_ratio * 100.0,
+                 result.est_omission_probability);
+  }
+}
+
+void TickFinishTelemetry(const CheckResult& result) {
+  auto* t = telemetry::Active();
+  if (t == nullptr) return;
+  t->search.states_explored += result.states_explored;
+  t->search.states_matched += result.states_matched;
+  t->search.transitions += result.transitions;
+  t->search.cascade_drains += result.cascade_drains;
+  t->search.violations_recorded += result.violations.size();
+  if (!result.completed) ++t->search.budget_stops;
+  ++t->pipeline.checks_run;
+  t->store.entries = result.store_entries;
+  t->store.memory_bytes = result.store_memory_bytes;
+  t->store.fill_permille =
+      static_cast<std::uint64_t>(result.store_fill_ratio * 1000.0);
+  t->store.omission_ppm =
+      static_cast<std::uint64_t>(result.est_omission_probability * 1e6);
+}
+
+// ---- Shared state of a parallel search ---------------------------------------
+
+/// Crossbar between the branch workers of one parallel run: the shared
+/// visited-state store, global budget/stop flags, and the live totals
+/// that budgets and progress reports read.  Everything per-branch (path
+/// context, violations, exact counters) stays worker-local in each
+/// branch's CheckResult and is merged deterministically afterwards.
+struct SharedSearch {
+  SharedSearch(std::size_t depth_levels, unsigned lanes)
+      : depth_histogram(depth_levels), worker_states(lanes) {}
+
+  StateStore* store = nullptr;
+  util::ThreadPool* pool = nullptr;
+  Clock::time_point start;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> states_explored{0};
+  std::atomic<std::uint64_t> states_matched{0};
+  std::atomic<std::uint64_t> transitions{0};
+  std::atomic<std::uint64_t> cascade_drains{0};
+  std::vector<std::atomic<std::uint64_t>> depth_histogram;
+  std::vector<std::atomic<std::uint64_t>> worker_states;
+  std::uint64_t branches_total = 0;
+  std::atomic<std::uint64_t> branches_done{0};
+  // Serializes on_progress invocations (the callback is user code).
+  std::mutex progress_mutex;
+};
+
 class Search {
  public:
   /// `guide` switches the search into guided-replay mode: the recorded
   /// path is followed step by step (no event enumeration, no store
   /// pruning), re-running the monitors and invariants along the way —
-  /// Spin's guided simulation of a .trail file.
+  /// Spin's guided simulation of a .trail file.  `shared` switches it
+  /// into parallel-worker mode: the store, clock, and budgets come from
+  /// the shared run; drive it with RunBranch instead of Run.
   Search(const model::SystemModel& model, const CheckOptions& options,
-         const std::vector<GuideStep>* guide = nullptr)
-      : model_(model), options_(options), engine_(model), guide_(guide) {
-    if (options.store == StoreKind::kExhaustive) {
-      store_ = std::make_unique<ExhaustiveStore>();
+         const std::vector<GuideStep>* guide = nullptr,
+         SharedSearch* shared = nullptr)
+      : model_(model),
+        options_(options),
+        engine_(model),
+        guide_(guide),
+        shared_(shared) {
+    if (shared_ != nullptr) {
+      store_ = shared_->store;
+      start_ = shared_->start;
+      lane_ = shared_->pool->CurrentLane();
     } else {
-      store_ = std::make_unique<BitstateStore>(options.bitstate_bits);
+      if (options.store == StoreKind::kExhaustive) {
+        owned_store_ = std::make_unique<ExhaustiveStore>();
+      } else {
+        owned_store_ = std::make_unique<BitstateStore>(options.bitstate_bits);
+      }
+      store_ = owned_store_.get();
     }
     result_.depth_histogram.assign(
         static_cast<std::size_t>(std::max(options.max_events, 0)) + 1, 0);
@@ -177,11 +345,29 @@ class Search {
     span.Attr("states", result_.states_explored);
     span.Attr("transitions", result_.transitions);
     span.Attr("completed", std::int64_t{result_.completed ? 1 : 0});
-    // Order violations by property id for stable reports.
-    std::sort(result_.violations.begin(), result_.violations.end(),
-              [](const Violation& a, const Violation& b) {
-                return a.property_id < b.property_id;
-              });
+    CanonicalizeViolations(result_.violations);
+    return std::move(result_);
+  }
+
+  /// Parallel-worker entry: explores one root (event × failure) branch
+  /// against the shared store.  The initial state is accounted by the
+  /// driver, so this starts directly with the branch's cascade.
+  CheckResult RunBranch(const model::SystemState& initial,
+                        const model::ExternalEvent& event,
+                        const model::FailureScenario& failure) {
+    if (!BudgetExceeded()) {
+      std::vector<model::StepOutcome> outcomes = engine_.Apply(
+          initial, event, failure, options_.scheduling, cancel_);
+      result_.cascade_drains += outcomes.size();
+      shared_->cascade_drains.fetch_add(outcomes.size(),
+                                        std::memory_order_relaxed);
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (BudgetExceeded()) break;
+        ProcessOutcome(initial, event, failure, outcomes[i], 0,
+                       static_cast<int>(i));
+      }
+    }
+    shared_->branches_done.fetch_add(1, std::memory_order_relaxed);
     return std::move(result_);
   }
 
@@ -190,7 +376,10 @@ class Search {
   const CheckOptions& options_;
   model::CascadeEngine engine_;
   const std::vector<GuideStep>* guide_;
-  std::unique_ptr<StateStore> store_;
+  SharedSearch* shared_;
+  std::unique_ptr<StateStore> owned_store_;
+  StateStore* store_ = nullptr;  // owned_store_ or the shared run's store
+  unsigned lane_ = 0;            // pool lane, for per-worker accounting
   CheckResult result_;
   Clock::time_point start_;
   bool stopped_ = false;
@@ -206,6 +395,31 @@ class Search {
 
   bool BudgetExceeded() {
     if (stopped_) return true;
+    if (shared_ != nullptr) {
+      // Budgets are global across workers: compare the shared totals and
+      // broadcast the stop so every branch winds down together.
+      if (shared_->stop.load(std::memory_order_relaxed)) {
+        result_.completed = false;
+        stopped_ = true;
+        return true;
+      }
+      if (options_.max_states != 0 &&
+          shared_->states_explored.load(std::memory_order_relaxed) >=
+              options_.max_states) {
+        result_.completed = false;
+        stopped_ = true;
+        shared_->stop.store(true, std::memory_order_relaxed);
+        return true;
+      }
+      if (options_.time_budget_seconds > 0 &&
+          Elapsed() > options_.time_budget_seconds) {
+        result_.completed = false;
+        stopped_ = true;
+        shared_->stop.store(true, std::memory_order_relaxed);
+        return true;
+      }
+      return false;
+    }
     if (options_.max_states != 0 &&
         result_.states_explored >= options_.max_states) {
       result_.completed = false;
@@ -254,52 +468,64 @@ class Search {
     if (auto* t = telemetry::Active()) ++t->search.progress_reports;
   }
 
+  /// Progress snapshot of a parallel run, built from the shared totals.
+  /// Called by whichever worker's increment crossed the progress_every
+  /// boundary, under the shared progress mutex.
+  void EmitSharedProgress() {
+    telemetry::ProgressSnapshot snapshot;
+    snapshot.jobs = static_cast<int>(shared_->pool->jobs());
+    snapshot.branches_total = shared_->branches_total;
+    snapshot.branches_done =
+        shared_->branches_done.load(std::memory_order_relaxed);
+    snapshot.states_explored =
+        shared_->states_explored.load(std::memory_order_relaxed);
+    snapshot.states_matched =
+        shared_->states_matched.load(std::memory_order_relaxed);
+    snapshot.transitions =
+        shared_->transitions.load(std::memory_order_relaxed);
+    snapshot.cascade_drains =
+        shared_->cascade_drains.load(std::memory_order_relaxed);
+    snapshot.elapsed_seconds = Elapsed();
+    snapshot.states_per_second =
+        snapshot.elapsed_seconds > 0
+            ? static_cast<double>(snapshot.states_explored) /
+                  snapshot.elapsed_seconds
+            : 0;
+    const double considered = static_cast<double>(snapshot.states_explored +
+                                                  snapshot.states_matched);
+    snapshot.pruning_ratio =
+        considered > 0
+            ? static_cast<double>(snapshot.states_matched) / considered
+            : 0;
+    snapshot.store_fill_ratio = store_->FillRatio();
+    snapshot.depth_histogram.reserve(shared_->depth_histogram.size());
+    for (const auto& bucket : shared_->depth_histogram) {
+      snapshot.depth_histogram.push_back(
+          bucket.load(std::memory_order_relaxed));
+    }
+    snapshot.worker_states_explored.reserve(shared_->worker_states.size());
+    for (const auto& lane : shared_->worker_states) {
+      snapshot.worker_states_explored.push_back(
+          lane.load(std::memory_order_relaxed));
+    }
+    std::lock_guard<std::mutex> lock(shared_->progress_mutex);
+    options_.on_progress(snapshot);
+    if (auto* t = telemetry::Active()) ++t->search.progress_reports;
+  }
+
   void FinishDiagnostics() {
-    result_.store_entries = store_->size();
-    result_.store_memory_bytes = store_->memory_bytes();
-    result_.store_fill_ratio = store_->FillRatio();
-    result_.est_omission_probability = store_->EstOmissionProbability();
+    NoteStoreDiagnostics(result_, *store_);
     if (guide_ != nullptr) {
       // Guided replays neither saturate the store (exhaustive, short
       // path) nor count as checks: their telemetry is the replay
       // counters the caller ticks.
       return;
     }
-    if (options_.store == StoreKind::kBitstate &&
-        result_.store_fill_ratio > 0.5) {
-      if (auto* t = telemetry::Active()) ++t->store.saturation_warnings;
-      // Spin's rule of thumb: above 50% occupancy BITSTATE coverage is
-      // unreliable — a saturated bit field silently under-reports
-      // violations.  Emitted once per run (ResetSaturationWarning
-      // re-arms), mirrored per check in store.saturation_warnings.
-      if (!g_saturation_warned) {
-        g_saturation_warned = true;
-        std::fprintf(stderr,
-                     "warning: bitstate store is %.0f%% full (est. omission "
-                     "probability %.2g); coverage is unreliable, increase "
-                     "bitstate_bits\n",
-                     result_.store_fill_ratio * 100.0,
-                     result_.est_omission_probability);
-      }
-    }
+    WarnIfSaturated(result_, options_);
     // The final snapshot at stop time: budget-stopped runs still report
     // where the search stood.
     if (!result_.completed && options_.on_progress) EmitProgress();
-    if (auto* t = telemetry::Active()) {
-      t->search.states_explored += result_.states_explored;
-      t->search.states_matched += result_.states_matched;
-      t->search.transitions += result_.transitions;
-      t->search.cascade_drains += result_.cascade_drains;
-      t->search.violations_recorded += result_.violations.size();
-      if (!result_.completed) ++t->search.budget_stops;
-      ++t->pipeline.checks_run;
-      t->store.entries = result_.store_entries;
-      t->store.memory_bytes = result_.store_memory_bytes;
-      t->store.fill_permille =
-          static_cast<std::uint64_t>(result_.store_fill_ratio * 1000.0);
-      t->store.omission_ppm = static_cast<std::uint64_t>(
-          result_.est_omission_probability * 1e6);
-    }
+    TickFinishTelemetry(result_);
   }
 
   /// Builds the structured record of one external-event step: the event
@@ -375,9 +601,11 @@ class Search {
     for (Violation& existing : result_.violations) {
       if (existing.property_id == property.id) {
         ++existing.occurrences;
-        // Keep the first counter-example but accumulate every charged
-        // app across re-violations: attribution (§9) needs to know all
-        // apps that can drive the system into this bad state.
+        // Accumulate every charged app across re-violations —
+        // attribution (§9) needs to know all apps that can drive the
+        // system into this bad state — and keep the *canonical*
+        // (minimal) counter-example rather than the first found, so the
+        // reported trace does not depend on exploration order.
         for (int app : charged_apps) {
           const std::string& label = model_.apps()[app].config.label;
           bool known = false;
@@ -385,6 +613,13 @@ class Search {
             known = known || existing_app == label;
           }
           if (!known) existing.apps.push_back(label);
+        }
+        if (ComparePaths(path_steps_, detail, existing.steps,
+                         existing.detail) < 0) {
+          existing.steps = path_steps_;
+          existing.detail = detail;
+          existing.depth = depth;
+          existing.failure = failure_label;
         }
         return nullptr;
       }
@@ -408,6 +643,9 @@ class Search {
     if (options_.stop_at_first_violation) {
       stopped_ = true;
       result_.completed = false;  // the search was cut short on purpose
+      if (shared_ != nullptr) {
+        shared_->stop.store(true, std::memory_order_relaxed);
+      }
     }
     return &result_.violations.back();
   }
@@ -468,12 +706,15 @@ class Search {
     if (stopped_) return;
     const std::string failure_label = failure.Any() ? failure.Label() : "";
 
-    // Conflicting / repeated commands (Algorithm 1, line 16).
+    // Conflicting / repeated commands (Algorithm 1, line 16).  Each
+    // cascade records at most one violation per monitor kind (the first
+    // offending pair in command order) but every offending cascade
+    // records — unlike a whole-run short-circuit, this keeps occurrence
+    // counts a pure function of the explored-edge set, and therefore
+    // identical across serial and parallel schedules.
     if (MonitorActive(props::PropertyKind::kNoConflict)) {
-      for (std::size_t i = 0;
-           i < log.commands.size() &&
-           !MonitorTriggered(props::PropertyKind::kNoConflict);
-           ++i) {
+      bool recorded = false;
+      for (std::size_t i = 0; i < log.commands.size() && !recorded; ++i) {
         for (std::size_t j = i + 1; j < log.commands.size(); ++j) {
           const model::CommandRecord& a = log.commands[i];
           const model::CommandRecord& b = log.commands[j];
@@ -489,15 +730,14 @@ class Search {
                               model_.devices()[a.device].id() + ": " +
                               a.spec->name + " vs " + b.spec->name,
                           {a.app, b.app});
+          recorded = true;
           break;
         }
       }
     }
     if (MonitorActive(props::PropertyKind::kNoRepeat)) {
-      for (std::size_t i = 0;
-           i < log.commands.size() &&
-           !MonitorTriggered(props::PropertyKind::kNoRepeat);
-           ++i) {
+      bool recorded = false;
+      for (std::size_t i = 0; i < log.commands.size() && !recorded; ++i) {
         for (std::size_t j = i + 1; j < log.commands.size(); ++j) {
           const model::CommandRecord& a = log.commands[i];
           const model::CommandRecord& b = log.commands[j];
@@ -511,6 +751,7 @@ class Search {
                               model_.devices()[a.device].id() + ": " +
                               a.spec->name + " received twice",
                           {a.app, b.app});
+          recorded = true;
           break;
         }
       }
@@ -577,13 +818,6 @@ class Search {
     }
   }
 
-  bool MonitorTriggered(props::PropertyKind kind) const {
-    for (const Violation& v : result_.violations) {
-      if (v.kind == kind) return true;
-    }
-    return false;
-  }
-
   /// Processes one drained cascade outcome: extends the path context,
   /// runs the monitors and invariants, and (in free-search mode) prunes
   /// through the store and recurses.  Shared by the free DFS and the
@@ -594,6 +828,9 @@ class Search {
                       model::StepOutcome& outcome, int depth,
                       int outcome_index) {
     ++result_.transitions;
+    if (shared_ != nullptr) {
+      shared_->transitions.fetch_add(1, std::memory_order_relaxed);
+    }
 
     const std::size_t actuation_mark = path_actuations_.size();
     const std::size_t mode_mark = path_mode_setters_.size();
@@ -621,6 +858,9 @@ class Search {
       }
       if (store_->TestAndInsert(bytes)) {
         ++result_.states_matched;
+        if (shared_ != nullptr) {
+          shared_->states_matched.fetch_add(1, std::memory_order_relaxed);
+        }
       } else {
         Explore(outcome.state, depth + 1);
       }
@@ -636,8 +876,19 @@ class Search {
     if (BudgetExceeded()) return;
     ++result_.states_explored;
     ++result_.depth_histogram[static_cast<std::size_t>(depth)];
-    if (options_.progress_every != 0 && options_.on_progress &&
-        result_.states_explored % options_.progress_every == 0) {
+    if (shared_ != nullptr) {
+      shared_->depth_histogram[static_cast<std::size_t>(depth)].fetch_add(
+          1, std::memory_order_relaxed);
+      shared_->worker_states[lane_].fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t total =
+          shared_->states_explored.fetch_add(1, std::memory_order_relaxed) +
+          1;
+      if (options_.progress_every != 0 && options_.on_progress &&
+          total % options_.progress_every == 0) {
+        EmitSharedProgress();
+      }
+    } else if (options_.progress_every != 0 && options_.on_progress &&
+               result_.states_explored % options_.progress_every == 0) {
       EmitProgress();
     }
     if (depth >= options_.max_events) return;
@@ -665,6 +916,10 @@ class Search {
         std::vector<model::StepOutcome> outcomes = engine_.Apply(
             state, event, failure, options_.scheduling, cancel_);
         result_.cascade_drains += outcomes.size();
+        if (shared_ != nullptr) {
+          shared_->cascade_drains.fetch_add(outcomes.size(),
+                                            std::memory_order_relaxed);
+        }
         for (std::size_t i = 0; i < outcomes.size(); ++i) {
           if (BudgetExceeded()) return;
           ProcessOutcome(state, event, failure, outcomes[i], depth,
@@ -674,6 +929,158 @@ class Search {
     }
   }
 };
+
+// ---- Parallel driver ---------------------------------------------------------
+//
+// Partitions the root-level (external event × failure scenario) branches
+// of the permutation DFS across a work-stealing pool.  All workers share
+// one visited-state store, so the frontier is pruned globally exactly as
+// in the serial search.  Determinism: with the exhaustive store every
+// reachable (state, depth) pair is inserted exactly once, so the
+// multiset of explored edges — and with it the violation set, occurrence
+// counts, aggregate counters, and depth histogram — is independent of
+// scheduling; per-branch results are merged in branch-enumeration order
+// and violations are canonicalized, making the full report byte-stable
+// for any jobs value.  (Bitstate relaxes this slightly; see
+// docs/performance.md.)
+CheckResult RunParallel(const model::SystemModel& model,
+                        const CheckOptions& options, unsigned jobs) {
+  telemetry::ScopedSpan span("check");
+  const Clock::time_point start = Clock::now();
+
+  // Property expressions parse lazily into an unsynchronized cache;
+  // resolve them all on this thread before any worker can race on one.
+  // Monitor-kind properties carry no expression, so only invariants parse.
+  for (const props::Property& property : model.active_properties()) {
+    if (property.kind != props::PropertyKind::kInvariant) continue;
+    property.ParsedExpression();
+  }
+
+  std::unique_ptr<util::ThreadPool> owned_pool;
+  util::ThreadPool* pool = options.pool;
+  if (pool == nullptr) {
+    owned_pool = std::make_unique<util::ThreadPool>(jobs);
+    pool = owned_pool.get();
+    if (auto* t = telemetry::Active()) {
+      ++t->parallel.pools_created;
+      t->parallel.workers_spawned += pool->jobs() - 1;
+    }
+  }
+
+  std::unique_ptr<StateStore> store;
+  if (options.store == StoreKind::kExhaustive) {
+    // ~8 shards per lane keeps two workers off the same mutex without
+    // ballooning fixed per-shard overhead.
+    store = std::make_unique<ExhaustiveStore>(
+        std::min(64u, pool->jobs() * 8));
+  } else {
+    store = std::make_unique<BitstateStore>(options.bitstate_bits);
+  }
+
+  model::SystemState initial = model.MakeInitialState();
+  store->TestAndInsert(initial.Serialize());
+
+  const std::size_t depth_levels =
+      static_cast<std::size_t>(std::max(options.max_events, 0)) + 1;
+  SharedSearch shared(depth_levels, pool->jobs());
+  shared.store = store.get();
+  shared.pool = pool;
+  shared.start = start;
+  // The initial state is accounted here, not by any branch; it belongs
+  // to the driver's lane so the per-lane counts partition the total.
+  shared.states_explored.store(1);
+  shared.depth_histogram[0].store(1);
+  shared.worker_states[pool->CurrentLane()].store(1);
+
+  // Root branches in deterministic enumeration order — the same order
+  // the serial DFS would visit them, which is also the merge order.
+  struct RootBranch {
+    model::ExternalEvent event;
+    model::FailureScenario failure;
+  };
+  std::vector<RootBranch> branches;
+  if (options.max_events > 0) {
+    model::CascadeEngine root_engine(model);
+    const auto& scenarios = options.model_failures
+                                ? model::FailureScenario::AllScenarios()
+                                : model::FailureScenario::NoFailure();
+    for (const model::ExternalEvent& event :
+         root_engine.EnabledEvents(initial)) {
+      for (const model::FailureScenario& failure : scenarios) {
+        branches.push_back({event, failure});
+      }
+    }
+  }
+  shared.branches_total = branches.size();
+
+  std::vector<CheckResult> branch_results(branches.size());
+  pool->ParallelFor(branches.size(), [&](std::size_t i) {
+    Search search(model, options, nullptr, &shared);
+    branch_results[i] =
+        search.RunBranch(initial, branches[i].event, branches[i].failure);
+  });
+
+  CheckResult result;
+  result.jobs = static_cast<int>(pool->jobs());
+  result.parallel_branches = branches.size();
+  result.depth_histogram.assign(depth_levels, 0);
+  result.states_explored = 1;
+  result.depth_histogram[0] = 1;
+  for (CheckResult& branch : branch_results) {
+    result.states_explored += branch.states_explored;
+    result.states_matched += branch.states_matched;
+    result.transitions += branch.transitions;
+    result.cascade_drains += branch.cascade_drains;
+    result.completed = result.completed && branch.completed;
+    for (std::size_t d = 0; d < branch.depth_histogram.size(); ++d) {
+      result.depth_histogram[d] += branch.depth_histogram[d];
+    }
+    for (Violation& violation : branch.violations) {
+      Violation* existing = nullptr;
+      for (Violation& have : result.violations) {
+        if (have.property_id == violation.property_id) {
+          existing = &have;
+          break;
+        }
+      }
+      if (existing == nullptr) {
+        result.violations.push_back(std::move(violation));
+      } else {
+        MergeViolationInto(*existing, std::move(violation));
+      }
+    }
+  }
+  if (shared.stop.load()) result.completed = false;
+  CanonicalizeViolations(result.violations);
+
+  result.seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  NoteStoreDiagnostics(result, *store);
+  WarnIfSaturated(result, options);
+  result.worker_states_explored.reserve(shared.worker_states.size());
+  for (const auto& lane : shared.worker_states) {
+    result.worker_states_explored.push_back(lane.load());
+  }
+  // The final snapshot at stop time, exactly like the serial path.
+  if (!result.completed && options.on_progress) {
+    options.on_progress(result.Progress());
+    if (auto* t = telemetry::Active()) ++t->search.progress_reports;
+  }
+  TickFinishTelemetry(result);
+  if (auto* t = telemetry::Active()) {
+    t->parallel.branch_tasks += branches.size();
+    if (owned_pool != nullptr) {
+      const util::ThreadPool::Stats stats = pool->stats();
+      t->parallel.tasks_run += stats.tasks_run;
+      t->parallel.tasks_stolen += stats.tasks_stolen;
+    }
+  }
+  span.Attr("states", result.states_explored);
+  span.Attr("transitions", result.transitions);
+  span.Attr("completed", std::int64_t{result.completed ? 1 : 0});
+  span.Attr("jobs", std::int64_t{result.jobs});
+  return result;
+}
 
 /// Re-executes a recorded path against `model` and reports whether
 /// `property_id` fired at `expected_depth`.  Ticks the replay telemetry
@@ -722,7 +1129,9 @@ ReplayResult ReplayPath(const model::SystemModel& model,
 }  // namespace
 
 CheckResult Checker::Run(const CheckOptions& options) const {
-  CheckResult result = Search(model_, options).Run();
+  const unsigned jobs = util::ResolveJobs(options.jobs);
+  CheckResult result = jobs > 1 ? RunParallel(model_, options, jobs)
+                                : Search(model_, options).Run();
   if (options.reverify_bitstate && options.store == StoreKind::kBitstate &&
       !result.violations.empty()) {
     // Built-in false-positive filter: every violation found under
@@ -820,6 +1229,6 @@ ViolationArtifact MakeArtifact(const Violation& violation,
   return artifact;
 }
 
-void ResetSaturationWarning() { g_saturation_warned = false; }
+void ResetSaturationWarning() { g_saturation_warned.clear(); }
 
 }  // namespace iotsan::checker

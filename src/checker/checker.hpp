@@ -21,6 +21,10 @@
 #include "props/property.hpp"
 #include "telemetry/telemetry.hpp"
 
+namespace iotsan::util {
+class ThreadPool;
+}  // namespace iotsan::util
+
 namespace iotsan::checker {
 
 enum class StoreKind { kExhaustive, kBitstate };
@@ -60,6 +64,17 @@ struct CheckOptions {
   /// built-in false-positive filter makes each report self-certifying
   /// (`Violation::replay_verified`) and counts refutations in telemetry.
   bool reverify_bitstate = false;
+  /// Worker threads for the search: root-level (event × failure)
+  /// branches are partitioned across workers sharing one visited-state
+  /// store.  1 = serial, 0 = one worker per hardware thread.  Output is
+  /// canonicalized so any jobs value yields byte-identical reports with
+  /// the exhaustive store (see docs/performance.md for the bitstate
+  /// caveat).
+  int jobs = 1;
+  /// Run on an existing pool instead of spawning one (the sanitizer and
+  /// attribution layers share their pool with nested checks this way).
+  /// Null = the checker creates its own pool when jobs > 1.
+  util::ThreadPool* pool = nullptr;
 };
 
 /// One detected property violation with its counter-example.
@@ -116,6 +131,14 @@ struct CheckResult {
   std::uint64_t store_memory_bytes = 0;
   /// States expanded per external-event depth (index 0 = initial state).
   std::vector<std::uint64_t> depth_histogram;
+  /// Worker lanes the search ran on (1 = serial) and how many root
+  /// (event × failure) branches were partitioned across them.
+  int jobs = 1;
+  std::uint64_t parallel_branches = 0;
+  /// States expanded per worker lane (empty for serial runs).  The
+  /// per-lane split varies with scheduling; only the total is
+  /// deterministic.
+  std::vector<std::uint64_t> worker_states_explored;
 
   bool HasViolation(const std::string& property_id) const;
   const Violation* Find(const std::string& property_id) const;

@@ -4,12 +4,49 @@
 
 namespace iotsan::checker {
 
+std::size_t ExhaustiveStore::TransparentHash::operator()(
+    std::string_view key) const {
+  return static_cast<std::size_t>(hash::Fnv1a64(key));
+}
+
+ExhaustiveStore::ExhaustiveStore(unsigned shard_count) {
+  if (shard_count == 0) shard_count = 1;
+  shards_.reserve(shard_count);
+  for (unsigned i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
 bool ExhaustiveStore::TestAndInsert(std::span<const std::uint8_t> bytes) {
-  std::string key(reinterpret_cast<const char*>(bytes.data()), bytes.size());
-  auto [it, inserted] = states_.insert(std::move(key));
-  (void)it;
-  if (inserted) memory_ += bytes.size() + sizeof(void*) * 2;
-  return !inserted;
+  const std::string_view key(reinterpret_cast<const char*>(bytes.data()),
+                             bytes.size());
+  // Shard from the top hash bits: unordered_set buckets consume the low
+  // bits, so the two stay uncorrelated.
+  const std::uint64_t hash = hash::Fnv1a64(key);
+  Shard& shard = *shards_[(hash >> 32) % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.states.find(key) != shard.states.end()) return true;
+  shard.states.emplace(key);
+  shard.memory += bytes.size() + sizeof(void*) * 2;
+  return false;
+}
+
+std::uint64_t ExhaustiveStore::size() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->states.size();
+  }
+  return total;
+}
+
+std::uint64_t ExhaustiveStore::memory_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->memory;
+  }
+  return total;
 }
 
 BitstateStore::BitstateStore(std::size_t bit_count, unsigned hash_count)
@@ -21,7 +58,7 @@ bool BitstateStore::TestAndInsert(std::span<const std::uint8_t> bytes) {
   for (unsigned i = 0; i < hash_count_; ++i) {
     seen &= bits_.TestAndSet(hash::NthHash(base, i));
   }
-  if (!seen) ++inserted_;
+  if (!seen) inserted_.fetch_add(1, std::memory_order_relaxed);
   return seen;
 }
 

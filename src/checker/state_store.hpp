@@ -8,12 +8,22 @@
 //     in a fixed bit field.  False positives ("seen" for a new state) are
 //     possible, trading completeness for constant memory; the paper uses
 //     this mode for large systems.
+//
+// Both stores support concurrent TestAndInsert so parallel search
+// workers can share one pruning frontier: the exhaustive store shards
+// its hash set (one mutex per shard, shard picked from the state hash),
+// the bitstate store is lock-free (atomic fetch_or on the bit field).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <string>
+#include <string_view>
 #include <unordered_set>
+#include <vector>
 
 #include "util/bitarray.hpp"
 
@@ -24,6 +34,7 @@ class StateStore {
   virtual ~StateStore() = default;
 
   /// Records `bytes`; returns true if it was (possibly) seen before.
+  /// Safe to call from multiple threads concurrently.
   virtual bool TestAndInsert(std::span<const std::uint8_t> bytes) = 0;
 
   /// Number of distinct states recorded (exact for exhaustive; equals the
@@ -45,13 +56,31 @@ class StateStore {
 
 class ExhaustiveStore final : public StateStore {
  public:
+  /// `shard_count` hash-set shards, each behind its own mutex; the shard
+  /// is chosen from the top bits of the state hash so it stays
+  /// independent of the bucket index within the shard.  1 shard = the
+  /// classic single-set store (still thread-safe, just contended).
+  explicit ExhaustiveStore(unsigned shard_count = 1);
+
   bool TestAndInsert(std::span<const std::uint8_t> bytes) override;
-  std::uint64_t size() const override { return states_.size(); }
-  std::uint64_t memory_bytes() const override { return memory_; }
+  std::uint64_t size() const override;
+  std::uint64_t memory_bytes() const override;
 
  private:
-  std::unordered_set<std::string> states_;
-  std::uint64_t memory_ = 0;
+  // Transparent hashing lets TestAndInsert probe with a string_view over
+  // the caller's buffer; only genuinely new states pay the std::string
+  // allocation.
+  struct TransparentHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view key) const;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_set<std::string, TransparentHash, std::equal_to<>> states;
+    std::uint64_t memory = 0;
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 class BitstateStore final : public StateStore {
@@ -61,7 +90,9 @@ class BitstateStore final : public StateStore {
   explicit BitstateStore(std::size_t bit_count, unsigned hash_count = 3);
 
   bool TestAndInsert(std::span<const std::uint8_t> bytes) override;
-  std::uint64_t size() const override { return inserted_; }
+  std::uint64_t size() const override {
+    return inserted_.load(std::memory_order_relaxed);
+  }
   std::uint64_t memory_bytes() const override { return bits_.size() / 8; }
 
   /// Fraction of bits set; occupancy above ~0.5 means heavy hash
@@ -80,7 +111,7 @@ class BitstateStore final : public StateStore {
  private:
   BitArray bits_;
   unsigned hash_count_;
-  std::uint64_t inserted_ = 0;
+  std::atomic<std::uint64_t> inserted_{0};
 };
 
 }  // namespace iotsan::checker

@@ -1,6 +1,8 @@
 #include "core/sanitizer.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
 #include <set>
 
 #include "corpus/corpus.hpp"
@@ -8,6 +10,7 @@
 #include "model/system_model.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace iotsan::core {
 
@@ -169,7 +172,9 @@ SanitizerReport Sanitizer::Check(const SanitizerOptions& options) const {
     report.related_set_count = static_cast<int>(groups.size());
   }
 
-  for (const std::vector<std::size_t>& group : groups) {
+  // Builds, property-selects, and checks one related-set group.
+  auto check_group = [&](const std::vector<std::size_t>& group,
+                         const checker::CheckOptions& check) {
     // Build a sub-deployment with this group's app instances; all devices
     // stay visible so role-based properties bind identically.
     config::Deployment sub = deployment_;
@@ -198,7 +203,60 @@ SanitizerReport Sanitizer::Check(const SanitizerOptions& options) const {
       model.SelectProperties(all);
     }
     checker::Checker checker(model);
-    MergeResult(report, checker.Run(options.check));
+    return checker.Run(check);
+  };
+
+  const unsigned jobs = util::ResolveJobs(options.check.jobs);
+  if (jobs > 1 && groups.size() > 1) {
+    // Related sets are independent models, so they fan out across the
+    // pool; each group's checker fans its root branches over the *same*
+    // pool (nested ParallelFor), so one pool serves both layers.
+    // Pre-parse the lazily-cached property expressions on this thread —
+    // group workers would otherwise race on the shared builtins.  Only
+    // invariants carry an expression; monitor kinds have none to parse.
+    for (const props::Property& p : props::BuiltinProperties()) {
+      if (p.kind == props::PropertyKind::kInvariant) p.ParsedExpression();
+    }
+    for (const props::Property& p : options.extra_properties) {
+      if (p.kind == props::PropertyKind::kInvariant) p.ParsedExpression();
+    }
+    std::unique_ptr<util::ThreadPool> owned_pool;
+    util::ThreadPool* pool = options.check.pool;
+    checker::CheckOptions check = options.check;
+    if (pool == nullptr) {
+      owned_pool = std::make_unique<util::ThreadPool>(jobs);
+      pool = owned_pool.get();
+      check.pool = pool;
+      if (auto* t = telemetry::Active()) {
+        ++t->parallel.pools_created;
+        t->parallel.workers_spawned += pool->jobs() - 1;
+      }
+    }
+    const auto wall_start = std::chrono::steady_clock::now();
+    std::vector<checker::CheckResult> results(groups.size());
+    pool->ParallelFor(groups.size(), [&](std::size_t g) {
+      results[g] = check_group(groups[g], check);
+    });
+    // Merge in group order: byte-identical to the serial loop.
+    for (checker::CheckResult& result : results) {
+      MergeResult(report, std::move(result));
+    }
+    // Per-group seconds overlap under concurrency; report wall clock.
+    report.seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - wall_start)
+                         .count();
+    if (auto* t = telemetry::Active()) {
+      t->parallel.group_tasks += groups.size();
+      if (owned_pool != nullptr) {
+        const util::ThreadPool::Stats stats = pool->stats();
+        t->parallel.tasks_run += stats.tasks_run;
+        t->parallel.tasks_stolen += stats.tasks_stolen;
+      }
+    }
+  } else {
+    for (const std::vector<std::size_t>& group : groups) {
+      MergeResult(report, check_group(group, options.check));
+    }
   }
 
   std::sort(report.violations.begin(), report.violations.end(),

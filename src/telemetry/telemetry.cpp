@@ -51,13 +51,47 @@ std::vector<Sample> Registry::Snapshot() const {
   add("store.fill_permille", store.fill_permille);
   add("store.omission_ppm", store.omission_ppm);
   add("store.saturation_warnings", store.saturation_warnings);
+  add("parallel.pools_created", parallel.pools_created);
+  add("parallel.workers_spawned", parallel.workers_spawned);
+  add("parallel.tasks_run", parallel.tasks_run);
+  add("parallel.tasks_stolen", parallel.tasks_stolen);
+  add("parallel.branch_tasks", parallel.branch_tasks);
+  add("parallel.group_tasks", parallel.group_tasks);
+  add("parallel.config_tasks", parallel.config_tasks);
   return out;
+}
+
+void Registry::Reset() {
+  // Atomic members make the structs non-assignable, so zero each counter
+  // explicitly (keep in sync with Snapshot()).
+  for (Counter* c : {
+           &search.states_explored, &search.states_matched,
+           &search.transitions, &search.cascade_drains,
+           &search.events_injected, &search.handler_dispatches,
+           &search.invariant_evals, &search.violations_recorded,
+           &search.budget_stops, &search.progress_reports,
+           &search.replays_run, &search.replays_reproduced,
+           &search.replays_refuted, &pipeline.apps_parsed,
+           &pipeline.parse_failures, &pipeline.type_problems,
+           &pipeline.dependency_edges, &pipeline.related_sets,
+           &pipeline.models_built, &pipeline.checks_run,
+           &pipeline.configs_enumerated, &pipeline.attributions,
+           &store.entries, &store.memory_bytes, &store.fill_permille,
+           &store.omission_ppm, &store.saturation_warnings,
+           &parallel.pools_created, &parallel.workers_spawned,
+           &parallel.tasks_run, &parallel.tasks_stolen,
+           &parallel.branch_tasks, &parallel.group_tasks,
+           &parallel.config_tasks,
+       }) {
+    c->store(0);
+  }
 }
 
 json::Value Registry::ToJson() const {
   json::Object search_obj;
   json::Object pipeline_obj;
   json::Object store_obj;
+  json::Object parallel_obj;
   for (const Sample& sample : Snapshot()) {
     const auto dot = sample.name.find('.');
     const std::string group = sample.name.substr(0, dot);
@@ -67,6 +101,8 @@ json::Value Registry::ToJson() const {
       search_obj[key] = value;
     } else if (group == "pipeline") {
       pipeline_obj[key] = value;
+    } else if (group == "parallel") {
+      parallel_obj[key] = value;
     } else {
       store_obj[key] = value;
     }
@@ -75,6 +111,7 @@ json::Value Registry::ToJson() const {
   doc["search"] = json::Value(std::move(search_obj));
   doc["pipeline"] = json::Value(std::move(pipeline_obj));
   doc["store"] = json::Value(std::move(store_obj));
+  doc["parallel"] = json::Value(std::move(parallel_obj));
   return json::Value(std::move(doc));
 }
 
@@ -104,12 +141,14 @@ std::uint64_t TraceSink::NowUs() const {
 }
 
 void TraceSink::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (to_file_) out_.flush();
 }
 
 void TraceSink::EndSpan(const std::string& name, std::uint64_t start_us,
                         std::uint64_t dur_us, int depth,
                         const json::Object* attrs) {
+  std::lock_guard<std::mutex> lock(mutex_);
   Total& total = totals_[name];
   ++total.count;
   total.total_us += dur_us;
@@ -192,6 +231,13 @@ std::string FormatProgress(const ProgressSnapshot& snapshot) {
     std::snprintf(fill, sizeof(fill), ", store fill %.2f%%",
                   snapshot.store_fill_ratio * 100.0);
     out += fill;
+  }
+  if (snapshot.jobs > 1) {
+    char par[96];
+    std::snprintf(par, sizeof(par),
+                  ", jobs %d, branches %" PRIu64 "/%" PRIu64, snapshot.jobs,
+                  snapshot.branches_done, snapshot.branches_total);
+    out += par;
   }
   return out;
 }

@@ -1,33 +1,38 @@
 // Telemetry: lightweight observability for the checking pipeline.
 //
 // Three cooperating pieces, all zero-dependency and lock-free on the
-// sequential hot path:
+// counting hot path:
 //   * Registry — named monotonic counters and gauges.  Counters are
-//     plain uint64_t members grouped in structs; instrumented code pays
-//     exactly one branch per event when telemetry is disabled
-//     (`if (auto* t = Active())`) and one increment when enabled.
-//     Snapshots are taken on demand; nothing is formatted until asked.
+//     relaxed std::atomic<uint64_t> members grouped in structs, so the
+//     parallel search workers tick them without synchronization;
+//     instrumented code pays exactly one branch per event when telemetry
+//     is disabled (`if (auto* t = Active())`) and one relaxed increment
+//     when enabled.  Snapshots are taken on demand; nothing is formatted
+//     until asked.
 //   * TraceSink + ScopedSpan — RAII phase spans over a steady clock.
 //     Each completed span is one JSON object per line (JSONL): name,
 //     start_us, dur_us, depth, attrs.  The sink also aggregates
 //     per-name totals so `--stats` can report per-phase cost without a
-//     trace file.
+//     trace file.  Span completion takes a mutex (spans are rare —
+//     phases, not states).
 //   * ProgressSnapshot — the periodic search-progress report the
 //     checker hands to `CheckOptions::on_progress`: states/sec, depth
-//     histogram, queue-drain counts, pruning ratio, store fill.
+//     histogram, queue-drain counts, pruning ratio, store fill, and the
+//     parallel.* section (jobs, branch progress, per-worker states).
 //
 // The active Registry/TraceSink are process-global raw pointers set by
-// the embedding tool (CLI, bench, test); null means disabled.  The
-// search itself is single-threaded, so no synchronization is needed —
-// the globals must only be flipped between runs, not during one.
+// the embedding tool (CLI, bench, test); the globals must only be
+// flipped between runs, not during one.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -38,49 +43,65 @@ namespace iotsan::telemetry {
 
 // ---- Counter registry --------------------------------------------------------
 
+/// Relaxed atomic counter: worker threads tick concurrently; exact
+/// cross-counter consistency is only guaranteed at rest (between runs).
+using Counter = std::atomic<std::uint64_t>;
+
 /// Search-layer counters (checker + cascade engine).  All monotonic.
 struct SearchCounters {
-  std::uint64_t states_explored = 0;    // stable states expanded
-  std::uint64_t states_matched = 0;     // pruned as already-seen
-  std::uint64_t transitions = 0;        // (event, failure) applications
-  std::uint64_t cascade_drains = 0;     // cascades drained to quiescence
-  std::uint64_t events_injected = 0;    // external events injected
-  std::uint64_t handler_dispatches = 0; // app handler invocations
-  std::uint64_t invariant_evals = 0;    // property-expression evaluations
-  std::uint64_t violations_recorded = 0;
-  std::uint64_t budget_stops = 0;       // runs cut short by a budget
-  std::uint64_t progress_reports = 0;   // on_progress invocations
-  std::uint64_t replays_run = 0;        // deterministic trace re-executions
-  std::uint64_t replays_reproduced = 0; // replays that re-fired the property
-  std::uint64_t replays_refuted = 0;    // bitstate violations replay killed
+  Counter states_explored{0};    // stable states expanded
+  Counter states_matched{0};     // pruned as already-seen
+  Counter transitions{0};        // (event, failure) applications
+  Counter cascade_drains{0};     // cascades drained to quiescence
+  Counter events_injected{0};    // external events injected
+  Counter handler_dispatches{0}; // app handler invocations
+  Counter invariant_evals{0};    // property-expression evaluations
+  Counter violations_recorded{0};
+  Counter budget_stops{0};       // runs cut short by a budget
+  Counter progress_reports{0};   // on_progress invocations
+  Counter replays_run{0};        // deterministic trace re-executions
+  Counter replays_reproduced{0}; // replays that re-fired the property
+  Counter replays_refuted{0};    // bitstate violations replay killed
 };
 
 /// Pipeline-layer counters (translator, dependency analyzer, model
 /// generator, output analyzer).  All monotonic.
 struct PipelineCounters {
-  std::uint64_t apps_parsed = 0;        // SmartScript sources parsed
-  std::uint64_t parse_failures = 0;
-  std::uint64_t type_problems = 0;      // type-inference diagnostics
-  std::uint64_t dependency_edges = 0;   // edges in dependency graphs
-  std::uint64_t related_sets = 0;       // related sets computed
-  std::uint64_t models_built = 0;       // SystemModel instantiations
-  std::uint64_t checks_run = 0;         // Checker::Run completions
-  std::uint64_t configs_enumerated = 0; // attribution configurations
-  std::uint64_t attributions = 0;       // AttributeApp completions
+  Counter apps_parsed{0};        // SmartScript sources parsed
+  Counter parse_failures{0};
+  Counter type_problems{0};      // type-inference diagnostics
+  Counter dependency_edges{0};   // edges in dependency graphs
+  Counter related_sets{0};       // related sets computed
+  Counter models_built{0};       // SystemModel instantiations
+  Counter checks_run{0};         // Checker::Run completions
+  Counter configs_enumerated{0}; // attribution configurations
+  Counter attributions{0};       // AttributeApp completions
 };
 
 /// State-store gauges: last-written values, not monotonic.  Ratios are
 /// kept in fixed point so every sample is a uint64 (permille = 1/1000,
 /// ppm = 1/1e6).
 struct StoreGauges {
-  std::uint64_t entries = 0;
-  std::uint64_t memory_bytes = 0;
-  std::uint64_t fill_permille = 0;   // bit occupancy for BITSTATE
-  std::uint64_t omission_ppm = 0;    // estimated hash-omission probability
+  Counter entries{0};
+  Counter memory_bytes{0};
+  Counter fill_permille{0};   // bit occupancy for BITSTATE
+  Counter omission_ppm{0};    // estimated hash-omission probability
   /// How many checks ended above the 50%-occupancy saturation threshold
   /// (the stderr warning itself is emitted once per run; this counter
   /// still ticks per saturated check).  Monotonic, unlike the gauges.
-  std::uint64_t saturation_warnings = 0;
+  Counter saturation_warnings{0};
+};
+
+/// Parallel-execution counters: thread-pool activity and how much work
+/// each fan-out layer partitioned.  All monotonic.
+struct ParallelCounters {
+  Counter pools_created{0};    // thread pools constructed
+  Counter workers_spawned{0};  // dedicated worker threads started
+  Counter tasks_run{0};        // pool task bodies executed
+  Counter tasks_stolen{0};     // tasks executed on a lane != push lane
+  Counter branch_tasks{0};     // checker root (event × failure) branches
+  Counter group_tasks{0};      // sanitizer related sets fanned out
+  Counter config_tasks{0};     // attribution configurations fanned out
 };
 
 struct Sample {
@@ -93,15 +114,17 @@ class Registry {
   SearchCounters search;
   PipelineCounters pipeline;
   StoreGauges store;
+  ParallelCounters parallel;
 
   /// All counters and gauges as dotted names ("search.states_explored"),
   /// in a stable order.
   std::vector<Sample> Snapshot() const;
 
-  /// {"search": {...}, "pipeline": {...}, "store": {...}}.
+  /// {"search": {...}, "pipeline": {...}, "store": {...},
+  ///  "parallel": {...}}.
   json::Value ToJson() const;
 
-  void Reset() { *this = Registry(); }
+  void Reset();
 };
 
 /// The process-global registry; null = telemetry disabled (the one
@@ -145,7 +168,10 @@ class TraceSink {
   std::chrono::steady_clock::time_point epoch_;
   std::ofstream out_;
   bool to_file_ = false;
-  int open_spans_ = 0;  // current nesting depth
+  std::atomic<int> open_spans_{0};  // current nesting depth
+  // Guards totals_ and the output stream: spans may complete on pool
+  // worker threads concurrently.
+  std::mutex mutex_;
   std::map<std::string, Total, std::less<>> totals_;
 };
 
@@ -202,6 +228,15 @@ struct ProgressSnapshot {
   double store_fill_ratio = 0;
   /// States expanded per external-event depth (index 0 = initial state).
   std::vector<std::uint64_t> depth_histogram;
+
+  // ---- parallel.* section (meaningful when jobs > 1) ----
+  /// Worker lanes the search runs on (1 = serial).
+  int jobs = 1;
+  /// Root-level (event × failure) branches partitioned across workers.
+  std::uint64_t branches_total = 0;
+  std::uint64_t branches_done = 0;
+  /// States expanded per worker lane (empty for serial runs).
+  std::vector<std::uint64_t> worker_states_explored;
 };
 
 using ProgressCallback = std::function<void(const ProgressSnapshot&)>;

@@ -1,5 +1,6 @@
 #include "util/bitarray.hpp"
 
+#include <atomic>
 #include <bit>
 
 #include "util/error.hpp"
@@ -11,23 +12,34 @@ BitArray::BitArray(std::size_t bit_count) : bit_count_(bit_count) {
   words_.assign((bit_count + 63) / 64, 0);
 }
 
+namespace {
+
+// atomic_ref over a const element needs C++26; these reads are logically
+// const, so cast the qualifier away for the atomic load.
+std::uint64_t LoadWord(const std::uint64_t& word) {
+  return std::atomic_ref<std::uint64_t>(const_cast<std::uint64_t&>(word))
+      .load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
 bool BitArray::Test(std::uint64_t index) const {
   const std::uint64_t i = index % bit_count_;
-  return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  return (LoadWord(words_[i >> 6]) >> (i & 63)) & 1ULL;
 }
 
 bool BitArray::TestAndSet(std::uint64_t index) {
   const std::uint64_t i = index % bit_count_;
-  std::uint64_t& word = words_[i >> 6];
   const std::uint64_t mask = 1ULL << (i & 63);
-  const bool was_set = (word & mask) != 0;
-  word |= mask;
-  return was_set;
+  const std::uint64_t before =
+      std::atomic_ref<std::uint64_t>(words_[i >> 6])
+          .fetch_or(mask, std::memory_order_relaxed);
+  return (before & mask) != 0;
 }
 
 std::size_t BitArray::PopCount() const {
   std::size_t total = 0;
-  for (std::uint64_t w : words_) total += std::popcount(w);
+  for (const std::uint64_t& w : words_) total += std::popcount(LoadWord(w));
   return total;
 }
 

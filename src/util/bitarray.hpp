@@ -10,6 +10,11 @@ namespace iotsan {
 /// A flat array of bits with O(1) test/set.  Size is fixed at
 /// construction; the checker sizes it from its memory budget, exactly
 /// like Spin's -w flag sizes the bitstate field.
+///
+/// TestAndSet is lock-free and safe to call from multiple threads
+/// concurrently (a relaxed fetch_or per probed word), which is what lets
+/// parallel search workers share one bitstate store without a lock.
+/// Reset is NOT safe against concurrent mutators.
 class BitArray {
  public:
   /// Creates an all-zero array of `bit_count` bits (rounded up to a
@@ -22,13 +27,15 @@ class BitArray {
   /// Returns the bit at `index % size()`.
   bool Test(std::uint64_t index) const;
 
-  /// Sets the bit at `index % size()`; returns its previous value.
+  /// Atomically sets the bit at `index % size()`; returns its previous
+  /// value.  Two threads racing on the same bit agree: exactly one of
+  /// them observes "was clear".
   bool TestAndSet(std::uint64_t index);
 
   /// Number of set bits (linear scan; used for occupancy reporting).
   std::size_t PopCount() const;
 
-  /// Clears all bits.
+  /// Clears all bits.  Not thread-safe.
   void Reset();
 
  private:

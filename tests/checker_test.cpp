@@ -211,5 +211,77 @@ TEST(CheckerTest, MonitorViolationsCarryFailureLabels) {
   EXPECT_FALSE(result.Find("P45")->failure.empty());
 }
 
+// ---- Parallel search (--jobs) ------------------------------------------------
+
+/// Every caller-visible field of the report must match between a serial
+/// and a parallel run: the parallel search is canonicalized to be
+/// indistinguishable from jobs=1 (docs/performance.md).
+void ExpectSameReport(const CheckResult& serial, const CheckResult& parallel) {
+  EXPECT_EQ(serial.states_explored, parallel.states_explored);
+  EXPECT_EQ(serial.states_matched, parallel.states_matched);
+  EXPECT_EQ(serial.transitions, parallel.transitions);
+  EXPECT_EQ(serial.cascade_drains, parallel.cascade_drains);
+  EXPECT_EQ(serial.completed, parallel.completed);
+  EXPECT_EQ(serial.depth_histogram, parallel.depth_histogram);
+  ASSERT_EQ(serial.violations.size(), parallel.violations.size());
+  for (std::size_t i = 0; i < serial.violations.size(); ++i) {
+    const Violation& a = serial.violations[i];
+    const Violation& b = parallel.violations[i];
+    EXPECT_EQ(a.property_id, b.property_id);
+    EXPECT_EQ(a.occurrences, b.occurrences);
+    EXPECT_EQ(a.apps, b.apps);
+    EXPECT_EQ(a.depth, b.depth);
+    EXPECT_EQ(a.failure, b.failure);
+    EXPECT_EQ(a.detail, b.detail);
+    EXPECT_EQ(a.TraceLines(), b.TraceLines());
+    EXPECT_EQ(FormatViolation(a), FormatViolation(b));
+  }
+}
+
+TEST(ParallelCheckerTest, JobsFourMatchesSerial) {
+  model::SystemModel model = UnlockModel();
+  Checker checker(model);
+  CheckOptions serial_options;
+  serial_options.max_events = 3;
+  CheckOptions parallel_options = serial_options;
+  parallel_options.jobs = 4;
+  CheckResult serial = checker.Run(serial_options);
+  CheckResult parallel = checker.Run(parallel_options);
+  EXPECT_EQ(parallel.jobs, 4);
+  EXPECT_GT(parallel.parallel_branches, 0u);
+  ExpectSameReport(serial, parallel);
+  // Per-lane state counts partition the total.
+  std::uint64_t lane_total = 0;
+  for (std::uint64_t n : parallel.worker_states_explored) lane_total += n;
+  EXPECT_EQ(lane_total, parallel.states_explored);
+}
+
+TEST(ParallelCheckerTest, JobsFourMatchesSerialWithFailures) {
+  model::SystemModel model = UnlockModel();
+  Checker checker(model);
+  CheckOptions serial_options;
+  serial_options.max_events = 2;
+  serial_options.model_failures = true;
+  CheckOptions parallel_options = serial_options;
+  parallel_options.jobs = 4;
+  ExpectSameReport(checker.Run(serial_options), checker.Run(parallel_options));
+}
+
+TEST(ParallelCheckerTest, ParallelTraceReplays) {
+  model::SystemModel model = UnlockModel();
+  Checker checker(model);
+  CheckOptions options;
+  options.max_events = 3;
+  options.jobs = 4;
+  CheckResult result = checker.Run(options);
+  ASSERT_TRUE(result.HasViolation("P06"));
+  // The canonical counter-example from a parallel run re-executes
+  // deterministically, like any serial trace.
+  ViolationArtifact artifact =
+      MakeArtifact(*result.Find("P06"), options, "home", "hash");
+  ReplayResult replay = checker.Replay(artifact);
+  EXPECT_TRUE(replay.reproduced) << replay.message;
+}
+
 }  // namespace
 }  // namespace iotsan::checker

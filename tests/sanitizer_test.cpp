@@ -157,5 +157,60 @@ TEST(SanitizerTest, ViolatedPropertyIdsSorted) {
   EXPECT_FALSE(ids.empty());
 }
 
+TEST(SanitizerTest, ParallelJobsMatchesSerial) {
+  // Two independent related sets — the conflicting light pair and the
+  // presence/lock chain — so the parallel run fans both the groups and
+  // each group's root branches across the pool.  Every field of the
+  // merged report must match the serial run exactly.
+  config::DeploymentBuilder b("h");
+  b.Device("c1", "contactSensor", {"frontDoorContact"});
+  b.Device("lightMeter", "illuminanceSensor");
+  b.Device("sw", "smartSwitch", {"light"});
+  b.Device("p1", "presenceSensor", {"presence"});
+  b.Device("lock1", "smartLock", {"mainDoorLock"});
+  b.App("Brighten Dark Places")
+      .Devices("contact1", {"c1"})
+      .Devices("luminance1", {"lightMeter"})
+      .Devices("switches", {"sw"});
+  b.App("Let There Be Dark!")
+      .Devices("contact1", {"c1"})
+      .Devices("switches", {"sw"});
+  b.App("Auto Mode Change")
+      .Devices("people", {"p1"})
+      .Text("homeMode", "Home")
+      .Text("awayMode", "Away");
+  b.App("Unlock Door").Devices("lock1", {"lock1"});
+  config::Deployment deployment = b.Build();
+
+  SanitizerOptions serial_options;
+  serial_options.check.max_events = 2;
+  SanitizerOptions parallel_options = serial_options;
+  parallel_options.check.jobs = 4;
+  SanitizerReport serial = Sanitizer(deployment).Check(serial_options);
+  SanitizerReport parallel = Sanitizer(deployment).Check(parallel_options);
+
+  EXPECT_GT(serial.related_set_count, 1);
+  EXPECT_EQ(serial.ViolatedPropertyIds(), parallel.ViolatedPropertyIds());
+  EXPECT_EQ(serial.states_explored, parallel.states_explored);
+  EXPECT_EQ(serial.states_matched, parallel.states_matched);
+  EXPECT_EQ(serial.transitions, parallel.transitions);
+  EXPECT_EQ(serial.cascade_drains, parallel.cascade_drains);
+  EXPECT_EQ(serial.completed, parallel.completed);
+  EXPECT_EQ(serial.depth_histogram, parallel.depth_histogram);
+  ASSERT_EQ(serial.violations.size(), parallel.violations.size());
+  for (std::size_t i = 0; i < serial.violations.size(); ++i) {
+    EXPECT_EQ(serial.violations[i].occurrences,
+              parallel.violations[i].occurrences);
+    EXPECT_EQ(checker::FormatViolation(serial.violations[i]),
+              checker::FormatViolation(parallel.violations[i]));
+  }
+  ASSERT_EQ(serial.per_set_violations.size(),
+            parallel.per_set_violations.size());
+  for (std::size_t i = 0; i < serial.per_set_violations.size(); ++i) {
+    EXPECT_EQ(checker::FormatViolation(serial.per_set_violations[i]),
+              checker::FormatViolation(parallel.per_set_violations[i]));
+  }
+}
+
 }  // namespace
 }  // namespace iotsan::core

@@ -63,6 +63,7 @@ enum : unsigned {
 
 enum class Flag {
   kEvents,
+  kJobs,
   kFailures,
   kMono,
   kBitstate,
@@ -91,6 +92,9 @@ constexpr FlagSpec kFlagTable[] = {
     {Flag::kEvents, "--events", "N",
      kCmdCheck | kCmdAttribute | kCmdPromela,
      "external-event bound per run (Algorithm 1; default 3, attribute: 2)"},
+    {Flag::kJobs, "--jobs", "N", kCmdCheck | kCmdAttribute,
+     "worker threads for the search (0 = all hardware threads; default 1); "
+     "the report is identical for any N"},
     {Flag::kFailures, "--failures", nullptr, kCmdCheck,
      "enumerate device/communication failure scenarios per event (paper §8)"},
     {Flag::kMono, "--mono", nullptr, kCmdCheck,
@@ -231,6 +235,7 @@ void PrintHelp(std::FILE* out) {
 /// relevant to it.
 struct CliFlags {
   int events = -1;  // -1 = keep the command's default
+  int jobs = 1;     // worker threads (0 = hardware concurrency)
   bool failures = false;
   bool mono = false;
   bool bitstate = false;
@@ -277,6 +282,10 @@ std::vector<std::string> ParseFlags(unsigned command,
     }
     switch (spec->id) {
       case Flag::kEvents: flags.events = std::atoi(value.c_str()); break;
+      case Flag::kJobs:
+        flags.jobs = std::atoi(value.c_str());
+        if (flags.jobs < 0) throw Error("--jobs wants a value >= 0");
+        break;
       case Flag::kFailures: flags.failures = true; break;
       case Flag::kMono: flags.mono = true; break;
       case Flag::kBitstate: flags.bitstate = true; break;
@@ -528,6 +537,7 @@ int CmdCheck(const std::vector<std::string>& args) {
   core::Sanitizer sanitizer = MakeSanitizer(system);
   core::SanitizerOptions options;
   options.check.max_events = flags.events > 0 ? flags.events : 3;
+  options.check.jobs = flags.jobs;
   options.check.model_failures = flags.failures;
   options.use_dependency_analysis = !flags.mono;
   if (flags.bitstate) {
@@ -631,6 +641,7 @@ int CmdAttribute(const std::vector<std::string>& args) {
   attrib::AttributionOptions options;
   options.enumeration.max_configs = 24;
   options.check.max_events = flags.events > 0 ? flags.events : 2;
+  options.check.jobs = flags.jobs;
   options.check.reverify_bitstate = flags.reverify_bitstate;
   options.allow_dynamic_discovery = flags.allow_discovery;
   if (flags.bitstate) {
