@@ -7,11 +7,14 @@
 // Each run gets a wall-clock budget; runs exceeding it print ">budget".
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "bench_stats.hpp"
+#include "cache/result_cache.hpp"
 #include "config/builder.hpp"
 #include "core/sanitizer.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace iotsan;
 
@@ -68,9 +71,19 @@ int main() {
   std::printf("%-8s %-6s %-14s %-16s %-12s %s\n", "events", "jobs", "time",
               "states", "violations", "speedup");
 
+  const std::string cache_dir =
+      (std::filesystem::temp_directory_path() / "iotsan_table8_cache")
+          .string();
+
   double previous = 0;
   bool budget_hit = false;
   for (int events = 2; events <= 11 && !budget_hit; ++events) {
+    // A fresh result cache per depth: the serial run fills it cold, the
+    // warm re-check below measures the incremental-analysis win.
+    std::filesystem::remove_all(cache_dir);
+    cache::CacheConfig cache_config;
+    cache_config.dir = cache_dir;
+    cache::ResultCache cache(cache_config);
     // The --jobs sweep at each depth: serial first (the Table 8 number),
     // then the multi-threaded search over the same space.
     double serial_seconds = 0;
@@ -81,6 +94,9 @@ int main() {
       options.check.max_events = events;
       options.check.jobs = jobs;
       options.check.time_budget_seconds = kBudget;
+      // Only the serial run writes the cache, so the jobs=4 timing stays
+      // an honest full search.
+      if (jobs == 1) options.cache = &cache;
       const auto start = std::chrono::steady_clock::now();
       core::SanitizerReport report = sanitizer.Check(options);
       const double wall = std::chrono::duration<double>(
@@ -120,7 +136,44 @@ int main() {
         break;
       }
     }
+    if (budget_hit) break;
+
+    // Warm re-check against the cache the serial run just filled: an
+    // unchanged deployment should skip the search entirely.
+    {
+      core::Sanitizer sanitizer(deployment);
+      core::SanitizerOptions options;
+      options.use_dependency_analysis = false;
+      options.check.max_events = events;
+      options.check.time_budget_seconds = kBudget;
+      options.cache = &cache;
+      telemetry::Registry registry;
+      telemetry::SetActive(&registry);
+      const auto start = std::chrono::steady_clock::now();
+      core::SanitizerReport report = sanitizer.Check(options);
+      const double wall = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+      telemetry::SetActive(nullptr);
+      const std::uint64_t lookups = registry.cache.lookups;
+      const std::uint64_t hits = registry.cache.hits;
+      const double hit_rate =
+          lookups > 0 ? static_cast<double>(hits) / lookups : 0;
+      const double warm_speedup = wall > 1e-9 ? serial_seconds / wall : 0;
+      std::printf("%-8d warm   %-14s hit_rate %.2f  warm_speedup x%.1f\n",
+                  events, (std::to_string(wall).substr(0, 8) + "s").c_str(),
+                  hit_rate, warm_speedup);
+      json::Object extra;
+      extra["jobs"] = 1;
+      extra["wall_seconds"] = wall;
+      extra["cache_hit_rate"] = hit_rate;
+      extra["warm_speedup"] = warm_speedup;
+      bench::EmitStats("table8",
+                       "events=" + std::to_string(events) + ",cache=warm",
+                       report, std::move(extra));
+    }
   }
+  std::filesystem::remove_all(cache_dir);
 
   std::printf("\npaper expectation (Table 8): 6.61s / 50.9s / 396s / 49.83m "
               "/ 5.89h / 23.39h for 6..11\n  events — roughly 7-8x per "

@@ -46,6 +46,7 @@ std::set<std::string> ViolationsOf(
 
   core::SanitizerOptions options;
   options.check = check;
+  options.cache = attribution.cache;
   options.allow_dynamic_discovery = attribution.allow_dynamic_discovery;
   // Attribution widens the permutation space with user-initiated mode
   // switches (companion app), so mode-reactive attacks trigger even when
@@ -123,6 +124,7 @@ AttributionResult AttributeApp(const std::string& app_source,
     core::Sanitizer sanitizer(base);
     core::SanitizerOptions base_options;
     base_options.check = run_options.check;
+    base_options.cache = run_options.cache;
     for (const checker::Violation& v :
          sanitizer.Check(base_options).violations) {
       baseline.insert(v.property_id);

@@ -17,6 +17,10 @@
 #include "checker/checker.hpp"
 #include "config/deployment.hpp"
 
+namespace iotsan::cache {
+class ResultCache;
+}  // namespace iotsan::cache
+
 namespace iotsan::attrib {
 
 enum class Verdict {
@@ -35,6 +39,12 @@ struct AttributionOptions {
   bool allow_dynamic_discovery = false;
   EnumOptions enumeration;
   checker::CheckOptions check;
+  /// Optional result cache shared by the baseline run and every phase-1 /
+  /// phase-2 configuration probe.  Probes re-verify the same app-alone
+  /// and joint groups across configurations, so a cache turns the
+  /// enumeration from O(configs) searches into mostly lookups.  Not
+  /// owned; nullptr disables.
+  cache::ResultCache* cache = nullptr;
   AttributionOptions() { check.max_events = 2; }
 };
 

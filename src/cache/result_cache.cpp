@@ -1,0 +1,388 @@
+#include "cache/result_cache.hpp"
+
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "telemetry/telemetry.hpp"
+#include "util/build_info.hpp"
+#include "util/error.hpp"
+
+namespace iotsan::cache {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// True when `result` is a pure function of its key: budget-stopped
+/// runs depend on wall clock, and multi-lane bitstate searches race on
+/// bit insertions (the omission set differs run to run) — neither may
+/// be replayed from the cache (docs/caching.md).
+bool Storable(const checker::CheckResult& result, unsigned effective_jobs) {
+  if (!result.completed) return false;
+  if (result.store_fill_ratio > 0 && effective_jobs > 1) return false;
+  return true;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+// ---- Entry serialization -----------------------------------------------------
+
+json::Value EntryToJson(const GroupKey& key, const std::string& version,
+                        const checker::CheckResult& result) {
+  json::Object doc;
+  doc["schema"] = kCacheSchema;
+  doc["version"] = version;
+  doc["key"] = key.Hex();
+  doc["key_text"] = key.text;
+  json::Object res;
+  json::Array violations;
+  for (const checker::Violation& v : result.violations) {
+    violations.push_back(checker::ViolationToJson(v));
+  }
+  res["violations"] = std::move(violations);
+  res["states_explored"] = static_cast<std::int64_t>(result.states_explored);
+  res["states_matched"] = static_cast<std::int64_t>(result.states_matched);
+  res["transitions"] = static_cast<std::int64_t>(result.transitions);
+  res["cascade_drains"] = static_cast<std::int64_t>(result.cascade_drains);
+  res["completed"] = result.completed;
+  // The original compute time: a warm run reports the same per-group
+  // seconds the cold run measured, so aggregated reports stay
+  // byte-identical across cold and warm runs.
+  res["seconds"] = result.seconds;
+  res["store_fill_ratio"] = result.store_fill_ratio;
+  res["est_omission_probability"] = result.est_omission_probability;
+  res["store_entries"] = static_cast<std::int64_t>(result.store_entries);
+  res["store_memory_bytes"] =
+      static_cast<std::int64_t>(result.store_memory_bytes);
+  json::Array depths;
+  for (std::uint64_t count : result.depth_histogram) {
+    depths.push_back(static_cast<std::int64_t>(count));
+  }
+  res["depth_histogram"] = std::move(depths);
+  doc["result"] = std::move(res);
+  return doc;
+}
+
+checker::CheckResult EntryFromJson(const json::Value& doc,
+                                   const GroupKey& key,
+                                   const std::string& version) {
+  if (doc.GetString("schema") != kCacheSchema) {
+    throw Error("cache entry: wrong schema '" + doc.GetString("schema") +
+                "' (want '" + kCacheSchema + "')");
+  }
+  if (doc.GetString("version") != version) {
+    throw Error("cache entry: recorded by version '" +
+                doc.GetString("version") + "', this is '" + version + "'");
+  }
+  if (doc.GetString("key_text") != key.text) {
+    // A 64-bit digest collision (or a hand-edited file): the entry is
+    // for a different group; serving it would be silently wrong.
+    throw Error("cache entry: key document mismatch (digest collision)");
+  }
+  const json::Value& res = doc.At("result");
+  checker::CheckResult result;
+  for (const json::Value& v : res.At("violations").AsArray()) {
+    result.violations.push_back(checker::ViolationFromJson(v));
+  }
+  result.states_explored =
+      static_cast<std::uint64_t>(res.GetNumber("states_explored"));
+  result.states_matched =
+      static_cast<std::uint64_t>(res.GetNumber("states_matched"));
+  result.transitions =
+      static_cast<std::uint64_t>(res.GetNumber("transitions"));
+  result.cascade_drains =
+      static_cast<std::uint64_t>(res.GetNumber("cascade_drains"));
+  result.completed = res.GetBool("completed", true);
+  result.seconds = res.GetNumber("seconds");
+  result.store_fill_ratio = res.GetNumber("store_fill_ratio");
+  result.est_omission_probability =
+      res.GetNumber("est_omission_probability");
+  result.store_entries =
+      static_cast<std::uint64_t>(res.GetNumber("store_entries"));
+  result.store_memory_bytes =
+      static_cast<std::uint64_t>(res.GetNumber("store_memory_bytes"));
+  if (res.Has("depth_histogram")) {
+    for (const json::Value& count : res.At("depth_histogram").AsArray()) {
+      result.depth_histogram.push_back(
+          static_cast<std::uint64_t>(count.AsNumber()));
+    }
+  }
+  return result;
+}
+
+// ---- ResultCache -------------------------------------------------------------
+
+struct ResultCache::InFlight {
+  std::string key_text;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;    // leader published a result
+  bool failed = false;  // leader threw; a waiter must take over
+  checker::CheckResult result;
+};
+
+ResultCache::ResultCache(CacheConfig config) : config_(std::move(config)) {
+  version_ = config_.version.empty() ? build::GetBuildInfo().version
+                                     : config_.version;
+  if (!config_.dir.empty()) fs::create_directories(config_.dir);
+}
+
+std::string ResultCache::EntryPath(const GroupKey& key) const {
+  return config_.dir + "/" + key.Hex() + ".json";
+}
+
+std::optional<checker::CheckResult> ResultCache::LookupMemory(
+    const GroupKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key.digest);
+  if (it == index_.end()) return std::nullopt;
+  if (it->second->key_text != key.text) return std::nullopt;  // collision
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch
+  return it->second->result;
+}
+
+std::optional<checker::CheckResult> ResultCache::LookupDisk(
+    const GroupKey& key) {
+  if (config_.dir.empty()) return std::nullopt;
+  const std::string path = EntryPath(key);
+  const std::string text = ReadFileOrEmpty(path);
+  if (text.empty()) return std::nullopt;
+  auto* t = telemetry::Active();
+  try {
+    checker::CheckResult result =
+        EntryFromJson(json::Parse(text), key, version_);
+    if (t != nullptr) t->cache.bytes_read += text.size();
+    return result;
+  } catch (const Error&) {
+    // Corrupt, truncated, stale, or colliding entry: a miss, never an
+    // error — the subsequent Store overwrites it with a good one.
+    if (t != nullptr) ++t->cache.corrupt_entries;
+    return std::nullopt;
+  }
+}
+
+std::optional<checker::CheckResult> ResultCache::Lookup(const GroupKey& key) {
+  auto* t = telemetry::Active();
+  if (t != nullptr) ++t->cache.lookups;
+  if (auto hit = LookupMemory(key)) {
+    if (t != nullptr) {
+      ++t->cache.hits;
+      ++t->cache.hits_memory;
+    }
+    return hit;
+  }
+  if (auto hit = LookupDisk(key)) {
+    StoreMemory(key, *hit);  // promote
+    if (t != nullptr) {
+      ++t->cache.hits;
+      ++t->cache.hits_disk;
+    }
+    return hit;
+  }
+  if (t != nullptr) ++t->cache.misses;
+  return std::nullopt;
+}
+
+void ResultCache::StoreMemory(const GroupKey& key,
+                              const checker::CheckResult& result) {
+  if (config_.memory_entries == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key.digest);
+  if (it != index_.end()) {
+    it->second->key_text = key.text;
+    it->second->result = result;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front({key.digest, key.text, result});
+  index_[key.digest] = lru_.begin();
+  while (lru_.size() > config_.memory_entries) {
+    index_.erase(lru_.back().digest);
+    lru_.pop_back();
+    if (auto* t = telemetry::Active()) ++t->cache.evictions;
+  }
+}
+
+void ResultCache::StoreDisk(const GroupKey& key,
+                            const checker::CheckResult& result) {
+  if (config_.dir.empty()) return;
+  const std::string entry =
+      EntryToJson(key, version_, result).Dump(0) + "\n";
+  const std::string path = EntryPath(key);
+  // Temp-file + rename keeps readers from ever seeing a half-written
+  // entry; the thread-id suffix keeps concurrent writers (different
+  // processes sharing one cache dir) off each other's temp files.
+  const std::string tmp =
+      path + ".tmp." +
+      std::to_string(std::hash<std::thread::id>{}(std::this_thread::get_id()) &
+                     0xffffff);
+  std::error_code ec;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;  // unwritable cache dir degrades to no-op
+    out << entry;
+    if (!out.good()) {
+      fs::remove(tmp, ec);
+      return;
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return;
+  }
+  if (auto* t = telemetry::Active()) t->cache.bytes_written += entry.size();
+}
+
+void ResultCache::Store(const GroupKey& key,
+                        const checker::CheckResult& result,
+                        unsigned effective_jobs) {
+  auto* t = telemetry::Active();
+  if (!Storable(result, effective_jobs)) {
+    if (t != nullptr) ++t->cache.store_skips;
+    return;
+  }
+  StoreMemory(key, result);
+  StoreDisk(key, result);
+  if (t != nullptr) ++t->cache.stores;
+}
+
+checker::CheckResult ResultCache::FetchOrCompute(
+    const GroupKey& key, unsigned effective_jobs,
+    const std::function<checker::CheckResult()>& compute) {
+  for (;;) {
+    if (auto hit = Lookup(key)) return *hit;
+    std::shared_ptr<InFlight> flight;
+    bool leader = false;
+    {
+      std::lock_guard<std::mutex> lock(flight_mutex_);
+      auto it = in_flight_.find(key.digest);
+      if (it == in_flight_.end()) {
+        flight = std::make_shared<InFlight>();
+        flight->key_text = key.text;
+        in_flight_[key.digest] = flight;
+        leader = true;
+      } else {
+        flight = it->second;
+      }
+    }
+    if (!leader) {
+      if (flight->key_text != key.text) {
+        // Digest collision with a different in-flight group: compute
+        // without memoizing rather than wait on an unrelated key.
+        return compute();
+      }
+      if (auto* t = telemetry::Active()) ++t->cache.singleflight_waits;
+      std::unique_lock<std::mutex> lock(flight->mutex);
+      flight->cv.wait(lock, [&] { return flight->done || flight->failed; });
+      if (flight->done) return flight->result;
+      continue;  // leader threw: retry (possibly becoming the leader)
+    }
+    checker::CheckResult result;
+    try {
+      result = compute();
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(flight_mutex_);
+        in_flight_.erase(key.digest);
+      }
+      {
+        std::lock_guard<std::mutex> lock(flight->mutex);
+        flight->failed = true;
+      }
+      flight->cv.notify_all();
+      throw;
+    }
+    Store(key, result, effective_jobs);
+    {
+      std::lock_guard<std::mutex> lock(flight_mutex_);
+      in_flight_.erase(key.digest);
+    }
+    {
+      std::lock_guard<std::mutex> lock(flight->mutex);
+      flight->done = true;
+      flight->result = result;
+    }
+    flight->cv.notify_all();
+    return result;
+  }
+}
+
+// ---- Maintenance -------------------------------------------------------------
+
+namespace {
+
+enum class EntryState { kCurrent, kStale, kCorrupt };
+
+EntryState ClassifyEntry(const fs::path& path, const std::string& version) {
+  const std::string text = ReadFileOrEmpty(path.string());
+  if (text.empty()) return EntryState::kCorrupt;
+  try {
+    const json::Value doc = json::Parse(text);
+    if (doc.GetString("schema") != kCacheSchema) return EntryState::kCorrupt;
+    if (!doc.Has("key") || !doc.Has("key_text") || !doc.Has("result")) {
+      return EntryState::kCorrupt;
+    }
+    if (doc.GetString("version") != version) return EntryState::kStale;
+    return EntryState::kCurrent;
+  } catch (const Error&) {
+    return EntryState::kCorrupt;
+  }
+}
+
+DirStats WalkDir(const std::string& dir, const std::string& version,
+                 bool remove_stale, bool remove_all) {
+  DirStats stats;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& path = entry.path();
+    if (path.extension() != ".json") continue;
+    stats.bytes += entry.file_size(ec);
+    const EntryState state = ClassifyEntry(path, version);
+    bool remove = remove_all;
+    switch (state) {
+      case EntryState::kCurrent: ++stats.entries; break;
+      case EntryState::kStale:
+        ++stats.stale;
+        remove = remove || remove_stale;
+        break;
+      case EntryState::kCorrupt:
+        ++stats.corrupt;
+        remove = remove || remove_stale;
+        break;
+    }
+    if (remove && fs::remove(path, ec)) ++stats.removed;
+  }
+  return stats;
+}
+
+}  // namespace
+
+DirStats ResultCache::Scan(const std::string& dir,
+                           const std::string& version) {
+  return WalkDir(dir, version, /*remove_stale=*/false, /*remove_all=*/false);
+}
+
+DirStats ResultCache::Prune(const std::string& dir,
+                            const std::string& version) {
+  return WalkDir(dir, version, /*remove_stale=*/true, /*remove_all=*/false);
+}
+
+DirStats ResultCache::Clear(const std::string& dir) {
+  return WalkDir(dir, /*version=*/"", /*remove_stale=*/false,
+                 /*remove_all=*/true);
+}
+
+}  // namespace iotsan::cache

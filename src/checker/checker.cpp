@@ -46,20 +46,12 @@ telemetry::ProgressSnapshot CheckResult::Progress() const {
       considered > 0 ? static_cast<double>(states_matched) / considered : 0;
   snapshot.store_fill_ratio = store_fill_ratio;
   snapshot.depth_histogram = depth_histogram;
+  if (auto* t = telemetry::Active()) {
+    snapshot.cache_hits = t->cache.hits;
+    snapshot.cache_misses = t->cache.misses;
+  }
   return snapshot;
 }
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-// The once-per-run latch for the bitstate saturation warning: re-armed
-// by ResetSaturationWarning() (the CLI does so per command), so a run
-// checking dozens of related sets warns once instead of once per check.
-// An atomic_flag because parallel workers (or parallel related-set
-// checks) may finish saturated checks concurrently: exactly one of them
-// wins the test_and_set and prints.
-std::atomic_flag g_saturation_warned = ATOMIC_FLAG_INIT;
 
 std::string_view PropertyKindName(props::PropertyKind kind) {
   switch (kind) {
@@ -74,6 +66,93 @@ std::string_view PropertyKindName(props::PropertyKind kind) {
   }
   return "invariant";
 }
+
+props::PropertyKind PropertyKindFromName(std::string_view name) {
+  for (props::PropertyKind kind :
+       {props::PropertyKind::kInvariant, props::PropertyKind::kNoConflict,
+        props::PropertyKind::kNoRepeat, props::PropertyKind::kNoNetworkLeak,
+        props::PropertyKind::kSmsRecipient,
+        props::PropertyKind::kNoSensitiveCmd,
+        props::PropertyKind::kNoFakeEvent,
+        props::PropertyKind::kRobustness}) {
+    if (name == PropertyKindName(kind)) return kind;
+  }
+  return props::PropertyKind::kInvariant;
+}
+
+json::Value ViolationToJson(const Violation& violation) {
+  json::Object obj;
+  obj["property_id"] = violation.property_id;
+  obj["category"] = violation.category;
+  obj["description"] = violation.description;
+  obj["kind"] = std::string(PropertyKindName(violation.kind));
+  json::Array steps;
+  for (const TraceStep& step : violation.steps) steps.push_back(ToJson(step));
+  obj["steps"] = std::move(steps);
+  obj["detail"] = violation.detail;
+  json::Array apps;
+  for (const std::string& app : violation.apps) apps.push_back(app);
+  obj["apps"] = std::move(apps);
+  json::Array model_apps;
+  for (const std::string& app : violation.model_apps) model_apps.push_back(app);
+  obj["model_apps"] = std::move(model_apps);
+  obj["failure"] = violation.failure;
+  obj["depth"] = violation.depth;
+  obj["occurrences"] = static_cast<std::int64_t>(violation.occurrences);
+  obj["replay_verified"] = violation.replay_verified;
+  return obj;
+}
+
+Violation ViolationFromJson(const json::Value& value) {
+  Violation violation;
+  violation.property_id = value.GetString("property_id");
+  violation.category = value.GetString("category");
+  violation.description = value.GetString("description");
+  violation.kind = PropertyKindFromName(value.GetString("kind", "invariant"));
+  if (value.Has("steps")) {
+    for (const json::Value& step : value.At("steps").AsArray()) {
+      violation.steps.push_back(TraceStepFromJson(step));
+    }
+  }
+  violation.detail = value.GetString("detail");
+  if (value.Has("apps")) {
+    for (const json::Value& app : value.At("apps").AsArray()) {
+      violation.apps.push_back(app.AsString());
+    }
+  }
+  if (value.Has("model_apps")) {
+    for (const json::Value& app : value.At("model_apps").AsArray()) {
+      violation.model_apps.push_back(app.AsString());
+    }
+  }
+  violation.failure = value.GetString("failure");
+  violation.depth = static_cast<int>(value.GetNumber("depth"));
+  violation.occurrences =
+      static_cast<std::uint64_t>(value.GetNumber("occurrences", 1));
+  violation.replay_verified = value.GetBool("replay_verified");
+  return violation;
+}
+
+namespace {
+
+/// Copies the run-so-far analysis-cache tallies into a progress
+/// snapshot (both 0 when telemetry or the cache is off).
+void FillCacheProgress(telemetry::ProgressSnapshot& snapshot) {
+  if (auto* t = telemetry::Active()) {
+    snapshot.cache_hits = t->cache.hits;
+    snapshot.cache_misses = t->cache.misses;
+  }
+}
+
+using Clock = std::chrono::steady_clock;
+
+// The once-per-run latch for the bitstate saturation warning: re-armed
+// by ResetSaturationWarning() (the CLI does so per command), so a run
+// checking dozens of related sets warns once instead of once per check.
+// An atomic_flag because parallel workers (or parallel related-set
+// checks) may finish saturated checks concurrently: exactly one of them
+// wins the test_and_set and prints.
+std::atomic_flag g_saturation_warned = ATOMIC_FLAG_INIT;
 
 /// One step of a guided (replay) search: the recorded external event,
 /// failure scenario, and interleaving choice, resolved against a
@@ -460,6 +539,7 @@ class Search {
             : 0;
     snapshot.store_fill_ratio = store_->FillRatio();
     snapshot.depth_histogram = result_.depth_histogram;
+    FillCacheProgress(snapshot);
     return snapshot;
   }
 
@@ -508,6 +588,7 @@ class Search {
       snapshot.worker_states_explored.push_back(
           lane.load(std::memory_order_relaxed));
     }
+    FillCacheProgress(snapshot);
     std::lock_guard<std::mutex> lock(shared_->progress_mutex);
     options_.on_progress(snapshot);
     if (auto* t = telemetry::Active()) ++t->search.progress_reports;

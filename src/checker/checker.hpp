@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "checker/trace.hpp"
@@ -182,6 +183,18 @@ class Checker {
 
 /// Renders a violation report (description, involved apps, trace).
 std::string FormatViolation(const Violation& violation);
+
+/// Stable names for PropertyKind ("invariant", "no_conflict", ...),
+/// shared by violation artifacts and the analysis cache.
+/// PropertyKindFromName inverts (unknown names map to kInvariant).
+std::string_view PropertyKindName(props::PropertyKind kind);
+props::PropertyKind PropertyKindFromName(std::string_view name);
+
+/// Canonical JSON round-trip for a Violation, including its structured
+/// trace — the unit the incremental analysis cache (src/cache) persists.
+/// Identical violations produce byte-identical compact dumps.
+json::Value ViolationToJson(const Violation& violation);
+Violation ViolationFromJson(const json::Value& value);
 
 /// Bundles a violation with a reproducibility manifest.  `options` must
 /// be the CheckOptions of the run that found it; deployment name/hash

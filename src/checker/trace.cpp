@@ -335,4 +335,104 @@ std::vector<std::string> FlattenTrace(const std::vector<TraceStep>& steps,
   return lines;
 }
 
+// ---- Validation --------------------------------------------------------------
+
+namespace {
+
+bool IsHex16(const std::string& s) {
+  if (s.size() != 16) return false;
+  for (char c : s) {
+    if ((c < '0' || c > '9') && (c < 'a' || c > 'f')) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string> ValidateArtifact(
+    const ViolationArtifact& artifact,
+    const std::string& expected_config_hash) {
+  std::vector<std::string> problems;
+  const RunManifest& m = artifact.manifest;
+  if (m.tool != "iotsan") {
+    problems.push_back("manifest.tool is '" + m.tool + "', want 'iotsan'");
+  }
+  if (m.version.empty()) problems.push_back("manifest.version is empty");
+  if (!IsHex16(m.config_hash)) {
+    problems.push_back("manifest.config_hash '" + m.config_hash +
+                       "' is not 16 lowercase hex digits");
+  }
+  if (!expected_config_hash.empty() &&
+      m.config_hash != expected_config_hash) {
+    problems.push_back("manifest.config_hash " + m.config_hash +
+                       " does not match the deployment's fingerprint " +
+                       expected_config_hash);
+  }
+  if (m.model_apps.empty()) {
+    problems.push_back("manifest.model_apps is empty");
+  }
+  if (m.scheduling != "sequential" && m.scheduling != "concurrent") {
+    problems.push_back("manifest.scheduling '" + m.scheduling +
+                       "' is not a known scheduling");
+  }
+  if (m.store != "exhaustive" && m.store != "bitstate") {
+    problems.push_back("manifest.store '" + m.store +
+                       "' is not a known store kind");
+  }
+  if (m.store == "bitstate" && m.bitstate_bits == 0) {
+    problems.push_back("manifest.store is bitstate but bitstate_bits is 0");
+  }
+  if (m.store == "exhaustive" && m.bitstate_bits != 0) {
+    problems.push_back("manifest.store is exhaustive but bitstate_bits is " +
+                       std::to_string(m.bitstate_bits));
+  }
+  if (m.max_events < 1) {
+    problems.push_back("manifest.max_events is " +
+                       std::to_string(m.max_events) + ", want >= 1");
+  }
+  if (artifact.property_id.empty()) problems.push_back("property id is empty");
+  for (const std::string& app : artifact.apps) {
+    bool in_model = false;
+    for (const std::string& label : m.model_apps) {
+      in_model = in_model || label == app;
+    }
+    if (!in_model) {
+      problems.push_back("violated app '" + app +
+                         "' is not among manifest.model_apps");
+    }
+  }
+  if (artifact.depth != static_cast<int>(artifact.steps.size())) {
+    problems.push_back(
+        "violation depth " + std::to_string(artifact.depth) + " != " +
+        std::to_string(artifact.steps.size()) + " trace step(s)");
+  }
+  if (artifact.depth > m.max_events) {
+    problems.push_back("violation depth " + std::to_string(artifact.depth) +
+                       " exceeds the manifest's " +
+                       std::to_string(m.max_events) + "-event bound");
+  }
+  for (std::size_t i = 0; i < artifact.steps.size(); ++i) {
+    const TraceStep& step = artifact.steps[i];
+    const int want_index = static_cast<int>(i) + 1;
+    if (step.index != want_index) {
+      problems.push_back("trace step " + std::to_string(i) + " has index " +
+                         std::to_string(step.index) + ", want " +
+                         std::to_string(want_index));
+    }
+    // The checker's simulated clock: one second per external event.
+    if (step.sim_time_ms != want_index * 1000) {
+      problems.push_back("trace step " + std::to_string(want_index) +
+                         " has sim_time_ms " +
+                         std::to_string(step.sim_time_ms) + ", want " +
+                         std::to_string(want_index * 1000));
+    }
+    if (step.kind != "sensor" && step.kind != "app_touch" &&
+        step.kind != "timer" && step.kind != "user_mode") {
+      problems.push_back("trace step " + std::to_string(want_index) +
+                         " has unknown event kind '" + step.kind + "'");
+    }
+  }
+  return problems;
+}
+
 }  // namespace iotsan::checker

@@ -165,6 +165,19 @@ TraceStep TraceStepFromJson(const json::Value& value);
 RunManifest ManifestFromJson(const json::Value& value);
 ViolationArtifact ArtifactFromJson(const json::Value& value);
 
+/// Structural validation of a parsed artifact (`iotsan_trace verify`):
+/// manifest sanity (tool == "iotsan", non-empty version, 16-hex config
+/// fingerprint, known store/scheduling names, bitstate_bits consistent
+/// with the store kind), violated-app labels a subset of the model
+/// apps, and trace coherence (1-based sequential step indices, the
+/// 1000 ms/event simulated clock, depth == step count).  Returns one
+/// human-readable problem per defect; empty == valid.  When
+/// `expected_config_hash` is non-empty it must equal the manifest's
+/// (re-derived from a deployment file to catch artifact/config drift).
+std::vector<std::string> ValidateArtifact(
+    const ViolationArtifact& artifact,
+    const std::string& expected_config_hash = "");
+
 /// Computes the attribute/mode/online deltas between two states of the
 /// same model (used by the checker when recording each step).
 std::vector<TraceDelta> DiffStates(const model::SystemModel& model,

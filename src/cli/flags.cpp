@@ -1,0 +1,247 @@
+#include "cli/flags.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace iotsan::cli {
+
+namespace {
+
+constexpr FlagSpec kFlagTable[] = {
+    {Flag::kEvents, "--events", "N",
+     kCmdCheck | kCmdAttribute | kCmdPromela,
+     "external-event bound per run (Algorithm 1; default 3, attribute: 2)",
+     1, 64},
+    {Flag::kJobs, "--jobs", "N", kCmdCheck | kCmdAttribute,
+     "worker threads for the search (0 = all hardware threads; default 1); "
+     "the report is identical for any N",
+     0, 1024},
+    {Flag::kFailures, "--failures", nullptr, kCmdCheck,
+     "enumerate device/communication failure scenarios per event (paper §8)"},
+    {Flag::kMono, "--mono", nullptr, kCmdCheck,
+     "skip dependency analysis; check all apps in one monolithic model"},
+    {Flag::kBitstate, "--bitstate", nullptr, kCmdCheck | kCmdAttribute,
+     "use Spin-style BITSTATE hashing instead of the exhaustive store"},
+    {Flag::kBitstateBits, "--bitstate-bits", "P", kCmdCheck | kCmdAttribute,
+     "BITSTATE bit-field size as a power of two (Spin -w; default 27 = "
+     "16 MiB)",
+     10, 40},
+    {Flag::kFirst, "--first", nullptr, kCmdCheck,
+     "stop at the first property violation"},
+    {Flag::kProperties, "--properties", "FILE", kCmdCheck,
+     "load additional user-defined safety properties from JSON"},
+    {Flag::kAllowDiscovery, "--allow-discovery", nullptr,
+     kCmdCheck | kCmdAttribute,
+     "check dynamic-device-discovery apps instead of rejecting them"},
+    {Flag::kStats, "--stats", nullptr,
+     kCmdCheck | kCmdAttribute | kCmdDeps,
+     "print telemetry after the run: counters, per-phase durations, store "
+     "diagnostics"},
+    {Flag::kTraceOut, "--trace-out", "FILE",
+     kCmdCheck | kCmdAttribute | kCmdDeps,
+     "write a JSONL span trace (one JSON object per line) to FILE"},
+    {Flag::kProgressEvery, "--progress-every", "N", kCmdCheck,
+     "report search progress to stderr every N expanded states",
+     0, 1000000000000000000LL},
+    {Flag::kArtifactsDir, "--artifacts-dir", "DIR",
+     kCmdCheck | kCmdAttribute,
+     "write one violation artifact (JSON: run manifest + structured "
+     "trace) per violated property into DIR"},
+    {Flag::kReplay, "--replay", "FILE", kCmdCheck,
+     "deterministically re-execute a recorded violation artifact instead "
+     "of searching; exit 0 iff it reproduces"},
+    {Flag::kReverifyBitstate, "--reverify-bitstate", nullptr,
+     kCmdCheck | kCmdAttribute,
+     "replay-verify every BITSTATE violation with an exhaustive store "
+     "before reporting it (false-positive filter)"},
+    {Flag::kCacheDir, "--cache-dir", "DIR", kCmdCheck | kCmdAttribute,
+     "memoize per-group verification results in DIR; warm re-checks of "
+     "unchanged groups skip the search (see docs/caching.md)"},
+    {Flag::kHelp, "--help", nullptr,
+     kCmdCheck | kCmdAttribute | kCmdDeps | kCmdPromela,
+     "show this help"},
+};
+
+struct CommandSpec {
+  unsigned id;
+  const char* name;
+  const char* positionals;
+  const char* summary;
+};
+
+constexpr CommandSpec kCommands[] = {
+    {kCmdCheck, "check", "<deployment.json>",
+     "verify a deployment against the active safety properties"},
+    {kCmdAttribute, "attribute", "<app.smartscript|corpus-name> "
+                                 "<deployment.json>",
+     "vet a new app before installation (§9 Output Analyzer)"},
+    {kCmdDeps, "deps", "<deployment.json>",
+     "print the dependency graph and related sets (§5)"},
+    {kCmdPromela, "promela", "<deployment.json>",
+     "emit the generated Promela model (§6/§8)"},
+    {0, "cache", "<stats|prune|clear> <DIR>",
+     "inspect or maintain an incremental-analysis cache directory"},
+    {0, "apps", "", "list the bundled corpus apps"},
+    {0, "version", "", "print the tool version and build information"},
+    {0, "help", "", "show this help"},
+};
+
+/// Flag letters for the global help ("CA" = check and attribute).
+std::string CommandLetters(unsigned mask) {
+  std::string out;
+  if (mask & kCmdCheck) out += 'C';
+  if (mask & kCmdAttribute) out += 'A';
+  if (mask & kCmdDeps) out += 'D';
+  if (mask & kCmdPromela) out += 'P';
+  return out;
+}
+
+std::string FlagUsage(const FlagSpec& spec) {
+  std::string out = spec.name;
+  if (spec.arg != nullptr) {
+    out += ' ';
+    out += spec.arg;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::span<const FlagSpec> FlagTable() { return kFlagTable; }
+
+const FlagSpec* FindFlag(const std::string& name) {
+  for (const FlagSpec& spec : kFlagTable) {
+    if (name == spec.name) return &spec;
+  }
+  return nullptr;
+}
+
+std::string UsageFor(unsigned command) {
+  std::string out = "usage: iotsan";
+  for (const CommandSpec& cmd : kCommands) {
+    if (cmd.id != command) continue;
+    out += ' ';
+    out += cmd.name;
+    if (cmd.positionals[0] != '\0') {
+      out += ' ';
+      out += cmd.positionals;
+    }
+  }
+  for (const FlagSpec& spec : kFlagTable) {
+    if (spec.id == Flag::kHelp || !(spec.commands & command)) continue;
+    out += " [" + FlagUsage(spec) + "]";
+  }
+  return out;
+}
+
+void PrintHelp(std::FILE* out) {
+  std::fprintf(out, "iotsan — IoT safety sanitizer (IotSan, CoNEXT '18)\n\n");
+  std::fprintf(out, "commands:\n");
+  for (const CommandSpec& cmd : kCommands) {
+    std::string invocation = cmd.name;
+    if (cmd.positionals[0] != '\0') {
+      invocation += ' ';
+      invocation += cmd.positionals;
+    }
+    std::fprintf(out, "  %-52s %s\n", invocation.c_str(), cmd.summary);
+  }
+  std::fprintf(out, "\nflags (letters mark the accepting commands: "
+                    "C=check, A=attribute, D=deps, P=promela):\n");
+  for (const FlagSpec& spec : kFlagTable) {
+    if (spec.id == Flag::kHelp) continue;
+    std::fprintf(out, "  %-4s %-22s %s\n",
+                 CommandLetters(spec.commands).c_str(),
+                 FlagUsage(spec).c_str(), spec.help);
+  }
+  std::fprintf(out,
+               "\ntelemetry: --stats prints counters, per-phase durations "
+               "and store fill after the\nrun; --trace-out writes one JSON "
+               "object per span (name, start_us, dur_us, depth,\nattrs).  "
+               "See docs/observability.md for the schema and the counter "
+               "taxonomy.\n");
+}
+
+long long ParseFlagInt(const std::string& flag, const std::string& value,
+                       long long min_value, long long max_value) {
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  // strtoll silently skips leading whitespace; a flag value must be all
+  // digits (with an optional sign), nothing else.
+  const bool leading_space =
+      !value.empty() && std::isspace(static_cast<unsigned char>(value[0]));
+  if (value.empty() || leading_space || end != value.c_str() + value.size() ||
+      errno != 0) {
+    throw Error("option " + flag + " wants an integer, got '" + value + "'");
+  }
+  if (parsed < min_value || parsed > max_value) {
+    throw Error("option " + flag + " wants a value in [" +
+                std::to_string(min_value) + ", " + std::to_string(max_value) +
+                "], got " + value);
+  }
+  return parsed;
+}
+
+std::vector<std::string> ParseFlags(unsigned command,
+                                    const std::vector<std::string>& args,
+                                    CliFlags& flags) {
+  std::vector<std::string> positionals;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      positionals.push_back(arg);
+      continue;
+    }
+    const FlagSpec* spec = FindFlag(arg);
+    if (spec == nullptr) {
+      throw Error("unknown option: " + arg + " (see 'iotsan help')");
+    }
+    if (!(spec->commands & command)) {
+      throw Error("option " + arg + " does not apply to this command\n" +
+                  UsageFor(command));
+    }
+    std::string value;
+    long long number = 0;
+    if (spec->arg != nullptr) {
+      if (i + 1 >= args.size()) {
+        throw Error("option " + arg + " needs a value (" + spec->arg + ")");
+      }
+      value = args[++i];
+      // Numeric flags declare their valid range in the table; validate
+      // here so every command (and the tests) share one strict parser.
+      if (spec->min < spec->max) {
+        number = ParseFlagInt(spec->name, value, spec->min, spec->max);
+      }
+    }
+    switch (spec->id) {
+      case Flag::kEvents: flags.events = static_cast<int>(number); break;
+      case Flag::kJobs: flags.jobs = static_cast<int>(number); break;
+      case Flag::kFailures: flags.failures = true; break;
+      case Flag::kMono: flags.mono = true; break;
+      case Flag::kBitstate: flags.bitstate = true; break;
+      case Flag::kBitstateBits:
+        flags.bitstate_bits_pow = static_cast<int>(number);
+        flags.bitstate = true;
+        break;
+      case Flag::kFirst: flags.first = true; break;
+      case Flag::kProperties: flags.properties_path = value; break;
+      case Flag::kAllowDiscovery: flags.allow_discovery = true; break;
+      case Flag::kStats: flags.stats = true; break;
+      case Flag::kTraceOut: flags.trace_out = value; break;
+      case Flag::kProgressEvery:
+        flags.progress_every = static_cast<std::uint64_t>(number);
+        break;
+      case Flag::kArtifactsDir: flags.artifacts_dir = value; break;
+      case Flag::kReplay: flags.replay_path = value; break;
+      case Flag::kReverifyBitstate: flags.reverify_bitstate = true; break;
+      case Flag::kCacheDir: flags.cache_dir = value; break;
+      case Flag::kHelp: flags.help = true; break;
+    }
+  }
+  return positionals;
+}
+
+}  // namespace iotsan::cli

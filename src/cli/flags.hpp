@@ -1,0 +1,107 @@
+// Shared command-line flag table for the iotsan tool.
+//
+// Flags are declared once in FlagTable() — the parser, the generated
+// help text, and the per-command usage lines all read it, so the three
+// cannot drift.  Living in src/cli (instead of the tool's main file)
+// makes the table and the strict numeric validation unit-testable
+// without spawning the binary.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace iotsan::cli {
+
+/// Commands that accept flags, as a bitmask (FlagSpec::commands).
+enum : unsigned {
+  kCmdCheck = 1u << 0,
+  kCmdAttribute = 1u << 1,
+  kCmdDeps = 1u << 2,
+  kCmdPromela = 1u << 3,
+};
+
+enum class Flag {
+  kEvents,
+  kJobs,
+  kFailures,
+  kMono,
+  kBitstate,
+  kBitstateBits,
+  kFirst,
+  kProperties,
+  kAllowDiscovery,
+  kStats,
+  kTraceOut,
+  kProgressEvery,
+  kArtifactsDir,
+  kReplay,
+  kReverifyBitstate,
+  kCacheDir,
+  kHelp,
+};
+
+struct FlagSpec {
+  Flag id;
+  const char* name;
+  const char* arg;    // metavar; nullptr when the flag takes no value
+  unsigned commands;  // bitmask of commands accepting the flag
+  const char* help;
+  // Valid range for numeric-valued flags (min < max marks the flag as
+  // numeric; the parser strictly validates the value against it).
+  long long min = 0;
+  long long max = 0;
+};
+
+/// The full flag table, in help order.
+std::span<const FlagSpec> FlagTable();
+
+/// Looks a flag up by its exact `--name`; nullptr when unknown.
+const FlagSpec* FindFlag(const std::string& name);
+
+/// "usage: iotsan check <deployment.json> [--events N] [...]", generated
+/// from the tables so usage errors always list exactly the accepted flags.
+std::string UsageFor(unsigned command);
+
+/// The full command + flag reference (`iotsan help`).
+void PrintHelp(std::FILE* out);
+
+/// Strictly parses a numeric flag value: the whole string must be a
+/// decimal integer within [min_value, max_value].  Throws iotsan::Error
+/// naming the flag on malformed input ("--jobs four", "--jobs 4x",
+/// empty, overflow) or an out-of-range value.
+long long ParseFlagInt(const std::string& flag, const std::string& value,
+                       long long min_value, long long max_value);
+
+/// Values collected from the flag table; each command reads the fields
+/// relevant to it.
+struct CliFlags {
+  int events = -1;  // -1 = keep the command's default
+  int jobs = 1;     // worker threads (0 = hardware concurrency)
+  bool failures = false;
+  bool mono = false;
+  bool bitstate = false;
+  int bitstate_bits_pow = 0;  // 0 = default (27)
+  bool first = false;
+  bool allow_discovery = false;
+  bool stats = false;
+  bool help = false;
+  bool reverify_bitstate = false;
+  std::string properties_path;
+  std::string trace_out;
+  std::string artifacts_dir;
+  std::string replay_path;
+  std::string cache_dir;
+  std::uint64_t progress_every = 0;
+};
+
+/// Parses `args` for `command`, separating positionals from flags.
+/// Throws iotsan::Error on unknown flags, missing or malformed values,
+/// or flags the command does not accept.
+std::vector<std::string> ParseFlags(unsigned command,
+                                    const std::vector<std::string>& args,
+                                    CliFlags& flags);
+
+}  // namespace iotsan::cli

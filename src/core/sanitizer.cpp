@@ -5,6 +5,7 @@
 #include <memory>
 #include <set>
 
+#include "cache/result_cache.hpp"
 #include "corpus/corpus.hpp"
 #include "ir/analyzer.hpp"
 #include "model/system_model.hpp"
@@ -172,6 +173,14 @@ SanitizerReport Sanitizer::Check(const SanitizerOptions& options) const {
     report.related_set_count = static_cast<int>(groups.size());
   }
 
+  // The candidate property set (built-ins + user extras).  The model
+  // filters it by applicability deterministically from the deployment, so
+  // this is the set the cache key fingerprints.
+  std::vector<props::Property> all_properties = props::BuiltinProperties();
+  for (const props::Property& p : options.extra_properties) {
+    all_properties.push_back(p);
+  }
+
   // Builds, property-selects, and checks one related-set group.
   auto check_group = [&](const std::vector<std::size_t>& group,
                          const checker::CheckOptions& check) {
@@ -179,31 +188,49 @@ SanitizerReport Sanitizer::Check(const SanitizerOptions& options) const {
     // stay visible so role-based properties bind identically.
     config::Deployment sub = deployment_;
     sub.apps.clear();
-    std::vector<ir::AnalyzedApp> group_apps;
-    for (std::size_t i : group) {
-      sub.apps.push_back(deployment_.apps[i]);
-      // Re-analyze per group: AnalyzedApp is consumed by SystemModel and
-      // related sets may overlap.
-      group_apps.push_back(
-          ir::AnalyzeSource(SourceFor(deployment_.apps[i].app),
-                            deployment_.apps[i].app));
-    }
-    model::SystemModel model = [&] {
-      telemetry::ScopedSpan build_span("model_build");
-      build_span.Attr("apps", static_cast<std::int64_t>(group.size()));
-      if (auto* t = telemetry::Active()) ++t->pipeline.models_built;
-      return model::SystemModel(std::move(sub), std::move(group_apps),
-                                model_options);
-    }();
-    if (!options.extra_properties.empty()) {
-      std::vector<props::Property> all = props::BuiltinProperties();
-      for (const props::Property& p : options.extra_properties) {
-        all.push_back(p);
+    for (std::size_t i : group) sub.apps.push_back(deployment_.apps[i]);
+
+    auto run = [&]() -> checker::CheckResult {
+      std::vector<ir::AnalyzedApp> group_apps;
+      for (std::size_t i : group) {
+        // Re-analyze per group: AnalyzedApp is consumed by SystemModel and
+        // related sets may overlap.
+        group_apps.push_back(
+            ir::AnalyzeSource(SourceFor(deployment_.apps[i].app),
+                              deployment_.apps[i].app));
       }
-      model.SelectProperties(all);
+      model::SystemModel model = [&] {
+        telemetry::ScopedSpan build_span("model_build");
+        build_span.Attr("apps", static_cast<std::int64_t>(group.size()));
+        if (auto* t = telemetry::Active()) ++t->pipeline.models_built;
+        return model::SystemModel(config::Deployment(sub),
+                                  std::move(group_apps), model_options);
+      }();
+      if (!options.extra_properties.empty()) {
+        model.SelectProperties(all_properties);
+      }
+      checker::Checker checker(model);
+      return checker.Run(check);
+    };
+
+    if (options.cache == nullptr) return run();
+    // A group's result is a pure function of this key: a hit skips the
+    // re-analysis, model build, and search above.
+    cache::GroupKeyInputs inputs;
+    inputs.deployment = &sub;
+    for (std::size_t i : group) {
+      inputs.sources.emplace_back(deployment_.apps[i].app,
+                                  SourceFor(deployment_.apps[i].app));
     }
-    checker::Checker checker(model);
-    return checker.Run(check);
+    inputs.properties = &all_properties;
+    inputs.check = &check;
+    inputs.model = &model_options;
+    inputs.version = options.cache->version();
+    const unsigned effective_jobs =
+        check.pool != nullptr ? static_cast<unsigned>(check.pool->jobs())
+                              : util::ResolveJobs(check.jobs);
+    return options.cache->FetchOrCompute(cache::MakeGroupKey(inputs),
+                                         effective_jobs, run);
   };
 
   const unsigned jobs = util::ResolveJobs(options.check.jobs);

@@ -14,6 +14,10 @@
 #include "config/deployment.hpp"
 #include "deps/dependency_graph.hpp"
 
+namespace iotsan::cache {
+class ResultCache;
+}  // namespace iotsan::cache
+
 namespace iotsan::core {
 
 struct SanitizerOptions {
@@ -28,6 +32,11 @@ struct SanitizerOptions {
   bool allow_dynamic_discovery = false;
   /// Additional safety properties beyond the built-ins (user-defined).
   std::vector<props::Property> extra_properties;
+  /// Optional result cache (src/cache): per-group verification results
+  /// are memoized under their content-addressed fingerprint, so warm
+  /// re-checks of unchanged (source, config, options) groups skip the
+  /// model build and search entirely.  Not owned; nullptr disables.
+  cache::ResultCache* cache = nullptr;
 };
 
 struct SanitizerReport {

@@ -58,6 +58,18 @@ std::vector<Sample> Registry::Snapshot() const {
   add("parallel.branch_tasks", parallel.branch_tasks);
   add("parallel.group_tasks", parallel.group_tasks);
   add("parallel.config_tasks", parallel.config_tasks);
+  add("cache.lookups", cache.lookups);
+  add("cache.hits", cache.hits);
+  add("cache.hits_memory", cache.hits_memory);
+  add("cache.hits_disk", cache.hits_disk);
+  add("cache.misses", cache.misses);
+  add("cache.stores", cache.stores);
+  add("cache.store_skips", cache.store_skips);
+  add("cache.evictions", cache.evictions);
+  add("cache.corrupt_entries", cache.corrupt_entries);
+  add("cache.bytes_read", cache.bytes_read);
+  add("cache.bytes_written", cache.bytes_written);
+  add("cache.singleflight_waits", cache.singleflight_waits);
   return out;
 }
 
@@ -81,7 +93,11 @@ void Registry::Reset() {
            &parallel.pools_created, &parallel.workers_spawned,
            &parallel.tasks_run, &parallel.tasks_stolen,
            &parallel.branch_tasks, &parallel.group_tasks,
-           &parallel.config_tasks,
+           &parallel.config_tasks, &cache.lookups, &cache.hits,
+           &cache.hits_memory, &cache.hits_disk, &cache.misses,
+           &cache.stores, &cache.store_skips, &cache.evictions,
+           &cache.corrupt_entries, &cache.bytes_read, &cache.bytes_written,
+           &cache.singleflight_waits,
        }) {
     c->store(0);
   }
@@ -92,6 +108,7 @@ json::Value Registry::ToJson() const {
   json::Object pipeline_obj;
   json::Object store_obj;
   json::Object parallel_obj;
+  json::Object cache_obj;
   for (const Sample& sample : Snapshot()) {
     const auto dot = sample.name.find('.');
     const std::string group = sample.name.substr(0, dot);
@@ -103,6 +120,8 @@ json::Value Registry::ToJson() const {
       pipeline_obj[key] = value;
     } else if (group == "parallel") {
       parallel_obj[key] = value;
+    } else if (group == "cache") {
+      cache_obj[key] = value;
     } else {
       store_obj[key] = value;
     }
@@ -112,6 +131,7 @@ json::Value Registry::ToJson() const {
   doc["pipeline"] = json::Value(std::move(pipeline_obj));
   doc["store"] = json::Value(std::move(store_obj));
   doc["parallel"] = json::Value(std::move(parallel_obj));
+  doc["cache"] = json::Value(std::move(cache_obj));
   return json::Value(std::move(doc));
 }
 
@@ -238,6 +258,13 @@ std::string FormatProgress(const ProgressSnapshot& snapshot) {
                   ", jobs %d, branches %" PRIu64 "/%" PRIu64, snapshot.jobs,
                   snapshot.branches_done, snapshot.branches_total);
     out += par;
+  }
+  if (snapshot.cache_hits + snapshot.cache_misses > 0) {
+    char cache[64];
+    std::snprintf(cache, sizeof(cache),
+                  ", cache %" PRIu64 " hit/%" PRIu64 " miss",
+                  snapshot.cache_hits, snapshot.cache_misses);
+    out += cache;
   }
   return out;
 }

@@ -92,6 +92,23 @@ struct StoreGauges {
   Counter saturation_warnings{0};
 };
 
+/// Incremental-analysis cache counters (src/cache): per-group result
+/// memoization across check/attribute runs.  All monotonic.
+struct CacheCounters {
+  Counter lookups{0};           // Lookup() calls (memory or disk)
+  Counter hits{0};              // results served from the cache
+  Counter hits_memory{0};       // ... of which from the in-memory LRU
+  Counter hits_disk{0};         // ... of which deserialized from disk
+  Counter misses{0};            // lookups that fell through to a check
+  Counter stores{0};            // entries written (memory and/or disk)
+  Counter store_skips{0};       // results refused (incomplete/bitstate)
+  Counter evictions{0};         // LRU entries displaced from memory
+  Counter corrupt_entries{0};   // unreadable disk entries treated as miss
+  Counter bytes_read{0};        // disk entry bytes deserialized
+  Counter bytes_written{0};     // disk entry bytes written
+  Counter singleflight_waits{0};// lookups that waited on an in-flight key
+};
+
 /// Parallel-execution counters: thread-pool activity and how much work
 /// each fan-out layer partitioned.  All monotonic.
 struct ParallelCounters {
@@ -115,13 +132,14 @@ class Registry {
   PipelineCounters pipeline;
   StoreGauges store;
   ParallelCounters parallel;
+  CacheCounters cache;
 
   /// All counters and gauges as dotted names ("search.states_explored"),
   /// in a stable order.
   std::vector<Sample> Snapshot() const;
 
   /// {"search": {...}, "pipeline": {...}, "store": {...},
-  ///  "parallel": {...}}.
+  ///  "parallel": {...}, "cache": {...}}.
   json::Value ToJson() const;
 
   void Reset();
@@ -237,6 +255,13 @@ struct ProgressSnapshot {
   std::uint64_t branches_done = 0;
   /// States expanded per worker lane (empty for serial runs).
   std::vector<std::uint64_t> worker_states_explored;
+
+  // ---- cache.* section (meaningful when an analysis cache is active) ----
+  /// Related-set groups served from / missed by the incremental analysis
+  /// cache so far this run (mirrors the active Registry's cache.hits /
+  /// cache.misses at snapshot time; both 0 when no cache is configured).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
 };
 
 using ProgressCallback = std::function<void(const ProgressSnapshot&)>;

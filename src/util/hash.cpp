@@ -1,5 +1,8 @@
 #include "util/hash.hpp"
 
+#include <cstdio>
+#include <cstring>
+
 namespace iotsan::hash {
 
 namespace {
@@ -38,6 +41,46 @@ std::uint64_t NthHash(std::uint64_t base, unsigned i) {
   const std::uint64_t h1 = SplitMix64(base);
   const std::uint64_t h2 = SplitMix64(base ^ 0xa5a5a5a5a5a5a5a5ULL) | 1ULL;
   return h1 + static_cast<std::uint64_t>(i) * h2;
+}
+
+Fnv1a64Stream& Fnv1a64Stream::MixBytes(std::span<const std::uint8_t> bytes) {
+  for (std::uint8_t b : bytes) {
+    h_ ^= b;
+    h_ *= kFnvPrime;
+  }
+  return *this;
+}
+
+Fnv1a64Stream& Fnv1a64Stream::Mix(std::string_view s) {
+  Mix(static_cast<std::uint64_t>(s.size()));
+  for (char c : s) {
+    h_ ^= static_cast<std::uint8_t>(c);
+    h_ *= kFnvPrime;
+  }
+  return *this;
+}
+
+Fnv1a64Stream& Fnv1a64Stream::Mix(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h_ ^= static_cast<std::uint8_t>(v >> (8 * i));
+    h_ *= kFnvPrime;
+  }
+  return *this;
+}
+
+Fnv1a64Stream& Fnv1a64Stream::Mix(double v) {
+  if (v == 0.0) v = 0.0;  // collapse -0.0
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return Mix(bits);
+}
+
+std::string Fnv1a64Stream::Hex() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h_));
+  return buf;
 }
 
 }  // namespace iotsan::hash

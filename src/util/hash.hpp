@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <string_view>
 
 namespace iotsan::hash {
@@ -25,5 +26,31 @@ std::uint64_t SplitMix64(std::uint64_t x);
 /// Derives the i-th hash for a k-hash Bloom filter from a base hash,
 /// using the Kirsch-Mitzenmacher double-hashing scheme.
 std::uint64_t NthHash(std::uint64_t base, unsigned i);
+
+/// Streaming FNV-1a accumulator for composite fingerprints (the
+/// incremental-analysis cache keys, src/cache).  Every Mix overload is
+/// length- or width-delimited and byte-order-fixed (little endian), so
+/// digests are stable across platforms and field concatenations cannot
+/// alias ("ab"+"c" != "a"+"bc").
+class Fnv1a64Stream {
+ public:
+  /// Raw bytes, NOT length-delimited (compose with Mix(uint64) when
+  /// framing matters).
+  Fnv1a64Stream& MixBytes(std::span<const std::uint8_t> bytes);
+  /// Length-prefixed string: mixes the 64-bit length, then the bytes.
+  Fnv1a64Stream& Mix(std::string_view s);
+  /// 8 little-endian bytes.
+  Fnv1a64Stream& Mix(std::uint64_t v);
+  Fnv1a64Stream& Mix(bool v) { return Mix(std::uint64_t{v ? 1u : 0u}); }
+  /// The IEEE-754 bit pattern (canonicalizing -0.0 to 0.0).
+  Fnv1a64Stream& Mix(double v);
+
+  std::uint64_t digest() const { return h_; }
+  /// The digest as 16 lowercase hex digits (cache file names).
+  std::string Hex() const;
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+};
 
 }  // namespace iotsan::hash

@@ -10,6 +10,9 @@
 //       Print the dependency graph and related sets (§5).
 //   iotsan promela <deployment.json> [--events N]
 //       Emit the generated Promela model (§6/§8).
+//   iotsan cache <stats|prune|clear> <DIR>
+//       Inspect or maintain an incremental-analysis cache directory
+//       (--cache-dir; see docs/caching.md).
 //   iotsan apps
 //       List the bundled corpus apps.
 //   iotsan version | --version
@@ -17,11 +20,12 @@
 //   iotsan help
 //       Full flag reference.
 //
-// Flags are declared once in kFlagTable — the parser and the generated
-// help text both read it, so the two cannot drift.  Telemetry flags
-// (--stats, --trace-out, --progress-every) surface the src/telemetry
-// observability layer: counters, per-phase spans, search progress, and
-// bitstate-saturation diagnostics (see docs/observability.md).
+// Flags are declared once in the shared table (src/cli/flags.hpp) — the
+// parser and the generated help text both read it, so the two cannot
+// drift.  Telemetry flags (--stats, --trace-out, --progress-every)
+// surface the src/telemetry observability layer: counters, per-phase
+// spans, search progress, and bitstate-saturation diagnostics (see
+// docs/observability.md).
 //
 // Deployment files use the JSON schema of config/deployment.hpp; app
 // sources not in the bundled corpus can be given in the deployment under
@@ -36,6 +40,8 @@
 #include <vector>
 
 #include "attrib/output_analyzer.hpp"
+#include "cache/result_cache.hpp"
+#include "cli/flags.hpp"
 #include "core/sanitizer.hpp"
 #include "corpus/corpus.hpp"
 #include "deps/dependency_graph.hpp"
@@ -51,268 +57,7 @@
 namespace {
 
 using namespace iotsan;
-
-// ---- Flag table: single source of truth for parser and help -----------------
-
-enum : unsigned {
-  kCmdCheck = 1u << 0,
-  kCmdAttribute = 1u << 1,
-  kCmdDeps = 1u << 2,
-  kCmdPromela = 1u << 3,
-};
-
-enum class Flag {
-  kEvents,
-  kJobs,
-  kFailures,
-  kMono,
-  kBitstate,
-  kBitstateBits,
-  kFirst,
-  kProperties,
-  kAllowDiscovery,
-  kStats,
-  kTraceOut,
-  kProgressEvery,
-  kArtifactsDir,
-  kReplay,
-  kReverifyBitstate,
-  kHelp,
-};
-
-struct FlagSpec {
-  Flag id;
-  const char* name;
-  const char* arg;    // metavar; nullptr when the flag takes no value
-  unsigned commands;  // bitmask of commands accepting the flag
-  const char* help;
-};
-
-constexpr FlagSpec kFlagTable[] = {
-    {Flag::kEvents, "--events", "N",
-     kCmdCheck | kCmdAttribute | kCmdPromela,
-     "external-event bound per run (Algorithm 1; default 3, attribute: 2)"},
-    {Flag::kJobs, "--jobs", "N", kCmdCheck | kCmdAttribute,
-     "worker threads for the search (0 = all hardware threads; default 1); "
-     "the report is identical for any N"},
-    {Flag::kFailures, "--failures", nullptr, kCmdCheck,
-     "enumerate device/communication failure scenarios per event (paper §8)"},
-    {Flag::kMono, "--mono", nullptr, kCmdCheck,
-     "skip dependency analysis; check all apps in one monolithic model"},
-    {Flag::kBitstate, "--bitstate", nullptr, kCmdCheck | kCmdAttribute,
-     "use Spin-style BITSTATE hashing instead of the exhaustive store"},
-    {Flag::kBitstateBits, "--bitstate-bits", "P", kCmdCheck | kCmdAttribute,
-     "BITSTATE bit-field size as a power of two (Spin -w; default 27 = "
-     "16 MiB)"},
-    {Flag::kFirst, "--first", nullptr, kCmdCheck,
-     "stop at the first property violation"},
-    {Flag::kProperties, "--properties", "FILE", kCmdCheck,
-     "load additional user-defined safety properties from JSON"},
-    {Flag::kAllowDiscovery, "--allow-discovery", nullptr,
-     kCmdCheck | kCmdAttribute,
-     "check dynamic-device-discovery apps instead of rejecting them"},
-    {Flag::kStats, "--stats", nullptr,
-     kCmdCheck | kCmdAttribute | kCmdDeps,
-     "print telemetry after the run: counters, per-phase durations, store "
-     "diagnostics"},
-    {Flag::kTraceOut, "--trace-out", "FILE",
-     kCmdCheck | kCmdAttribute | kCmdDeps,
-     "write a JSONL span trace (one JSON object per line) to FILE"},
-    {Flag::kProgressEvery, "--progress-every", "N", kCmdCheck,
-     "report search progress to stderr every N expanded states"},
-    {Flag::kArtifactsDir, "--artifacts-dir", "DIR",
-     kCmdCheck | kCmdAttribute,
-     "write one violation artifact (JSON: run manifest + structured "
-     "trace) per violated property into DIR"},
-    {Flag::kReplay, "--replay", "FILE", kCmdCheck,
-     "deterministically re-execute a recorded violation artifact instead "
-     "of searching; exit 0 iff it reproduces"},
-    {Flag::kReverifyBitstate, "--reverify-bitstate", nullptr,
-     kCmdCheck | kCmdAttribute,
-     "replay-verify every BITSTATE violation with an exhaustive store "
-     "before reporting it (false-positive filter)"},
-    {Flag::kHelp, "--help", nullptr,
-     kCmdCheck | kCmdAttribute | kCmdDeps | kCmdPromela,
-     "show this help"},
-};
-
-struct CommandSpec {
-  unsigned id;
-  const char* name;
-  const char* positionals;
-  const char* summary;
-};
-
-constexpr CommandSpec kCommands[] = {
-    {kCmdCheck, "check", "<deployment.json>",
-     "verify a deployment against the active safety properties"},
-    {kCmdAttribute, "attribute", "<app.smartscript|corpus-name> "
-                                 "<deployment.json>",
-     "vet a new app before installation (§9 Output Analyzer)"},
-    {kCmdDeps, "deps", "<deployment.json>",
-     "print the dependency graph and related sets (§5)"},
-    {kCmdPromela, "promela", "<deployment.json>",
-     "emit the generated Promela model (§6/§8)"},
-    {0, "apps", "", "list the bundled corpus apps"},
-    {0, "version", "", "print the tool version and build information"},
-    {0, "help", "", "show this help"},
-};
-
-const FlagSpec* FindFlag(const std::string& name) {
-  for (const FlagSpec& spec : kFlagTable) {
-    if (name == spec.name) return &spec;
-  }
-  return nullptr;
-}
-
-/// Flag letters for the global help ("CA" = check and attribute).
-std::string CommandLetters(unsigned mask) {
-  std::string out;
-  if (mask & kCmdCheck) out += 'C';
-  if (mask & kCmdAttribute) out += 'A';
-  if (mask & kCmdDeps) out += 'D';
-  if (mask & kCmdPromela) out += 'P';
-  return out;
-}
-
-std::string FlagUsage(const FlagSpec& spec) {
-  std::string out = spec.name;
-  if (spec.arg != nullptr) {
-    out += ' ';
-    out += spec.arg;
-  }
-  return out;
-}
-
-/// "iotsan check <deployment.json> [--events N] [...]", generated from
-/// the tables so usage errors always list exactly the accepted flags.
-std::string UsageFor(unsigned command) {
-  std::string out = "usage: iotsan";
-  for (const CommandSpec& cmd : kCommands) {
-    if (cmd.id != command) continue;
-    out += ' ';
-    out += cmd.name;
-    if (cmd.positionals[0] != '\0') {
-      out += ' ';
-      out += cmd.positionals;
-    }
-  }
-  for (const FlagSpec& spec : kFlagTable) {
-    if (spec.id == Flag::kHelp || !(spec.commands & command)) continue;
-    out += " [" + FlagUsage(spec) + "]";
-  }
-  return out;
-}
-
-void PrintHelp(std::FILE* out) {
-  std::fprintf(out, "iotsan — IoT safety sanitizer (IotSan, CoNEXT '18)\n\n");
-  std::fprintf(out, "commands:\n");
-  for (const CommandSpec& cmd : kCommands) {
-    std::string invocation = cmd.name;
-    if (cmd.positionals[0] != '\0') {
-      invocation += ' ';
-      invocation += cmd.positionals;
-    }
-    std::fprintf(out, "  %-52s %s\n", invocation.c_str(), cmd.summary);
-  }
-  std::fprintf(out, "\nflags (letters mark the accepting commands: "
-                    "C=check, A=attribute, D=deps, P=promela):\n");
-  for (const FlagSpec& spec : kFlagTable) {
-    if (spec.id == Flag::kHelp) continue;
-    std::fprintf(out, "  %-4s %-22s %s\n",
-                 CommandLetters(spec.commands).c_str(),
-                 FlagUsage(spec).c_str(), spec.help);
-  }
-  std::fprintf(out,
-               "\ntelemetry: --stats prints counters, per-phase durations "
-               "and store fill after the\nrun; --trace-out writes one JSON "
-               "object per span (name, start_us, dur_us, depth,\nattrs).  "
-               "See docs/observability.md for the schema and the counter "
-               "taxonomy.\n");
-}
-
-/// Values collected from the flag table; each command reads the fields
-/// relevant to it.
-struct CliFlags {
-  int events = -1;  // -1 = keep the command's default
-  int jobs = 1;     // worker threads (0 = hardware concurrency)
-  bool failures = false;
-  bool mono = false;
-  bool bitstate = false;
-  int bitstate_bits_pow = 0;  // 0 = default (27)
-  bool first = false;
-  bool allow_discovery = false;
-  bool stats = false;
-  bool help = false;
-  bool reverify_bitstate = false;
-  std::string properties_path;
-  std::string trace_out;
-  std::string artifacts_dir;
-  std::string replay_path;
-  std::uint64_t progress_every = 0;
-};
-
-/// Parses `args` for `command`, separating positionals from flags.
-/// Throws iotsan::Error on unknown flags, missing values, or flags the
-/// command does not accept.
-std::vector<std::string> ParseFlags(unsigned command,
-                                    const std::vector<std::string>& args,
-                                    CliFlags& flags) {
-  std::vector<std::string> positionals;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    const std::string& arg = args[i];
-    if (arg.rfind("--", 0) != 0) {
-      positionals.push_back(arg);
-      continue;
-    }
-    const FlagSpec* spec = FindFlag(arg);
-    if (spec == nullptr) {
-      throw Error("unknown option: " + arg + " (see 'iotsan help')");
-    }
-    if (!(spec->commands & command)) {
-      throw Error("option " + arg + " does not apply to this command\n" +
-                  UsageFor(command));
-    }
-    std::string value;
-    if (spec->arg != nullptr) {
-      if (i + 1 >= args.size()) {
-        throw Error("option " + arg + " needs a value (" + spec->arg + ")");
-      }
-      value = args[++i];
-    }
-    switch (spec->id) {
-      case Flag::kEvents: flags.events = std::atoi(value.c_str()); break;
-      case Flag::kJobs:
-        flags.jobs = std::atoi(value.c_str());
-        if (flags.jobs < 0) throw Error("--jobs wants a value >= 0");
-        break;
-      case Flag::kFailures: flags.failures = true; break;
-      case Flag::kMono: flags.mono = true; break;
-      case Flag::kBitstate: flags.bitstate = true; break;
-      case Flag::kBitstateBits:
-        flags.bitstate_bits_pow = std::atoi(value.c_str());
-        if (flags.bitstate_bits_pow < 10 || flags.bitstate_bits_pow > 40) {
-          throw Error("--bitstate-bits wants a power of two in [10, 40]");
-        }
-        flags.bitstate = true;
-        break;
-      case Flag::kFirst: flags.first = true; break;
-      case Flag::kProperties: flags.properties_path = value; break;
-      case Flag::kAllowDiscovery: flags.allow_discovery = true; break;
-      case Flag::kStats: flags.stats = true; break;
-      case Flag::kTraceOut: flags.trace_out = value; break;
-      case Flag::kProgressEvery:
-        flags.progress_every =
-            static_cast<std::uint64_t>(std::atoll(value.c_str()));
-        break;
-      case Flag::kArtifactsDir: flags.artifacts_dir = value; break;
-      case Flag::kReplay: flags.replay_path = value; break;
-      case Flag::kReverifyBitstate: flags.reverify_bitstate = true; break;
-      case Flag::kHelp: flags.help = true; break;
-    }
-  }
-  return positionals;
-}
+using namespace iotsan::cli;
 
 // ---- Telemetry session -------------------------------------------------------
 
@@ -554,6 +299,13 @@ int CmdCheck(const std::vector<std::string>& args) {
         props::LoadPropertiesJson(ReadFile(flags.properties_path));
   }
   InstallProgressReporter(options.check, flags.progress_every);
+  std::unique_ptr<cache::ResultCache> result_cache;
+  if (!flags.cache_dir.empty()) {
+    cache::CacheConfig cache_config;
+    cache_config.dir = flags.cache_dir;
+    result_cache = std::make_unique<cache::ResultCache>(cache_config);
+    options.cache = result_cache.get();
+  }
 
   TelemetrySession telemetry_session(flags);
   core::SanitizerReport report = sanitizer.Check(options);
@@ -650,6 +402,13 @@ int CmdAttribute(const std::vector<std::string>& args) {
       options.check.bitstate_bits = std::size_t{1} << flags.bitstate_bits_pow;
     }
   }
+  std::unique_ptr<cache::ResultCache> result_cache;
+  if (!flags.cache_dir.empty()) {
+    cache::CacheConfig cache_config;
+    cache_config.dir = flags.cache_dir;
+    result_cache = std::make_unique<cache::ResultCache>(cache_config);
+    options.cache = result_cache.get();
+  }
 
   TelemetrySession telemetry_session(flags);
   attrib::AttributionResult result =
@@ -721,6 +480,41 @@ int CmdPromela(const std::vector<std::string>& args) {
   return 0;
 }
 
+int CmdCache(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    std::fprintf(stderr, "usage: iotsan cache <stats|prune|clear> <DIR>\n");
+    return 2;
+  }
+  const std::string& action = args[0];
+  const std::string& dir = args[1];
+  const std::string version = build::GetBuildInfo().version;
+  cache::DirStats stats;
+  if (action == "stats") {
+    stats = cache::ResultCache::Scan(dir, version);
+  } else if (action == "prune") {
+    stats = cache::ResultCache::Prune(dir, version);
+  } else if (action == "clear") {
+    stats = cache::ResultCache::Clear(dir);
+  } else {
+    std::fprintf(stderr,
+                 "unknown cache action: %s (want stats, prune, or clear)\n",
+                 action.c_str());
+    return 2;
+  }
+  std::printf("cache %s (version %s, schema %s)\n", dir.c_str(),
+              version.c_str(), cache::kCacheSchema);
+  std::printf("  entries: %llu current (%s), %llu stale, %llu corrupt\n",
+              static_cast<unsigned long long>(stats.entries),
+              HumanBytes(stats.bytes).c_str(),
+              static_cast<unsigned long long>(stats.stale),
+              static_cast<unsigned long long>(stats.corrupt));
+  if (action != "stats") {
+    std::printf("  removed: %llu file(s)\n",
+                static_cast<unsigned long long>(stats.removed));
+  }
+  return 0;
+}
+
 int CmdApps() {
   std::printf("%-32s %s\n", "name", "kind");
   for (const corpus::CorpusApp& app : corpus::AllApps()) {
@@ -739,7 +533,8 @@ int main(int argc, char** argv) {
   if (args.empty()) {
     std::fprintf(stderr,
                  "iotsan — IoT safety sanitizer (IotSan, CoNEXT '18)\n"
-                 "commands: check, attribute, deps, promela, apps, help\n"
+                 "commands: check, attribute, deps, promela, cache, apps, "
+                 "help\n"
                  "run 'iotsan help' for the full flag reference\n");
     return 2;
   }
@@ -750,6 +545,7 @@ int main(int argc, char** argv) {
     if (command == "attribute") return CmdAttribute(args);
     if (command == "deps") return CmdDeps(args);
     if (command == "promela") return CmdPromela(args);
+    if (command == "cache") return CmdCache(args);
     if (command == "apps") return CmdApps();
     if (command == "version" || command == "--version") {
       std::printf("%s\n", build::VersionLine().c_str());

@@ -12,8 +12,13 @@
 //       goes to stdout; spans keep their microsecond timeline, artifact
 //       steps are laid out on the checker's simulated clock (1 s per
 //       external event).
+//   iotsan_trace verify <artifact.json>... [--deployment <deployment.json>]
+//       Structurally validate artifacts: schema version, manifest
+//       sanity, trace coherence; with --deployment, recompute the
+//       config fingerprint and require a match.  Exit 0 iff all valid.
 //
-// `--summary`, `--diff`, and `--chrome` are accepted as aliases.
+// `--summary`, `--diff`, `--chrome`, and `--verify` are accepted as
+// aliases.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -21,6 +26,7 @@
 #include <vector>
 
 #include "checker/trace.hpp"
+#include "config/deployment.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
 
@@ -297,6 +303,57 @@ int CmdChrome(const std::vector<std::string>& paths) {
   return 0;
 }
 
+// ---- verify ------------------------------------------------------------------
+
+/// `iotsan_trace verify a.json b.json [--deployment d.json]`: validate
+/// each artifact structurally; exit 0 iff every one is valid.
+int CmdVerify(const std::vector<std::string>& args) {
+  std::vector<std::string> paths;
+  std::string expected_hash;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--deployment") {
+      if (i + 1 >= args.size()) {
+        throw Error("--deployment needs a value (deployment.json)");
+      }
+      const config::Deployment deployment =
+          config::ParseDeployment(json::Parse(ReadFile(args[++i])));
+      expected_hash = config::DeploymentFingerprintHex(deployment);
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+  if (paths.empty()) {
+    throw Error("verify needs at least one artifact file");
+  }
+  int invalid = 0;
+  for (const std::string& path : paths) {
+    // Schema check first: ArtifactFromJson throws on anything that is
+    // not an iotsan.violation/1 document.
+    checker::ViolationArtifact artifact;
+    try {
+      artifact = checker::ArtifactFromJson(json::Parse(ReadFile(path)));
+    } catch (const Error& e) {
+      std::printf("%s: INVALID\n  %s\n", path.c_str(), e.what());
+      ++invalid;
+      continue;
+    }
+    const std::vector<std::string> problems =
+        checker::ValidateArtifact(artifact, expected_hash);
+    if (problems.empty()) {
+      std::printf("%s: ok (%s, %zu step(s), config %s)\n", path.c_str(),
+                  artifact.property_id.c_str(), artifact.steps.size(),
+                  artifact.manifest.config_hash.c_str());
+      continue;
+    }
+    std::printf("%s: INVALID\n", path.c_str());
+    for (const std::string& problem : problems) {
+      std::printf("  %s\n", problem.c_str());
+    }
+    ++invalid;
+  }
+  return invalid == 0 ? 0 : 1;
+}
+
 int Usage(std::FILE* out) {
   std::fprintf(
       out,
@@ -309,7 +366,10 @@ int Usage(std::FILE* out) {
       "  iotsan_trace chrome <file>...             convert artifacts / "
       "span JSONL to Chrome\n"
       "                                            trace-event JSON on "
-      "stdout (Perfetto)\n");
+      "stdout (Perfetto)\n"
+      "  iotsan_trace verify <artifact.json>... [--deployment <d.json>]\n"
+      "                                            validate artifacts "
+      "(exit 0 iff all valid)\n");
   return out == stdout ? 0 : 2;
 }
 
@@ -335,6 +395,10 @@ int main(int argc, char** argv) {
     if (command == "chrome") {
       if (args.empty()) return Usage(stderr);
       return CmdChrome(args);
+    }
+    if (command == "verify") {
+      if (args.empty()) return Usage(stderr);
+      return CmdVerify(args);
     }
     if (command == "help" || command == "h") return Usage(stdout);
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
