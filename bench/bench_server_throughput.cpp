@@ -1,0 +1,223 @@
+// Verification-service throughput: requests/sec through `iotsan serve`
+// over loopback HTTP, cold (every check searches) vs warm (every check
+// replays the shared ResultCache entry).
+//
+// The warm/cold gap IS the resident-server win the subsystem exists
+// for: a one-shot CLI pays process startup + a full search per
+// invocation, while the daemon's long-lived cache answers an unchanged
+// (deployment, options) group without expanding a single state.
+//
+// Emits BENCH_STATS lines with requests/sec and latency percentiles:
+//
+//   BENCH_STATS {"bench":"server_throughput","label":"warm jobs=4",
+//                "requests":256,"requests_per_second":...,
+//                "p50_ms":...,"p99_ms":...}
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_stats.hpp"
+#include "config/builder.hpp"
+#include "server/server.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/json.hpp"
+
+using namespace iotsan;
+
+namespace {
+
+/// The §8 running example: small enough that HTTP framing and cache
+/// lookup are visible next to the search, so the cold/warm gap is
+/// measured honestly rather than swamped by one giant state space.
+json::Value DeploymentJson() {
+  config::DeploymentBuilder b("bench home");
+  b.Device("alicePresence", "presenceSensor", {"presence"});
+  b.Device("doorLock", "smartLock", {"mainDoorLock"});
+  b.App("Auto Mode Change")
+      .Devices("people", {"alicePresence"})
+      .Text("homeMode", "Home")
+      .Text("awayMode", "Away");
+  b.App("Unlock Door").Devices("lock1", {"doorLock"});
+  return config::DeploymentToJson(b.Build());
+}
+
+std::string CheckBody() {
+  json::Object doc;
+  doc["schema"] = "iotsan.request/1";
+  doc["deployment"] = DeploymentJson();
+  json::Object options;
+  options["jobs"] = std::int64_t{1};
+  doc["options"] = std::move(options);
+  return json::Value(std::move(doc)).Dump(0);
+}
+
+int ConnectLoopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// One POST /v1/check round trip on a fresh connection; returns the
+/// latency in milliseconds, or a negative value on failure.
+double TimedCheck(int port, const std::string& wire) {
+  const auto start = std::chrono::steady_clock::now();
+  const int fd = ConnectLoopback(port);
+  if (fd < 0) return -1;
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n =
+        ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return -1;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  // Connection: close — read to EOF, require a 200 status line.
+  std::string data;
+  char chunk[8192];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    data.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  if (data.rfind("HTTP/1.1 200", 0) != 0) return -1;
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct RunStats {
+  int requests = 0;
+  int failures = 0;
+  double seconds = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+RunStats Storm(int port, int clients, int per_client) {
+  std::string body = CheckBody();
+  std::string wire = "POST /v1/check HTTP/1.1\r\nHost: bench\r\n"
+                     "Connection: close\r\nContent-Length: " +
+                     std::to_string(body.size()) + "\r\n\r\n" + body;
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < per_client; ++i) {
+        latencies[static_cast<std::size_t>(c)].push_back(
+            TimedCheck(port, wire));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  RunStats out;
+  out.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  std::vector<double> all;
+  for (const auto& lane : latencies) {
+    for (double ms : lane) {
+      if (ms < 0) {
+        ++out.failures;
+      } else {
+        all.push_back(ms);
+      }
+    }
+  }
+  out.requests = static_cast<int>(all.size());
+  if (!all.empty()) {
+    std::sort(all.begin(), all.end());
+    out.p50_ms = all[all.size() / 2];
+    out.p99_ms = all[std::min(all.size() - 1, all.size() * 99 / 100)];
+  }
+  return out;
+}
+
+void Report(const char* label, const RunStats& stats,
+            std::uint64_t cache_hits) {
+  const double rps =
+      stats.seconds > 1e-9 ? stats.requests / stats.seconds : 0;
+  std::printf("%-14s %6d req  %8.1f req/s  p50 %7.2fms  p99 %7.2fms  "
+              "cache hits %llu%s\n",
+              label, stats.requests, rps, stats.p50_ms, stats.p99_ms,
+              static_cast<unsigned long long>(cache_hits),
+              stats.failures > 0 ? "  (FAILURES)" : "");
+  json::Object payload;
+  payload["requests"] = stats.requests;
+  payload["failures"] = stats.failures;
+  payload["seconds"] = stats.seconds;
+  payload["requests_per_second"] = rps;
+  payload["p50_ms"] = stats.p50_ms;
+  payload["p99_ms"] = stats.p99_ms;
+  payload["cache_hits"] = static_cast<std::int64_t>(cache_hits);
+  bench::EmitStatsJson("server_throughput", label, std::move(payload));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== verification service throughput (loopback HTTP) ===\n");
+  std::printf("(POST /v1/check, §8 two-app home, 8 client threads)\n\n");
+
+  const std::string cache_dir =
+      (std::filesystem::temp_directory_path() / "iotsan_bench_server_cache")
+          .string();
+  std::filesystem::remove_all(cache_dir);
+
+  telemetry::Registry registry;
+  telemetry::SetActive(&registry);
+
+  server::ServerConfig config;
+  config.port = 0;
+  config.http_workers = 8;
+  config.max_queue = 256;
+  config.cache_dir = cache_dir;
+  server::Server server(config);
+  server.Start();
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 32;
+
+  // Cold: one serial request against the empty cache — the honest
+  // "every invocation searches" number a one-shot CLI would pay (minus
+  // process startup, which the daemon amortizes too).
+  {
+    const std::uint64_t hits_before = registry.cache.hits.load();
+    RunStats cold = Storm(server.port(), 1, 1);
+    Report("cold serial", cold, registry.cache.hits.load() - hits_before);
+  }
+
+  {
+    const std::uint64_t hits_before = registry.cache.hits.load();
+    RunStats warm = Storm(server.port(), kClients, kPerClient);
+    Report("warm jobs=8", warm, registry.cache.hits.load() - hits_before);
+  }
+
+  server.Stop();
+  telemetry::SetActive(nullptr);
+  std::filesystem::remove_all(cache_dir);
+  return 0;
+}

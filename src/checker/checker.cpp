@@ -474,6 +474,15 @@ class Search {
 
   bool BudgetExceeded() {
     if (stopped_) return true;
+    if (options_.interrupt != nullptr &&
+        options_.interrupt->load(std::memory_order_relaxed)) {
+      result_.completed = false;
+      stopped_ = true;
+      if (shared_ != nullptr) {
+        shared_->stop.store(true, std::memory_order_relaxed);
+      }
+      return true;
+    }
     if (shared_ != nullptr) {
       // Budgets are global across workers: compare the shared totals and
       // broadcast the stop so every branch winds down together.

@@ -9,6 +9,7 @@
 // are produced in the style of the paper's Fig. 7.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -76,6 +77,13 @@ struct CheckOptions {
   /// attribution layers share their pool with nested checks this way).
   /// Null = the checker creates its own pool when jobs > 1.
   util::ThreadPool* pool = nullptr;
+  /// Optional external interrupt flag (a signal handler, a server
+  /// shutting down): polled on the same cancel path as the budgets,
+  /// between cascade drains.  When it reads true the search winds down
+  /// like a budget hit (`completed = false`), so the caller still gets
+  /// the partial result — and can flush traces and write artifacts —
+  /// instead of the process dying mid-write.  Not owned; may be null.
+  const std::atomic<bool>* interrupt = nullptr;
 };
 
 /// One detected property violation with its counter-example.

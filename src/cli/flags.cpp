@@ -15,9 +15,9 @@ constexpr FlagSpec kFlagTable[] = {
      kCmdCheck | kCmdAttribute | kCmdPromela,
      "external-event bound per run (Algorithm 1; default 3, attribute: 2)",
      1, 64},
-    {Flag::kJobs, "--jobs", "N", kCmdCheck | kCmdAttribute,
-     "worker threads for the search (0 = all hardware threads; default 1); "
-     "the report is identical for any N",
+    {Flag::kJobs, "--jobs", "N", kCmdCheck | kCmdAttribute | kCmdServe,
+     "worker threads for the search (0 = all hardware threads; default 1, "
+     "serve: 0); the report is identical for any N",
      0, 1024},
     {Flag::kFailures, "--failures", nullptr, kCmdCheck,
      "enumerate device/communication failure scenarios per event (paper §8)"},
@@ -37,11 +37,11 @@ constexpr FlagSpec kFlagTable[] = {
      kCmdCheck | kCmdAttribute,
      "check dynamic-device-discovery apps instead of rejecting them"},
     {Flag::kStats, "--stats", nullptr,
-     kCmdCheck | kCmdAttribute | kCmdDeps,
+     kCmdCheck | kCmdAttribute | kCmdDeps | kCmdServe,
      "print telemetry after the run: counters, per-phase durations, store "
      "diagnostics"},
     {Flag::kTraceOut, "--trace-out", "FILE",
-     kCmdCheck | kCmdAttribute | kCmdDeps,
+     kCmdCheck | kCmdAttribute | kCmdDeps | kCmdServe,
      "write a JSONL span trace (one JSON object per line) to FILE"},
     {Flag::kProgressEvery, "--progress-every", "N", kCmdCheck,
      "report search progress to stderr every N expanded states",
@@ -57,11 +57,28 @@ constexpr FlagSpec kFlagTable[] = {
      kCmdCheck | kCmdAttribute,
      "replay-verify every BITSTATE violation with an exhaustive store "
      "before reporting it (false-positive filter)"},
-    {Flag::kCacheDir, "--cache-dir", "DIR", kCmdCheck | kCmdAttribute,
+    {Flag::kCacheDir, "--cache-dir", "DIR",
+     kCmdCheck | kCmdAttribute | kCmdServe,
      "memoize per-group verification results in DIR; warm re-checks of "
      "unchanged groups skip the search (see docs/caching.md)"},
+    {Flag::kHost, "--host", "ADDR", kCmdServe,
+     "bind address for the HTTP service (default 127.0.0.1)"},
+    {Flag::kPort, "--port", "N", kCmdServe,
+     "TCP port for the HTTP service (0 = kernel-assigned; default 8080)",
+     0, 65535},
+    {Flag::kHttpWorkers, "--http-workers", "N", kCmdServe,
+     "HTTP session threads draining the accept queue (default 4)",
+     1, 256},
+    {Flag::kMaxQueue, "--max-queue", "N", kCmdServe,
+     "accepted-connection queue bound; beyond it the acceptor sheds "
+     "with 503 queue_full (default 64)",
+     1, 65536},
+    {Flag::kDeadline, "--deadline", "SECONDS", kCmdServe,
+     "default wall-clock budget per request, seconds (0 = none); "
+     "requests may override via options.deadlineSeconds",
+     0, 86400},
     {Flag::kHelp, "--help", nullptr,
-     kCmdCheck | kCmdAttribute | kCmdDeps | kCmdPromela,
+     kCmdCheck | kCmdAttribute | kCmdDeps | kCmdPromela | kCmdServe,
      "show this help"},
 };
 
@@ -82,6 +99,8 @@ constexpr CommandSpec kCommands[] = {
      "print the dependency graph and related sets (§5)"},
     {kCmdPromela, "promela", "<deployment.json>",
      "emit the generated Promela model (§6/§8)"},
+    {kCmdServe, "serve", "",
+     "run the resident HTTP/JSON verification service (docs/server.md)"},
     {0, "cache", "<stats|prune|clear> <DIR>",
      "inspect or maintain an incremental-analysis cache directory"},
     {0, "apps", "", "list the bundled corpus apps"},
@@ -96,6 +115,7 @@ std::string CommandLetters(unsigned mask) {
   if (mask & kCmdAttribute) out += 'A';
   if (mask & kCmdDeps) out += 'D';
   if (mask & kCmdPromela) out += 'P';
+  if (mask & kCmdServe) out += 'S';
   return out;
 }
 
@@ -149,7 +169,7 @@ void PrintHelp(std::FILE* out) {
     std::fprintf(out, "  %-52s %s\n", invocation.c_str(), cmd.summary);
   }
   std::fprintf(out, "\nflags (letters mark the accepting commands: "
-                    "C=check, A=attribute, D=deps, P=promela):\n");
+                    "C=check, A=attribute, D=deps, P=promela, S=serve):\n");
   for (const FlagSpec& spec : kFlagTable) {
     if (spec.id == Flag::kHelp) continue;
     std::fprintf(out, "  %-4s %-22s %s\n",
@@ -238,6 +258,15 @@ std::vector<std::string> ParseFlags(unsigned command,
       case Flag::kReplay: flags.replay_path = value; break;
       case Flag::kReverifyBitstate: flags.reverify_bitstate = true; break;
       case Flag::kCacheDir: flags.cache_dir = value; break;
+      case Flag::kHost: flags.host = value; break;
+      case Flag::kPort: flags.port = static_cast<int>(number); break;
+      case Flag::kHttpWorkers:
+        flags.http_workers = static_cast<int>(number);
+        break;
+      case Flag::kMaxQueue: flags.max_queue = static_cast<int>(number); break;
+      case Flag::kDeadline:
+        flags.deadline_seconds = static_cast<int>(number);
+        break;
       case Flag::kHelp: flags.help = true; break;
     }
   }

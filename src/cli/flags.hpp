@@ -21,6 +21,7 @@ enum : unsigned {
   kCmdAttribute = 1u << 1,
   kCmdDeps = 1u << 2,
   kCmdPromela = 1u << 3,
+  kCmdServe = 1u << 4,
 };
 
 enum class Flag {
@@ -40,6 +41,11 @@ enum class Flag {
   kReplay,
   kReverifyBitstate,
   kCacheDir,
+  kHost,
+  kPort,
+  kHttpWorkers,
+  kMaxQueue,
+  kDeadline,
   kHelp,
 };
 
@@ -95,6 +101,12 @@ struct CliFlags {
   std::string replay_path;
   std::string cache_dir;
   std::uint64_t progress_every = 0;
+  // serve
+  std::string host = "127.0.0.1";
+  int port = 8080;            // 0 = kernel-assigned ephemeral port
+  int http_workers = 4;       // HTTP session threads
+  int max_queue = 64;         // accept-queue bound before 503 shedding
+  int deadline_seconds = 0;   // default per-request budget (0 = none)
 };
 
 /// Parses `args` for `command`, separating positionals from flags.

@@ -1,0 +1,414 @@
+#include "server/handlers.hpp"
+
+#include "config/deployment.hpp"
+#include "corpus/corpus.hpp"
+#include "props/loader.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/build_info.hpp"
+#include "util/thread_pool.hpp"
+
+namespace iotsan::server {
+
+namespace {
+
+json::Value ParseBodyJson(const std::string& body) {
+  try {
+    return json::Parse(body);
+  } catch (const Error& e) {
+    throw RequestError(400, kErrBadJson,
+                       std::string("request body is not valid JSON: ") +
+                           e.what());
+  }
+}
+
+/// Top-level validation shared by both POST endpoints: JSON object with
+/// the supported schema tag and a deployment object.
+const json::Value& ValidateEnvelope(const json::Value& doc) {
+  if (!doc.is_object()) {
+    throw RequestError(400, kErrBadSchema,
+                       "request body must be a JSON object");
+  }
+  if (!doc.Has("schema") || !doc.At("schema").is_string()) {
+    throw RequestError(400, kErrBadSchema,
+                       std::string("missing request schema tag; expected "
+                                   "\"schema\": \"") +
+                           kRequestSchema + "\"");
+  }
+  if (doc.At("schema").AsString() != kRequestSchema) {
+    throw RequestError(400, kErrBadSchema,
+                       "unsupported request schema '" +
+                           doc.At("schema").AsString() + "' (this server "
+                           "speaks " + kRequestSchema + ")");
+  }
+  if (!doc.Has("deployment") || !doc.At("deployment").is_object()) {
+    throw RequestError(400, kErrBadSchema,
+                       "request needs a \"deployment\" object (the same "
+                       "document `iotsan check` reads from a file)");
+  }
+  return doc.At("deployment");
+}
+
+long long RequireInt(const json::Value& value, const char* key,
+                     long long min, long long max) {
+  if (!value.is_number()) {
+    throw RequestError(400, kErrBadRequest,
+                       std::string("option \"") + key + "\" must be an "
+                       "integer");
+  }
+  const std::int64_t n = value.AsInt();
+  if (n < min || n > max) {
+    throw RequestError(400, kErrBadRequest,
+                       std::string("option \"") + key + "\" wants a value "
+                       "in [" + std::to_string(min) + ", " +
+                       std::to_string(max) + "], got " + std::to_string(n));
+  }
+  return n;
+}
+
+bool RequireBool(const json::Value& value, const char* key) {
+  if (!value.is_bool()) {
+    throw RequestError(400, kErrBadRequest,
+                       std::string("option \"") + key + "\" must be a "
+                       "boolean");
+  }
+  return value.AsBool();
+}
+
+/// Parses the request's "options" object.  Every key is validated
+/// against the same ranges the CLI flag table enforces; unknown keys are
+/// rejected so a typo can never silently fall back to a default.
+core::RequestOptions ParseOptions(const json::Value& doc,
+                                  ParsedOptionsMeta* meta) {
+  core::RequestOptions out;
+  if (!doc.Has("options")) return out;
+  const json::Value& options = doc.At("options");
+  if (!options.is_object()) {
+    throw RequestError(400, kErrBadRequest,
+                       "\"options\" must be a JSON object");
+  }
+  for (const auto& [key, value] : options.AsObject()) {
+    if (key == "events") {
+      out.events = static_cast<int>(RequireInt(value, "events", 1, 64));
+    } else if (key == "jobs") {
+      out.jobs = static_cast<int>(RequireInt(value, "jobs", 0, 1024));
+      if (meta != nullptr) meta->jobs_given = true;
+    } else if (key == "failures") {
+      out.failures = RequireBool(value, "failures");
+    } else if (key == "mono") {
+      out.mono = RequireBool(value, "mono");
+    } else if (key == "bitstate") {
+      out.bitstate = RequireBool(value, "bitstate");
+    } else if (key == "bitstateBits") {
+      out.bitstate_bits_pow =
+          static_cast<int>(RequireInt(value, "bitstateBits", 10, 40));
+      out.bitstate = true;
+    } else if (key == "first") {
+      out.first = RequireBool(value, "first");
+    } else if (key == "reverifyBitstate") {
+      out.reverify_bitstate = RequireBool(value, "reverifyBitstate");
+    } else if (key == "allowDiscovery") {
+      out.allow_discovery = RequireBool(value, "allowDiscovery");
+    } else if (key == "deadlineSeconds") {
+      out.deadline_seconds = static_cast<double>(
+          RequireInt(value, "deadlineSeconds", 0, 86400));
+      if (meta != nullptr) meta->deadline_given = true;
+    } else {
+      throw RequestError(400, kErrBadRequest,
+                         "unknown option \"" + key + "\"");
+    }
+  }
+  return out;
+}
+
+config::Deployment ParseDeploymentOrThrow(const json::Value& doc) {
+  try {
+    return config::ParseDeployment(doc);
+  } catch (const Error& e) {
+    throw RequestError(400, kErrBadRequest,
+                       std::string("invalid deployment: ") + e.what());
+  }
+}
+
+std::map<std::string, std::string> ParseInlineSources(
+    const json::Value& doc) {
+  std::map<std::string, std::string> out;
+  if (!doc.Has("appSources")) return out;
+  const json::Value& sources = doc.At("appSources");
+  if (!sources.is_object()) {
+    throw RequestError(400, kErrBadRequest,
+                       "\"appSources\" must map app names to inline "
+                       "SmartScript source text");
+  }
+  for (const auto& [name, source] : sources.AsObject()) {
+    if (!source.is_string()) {
+      throw RequestError(400, kErrBadRequest,
+                         "appSources entry \"" + name + "\" must be the "
+                         "source text itself (the service never reads "
+                         "files)");
+    }
+    out[name] = source.AsString();
+  }
+  return out;
+}
+
+std::vector<props::Property> ParseInlineProperties(const json::Value& doc) {
+  if (!doc.Has("properties")) return {};
+  const json::Value& properties = doc.At("properties");
+  if (!properties.is_array()) {
+    throw RequestError(400, kErrBadRequest,
+                       "\"properties\" must be an array of property "
+                       "objects");
+  }
+  try {
+    return props::LoadPropertiesJson(properties.Dump(0));
+  } catch (const Error& e) {
+    throw RequestError(400, kErrBadRequest,
+                       std::string("invalid properties: ") + e.what());
+  }
+}
+
+/// Fills request defaults a resident server owns: worker lanes come
+/// from the shared pool unless the request pins them, the deadline from
+/// the server config unless the request sets its own.
+void ApplyServerDefaults(core::RequestOptions& options,
+                         const ParsedOptionsMeta& meta,
+                         const ServiceState& state) {
+  if (!meta.jobs_given && state.env.pool != nullptr) {
+    options.jobs = static_cast<int>(state.env.pool->jobs());
+  }
+  if (!meta.deadline_given) {
+    options.deadline_seconds = state.request_deadline_seconds;
+  }
+}
+
+json::Object ResponseEnvelope() {
+  json::Object doc;
+  doc["schema"] = kResponseSchema;
+  return doc;
+}
+
+HttpResponse JsonResponse(int status, json::Object body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = json::Value(std::move(body)).Dump(0) + "\n";
+  return response;
+}
+
+double UptimeSeconds(const ServiceState& state) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       state.start_time)
+      .count();
+}
+
+void RefreshServerGauges(const ServiceState& state) {
+  auto* t = telemetry::Active();
+  if (t == nullptr) return;
+  if (state.active_connections != nullptr) {
+    t->server.active_connections.store(
+        state.active_connections->load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+  if (state.queue_depth != nullptr) {
+    t->server.queue_depth.store(
+        state.queue_depth->load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+}
+
+HttpResponse HandleHealth(const ServiceState& state) {
+  json::Object doc;
+  doc["status"] = state.draining != nullptr &&
+                          state.draining->load(std::memory_order_relaxed)
+                      ? "draining"
+                      : "ok";
+  doc["uptime_seconds"] = UptimeSeconds(state);
+  if (state.active_connections != nullptr) {
+    doc["active_connections"] = static_cast<std::int64_t>(
+        state.active_connections->load(std::memory_order_relaxed));
+  }
+  if (state.queue_depth != nullptr) {
+    doc["queue_depth"] = static_cast<std::int64_t>(
+        state.queue_depth->load(std::memory_order_relaxed));
+  }
+  return JsonResponse(200, std::move(doc));
+}
+
+HttpResponse HandleMetrics(const ServiceState& state) {
+  RefreshServerGauges(state);
+  json::Object doc;
+  doc["schema"] = "iotsan.metrics/1";
+  doc["uptime_seconds"] = UptimeSeconds(state);
+  if (auto* t = telemetry::Active()) {
+    doc["counters"] = t->ToJson();
+  } else {
+    doc["counters"] = json::Object();
+  }
+  return JsonResponse(200, std::move(doc));
+}
+
+HttpResponse HandleVersion() {
+  const build::BuildInfo& info = build::GetBuildInfo();
+  json::Object doc;
+  doc["version"] = info.version;
+  doc["compiler"] = info.compiler;
+  doc["build_type"] = info.build_type;
+  doc["standard"] = info.standard;
+  doc["line"] = build::VersionLine();
+  return JsonResponse(200, std::move(doc));
+}
+
+HttpResponse HandleCheck(const HttpRequest& request,
+                         const ServiceState& state) {
+  ParsedOptionsMeta meta;
+  core::CheckRequest check = ParseCheckRequest(request.body, &meta);
+  ApplyServerDefaults(check.options, meta, state);
+  core::CheckResponse result = core::RunCheck(check, state.env);
+  if (auto* t = telemetry::Active()) {
+    ++t->server.checks;
+    if (!result.report.completed && check.options.deadline_seconds > 0) {
+      ++t->server.deadline_hits;
+    }
+  }
+  json::Object doc = ResponseEnvelope();
+  doc["verdict"] =
+      result.report.violations.empty() ? "clean" : "violations";
+  doc["exit_code"] = result.exit_code;
+  doc["text"] = result.text;
+  doc["report"] = core::CheckReportToJson(check.deployment, result.report);
+  return JsonResponse(200, std::move(doc));
+}
+
+HttpResponse HandleAttribute(const HttpRequest& request,
+                             const ServiceState& state) {
+  ParsedOptionsMeta meta;
+  core::AttributeRequest attribute =
+      ParseAttributeRequest(request.body, &meta);
+  ApplyServerDefaults(attribute.options, meta, state);
+  core::AttributeResponse result = core::RunAttribute(attribute, state.env);
+  if (auto* t = telemetry::Active()) ++t->server.attributions;
+  json::Object doc = ResponseEnvelope();
+  doc["verdict"] = std::string(attrib::VerdictName(result.result.verdict));
+  doc["exit_code"] = result.exit_code;
+  doc["text"] = result.text;
+  doc["report"] = core::AttributionToJson(result.app_name, result.result);
+  return JsonResponse(200, std::move(doc));
+}
+
+}  // namespace
+
+HttpResponse ErrorResponse(int status, const std::string& code,
+                           const std::string& message) {
+  json::Object error;
+  error["code"] = code;
+  error["message"] = message;
+  json::Object doc;
+  doc["error"] = std::move(error);
+  HttpResponse response = JsonResponse(status, std::move(doc));
+  return response;
+}
+
+core::CheckRequest ParseCheckRequest(const std::string& body,
+                                     ParsedOptionsMeta* meta) {
+  const json::Value doc = ParseBodyJson(body);
+  const json::Value& deployment = ValidateEnvelope(doc);
+  core::CheckRequest out;
+  out.deployment = ParseDeploymentOrThrow(deployment);
+  out.extra_sources = ParseInlineSources(doc);
+  out.extra_properties = ParseInlineProperties(doc);
+  out.options = ParseOptions(doc, meta);
+  return out;
+}
+
+core::AttributeRequest ParseAttributeRequest(const std::string& body,
+                                             ParsedOptionsMeta* meta) {
+  const json::Value doc = ParseBodyJson(body);
+  const json::Value& deployment = ValidateEnvelope(doc);
+  core::AttributeRequest out;
+  out.deployment = ParseDeploymentOrThrow(deployment);
+  out.options = ParseOptions(doc, meta);
+  if (!doc.Has("app") || !doc.At("app").is_object()) {
+    throw RequestError(400, kErrBadSchema,
+                       "attribute requests need an \"app\" object: "
+                       "{\"source\": \"<SmartScript>\"} or "
+                       "{\"corpus\": \"<bundled app name>\"}");
+  }
+  const json::Value& app = doc.At("app");
+  if (app.Has("source")) {
+    if (!app.At("source").is_string()) {
+      throw RequestError(400, kErrBadRequest,
+                         "\"app.source\" must be SmartScript text");
+    }
+    out.app_source = app.At("source").AsString();
+  } else if (app.Has("corpus")) {
+    if (!app.At("corpus").is_string()) {
+      throw RequestError(400, kErrBadRequest,
+                         "\"app.corpus\" must be a bundled app name");
+    }
+    const std::string name = app.At("corpus").AsString();
+    const corpus::CorpusApp* found = corpus::FindApp(name);
+    if (found == nullptr) {
+      throw RequestError(400, kErrBadRequest,
+                         "unknown corpus app \"" + name + "\" (GET "
+                         "/v1/apps is not served; see `iotsan apps`)");
+    }
+    out.app_source = found->source;
+  } else {
+    throw RequestError(400, kErrBadSchema,
+                       "\"app\" needs either \"source\" or \"corpus\"");
+  }
+  return out;
+}
+
+HttpResponse Route(const HttpRequest& request, const ServiceState& state) {
+  if (auto* t = telemetry::Active()) ++t->server.requests;
+  HttpResponse response;
+  try {
+    // Strip any query string: the API carries everything in bodies.
+    std::string path = request.target.substr(0, request.target.find('?'));
+    if (path == "/v1/health") {
+      response = request.method == "GET"
+                     ? HandleHealth(state)
+                     : ErrorResponse(405, kErrMethod,
+                                     "use GET " + path);
+    } else if (path == "/v1/metrics") {
+      response = request.method == "GET"
+                     ? HandleMetrics(state)
+                     : ErrorResponse(405, kErrMethod, "use GET " + path);
+    } else if (path == "/v1/version") {
+      response = request.method == "GET"
+                     ? HandleVersion()
+                     : ErrorResponse(405, kErrMethod, "use GET " + path);
+    } else if (path == "/v1/check") {
+      response = request.method == "POST"
+                     ? HandleCheck(request, state)
+                     : ErrorResponse(405, kErrMethod, "use POST " + path);
+    } else if (path == "/v1/attribute") {
+      response = request.method == "POST"
+                     ? HandleAttribute(request, state)
+                     : ErrorResponse(405, kErrMethod, "use POST " + path);
+    } else {
+      response = ErrorResponse(404, kErrNotFound,
+                               "no such endpoint: " + path);
+    }
+  } catch (const RequestError& e) {
+    response = ErrorResponse(e.status(), e.code(), e.what());
+  } catch (const Error& e) {
+    // Library errors on user-supplied input (bad app source, property
+    // expression, deployment semantics) are client errors.
+    response = ErrorResponse(400, kErrBadRequest, e.what());
+  } catch (const std::exception& e) {
+    response = ErrorResponse(500, kErrInternal, e.what());
+  }
+  if (auto* t = telemetry::Active()) {
+    if (response.status < 400) {
+      ++t->server.responses_ok;
+    } else if (response.status < 500) {
+      ++t->server.responses_client_error;
+    } else {
+      ++t->server.responses_server_error;
+    }
+  }
+  return response;
+}
+
+}  // namespace iotsan::server

@@ -1,0 +1,97 @@
+// Request routing and JSON request/response bodies for the
+// verification service (`iotsan serve`).
+//
+// API surface (docs/server.md has the full reference):
+//   POST /v1/check      body: iotsan.request/1 {deployment, appSources?,
+//                       properties?, options?} -> verdict + report +
+//                       `text` byte-identical to `iotsan check`
+//   POST /v1/attribute  body adds {"app": {"source": …} | {"corpus": …}}
+//   GET  /v1/health     liveness + drain state
+//   GET  /v1/metrics    telemetry Registry counters + server gauges
+//   GET  /v1/version    util/build_info
+//
+// Error responses are always structured JSON with a machine-readable
+// code: {"error": {"code": "bad_json", "message": "..."}} — malformed
+// bodies, wrong schema versions, and oversized payloads are client
+// errors, never crashes or silent defaults.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+#include "core/service.hpp"
+#include "server/http.hpp"
+#include "util/error.hpp"
+
+namespace iotsan::server {
+
+/// Machine-readable error codes carried in `error.code`.
+inline constexpr const char* kErrBadJson = "bad_json";          // 400
+inline constexpr const char* kErrBadSchema = "bad_schema";      // 400
+inline constexpr const char* kErrBadRequest = "bad_request";    // 400
+inline constexpr const char* kErrTooLarge = "payload_too_large";  // 413
+inline constexpr const char* kErrNotFound = "not_found";        // 404
+inline constexpr const char* kErrMethod = "method_not_allowed"; // 405
+inline constexpr const char* kErrQueueFull = "queue_full";      // 503
+inline constexpr const char* kErrTimeout = "request_timeout";   // 408
+inline constexpr const char* kErrInternal = "internal";         // 500
+
+/// Request schema version accepted by the POST endpoints.
+inline constexpr const char* kRequestSchema = "iotsan.request/1";
+/// Response schema version stamped on every POST response.
+inline constexpr const char* kResponseSchema = "iotsan.response/1";
+
+/// Shared long-lived state the handlers run against: the warm thread
+/// pool and result cache (this is where the resident-service throughput
+/// win comes from), the per-request deadline, and live server gauges
+/// surfaced by /v1/metrics and /v1/health.
+struct ServiceState {
+  core::ServiceEnv env;  // pool + cache shared across all requests
+  double request_deadline_seconds = 0;
+  /// True once a graceful drain began (health reports "draining").
+  const std::atomic<bool>* draining = nullptr;
+  std::atomic<std::uint64_t>* active_connections = nullptr;
+  std::atomic<std::uint64_t>* queue_depth = nullptr;
+  std::chrono::steady_clock::time_point start_time{};  // for uptime
+};
+
+/// A client error with an HTTP status and a machine-readable code;
+/// Route turns it into a structured error response.
+class RequestError : public Error {
+ public:
+  RequestError(int status, std::string code, const std::string& message)
+      : Error(message), status_(status), code_(std::move(code)) {}
+  int status() const { return status_; }
+  const std::string& code() const { return code_; }
+
+ private:
+  int status_;
+  std::string code_;
+};
+
+/// {"error": {"code": ..., "message": ...}} with the given HTTP status.
+HttpResponse ErrorResponse(int status, const std::string& code,
+                           const std::string& message);
+
+/// Dispatches one parsed request.  Never throws: handler exceptions
+/// become structured 400/500 responses.
+HttpResponse Route(const HttpRequest& request, const ServiceState& state);
+
+/// Which per-request options the body set explicitly (unset ones fall
+/// back to the server's configuration: shared-pool jobs, the default
+/// deadline).
+struct ParsedOptionsMeta {
+  bool jobs_given = false;
+  bool deadline_given = false;
+};
+
+/// Parses and validates POST bodies.  Throw RequestError on malformed
+/// JSON, wrong schema version, or invalid structure; exposed for the
+/// negative tests.
+core::CheckRequest ParseCheckRequest(const std::string& body,
+                                     ParsedOptionsMeta* meta = nullptr);
+core::AttributeRequest ParseAttributeRequest(
+    const std::string& body, ParsedOptionsMeta* meta = nullptr);
+
+}  // namespace iotsan::server

@@ -1,0 +1,205 @@
+#include "server/http.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace iotsan::server {
+
+namespace {
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+/// Parses the request line + headers from `head` (no trailing CRLFCRLF).
+bool ParseHead(const std::string& head, HttpRequest& out) {
+  std::size_t line_end = head.find("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  std::size_t sp1 = request_line.find(' ');
+  std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) return false;
+  out.method = request_line.substr(0, sp1);
+  out.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  out.version = request_line.substr(sp2 + 1);
+  if (out.method.empty() || out.target.empty() ||
+      out.version.rfind("HTTP/", 0) != 0) {
+    return false;
+  }
+  std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t next = head.find("\r\n", pos);
+    if (next == std::string::npos) next = head.size();
+    const std::string line = head.substr(pos, next - pos);
+    pos = next + 2;
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) return false;
+    out.headers[ToLower(Trim(line.substr(0, colon)))] =
+        Trim(line.substr(colon + 1));
+  }
+  return true;
+}
+
+/// One recv with a poll-bounded wait.  Returns bytes read, 0 on orderly
+/// close, -1 on error, -2 on idle timeout, -3 on stop-flag interrupt.
+int RecvSome(int fd, const ReadLimits& limits,
+             const std::atomic<bool>* stop, int& idle_budget_ms, char* data,
+             std::size_t size) {
+  while (true) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) return -3;
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, limits.poll_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (ready == 0) {
+      idle_budget_ms -= limits.poll_ms;
+      if (idle_budget_ms <= 0) return -2;
+      continue;
+    }
+    const ssize_t n = ::recv(fd, data, size, 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return -1;
+    }
+    return static_cast<int>(n);
+  }
+}
+
+}  // namespace
+
+bool HttpRequest::KeepAlive() const {
+  auto it = headers.find("connection");
+  const std::string value =
+      it == headers.end() ? std::string() : ToLower(it->second);
+  if (version == "HTTP/1.0") return value == "keep-alive";
+  return value != "close";
+}
+
+ReadStatus ReadHttpRequest(int fd, const ReadLimits& limits,
+                           const std::atomic<bool>* stop,
+                           ConnectionBuffer& buffer, HttpRequest& out) {
+  out = HttpRequest();
+  std::string& data = buffer.pending;
+  int idle_budget_ms = limits.idle_timeout_ms;
+  char chunk[8192];
+
+  // Phase 1: the head, up to CRLFCRLF.
+  std::size_t head_end;
+  while ((head_end = data.find("\r\n\r\n")) == std::string::npos) {
+    if (data.size() > limits.max_header_bytes) return ReadStatus::kTooLarge;
+    const int n =
+        RecvSome(fd, limits, stop, idle_budget_ms, chunk, sizeof(chunk));
+    if (n == 0) {
+      return data.empty() ? ReadStatus::kClosed : ReadStatus::kMalformed;
+    }
+    if (n == -2) return ReadStatus::kTimeout;
+    if (n == -3) {
+      // Only abandon the connection if it is idle between requests; a
+      // partially-received request is still completed during a drain.
+      if (data.empty()) return ReadStatus::kInterrupted;
+      stop = nullptr;
+      continue;
+    }
+    if (n < 0) return ReadStatus::kMalformed;
+    data.append(chunk, static_cast<std::size_t>(n));
+  }
+  if (head_end > limits.max_header_bytes) return ReadStatus::kTooLarge;
+  if (!ParseHead(data.substr(0, head_end), out)) return ReadStatus::kMalformed;
+
+  // Phase 2: the body, from Content-Length.
+  std::size_t body_len = 0;
+  if (auto it = out.headers.find("content-length"); it != out.headers.end()) {
+    const std::string& v = it->second;
+    if (v.empty() ||
+        v.find_first_not_of("0123456789") != std::string::npos ||
+        v.size() > 12) {
+      return ReadStatus::kMalformed;
+    }
+    body_len = static_cast<std::size_t>(std::strtoull(v.c_str(), nullptr, 10));
+  } else if (out.headers.count("transfer-encoding") != 0) {
+    return ReadStatus::kMalformed;  // chunked bodies unsupported
+  }
+  if (body_len > limits.max_body_bytes) return ReadStatus::kTooLarge;
+
+  const std::size_t total = head_end + 4 + body_len;
+  while (data.size() < total) {
+    const int n =
+        RecvSome(fd, limits, nullptr, idle_budget_ms, chunk, sizeof(chunk));
+    if (n == 0) return ReadStatus::kMalformed;  // truncated body
+    if (n == -2) return ReadStatus::kTimeout;
+    if (n < 0) return ReadStatus::kMalformed;
+    data.append(chunk, static_cast<std::size_t>(n));
+  }
+  out.body = data.substr(head_end + 4, body_len);
+  data.erase(0, total);  // keep pipelined bytes for the next request
+  return ReadStatus::kOk;
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    ReasonPhrase(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += response.close ? "Connection: close\r\n" : "Connection: keep-alive\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+bool WriteHttpResponse(int fd, const HttpResponse& response) {
+  const std::string wire = SerializeResponse(response);
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n =
+        ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace iotsan::server

@@ -1,0 +1,72 @@
+// Minimal HTTP/1.1 framing over POSIX sockets — just enough for the
+// verification service: request parsing with hard size limits, response
+// serialization, keep-alive.  No third-party dependencies; TLS,
+// chunked transfer, and multipart bodies are out of scope (the service
+// sits behind a loopback or an ingress proxy).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace iotsan::server {
+
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ...
+  std::string target;   // "/v1/check" (query strings are kept verbatim)
+  std::string version;  // "HTTP/1.1"
+  /// Header names lowercased; last value wins on duplicates.
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  bool KeepAlive() const;
+};
+
+enum class ReadStatus {
+  kOk,            // one complete request parsed
+  kClosed,        // peer closed before sending any byte (keep-alive end)
+  kMalformed,     // unparsable request line / headers / lengths
+  kTooLarge,      // headers or declared body exceed the limits
+  kTimeout,       // idle past the deadline
+  kInterrupted,   // the caller's stop flag went up while idle
+};
+
+struct ReadLimits {
+  std::size_t max_header_bytes = 16 * 1024;
+  std::size_t max_body_bytes = 4 * 1024 * 1024;
+  /// Per-read poll granularity; the stop flag is checked this often.
+  int poll_ms = 200;
+  /// Total idle budget waiting for the next request (keep-alive).
+  int idle_timeout_ms = 10'000;
+};
+
+/// Connection state that survives across keep-alive requests (bytes of
+/// the next pipelined request read past the previous body).
+struct ConnectionBuffer {
+  std::string pending;
+};
+
+/// Reads one HTTP request from `fd`.  `stop` (may be null) aborts idle
+/// waits — in-flight reads still complete, so a request whose bytes are
+/// arriving is parsed, handled, and answered during a graceful drain.
+ReadStatus ReadHttpRequest(int fd, const ReadLimits& limits,
+                           const std::atomic<bool>* stop,
+                           ConnectionBuffer& buffer, HttpRequest& out);
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  bool close = false;  // send "Connection: close" and drop the socket
+};
+
+const char* ReasonPhrase(int status);
+
+/// Serializes status line + headers + body.
+std::string SerializeResponse(const HttpResponse& response);
+
+/// Writes the full serialized response; false on socket error.
+bool WriteHttpResponse(int fd, const HttpResponse& response);
+
+}  // namespace iotsan::server

@@ -1,0 +1,247 @@
+#include "server/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "props/property.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/error.hpp"
+
+namespace iotsan::server {
+
+namespace {
+
+constexpr int kAcceptPollMs = 200;
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config) : config_(std::move(config)) {}
+
+Server::~Server() { Stop(); }
+
+void Server::Start() {
+  if (running_.load()) return;
+  stopping_.store(false);
+
+  // Warm state shared by every request: the checker pool and the result
+  // cache.  Pre-parse the built-in property expressions once — they are
+  // lazily cached globals, and concurrent sessions must not race on the
+  // first parse.
+  pool_ = std::make_unique<util::ThreadPool>(
+      util::ResolveJobs(config_.jobs));
+  cache::CacheConfig cache_config;
+  cache_config.dir = config_.cache_dir;
+  cache_ = std::make_unique<cache::ResultCache>(cache_config);
+  for (const props::Property& p : props::BuiltinProperties()) {
+    if (p.kind == props::PropertyKind::kInvariant) p.ParsedExpression();
+  }
+  if (auto* t = telemetry::Active()) {
+    ++t->parallel.pools_created;
+    t->parallel.workers_spawned += pool_->jobs() - 1;
+  }
+
+  service_.env.pool = pool_.get();
+  service_.env.cache = cache_.get();
+  service_.request_deadline_seconds = config_.request_deadline_seconds;
+  service_.draining = &stopping_;
+  service_.active_connections = &active_connections_;
+  service_.queue_depth = &queue_depth_;
+  service_.start_time = std::chrono::steady_clock::now();
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw Error("serve: cannot create socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("serve: invalid bind address: " + config_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string reason = std::strerror(errno);
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("serve: cannot bind " + config_.host + ":" +
+                std::to_string(config_.port) + ": " + reason);
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("serve: listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr), &len);
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  running_.store(true);
+  const int workers = config_.http_workers < 1 ? 1 : config_.http_workers;
+  sessions_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    sessions_.emplace_back([this] { SessionMain(); });
+  }
+  acceptor_ = std::thread([this] { AcceptorMain(); });
+}
+
+void Server::Stop() {
+  if (!running_.load()) return;
+  stopping_.store(true);
+  if (acceptor_.joinable()) acceptor_.join();
+  // The acceptor is done: whatever sits in the queue is the complete
+  // set of accepted-but-unserved connections.  Wake the sessions so
+  // they drain it and exit.
+  queue_cv_.notify_all();
+  for (std::thread& session : sessions_) {
+    if (session.joinable()) session.join();
+  }
+  sessions_.clear();
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+  if (auto* t = telemetry::Active()) {
+    const util::ThreadPool::Stats stats = pool_->stats();
+    t->parallel.tasks_run += stats.tasks_run;
+    t->parallel.tasks_stolen += stats.tasks_stolen;
+  }
+  pool_.reset();
+  running_.store(false);
+  if (auto* sink = telemetry::ActiveTrace()) sink->Flush();
+}
+
+Server::Stats Server::stats() const {
+  return {connections_accepted_.load(), requests_served_.load(),
+          shed_queue_full_.load()};
+}
+
+void Server::AcceptorMain() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    struct pollfd pfd = {listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kAcceptPollMs);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (auto* t = telemetry::Active()) ++t->server.connections_accepted;
+
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (queue_.size() >= config_.max_queue) {
+        shed = true;
+      } else {
+        queue_.push_back(fd);
+        queue_depth_.store(queue_.size(), std::memory_order_relaxed);
+      }
+    }
+    if (shed) {
+      // Load shedding in the acceptor: answer without buffering the
+      // request so a burst cannot OOM the server.
+      shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+      if (auto* t = telemetry::Active()) ++t->server.shed_queue_full;
+      HttpResponse response = ErrorResponse(
+          503, kErrQueueFull,
+          "request queue is full; retry with backoff");
+      response.close = true;
+      WriteHttpResponse(fd, response);
+      CloseFd(fd);
+      continue;
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+bool Server::PopConnection(int& fd) {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  queue_cv_.wait(lock, [this] {
+    return !queue_.empty() || stopping_.load(std::memory_order_relaxed);
+  });
+  // Drain semantics: even while stopping, accepted connections are
+  // served; a session only exits once the queue is empty.
+  if (queue_.empty()) return false;
+  fd = queue_.front();
+  queue_.pop_front();
+  queue_depth_.store(queue_.size(), std::memory_order_relaxed);
+  return true;
+}
+
+void Server::SessionMain() {
+  while (true) {
+    int fd = -1;
+    if (!PopConnection(fd)) {
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      continue;
+    }
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    requests_served_.fetch_add(ServeConnection(fd),
+                               std::memory_order_relaxed);
+    active_connections_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t Server::ServeConnection(int fd) {
+  ReadLimits limits;
+  limits.max_body_bytes = config_.max_body_bytes;
+  ConnectionBuffer buffer;
+  std::uint64_t served = 0;
+  while (true) {
+    HttpRequest request;
+    const ReadStatus status =
+        ReadHttpRequest(fd, limits, &stopping_, buffer, request);
+    HttpResponse response;
+    switch (status) {
+      case ReadStatus::kOk:
+        response = Route(request, service_);
+        ++served;
+        break;
+      case ReadStatus::kClosed:
+      case ReadStatus::kInterrupted:
+        CloseFd(fd);
+        return served;
+      case ReadStatus::kTooLarge:
+        if (auto* t = telemetry::Active()) ++t->server.shed_oversized;
+        response = ErrorResponse(
+            413, kErrTooLarge,
+            "request exceeds the server limits (max body " +
+                std::to_string(config_.max_body_bytes) + " bytes)");
+        response.close = true;
+        break;
+      case ReadStatus::kTimeout:
+        response = ErrorResponse(408, kErrTimeout,
+                                 "idle connection timed out");
+        response.close = true;
+        break;
+      case ReadStatus::kMalformed:
+        if (auto* t = telemetry::Active()) ++t->server.bad_requests;
+        response = ErrorResponse(400, kErrBadRequest,
+                                 "malformed HTTP request");
+        response.close = true;
+        break;
+    }
+    if (status == ReadStatus::kOk &&
+        stopping_.load(std::memory_order_relaxed)) {
+      // Drain: answer the request we already accepted, then close.
+      response.close = true;
+    }
+    const bool ok = WriteHttpResponse(fd, response);
+    if (!ok || response.close || !request.KeepAlive()) {
+      CloseFd(fd);
+      return served;
+    }
+  }
+}
+
+}  // namespace iotsan::server

@@ -1,0 +1,135 @@
+// The verification service: `iotsan serve` — a resident, concurrent
+// HTTP/JSON daemon over the sanitizer.
+//
+// Why a daemon: the one-shot CLI pays process startup, corpus load, and
+// thread-pool spin-up on every invocation.  A resident server amortizes
+// all of that and — the actual throughput win — shares one long-lived
+// ThreadPool and one ResultCache across every request, so warm repeats
+// of unchanged (deployment, options) groups skip the state-space search
+// entirely.
+//
+// Topology: one acceptor thread feeds a bounded queue of accepted
+// connections, drained by `http_workers` session threads.  Each session
+// parses HTTP/1.1 requests (keep-alive), routes them through
+// server/handlers, and runs checks on the shared pool.  Load is shed
+// early: a full queue answers 503 `queue_full` in the acceptor without
+// buffering the request; oversized bodies answer 413 without reading
+// them.  Per-request deadlines reuse the checker's CancelFn budget
+// plumbing (CheckOptions::time_budget_seconds / interrupt).
+//
+// Shutdown: Stop() (or SIGINT/SIGTERM via util/interrupt in the CLI)
+// stops accepting, serves every connection already accepted or queued,
+// finishes requests whose bytes are in flight, then joins all threads.
+// No third-party dependencies: POSIX sockets only.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/result_cache.hpp"
+#include "server/handlers.hpp"
+#include "util/thread_pool.hpp"
+
+namespace iotsan::server {
+
+struct ServerConfig {
+  /// Bind address.  Loopback by default: the service speaks plain HTTP
+  /// and should only face an ingress proxy or local clients.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 asks the kernel for an ephemeral one (see port()).
+  int port = 8080;
+  /// Checker worker lanes shared by all requests (0 = hardware threads).
+  int jobs = 0;
+  /// HTTP session threads draining the accept queue.
+  int http_workers = 4;
+  /// Result-cache disk directory ("" = in-memory cache only).
+  std::string cache_dir;
+  /// Bound on accepted-but-unserved connections; beyond it the acceptor
+  /// sheds with 503 instead of buffering without limit.
+  std::size_t max_queue = 64;
+  /// Request body limit; larger Content-Lengths are answered 413
+  /// without reading the body.
+  std::size_t max_body_bytes = 4 * 1024 * 1024;
+  /// Default wall-clock budget per check/attribute request, seconds
+  /// (0 = none).  Requests may override via options.deadlineSeconds.
+  /// Note: the budget is part of the cache fingerprint, so mixed
+  /// deadlines partition the cache.
+  double request_deadline_seconds = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the acceptor + session threads.
+  /// Throws iotsan::Error when the socket cannot be bound.
+  void Start();
+
+  /// The bound port (resolved when config.port was 0).
+  int port() const { return port_; }
+
+  /// Graceful drain: stop accepting, serve everything already accepted
+  /// or queued, join all threads, flush the trace sink.  Idempotent.
+  void Stop();
+
+  /// Marks the drain flag without blocking (safe from the main loop
+  /// when a signal flag went up; call Stop() afterwards to join).
+  void RequestStop() { stopping_.store(true, std::memory_order_relaxed); }
+
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+
+  /// The shared result cache (tests seed it / assert hit counts).
+  cache::ResultCache& result_cache() { return *cache_; }
+  const ServerConfig& config() const { return config_; }
+
+  struct Stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t requests_served = 0;
+    std::uint64_t shed_queue_full = 0;
+  };
+  Stats stats() const;
+
+ private:
+  void AcceptorMain();
+  void SessionMain();
+  /// Serves one connection until close/error/drain; returns requests
+  /// answered.
+  std::uint64_t ServeConnection(int fd);
+  bool PopConnection(int& fd);
+
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::unique_ptr<cache::ResultCache> cache_;
+  ServiceState service_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> sessions_;
+
+  // Bounded queue of accepted connection fds.
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> queue_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> active_connections_{0};
+  std::atomic<std::uint64_t> queue_depth_{0};
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> shed_queue_full_{0};
+};
+
+}  // namespace iotsan::server

@@ -70,6 +70,19 @@ std::vector<Sample> Registry::Snapshot() const {
   add("cache.bytes_read", cache.bytes_read);
   add("cache.bytes_written", cache.bytes_written);
   add("cache.singleflight_waits", cache.singleflight_waits);
+  add("server.connections_accepted", server.connections_accepted);
+  add("server.requests", server.requests);
+  add("server.responses_ok", server.responses_ok);
+  add("server.responses_client_error", server.responses_client_error);
+  add("server.responses_server_error", server.responses_server_error);
+  add("server.checks", server.checks);
+  add("server.attributions", server.attributions);
+  add("server.bad_requests", server.bad_requests);
+  add("server.shed_queue_full", server.shed_queue_full);
+  add("server.shed_oversized", server.shed_oversized);
+  add("server.deadline_hits", server.deadline_hits);
+  add("server.active_connections", server.active_connections);
+  add("server.queue_depth", server.queue_depth);
   return out;
 }
 
@@ -97,7 +110,13 @@ void Registry::Reset() {
            &cache.hits_memory, &cache.hits_disk, &cache.misses,
            &cache.stores, &cache.store_skips, &cache.evictions,
            &cache.corrupt_entries, &cache.bytes_read, &cache.bytes_written,
-           &cache.singleflight_waits,
+           &cache.singleflight_waits, &server.connections_accepted,
+           &server.requests, &server.responses_ok,
+           &server.responses_client_error, &server.responses_server_error,
+           &server.checks, &server.attributions, &server.bad_requests,
+           &server.shed_queue_full, &server.shed_oversized,
+           &server.deadline_hits, &server.active_connections,
+           &server.queue_depth,
        }) {
     c->store(0);
   }
@@ -109,6 +128,7 @@ json::Value Registry::ToJson() const {
   json::Object store_obj;
   json::Object parallel_obj;
   json::Object cache_obj;
+  json::Object server_obj;
   for (const Sample& sample : Snapshot()) {
     const auto dot = sample.name.find('.');
     const std::string group = sample.name.substr(0, dot);
@@ -122,6 +142,8 @@ json::Value Registry::ToJson() const {
       parallel_obj[key] = value;
     } else if (group == "cache") {
       cache_obj[key] = value;
+    } else if (group == "server") {
+      server_obj[key] = value;
     } else {
       store_obj[key] = value;
     }
@@ -132,6 +154,7 @@ json::Value Registry::ToJson() const {
   doc["store"] = json::Value(std::move(store_obj));
   doc["parallel"] = json::Value(std::move(parallel_obj));
   doc["cache"] = json::Value(std::move(cache_obj));
+  doc["server"] = json::Value(std::move(server_obj));
   return json::Value(std::move(doc));
 }
 

@@ -121,6 +121,24 @@ struct ParallelCounters {
   Counter config_tasks{0};     // attribution configurations fanned out
 };
 
+/// Verification-service counters (src/server): HTTP traffic, request
+/// outcomes, and load shedding.  Monotonic except the two gauges.
+struct ServerCounters {
+  Counter connections_accepted{0}; // TCP connections accepted
+  Counter requests{0};             // HTTP requests routed
+  Counter responses_ok{0};         // 2xx responses
+  Counter responses_client_error{0}; // 4xx responses
+  Counter responses_server_error{0}; // 5xx responses
+  Counter checks{0};               // POST /v1/check handled
+  Counter attributions{0};         // POST /v1/attribute handled
+  Counter bad_requests{0};         // malformed HTTP / JSON / schema
+  Counter shed_queue_full{0};      // connections shed with 503
+  Counter shed_oversized{0};       // requests shed with 413
+  Counter deadline_hits{0};        // requests stopped by their deadline
+  Counter active_connections{0};   // gauge: sessions currently serving
+  Counter queue_depth{0};          // gauge: accepted-but-unserved conns
+};
+
 struct Sample {
   std::string name;
   std::uint64_t value = 0;
@@ -133,13 +151,14 @@ class Registry {
   StoreGauges store;
   ParallelCounters parallel;
   CacheCounters cache;
+  ServerCounters server;
 
   /// All counters and gauges as dotted names ("search.states_explored"),
   /// in a stable order.
   std::vector<Sample> Snapshot() const;
 
   /// {"search": {...}, "pipeline": {...}, "store": {...},
-  ///  "parallel": {...}, "cache": {...}}.
+  ///  "parallel": {...}, "cache": {...}, "server": {...}}.
   json::Value ToJson() const;
 
   void Reset();

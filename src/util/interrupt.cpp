@@ -1,0 +1,53 @@
+#include "util/interrupt.hpp"
+
+#include <csignal>
+#include <cstdlib>
+#include <unistd.h>
+
+namespace iotsan::util {
+
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+// sig_atomic_t per POSIX; only ever a small signal number.
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void HandleInterrupt(int signum) {
+  if (g_interrupted.exchange(true, std::memory_order_relaxed)) {
+    // Second signal: the cooperative wind-down is not finishing fast
+    // enough for the operator — exit now (async-signal-safe _exit).
+    _exit(128 + signum);
+  }
+  g_signal = signum;
+}
+
+}  // namespace
+
+const std::atomic<bool>& InstallInterruptHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = HandleInterrupt;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocking accept/read return EINTR
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  // A peer closing its socket mid-response must not kill the server.
+  signal(SIGPIPE, SIG_IGN);
+  return g_interrupted;
+}
+
+const std::atomic<bool>& InterruptFlag() { return g_interrupted; }
+
+bool InterruptRequested() {
+  return g_interrupted.load(std::memory_order_relaxed);
+}
+
+int InterruptSignal() { return static_cast<int>(g_signal); }
+
+int InterruptExitCode() { return 128 + InterruptSignal(); }
+
+void ResetInterruptFlag() {
+  g_signal = 0;
+  g_interrupted.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace iotsan::util

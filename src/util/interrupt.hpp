@@ -1,0 +1,40 @@
+// Cooperative SIGINT/SIGTERM handling for long-running commands.
+//
+// The handler does the only async-signal-safe thing — it sets a
+// process-wide atomic flag — and the long-running layers poll it:
+// the checker between cascade drains (checker::CheckOptions::interrupt),
+// the server's acceptor/session loops between polls.  That turns an
+// interrupt into an orderly wind-down: partial reports are still
+// rendered, violation artifacts written, and the telemetry TraceSink
+// flushed through its destructor, instead of the process dying with a
+// JSONL line truncated mid-write.
+//
+// A second SIGINT/SIGTERM while the flag is already set hard-exits
+// (128 + signal), so a wedged drain can always be escaped.
+#pragma once
+
+#include <atomic>
+
+namespace iotsan::util {
+
+/// Installs the SIGINT/SIGTERM handlers (idempotent) and returns the
+/// flag they set.  Call once at the top of a long-running command.
+const std::atomic<bool>& InstallInterruptHandlers();
+
+/// The flag itself, for layers that only poll (never install).
+const std::atomic<bool>& InterruptFlag();
+
+/// True once a handled signal arrived.
+bool InterruptRequested();
+
+/// The signal that set the flag (0 = none yet).
+int InterruptSignal();
+
+/// Conventional exit status for a run that was interrupted but wound
+/// down cleanly: 128 + the signal number (130 for SIGINT).
+int InterruptExitCode();
+
+/// Clears the flag (tests; a server draining one listener generation).
+void ResetInterruptFlag();
+
+}  // namespace iotsan::util

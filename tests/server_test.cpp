@@ -1,0 +1,520 @@
+// Verification-service integration tests (src/server): a real listener
+// on an ephemeral loopback port, driven by plain POSIX-socket clients.
+//
+// Covered here:
+//   * the JSON API surface (health, version, metrics, check, attribute)
+//   * response `text` byte-identical to the shared core::RunCheck path
+//     (cache-warmed so the replayed timing matches exactly)
+//   * structured 400/404/405/413 errors with machine-readable codes
+//   * concurrent mixed check/attribute traffic from many client threads
+//   * graceful drain under load: every accepted request is answered
+//     with a complete response, then the server exits cleanly
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "config/builder.hpp"
+#include "core/service.hpp"
+#include "server/handlers.hpp"
+#include "server/server.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/json.hpp"
+
+namespace iotsan::server {
+namespace {
+
+// ---- loopback HTTP client ----------------------------------------------------
+
+struct ClientResponse {
+  int status = 0;
+  std::string body;
+  bool complete = false;  // headers + full Content-Length body received
+};
+
+int ConnectLoopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one response off `fd` (headers, then exactly Content-Length
+/// body bytes).  Marks `complete` only when nothing was truncated, so
+/// the drain test can assert no request got a partial answer.
+ClientResponse ReadResponse(int fd) {
+  ClientResponse out;
+  std::string data;
+  char chunk[4096];
+  std::size_t head_end;
+  while ((head_end = data.find("\r\n\r\n")) == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return out;
+    data.append(chunk, static_cast<std::size_t>(n));
+  }
+  const std::string head = data.substr(0, head_end);
+  if (head.rfind("HTTP/1.1 ", 0) != 0) return out;
+  out.status = std::atoi(head.c_str() + 9);
+  std::size_t body_len = 0;
+  const std::string marker = "Content-Length: ";
+  if (const std::size_t at = head.find(marker); at != std::string::npos) {
+    body_len = static_cast<std::size_t>(
+        std::atoll(head.c_str() + at + marker.size()));
+  }
+  while (data.size() < head_end + 4 + body_len) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return out;
+    data.append(chunk, static_cast<std::size_t>(n));
+  }
+  out.body = data.substr(head_end + 4, body_len);
+  out.complete = true;
+  return out;
+}
+
+/// One-shot request: connect, send, read one response, close.
+ClientResponse Fetch(int port, const std::string& method,
+                     const std::string& target, const std::string& body = "") {
+  ClientResponse out;
+  const int fd = ConnectLoopback(port);
+  if (fd < 0) return out;
+  std::string wire = method + " " + target + " HTTP/1.1\r\n";
+  wire += "Host: 127.0.0.1\r\nConnection: close\r\n";
+  wire += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  wire += body;
+  if (SendAll(fd, wire)) out = ReadResponse(fd);
+  ::close(fd);
+  return out;
+}
+
+// ---- fixtures ----------------------------------------------------------------
+
+/// The paper's §8 running example — two devices, two conflicting apps,
+/// two violated properties.  Small enough that a check is milliseconds.
+json::Value ViolatingDeploymentJson() {
+  json::Object lock;
+  lock["id"] = "doorLock";
+  lock["type"] = "smartLock";
+  lock["roles"] = json::Array{json::Value("mainDoorLock")};
+  json::Object presence;
+  presence["id"] = "alicePresence";
+  presence["type"] = "presenceSensor";
+  presence["roles"] = json::Array{json::Value("presence")};
+
+  json::Object mode_app;
+  mode_app["app"] = "Auto Mode Change";
+  json::Object mode_inputs;
+  mode_inputs["people"] = json::Array{json::Value("alicePresence")};
+  mode_inputs["homeMode"] = "Home";
+  mode_inputs["awayMode"] = "Away";
+  mode_app["inputs"] = std::move(mode_inputs);
+  json::Object unlock_app;
+  unlock_app["app"] = "Unlock Door";
+  json::Object unlock_inputs;
+  unlock_inputs["lock1"] = json::Array{json::Value("doorLock")};
+  unlock_app["inputs"] = std::move(unlock_inputs);
+
+  json::Object doc;
+  doc["name"] = "server test home";
+  doc["devices"] = json::Array{json::Value(std::move(presence)),
+                               json::Value(std::move(lock))};
+  doc["apps"] = json::Array{json::Value(std::move(mode_app)),
+                            json::Value(std::move(unlock_app))};
+  return json::Value(std::move(doc));
+}
+
+std::string CheckBody(int jobs = 1) {
+  json::Object doc;
+  doc["schema"] = kRequestSchema;
+  doc["deployment"] = ViolatingDeploymentJson();
+  json::Object options;
+  options["jobs"] = static_cast<std::int64_t>(jobs);
+  doc["options"] = std::move(options);
+  return json::Value(std::move(doc)).Dump(0);
+}
+
+std::string AttributeBody() {
+  json::Object doc;
+  doc["schema"] = kRequestSchema;
+  doc["deployment"] = ViolatingDeploymentJson();
+  json::Object app;
+  app["corpus"] = "Unlock Door";
+  doc["app"] = std::move(app);
+  json::Object options;
+  options["jobs"] = std::int64_t{1};
+  doc["options"] = std::move(options);
+  return json::Value(std::move(doc)).Dump(0);
+}
+
+std::string TempDir(const char* tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (std::string("iotsan_server_test_") + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerConfig config = {}) {
+    config.port = 0;  // ephemeral
+    telemetry::SetActive(&registry_);
+    server_ = std::make_unique<Server>(std::move(config));
+    server_->Start();
+  }
+
+  void TearDown() override {
+    if (server_) server_->Stop();
+    telemetry::SetActive(nullptr);
+  }
+
+  telemetry::Registry registry_;
+  std::unique_ptr<Server> server_;
+};
+
+// ---- API surface -------------------------------------------------------------
+
+TEST_F(ServerTest, HealthVersionMetrics) {
+  StartServer();
+  const int port = server_->port();
+
+  ClientResponse health = Fetch(port, "GET", "/v1/health");
+  ASSERT_TRUE(health.complete);
+  EXPECT_EQ(health.status, 200);
+  json::Value health_doc = json::Parse(health.body);
+  EXPECT_EQ(health_doc.At("status").AsString(), "ok");
+  EXPECT_GE(health_doc.At("uptime_seconds").AsNumber(), 0.0);
+
+  ClientResponse version = Fetch(port, "GET", "/v1/version");
+  ASSERT_TRUE(version.complete);
+  EXPECT_EQ(version.status, 200);
+  EXPECT_FALSE(json::Parse(version.body).At("version").AsString().empty());
+
+  ClientResponse metrics = Fetch(port, "GET", "/v1/metrics");
+  ASSERT_TRUE(metrics.complete);
+  EXPECT_EQ(metrics.status, 200);
+  json::Value metrics_doc = json::Parse(metrics.body);
+  EXPECT_EQ(metrics_doc.At("schema").AsString(), "iotsan.metrics/1");
+  const json::Value& counters = metrics_doc.At("counters");
+  // The two earlier GETs are already on the board.
+  EXPECT_GE(counters.At("server").At("requests").AsInt(), 2);
+  EXPECT_TRUE(counters.Has("search"));
+  EXPECT_TRUE(counters.Has("cache"));
+}
+
+TEST_F(ServerTest, CheckReportsViolationsWithSharedRenderer) {
+  StartServer();
+  ClientResponse response =
+      Fetch(server_->port(), "POST", "/v1/check", CheckBody());
+  ASSERT_TRUE(response.complete);
+  EXPECT_EQ(response.status, 200);
+  json::Value doc = json::Parse(response.body);
+  EXPECT_EQ(doc.At("schema").AsString(), kResponseSchema);
+  EXPECT_EQ(doc.At("verdict").AsString(), "violations");
+  EXPECT_EQ(doc.At("exit_code").AsInt(), 1);
+  // The text is the shared renderer's output: header through RESULT.
+  const std::string& text = doc.At("text").AsString();
+  EXPECT_NE(text.find("system: server test home (2 devices, 2 apps)\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("RESULT: 2 violated properties\n"), std::string::npos);
+  const json::Value& report = doc.At("report");
+  EXPECT_EQ(report.At("violations").AsArray().size(), 2u);
+  EXPECT_GT(report.At("states_explored").AsInt(), 0);
+}
+
+TEST_F(ServerTest, WarmCacheResponseIsByteIdenticalToCliPath) {
+  const std::string cache_dir = TempDir("warm");
+  // Cold run through the exact code path `iotsan check` uses, warming
+  // the shared on-disk cache.  The replayed cache entry restores the
+  // recorded `seconds`, so the warm texts match byte for byte, timing
+  // line included.
+  cache::CacheConfig cache_config;
+  cache_config.dir = cache_dir;
+  std::string cli_text;
+  {
+    cache::ResultCache warm_cache(cache_config);
+    core::ServiceEnv env;
+    env.cache = &warm_cache;
+    core::CheckRequest request;
+    request.deployment =
+        config::ParseDeployment(ViolatingDeploymentJson());
+    request.options.jobs = 1;
+    cli_text = core::RunCheck(request, env).text;       // cold: fills cache
+    const std::string warm = core::RunCheck(request, env).text;
+    ASSERT_EQ(cli_text, warm);  // cache replay is deterministic
+  }
+
+  ServerConfig config;
+  config.cache_dir = cache_dir;
+  StartServer(std::move(config));
+  ClientResponse response =
+      Fetch(server_->port(), "POST", "/v1/check", CheckBody(/*jobs=*/1));
+  ASSERT_TRUE(response.complete);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(json::Parse(response.body).At("text").AsString(), cli_text);
+  EXPECT_GT(registry_.cache.hits.load(), 0u);
+  std::filesystem::remove_all(cache_dir);
+}
+
+TEST_F(ServerTest, AttributeEndpoint) {
+  StartServer();
+  ClientResponse response =
+      Fetch(server_->port(), "POST", "/v1/attribute", AttributeBody());
+  ASSERT_TRUE(response.complete);
+  EXPECT_EQ(response.status, 200);
+  json::Value doc = json::Parse(response.body);
+  // "Unlock Door" alone violates lock invariants on this deployment.
+  EXPECT_NE(doc.At("verdict").AsString(), "clean");
+  EXPECT_EQ(doc.At("exit_code").AsInt(), 1);
+  EXPECT_EQ(doc.At("report").At("app").AsString(), "Unlock Door");
+  EXPECT_GT(registry_.server.attributions.load(), 0u);
+}
+
+// ---- structured errors -------------------------------------------------------
+
+std::string ErrorCode(const ClientResponse& response) {
+  return json::Parse(response.body).At("error").At("code").AsString();
+}
+
+TEST_F(ServerTest, MalformedBodiesAreStructuredClientErrors) {
+  StartServer();
+  const int port = server_->port();
+
+  ClientResponse bad_json = Fetch(port, "POST", "/v1/check", "{nope");
+  ASSERT_TRUE(bad_json.complete);
+  EXPECT_EQ(bad_json.status, 400);
+  EXPECT_EQ(ErrorCode(bad_json), "bad_json");
+
+  ClientResponse bad_schema = Fetch(
+      port, "POST", "/v1/check",
+      R"({"schema": "iotsan.request/99", "deployment": {}})");
+  ASSERT_TRUE(bad_schema.complete);
+  EXPECT_EQ(bad_schema.status, 400);
+  EXPECT_EQ(ErrorCode(bad_schema), "bad_schema");
+
+  ClientResponse no_deployment =
+      Fetch(port, "POST", "/v1/check", R"({"schema": "iotsan.request/1"})");
+  ASSERT_TRUE(no_deployment.complete);
+  EXPECT_EQ(no_deployment.status, 400);
+  EXPECT_EQ(ErrorCode(no_deployment), "bad_schema");
+
+  // Option validation mirrors the CLI flag table's ranges; unknown keys
+  // are rejected instead of silently defaulting.
+  json::Value with_options = json::Parse(CheckBody());
+  json::Object bad_options;
+  bad_options["jobs"] = std::int64_t{999999};
+  with_options.MutableObject()["options"] = std::move(bad_options);
+  ClientResponse bad_range =
+      Fetch(port, "POST", "/v1/check", with_options.Dump(0));
+  ASSERT_TRUE(bad_range.complete);
+  EXPECT_EQ(bad_range.status, 400);
+  EXPECT_EQ(ErrorCode(bad_range), "bad_request");
+
+  json::Object typo_options;
+  typo_options["evnets"] = std::int64_t{3};
+  with_options.MutableObject()["options"] = std::move(typo_options);
+  ClientResponse typo =
+      Fetch(port, "POST", "/v1/check", with_options.Dump(0));
+  ASSERT_TRUE(typo.complete);
+  EXPECT_EQ(typo.status, 400);
+  EXPECT_EQ(ErrorCode(typo), "bad_request");
+
+  ClientResponse not_found = Fetch(port, "GET", "/v1/nope");
+  ASSERT_TRUE(not_found.complete);
+  EXPECT_EQ(not_found.status, 404);
+  EXPECT_EQ(ErrorCode(not_found), "not_found");
+
+  ClientResponse wrong_method = Fetch(port, "GET", "/v1/check");
+  ASSERT_TRUE(wrong_method.complete);
+  EXPECT_EQ(wrong_method.status, 405);
+  EXPECT_EQ(ErrorCode(wrong_method), "method_not_allowed");
+
+  EXPECT_GT(registry_.server.responses_client_error.load(), 0u);
+}
+
+TEST_F(ServerTest, OversizedBodyIsShedWith413) {
+  ServerConfig config;
+  config.max_body_bytes = 512;
+  StartServer(std::move(config));
+  ClientResponse response = Fetch(server_->port(), "POST", "/v1/check",
+                                  std::string(4096, 'x'));
+  ASSERT_TRUE(response.complete);
+  EXPECT_EQ(response.status, 413);
+  EXPECT_EQ(ErrorCode(response), "payload_too_large");
+  EXPECT_EQ(registry_.server.shed_oversized.load(), 1u);
+}
+
+TEST_F(ServerTest, MalformedHttpIsRejected) {
+  StartServer();
+  const int fd = ConnectLoopback(server_->port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendAll(fd, "this is not http\r\n\r\n"));
+  ClientResponse response = ReadResponse(fd);
+  ::close(fd);
+  ASSERT_TRUE(response.complete);
+  EXPECT_EQ(response.status, 400);
+  EXPECT_EQ(ErrorCode(response), "bad_request");
+}
+
+// ---- request deadlines -------------------------------------------------------
+
+TEST_F(ServerTest, RequestInterruptWindsDownAsBudgetHit) {
+  // The per-request deadline rides the checker's CancelFn plumbing;
+  // the same path serves the drain interrupt.  A pre-raised interrupt
+  // flag must wind the search down as an incomplete (budget-hit) run —
+  // quickly, and without caching the partial result.
+  std::atomic<bool> interrupt{true};
+  core::ServiceEnv env;
+  env.interrupt = &interrupt;
+  core::CheckRequest request;
+  request.deployment = config::ParseDeployment(ViolatingDeploymentJson());
+  request.options.jobs = 1;
+  core::CheckResponse response = core::RunCheck(request, env);
+  EXPECT_FALSE(response.report.completed);
+  EXPECT_NE(response.text.find("(budget hit)"), std::string::npos);
+}
+
+// ---- concurrency and drain ---------------------------------------------------
+
+TEST_F(ServerTest, ConcurrentMixedTrafficMatchesSerialResponses) {
+  const std::string cache_dir = TempDir("mixed");
+  ServerConfig config;
+  config.cache_dir = cache_dir;
+  config.http_workers = 4;
+  StartServer(std::move(config));
+  const int port = server_->port();
+
+  // Serial reference responses (these also warm the cache, so every
+  // concurrent repeat replays the same stored result byte for byte).
+  ClientResponse check_ref = Fetch(port, "POST", "/v1/check", CheckBody());
+  ClientResponse attr_ref =
+      Fetch(port, "POST", "/v1/attribute", AttributeBody());
+  ASSERT_TRUE(check_ref.complete);
+  ASSERT_TRUE(attr_ref.complete);
+  ASSERT_EQ(check_ref.status, 200);
+  ASSERT_EQ(attr_ref.status, 200);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    clients.emplace_back([&, i] {
+      for (int j = 0; j < kPerThread; ++j) {
+        const bool attribute = (i + j) % 2 == 0;
+        ClientResponse response =
+            attribute ? Fetch(port, "POST", "/v1/attribute", AttributeBody())
+                      : Fetch(port, "POST", "/v1/check", CheckBody());
+        if (!response.complete || response.status != 200) {
+          ++failures;
+          continue;
+        }
+        const std::string& expected =
+            attribute ? attr_ref.body : check_ref.body;
+        if (response.body != expected) ++mismatches;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GE(registry_.server.checks.load(),
+            static_cast<std::uint64_t>(kThreads * kPerThread / 2));
+  std::filesystem::remove_all(cache_dir);
+}
+
+TEST_F(ServerTest, GracefulDrainAnswersEveryAcceptedRequest) {
+  ServerConfig config;
+  config.http_workers = 4;
+  StartServer(std::move(config));
+  const int port = server_->port();
+
+  constexpr int kThreads = 6;
+  std::atomic<int> incomplete{0};
+  std::atomic<int> answered{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    clients.emplace_back([&] {
+      for (int j = 0; j < 4; ++j) {
+        const int fd = ConnectLoopback(port);
+        if (fd < 0) return;  // listener already gone: fine mid-drain
+        std::string body = CheckBody();
+        std::string wire = "POST /v1/check HTTP/1.1\r\nHost: l\r\n"
+                           "Content-Length: " +
+                           std::to_string(body.size()) + "\r\n\r\n" + body;
+        if (!SendAll(fd, wire)) {
+          ::close(fd);
+          return;
+        }
+        ClientResponse response = ReadResponse(fd);
+        ::close(fd);
+        if (response.status == 0) return;  // drained before being served
+        // A started response must never be truncated mid-body.
+        if (!response.complete) {
+          ++incomplete;
+        } else {
+          ++answered;
+        }
+      }
+    });
+  }
+  // Let some requests land, then drain while clients are still firing.
+  while (answered.load() == 0 && incomplete.load() == 0) {
+    std::this_thread::yield();
+  }
+  server_->Stop();
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(incomplete.load(), 0);
+  EXPECT_GT(answered.load(), 0);
+  EXPECT_FALSE(server_->running());
+}
+
+TEST_F(ServerTest, KeepAliveServesSequentialRequests) {
+  StartServer();
+  const int fd = ConnectLoopback(server_->port());
+  ASSERT_GE(fd, 0);
+  const std::string get =
+      "GET /v1/health HTTP/1.1\r\nHost: l\r\nContent-Length: 0\r\n\r\n";
+  ASSERT_TRUE(SendAll(fd, get));
+  ClientResponse first = ReadResponse(fd);
+  ASSERT_TRUE(first.complete);
+  EXPECT_EQ(first.status, 200);
+  ASSERT_TRUE(SendAll(fd, get));
+  ClientResponse second = ReadResponse(fd);
+  ::close(fd);
+  ASSERT_TRUE(second.complete);
+  EXPECT_EQ(second.status, 200);
+}
+
+}  // namespace
+}  // namespace iotsan::server

@@ -30,6 +30,8 @@
 // Deployment files use the JSON schema of config/deployment.hpp; app
 // sources not in the bundled corpus can be given in the deployment under
 // "appSources": {"Name": "path/to/app.smartscript"}.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -37,22 +39,25 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "attrib/output_analyzer.hpp"
 #include "cache/result_cache.hpp"
 #include "cli/flags.hpp"
 #include "core/sanitizer.hpp"
+#include "core/service.hpp"
 #include "corpus/corpus.hpp"
 #include "deps/dependency_graph.hpp"
-#include "dsl/parser.hpp"
 #include "ir/analyzer.hpp"
 #include "model/system_model.hpp"
 #include "promela/emitter.hpp"
 #include "props/loader.hpp"
+#include "server/server.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/build_info.hpp"
 #include "util/error.hpp"
+#include "util/interrupt.hpp"
 
 namespace {
 
@@ -66,14 +71,17 @@ using namespace iotsan::cli;
 /// when the command throws.
 class TelemetrySession {
  public:
-  explicit TelemetrySession(const CliFlags& flags) : stats_(flags.stats) {
+  /// `force_registry` installs the counter registry even without
+  /// --stats (serve needs it live for /v1/metrics).
+  explicit TelemetrySession(const CliFlags& flags, bool force_registry = false)
+      : stats_(flags.stats) {
     if (flags.stats || !flags.trace_out.empty()) {
       sink_ = flags.trace_out.empty()
                   ? std::make_unique<telemetry::TraceSink>()
                   : std::make_unique<telemetry::TraceSink>(flags.trace_out);
       telemetry::SetActiveTrace(sink_.get());
     }
-    if (flags.stats) telemetry::SetActive(&registry_);
+    if (flags.stats || force_registry) telemetry::SetActive(&registry_);
   }
 
   ~TelemetrySession() {
@@ -136,14 +144,6 @@ LoadedSystem LoadSystem(const std::string& path) {
   return out;
 }
 
-core::Sanitizer MakeSanitizer(const LoadedSystem& system) {
-  core::Sanitizer sanitizer(system.deployment);
-  for (const auto& [name, source] : system.extra_sources) {
-    sanitizer.AddAppSource(name, source);
-  }
-  return sanitizer;
-}
-
 std::vector<ir::AnalyzedApp> AnalyzeDeploymentApps(
     const LoadedSystem& system) {
   std::vector<ir::AnalyzedApp> apps;
@@ -162,29 +162,48 @@ std::vector<ir::AnalyzedApp> AnalyzeDeploymentApps(
   return apps;
 }
 
-void InstallProgressReporter(checker::CheckOptions& check,
-                             std::uint64_t every) {
-  if (every == 0) return;
-  check.progress_every = every;
-  check.on_progress = [](const telemetry::ProgressSnapshot& snapshot) {
-    std::fprintf(stderr, "%s\n",
-                 telemetry::FormatProgress(snapshot).c_str());
-  };
+/// The result-affecting request options shared by check and attribute,
+/// copied straight off the parsed flags (src/core/service.hpp mirrors
+/// the flag table).
+core::RequestOptions RequestOptionsFromFlags(const CliFlags& flags) {
+  core::RequestOptions out;
+  out.events = flags.events;
+  out.jobs = flags.jobs;
+  out.failures = flags.failures;
+  out.mono = flags.mono;
+  out.bitstate = flags.bitstate;
+  out.bitstate_bits_pow = flags.bitstate_bits_pow;
+  out.first = flags.first;
+  out.reverify_bitstate = flags.reverify_bitstate;
+  out.allow_discovery = flags.allow_discovery;
+  return out;
 }
 
-std::string HumanBytes(std::uint64_t bytes) {
-  char buf[48];
-  if (bytes >= (1u << 20)) {
-    std::snprintf(buf, sizeof(buf), "%.1f MiB",
-                  static_cast<double>(bytes) / (1 << 20));
-  } else if (bytes >= (1u << 10)) {
-    std::snprintf(buf, sizeof(buf), "%.1f KiB",
-                  static_cast<double>(bytes) / (1 << 10));
-  } else {
-    std::snprintf(buf, sizeof(buf), "%llu B",
-                  static_cast<unsigned long long>(bytes));
+/// The execution environment for one CLI run: the optional result cache
+/// and the SIGINT/SIGTERM flag the search polls so an interrupt still
+/// renders partial results, writes artifacts, and flushes the trace.
+struct CliEnv {
+  core::ServiceEnv env;
+  std::unique_ptr<cache::ResultCache> result_cache;
+};
+
+CliEnv MakeCliEnv(const CliFlags& flags) {
+  CliEnv out;
+  out.env.interrupt = &util::InstallInterruptHandlers();
+  if (!flags.cache_dir.empty()) {
+    cache::CacheConfig cache_config;
+    cache_config.dir = flags.cache_dir;
+    out.result_cache = std::make_unique<cache::ResultCache>(cache_config);
+    out.env.cache = out.result_cache.get();
   }
-  return buf;
+  if (flags.progress_every > 0) {
+    out.env.progress_every = flags.progress_every;
+    out.env.on_progress = [](const telemetry::ProgressSnapshot& snapshot) {
+      std::fprintf(stderr, "%s\n",
+                   telemetry::FormatProgress(snapshot).c_str());
+    };
+  }
+  return out;
 }
 
 // ---- Violation artifacts and replay ------------------------------------------
@@ -279,94 +298,42 @@ int CmdCheck(const std::vector<std::string>& args) {
     telemetry_session.PrintStats();
     return status;
   }
-  core::Sanitizer sanitizer = MakeSanitizer(system);
-  core::SanitizerOptions options;
-  options.check.max_events = flags.events > 0 ? flags.events : 3;
-  options.check.jobs = flags.jobs;
-  options.check.model_failures = flags.failures;
-  options.use_dependency_analysis = !flags.mono;
-  if (flags.bitstate) {
-    options.check.store = checker::StoreKind::kBitstate;
-    if (flags.bitstate_bits_pow > 0) {
-      options.check.bitstate_bits = std::size_t{1} << flags.bitstate_bits_pow;
-    }
-  }
-  options.check.stop_at_first_violation = flags.first;
-  options.check.reverify_bitstate = flags.reverify_bitstate;
-  options.allow_dynamic_discovery = flags.allow_discovery;
+  core::CheckRequest request;
+  request.deployment = std::move(system.deployment);
+  request.extra_sources = std::move(system.extra_sources);
+  request.options = RequestOptionsFromFlags(flags);
   if (!flags.properties_path.empty()) {
-    options.extra_properties =
+    request.extra_properties =
         props::LoadPropertiesJson(ReadFile(flags.properties_path));
   }
-  InstallProgressReporter(options.check, flags.progress_every);
-  std::unique_ptr<cache::ResultCache> result_cache;
-  if (!flags.cache_dir.empty()) {
-    cache::CacheConfig cache_config;
-    cache_config.dir = flags.cache_dir;
-    result_cache = std::make_unique<cache::ResultCache>(cache_config);
-    options.cache = result_cache.get();
-  }
+  CliEnv cli = MakeCliEnv(flags);
 
   TelemetrySession telemetry_session(flags);
-  core::SanitizerReport report = sanitizer.Check(options);
-  std::printf("system: %s (%zu devices, %zu apps)\n",
-              system.deployment.name.c_str(),
-              system.deployment.devices.size(),
-              system.deployment.apps.size());
-  for (const std::string& rejected : report.rejected_apps) {
-    std::printf("REJECTED: %s\n", rejected.c_str());
-  }
-  std::printf("dependency analysis: %d handlers -> %d related sets "
-              "(scale ratio %.1f)\n",
-              report.scale.original_size, report.related_set_count,
-              report.scale.ratio);
-  std::printf("explored %llu states (%llu matched) in %.3fs%s\n",
-              static_cast<unsigned long long>(report.states_explored),
-              static_cast<unsigned long long>(report.states_matched),
-              report.seconds, report.completed ? "" : " (budget hit)");
-
+  core::CheckResponse response = core::RunCheck(request, cli.env);
+  const core::SanitizerReport& report = response.report;
+  std::fputs(core::RenderCheckHeader(request.deployment, report).c_str(),
+             stdout);
   if (flags.stats) {
-    std::printf("\n-- search stats --\n");
-    const double considered = static_cast<double>(report.states_explored +
-                                                  report.states_matched);
-    std::printf("states: %llu explored, %llu matched (%.1f%% pruned)\n",
-                static_cast<unsigned long long>(report.states_explored),
-                static_cast<unsigned long long>(report.states_matched),
-                considered > 0
-                    ? 100.0 * static_cast<double>(report.states_matched) /
-                          considered
-                    : 0.0);
-    std::printf("transitions: %llu, cascade drains: %llu\n",
-                static_cast<unsigned long long>(report.transitions),
-                static_cast<unsigned long long>(report.cascade_drains));
-    if (!report.depth_histogram.empty()) {
-      std::printf("states by depth:");
-      for (std::uint64_t count : report.depth_histogram) {
-        std::printf(" %llu", static_cast<unsigned long long>(count));
-      }
-      std::printf("\n");
-    }
-    std::printf("store: %s, peak %s, fill ratio %.4f, est. omission "
-                "probability %.3g\n",
-                flags.bitstate ? "bitstate" : "exhaustive",
-                HumanBytes(report.store_memory_bytes).c_str(),
-                report.store_fill_ratio, report.est_omission_probability);
+    std::fputs(core::RenderSearchStats(report, flags.bitstate).c_str(),
+               stdout);
   }
   telemetry_session.PrintStats();
 
   std::printf("\n");
-  if (report.violations.empty()) {
-    std::printf("RESULT: no safety violations found\n");
-    return 0;
+  std::fputs(core::RenderViolations(report).c_str(), stdout);
+  if (!report.violations.empty()) {
+    WriteArtifacts(flags.artifacts_dir, report.violations,
+                   core::MakeCheckOptions(request.options, cli.env).check,
+                   request.deployment);
   }
-  for (const checker::Violation& v : report.violations) {
-    std::printf("%s\n", checker::FormatViolation(v).c_str());
+  std::fputs(core::RenderResultLine(report).c_str(), stdout);
+  if (util::InterruptRequested()) {
+    std::fprintf(stderr,
+                 "interrupted by signal %d: partial results above\n",
+                 util::InterruptSignal());
+    return util::InterruptExitCode();
   }
-  WriteArtifacts(flags.artifacts_dir, report.violations, options.check,
-                 system.deployment);
-  std::printf("RESULT: %zu violated propert%s\n", report.violations.size(),
-              report.violations.size() == 1 ? "y" : "ies");
-  return 1;
+  return response.exit_code;
 }
 
 int CmdAttribute(const std::vector<std::string>& args) {
@@ -382,47 +349,86 @@ int CmdAttribute(const std::vector<std::string>& args) {
     return 2;
   }
   checker::ResetSaturationWarning();
-  std::string source;
+  core::AttributeRequest request;
   if (const corpus::CorpusApp* app = corpus::FindApp(positionals[0])) {
-    source = app->source;
+    request.app_source = app->source;
   } else {
-    source = ReadFile(positionals[0]);
+    request.app_source = ReadFile(positionals[0]);
   }
   LoadedSystem system = LoadSystem(positionals[1]);
-
-  attrib::AttributionOptions options;
-  options.enumeration.max_configs = 24;
-  options.check.max_events = flags.events > 0 ? flags.events : 2;
-  options.check.jobs = flags.jobs;
-  options.check.reverify_bitstate = flags.reverify_bitstate;
-  options.allow_dynamic_discovery = flags.allow_discovery;
-  if (flags.bitstate) {
-    options.check.store = checker::StoreKind::kBitstate;
-    if (flags.bitstate_bits_pow > 0) {
-      options.check.bitstate_bits = std::size_t{1} << flags.bitstate_bits_pow;
-    }
-  }
-  std::unique_ptr<cache::ResultCache> result_cache;
-  if (!flags.cache_dir.empty()) {
-    cache::CacheConfig cache_config;
-    cache_config.dir = flags.cache_dir;
-    result_cache = std::make_unique<cache::ResultCache>(cache_config);
-    options.cache = result_cache.get();
-  }
+  request.deployment = std::move(system.deployment);
+  request.options = RequestOptionsFromFlags(flags);
+  CliEnv cli = MakeCliEnv(flags);
 
   TelemetrySession telemetry_session(flags);
-  attrib::AttributionResult result =
-      attrib::AttributeApp(source, system.deployment, options);
-  dsl::App parsed = dsl::ParseApp(source);
-  std::printf("%s\n", attrib::FormatAttribution(parsed.name, result).c_str());
-  if (!result.safe_configs.empty()) {
-    std::printf("safe configurations found: %zu\n",
-                result.safe_configs.size());
-  }
-  WriteArtifacts(flags.artifacts_dir, result.evidence, options.check,
-                 system.deployment);
+  core::AttributeResponse response = core::RunAttribute(request, cli.env);
+  std::fputs(response.text.c_str(), stdout);
+  WriteArtifacts(flags.artifacts_dir, response.result.evidence,
+                 core::MakeAttributionOptions(request.options, cli.env).check,
+                 request.deployment);
   telemetry_session.PrintStats();
-  return result.verdict == attrib::Verdict::kClean ? 0 : 1;
+  if (util::InterruptRequested()) {
+    std::fprintf(stderr,
+                 "interrupted by signal %d: partial results above\n",
+                 util::InterruptSignal());
+    return util::InterruptExitCode();
+  }
+  return response.exit_code;
+}
+
+int CmdServe(const std::vector<std::string>& args) {
+  CliFlags flags;
+  flags.jobs = 0;  // serve default: size the shared pool to the hardware
+  std::vector<std::string> positionals = ParseFlags(kCmdServe, args, flags);
+  if (flags.help) {
+    PrintHelp(stdout);
+    return 0;
+  }
+  if (!positionals.empty()) {
+    std::fprintf(stderr, "%s\n", UsageFor(kCmdServe).c_str());
+    return 2;
+  }
+  const std::atomic<bool>& interrupted = util::InstallInterruptHandlers();
+
+  // /v1/metrics serves the live registry, so serve always installs one
+  // (--stats additionally prints it after the drain).
+  TelemetrySession telemetry_session(flags, /*force_registry=*/true);
+
+  server::ServerConfig config;
+  config.host = flags.host;
+  config.port = flags.port;
+  config.jobs = flags.jobs;
+  config.http_workers = flags.http_workers;
+  config.cache_dir = flags.cache_dir;
+  config.max_queue = static_cast<std::size_t>(flags.max_queue);
+  config.request_deadline_seconds = flags.deadline_seconds;
+
+  server::Server server(config);
+  server.Start();
+  std::printf("iotsan serve: listening on http://%s:%d/ "
+              "(%d http workers, deadline %ds)\n",
+              config.host.c_str(), server.port(), config.http_workers,
+              flags.deadline_seconds);
+  if (!config.cache_dir.empty()) {
+    std::printf("iotsan serve: result cache in %s\n",
+                config.cache_dir.c_str());
+  }
+  std::fflush(stdout);
+
+  while (!interrupted.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "iotsan serve: signal %d received, draining\n",
+               util::InterruptSignal());
+  server.Stop();
+  const server::Server::Stats stats = server.stats();
+  std::printf("iotsan serve: drained (%llu connections, %llu requests, "
+              "%llu shed)\n",
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.requests_served),
+              static_cast<unsigned long long>(stats.shed_queue_full));
+  telemetry_session.PrintStats();
+  return 0;
 }
 
 int CmdDeps(const std::vector<std::string>& args) {
@@ -505,7 +511,7 @@ int CmdCache(const std::vector<std::string>& args) {
               version.c_str(), cache::kCacheSchema);
   std::printf("  entries: %llu current (%s), %llu stale, %llu corrupt\n",
               static_cast<unsigned long long>(stats.entries),
-              HumanBytes(stats.bytes).c_str(),
+              core::HumanBytes(stats.bytes).c_str(),
               static_cast<unsigned long long>(stats.stale),
               static_cast<unsigned long long>(stats.corrupt));
   if (action != "stats") {
@@ -533,8 +539,8 @@ int main(int argc, char** argv) {
   if (args.empty()) {
     std::fprintf(stderr,
                  "iotsan — IoT safety sanitizer (IotSan, CoNEXT '18)\n"
-                 "commands: check, attribute, deps, promela, cache, apps, "
-                 "help\n"
+                 "commands: check, attribute, deps, promela, serve, cache, "
+                 "apps, help\n"
                  "run 'iotsan help' for the full flag reference\n");
     return 2;
   }
@@ -545,6 +551,7 @@ int main(int argc, char** argv) {
     if (command == "attribute") return CmdAttribute(args);
     if (command == "deps") return CmdDeps(args);
     if (command == "promela") return CmdPromela(args);
+    if (command == "serve") return CmdServe(args);
     if (command == "cache") return CmdCache(args);
     if (command == "apps") return CmdApps();
     if (command == "version" || command == "--version") {
