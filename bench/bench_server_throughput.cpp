@@ -12,12 +12,18 @@
 //   BENCH_STATS {"bench":"server_throughput","label":"warm jobs=4",
 //                "requests":256,"requests_per_second":...,
 //                "p50_ms":...,"p99_ms":...}
+//
+// The percentiles come from the server's own request-duration histogram
+// (telemetry server.request_duration_us, reset before each storm) — the
+// same distribution `GET /v1/metrics?format=prometheus` exposes — so the
+// bench exercises the production measurement path instead of keeping a
+// private latency vector.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -109,25 +115,34 @@ struct RunStats {
   int requests = 0;
   int failures = 0;
   double seconds = 0;
+  // Server-side handle-time percentiles, read back from the registry's
+  // request-duration histogram after the storm.
   double p50_ms = 0;
   double p99_ms = 0;
+  std::uint64_t max_us = 0;
 };
 
-RunStats Storm(int port, int clients, int per_client) {
+RunStats Storm(telemetry::Registry& registry, int port, int clients,
+               int per_client) {
   std::string body = CheckBody();
   std::string wire = "POST /v1/check HTTP/1.1\r\nHost: bench\r\n"
                      "Connection: close\r\nContent-Length: " +
                      std::to_string(body.size()) + "\r\n\r\n" + body;
-  std::vector<std::vector<double>> latencies(
-      static_cast<std::size_t>(clients));
+  // Each storm owns the histogram's window: reset, storm, snapshot.
+  registry.server_hist.request_duration_us.Reset();
+  std::atomic<int> ok{0};
+  std::atomic<int> failed{0};
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(clients));
   for (int c = 0; c < clients; ++c) {
-    threads.emplace_back([&, c] {
+    threads.emplace_back([&] {
       for (int i = 0; i < per_client; ++i) {
-        latencies[static_cast<std::size_t>(c)].push_back(
-            TimedCheck(port, wire));
+        if (TimedCheck(port, wire) < 0) {
+          failed.fetch_add(1);
+        } else {
+          ok.fetch_add(1);
+        }
       }
     });
   }
@@ -137,22 +152,13 @@ RunStats Storm(int port, int clients, int per_client) {
   out.seconds = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - start)
                     .count();
-  std::vector<double> all;
-  for (const auto& lane : latencies) {
-    for (double ms : lane) {
-      if (ms < 0) {
-        ++out.failures;
-      } else {
-        all.push_back(ms);
-      }
-    }
-  }
-  out.requests = static_cast<int>(all.size());
-  if (!all.empty()) {
-    std::sort(all.begin(), all.end());
-    out.p50_ms = all[all.size() / 2];
-    out.p99_ms = all[std::min(all.size() - 1, all.size() * 99 / 100)];
-  }
+  out.requests = ok.load();
+  out.failures = failed.load();
+  const telemetry::HistogramSnapshot snap =
+      registry.server_hist.request_duration_us.TakeSnapshot();
+  out.p50_ms = snap.P50() / 1000.0;
+  out.p99_ms = snap.P99() / 1000.0;
+  out.max_us = snap.max;
   return out;
 }
 
@@ -172,6 +178,7 @@ void Report(const char* label, const RunStats& stats,
   payload["requests_per_second"] = rps;
   payload["p50_ms"] = stats.p50_ms;
   payload["p99_ms"] = stats.p99_ms;
+  payload["max_us"] = static_cast<std::int64_t>(stats.max_us);
   payload["cache_hits"] = static_cast<std::int64_t>(cache_hits);
   bench::EmitStatsJson("server_throughput", label, std::move(payload));
 }
@@ -206,13 +213,13 @@ int main() {
   // process startup, which the daemon amortizes too).
   {
     const std::uint64_t hits_before = registry.cache.hits.load();
-    RunStats cold = Storm(server.port(), 1, 1);
+    RunStats cold = Storm(registry, server.port(), 1, 1);
     Report("cold serial", cold, registry.cache.hits.load() - hits_before);
   }
 
   {
     const std::uint64_t hits_before = registry.cache.hits.load();
-    RunStats warm = Storm(server.port(), kClients, kPerClient);
+    RunStats warm = Storm(registry, server.port(), kClients, kPerClient);
     Report("warm jobs=8", warm, registry.cache.hits.load() - hits_before);
   }
 

@@ -97,11 +97,21 @@ int main() {
       // Only the serial run writes the cache, so the jobs=4 timing stays
       // an honest full search.
       if (jobs == 1) options.cache = &cache;
+      // A fresh registry per run so the group-check histogram covers
+      // exactly this (events, jobs) point; BENCH_STATS then reports the
+      // same p50/p99 the Prometheus exposition would.
+      telemetry::Registry run_registry;
+      telemetry::SetActive(&run_registry);
       const auto start = std::chrono::steady_clock::now();
       core::SanitizerReport report = sanitizer.Check(options);
       const double wall = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - start)
                               .count();
+      telemetry::SetActive(nullptr);
+      const telemetry::HistogramSnapshot group_check =
+          run_registry.search_hist.group_check_duration_us.TakeSnapshot();
+      const telemetry::HistogramSnapshot states_rate =
+          run_registry.search_hist.group_states_per_second.TakeSnapshot();
       if (jobs == 1) serial_seconds = wall;
       const double speedup = wall > 1e-9 ? serial_seconds / wall : 0;
 
@@ -124,6 +134,10 @@ int main() {
       extra["jobs"] = jobs;
       extra["wall_seconds"] = wall;
       extra["speedup_vs_serial"] = speedup;
+      extra["group_check_p50_us"] = group_check.P50();
+      extra["group_check_p99_us"] = group_check.P99();
+      extra["states_per_second_p50"] = states_rate.P50();
+      extra["states_per_second_p99"] = states_rate.P99();
       bench::EmitStats("table8",
                        "events=" + std::to_string(events) +
                            ",jobs=" + std::to_string(jobs),

@@ -1,5 +1,6 @@
 #include "cache/result_cache.hpp"
 
+#include <chrono>
 #include <condition_variable>
 #include <filesystem>
 #include <fstream>
@@ -175,10 +176,21 @@ std::optional<checker::CheckResult> ResultCache::LookupDisk(
 std::optional<checker::CheckResult> ResultCache::Lookup(const GroupKey& key) {
   auto* t = telemetry::Active();
   if (t != nullptr) ++t->cache.lookups;
+  // Lookup latency splits by outcome: a hit's cost covers the memory
+  // probe plus any disk read + promote; a miss is the probe overhead a
+  // fresh check pays before it even starts.
+  const auto lookup_start = std::chrono::steady_clock::now();
+  auto elapsed_us = [&lookup_start] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - lookup_start)
+            .count());
+  };
   if (auto hit = LookupMemory(key)) {
     if (t != nullptr) {
       ++t->cache.hits;
       ++t->cache.hits_memory;
+      t->cache_hist.lookup_hit_duration_us.Record(elapsed_us());
     }
     return hit;
   }
@@ -187,10 +199,14 @@ std::optional<checker::CheckResult> ResultCache::Lookup(const GroupKey& key) {
     if (t != nullptr) {
       ++t->cache.hits;
       ++t->cache.hits_disk;
+      t->cache_hist.lookup_hit_duration_us.Record(elapsed_us());
     }
     return hit;
   }
-  if (t != nullptr) ++t->cache.misses;
+  if (t != nullptr) {
+    ++t->cache.misses;
+    t->cache_hist.lookup_miss_duration_us.Record(elapsed_us());
+  }
   return std::nullopt;
 }
 

@@ -413,6 +413,9 @@ class Search {
 
   CheckResult Run() {
     telemetry::ScopedSpan span(guide_ != nullptr ? "replay" : "check");
+    if (!options_.request_id.empty()) {
+      span.Attr("request_id", options_.request_id);
+    }
     start_ = Clock::now();
     model::SystemState initial = model_.MakeInitialState();
     std::vector<std::uint8_t> bytes = initial.Serialize();
@@ -1036,6 +1039,9 @@ class Search {
 CheckResult RunParallel(const model::SystemModel& model,
                         const CheckOptions& options, unsigned jobs) {
   telemetry::ScopedSpan span("check");
+  if (!options.request_id.empty()) {
+    span.Attr("request_id", options.request_id);
+  }
   const Clock::time_point start = Clock::now();
 
   // Property expressions parse lazily into an unsynchronized cache;
@@ -1292,6 +1298,7 @@ ViolationArtifact MakeArtifact(const Violation& violation,
   manifest.config_hash = config_hash;
   manifest.model_apps = violation.model_apps;
   manifest.rng_seed = rng_seed;
+  manifest.request_id = options.request_id;
   manifest.max_events = options.max_events;
   manifest.scheduling = options.scheduling == model::Scheduling::kConcurrent
                             ? "concurrent"

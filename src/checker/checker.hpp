@@ -84,6 +84,11 @@ struct CheckOptions {
   /// the partial result — and can flush traces and write artifacts —
   /// instead of the process dying mid-write.  Not owned; may be null.
   const std::atomic<bool>* interrupt = nullptr;
+  /// Correlation id of the originating server request ("" for CLI
+  /// runs): attached to the check/replay spans and stamped into every
+  /// violation artifact's manifest so traces, access-log lines, and
+  /// artifacts join on one key.
+  std::string request_id;
 };
 
 /// One detected property violation with its counter-example.

@@ -165,6 +165,7 @@ json::Value ToJson(const RunManifest& manifest) {
   for (const std::string& app : manifest.model_apps) apps.push_back(app);
   obj["model_apps"] = std::move(apps);
   PutIf(obj, "rng_seed", static_cast<std::int64_t>(manifest.rng_seed));
+  PutIf(obj, "request_id", manifest.request_id);
   json::Object options;
   options["max_events"] = manifest.max_events;
   options["scheduling"] = manifest.scheduling;
@@ -194,6 +195,7 @@ RunManifest ManifestFromJson(const json::Value& value) {
     }
   }
   manifest.rng_seed = static_cast<std::uint64_t>(GetInt(value, "rng_seed"));
+  manifest.request_id = GetStr(value, "request_id");
   const json::Value& options = value.At("options");
   manifest.max_events = static_cast<int>(GetInt(options, "max_events", 3));
   manifest.scheduling = options.GetString("scheduling", "sequential");

@@ -121,6 +121,10 @@ struct RunManifest {
   std::vector<std::string> model_apps;
   /// Seed for any stochastic workload generation (0 = none involved).
   std::uint64_t rng_seed = 0;
+  /// Correlation id of the server request that triggered this run (""
+  /// for CLI runs): joins the artifact to the access-log line and the
+  /// trace spans carrying the same id.
+  std::string request_id;
   // ---- CheckOptions, in full ----
   int max_events = 3;
   std::string scheduling = "sequential";  // | "concurrent"

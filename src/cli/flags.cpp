@@ -61,6 +61,12 @@ constexpr FlagSpec kFlagTable[] = {
      kCmdCheck | kCmdAttribute | kCmdServe,
      "memoize per-group verification results in DIR; warm re-checks of "
      "unchanged groups skip the search (see docs/caching.md)"},
+    {Flag::kMetricsOut, "--metrics-out", "FILE", kCmdCheck,
+     "write counters and latency histograms as Prometheus text "
+     "exposition (the same format GET /v1/metrics serves) to FILE"},
+    {Flag::kAccessLog, "--access-log", "FILE", kCmdServe,
+     "append one JSON line per request (request id, status, latency, "
+     "queue wait, cache delta) to FILE"},
     {Flag::kHost, "--host", "ADDR", kCmdServe,
      "bind address for the HTTP service (default 127.0.0.1)"},
     {Flag::kPort, "--port", "N", kCmdServe,
@@ -258,6 +264,8 @@ std::vector<std::string> ParseFlags(unsigned command,
       case Flag::kReplay: flags.replay_path = value; break;
       case Flag::kReverifyBitstate: flags.reverify_bitstate = true; break;
       case Flag::kCacheDir: flags.cache_dir = value; break;
+      case Flag::kMetricsOut: flags.metrics_out = value; break;
+      case Flag::kAccessLog: flags.access_log = value; break;
       case Flag::kHost: flags.host = value; break;
       case Flag::kPort: flags.port = static_cast<int>(number); break;
       case Flag::kHttpWorkers:

@@ -41,6 +41,8 @@ enum class Flag {
   kReplay,
   kReverifyBitstate,
   kCacheDir,
+  kMetricsOut,
+  kAccessLog,
   kHost,
   kPort,
   kHttpWorkers,
@@ -100,6 +102,8 @@ struct CliFlags {
   std::string artifacts_dir;
   std::string replay_path;
   std::string cache_dir;
+  std::string metrics_out;   // Prometheus exposition file (check)
+  std::string access_log;    // JSONL access log file (serve)
   std::uint64_t progress_every = 0;
   // serve
   std::string host = "127.0.0.1";

@@ -49,8 +49,9 @@ std::string Sanitizer::SourceFor(const std::string& app_name) const {
 
 std::vector<ir::AnalyzedApp> Sanitizer::AnalyzeInstalledApps(
     SanitizerReport& report, std::vector<bool>& rejected,
-    bool allow_dynamic_discovery) const {
+    bool allow_dynamic_discovery, const std::string& request_id) const {
   telemetry::ScopedSpan span("analyze_apps");
+  if (!request_id.empty()) span.Attr("request_id", request_id);
   std::vector<ir::AnalyzedApp> analyzed;
   rejected.assign(deployment_.apps.size(), false);
   for (std::size_t i = 0; i < deployment_.apps.size(); ++i) {
@@ -123,6 +124,8 @@ SanitizerReport Sanitizer::Check(const SanitizerOptions& options) const {
   pipeline_span.Attr("system", deployment_.name);
   pipeline_span.Attr("apps",
                      static_cast<std::int64_t>(deployment_.apps.size()));
+  const std::string& request_id = options.check.request_id;
+  if (!request_id.empty()) pipeline_span.Attr("request_id", request_id);
   SanitizerReport report;
   std::vector<bool> rejected;
   model::ModelOptions model_options = options.model;
@@ -133,7 +136,7 @@ SanitizerReport Sanitizer::Check(const SanitizerOptions& options) const {
   model_options.all_sensor_events =
       model_options.all_sensor_events || model_options.dynamic_discovery;
   std::vector<ir::AnalyzedApp> analyzed = AnalyzeInstalledApps(
-      report, rejected, model_options.dynamic_discovery);
+      report, rejected, model_options.dynamic_discovery, request_id);
 
   // Index sets of app instances to check together.
   std::vector<std::vector<std::size_t>> groups;
@@ -144,6 +147,7 @@ SanitizerReport Sanitizer::Check(const SanitizerOptions& options) const {
 
   if (options.use_dependency_analysis) {
     telemetry::ScopedSpan deps_span("dependency_analysis");
+    if (!request_id.empty()) deps_span.Attr("request_id", request_id);
     // Dependency analysis over accepted instances only.
     std::vector<ir::AnalyzedApp> view;
     for (std::size_t i : accepted) view.push_back(std::move(analyzed[i]));
@@ -182,8 +186,8 @@ SanitizerReport Sanitizer::Check(const SanitizerOptions& options) const {
   }
 
   // Builds, property-selects, and checks one related-set group.
-  auto check_group = [&](const std::vector<std::size_t>& group,
-                         const checker::CheckOptions& check) {
+  auto check_group_inner = [&](const std::vector<std::size_t>& group,
+                               const checker::CheckOptions& check) {
     // Build a sub-deployment with this group's app instances; all devices
     // stay visible so role-based properties bind identically.
     config::Deployment sub = deployment_;
@@ -202,6 +206,9 @@ SanitizerReport Sanitizer::Check(const SanitizerOptions& options) const {
       model::SystemModel model = [&] {
         telemetry::ScopedSpan build_span("model_build");
         build_span.Attr("apps", static_cast<std::int64_t>(group.size()));
+        if (!check.request_id.empty()) {
+          build_span.Attr("request_id", check.request_id);
+        }
         if (auto* t = telemetry::Active()) ++t->pipeline.models_built;
         return model::SystemModel(config::Deployment(sub),
                                   std::move(group_apps), model_options);
@@ -231,6 +238,26 @@ SanitizerReport Sanitizer::Check(const SanitizerOptions& options) const {
                               : util::ResolveJobs(check.jobs);
     return options.cache->FetchOrCompute(cache::MakeGroupKey(inputs),
                                          effective_jobs, run);
+  };
+
+  // End-to-end group latency (cache hits included — that is what a
+  // caller observes) and the search throughput computed groups achieved.
+  auto check_group = [&](const std::vector<std::size_t>& group,
+                         const checker::CheckOptions& check) {
+    const auto group_start = std::chrono::steady_clock::now();
+    checker::CheckResult result = check_group_inner(group, check);
+    if (auto* t = telemetry::Active()) {
+      t->search_hist.group_check_duration_us.Record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - group_start)
+              .count()));
+      if (result.seconds > 0) {
+        t->search_hist.group_states_per_second.Record(
+            static_cast<std::uint64_t>(
+                static_cast<double>(result.states_explored) / result.seconds));
+      }
+    }
+    return result;
   };
 
   const unsigned jobs = util::ResolveJobs(options.check.jobs);

@@ -95,7 +95,7 @@ class Sanitizer {
   std::string SourceFor(const std::string& app_name) const;
   std::vector<ir::AnalyzedApp> AnalyzeInstalledApps(
       SanitizerReport& report, std::vector<bool>& rejected,
-      bool allow_dynamic_discovery) const;
+      bool allow_dynamic_discovery, const std::string& request_id) const;
 };
 
 }  // namespace iotsan::core

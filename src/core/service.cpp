@@ -40,6 +40,7 @@ void ApplyCommonCheckOptions(checker::CheckOptions& check,
   }
   check.time_budget_seconds = options.deadline_seconds;
   check.interrupt = env.interrupt;
+  check.request_id = env.request_id;
   if (env.progress_every > 0) {
     check.progress_every = env.progress_every;
     check.on_progress = env.on_progress;

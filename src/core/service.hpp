@@ -54,6 +54,10 @@ struct ServiceEnv {
   const std::atomic<bool>* interrupt = nullptr;
   std::uint64_t progress_every = 0;
   telemetry::ProgressCallback on_progress;
+  /// Correlation id of the request this run serves ("" outside a
+  /// server request).  The server copies the shared env per request and
+  /// fills this in; it flows into CheckOptions::request_id from there.
+  std::string request_id;
 };
 
 // ---- check -------------------------------------------------------------------

@@ -1,8 +1,12 @@
 #include "server/handlers.hpp"
 
+#include <cstdio>
+
+#include "checker/checker.hpp"
 #include "config/deployment.hpp"
 #include "corpus/corpus.hpp"
 #include "props/loader.hpp"
+#include "telemetry/prometheus.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/build_info.hpp"
 #include "util/thread_pool.hpp"
@@ -215,7 +219,8 @@ void RefreshServerGauges(const ServiceState& state) {
   }
 }
 
-HttpResponse HandleHealth(const ServiceState& state) {
+HttpResponse HandleHealth(const ServiceState& state,
+                          const std::string& request_id) {
   json::Object doc;
   doc["status"] = state.draining != nullptr &&
                           state.draining->load(std::memory_order_relaxed)
@@ -230,11 +235,46 @@ HttpResponse HandleHealth(const ServiceState& state) {
     doc["queue_depth"] = static_cast<std::int64_t>(
         state.queue_depth->load(std::memory_order_relaxed));
   }
+  doc["request_id"] = request_id;
   return JsonResponse(200, std::move(doc));
 }
 
-HttpResponse HandleMetrics(const ServiceState& state) {
+/// A metrics request asks for Prometheus exposition either explicitly
+/// (`?format=prometheus`) or via an Accept header naming text/plain;
+/// everything else gets the iotsan.metrics/1 JSON document.
+bool WantsPrometheus(const HttpRequest& request) {
+  const std::size_t query = request.target.find('?');
+  if (query != std::string::npos) {
+    const std::string params = request.target.substr(query + 1);
+    std::size_t pos = 0;
+    while (pos <= params.size()) {
+      const std::size_t amp = params.find('&', pos);
+      const std::string param =
+          params.substr(pos, amp == std::string::npos ? amp : amp - pos);
+      if (param == "format=prometheus") return true;
+      if (amp == std::string::npos) break;
+      pos = amp + 1;
+    }
+  }
+  const auto accept = request.headers.find("accept");
+  return accept != request.headers.end() &&
+         accept->second.find("text/plain") != std::string::npos;
+}
+
+HttpResponse HandleMetrics(const HttpRequest& request,
+                           const ServiceState& state) {
   RefreshServerGauges(state);
+  if (WantsPrometheus(request)) {
+    HttpResponse response;
+    response.status = 200;
+    response.content_type = telemetry::kPrometheusContentType;
+    if (auto* t = telemetry::Active()) {
+      response.body = telemetry::RenderPrometheus(*t);
+    }
+    return response;
+  }
+  // The JSON document stays byte-compatible with iotsan.metrics/1, so
+  // no request_id is injected here.
   json::Object doc;
   doc["schema"] = "iotsan.metrics/1";
   doc["uptime_seconds"] = UptimeSeconds(state);
@@ -246,7 +286,7 @@ HttpResponse HandleMetrics(const ServiceState& state) {
   return JsonResponse(200, std::move(doc));
 }
 
-HttpResponse HandleVersion() {
+HttpResponse HandleVersion(const std::string& request_id) {
   const build::BuildInfo& info = build::GetBuildInfo();
   json::Object doc;
   doc["version"] = info.version;
@@ -254,15 +294,22 @@ HttpResponse HandleVersion() {
   doc["build_type"] = info.build_type;
   doc["standard"] = info.standard;
   doc["line"] = build::VersionLine();
+  doc["request_id"] = request_id;
   return JsonResponse(200, std::move(doc));
 }
 
 HttpResponse HandleCheck(const HttpRequest& request,
-                         const ServiceState& state) {
+                         const ServiceState& state,
+                         const std::string& request_id) {
   ParsedOptionsMeta meta;
   core::CheckRequest check = ParseCheckRequest(request.body, &meta);
   ApplyServerDefaults(check.options, meta, state);
-  core::CheckResponse result = core::RunCheck(check, state.env);
+  // Per-request env copy: the shared env serves every request, the id
+  // belongs to this one.  It flows into CheckOptions::request_id and
+  // from there into spans and artifact manifests.
+  core::ServiceEnv env = state.env;
+  env.request_id = request_id;
+  core::CheckResponse result = core::RunCheck(check, env);
   if (auto* t = telemetry::Active()) {
     ++t->server.checks;
     if (!result.report.completed && check.options.deadline_seconds > 0) {
@@ -275,36 +322,90 @@ HttpResponse HandleCheck(const HttpRequest& request,
   doc["exit_code"] = result.exit_code;
   doc["text"] = result.text;
   doc["report"] = core::CheckReportToJson(check.deployment, result.report);
+  if (!result.report.violations.empty()) {
+    // Full replayable artifacts, manifest stamped with this request's
+    // id — the same bundles `iotsan check --artifacts-dir` writes.
+    const checker::CheckOptions effective =
+        core::MakeCheckOptions(check.options, env).check;
+    const std::string hash =
+        config::DeploymentFingerprintHex(check.deployment);
+    json::Array artifacts;
+    for (const checker::Violation& violation : result.report.violations) {
+      artifacts.push_back(checker::ToJson(checker::MakeArtifact(
+          violation, effective, check.deployment.name, hash)));
+    }
+    doc["artifacts"] = std::move(artifacts);
+  }
+  doc["request_id"] = request_id;
   return JsonResponse(200, std::move(doc));
 }
 
 HttpResponse HandleAttribute(const HttpRequest& request,
-                             const ServiceState& state) {
+                             const ServiceState& state,
+                             const std::string& request_id) {
   ParsedOptionsMeta meta;
   core::AttributeRequest attribute =
       ParseAttributeRequest(request.body, &meta);
   ApplyServerDefaults(attribute.options, meta, state);
-  core::AttributeResponse result = core::RunAttribute(attribute, state.env);
+  core::ServiceEnv env = state.env;
+  env.request_id = request_id;
+  core::AttributeResponse result = core::RunAttribute(attribute, env);
   if (auto* t = telemetry::Active()) ++t->server.attributions;
   json::Object doc = ResponseEnvelope();
   doc["verdict"] = std::string(attrib::VerdictName(result.result.verdict));
   doc["exit_code"] = result.exit_code;
   doc["text"] = result.text;
   doc["report"] = core::AttributionToJson(result.app_name, result.result);
+  doc["request_id"] = request_id;
   return JsonResponse(200, std::move(doc));
 }
 
 }  // namespace
 
 HttpResponse ErrorResponse(int status, const std::string& code,
-                           const std::string& message) {
+                           const std::string& message,
+                           const std::string& request_id) {
   json::Object error;
   error["code"] = code;
   error["message"] = message;
   json::Object doc;
   doc["error"] = std::move(error);
+  if (!request_id.empty()) doc["request_id"] = request_id;
   HttpResponse response = JsonResponse(status, std::move(doc));
+  if (!request_id.empty()) {
+    response.headers.emplace_back("X-Request-Id", request_id);
+  }
   return response;
+}
+
+bool IsValidRequestId(const std::string& id) {
+  if (id.empty() || id.size() > 64) return false;
+  for (char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string GenerateRequestId() {
+  static std::atomic<std::uint64_t> counter{0};
+  // splitmix64 over a timestamp + per-process sequence: unique within
+  // the process, well-mixed across restarts.  Not a security token.
+  std::uint64_t x = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  x += 0x9e3779b97f4a7c15ULL *
+       (counter.fetch_add(1, std::memory_order_relaxed) + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(x));
+  return buf;
 }
 
 core::CheckRequest ParseCheckRequest(const std::string& body,
@@ -359,45 +460,75 @@ core::AttributeRequest ParseAttributeRequest(const std::string& body,
   return out;
 }
 
-HttpResponse Route(const HttpRequest& request, const ServiceState& state) {
+HttpResponse Route(const HttpRequest& request, const ServiceState& state,
+                   RequestContext* context) {
   if (auto* t = telemetry::Active()) ++t->server.requests;
+  const auto header = request.headers.find("x-request-id");
+  const std::string request_id =
+      header != request.headers.end() && IsValidRequestId(header->second)
+          ? header->second
+          : GenerateRequestId();
+  if (context != nullptr) context->request_id = request_id;
   HttpResponse response;
+  std::string error_code;
   try {
-    // Strip any query string: the API carries everything in bodies.
+    // Strip the query string for dispatch (HandleMetrics still sees the
+    // raw target for its ?format= negotiation): the API carries
+    // everything else in bodies.
     std::string path = request.target.substr(0, request.target.find('?'));
     if (path == "/v1/health") {
       response = request.method == "GET"
-                     ? HandleHealth(state)
+                     ? HandleHealth(state, request_id)
                      : ErrorResponse(405, kErrMethod,
-                                     "use GET " + path);
+                                     "use GET " + path, request_id);
     } else if (path == "/v1/metrics") {
       response = request.method == "GET"
-                     ? HandleMetrics(state)
-                     : ErrorResponse(405, kErrMethod, "use GET " + path);
+                     ? HandleMetrics(request, state)
+                     : ErrorResponse(405, kErrMethod, "use GET " + path,
+                                     request_id);
     } else if (path == "/v1/version") {
       response = request.method == "GET"
-                     ? HandleVersion()
-                     : ErrorResponse(405, kErrMethod, "use GET " + path);
+                     ? HandleVersion(request_id)
+                     : ErrorResponse(405, kErrMethod, "use GET " + path,
+                                     request_id);
     } else if (path == "/v1/check") {
       response = request.method == "POST"
-                     ? HandleCheck(request, state)
-                     : ErrorResponse(405, kErrMethod, "use POST " + path);
+                     ? HandleCheck(request, state, request_id)
+                     : ErrorResponse(405, kErrMethod, "use POST " + path,
+                                     request_id);
     } else if (path == "/v1/attribute") {
       response = request.method == "POST"
-                     ? HandleAttribute(request, state)
-                     : ErrorResponse(405, kErrMethod, "use POST " + path);
+                     ? HandleAttribute(request, state, request_id)
+                     : ErrorResponse(405, kErrMethod, "use POST " + path,
+                                     request_id);
     } else {
       response = ErrorResponse(404, kErrNotFound,
-                               "no such endpoint: " + path);
+                               "no such endpoint: " + path, request_id);
+    }
+    if (response.status >= 400) {
+      if (response.status == 405) error_code = kErrMethod;
+      if (response.status == 404) error_code = kErrNotFound;
     }
   } catch (const RequestError& e) {
-    response = ErrorResponse(e.status(), e.code(), e.what());
+    response = ErrorResponse(e.status(), e.code(), e.what(), request_id);
+    error_code = e.code();
   } catch (const Error& e) {
     // Library errors on user-supplied input (bad app source, property
     // expression, deployment semantics) are client errors.
-    response = ErrorResponse(400, kErrBadRequest, e.what());
+    response = ErrorResponse(400, kErrBadRequest, e.what(), request_id);
+    error_code = kErrBadRequest;
   } catch (const std::exception& e) {
-    response = ErrorResponse(500, kErrInternal, e.what());
+    response = ErrorResponse(500, kErrInternal, e.what(), request_id);
+    error_code = kErrInternal;
+  }
+  if (context != nullptr) context->error_code = error_code;
+  // ErrorResponse already added the header on error paths.
+  bool has_id_header = false;
+  for (const auto& [name, value] : response.headers) {
+    if (name == "X-Request-Id") has_id_header = true;
+  }
+  if (!has_id_header) {
+    response.headers.emplace_back("X-Request-Id", request_id);
   }
   if (auto* t = telemetry::Active()) {
     if (response.status < 400) {

@@ -7,8 +7,17 @@
 //                       `text` byte-identical to `iotsan check`
 //   POST /v1/attribute  body adds {"app": {"source": …} | {"corpus": …}}
 //   GET  /v1/health     liveness + drain state
-//   GET  /v1/metrics    telemetry Registry counters + server gauges
+//   GET  /v1/metrics    telemetry Registry counters + server gauges;
+//                       content-negotiates JSON (default) vs Prometheus
+//                       text exposition (`?format=prometheus` or an
+//                       Accept header preferring text/plain)
 //   GET  /v1/version    util/build_info
+//
+// Correlation: every request gets a request id (taken from an
+// X-Request-Id header when well-formed, generated otherwise), echoed in
+// the response header and JSON body (except the byte-stable metrics
+// document), attached to the trace spans the request opens, and stamped
+// into violation artifacts.
 //
 // Error responses are always structured JSON with a machine-readable
 // code: {"error": {"code": "bad_json", "message": "..."}} — malformed
@@ -71,12 +80,33 @@ class RequestError : public Error {
 };
 
 /// {"error": {"code": ..., "message": ...}} with the given HTTP status.
+/// A non-empty `request_id` is echoed in the body and X-Request-Id
+/// header.
 HttpResponse ErrorResponse(int status, const std::string& code,
-                           const std::string& message);
+                           const std::string& message,
+                           const std::string& request_id = "");
+
+/// Per-request correlation facts Route reports back to the connection
+/// loop (for the access log): the resolved request id and, for error
+/// responses, the machine-readable error code.
+struct RequestContext {
+  std::string request_id;
+  std::string error_code;
+};
+
+/// Accepts an X-Request-Id value when it is non-empty, at most 64
+/// characters, and uses only [A-Za-z0-9._-]; anything else is replaced
+/// by a generated id (so logs stay one-token-per-field parseable).
+bool IsValidRequestId(const std::string& id);
+
+/// 16 lowercase hex digits, unique within the process.
+std::string GenerateRequestId();
 
 /// Dispatches one parsed request.  Never throws: handler exceptions
-/// become structured 400/500 responses.
-HttpResponse Route(const HttpRequest& request, const ServiceState& state);
+/// become structured 400/500 responses.  Fills `context` (may be null)
+/// for the caller's access log.
+HttpResponse Route(const HttpRequest& request, const ServiceState& state,
+                   RequestContext* context = nullptr);
 
 /// Which per-request options the body set explicitly (unset ones fall
 /// back to the server's configuration: shared-pool jobs, the default

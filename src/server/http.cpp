@@ -180,6 +180,9 @@ std::string SerializeResponse(const HttpResponse& response) {
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
                     ReasonPhrase(response.status) + "\r\n";
   out += "Content-Type: " + response.content_type + "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out += name + ": " + value + "\r\n";
+  }
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
   out += response.close ? "Connection: close\r\n" : "Connection: keep-alive\r\n";
   out += "\r\n";

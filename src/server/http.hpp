@@ -9,6 +9,8 @@
 #include <cstddef>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace iotsan::server {
 
@@ -57,6 +59,9 @@ ReadStatus ReadHttpRequest(int fd, const ReadLimits& limits,
 struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
+  /// Extra response headers (e.g. X-Request-Id), emitted verbatim after
+  /// Content-Type in the given order.
+  std::vector<std::pair<std::string, std::string>> headers;
   std::string body;
   bool close = false;  // send "Connection: close" and drop the socket
 };

@@ -13,6 +13,7 @@
 #include "props/property.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 
 namespace iotsan::server {
 
@@ -24,7 +25,44 @@ void CloseFd(int fd) {
   if (fd >= 0) ::close(fd);
 }
 
+std::uint64_t ElapsedUs(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
 }  // namespace
+
+AccessLog::AccessLog(const std::string& path)
+    : out_(path, std::ios::app), epoch_(std::chrono::system_clock::now()) {
+  if (!out_) throw Error("serve: cannot open access log: " + path);
+}
+
+void AccessLog::Write(const Entry& entry) {
+  json::Object line;
+  line["ts"] = std::chrono::duration<double>(
+                   std::chrono::system_clock::now().time_since_epoch())
+                   .count();
+  line["id"] = entry.request_id;
+  line["method"] = entry.method;
+  line["path"] = entry.path;
+  line["status"] = entry.status;
+  line["latency_us"] = static_cast<std::int64_t>(entry.latency_us);
+  line["queue_us"] = static_cast<std::int64_t>(entry.queue_us);
+  line["bytes"] = static_cast<std::int64_t>(entry.bytes);
+  if (!entry.error_code.empty()) {
+    json::Object error;
+    error["code"] = entry.error_code;
+    line["error"] = std::move(error);
+  }
+  line["cache_hits"] = static_cast<std::int64_t>(entry.cache_hits);
+  line["cache_misses"] = static_cast<std::int64_t>(entry.cache_misses);
+  const std::string text = json::Value(std::move(line)).Dump(0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << text << '\n';
+  out_.flush();
+}
 
 Server::Server(ServerConfig config) : config_(std::move(config)) {}
 
@@ -40,6 +78,9 @@ void Server::Start() {
   // first parse.
   pool_ = std::make_unique<util::ThreadPool>(
       util::ResolveJobs(config_.jobs));
+  if (!config_.access_log_path.empty()) {
+    access_log_ = std::make_unique<AccessLog>(config_.access_log_path);
+  }
   cache::CacheConfig cache_config;
   cache_config.dir = config_.cache_dir;
   cache_ = std::make_unique<cache::ResultCache>(cache_config);
@@ -143,7 +184,7 @@ void Server::AcceptorMain() {
       if (queue_.size() >= config_.max_queue) {
         shed = true;
       } else {
-        queue_.push_back(fd);
+        queue_.push_back({fd, std::chrono::steady_clock::now()});
         queue_depth_.store(queue_.size(), std::memory_order_relaxed);
       }
     }
@@ -164,35 +205,44 @@ void Server::AcceptorMain() {
   }
 }
 
-bool Server::PopConnection(int& fd) {
-  std::unique_lock<std::mutex> lock(queue_mutex_);
-  queue_cv_.wait(lock, [this] {
-    return !queue_.empty() || stopping_.load(std::memory_order_relaxed);
-  });
-  // Drain semantics: even while stopping, accepted connections are
-  // served; a session only exits once the queue is empty.
-  if (queue_.empty()) return false;
-  fd = queue_.front();
-  queue_.pop_front();
-  queue_depth_.store(queue_.size(), std::memory_order_relaxed);
+bool Server::PopConnection(int& fd, std::uint64_t& queue_wait_us) {
+  QueuedConnection conn;
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    queue_cv_.wait(lock, [this] {
+      return !queue_.empty() || stopping_.load(std::memory_order_relaxed);
+    });
+    // Drain semantics: even while stopping, accepted connections are
+    // served; a session only exits once the queue is empty.
+    if (queue_.empty()) return false;
+    conn = queue_.front();
+    queue_.pop_front();
+    queue_depth_.store(queue_.size(), std::memory_order_relaxed);
+  }
+  fd = conn.fd;
+  queue_wait_us = ElapsedUs(conn.enqueued);
+  if (auto* t = telemetry::Active()) {
+    t->server_hist.queue_wait_us.Record(queue_wait_us);
+  }
   return true;
 }
 
 void Server::SessionMain() {
   while (true) {
     int fd = -1;
-    if (!PopConnection(fd)) {
+    std::uint64_t queue_wait_us = 0;
+    if (!PopConnection(fd, queue_wait_us)) {
       if (stopping_.load(std::memory_order_relaxed)) return;
       continue;
     }
     active_connections_.fetch_add(1, std::memory_order_relaxed);
-    requests_served_.fetch_add(ServeConnection(fd),
+    requests_served_.fetch_add(ServeConnection(fd, queue_wait_us),
                                std::memory_order_relaxed);
     active_connections_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
-std::uint64_t Server::ServeConnection(int fd) {
+std::uint64_t Server::ServeConnection(int fd, std::uint64_t queue_wait_us) {
   ReadLimits limits;
   limits.max_body_bytes = config_.max_body_bytes;
   ConnectionBuffer buffer;
@@ -202,9 +252,26 @@ std::uint64_t Server::ServeConnection(int fd) {
     const ReadStatus status =
         ReadHttpRequest(fd, limits, &stopping_, buffer, request);
     HttpResponse response;
+    RequestContext context;
+    // The queue wait belongs to the connection's first request; later
+    // keep-alive requests never sat in the accept queue.
+    const std::uint64_t request_queue_us = served == 0 ? queue_wait_us : 0;
+    const auto handle_start = std::chrono::steady_clock::now();
+    auto* t_before = telemetry::Active();
+    const std::uint64_t hits_before =
+        t_before != nullptr
+            ? t_before->cache.hits.load(std::memory_order_relaxed)
+            : 0;
+    const std::uint64_t misses_before =
+        t_before != nullptr
+            ? t_before->cache.misses.load(std::memory_order_relaxed)
+            : 0;
     switch (status) {
       case ReadStatus::kOk:
-        response = Route(request, service_);
+        if (auto* t = telemetry::Active()) {
+          t->server_hist.request_body_bytes.Record(request.body.size());
+        }
+        response = Route(request, service_, &context);
         ++served;
         break;
       case ReadStatus::kClosed:
@@ -213,23 +280,57 @@ std::uint64_t Server::ServeConnection(int fd) {
         return served;
       case ReadStatus::kTooLarge:
         if (auto* t = telemetry::Active()) ++t->server.shed_oversized;
+        context.request_id = GenerateRequestId();
+        context.error_code = kErrTooLarge;
         response = ErrorResponse(
             413, kErrTooLarge,
             "request exceeds the server limits (max body " +
-                std::to_string(config_.max_body_bytes) + " bytes)");
+                std::to_string(config_.max_body_bytes) + " bytes)",
+            context.request_id);
         response.close = true;
         break;
       case ReadStatus::kTimeout:
+        context.request_id = GenerateRequestId();
+        context.error_code = kErrTimeout;
         response = ErrorResponse(408, kErrTimeout,
-                                 "idle connection timed out");
+                                 "idle connection timed out",
+                                 context.request_id);
         response.close = true;
         break;
       case ReadStatus::kMalformed:
         if (auto* t = telemetry::Active()) ++t->server.bad_requests;
+        context.request_id = GenerateRequestId();
+        context.error_code = kErrBadRequest;
         response = ErrorResponse(400, kErrBadRequest,
-                                 "malformed HTTP request");
+                                 "malformed HTTP request",
+                                 context.request_id);
         response.close = true;
         break;
+    }
+    const std::uint64_t latency_us = ElapsedUs(handle_start);
+    if (status == ReadStatus::kOk) {
+      if (auto* t = telemetry::Active()) {
+        t->server_hist.request_duration_us.Record(latency_us);
+      }
+    }
+    if (access_log_ != nullptr) {
+      AccessLog::Entry entry;
+      entry.request_id = context.request_id;
+      entry.method = request.method;
+      entry.path =
+          request.target.substr(0, request.target.find('?'));
+      entry.status = response.status;
+      entry.latency_us = latency_us;
+      entry.queue_us = request_queue_us;
+      entry.bytes = request.body.size();
+      entry.error_code = context.error_code;
+      if (auto* t = telemetry::Active()) {
+        entry.cache_hits =
+            t->cache.hits.load(std::memory_order_relaxed) - hits_before;
+        entry.cache_misses =
+            t->cache.misses.load(std::memory_order_relaxed) - misses_before;
+      }
+      access_log_->Write(entry);
     }
     if (status == ReadStatus::kOk &&
         stopping_.load(std::memory_order_relaxed)) {

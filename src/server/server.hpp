@@ -24,9 +24,11 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -62,6 +64,38 @@ struct ServerConfig {
   /// Note: the budget is part of the cache fingerprint, so mixed
   /// deadlines partition the cache.
   double request_deadline_seconds = 0;
+  /// JSONL access log: one object per request (request id, method,
+  /// path, status, latency, queue wait, body bytes, error code, cache
+  /// hit/miss delta).  "" disables.
+  std::string access_log_path;
+};
+
+/// Append-only JSONL request log shared by the session threads.
+class AccessLog {
+ public:
+  /// Opens `path` for append; throws iotsan::Error when it cannot.
+  explicit AccessLog(const std::string& path);
+
+  struct Entry {
+    std::string request_id;
+    std::string method;
+    std::string path;
+    int status = 0;
+    std::uint64_t latency_us = 0;
+    std::uint64_t queue_us = 0;
+    std::uint64_t bytes = 0;          // request body size
+    std::string error_code;           // "" on success
+    std::uint64_t cache_hits = 0;     // delta across this request
+    std::uint64_t cache_misses = 0;   // delta across this request
+  };
+
+  /// Serializes `entry` as one JSON line and flushes it.
+  void Write(const Entry& entry);
+
+ private:
+  std::mutex mutex_;
+  std::ofstream out_;
+  std::chrono::system_clock::time_point epoch_{};
 };
 
 class Server {
@@ -103,9 +137,10 @@ class Server {
   void AcceptorMain();
   void SessionMain();
   /// Serves one connection until close/error/drain; returns requests
-  /// answered.
-  std::uint64_t ServeConnection(int fd);
-  bool PopConnection(int& fd);
+  /// answered.  `queue_wait_us` is how long the connection sat in the
+  /// accept queue (attributed to its first request).
+  std::uint64_t ServeConnection(int fd, std::uint64_t queue_wait_us);
+  bool PopConnection(int& fd, std::uint64_t& queue_wait_us);
 
   ServerConfig config_;
   int listen_fd_ = -1;
@@ -118,10 +153,17 @@ class Server {
   std::thread acceptor_;
   std::vector<std::thread> sessions_;
 
-  // Bounded queue of accepted connection fds.
+  std::unique_ptr<AccessLog> access_log_;
+
+  // Bounded queue of accepted connection fds, each stamped with its
+  // enqueue time so the queue-wait distribution is measurable.
+  struct QueuedConnection {
+    int fd = -1;
+    std::chrono::steady_clock::time_point enqueued{};
+  };
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
-  std::deque<int> queue_;
+  std::deque<QueuedConnection> queue_;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};

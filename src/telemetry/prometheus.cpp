@@ -1,0 +1,323 @@
+#include "telemetry/prometheus.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string_view>
+
+#include "telemetry/telemetry.hpp"
+
+namespace iotsan::telemetry {
+
+namespace {
+
+void AppendU64(std::string& out, std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+  out += buf;
+}
+
+bool IsValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  if (!(std::isalpha(static_cast<unsigned char>(name[0])) || name[0] == '_' ||
+        name[0] == ':')) {
+    return false;
+  }
+  for (char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == ':')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ParseValue(std::string_view text, double* out) {
+  if (text == "+Inf") {
+    *out = 1e308 * 10;  // overflow to +inf without <limits>
+    return true;
+  }
+  std::string copy(text);
+  char* end = nullptr;
+  const double v = std::strtod(copy.c_str(), &end);
+  if (end == copy.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+struct HistogramFamilyState {
+  bool saw_inf = false;
+  bool saw_sum = false;
+  bool saw_count = false;
+  double last_bucket = -1;  // cumulative count of the previous bucket
+  double last_le = -1;      // upper bound of the previous finite bucket
+  double inf_value = 0;
+  double count_value = 0;
+};
+
+}  // namespace
+
+std::string PrometheusName(const std::string& dotted) {
+  std::string out = "iotsan_";
+  for (char c : dotted) {
+    out += (c == '.' || c == '/' || c == '-') ? '_' : c;
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const Registry& registry) {
+  std::string out;
+  out.reserve(8192);
+
+  for (const Sample& sample : registry.Snapshot()) {
+    const std::string name = PrometheusName(sample.name);
+    out += "# TYPE ";
+    out += name;
+    out += sample.kind == SampleKind::kGauge ? " gauge\n" : " counter\n";
+    out += name;
+    out += ' ';
+    AppendU64(out, sample.value);
+    out += '\n';
+  }
+
+  for (const HistogramSample& hist : registry.SnapshotHistograms()) {
+    const std::string name = PrometheusName(hist.name);
+    out += "# TYPE ";
+    out += name;
+    out += " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const HistogramSnapshot::Bucket& bucket : hist.snapshot.buckets) {
+      cumulative += bucket.count;
+      out += name;
+      out += "_bucket{le=\"";
+      AppendU64(out, bucket.le);
+      out += "\"} ";
+      AppendU64(out, cumulative);
+      out += '\n';
+    }
+    out += name;
+    out += "_bucket{le=\"+Inf\"} ";
+    AppendU64(out, hist.snapshot.count);
+    out += '\n';
+    out += name;
+    out += "_sum ";
+    AppendU64(out, hist.snapshot.sum);
+    out += '\n';
+    out += name;
+    out += "_count ";
+    AppendU64(out, hist.snapshot.count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<std::string> ValidateExposition(const std::string& text) {
+  std::vector<std::string> errors;
+  auto fail = [&errors](int line_no, const std::string& message) {
+    errors.push_back("line " + std::to_string(line_no) + ": " + message);
+  };
+
+  // Family name -> declared type ("counter" / "gauge" / "histogram").
+  std::map<std::string, std::string> families;
+  std::map<std::string, HistogramFamilyState> histograms;
+
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;  // tolerate blank separators
+
+    if (line[0] == '#') {
+      // Only "# TYPE <name> <type>" and "# HELP <name> <text>" comments.
+      std::istringstream comment(line);
+      std::string hash, keyword, name, type;
+      comment >> hash >> keyword;
+      if (keyword == "HELP") continue;
+      if (keyword != "TYPE") {
+        fail(line_no, "unknown comment keyword '" + keyword + "'");
+        continue;
+      }
+      comment >> name >> type;
+      if (!IsValidMetricName(name)) {
+        fail(line_no, "invalid metric name in TYPE line");
+        continue;
+      }
+      if (type != "counter" && type != "gauge" && type != "histogram" &&
+          type != "summary" && type != "untyped") {
+        fail(line_no, "invalid metric type '" + type + "'");
+        continue;
+      }
+      if (!families.emplace(name, type).second) {
+        fail(line_no, "duplicate TYPE declaration for '" + name + "'");
+      }
+      continue;
+    }
+
+    // Sample line: name[{label="value",...}] value
+    std::string_view rest(line);
+    std::size_t name_end = 0;
+    while (name_end < rest.size() && rest[name_end] != '{' &&
+           rest[name_end] != ' ') {
+      ++name_end;
+    }
+    const std::string name(rest.substr(0, name_end));
+    if (!IsValidMetricName(name)) {
+      fail(line_no, "invalid metric name");
+      continue;
+    }
+    rest.remove_prefix(name_end);
+
+    // Labels (we only ever emit `le`, but parse any well-formed set).
+    std::string le_label;
+    bool has_le = false;
+    if (!rest.empty() && rest[0] == '{') {
+      const std::size_t close = rest.find('}');
+      if (close == std::string_view::npos) {
+        fail(line_no, "unterminated label set");
+        continue;
+      }
+      std::string_view labels = rest.substr(1, close - 1);
+      bool labels_ok = true;
+      while (!labels.empty()) {
+        const std::size_t eq = labels.find('=');
+        if (eq == std::string_view::npos || eq + 1 >= labels.size() ||
+            labels[eq + 1] != '"') {
+          labels_ok = false;
+          break;
+        }
+        const std::string_view key = labels.substr(0, eq);
+        const std::size_t quote_end = labels.find('"', eq + 2);
+        if (quote_end == std::string_view::npos ||
+            !IsValidMetricName(key)) {
+          labels_ok = false;
+          break;
+        }
+        if (key == "le") {
+          le_label = std::string(labels.substr(eq + 2, quote_end - eq - 2));
+          has_le = true;
+        }
+        labels.remove_prefix(quote_end + 1);
+        if (!labels.empty()) {
+          if (labels[0] != ',') {
+            labels_ok = false;
+            break;
+          }
+          labels.remove_prefix(1);
+        }
+      }
+      if (!labels_ok) {
+        fail(line_no, "malformed label set");
+        continue;
+      }
+      rest.remove_prefix(close + 1);
+    }
+
+    if (rest.empty() || rest[0] != ' ') {
+      fail(line_no, "missing value");
+      continue;
+    }
+    rest.remove_prefix(1);
+    double value = 0;
+    if (!ParseValue(rest, &value)) {
+      fail(line_no, "unparseable sample value '" + std::string(rest) + "'");
+      continue;
+    }
+
+    // Resolve the owning family: exact match for counters/gauges, a
+    // _bucket/_sum/_count suffix of a declared histogram otherwise.
+    std::string family = name;
+    std::string suffix;
+    if (families.count(name) == 0) {
+      for (const char* s : {"_bucket", "_sum", "_count"}) {
+        const std::string_view sv(s);
+        if (name.size() > sv.size() &&
+            std::string_view(name).substr(name.size() - sv.size()) == sv) {
+          const std::string base = name.substr(0, name.size() - sv.size());
+          auto it = families.find(base);
+          if (it != families.end() && it->second == "histogram") {
+            family = base;
+            suffix = s;
+            break;
+          }
+        }
+      }
+    }
+    auto family_it = families.find(family);
+    if (family_it == families.end()) {
+      fail(line_no, "sample '" + name + "' has no TYPE declaration");
+      continue;
+    }
+
+    if (family_it->second != "histogram") {
+      if (has_le) fail(line_no, "unexpected le label on non-histogram");
+      continue;
+    }
+
+    HistogramFamilyState& state = histograms[family];
+    if (suffix == "_bucket") {
+      if (!has_le) {
+        fail(line_no, "histogram bucket without le label");
+        continue;
+      }
+      if (state.saw_inf) {
+        fail(line_no, "bucket after le=\"+Inf\" in '" + family + "'");
+        continue;
+      }
+      if (value < state.last_bucket) {
+        fail(line_no,
+             "non-monotone cumulative bucket counts in '" + family + "'");
+      }
+      state.last_bucket = value;
+      if (le_label == "+Inf") {
+        state.saw_inf = true;
+        state.inf_value = value;
+      } else {
+        double le = 0;
+        if (!ParseValue(le_label, &le)) {
+          fail(line_no, "unparseable le bound '" + le_label + "'");
+          continue;
+        }
+        if (le <= state.last_le) {
+          fail(line_no, "le bounds not increasing in '" + family + "'");
+        }
+        state.last_le = le;
+      }
+    } else if (suffix == "_sum") {
+      state.saw_sum = true;
+    } else if (suffix == "_count") {
+      state.saw_count = true;
+      state.count_value = value;
+    } else {
+      fail(line_no, "bare sample for histogram family '" + family + "'");
+    }
+  }
+
+  for (const auto& [family, type] : families) {
+    if (type != "histogram") continue;
+    auto it = histograms.find(family);
+    if (it == histograms.end()) {
+      errors.push_back("histogram '" + family + "' has no samples");
+      continue;
+    }
+    const HistogramFamilyState& state = it->second;
+    if (!state.saw_inf) {
+      errors.push_back("histogram '" + family + "' missing le=\"+Inf\"");
+    }
+    if (!state.saw_sum) {
+      errors.push_back("histogram '" + family + "' missing _sum");
+    }
+    if (!state.saw_count) {
+      errors.push_back("histogram '" + family + "' missing _count");
+    } else if (state.saw_inf && state.inf_value != state.count_value) {
+      errors.push_back("histogram '" + family +
+                       "': le=\"+Inf\" bucket != _count");
+    }
+  }
+  return errors;
+}
+
+}  // namespace iotsan::telemetry

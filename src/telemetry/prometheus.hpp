@@ -1,0 +1,39 @@
+// Prometheus text exposition (format 0.0.4) for the telemetry registry.
+//
+// RenderPrometheus turns a Registry snapshot into `# TYPE`-annotated
+// counter / gauge / histogram families: every dotted metric name becomes
+// `iotsan_` + the name with separators flattened to underscores, and each
+// histogram expands into the conventional cumulative `_bucket{le="..."}`
+// series (ending at `le="+Inf"`), `_sum`, and `_count`.
+//
+// ValidateExposition is the in-repo scrape-side check used by tests and
+// the CI smoke step: it parses a whole exposition and returns one message
+// per defect (empty vector == valid).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace iotsan::telemetry {
+
+class Registry;
+
+/// Content type to serve alongside RenderPrometheus output.
+inline constexpr char kPrometheusContentType[] =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+/// Maps a dotted registry metric name ("server.request_duration_us") to
+/// its exposition family name ("iotsan_server_request_duration_us").
+std::string PrometheusName(const std::string& dotted);
+
+/// Renders every counter, gauge, and histogram in `registry` as
+/// Prometheus text exposition 0.0.4.
+std::string RenderPrometheus(const Registry& registry);
+
+/// Validates `text` as Prometheus text exposition: every line must parse
+/// (TYPE comments, samples, optional labels), histogram bucket series
+/// must be cumulative/monotone and end with le="+Inf" equal to the
+/// family's `_count`.  Returns one human-readable message per problem.
+std::vector<std::string> ValidateExposition(const std::string& text);
+
+}  // namespace iotsan::telemetry

@@ -1,9 +1,13 @@
 #include "telemetry/telemetry.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace iotsan::telemetry {
 
@@ -12,17 +16,38 @@ namespace {
 Registry* g_registry = nullptr;
 TraceSink* g_trace = nullptr;
 
+// Pool timing hooks: the thread pool sits below telemetry, so it calls
+// back through util::SetPoolTimingHooks instead of including this
+// header.  The hooks re-check Active() per record, so a pool outliving
+// one registry simply stops recording.
+void RecordPoolTaskRun(std::uint64_t us) {
+  if (auto* t = Active()) t->parallel_hist.task_run_duration_us.Record(us);
+}
+
+void RecordPoolStealWait(std::uint64_t us) {
+  if (auto* t = Active()) t->parallel_hist.steal_wait_duration_us.Record(us);
+}
+
 }  // namespace
 
 // ---- Registry ----------------------------------------------------------------
 
 Registry* Active() { return g_registry; }
-void SetActive(Registry* registry) { g_registry = registry; }
+
+void SetActive(Registry* registry) {
+  g_registry = registry;
+  if (registry != nullptr) {
+    util::SetPoolTimingHooks(&RecordPoolTaskRun, &RecordPoolStealWait);
+  } else {
+    util::SetPoolTimingHooks(nullptr, nullptr);
+  }
+}
 
 std::vector<Sample> Registry::Snapshot() const {
   std::vector<Sample> out;
-  auto add = [&out](const char* name, std::uint64_t value) {
-    out.push_back({name, value});
+  auto add = [&out](const char* name, std::uint64_t value,
+                    SampleKind kind = SampleKind::kCounter) {
+    out.push_back({name, value, kind});
   };
   add("search.states_explored", search.states_explored);
   add("search.states_matched", search.states_matched);
@@ -46,10 +71,10 @@ std::vector<Sample> Registry::Snapshot() const {
   add("pipeline.checks_run", pipeline.checks_run);
   add("pipeline.configs_enumerated", pipeline.configs_enumerated);
   add("pipeline.attributions", pipeline.attributions);
-  add("store.entries", store.entries);
-  add("store.memory_bytes", store.memory_bytes);
-  add("store.fill_permille", store.fill_permille);
-  add("store.omission_ppm", store.omission_ppm);
+  add("store.entries", store.entries, SampleKind::kGauge);
+  add("store.memory_bytes", store.memory_bytes, SampleKind::kGauge);
+  add("store.fill_permille", store.fill_permille, SampleKind::kGauge);
+  add("store.omission_ppm", store.omission_ppm, SampleKind::kGauge);
   add("store.saturation_warnings", store.saturation_warnings);
   add("parallel.pools_created", parallel.pools_created);
   add("parallel.workers_spawned", parallel.workers_spawned);
@@ -81,8 +106,29 @@ std::vector<Sample> Registry::Snapshot() const {
   add("server.shed_queue_full", server.shed_queue_full);
   add("server.shed_oversized", server.shed_oversized);
   add("server.deadline_hits", server.deadline_hits);
-  add("server.active_connections", server.active_connections);
-  add("server.queue_depth", server.queue_depth);
+  add("server.active_connections", server.active_connections,
+      SampleKind::kGauge);
+  add("server.queue_depth", server.queue_depth, SampleKind::kGauge);
+  return out;
+}
+
+std::vector<HistogramSample> Registry::SnapshotHistograms() const {
+  std::vector<HistogramSample> out;
+  auto add = [&out](const char* name, const Histogram& histogram) {
+    out.push_back({name, histogram.TakeSnapshot()});
+  };
+  add("search.group_check_duration_us",
+      search_hist.group_check_duration_us);
+  add("search.group_states_per_second",
+      search_hist.group_states_per_second);
+  add("cache.lookup_hit_duration_us", cache_hist.lookup_hit_duration_us);
+  add("cache.lookup_miss_duration_us", cache_hist.lookup_miss_duration_us);
+  add("parallel.task_run_duration_us", parallel_hist.task_run_duration_us);
+  add("parallel.steal_wait_duration_us",
+      parallel_hist.steal_wait_duration_us);
+  add("server.request_duration_us", server_hist.request_duration_us);
+  add("server.queue_wait_us", server_hist.queue_wait_us);
+  add("server.request_body_bytes", server_hist.request_body_bytes);
   return out;
 }
 
@@ -120,6 +166,19 @@ void Registry::Reset() {
        }) {
     c->store(0);
   }
+  for (Histogram* h : {
+           &search_hist.group_check_duration_us,
+           &search_hist.group_states_per_second,
+           &cache_hist.lookup_hit_duration_us,
+           &cache_hist.lookup_miss_duration_us,
+           &parallel_hist.task_run_duration_us,
+           &parallel_hist.steal_wait_duration_us,
+           &server_hist.request_duration_us,
+           &server_hist.queue_wait_us,
+           &server_hist.request_body_bytes,
+       }) {
+    h->Reset();
+  }
 }
 
 json::Value Registry::ToJson() const {
@@ -156,6 +215,103 @@ json::Value Registry::ToJson() const {
   doc["cache"] = json::Value(std::move(cache_obj));
   doc["server"] = json::Value(std::move(server_obj));
   return json::Value(std::move(doc));
+}
+
+// ---- Histogram ---------------------------------------------------------------
+
+std::size_t Histogram::BucketIndex(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  // Position of the most significant bit (>= kSubBucketBits here); the
+  // kSubBucketBits bits right below it pick the linear sub-bucket.
+  const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(value));
+  const unsigned group = msb - kSubBucketBits + 1;
+  const std::uint64_t sub =
+      (value >> (msb - kSubBucketBits)) & (kSubBuckets - 1);
+  const std::size_t index =
+      static_cast<std::size_t>(group) * kSubBuckets +
+      static_cast<std::size_t>(sub);
+  return index < kBuckets ? index : kBuckets - 1;
+}
+
+std::uint64_t Histogram::BucketUpperBound(std::size_t index) {
+  if (index < kSubBuckets) return index;
+  const std::uint64_t group = index / kSubBuckets;
+  const std::uint64_t sub = index % kSubBuckets;
+  const unsigned shift = static_cast<unsigned>(group) - 1;
+  return ((kSubBuckets + sub + 1) << shift) - 1;
+}
+
+void Histogram::Record(std::uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::TakeSnapshot() const {
+  HistogramSnapshot out;
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  out.max = max_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) out.buckets.push_back({BucketUpperBound(i), n});
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0 || buckets.empty()) return 0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  std::uint64_t cumulative = 0;
+  for (const Bucket& bucket : buckets) {
+    cumulative += bucket.count;
+    if (cumulative >= rank) {
+      // The last bucket's nominal bound can overshoot the true maximum;
+      // never report a quantile above an observed value.
+      return static_cast<double>(std::min(bucket.le, max));
+    }
+  }
+  return static_cast<double>(max);
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  std::vector<Bucket> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  std::size_t a = 0;
+  std::size_t b = 0;
+  while (a < buckets.size() || b < other.buckets.size()) {
+    if (b >= other.buckets.size() ||
+        (a < buckets.size() && buckets[a].le < other.buckets[b].le)) {
+      merged.push_back(buckets[a++]);
+    } else if (a >= buckets.size() || other.buckets[b].le < buckets[a].le) {
+      merged.push_back(other.buckets[b++]);
+    } else {
+      merged.push_back({buckets[a].le,
+                        buckets[a].count + other.buckets[b].count});
+      ++a;
+      ++b;
+    }
+  }
+  buckets = std::move(merged);
 }
 
 // ---- TraceSink ---------------------------------------------------------------

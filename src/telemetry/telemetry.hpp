@@ -1,6 +1,6 @@
 // Telemetry: lightweight observability for the checking pipeline.
 //
-// Three cooperating pieces, all zero-dependency and lock-free on the
+// Four cooperating pieces, all zero-dependency and lock-free on the
 // counting hot path:
 //   * Registry — named monotonic counters and gauges.  Counters are
 //     relaxed std::atomic<uint64_t> members grouped in structs, so the
@@ -9,6 +9,10 @@
 //     is disabled (`if (auto* t = Active())`) and one relaxed increment
 //     when enabled.  Snapshots are taken on demand; nothing is formatted
 //     until asked.
+//   * Histogram — HdrHistogram-style log-linear latency/size
+//     distributions (fixed buckets, relaxed-atomic increments, no mutex
+//     on record).  Registered alongside the counters and exposed as
+//     Prometheus histogram families (telemetry/prometheus.hpp).
 //   * TraceSink + ScopedSpan — RAII phase spans over a steady clock.
 //     Each completed span is one JSON object per line (JSONL): name,
 //     start_us, dur_us, depth, attrs.  The sink also aggregates
@@ -139,9 +143,117 @@ struct ServerCounters {
   Counter queue_depth{0};          // gauge: accepted-but-unserved conns
 };
 
+/// Whether a sample is a monotonically increasing counter or a
+/// last-written gauge — Prometheus exposition needs the distinction for
+/// its `# TYPE` lines (JSON output carries values only and is unchanged
+/// by the kind).
+enum class SampleKind { kCounter, kGauge };
+
 struct Sample {
   std::string name;
   std::uint64_t value = 0;
+  SampleKind kind = SampleKind::kCounter;
+};
+
+// ---- Histograms --------------------------------------------------------------
+
+/// A mergeable point-in-time view of one Histogram: total count/sum,
+/// the largest recorded value, and the non-empty buckets in ascending
+/// order of their inclusive upper bound.
+struct HistogramSnapshot {
+  struct Bucket {
+    std::uint64_t le = 0;     // inclusive upper bound of the bucket
+    std::uint64_t count = 0;  // records in this bucket (not cumulative)
+  };
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  std::vector<Bucket> buckets;
+
+  /// Upper-bound estimate of the q-quantile (q in [0, 1]); 0 when empty.
+  /// The answer is the bound of the bucket holding the target rank, so
+  /// it is exact for small values and within the bucket width (12.5%)
+  /// beyond the linear range.
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P90() const { return Quantile(0.90); }
+  double P99() const { return Quantile(0.99); }
+
+  /// Folds `other` in: counts add bucket-wise, max takes the larger.
+  void Merge(const HistogramSnapshot& other);
+};
+
+/// A lock-free log-linear histogram for microsecond latencies and byte
+/// sizes (HdrHistogram's bucketing, fixed at 8 sub-buckets per power of
+/// two: values 0..7 are exact, larger ones land within 12.5% of their
+/// bucket bound).  Record() is wait-free — one relaxed fetch_add per
+/// bucket/sum plus a relaxed CAS loop for the max — so search workers,
+/// pool threads, and HTTP sessions record concurrently with no mutex.
+class Histogram {
+ public:
+  /// log2 of the sub-bucket count per power of two.
+  static constexpr unsigned kSubBucketBits = 3;
+  static constexpr unsigned kSubBuckets = 1u << kSubBucketBits;
+  /// Bucket count covering 0 .. 2^62-1 (larger values clamp into the
+  /// last bucket): 8 exact + 8 per msb position 3..61.
+  static constexpr std::size_t kBuckets = kSubBuckets * 60;
+
+  void Record(std::uint64_t value);
+
+  /// Index of the bucket holding `value`, and the bucket's inclusive
+  /// upper bound (exposed for the tests).
+  static std::size_t BucketIndex(std::uint64_t value);
+  static std::uint64_t BucketUpperBound(std::size_t index);
+
+  /// Relaxed-consistent snapshot: buckets recorded mid-snapshot may or
+  /// may not appear; exact totals are only guaranteed at rest.
+  HistogramSnapshot TakeSnapshot() const;
+
+  void Reset();
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Search-layer distributions: how long one related-set group takes to
+/// check end to end (cache hits included — that is the latency a caller
+/// observes) and the search throughput each computed group achieved.
+struct SearchHistograms {
+  Histogram group_check_duration_us;
+  Histogram group_states_per_second;
+};
+
+/// Cache lookup latency, split by outcome so a disk-heavy cache cannot
+/// hide behind fast memory hits.
+struct CacheHistograms {
+  Histogram lookup_hit_duration_us;
+  Histogram lookup_miss_duration_us;
+};
+
+/// Thread-pool distributions, fed through util::SetPoolTimingHooks (the
+/// pool itself stays below telemetry): per-task run time and how long an
+/// idle worker waited before it obtained its next task.
+struct ParallelHistograms {
+  Histogram task_run_duration_us;
+  Histogram steal_wait_duration_us;
+};
+
+/// Verification-service distributions: request handling latency, how
+/// long an accepted connection sat in the queue before a session thread
+/// picked it up, and request body sizes.
+struct ServerHistograms {
+  Histogram request_duration_us;
+  Histogram queue_wait_us;
+  Histogram request_body_bytes;
+};
+
+/// One named histogram in a Registry snapshot ("server.request_duration_us").
+struct HistogramSample {
+  std::string name;
+  HistogramSnapshot snapshot;
 };
 
 class Registry {
@@ -153,9 +265,17 @@ class Registry {
   CacheCounters cache;
   ServerCounters server;
 
+  SearchHistograms search_hist;
+  CacheHistograms cache_hist;
+  ParallelHistograms parallel_hist;
+  ServerHistograms server_hist;
+
   /// All counters and gauges as dotted names ("search.states_explored"),
-  /// in a stable order.
+  /// in a stable order, each tagged counter vs. gauge.
   std::vector<Sample> Snapshot() const;
+
+  /// All histograms as dotted names, in a stable order.
+  std::vector<HistogramSample> SnapshotHistograms() const;
 
   /// {"search": {...}, "pipeline": {...}, "store": {...},
   ///  "parallel": {...}, "cache": {...}, "server": {...}}.

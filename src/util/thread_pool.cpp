@@ -12,7 +12,35 @@ namespace {
 thread_local const ThreadPool* tls_pool = nullptr;
 thread_local unsigned tls_lane = 0;
 
+std::atomic<PoolTimingHook> g_on_task_run{nullptr};
+std::atomic<PoolTimingHook> g_on_steal_wait{nullptr};
+
+std::uint64_t ElapsedMicros(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+// Executes one task body, timing it when a run hook is installed.
+void RunTimed(const std::function<void()>& task) {
+  const PoolTimingHook hook = g_on_task_run.load(std::memory_order_acquire);
+  if (hook == nullptr) {
+    task();
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  task();
+  hook(ElapsedMicros(start));
+}
+
 }  // namespace
+
+void SetPoolTimingHooks(PoolTimingHook on_task_run,
+                        PoolTimingHook on_steal_wait) {
+  g_on_task_run.store(on_task_run, std::memory_order_release);
+  g_on_steal_wait.store(on_steal_wait, std::memory_order_release);
+}
 
 unsigned ResolveJobs(int jobs) {
   if (jobs < 0) return 1;
@@ -90,10 +118,26 @@ std::function<void()> ThreadPool::TryGet(unsigned lane) {
 void ThreadPool::WorkerMain(unsigned lane) {
   tls_pool = this;
   tls_lane = lane;
+  // Steal-wait: the gap between first failing to get a task and obtaining
+  // the next one.  Workers that never get another task record nothing.
+  bool waiting = false;
+  std::chrono::steady_clock::time_point wait_start{};
   while (true) {
     if (std::function<void()> task = TryGet(lane)) {
-      task();
+      if (waiting) {
+        waiting = false;
+        if (const PoolTimingHook hook =
+                g_on_steal_wait.load(std::memory_order_acquire)) {
+          hook(ElapsedMicros(wait_start));
+        }
+      }
+      RunTimed(task);
       continue;
+    }
+    if (!waiting &&
+        g_on_steal_wait.load(std::memory_order_acquire) != nullptr) {
+      waiting = true;
+      wait_start = std::chrono::steady_clock::now();
     }
     std::unique_lock<std::mutex> lock(wake_mutex_);
     if (stop_.load()) return;
@@ -146,7 +190,7 @@ void ThreadPool::ParallelFor(std::size_t count,
   // nested ParallelFor calls from deadlocking on a saturated pool.
   while (batch->remaining.load() != 0) {
     if (std::function<void()> task = TryGet(self)) {
-      task();
+      RunTimed(task);
       continue;
     }
     std::unique_lock<std::mutex> lock(batch->mutex);

@@ -13,7 +13,11 @@
 //     checker does) index their results by task id and merge in task
 //     order after the join.
 //   * Zero dependencies — util sits below telemetry, so the pool exposes
-//     plain Stats that callers feed into telemetry themselves.
+//     plain Stats that callers feed into telemetry themselves.  Timing
+//     distributions cross the layer boundary the other way: telemetry
+//     installs plain function pointers via SetPoolTimingHooks and the
+//     pool calls them with microsecond durations, never including a
+//     telemetry header.
 //
 // Topology: one deque ("lane") per worker plus lane 0 for the owning
 // thread.  An owner pushes and pops its own lane LIFO (good locality for
@@ -36,6 +40,19 @@ namespace iotsan::util {
 /// Resolves a user-facing `--jobs` value: 0 = one lane per hardware
 /// thread, negative or 1 = serial, otherwise the value itself.
 unsigned ResolveJobs(int jobs);
+
+/// Observer for pool timing distributions, called with a duration in
+/// microseconds.  Must be safe to call from any pool thread.
+using PoolTimingHook = void (*)(std::uint64_t micros);
+
+/// Installs process-wide timing hooks: `on_task_run` fires once per
+/// executed task body, `on_steal_wait` once per idle gap a worker spends
+/// between failing to get a task and obtaining the next one.  Either may
+/// be nullptr to disable that measurement.  Hooks are read with acquire
+/// loads on the hot path; install/uninstall only between runs (the same
+/// contract as telemetry::SetActive, which is the expected caller).
+void SetPoolTimingHooks(PoolTimingHook on_task_run,
+                        PoolTimingHook on_steal_wait);
 
 class ThreadPool {
  public:

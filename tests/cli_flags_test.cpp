@@ -82,6 +82,18 @@ TEST(CliFlagsTest, CacheDirAcceptedByCheckAndAttribute) {
             "/tmp/c");
 }
 
+TEST(CliFlagsTest, MetricsOutAndAccessLogAreCommandGated) {
+  // --metrics-out belongs to check, --access-log to serve — each is
+  // rejected everywhere else.
+  EXPECT_EQ(Parse(kCmdCheck, {"--metrics-out", "/tmp/m.prom"}).metrics_out,
+            "/tmp/m.prom");
+  EXPECT_EQ(Parse(kCmdServe, {"--access-log", "/tmp/a.jsonl"}).access_log,
+            "/tmp/a.jsonl");
+  EXPECT_THROW(Parse(kCmdServe, {"--metrics-out", "/tmp/m.prom"}), Error);
+  EXPECT_THROW(Parse(kCmdCheck, {"--access-log", "/tmp/a.jsonl"}), Error);
+  EXPECT_THROW(Parse(kCmdCheck, {"--metrics-out"}), Error);
+}
+
 TEST(CliFlagsTest, BitstateBitsImpliesBitstate) {
   const CliFlags flags = Parse(kCmdCheck, {"--bitstate-bits", "20"});
   EXPECT_TRUE(flags.bitstate);

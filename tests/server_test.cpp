@@ -19,14 +19,20 @@
 #include <atomic>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "checker/trace.hpp"
 #include "config/builder.hpp"
 #include "core/service.hpp"
 #include "server/handlers.hpp"
 #include "server/server.hpp"
+#include "telemetry/prometheus.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/json.hpp"
 
@@ -37,9 +43,21 @@ namespace {
 
 struct ClientResponse {
   int status = 0;
+  std::string head;  // raw header block (status line through last header)
   std::string body;
   bool complete = false;  // headers + full Content-Length body received
 };
+
+/// Value of `name` in the response's header block ("" when absent).
+std::string HeaderValue(const ClientResponse& response,
+                        const std::string& name) {
+  const std::string marker = "\r\n" + name + ": ";
+  const std::size_t at = response.head.find(marker);
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + marker.size();
+  return response.head.substr(
+      start, response.head.find("\r\n", start) - start);
+}
 
 int ConnectLoopback(int port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -82,6 +100,7 @@ ClientResponse ReadResponse(int fd) {
   }
   const std::string head = data.substr(0, head_end);
   if (head.rfind("HTTP/1.1 ", 0) != 0) return out;
+  out.head = head;
   out.status = std::atoi(head.c_str() + 9);
   std::size_t body_len = 0;
   const std::string marker = "Content-Length: ";
@@ -100,13 +119,16 @@ ClientResponse ReadResponse(int fd) {
 }
 
 /// One-shot request: connect, send, read one response, close.
+/// `extra_headers` are raw "Name: value\r\n" lines.
 ClientResponse Fetch(int port, const std::string& method,
-                     const std::string& target, const std::string& body = "") {
+                     const std::string& target, const std::string& body = "",
+                     const std::string& extra_headers = "") {
   ClientResponse out;
   const int fd = ConnectLoopback(port);
   if (fd < 0) return out;
   std::string wire = method + " " + target + " HTTP/1.1\r\n";
   wire += "Host: 127.0.0.1\r\nConnection: close\r\n";
+  wire += extra_headers;
   wire += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
   wire += body;
   if (SendAll(fd, wire)) out = ReadResponse(fd);
@@ -421,6 +443,17 @@ TEST_F(ServerTest, ConcurrentMixedTrafficMatchesSerialResponses) {
   ASSERT_EQ(check_ref.status, 200);
   ASSERT_EQ(attr_ref.status, 200);
 
+  // Correlation makes each response unique: strip the per-request id
+  // (top level and inside artifact manifests) before comparing.
+  auto normalized = [](const std::string& body) {
+    json::Value doc = json::Parse(body);
+    doc.MutableObject().erase("request_id");
+    doc.MutableObject().erase("artifacts");
+    return doc.Dump(0);
+  };
+  const std::string check_expected = normalized(check_ref.body);
+  const std::string attr_expected = normalized(attr_ref.body);
+
   constexpr int kThreads = 8;
   constexpr int kPerThread = 4;
   std::atomic<int> mismatches{0};
@@ -439,8 +472,8 @@ TEST_F(ServerTest, ConcurrentMixedTrafficMatchesSerialResponses) {
           continue;
         }
         const std::string& expected =
-            attribute ? attr_ref.body : check_ref.body;
-        if (response.body != expected) ++mismatches;
+            attribute ? attr_expected : check_expected;
+        if (normalized(response.body) != expected) ++mismatches;
       }
     });
   }
@@ -497,6 +530,210 @@ TEST_F(ServerTest, GracefulDrainAnswersEveryAcceptedRequest) {
   EXPECT_EQ(incomplete.load(), 0);
   EXPECT_GT(answered.load(), 0);
   EXPECT_FALSE(server_->running());
+}
+
+// ---- request correlation -----------------------------------------------------
+
+TEST_F(ServerTest, EveryResponseCarriesAGeneratedRequestId) {
+  StartServer();
+  const int port = server_->port();
+
+  // Success, 404, and 405 responses all carry the header, and JSON
+  // bodies echo the same id at the top level.
+  for (const auto& [method, target] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"GET", "/v1/health"}, {"GET", "/v1/nope"}, {"GET", "/v1/check"}}) {
+    ClientResponse response = Fetch(port, method, target);
+    ASSERT_TRUE(response.complete) << target;
+    const std::string id = HeaderValue(response, "X-Request-Id");
+    EXPECT_EQ(id.size(), 16u) << target;  // generated: 16 hex digits
+    EXPECT_EQ(json::Parse(response.body).At("request_id").AsString(), id)
+        << target;
+  }
+
+  // Two requests never share a generated id.
+  ClientResponse a = Fetch(port, "GET", "/v1/health");
+  ClientResponse b = Fetch(port, "GET", "/v1/health");
+  EXPECT_NE(HeaderValue(a, "X-Request-Id"), HeaderValue(b, "X-Request-Id"));
+}
+
+TEST_F(ServerTest, ClientSuppliedRequestIdIsEchoedWhenValid) {
+  StartServer();
+  const int port = server_->port();
+
+  ClientResponse echoed = Fetch(port, "GET", "/v1/health", "",
+                                "X-Request-Id: my-trace_1.42\r\n");
+  ASSERT_TRUE(echoed.complete);
+  EXPECT_EQ(HeaderValue(echoed, "X-Request-Id"), "my-trace_1.42");
+  EXPECT_EQ(json::Parse(echoed.body).At("request_id").AsString(),
+            "my-trace_1.42");
+
+  // Ids with characters outside [A-Za-z0-9._-] or longer than 64 are
+  // replaced with a generated one instead of being reflected back.
+  ClientResponse invalid = Fetch(port, "GET", "/v1/health", "",
+                                 "X-Request-Id: bad id \"quotes\"\r\n");
+  ASSERT_TRUE(invalid.complete);
+  const std::string replaced = HeaderValue(invalid, "X-Request-Id");
+  EXPECT_EQ(replaced.size(), 16u);
+  EXPECT_EQ(replaced.find(' '), std::string::npos);
+
+  ClientResponse too_long = Fetch(port, "GET", "/v1/health", "",
+                                  "X-Request-Id: " + std::string(65, 'a') +
+                                      "\r\n");
+  ASSERT_TRUE(too_long.complete);
+  EXPECT_EQ(HeaderValue(too_long, "X-Request-Id").size(), 16u);
+}
+
+TEST_F(ServerTest, CheckViolationArtifactsCarryTheRequestId) {
+  StartServer();
+  ClientResponse response =
+      Fetch(server_->port(), "POST", "/v1/check", CheckBody(),
+            "X-Request-Id: corr-7\r\n");
+  ASSERT_TRUE(response.complete);
+  ASSERT_EQ(response.status, 200);
+  json::Value doc = json::Parse(response.body);
+  EXPECT_EQ(doc.At("request_id").AsString(), "corr-7");
+  // The §8 deployment violates two properties; each artifact's manifest
+  // names the originating request.
+  ASSERT_TRUE(doc.Has("artifacts"));
+  const json::Array& artifacts = doc.At("artifacts").AsArray();
+  ASSERT_EQ(artifacts.size(), 2u);
+  for (const json::Value& artifact_json : artifacts) {
+    const checker::ViolationArtifact artifact =
+        checker::ArtifactFromJson(artifact_json);
+    EXPECT_EQ(artifact.manifest.request_id, "corr-7");
+    EXPECT_TRUE(checker::ValidateArtifact(artifact, "").empty());
+  }
+}
+
+// ---- metrics content negotiation ---------------------------------------------
+
+TEST_F(ServerTest, MetricsNegotiatesPrometheusExposition) {
+  StartServer();
+  const int port = server_->port();
+
+  // Prime the request-duration histogram with a couple of requests.
+  ASSERT_TRUE(Fetch(port, "GET", "/v1/health").complete);
+  ASSERT_TRUE(Fetch(port, "GET", "/v1/version").complete);
+
+  ClientResponse via_query =
+      Fetch(port, "GET", "/v1/metrics?format=prometheus");
+  ASSERT_TRUE(via_query.complete);
+  EXPECT_EQ(via_query.status, 200);
+  EXPECT_NE(via_query.head.find(telemetry::kPrometheusContentType),
+            std::string::npos);
+  for (const std::string& problem :
+       telemetry::ValidateExposition(via_query.body)) {
+    ADD_FAILURE() << problem;
+  }
+  // All nine latency families are present, counters too.
+  for (const char* family :
+       {"iotsan_server_request_duration_us", "iotsan_server_queue_wait_us",
+        "iotsan_server_request_body_bytes",
+        "iotsan_search_group_check_duration_us",
+        "iotsan_search_group_states_per_second",
+        "iotsan_cache_lookup_hit_duration_us",
+        "iotsan_cache_lookup_miss_duration_us",
+        "iotsan_parallel_task_run_duration_us",
+        "iotsan_parallel_steal_wait_duration_us"}) {
+    EXPECT_NE(via_query.body.find(std::string("# TYPE ") + family +
+                                  " histogram"),
+              std::string::npos)
+        << family;
+  }
+  EXPECT_NE(via_query.body.find("iotsan_server_requests"),
+            std::string::npos);
+
+  ClientResponse via_accept = Fetch(port, "GET", "/v1/metrics", "",
+                                    "Accept: text/plain\r\n");
+  ASSERT_TRUE(via_accept.complete);
+  EXPECT_EQ(via_accept.status, 200);
+  EXPECT_NE(via_accept.body.find("# TYPE"), std::string::npos);
+
+  // The default JSON document is byte-compatible with iotsan.metrics/1:
+  // same schema, no correlation fields spliced in.
+  ClientResponse as_json = Fetch(port, "GET", "/v1/metrics");
+  ASSERT_TRUE(as_json.complete);
+  json::Value doc = json::Parse(as_json.body);
+  EXPECT_EQ(doc.At("schema").AsString(), "iotsan.metrics/1");
+  EXPECT_FALSE(doc.Has("request_id"));
+  // The correlation header still rides on the response itself.
+  EXPECT_EQ(HeaderValue(as_json, "X-Request-Id").size(), 16u);
+}
+
+// ---- access log --------------------------------------------------------------
+
+TEST_F(ServerTest, AccessLogWritesOneLinePerRequestWithMatchingIds) {
+  const std::string log_dir = TempDir("accesslog");
+  const std::string log_path = log_dir + "/access.jsonl";
+  ServerConfig config;
+  config.http_workers = 4;
+  config.access_log_path = log_path;
+  StartServer(std::move(config));
+  const int port = server_->port();
+
+  // Concurrent clients, each tagging its requests with a unique id.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 3;
+  std::mutex sent_mutex;
+  std::map<std::string, int> sent;  // id -> expected status
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kThreads; ++i) {
+    clients.emplace_back([&, i] {
+      for (int j = 0; j < kPerThread; ++j) {
+        const std::string id =
+            "t" + std::to_string(i) + "-r" + std::to_string(j);
+        ClientResponse response = Fetch(port, "GET", "/v1/health", "",
+                                        "X-Request-Id: " + id + "\r\n");
+        if (!response.complete ||
+            HeaderValue(response, "X-Request-Id") != id) {
+          ++failures;
+          continue;
+        }
+        std::lock_guard<std::mutex> lock(sent_mutex);
+        sent[id] = response.status;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  ASSERT_EQ(failures.load(), 0);
+  // One error response too: 404s are logged with their error code.
+  ClientResponse missing = Fetch(port, "GET", "/v1/nope", "",
+                                 "X-Request-Id: miss-1\r\n");
+  ASSERT_TRUE(missing.complete);
+  sent["miss-1"] = missing.status;
+
+  server_->Stop();
+
+  std::ifstream in(log_path);
+  ASSERT_TRUE(in.good());
+  std::map<std::string, int> logged_count;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    json::Value entry = json::Parse(line);
+    const std::string id = entry.At("id").AsString();
+    ++logged_count[id];
+    EXPECT_EQ(entry.At("status").AsInt(), sent.at(id)) << id;
+    EXPECT_EQ(entry.At("method").AsString(), "GET");
+    EXPECT_GE(entry.At("latency_us").AsNumber(), 0.0);
+    EXPECT_GE(entry.At("queue_us").AsNumber(), 0.0);
+    EXPECT_GE(entry.At("ts").AsNumber(), 0.0);
+    if (id == "miss-1") {
+      EXPECT_EQ(entry.At("path").AsString(), "/v1/nope");
+      EXPECT_EQ(entry.At("error").At("code").AsString(), "not_found");
+    } else {
+      EXPECT_EQ(entry.At("path").AsString(), "/v1/health");
+      EXPECT_FALSE(entry.Has("error"));
+    }
+  }
+  // Exactly one line per request, every request present.
+  EXPECT_EQ(logged_count.size(), sent.size());
+  for (const auto& [id, status] : sent) {
+    EXPECT_EQ(logged_count[id], 1) << id;
+  }
+  std::filesystem::remove_all(log_dir);
 }
 
 TEST_F(ServerTest, KeepAliveServesSequentialRequests) {

@@ -1,17 +1,20 @@
-// Telemetry tests: counter/gauge snapshots, span nesting and JSONL
-// shape, search-progress cadence, and store-diagnostic math.
+// Telemetry tests: counter/gauge snapshots, latency histograms and
+// their Prometheus exposition, span nesting and JSONL shape,
+// search-progress cadence, and store-diagnostic math.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "checker/checker.hpp"
 #include "checker/state_store.hpp"
 #include "config/builder.hpp"
 #include "ir/analyzer.hpp"
+#include "telemetry/prometheus.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/json.hpp"
 
@@ -61,6 +64,226 @@ TEST(RegistryTest, ResetZeroesEverything) {
   for (const Sample& sample : registry.Snapshot()) {
     EXPECT_EQ(sample.value, 0u) << sample.name;
   }
+}
+
+TEST(RegistryTest, SnapshotTagsGaugesAndCounters) {
+  Registry registry;
+  std::vector<Sample> samples = registry.Snapshot();
+  auto kind_of = [&](const std::string& name) {
+    for (const Sample& sample : samples) {
+      if (sample.name == name) return sample.kind;
+    }
+    ADD_FAILURE() << "no sample named " << name;
+    return SampleKind::kCounter;
+  };
+  // Point-in-time values are gauges; everything else accumulates.
+  EXPECT_EQ(kind_of("store.entries"), SampleKind::kGauge);
+  EXPECT_EQ(kind_of("store.memory_bytes"), SampleKind::kGauge);
+  EXPECT_EQ(kind_of("store.fill_permille"), SampleKind::kGauge);
+  EXPECT_EQ(kind_of("store.omission_ppm"), SampleKind::kGauge);
+  EXPECT_EQ(kind_of("server.active_connections"), SampleKind::kGauge);
+  EXPECT_EQ(kind_of("server.queue_depth"), SampleKind::kGauge);
+  EXPECT_EQ(kind_of("store.saturation_warnings"), SampleKind::kCounter);
+  EXPECT_EQ(kind_of("search.states_explored"), SampleKind::kCounter);
+  EXPECT_EQ(kind_of("cache.hits"), SampleKind::kCounter);
+}
+
+// ---- Histogram ---------------------------------------------------------------
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  // Values below the sub-bucket count (8) get one bucket each.
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(Histogram::BucketIndex(v), v) << v;
+    EXPECT_EQ(Histogram::BucketUpperBound(v), v) << v;
+  }
+}
+
+TEST(HistogramTest, LogLinearBucketsBoundRelativeError) {
+  EXPECT_EQ(Histogram::BucketIndex(8), 8u);
+  EXPECT_EQ(Histogram::BucketUpperBound(8), 8u);
+  EXPECT_EQ(Histogram::BucketIndex(15), 15u);
+  EXPECT_EQ(Histogram::BucketUpperBound(15), 15u);
+  // 16 opens the next group: two values per bucket.
+  EXPECT_EQ(Histogram::BucketIndex(16), 16u);
+  EXPECT_EQ(Histogram::BucketIndex(17), 16u);
+  EXPECT_EQ(Histogram::BucketUpperBound(16), 17u);
+  // Every value maps to a bucket whose upper bound is within 12.5%.
+  for (std::uint64_t v = 1; v < (1ull << 40); v = v * 3 + 1) {
+    const std::size_t index = Histogram::BucketIndex(v);
+    const std::uint64_t upper = Histogram::BucketUpperBound(index);
+    EXPECT_GE(upper, v) << v;
+    EXPECT_LE(static_cast<double>(upper - v), 0.125 * v + 1) << v;
+    if (index > 0) {
+      EXPECT_LT(Histogram::BucketUpperBound(index - 1), v) << v;
+    }
+  }
+}
+
+TEST(HistogramTest, HugeValuesClampToTheLastBucket) {
+  const std::uint64_t huge = ~std::uint64_t{0};
+  EXPECT_EQ(Histogram::BucketIndex(huge), Histogram::kBuckets - 1);
+  Histogram histogram;
+  histogram.Record(huge);
+  const HistogramSnapshot snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.max, huge);
+}
+
+TEST(HistogramTest, SnapshotQuantilesTrackTheDistribution) {
+  Histogram histogram;
+  for (std::uint64_t v = 1; v <= 1000; ++v) histogram.Record(v);
+  const HistogramSnapshot snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_EQ(snap.sum, 500500u);
+  EXPECT_EQ(snap.max, 1000u);
+  // Log-linear buckets: quantiles land within one bucket (≤12.5%).
+  EXPECT_NEAR(snap.P50(), 500.0, 500.0 * 0.13);
+  EXPECT_NEAR(snap.P90(), 900.0, 900.0 * 0.13);
+  EXPECT_NEAR(snap.P99(), 990.0, 990.0 * 0.13);
+  // The quantile never exceeds the observed maximum.
+  EXPECT_LE(snap.Quantile(1.0), 1000.0);
+}
+
+TEST(HistogramTest, EmptySnapshotIsAllZero) {
+  Histogram histogram;
+  const HistogramSnapshot snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_TRUE(snap.buckets.empty());
+  EXPECT_EQ(snap.P50(), 0.0);
+}
+
+TEST(HistogramTest, ResetClearsAllState) {
+  Histogram histogram;
+  histogram.Record(7);
+  histogram.Record(12345);
+  histogram.Reset();
+  const HistogramSnapshot snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.max, 0u);
+}
+
+TEST(HistogramTest, MergeCombinesSnapshots) {
+  Histogram a;
+  Histogram b;
+  for (std::uint64_t v = 1; v <= 100; ++v) a.Record(v);
+  for (std::uint64_t v = 900; v <= 1000; ++v) b.Record(v);
+  HistogramSnapshot merged = a.TakeSnapshot();
+  merged.Merge(b.TakeSnapshot());
+  EXPECT_EQ(merged.count, 201u);
+  EXPECT_EQ(merged.max, 1000u);
+  EXPECT_NEAR(merged.P99(), 1000.0, 1000.0 * 0.13);
+  // Bucket bounds stay strictly increasing after the merge.
+  for (std::size_t i = 1; i < merged.buckets.size(); ++i) {
+    EXPECT_LT(merged.buckets[i - 1].le, merged.buckets[i].le);
+  }
+}
+
+TEST(HistogramTest, ConcurrentRecordLosesNothing) {
+  Histogram histogram;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        histogram.Record(static_cast<std::uint64_t>(t) * 1000 + (i % 997));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const HistogramSnapshot snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (const HistogramSnapshot::Bucket& bucket : snap.buckets) {
+    bucket_total += bucket.count;
+  }
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+// ---- Prometheus exposition ---------------------------------------------------
+
+TEST(PrometheusTest, NameMappingPrefixesAndSanitizes) {
+  EXPECT_EQ(PrometheusName("search.states_explored"),
+            "iotsan_search_states_explored");
+  EXPECT_EQ(PrometheusName("cache.lookup_hit_duration_us"),
+            "iotsan_cache_lookup_hit_duration_us");
+}
+
+TEST(PrometheusTest, RenderIsValidAndCarriesHistogramFamilies) {
+  Registry registry;
+  registry.search.states_explored = 5;
+  registry.server_hist.request_duration_us.Record(120);
+  registry.server_hist.request_duration_us.Record(4500);
+  registry.cache_hist.lookup_hit_duration_us.Record(3);
+
+  const std::string text = RenderPrometheus(registry);
+  const std::vector<std::string> problems = ValidateExposition(text);
+  for (const std::string& problem : problems) ADD_FAILURE() << problem;
+
+  // Counters and gauges render with a TYPE line and a value.
+  EXPECT_NE(text.find("# TYPE iotsan_search_states_explored counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("iotsan_search_states_explored 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE iotsan_store_entries gauge"),
+            std::string::npos);
+
+  // All histogram families render even when empty — the exposition
+  // promises at least these families to scrapers.
+  for (const char* family :
+       {"iotsan_search_group_check_duration_us",
+        "iotsan_cache_lookup_hit_duration_us",
+        "iotsan_cache_lookup_miss_duration_us",
+        "iotsan_parallel_task_run_duration_us",
+        "iotsan_server_request_duration_us"}) {
+    EXPECT_NE(text.find(std::string("# TYPE ") + family + " histogram"),
+              std::string::npos)
+        << family;
+    EXPECT_NE(text.find(std::string(family) + "_bucket{le=\"+Inf\"}"),
+              std::string::npos)
+        << family;
+    EXPECT_NE(text.find(std::string(family) + "_sum"), std::string::npos);
+    EXPECT_NE(text.find(std::string(family) + "_count"), std::string::npos);
+  }
+
+  // The recorded samples show up in _count.
+  EXPECT_NE(text.find("iotsan_server_request_duration_us_count 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("iotsan_cache_lookup_hit_duration_us_count 1"),
+            std::string::npos);
+}
+
+TEST(PrometheusTest, ValidatorRejectsMalformedExposition) {
+  // Garbage line.
+  EXPECT_FALSE(ValidateExposition("this is not prometheus\n").empty());
+  // Histogram without +Inf bucket.
+  EXPECT_FALSE(ValidateExposition("# TYPE x histogram\n"
+                                  "x_bucket{le=\"10\"} 1\n"
+                                  "x_sum 5\n"
+                                  "x_count 1\n")
+                   .empty());
+  // Non-monotone cumulative buckets.
+  EXPECT_FALSE(ValidateExposition("# TYPE x histogram\n"
+                                  "x_bucket{le=\"10\"} 5\n"
+                                  "x_bucket{le=\"20\"} 3\n"
+                                  "x_bucket{le=\"+Inf\"} 5\n"
+                                  "x_sum 40\n"
+                                  "x_count 5\n")
+                   .empty());
+  // +Inf disagreeing with _count.
+  EXPECT_FALSE(ValidateExposition("# TYPE x histogram\n"
+                                  "x_bucket{le=\"+Inf\"} 4\n"
+                                  "x_sum 40\n"
+                                  "x_count 5\n")
+                   .empty());
+  // A well-formed single-family document passes.
+  EXPECT_TRUE(ValidateExposition("# TYPE x histogram\n"
+                                 "x_bucket{le=\"10\"} 2\n"
+                                 "x_bucket{le=\"+Inf\"} 2\n"
+                                 "x_sum 11\n"
+                                 "x_count 2\n")
+                  .empty());
 }
 
 // ---- Spans and the trace sink ------------------------------------------------
@@ -195,6 +418,56 @@ TEST(ProgressTest, BudgetStopDeliversFinalSnapshot) {
   // progress_every stayed 0, so the only report is the stop-time one.
   ASSERT_EQ(seen.size(), 1u);
   EXPECT_EQ(seen.back().states_explored, result.states_explored);
+}
+
+// Golden renderings: the progress line is part of the operator-facing
+// surface (docs/observability.md quotes it), so its exact shape is
+// pinned for the serial, parallel, and cache-active cases.
+TEST(ProgressTest, FormatProgressGoldenSerial) {
+  ProgressSnapshot snapshot;
+  snapshot.states_explored = 1200;
+  snapshot.states_per_second = 600;
+  snapshot.states_matched = 300;
+  snapshot.pruning_ratio = 0.2;
+  snapshot.transitions = 4000;
+  snapshot.cascade_drains = 5;
+  snapshot.depth_histogram = {1, 3, 8};
+  EXPECT_EQ(FormatProgress(snapshot),
+            "progress: 1200 states (600/s), 300 matched (20.0% pruned), "
+            "4000 transitions, 5 drains, depth 1|3|8");
+}
+
+TEST(ProgressTest, FormatProgressGoldenParallel) {
+  ProgressSnapshot snapshot;
+  snapshot.states_explored = 50000;
+  snapshot.states_per_second = 12500;
+  snapshot.states_matched = 10000;
+  snapshot.pruning_ratio = 0.5;
+  snapshot.transitions = 90000;
+  snapshot.cascade_drains = 7;
+  snapshot.store_fill_ratio = 0.1234;
+  snapshot.jobs = 4;
+  snapshot.branches_total = 9;
+  snapshot.branches_done = 6;
+  EXPECT_EQ(FormatProgress(snapshot),
+            "progress: 50000 states (12500/s), 10000 matched (50.0% "
+            "pruned), 90000 transitions, 7 drains, store fill 12.34%, "
+            "jobs 4, branches 6/9");
+}
+
+TEST(ProgressTest, FormatProgressGoldenCacheActive) {
+  ProgressSnapshot snapshot;
+  snapshot.states_explored = 10;
+  snapshot.states_per_second = 5;
+  snapshot.states_matched = 0;
+  snapshot.pruning_ratio = 0.0;
+  snapshot.transitions = 12;
+  snapshot.cascade_drains = 0;
+  snapshot.cache_hits = 3;
+  snapshot.cache_misses = 1;
+  EXPECT_EQ(FormatProgress(snapshot),
+            "progress: 10 states (5/s), 0 matched (0.0% pruned), "
+            "12 transitions, 0 drains, cache 3 hit/1 miss");
 }
 
 TEST(ProgressTest, FormatProgressMentionsTheHeadlineNumbers) {

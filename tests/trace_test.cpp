@@ -165,6 +165,27 @@ TEST(ArtifactTest, SerializeParseRoundTripIsByteStable) {
   EXPECT_EQ(once, twice);
   EXPECT_EQ(parsed.depth, artifact.depth);
   EXPECT_EQ(parsed.steps, artifact.steps);
+  // Without correlation the manifest omits the key entirely (the CLI
+  // path), keeping pre-correlation artifacts byte-identical.
+  EXPECT_TRUE(parsed.manifest.request_id.empty());
+  EXPECT_EQ(once.find("request_id"), std::string::npos);
+}
+
+TEST(ArtifactTest, ManifestRequestIdRoundTrips) {
+  model::SystemModel model = UnlockModel();
+  Checker checker(model);
+  CheckOptions options;
+  options.max_events = 1;
+  options.request_id = "req-abc.1";
+  CheckResult result = checker.Run(options);
+  const Violation& v = *result.Find("P06");
+
+  const ViolationArtifact artifact =
+      MakeArtifact(v, options, "home", "0123456789abcdef");
+  EXPECT_EQ(artifact.manifest.request_id, "req-abc.1");
+  const ViolationArtifact parsed =
+      ArtifactFromJson(json::Parse(ToJson(artifact).Dump(2)));
+  EXPECT_EQ(parsed.manifest.request_id, "req-abc.1");
 }
 
 TEST(ArtifactTest, ReplayReproducesParsedArtifact) {

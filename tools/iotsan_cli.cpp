@@ -54,6 +54,7 @@
 #include "promela/emitter.hpp"
 #include "props/loader.hpp"
 #include "server/server.hpp"
+#include "telemetry/prometheus.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/build_info.hpp"
 #include "util/error.hpp"
@@ -72,7 +73,8 @@ using namespace iotsan::cli;
 class TelemetrySession {
  public:
   /// `force_registry` installs the counter registry even without
-  /// --stats (serve needs it live for /v1/metrics).
+  /// --stats (serve needs it live for /v1/metrics; check --metrics-out
+  /// needs it to have histograms to export).
   explicit TelemetrySession(const CliFlags& flags, bool force_registry = false)
       : stats_(flags.stats) {
     if (flags.stats || !flags.trace_out.empty()) {
@@ -81,7 +83,10 @@ class TelemetrySession {
                   : std::make_unique<telemetry::TraceSink>(flags.trace_out);
       telemetry::SetActiveTrace(sink_.get());
     }
-    if (flags.stats || force_registry) telemetry::SetActive(&registry_);
+    if (flags.stats || force_registry) {
+      telemetry::SetActive(&registry_);
+      registry_installed_ = true;
+    }
   }
 
   ~TelemetrySession() {
@@ -110,11 +115,29 @@ class TelemetrySession {
     }
   }
 
+  /// The live registry, or null when none was installed.
+  const telemetry::Registry* registry() const {
+    return registry_installed_ ? &registry_ : nullptr;
+  }
+
  private:
   bool stats_;
+  bool registry_installed_ = false;
   telemetry::Registry registry_;
   std::unique_ptr<telemetry::TraceSink> sink_;
 };
+
+/// `--metrics-out FILE`: the one-shot equivalent of scraping
+/// GET /v1/metrics?format=prometheus after the run.
+void WriteMetricsOut(const std::string& path,
+                     const TelemetrySession& session) {
+  if (path.empty()) return;
+  const telemetry::Registry* registry = session.registry();
+  if (registry == nullptr) return;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw Error("cannot write metrics file: " + path);
+  out << telemetry::RenderPrometheus(*registry);
+}
 
 // ---- Shared loading ----------------------------------------------------------
 
@@ -308,7 +331,8 @@ int CmdCheck(const std::vector<std::string>& args) {
   }
   CliEnv cli = MakeCliEnv(flags);
 
-  TelemetrySession telemetry_session(flags);
+  TelemetrySession telemetry_session(
+      flags, /*force_registry=*/!flags.metrics_out.empty());
   core::CheckResponse response = core::RunCheck(request, cli.env);
   const core::SanitizerReport& report = response.report;
   std::fputs(core::RenderCheckHeader(request.deployment, report).c_str(),
@@ -327,6 +351,7 @@ int CmdCheck(const std::vector<std::string>& args) {
                    request.deployment);
   }
   std::fputs(core::RenderResultLine(report).c_str(), stdout);
+  WriteMetricsOut(flags.metrics_out, telemetry_session);
   if (util::InterruptRequested()) {
     std::fprintf(stderr,
                  "interrupted by signal %d: partial results above\n",
@@ -402,6 +427,7 @@ int CmdServe(const std::vector<std::string>& args) {
   config.cache_dir = flags.cache_dir;
   config.max_queue = static_cast<std::size_t>(flags.max_queue);
   config.request_deadline_seconds = flags.deadline_seconds;
+  config.access_log_path = flags.access_log;
 
   server::Server server(config);
   server.Start();

@@ -2,8 +2,11 @@
 // emits — violation artifacts (checker/trace.hpp, one JSON bundle per
 // violated property) and JSONL span traces (telemetry/telemetry.hpp).
 //
-//   iotsan_trace summary <artifact.json>...
+//   iotsan_trace summary [--percentiles] <artifact.json>...
 //       One compact report per artifact: manifest, property, trace.
+//       With --percentiles, span traces additionally get a per-span-name
+//       latency table (count, p50/p90/p99, max) aggregated through the
+//       same log-linear histogram the runtime metrics use.
 //   iotsan_trace diff <a.json> <b.json>
 //       Structural diff of two artifacts; exit 0 iff equivalent.
 //   iotsan_trace chrome <file>...
@@ -16,17 +19,26 @@
 //       Structurally validate artifacts: schema version, manifest
 //       sanity, trace coherence; with --deployment, recompute the
 //       config fingerprint and require a match.  Exit 0 iff all valid.
+//   iotsan_trace promverify <exposition.txt>...
+//       Validate Prometheus text exposition files (the output of
+//       `iotsan check --metrics-out` or `GET /v1/metrics` with
+//       `?format=prometheus`): every line must parse, histogram
+//       families must be cumulative and monotone.  Exit 0 iff valid.
 //
-// `--summary`, `--diff`, `--chrome`, and `--verify` are accepted as
-// aliases.
+// `--summary`, `--diff`, `--chrome`, `--verify`, and `--promverify`
+// are accepted as aliases.
 #include <cstdio>
+#include <cstdint>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "checker/trace.hpp"
 #include "config/deployment.hpp"
+#include "telemetry/prometheus.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
 
@@ -91,10 +103,33 @@ Input LoadInput(const std::string& path) {
 
 // ---- summary -----------------------------------------------------------------
 
-void PrintSummary(const Input& input) {
+/// Per-span-name duration percentiles for a JSONL trace, aggregated
+/// through the runtime's log-linear histogram so the figures match what
+/// `/v1/metrics` would report for the same distribution (≤12.5% bucket
+/// error).
+void PrintSpanPercentiles(const Input& input) {
+  std::map<std::string, telemetry::Histogram> by_name;
+  for (const json::Value& span : input.spans) {
+    const double dur = span.At("dur_us").AsNumber();
+    by_name[span.At("name").AsString()].Record(
+        dur > 0 ? static_cast<std::uint64_t>(dur) : 0);
+  }
+  std::printf("  %-28s %8s %10s %10s %10s %10s\n", "span", "count",
+              "p50_us", "p90_us", "p99_us", "max_us");
+  for (auto& [name, histogram] : by_name) {
+    const telemetry::HistogramSnapshot snap = histogram.TakeSnapshot();
+    std::printf("  %-28s %8llu %10.0f %10.0f %10.0f %10llu\n", name.c_str(),
+                static_cast<unsigned long long>(snap.count), snap.P50(),
+                snap.P90(), snap.P99(),
+                static_cast<unsigned long long>(snap.max));
+  }
+}
+
+void PrintSummary(const Input& input, bool percentiles) {
   if (!input.is_artifact) {
     std::printf("%s: span trace, %zu span(s)\n", input.path.c_str(),
                 input.spans.size());
+    if (percentiles) PrintSpanPercentiles(input);
     return;
   }
   const checker::ViolationArtifact& a = input.artifact;
@@ -354,13 +389,39 @@ int CmdVerify(const std::vector<std::string>& args) {
   return invalid == 0 ? 0 : 1;
 }
 
+// ---- promverify --------------------------------------------------------------
+
+/// `iotsan_trace promverify <exposition.txt>...`: run the in-repo
+/// Prometheus text-format validator over each file; exit 0 iff all pass.
+int CmdPromVerify(const std::vector<std::string>& paths) {
+  int invalid = 0;
+  for (const std::string& path : paths) {
+    const std::vector<std::string> problems =
+        telemetry::ValidateExposition(ReadFile(path));
+    if (problems.empty()) {
+      std::printf("%s: ok\n", path.c_str());
+      continue;
+    }
+    std::printf("%s: INVALID\n", path.c_str());
+    for (const std::string& problem : problems) {
+      std::printf("  %s\n", problem.c_str());
+    }
+    ++invalid;
+  }
+  return invalid == 0 ? 0 : 1;
+}
+
 int Usage(std::FILE* out) {
   std::fprintf(
       out,
       "iotsan_trace — inspect iotsan violation artifacts and span traces\n"
       "\n"
       "usage:\n"
-      "  iotsan_trace summary <artifact.json>...   summarize artifacts\n"
+      "  iotsan_trace summary [--percentiles] <file>...\n"
+      "                                            summarize artifacts / "
+      "span traces\n"
+      "                                            (--percentiles: per-span "
+      "p50/p90/p99)\n"
       "  iotsan_trace diff <a.json> <b.json>       compare two artifacts "
       "(exit 0 iff identical)\n"
       "  iotsan_trace chrome <file>...             convert artifacts / "
@@ -369,7 +430,12 @@ int Usage(std::FILE* out) {
       "stdout (Perfetto)\n"
       "  iotsan_trace verify <artifact.json>... [--deployment <d.json>]\n"
       "                                            validate artifacts "
-      "(exit 0 iff all valid)\n");
+      "(exit 0 iff all valid)\n"
+      "  iotsan_trace promverify <exposition.txt>...\n"
+      "                                            validate Prometheus "
+      "text exposition\n"
+      "                                            (--metrics-out / "
+      "/v1/metrics output)\n");
   return out == stdout ? 0 : 2;
 }
 
@@ -384,8 +450,19 @@ int main(int argc, char** argv) {
   if (command.rfind("--", 0) == 0) command = command.substr(2);
   try {
     if (command == "summary") {
-      if (args.empty()) return Usage(stderr);
-      for (const std::string& path : args) PrintSummary(LoadInput(path));
+      bool percentiles = false;
+      std::vector<std::string> paths;
+      for (const std::string& arg : args) {
+        if (arg == "--percentiles") {
+          percentiles = true;
+        } else {
+          paths.push_back(arg);
+        }
+      }
+      if (paths.empty()) return Usage(stderr);
+      for (const std::string& path : paths) {
+        PrintSummary(LoadInput(path), percentiles);
+      }
       return 0;
     }
     if (command == "diff") {
@@ -399,6 +476,10 @@ int main(int argc, char** argv) {
     if (command == "verify") {
       if (args.empty()) return Usage(stderr);
       return CmdVerify(args);
+    }
+    if (command == "promverify") {
+      if (args.empty()) return Usage(stderr);
+      return CmdPromVerify(args);
     }
     if (command == "help" || command == "h") return Usage(stdout);
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
