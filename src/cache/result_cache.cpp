@@ -10,6 +10,7 @@
 #include "telemetry/telemetry.hpp"
 #include "util/build_info.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 
 namespace iotsan::cache {
 
@@ -33,6 +34,35 @@ std::string ReadFileOrEmpty(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return buffer.str();
+}
+
+/// Estimated heap bytes one memoized entry holds resident: the key
+/// text, the violation traces (the dominant term for violating
+/// groups), and the fixed struct overhead.  An estimate, not an exact
+/// allocator measurement — it only has to make the
+/// memory.cache_resident_bytes gauge track growth and eviction.
+std::uint64_t ApproxEntryBytes(const std::string& key_text,
+                               const checker::CheckResult& result) {
+  std::uint64_t bytes = sizeof(checker::CheckResult) + key_text.size();
+  bytes += result.depth_histogram.size() * sizeof(std::uint64_t);
+  bytes += result.worker_states_explored.size() * sizeof(std::uint64_t);
+  for (const checker::Violation& v : result.violations) {
+    bytes += sizeof(checker::Violation);
+    bytes += v.property_id.size() + v.category.size() +
+             v.description.size() + v.detail.size() + v.failure.size();
+    for (const std::string& app : v.apps) bytes += app.size();
+    for (const std::string& app : v.model_apps) bytes += app.size();
+    for (const checker::TraceStep& step : v.steps) {
+      bytes += sizeof(checker::TraceStep);
+      bytes += step.kind.size() + step.device.size() +
+               step.attribute.size() + step.value.size() + step.app.size();
+    }
+  }
+  return bytes;
+}
+
+void PublishResidentBytes(std::uint64_t bytes) {
+  if (auto* t = telemetry::Active()) t->memory.cache_resident_bytes = bytes;
 }
 
 }  // namespace
@@ -165,10 +195,12 @@ std::optional<checker::CheckResult> ResultCache::LookupDisk(
         EntryFromJson(json::Parse(text), key, version_);
     if (t != nullptr) t->cache.bytes_read += text.size();
     return result;
-  } catch (const Error&) {
+  } catch (const Error& e) {
     // Corrupt, truncated, stale, or colliding entry: a miss, never an
     // error — the subsequent Store overwrites it with a good one.
     if (t != nullptr) ++t->cache.corrupt_entries;
+    util::LogDebug("cache", "unreadable entry treated as miss",
+                   {{"path", path}, {"reason", e.what()}});
     return std::nullopt;
   }
 }
@@ -216,18 +248,31 @@ void ResultCache::StoreMemory(const GroupKey& key,
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = index_.find(key.digest);
   if (it != index_.end()) {
+    resident_bytes_ -= ApproxEntryBytes(it->second->key_text,
+                                        it->second->result);
     it->second->key_text = key.text;
     it->second->result = result;
+    resident_bytes_ += ApproxEntryBytes(key.text, result);
     lru_.splice(lru_.begin(), lru_, it->second);
+    PublishResidentBytes(resident_bytes_);
     return;
   }
   lru_.push_front({key.digest, key.text, result});
   index_[key.digest] = lru_.begin();
+  resident_bytes_ += ApproxEntryBytes(key.text, result);
   while (lru_.size() > config_.memory_entries) {
+    resident_bytes_ -= ApproxEntryBytes(lru_.back().key_text,
+                                        lru_.back().result);
     index_.erase(lru_.back().digest);
     lru_.pop_back();
     if (auto* t = telemetry::Active()) ++t->cache.evictions;
   }
+  PublishResidentBytes(resident_bytes_);
+}
+
+std::uint64_t ResultCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resident_bytes_;
 }
 
 void ResultCache::StoreDisk(const GroupKey& key,

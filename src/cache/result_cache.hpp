@@ -87,6 +87,11 @@ class ResultCache {
 
   const CacheConfig& config() const { return config_; }
 
+  /// Estimated heap footprint of the in-memory LRU layer, in bytes —
+  /// the value published to the memory.cache_resident_bytes gauge on
+  /// every store/eviction.
+  std::uint64_t resident_bytes() const;
+
   /// The version string keys are minted with (config override or the
   /// build version).
   const std::string& version() const { return version_; }
@@ -119,9 +124,10 @@ class ResultCache {
     std::string key_text;
     checker::CheckResult result;
   };
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::list<MemoryEntry> lru_;  // front = most recent
   std::map<std::uint64_t, std::list<MemoryEntry>::iterator> index_;
+  std::uint64_t resident_bytes_ = 0;  // estimated LRU heap footprint
 
   // Single-flight table: digest -> in-flight computation.
   std::mutex flight_mutex_;

@@ -12,6 +12,7 @@
 #include "props/eval.hpp"
 #include "util/build_info.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
 namespace iotsan::checker {
@@ -324,16 +325,18 @@ void WarnIfSaturated(const CheckResult& result, const CheckOptions& options) {
   // violations.  Emitted once per run (ResetSaturationWarning re-arms),
   // mirrored per check in store.saturation_warnings.
   if (!g_saturation_warned.test_and_set()) {
-    std::fprintf(stderr,
-                 "warning: bitstate store is %.0f%% full (est. omission "
-                 "probability %.2g); coverage is unreliable, increase "
-                 "bitstate_bits\n",
-                 result.store_fill_ratio * 100.0,
-                 result.est_omission_probability);
+    util::LogWarn(
+        "checker",
+        "bitstate store saturated; coverage is unreliable, increase "
+        "bitstate_bits",
+        {{"fill_ratio", result.store_fill_ratio},
+         {"est_omission_probability", result.est_omission_probability},
+         {"store_bytes", result.store_memory_bytes}});
   }
 }
 
-void TickFinishTelemetry(const CheckResult& result) {
+void TickFinishTelemetry(const CheckResult& result,
+                         const CheckOptions& options) {
   auto* t = telemetry::Active();
   if (t == nullptr) return;
   t->search.states_explored += result.states_explored;
@@ -349,6 +352,15 @@ void TickFinishTelemetry(const CheckResult& result) {
       static_cast<std::uint64_t>(result.store_fill_ratio * 1000.0);
   t->store.omission_ppm =
       static_cast<std::uint64_t>(result.est_omission_probability * 1e6);
+  // Memory accounting: the store footprint lands in the gauge for its
+  // kind, and the OS high-water mark is refreshed while it is still
+  // inflated by the live store (sampling later would under-report).
+  if (options.store == StoreKind::kBitstate) {
+    t->memory.store_bitstate_bytes = result.store_memory_bytes;
+  } else {
+    t->memory.store_exhaustive_bytes = result.store_memory_bytes;
+  }
+  telemetry::SamplePeakRss(*t);
 }
 
 // ---- Shared state of a parallel search ---------------------------------------
@@ -618,7 +630,7 @@ class Search {
     // The final snapshot at stop time: budget-stopped runs still report
     // where the search stood.
     if (!result_.completed && options_.on_progress) EmitProgress();
-    TickFinishTelemetry(result_);
+    TickFinishTelemetry(result_, options_);
   }
 
   /// Builds the structured record of one external-event step: the event
@@ -1162,7 +1174,7 @@ CheckResult RunParallel(const model::SystemModel& model,
     options.on_progress(result.Progress());
     if (auto* t = telemetry::Active()) ++t->search.progress_reports;
   }
-  TickFinishTelemetry(result);
+  TickFinishTelemetry(result, options);
   if (auto* t = telemetry::Active()) {
     t->parallel.branch_tasks += branches.size();
     if (owned_pool != nullptr) {

@@ -67,10 +67,12 @@ constexpr FlagSpec kFlagTable[] = {
     {Flag::kAccessLog, "--access-log", "FILE", kCmdServe,
      "append one JSON line per request (request id, status, latency, "
      "queue wait, cache delta) to FILE"},
-    {Flag::kHost, "--host", "ADDR", kCmdServe,
-     "bind address for the HTTP service (default 127.0.0.1)"},
-    {Flag::kPort, "--port", "N", kCmdServe,
-     "TCP port for the HTTP service (0 = kernel-assigned; default 8080)",
+    {Flag::kHost, "--host", "ADDR", kCmdServe | kCmdTop,
+     "bind address for the HTTP service (default 127.0.0.1); top: the "
+     "address to poll"},
+    {Flag::kPort, "--port", "N", kCmdServe | kCmdTop,
+     "TCP port for the HTTP service (0 = kernel-assigned; default 8080); "
+     "top: the port to poll",
      0, 65535},
     {Flag::kHttpWorkers, "--http-workers", "N", kCmdServe,
      "HTTP session threads draining the accept queue (default 4)",
@@ -83,8 +85,20 @@ constexpr FlagSpec kFlagTable[] = {
      "default wall-clock budget per request, seconds (0 = none); "
      "requests may override via options.deadlineSeconds",
      0, 86400},
+    {Flag::kLogLevel, "--log-level", "LEVEL", kCmdServe,
+     "structured-log threshold on stderr: debug, info, warn (default), "
+     "error, or off (docs/observability.md)"},
+    {Flag::kLogJson, "--log-json", nullptr, kCmdServe,
+     "emit structured log lines as JSON objects instead of text"},
+    {Flag::kInterval, "--interval", "SECONDS", kCmdTop,
+     "refresh period of the live status view (default 2)",
+     1, 3600},
+    {Flag::kOnce, "--once", nullptr, kCmdTop,
+     "print one status snapshot and exit (plain output, no screen "
+     "redraw)"},
     {Flag::kHelp, "--help", nullptr,
-     kCmdCheck | kCmdAttribute | kCmdDeps | kCmdPromela | kCmdServe,
+     kCmdCheck | kCmdAttribute | kCmdDeps | kCmdPromela | kCmdServe |
+         kCmdTop,
      "show this help"},
 };
 
@@ -107,6 +121,9 @@ constexpr CommandSpec kCommands[] = {
      "emit the generated Promela model (§6/§8)"},
     {kCmdServe, "serve", "",
      "run the resident HTTP/JSON verification service (docs/server.md)"},
+    {kCmdTop, "top", "",
+     "live terminal view of a running service's in-flight checks "
+     "(polls GET /v1/status)"},
     {0, "cache", "<stats|prune|clear> <DIR>",
      "inspect or maintain an incremental-analysis cache directory"},
     {0, "apps", "", "list the bundled corpus apps"},
@@ -122,6 +139,7 @@ std::string CommandLetters(unsigned mask) {
   if (mask & kCmdDeps) out += 'D';
   if (mask & kCmdPromela) out += 'P';
   if (mask & kCmdServe) out += 'S';
+  if (mask & kCmdTop) out += 'T';
   return out;
 }
 
@@ -175,7 +193,8 @@ void PrintHelp(std::FILE* out) {
     std::fprintf(out, "  %-52s %s\n", invocation.c_str(), cmd.summary);
   }
   std::fprintf(out, "\nflags (letters mark the accepting commands: "
-                    "C=check, A=attribute, D=deps, P=promela, S=serve):\n");
+                    "C=check, A=attribute, D=deps, P=promela, S=serve, "
+                    "T=top):\n");
   for (const FlagSpec& spec : kFlagTable) {
     if (spec.id == Flag::kHelp) continue;
     std::fprintf(out, "  %-4s %-22s %s\n",
@@ -275,6 +294,12 @@ std::vector<std::string> ParseFlags(unsigned command,
       case Flag::kDeadline:
         flags.deadline_seconds = static_cast<int>(number);
         break;
+      case Flag::kLogLevel: flags.log_level = value; break;
+      case Flag::kLogJson: flags.log_json = true; break;
+      case Flag::kInterval:
+        flags.interval_seconds = static_cast<int>(number);
+        break;
+      case Flag::kOnce: flags.once = true; break;
       case Flag::kHelp: flags.help = true; break;
     }
   }

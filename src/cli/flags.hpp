@@ -22,6 +22,7 @@ enum : unsigned {
   kCmdDeps = 1u << 2,
   kCmdPromela = 1u << 3,
   kCmdServe = 1u << 4,
+  kCmdTop = 1u << 5,
 };
 
 enum class Flag {
@@ -48,6 +49,10 @@ enum class Flag {
   kHttpWorkers,
   kMaxQueue,
   kDeadline,
+  kLogLevel,
+  kLogJson,
+  kInterval,
+  kOnce,
   kHelp,
 };
 
@@ -105,12 +110,17 @@ struct CliFlags {
   std::string metrics_out;   // Prometheus exposition file (check)
   std::string access_log;    // JSONL access log file (serve)
   std::uint64_t progress_every = 0;
-  // serve
+  // serve + top
   std::string host = "127.0.0.1";
   int port = 8080;            // 0 = kernel-assigned ephemeral port
   int http_workers = 4;       // HTTP session threads
   int max_queue = 64;         // accept-queue bound before 503 shedding
   int deadline_seconds = 0;   // default per-request budget (0 = none)
+  std::string log_level;      // structured-log threshold ("" = default warn)
+  bool log_json = false;      // structured logs as JSON lines
+  // top
+  int interval_seconds = 2;   // refresh period of the live view
+  bool once = false;          // one snapshot, then exit
 };
 
 /// Parses `args` for `command`, separating positionals from flags.

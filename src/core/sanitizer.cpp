@@ -1,8 +1,10 @@
 #include "core/sanitizer.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <set>
 
 #include "cache/result_cache.hpp"
@@ -242,6 +244,12 @@ SanitizerReport Sanitizer::Check(const SanitizerOptions& options) const {
 
   // End-to-end group latency (cache hits included — that is what a
   // caller observes) and the search throughput computed groups achieved.
+  // The group-progress tallies are shared across pool workers; the
+  // callback itself runs under progress_mutex so subscribers see
+  // groups_done advance monotonically.
+  std::atomic<std::uint64_t> groups_done{0};
+  std::atomic<std::uint64_t> group_states{0};
+  std::mutex progress_mutex;
   auto check_group = [&](const std::vector<std::size_t>& group,
                          const checker::CheckOptions& check) {
     const auto group_start = std::chrono::steady_clock::now();
@@ -256,6 +264,18 @@ SanitizerReport Sanitizer::Check(const SanitizerOptions& options) const {
             static_cast<std::uint64_t>(
                 static_cast<double>(result.states_explored) / result.seconds));
       }
+    }
+    if (options.on_group_progress) {
+      telemetry::GroupProgress progress;
+      progress.groups_total = groups.size();
+      progress.groups_done = groups_done.fetch_add(1) + 1;
+      progress.states_explored =
+          group_states.fetch_add(result.states_explored) +
+          result.states_explored;
+      progress.store_memory_bytes = result.store_memory_bytes;
+      progress.seconds = result.seconds;
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      options.on_group_progress(progress);
     }
     return result;
   };

@@ -37,6 +37,12 @@ struct SanitizerOptions {
   /// re-checks of unchanged (source, config, options) groups skip the
   /// model build and search entirely.  Not owned; nullptr disables.
   cache::ResultCache* cache = nullptr;
+  /// Coarse progress: invoked once per finished related-set group (from
+  /// whichever pool thread ran it; invocations are serialized).  This is
+  /// a separate stream from `check.on_progress` — the per-state progress
+  /// the CLI prints — so wiring it never perturbs CLI output.  Feeds the
+  /// server's in-flight table and SSE events (docs/server.md).
+  telemetry::GroupProgressCallback on_group_progress;
 };
 
 struct SanitizerReport {

@@ -59,6 +59,7 @@ SanitizerOptions MakeCheckOptions(const RequestOptions& options,
   out.allow_dynamic_discovery = options.allow_discovery;
   ApplyCommonCheckOptions(out.check, options, env);
   out.cache = env.cache;
+  out.on_group_progress = env.on_group_progress;
   return out;
 }
 

@@ -221,7 +221,48 @@ void RefreshServerGauges(const ServiceState& state) {
 
 HttpResponse HandleHealth(const ServiceState& state,
                           const std::string& request_id) {
+  const build::BuildInfo& info = build::GetBuildInfo();
   json::Object doc;
+  doc["status"] = state.draining != nullptr &&
+                          state.draining->load(std::memory_order_relaxed)
+                      ? "draining"
+                      : "ok";
+  doc["version"] = info.version;
+  json::Object build_obj;
+  build_obj["compiler"] = info.compiler;
+  build_obj["build_type"] = info.build_type;
+  build_obj["standard"] = info.standard;
+  doc["build"] = std::move(build_obj);
+  doc["uptime_seconds"] = UptimeSeconds(state);
+  if (state.active_connections != nullptr) {
+    doc["active_connections"] = static_cast<std::int64_t>(
+        state.active_connections->load(std::memory_order_relaxed));
+  }
+  if (state.queue_depth != nullptr) {
+    doc["queue_depth"] = static_cast<std::int64_t>(
+        state.queue_depth->load(std::memory_order_relaxed));
+  }
+  if (state.inflight != nullptr) {
+    doc["inflight_requests"] =
+        static_cast<std::int64_t>(state.inflight->size());
+  }
+  if (state.events != nullptr) {
+    doc["event_subscribers"] =
+        static_cast<std::int64_t>(state.events->subscriber_count());
+  }
+  doc["request_id"] = request_id;
+  return JsonResponse(200, std::move(doc));
+}
+
+/// `GET /v1/status`: the live in-flight snapshot `iotsan top` polls —
+/// one object per running verification with monotonically advancing
+/// groups_done, cumulative states, the latest group's store footprint,
+/// and elapsed time against the request deadline.
+HttpResponse HandleStatus(const ServiceState& state,
+                          const std::string& request_id) {
+  if (auto* t = telemetry::Active()) telemetry::SamplePeakRss(*t);
+  json::Object doc;
+  doc["schema"] = "iotsan.status/1";
   doc["status"] = state.draining != nullptr &&
                           state.draining->load(std::memory_order_relaxed)
                       ? "draining"
@@ -235,6 +276,10 @@ HttpResponse HandleHealth(const ServiceState& state,
     doc["queue_depth"] = static_cast<std::int64_t>(
         state.queue_depth->load(std::memory_order_relaxed));
   }
+  doc["peak_rss_bytes"] =
+      static_cast<std::int64_t>(telemetry::ReadPeakRssBytes());
+  doc["inflight"] = state.inflight != nullptr ? state.inflight->Snapshot()
+                                              : json::Array();
   doc["request_id"] = request_id;
   return JsonResponse(200, std::move(doc));
 }
@@ -298,6 +343,24 @@ HttpResponse HandleVersion(const std::string& request_id) {
   return JsonResponse(200, std::move(doc));
 }
 
+/// Unregisters an in-flight entry when the request leaves scope, so a
+/// throwing handler can never leak a forever-"running" row in
+/// /v1/status.
+class InflightGuard {
+ public:
+  InflightGuard(InflightTable* table, std::string request_id)
+      : table_(table), request_id_(std::move(request_id)) {}
+  ~InflightGuard() {
+    if (table_ != nullptr) table_->Finish(request_id_);
+  }
+  InflightGuard(const InflightGuard&) = delete;
+  InflightGuard& operator=(const InflightGuard&) = delete;
+
+ private:
+  InflightTable* table_;
+  std::string request_id_;
+};
+
 HttpResponse HandleCheck(const HttpRequest& request,
                          const ServiceState& state,
                          const std::string& request_id) {
@@ -309,7 +372,66 @@ HttpResponse HandleCheck(const HttpRequest& request,
   // from there into spans and artifact manifests.
   core::ServiceEnv env = state.env;
   env.request_id = request_id;
+
+  // Live introspection: register the request in the /v1/status table and
+  // stream per-group progress to it (and to any SSE subscriber).  The
+  // callback fires from whichever pool thread finished a group;
+  // InflightTable and EventBroker are thread-safe.
+  const std::string fingerprint =
+      config::DeploymentFingerprintHex(check.deployment);
+  if (state.inflight != nullptr) {
+    InflightEntry entry;
+    entry.request_id = request_id;
+    entry.endpoint = "check";
+    entry.deployment = check.deployment.name;
+    entry.fingerprint = fingerprint;
+    entry.deadline_seconds = check.options.deadline_seconds;
+    entry.started = std::chrono::steady_clock::now();
+    state.inflight->Register(entry);
+  }
+  InflightGuard inflight_guard(state.inflight, request_id);
+  if (state.inflight != nullptr || state.events != nullptr) {
+    InflightTable* inflight = state.inflight;
+    EventBroker* events = state.events;
+    env.on_group_progress = [inflight, events, request_id](
+                                const telemetry::GroupProgress& progress) {
+      if (inflight != nullptr) inflight->Update(request_id, progress);
+      if (events != nullptr && events->subscriber_count() > 0) {
+        json::Object data;
+        data["request_id"] = request_id;
+        data["groups_total"] =
+            static_cast<std::int64_t>(progress.groups_total);
+        data["groups_done"] =
+            static_cast<std::int64_t>(progress.groups_done);
+        data["states_explored"] =
+            static_cast<std::int64_t>(progress.states_explored);
+        data["store_memory_bytes"] =
+            static_cast<std::int64_t>(progress.store_memory_bytes);
+        data["group_seconds"] = progress.seconds;
+        events->Publish(
+            {"progress", json::Value(std::move(data)).Dump(0)});
+      }
+    };
+  }
+
   core::CheckResponse result = core::RunCheck(check, env);
+  if (state.events != nullptr && state.events->subscriber_count() > 0) {
+    json::Object data;
+    data["request_id"] = request_id;
+    data["verdict"] =
+        result.report.violations.empty() ? "clean" : "violations";
+    data["exit_code"] = result.exit_code;
+    data["violations"] =
+        static_cast<std::int64_t>(result.report.violations.size());
+    data["related_sets"] =
+        static_cast<std::int64_t>(result.report.related_set_count);
+    data["states_explored"] =
+        static_cast<std::int64_t>(result.report.states_explored);
+    data["seconds"] = result.report.seconds;
+    data["completed"] = result.report.completed;
+    state.events->Publish(
+        {"verdict", json::Value(std::move(data)).Dump(0)});
+  }
   if (auto* t = telemetry::Active()) {
     ++t->server.checks;
     if (!result.report.completed && check.options.deadline_seconds > 0) {
@@ -327,12 +449,10 @@ HttpResponse HandleCheck(const HttpRequest& request,
     // id — the same bundles `iotsan check --artifacts-dir` writes.
     const checker::CheckOptions effective =
         core::MakeCheckOptions(check.options, env).check;
-    const std::string hash =
-        config::DeploymentFingerprintHex(check.deployment);
     json::Array artifacts;
     for (const checker::Violation& violation : result.report.violations) {
       artifacts.push_back(checker::ToJson(checker::MakeArtifact(
-          violation, effective, check.deployment.name, hash)));
+          violation, effective, check.deployment.name, fingerprint)));
     }
     doc["artifacts"] = std::move(artifacts);
   }
@@ -481,6 +601,11 @@ HttpResponse Route(const HttpRequest& request, const ServiceState& state,
                      ? HandleHealth(state, request_id)
                      : ErrorResponse(405, kErrMethod,
                                      "use GET " + path, request_id);
+    } else if (path == "/v1/status") {
+      response = request.method == "GET"
+                     ? HandleStatus(state, request_id)
+                     : ErrorResponse(405, kErrMethod, "use GET " + path,
+                                     request_id);
     } else if (path == "/v1/metrics") {
       response = request.method == "GET"
                      ? HandleMetrics(request, state)

@@ -6,12 +6,19 @@
 //                       properties?, options?} -> verdict + report +
 //                       `text` byte-identical to `iotsan check`
 //   POST /v1/attribute  body adds {"app": {"source": …} | {"corpus": …}}
-//   GET  /v1/health     liveness + drain state
+//   GET  /v1/health     liveness + drain state + version/build + uptime
+//                       + in-flight and queue-depth gauges
+//   GET  /v1/status     live snapshot of in-flight verification requests
+//                       (groups done/total, states/s, store bytes,
+//                       elapsed vs deadline) — what `iotsan top` polls
 //   GET  /v1/metrics    telemetry Registry counters + server gauges;
 //                       content-negotiates JSON (default) vs Prometheus
 //                       text exposition (`?format=prometheus` or an
 //                       Accept header preferring text/plain)
 //   GET  /v1/version    util/build_info
+//   GET  /v1/events     SSE stream of progress/verdict events — served
+//                       by the connection loop (server.cpp), not Route,
+//                       because it holds the response open (chunked)
 //
 // Correlation: every request gets a request id (taken from an
 // X-Request-Id header when well-formed, generated otherwise), echoed in
@@ -30,6 +37,7 @@
 #include <string>
 
 #include "core/service.hpp"
+#include "server/events.hpp"
 #include "server/http.hpp"
 #include "util/error.hpp"
 
@@ -63,6 +71,11 @@ struct ServiceState {
   std::atomic<std::uint64_t>* active_connections = nullptr;
   std::atomic<std::uint64_t>* queue_depth = nullptr;
   std::chrono::steady_clock::time_point start_time{};  // for uptime
+  /// Live-introspection surfaces (server-owned; null in bare-handler
+  /// tests): the /v1/status in-flight table and the /v1/events broker
+  /// check requests publish progress/verdict events to.
+  InflightTable* inflight = nullptr;
+  EventBroker* events = nullptr;
 };
 
 /// A client error with an HTTP status and a machine-readable code;

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -190,8 +191,9 @@ std::string SerializeResponse(const HttpResponse& response) {
   return out;
 }
 
-bool WriteHttpResponse(int fd, const HttpResponse& response) {
-  const std::string wire = SerializeResponse(response);
+namespace {
+
+bool SendAll(int fd, const std::string& wire) {
   std::size_t sent = 0;
   while (sent < wire.size()) {
     const ssize_t n =
@@ -203,6 +205,62 @@ bool WriteHttpResponse(int fd, const HttpResponse& response) {
     sent += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+}  // namespace
+
+bool WriteHttpResponse(int fd, const HttpResponse& response) {
+  return SendAll(fd, SerializeResponse(response));
+}
+
+std::string SerializeStreamHead(const HttpResponse& head) {
+  std::string out = "HTTP/1.1 " + std::to_string(head.status) + " " +
+                    ReasonPhrase(head.status) + "\r\n";
+  out += "Content-Type: " + head.content_type + "\r\n";
+  for (const auto& [name, value] : head.headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "Transfer-Encoding: chunked\r\n";
+  out += "Connection: close\r\n";
+  out += "\r\n";
+  return out;
+}
+
+bool WriteStreamHead(int fd, const HttpResponse& head) {
+  return SendAll(fd, SerializeStreamHead(head));
+}
+
+bool WriteChunk(int fd, std::string_view data) {
+  if (data.empty()) return true;
+  char size_hex[32];
+  std::snprintf(size_hex, sizeof size_hex, "%zx\r\n", data.size());
+  std::string wire = size_hex;
+  wire.append(data.data(), data.size());
+  wire += "\r\n";
+  return SendAll(fd, wire);
+}
+
+bool WriteLastChunk(int fd) { return SendAll(fd, "0\r\n\r\n"); }
+
+bool PeerClosed(int fd) {
+  struct pollfd pfd = {fd, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, 0);
+  if (ready < 0) return errno != EINTR;
+  if (ready == 0) return false;
+  if (pfd.revents & (POLLERR | POLLNVAL)) return true;
+  // POLLIN or POLLHUP: distinguish "peer sent bytes" from "peer closed"
+  // by reading — an SSE client has nothing meaningful to say, so any
+  // payload is discarded.
+  char scratch[256];
+  while (true) {
+    const ssize_t n = ::recv(fd, scratch, sizeof scratch, MSG_DONTWAIT);
+    if (n == 0) return true;  // orderly close
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno != EAGAIN && errno != EWOULDBLOCK;
+    }
+    if (static_cast<std::size_t>(n) < sizeof scratch) return false;
+  }
 }
 
 }  // namespace iotsan::server

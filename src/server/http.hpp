@@ -1,14 +1,16 @@
 // Minimal HTTP/1.1 framing over POSIX sockets — just enough for the
 // verification service: request parsing with hard size limits, response
-// serialization, keep-alive.  No third-party dependencies; TLS,
-// chunked transfer, and multipart bodies are out of scope (the service
-// sits behind a loopback or an ingress proxy).
+// serialization, keep-alive, and chunked response streaming for the SSE
+// endpoint.  No third-party dependencies; TLS, chunked *request* bodies,
+// and multipart bodies are out of scope (the service sits behind a
+// loopback or an ingress proxy).
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <map>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -73,5 +75,34 @@ std::string SerializeResponse(const HttpResponse& response);
 
 /// Writes the full serialized response; false on socket error.
 bool WriteHttpResponse(int fd, const HttpResponse& response);
+
+// ---- Response streaming (Transfer-Encoding: chunked) -------------------------
+//
+// The SSE endpoint (`GET /v1/events`) holds a response open for the
+// connection's lifetime, so its length cannot be declared up front.
+// These primitives frame an open-ended body the HTTP/1.1 way: a head
+// with `Transfer-Encoding: chunked` instead of Content-Length, then one
+// hex-sized chunk per write, then a zero-length terminator chunk.
+
+/// Status line + headers for a streamed response: Content-Type, the
+/// extra headers, `Transfer-Encoding: chunked`, `Connection: close`.
+/// `head.body` is ignored — the body follows as chunks.
+std::string SerializeStreamHead(const HttpResponse& head);
+
+/// Writes the streamed-response head; false on socket error.
+bool WriteStreamHead(int fd, const HttpResponse& head);
+
+/// Writes one chunk (`<hex size>\r\n<data>\r\n`); false on socket error
+/// or peer disconnect.  Empty data is skipped (a zero-size chunk would
+/// terminate the stream — use WriteLastChunk for that).
+bool WriteChunk(int fd, std::string_view data);
+
+/// Writes the zero-length terminator chunk ending the stream.
+bool WriteLastChunk(int fd);
+
+/// True when the peer has hung up (orderly close, reset, or error).
+/// Non-blocking: a quiet-but-open connection reports false.  Any bytes
+/// the peer did send are discarded — the SSE stream reads nothing.
+bool PeerClosed(int fd);
 
 }  // namespace iotsan::server

@@ -14,12 +14,18 @@
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
+#include "util/log.hpp"
 
 namespace iotsan::server {
 
 namespace {
 
 constexpr int kAcceptPollMs = 200;
+/// SSE stream cadence: how often the event queue and the peer's
+/// liveness are checked, and how often an idle stream emits a comment
+/// frame so intermediaries do not time it out.
+constexpr int kEventPollMs = 100;
+constexpr int kEventKeepaliveMs = 15'000;
 
 void CloseFd(int fd) {
   if (fd >= 0) ::close(fd);
@@ -35,7 +41,8 @@ std::uint64_t ElapsedUs(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 AccessLog::AccessLog(const std::string& path)
-    : out_(path, std::ios::app), epoch_(std::chrono::system_clock::now()) {
+    : path_(path), out_(path, std::ios::app),
+      epoch_(std::chrono::system_clock::now()) {
   if (!out_) throw Error("serve: cannot open access log: " + path);
 }
 
@@ -60,8 +67,35 @@ void AccessLog::Write(const Entry& entry) {
   line["cache_misses"] = static_cast<std::int64_t>(entry.cache_misses);
   const std::string text = json::Value(std::move(line)).Dump(0);
   std::lock_guard<std::mutex> lock(mutex_);
-  out_ << text << '\n';
+  buffer_ += text;
+  buffer_ += '\n';
+  if (buffer_.size() >= kFlushThresholdBytes) FlushLocked();
+}
+
+void AccessLog::FlushLocked() {
+  if (!buffer_.empty()) {
+    out_ << buffer_;
+    buffer_.clear();
+  }
   out_.flush();
+}
+
+void AccessLog::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FlushLocked();
+}
+
+void AccessLog::Reopen() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FlushLocked();
+  std::ofstream reopened(path_, std::ios::app);
+  if (!reopened) {
+    util::LogWarn("server", "access log reopen failed; keeping old stream",
+                  {{"path", path_}});
+    return;
+  }
+  out_ = std::move(reopened);
+  util::LogInfo("server", "access log reopened", {{"path", path_}});
 }
 
 Server::Server(ServerConfig config) : config_(std::move(config)) {}
@@ -99,6 +133,8 @@ void Server::Start() {
   service_.active_connections = &active_connections_;
   service_.queue_depth = &queue_depth_;
   service_.start_time = std::chrono::steady_clock::now();
+  service_.inflight = &inflight_;
+  service_.events = &events_;
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw Error("serve: cannot create socket");
@@ -159,7 +195,12 @@ void Server::Stop() {
   }
   pool_.reset();
   running_.store(false);
+  if (access_log_ != nullptr) access_log_->Flush();
   if (auto* sink = telemetry::ActiveTrace()) sink->Flush();
+}
+
+void Server::RotateAccessLog() {
+  if (access_log_ != nullptr) access_log_->Reopen();
 }
 
 Server::Stats Server::stats() const {
@@ -267,13 +308,42 @@ std::uint64_t Server::ServeConnection(int fd, std::uint64_t queue_wait_us) {
             ? t_before->cache.misses.load(std::memory_order_relaxed)
             : 0;
     switch (status) {
-      case ReadStatus::kOk:
+      case ReadStatus::kOk: {
         if (auto* t = telemetry::Active()) {
           t->server_hist.request_body_bytes.Record(request.body.size());
+        }
+        const std::string path =
+            request.target.substr(0, request.target.find('?'));
+        if (request.method == "GET" && path == "/v1/events") {
+          // The SSE endpoint holds its response open for the rest of
+          // the connection (chunked frames), so it is served here,
+          // outside Route's one-request/one-response shape.
+          if (auto* t = telemetry::Active()) ++t->server.requests;
+          const auto id_header = request.headers.find("x-request-id");
+          const std::string stream_id =
+              id_header != request.headers.end() &&
+                      IsValidRequestId(id_header->second)
+                  ? id_header->second
+                  : GenerateRequestId();
+          const std::uint64_t stream_us = ServeEventStream(fd, stream_id);
+          if (auto* t = telemetry::Active()) ++t->server.responses_ok;
+          if (access_log_ != nullptr) {
+            AccessLog::Entry entry;
+            entry.request_id = stream_id;
+            entry.method = request.method;
+            entry.path = path;
+            entry.status = 200;
+            entry.latency_us = stream_us;
+            entry.queue_us = request_queue_us;
+            access_log_->Write(entry);
+          }
+          CloseFd(fd);
+          return served + 1;
         }
         response = Route(request, service_, &context);
         ++served;
         break;
+      }
       case ReadStatus::kClosed:
       case ReadStatus::kInterrupted:
         CloseFd(fd);
@@ -343,6 +413,51 @@ std::uint64_t Server::ServeConnection(int fd, std::uint64_t queue_wait_us) {
       return served;
     }
   }
+}
+
+std::uint64_t Server::ServeEventStream(int fd,
+                                       const std::string& request_id) {
+  const auto start = std::chrono::steady_clock::now();
+  std::shared_ptr<EventBroker::Subscription> subscription =
+      events_.Subscribe();
+  util::LogDebug("server", "sse stream opened",
+                 {{"request_id", request_id}});
+  HttpResponse head;
+  head.status = 200;
+  head.content_type = "text/event-stream";
+  head.headers.emplace_back("Cache-Control", "no-cache");
+  head.headers.emplace_back("X-Request-Id", request_id);
+  bool ok = WriteStreamHead(fd, head);
+  if (ok) {
+    // Opening event: the subscriber knows the stream is live before the
+    // first progress tick (which may be seconds away).
+    ok = WriteChunk(fd, "event: hello\ndata: {\"request_id\":\"" +
+                            request_id + "\"}\n\n");
+  }
+  int idle_ms = 0;
+  while (ok && !stopping_.load(std::memory_order_relaxed)) {
+    Event event;
+    if (subscription->Next(event, kEventPollMs)) {
+      idle_ms = 0;
+      ok = WriteChunk(fd, "event: " + event.name + "\ndata: " +
+                              event.data + "\n\n");
+      continue;
+    }
+    if (PeerClosed(fd)) break;
+    idle_ms += kEventPollMs;
+    if (idle_ms >= kEventKeepaliveMs) {
+      // SSE comment frame: ignored by clients, keeps proxies from
+      // timing out an idle stream.
+      ok = WriteChunk(fd, ": keepalive\n\n");
+      idle_ms = 0;
+    }
+  }
+  if (ok) WriteLastChunk(fd);
+  events_.Unsubscribe(subscription);
+  util::LogDebug("server", "sse stream closed",
+                 {{"request_id", request_id},
+                  {"dropped_events", subscription->dropped()}});
+  return ElapsedUs(start);
 }
 
 }  // namespace iotsan::server

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "cache/result_cache.hpp"
+#include "server/events.hpp"
 #include "server/handlers.hpp"
 #include "util/thread_pool.hpp"
 
@@ -71,6 +72,13 @@ struct ServerConfig {
 };
 
 /// Append-only JSONL request log shared by the session threads.
+///
+/// Writes are buffered: a request appends its line to an in-memory
+/// buffer under the mutex and only crosses into the kernel once the
+/// buffer passes a threshold — a health-check storm costs string
+/// appends, not one write(2)+flush per request.  The buffer is drained
+/// explicitly on shutdown (Server::Stop) and rotation (Reopen), so the
+/// file is always complete when anyone is told to read it.
 class AccessLog {
  public:
   /// Opens `path` for append; throws iotsan::Error when it cannot.
@@ -89,12 +97,28 @@ class AccessLog {
     std::uint64_t cache_misses = 0;   // delta across this request
   };
 
-  /// Serializes `entry` as one JSON line and flushes it.
+  /// Serializes `entry` as one buffered JSON line.
   void Write(const Entry& entry);
 
+  /// Drains the buffer to disk and flushes the stream.
+  void Flush();
+
+  /// Rotation support (SIGHUP): flushes, closes, and reopens the same
+  /// path — an external rotator renames the old file first, Reopen
+  /// starts the new one.  On reopen failure the old stream is kept and
+  /// a warning is logged; the server keeps serving.
+  void Reopen();
+
  private:
+  /// Buffered bytes before an implicit drain.
+  static constexpr std::size_t kFlushThresholdBytes = 8192;
+
+  void FlushLocked();
+
+  std::string path_;
   std::mutex mutex_;
   std::ofstream out_;
+  std::string buffer_;  // complete lines awaiting a drain
   std::chrono::system_clock::time_point epoch_{};
 };
 
@@ -126,6 +150,10 @@ class Server {
   cache::ResultCache& result_cache() { return *cache_; }
   const ServerConfig& config() const { return config_; }
 
+  /// Flushes and reopens the access log (SIGHUP rotation); no-op when
+  /// no access log is configured.
+  void RotateAccessLog();
+
   struct Stats {
     std::uint64_t connections_accepted = 0;
     std::uint64_t requests_served = 0;
@@ -141,6 +169,10 @@ class Server {
   /// accept queue (attributed to its first request).
   std::uint64_t ServeConnection(int fd, std::uint64_t queue_wait_us);
   bool PopConnection(int& fd, std::uint64_t& queue_wait_us);
+  /// Holds `fd` open as an SSE stream (`GET /v1/events`): subscribes to
+  /// the broker, relays events as chunked frames, ends on client
+  /// disconnect or drain.  Returns the stream duration in microseconds.
+  std::uint64_t ServeEventStream(int fd, const std::string& request_id);
 
   ServerConfig config_;
   int listen_fd_ = -1;
@@ -149,6 +181,8 @@ class Server {
   std::unique_ptr<util::ThreadPool> pool_;
   std::unique_ptr<cache::ResultCache> cache_;
   ServiceState service_;
+  InflightTable inflight_;
+  EventBroker events_;
 
   std::thread acceptor_;
   std::vector<std::thread> sessions_;

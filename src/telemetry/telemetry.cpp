@@ -1,5 +1,7 @@
 #include "telemetry/telemetry.hpp"
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <bit>
 #include <cinttypes>
@@ -109,6 +111,14 @@ std::vector<Sample> Registry::Snapshot() const {
   add("server.active_connections", server.active_connections,
       SampleKind::kGauge);
   add("server.queue_depth", server.queue_depth, SampleKind::kGauge);
+  add("memory.store_exhaustive_bytes", memory.store_exhaustive_bytes,
+      SampleKind::kGauge);
+  add("memory.store_bitstate_bytes", memory.store_bitstate_bytes,
+      SampleKind::kGauge);
+  add("memory.trace_buffer_bytes", memory.trace_buffer_bytes);
+  add("memory.cache_resident_bytes", memory.cache_resident_bytes,
+      SampleKind::kGauge);
+  add("memory.peak_rss_bytes", memory.peak_rss_bytes, SampleKind::kGauge);
   return out;
 }
 
@@ -162,7 +172,9 @@ void Registry::Reset() {
            &server.checks, &server.attributions, &server.bad_requests,
            &server.shed_queue_full, &server.shed_oversized,
            &server.deadline_hits, &server.active_connections,
-           &server.queue_depth,
+           &server.queue_depth, &memory.store_exhaustive_bytes,
+           &memory.store_bitstate_bytes, &memory.trace_buffer_bytes,
+           &memory.cache_resident_bytes, &memory.peak_rss_bytes,
        }) {
     c->store(0);
   }
@@ -188,6 +200,7 @@ json::Value Registry::ToJson() const {
   json::Object parallel_obj;
   json::Object cache_obj;
   json::Object server_obj;
+  json::Object memory_obj;
   for (const Sample& sample : Snapshot()) {
     const auto dot = sample.name.find('.');
     const std::string group = sample.name.substr(0, dot);
@@ -203,6 +216,8 @@ json::Value Registry::ToJson() const {
       cache_obj[key] = value;
     } else if (group == "server") {
       server_obj[key] = value;
+    } else if (group == "memory") {
+      memory_obj[key] = value;
     } else {
       store_obj[key] = value;
     }
@@ -214,7 +229,27 @@ json::Value Registry::ToJson() const {
   doc["parallel"] = json::Value(std::move(parallel_obj));
   doc["cache"] = json::Value(std::move(cache_obj));
   doc["server"] = json::Value(std::move(server_obj));
+  doc["memory"] = json::Value(std::move(memory_obj));
   return json::Value(std::move(doc));
+}
+
+std::uint64_t ReadPeakRssBytes() {
+  struct rusage usage = {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes (BSD reports bytes; this repo
+  // targets POSIX/Linux — see the server's socket layer).
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+std::uint64_t SamplePeakRss(Registry& registry) {
+  const std::uint64_t rss = ReadPeakRssBytes();
+  // Monotonic even if the platform lies: never write a smaller value.
+  std::uint64_t seen = registry.memory.peak_rss_bytes.load(
+      std::memory_order_relaxed);
+  while (rss > seen && !registry.memory.peak_rss_bytes.compare_exchange_weak(
+                           seen, rss, std::memory_order_relaxed)) {
+  }
+  return std::max(rss, seen);
 }
 
 // ---- Histogram ---------------------------------------------------------------
@@ -363,7 +398,9 @@ void TraceSink::EndSpan(const std::string& name, std::uint64_t start_us,
   if (attrs != nullptr && !attrs->empty()) {
     line["attrs"] = json::Value(*attrs);
   }
-  out_ << json::Value(std::move(line)).Dump() << '\n';
+  const std::string text = json::Value(std::move(line)).Dump();
+  out_ << text << '\n';
+  if (auto* t = Active()) t->memory.trace_buffer_bytes += text.size() + 1;
 }
 
 // ---- ScopedSpan --------------------------------------------------------------

@@ -143,6 +143,21 @@ struct ServerCounters {
   Counter queue_depth{0};          // gauge: accepted-but-unserved conns
 };
 
+/// Byte-level memory accounting: where a verification's footprint
+/// lives.  The store gauges split by kind so a bitstate run's fixed
+/// bit-field and an exhaustive run's growing hash sets are separately
+/// visible; peak_rss_bytes is the OS's high-water mark for the whole
+/// process (monotonic by construction — getrusage never goes down).
+/// These are the baseline the planned COLLAPSE/arena compression work
+/// will be measured against.
+struct MemoryGauges {
+  Counter store_exhaustive_bytes{0};  // gauge: last exhaustive-store footprint
+  Counter store_bitstate_bytes{0};    // gauge: last bitstate bit-field size
+  Counter trace_buffer_bytes{0};      // JSONL span bytes emitted (monotonic)
+  Counter cache_resident_bytes{0};    // gauge: in-memory result-cache footprint
+  Counter peak_rss_bytes{0};          // gauge: process peak RSS, monotonic
+};
+
 /// Whether a sample is a monotonically increasing counter or a
 /// last-written gauge — Prometheus exposition needs the distinction for
 /// its `# TYPE` lines (JSON output carries values only and is unchanged
@@ -264,6 +279,7 @@ class Registry {
   ParallelCounters parallel;
   CacheCounters cache;
   ServerCounters server;
+  MemoryGauges memory;
 
   SearchHistograms search_hist;
   CacheHistograms cache_hist;
@@ -278,7 +294,8 @@ class Registry {
   std::vector<HistogramSample> SnapshotHistograms() const;
 
   /// {"search": {...}, "pipeline": {...}, "store": {...},
-  ///  "parallel": {...}, "cache": {...}, "server": {...}}.
+  ///  "parallel": {...}, "cache": {...}, "server": {...},
+  ///  "memory": {...}}.
   json::Value ToJson() const;
 
   void Reset();
@@ -288,6 +305,15 @@ class Registry {
 /// branch instrumented code pays).
 Registry* Active();
 void SetActive(Registry* registry);
+
+/// The process's peak resident-set size in bytes (getrusage), 0 when
+/// unavailable.  Monotonic: the kernel's high-water mark never drops.
+std::uint64_t ReadPeakRssBytes();
+
+/// Samples ReadPeakRssBytes() into `registry.memory.peak_rss_bytes`
+/// and returns the value — called at check completion and on every
+/// metrics/status snapshot so the gauge stays fresh without a poller.
+std::uint64_t SamplePeakRss(Registry& registry);
 
 // ---- Phase spans and the JSONL trace sink ------------------------------------
 
@@ -407,5 +433,23 @@ using ProgressCallback = std::function<void(const ProgressSnapshot&)>;
 
 /// One-line human rendering ("progress: 12000 states (3400/s), ...").
 std::string FormatProgress(const ProgressSnapshot& snapshot);
+
+// ---- Group progress ----------------------------------------------------------
+
+/// Coarse progress of one whole verification: how many related-set
+/// groups have finished out of how many dispatched.  Emitted by the
+/// sanitizer after each group completes (from whichever pool thread ran
+/// it), separately from the per-state ProgressSnapshot stream so the
+/// CLI's stderr cadence is untouched.  This is what feeds the server's
+/// in-flight request table (`GET /v1/status`) and SSE progress events.
+struct GroupProgress {
+  std::uint64_t groups_total = 0;
+  std::uint64_t groups_done = 0;     // completed groups, including this one
+  std::uint64_t states_explored = 0; // cumulative across finished groups
+  std::uint64_t store_memory_bytes = 0;  // this group's store footprint
+  double seconds = 0;                // this group's search time
+};
+
+using GroupProgressCallback = std::function<void(const GroupProgress&)>;
 
 }  // namespace iotsan::telemetry

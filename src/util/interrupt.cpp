@@ -21,6 +21,12 @@ extern "C" void HandleInterrupt(int signum) {
   g_signal = signum;
 }
 
+std::atomic<bool> g_rotate_requested{false};
+
+extern "C" void HandleRotate(int) {
+  g_rotate_requested.store(true, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 const std::atomic<bool>& InstallInterruptHandlers() {
@@ -48,6 +54,20 @@ int InterruptExitCode() { return 128 + InterruptSignal(); }
 void ResetInterruptFlag() {
   g_signal = 0;
   g_interrupted.store(false, std::memory_order_relaxed);
+}
+
+void InstallRotateHandler() {
+  struct sigaction action = {};
+  action.sa_handler = HandleRotate;
+  sigemptyset(&action.sa_mask);
+  // SA_RESTART: a rotation request must not abort a blocking accept —
+  // the flag is polled on the acceptor's normal cadence.
+  action.sa_flags = SA_RESTART;
+  sigaction(SIGHUP, &action, nullptr);
+}
+
+bool TakeRotateRequest() {
+  return g_rotate_requested.exchange(false, std::memory_order_relaxed);
 }
 
 }  // namespace iotsan::util

@@ -37,4 +37,13 @@ int InterruptExitCode();
 /// Clears the flag (tests; a server draining one listener generation).
 void ResetInterruptFlag();
 
+/// Installs a SIGHUP handler (idempotent) that sets a rotate-request
+/// flag instead of killing the process — the conventional log-rotation
+/// signal.  The server polls TakeRotateRequest() between accepts and
+/// reopens its access log when it fires.
+void InstallRotateHandler();
+
+/// True once per SIGHUP since the last call (consume semantics).
+bool TakeRotateRequest();
+
 }  // namespace iotsan::util

@@ -1,0 +1,200 @@
+#include "util/log.hpp"
+
+#include <sys/time.h>
+
+#include <cinttypes>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+
+namespace iotsan::util {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::atomic<bool> g_json{false};
+std::atomic<std::FILE*> g_stream{nullptr};  // nullptr = stderr
+std::mutex g_write_mutex;
+
+/// "2026-08-08T12:34:56.123Z" into `buf` (UTC, millisecond precision).
+void FormatTimestamp(char* buf, std::size_t size) {
+  struct timeval tv = {};
+  gettimeofday(&tv, nullptr);
+  struct tm tm_utc = {};
+  const time_t secs = tv.tv_sec;
+  gmtime_r(&secs, &tm_utc);
+  char date[32];
+  std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S", &tm_utc);
+  std::snprintf(buf, size, "%s.%03ldZ", date,
+                static_cast<long>(tv.tv_usec / 1000));
+}
+
+void AppendJsonEscaped(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendFieldValueJson(std::string& out, const LogField& field) {
+  char num[40];
+  switch (field.kind) {
+    case LogField::Kind::kString:
+      AppendJsonEscaped(out, field.str);
+      break;
+    case LogField::Kind::kInt:
+      std::snprintf(num, sizeof(num), "%" PRId64, field.i);
+      out += num;
+      break;
+    case LogField::Kind::kUint:
+      std::snprintf(num, sizeof(num), "%" PRIu64, field.u);
+      out += num;
+      break;
+    case LogField::Kind::kDouble:
+      std::snprintf(num, sizeof(num), "%g", field.d);
+      out += num;
+      break;
+    case LogField::Kind::kBool:
+      out += field.b ? "true" : "false";
+      break;
+  }
+}
+
+void AppendFieldValueText(std::string& out, const LogField& field) {
+  if (field.kind != LogField::Kind::kString) {
+    AppendFieldValueJson(out, field);
+    return;
+  }
+  // Bare when unambiguous; quoted when the value contains separators.
+  const bool needs_quotes =
+      field.str.empty() ||
+      field.str.find_first_of(" \t\n\"=") != std::string_view::npos;
+  if (needs_quotes) {
+    AppendJsonEscaped(out, field.str);
+  } else {
+    out += field.str;
+  }
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+bool ParseLogLevel(std::string_view text, LogLevel& out) {
+  if (text == "debug") out = LogLevel::kDebug;
+  else if (text == "info") out = LogLevel::kInfo;
+  else if (text == "warn" || text == "warning") out = LogLevel::kWarn;
+  else if (text == "error") out = LogLevel::kError;
+  else if (text == "off" || text == "none") out = LogLevel::kOff;
+  else return false;
+  return true;
+}
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         g_level.load(std::memory_order_relaxed);
+}
+
+void SetLogJson(bool json) {
+  g_json.store(json, std::memory_order_relaxed);
+}
+
+void SetLogStream(std::FILE* stream) {
+  g_stream.store(stream, std::memory_order_relaxed);
+}
+
+void Log(LogLevel level, std::string_view component,
+         std::string_view message, std::initializer_list<LogField> fields) {
+  if (!LogEnabled(level)) return;
+  char ts[48];
+  FormatTimestamp(ts, sizeof(ts));
+
+  std::string line;
+  line.reserve(128);
+  if (g_json.load(std::memory_order_relaxed)) {
+    line += "{\"ts\":\"";
+    line += ts;
+    line += "\",\"level\":\"";
+    line += LogLevelName(level);
+    line += "\",\"component\":";
+    AppendJsonEscaped(line, component);
+    line += ",\"msg\":";
+    AppendJsonEscaped(line, message);
+    for (const LogField& field : fields) {
+      line += ',';
+      AppendJsonEscaped(line, field.key);
+      line += ':';
+      AppendFieldValueJson(line, field);
+    }
+    line += "}\n";
+  } else {
+    line += ts;
+    line += ' ';
+    line += LevelTag(level);
+    line += ' ';
+    line += component;
+    line += ": ";
+    line += message;
+    for (const LogField& field : fields) {
+      line += ' ';
+      line += field.key;
+      line += '=';
+      AppendFieldValueText(line, field);
+    }
+    line += '\n';
+  }
+
+  std::FILE* stream = g_stream.load(std::memory_order_relaxed);
+  if (stream == nullptr) stream = stderr;
+  // One locked write per line: loggers on different threads never
+  // interleave, and a line is visible as soon as the call returns.
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fwrite(line.data(), 1, line.size(), stream);
+  std::fflush(stream);
+}
+
+}  // namespace iotsan::util

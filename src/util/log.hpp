@@ -1,0 +1,123 @@
+// Structured, leveled logging for the long-running layers.
+//
+// One process-global sink with a level threshold, shared by the
+// checker's diagnostics, the cache, and the HTTP service.  Design
+// goals, in order:
+//   * lock-cheap — `Enabled(level)` is a single relaxed atomic load,
+//     so a suppressed log call costs one branch; an emitted line is
+//     formatted entirely off-lock and written with one locked write,
+//     so concurrent loggers never interleave characters.
+//   * structured — every line carries a level, a component ("checker",
+//     "server", ...), a message, and optional typed fields; the sink
+//     renders either the human text form or one JSON object per line
+//     (JSONL), switchable at startup (`iotsan serve --log-json`).
+//   * request-id-aware — a field named "request_id" is how server-side
+//     lines join the access log, spans, and violation artifacts; the
+//     helpers below make passing it uniform.
+//
+// The CLI's own operator surface (usage errors, progress lines, the
+// check report) intentionally does NOT route through here: its exact
+// bytes are part of the contract.  This sink is for diagnostics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+namespace iotsan::util {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,  // threshold-only: suppresses everything
+};
+
+/// "debug", "info", "warn", "error" (what the JSON form emits).
+const char* LogLevelName(LogLevel level);
+
+/// Parses a `--log-level` value; false on anything unknown.
+bool ParseLogLevel(std::string_view text, LogLevel& out);
+
+/// One typed key/value attached to a log line.  Keys and string values
+/// must outlive the Log() call (string literals and locals both do).
+struct LogField {
+  enum class Kind { kString, kInt, kUint, kDouble, kBool };
+  std::string_view key;
+  Kind kind = Kind::kString;
+  std::string_view str;
+  std::int64_t i = 0;
+  std::uint64_t u = 0;
+  double d = 0;
+  bool b = false;
+
+  LogField(std::string_view k, std::string_view v)
+      : key(k), kind(Kind::kString), str(v) {}
+  LogField(std::string_view k, const char* v)
+      : key(k), kind(Kind::kString), str(v) {}
+  LogField(std::string_view k, const std::string& v)
+      : key(k), kind(Kind::kString), str(v) {}
+  LogField(std::string_view k, std::int64_t v)
+      : key(k), kind(Kind::kInt), i(v) {}
+  LogField(std::string_view k, int v)
+      : key(k), kind(Kind::kInt), i(v) {}
+  LogField(std::string_view k, std::uint64_t v)
+      : key(k), kind(Kind::kUint), u(v) {}
+  LogField(std::string_view k, double v)
+      : key(k), kind(Kind::kDouble), d(v) {}
+  LogField(std::string_view k, bool v)
+      : key(k), kind(Kind::kBool), b(v) {}
+};
+
+/// The emission threshold (default kWarn, so library code can warn
+/// without the CLI opting in, and info/debug stay silent until asked).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// True when a line at `level` would be emitted — the one branch a
+/// suppressed call site pays.
+bool LogEnabled(LogLevel level);
+
+/// Switches the line format: human text (default) or JSONL.
+void SetLogJson(bool json);
+
+/// Redirects output (default stderr).  Passing nullptr restores stderr.
+/// The stream is borrowed, never closed.
+void SetLogStream(std::FILE* stream);
+
+/// Emits one line: level + component + message + fields.  Thread-safe;
+/// each call produces exactly one complete line.
+void Log(LogLevel level, std::string_view component,
+         std::string_view message,
+         std::initializer_list<LogField> fields = {});
+
+inline void LogDebug(std::string_view component, std::string_view message,
+                     std::initializer_list<LogField> fields = {}) {
+  if (LogEnabled(LogLevel::kDebug)) {
+    Log(LogLevel::kDebug, component, message, fields);
+  }
+}
+inline void LogInfo(std::string_view component, std::string_view message,
+                    std::initializer_list<LogField> fields = {}) {
+  if (LogEnabled(LogLevel::kInfo)) {
+    Log(LogLevel::kInfo, component, message, fields);
+  }
+}
+inline void LogWarn(std::string_view component, std::string_view message,
+                    std::initializer_list<LogField> fields = {}) {
+  if (LogEnabled(LogLevel::kWarn)) {
+    Log(LogLevel::kWarn, component, message, fields);
+  }
+}
+inline void LogError(std::string_view component, std::string_view message,
+                     std::initializer_list<LogField> fields = {}) {
+  if (LogEnabled(LogLevel::kError)) {
+    Log(LogLevel::kError, component, message, fields);
+  }
+}
+
+}  // namespace iotsan::util

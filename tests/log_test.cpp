@@ -1,0 +1,205 @@
+// Structured-log tests: level parsing and thresholds, the text and
+// JSONL line formats, escaping, and the one-intact-line-per-message
+// guarantee under concurrent loggers (the TSan job runs this binary).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/log.hpp"
+
+namespace iotsan::util {
+namespace {
+
+/// Redirects the log sink to a tmpfile for the test's duration and
+/// restores the process-global defaults afterwards, so test order
+/// cannot leak state.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    stream_ = std::tmpfile();
+    ASSERT_NE(stream_, nullptr);
+    SetLogStream(stream_);
+    SetLogLevel(LogLevel::kDebug);
+    SetLogJson(false);
+  }
+
+  void TearDown() override {
+    SetLogStream(nullptr);
+    SetLogLevel(LogLevel::kWarn);
+    SetLogJson(false);
+    std::fclose(stream_);
+  }
+
+  /// Everything written so far, as one string.
+  std::string Captured() {
+    std::fflush(stream_);
+    std::rewind(stream_);
+    std::string out;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), stream_)) > 0) {
+      out.append(buf, n);
+    }
+    return out;
+  }
+
+  std::vector<std::string> CapturedLines() {
+    std::vector<std::string> lines;
+    std::istringstream in(Captured());
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+  }
+
+  std::FILE* stream_ = nullptr;
+};
+
+TEST(LogLevelTest, ParseAcceptsKnownNamesOnly) {
+  LogLevel level = LogLevel::kOff;
+  EXPECT_TRUE(ParseLogLevel("debug", level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("info", level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("warn", level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("warning", level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("error", level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("off", level));
+  EXPECT_EQ(level, LogLevel::kOff);
+  EXPECT_FALSE(ParseLogLevel("verbose", level));
+  EXPECT_FALSE(ParseLogLevel("", level));
+  EXPECT_FALSE(ParseLogLevel("WARN", level));
+}
+
+TEST(LogLevelTest, NamesRoundTripThroughParse) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff}) {
+    LogLevel parsed = LogLevel::kDebug;
+    EXPECT_TRUE(ParseLogLevel(LogLevelName(level), parsed));
+    EXPECT_EQ(parsed, level);
+  }
+}
+
+TEST_F(LogTest, ThresholdSuppressesLowerLevels) {
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_FALSE(LogEnabled(LogLevel::kDebug));
+  EXPECT_FALSE(LogEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(LogEnabled(LogLevel::kWarn));
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+
+  LogDebug("test", "hidden debug");
+  LogInfo("test", "hidden info");
+  LogWarn("test", "visible warn");
+  LogError("test", "visible error");
+
+  const std::string text = Captured();
+  EXPECT_EQ(text.find("hidden"), std::string::npos);
+  EXPECT_NE(text.find("visible warn"), std::string::npos);
+  EXPECT_NE(text.find("visible error"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSuppressesEverything) {
+  SetLogLevel(LogLevel::kOff);
+  LogError("test", "even errors");
+  EXPECT_TRUE(Captured().empty());
+}
+
+TEST_F(LogTest, TextLineCarriesLevelComponentMessageAndFields) {
+  LogInfo("server", "request done",
+          {{"request_id", "abc123"}, {"status", 200}, {"ok", true}});
+  const std::vector<std::string> lines = CapturedLines();
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+  EXPECT_NE(line.find(" INFO server: request done"), std::string::npos);
+  EXPECT_NE(line.find("request_id=abc123"), std::string::npos);
+  EXPECT_NE(line.find("status=200"), std::string::npos);
+  EXPECT_NE(line.find("ok=true"), std::string::npos);
+  // Timestamp prefix: ISO-8601 UTC with millisecond precision.
+  EXPECT_EQ(line[4], '-');
+  EXPECT_EQ(line[10], 'T');
+  EXPECT_EQ(line[23], 'Z');
+}
+
+TEST_F(LogTest, TextQuotesValuesWithSeparators) {
+  LogWarn("cache", "odd values",
+          {{"path", "/tmp/with space"}, {"empty", ""}, {"plain", "bare"}});
+  const std::string text = Captured();
+  EXPECT_NE(text.find("path=\"/tmp/with space\""), std::string::npos);
+  EXPECT_NE(text.find("empty=\"\""), std::string::npos);
+  EXPECT_NE(text.find("plain=bare"), std::string::npos);
+}
+
+TEST_F(LogTest, JsonLinesParseAndCarryTypedFields) {
+  SetLogJson(true);
+  LogError("checker", "store \"full\"\n",
+           {{"bytes", std::uint64_t{1} << 33},
+            {"ratio", 0.5},
+            {"fatal", false},
+            {"note", "tab\there"}});
+  const std::vector<std::string> lines = CapturedLines();
+  ASSERT_EQ(lines.size(), 1u);
+
+  const json::Value doc = json::Parse(lines[0]);
+  EXPECT_EQ(doc.At("level").AsString(), "error");
+  EXPECT_EQ(doc.At("component").AsString(), "checker");
+  EXPECT_EQ(doc.At("msg").AsString(), "store \"full\"\n");
+  EXPECT_EQ(doc.At("bytes").AsNumber(), 8589934592.0);
+  EXPECT_EQ(doc.At("ratio").AsNumber(), 0.5);
+  EXPECT_FALSE(doc.At("fatal").AsBool());
+  EXPECT_EQ(doc.At("note").AsString(), "tab\there");
+  EXPECT_TRUE(doc.Has("ts"));
+}
+
+TEST_F(LogTest, ConcurrentLoggersEmitOneIntactLinePerMessage) {
+  constexpr int kThreads = 8;
+  constexpr int kMessagesPerThread = 200;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kMessagesPerThread; ++i) {
+        LogInfo("stress", "tick",
+                {{"thread", t}, {"seq", i}, {"pad", "xxxxxxxxxxxxxxxx"}});
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const std::vector<std::string> lines = CapturedLines();
+  ASSERT_EQ(lines.size(),
+            static_cast<std::size_t>(kThreads) * kMessagesPerThread);
+  // Every line is complete — it carries all three fields in order and
+  // exactly one message, so no two writers interleaved characters.
+  std::vector<std::vector<bool>> seen(kThreads,
+                                      std::vector<bool>(kMessagesPerThread));
+  for (const std::string& line : lines) {
+    const std::size_t thread_at = line.find(" stress: tick thread=");
+    ASSERT_NE(thread_at, std::string::npos) << line;
+    EXPECT_EQ(line.find("tick", line.find("tick") + 1), std::string::npos)
+        << "two messages on one line: " << line;
+    int thread_id = -1;
+    int seq = -1;
+    ASSERT_EQ(std::sscanf(line.c_str() + thread_at,
+                          " stress: tick thread=%d seq=%d", &thread_id, &seq),
+              2)
+        << line;
+    ASSERT_GE(thread_id, 0);
+    ASSERT_LT(thread_id, kThreads);
+    ASSERT_GE(seq, 0);
+    ASSERT_LT(seq, kMessagesPerThread);
+    EXPECT_FALSE(seen[thread_id][seq]) << "duplicate line: " << line;
+    seen[thread_id][seq] = true;
+    EXPECT_NE(line.find("pad=xxxxxxxxxxxxxxxx"), std::string::npos) << line;
+  }
+}
+
+}  // namespace
+}  // namespace iotsan::util

@@ -14,9 +14,11 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -751,6 +753,379 @@ TEST_F(ServerTest, KeepAliveServesSequentialRequests) {
   ::close(fd);
   ASSERT_TRUE(second.complete);
   EXPECT_EQ(second.status, 200);
+}
+
+// ---- live introspection: /v1/status, /v1/events, enriched health -------------
+
+/// One parsed SSE frame.
+struct SseEvent {
+  std::string name;
+  std::string data;
+};
+
+/// A streaming client for `GET /v1/events`: reads the chunked response
+/// head, then de-chunks and splits SSE frames incrementally, so tests
+/// can assert on events while the stream stays open.  Receives carry a
+/// timeout so a broken stream fails the test instead of hanging it.
+class SseClient {
+ public:
+  explicit SseClient(int port, const std::string& extra_headers = "") {
+    fd_ = ConnectLoopback(port);
+    if (fd_ < 0) return;
+    struct timeval tv = {};
+    tv.tv_sec = 10;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    std::string wire = "GET /v1/events HTTP/1.1\r\nHost: 127.0.0.1\r\n";
+    wire += extra_headers;
+    wire += "\r\n";
+    if (!SendAll(fd_, wire)) Close();
+  }
+  ~SseClient() { Close(); }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  bool ok() const { return fd_ >= 0; }
+  const std::string& head() const { return head_; }
+
+  /// Reads the response head; true when it is a 200 chunked
+  /// text/event-stream response.
+  bool ReadHead() {
+    std::size_t head_end;
+    while ((head_end = raw_.find("\r\n\r\n")) == std::string::npos) {
+      if (!Fill()) return false;
+    }
+    head_ = raw_.substr(0, head_end);
+    raw_.erase(0, head_end + 4);
+    return head_.rfind("HTTP/1.1 200", 0) == 0 &&
+           head_.find("Transfer-Encoding: chunked") != std::string::npos &&
+           head_.find("Content-Type: text/event-stream") != std::string::npos;
+  }
+
+  /// Blocks for the next SSE event, skipping keepalive comment frames;
+  /// false when the stream ends (last-chunk or socket close/timeout).
+  bool NextEvent(SseEvent& out) {
+    for (;;) {
+      std::size_t frame_end;
+      while ((frame_end = decoded_.find("\n\n")) == std::string::npos) {
+        if (!DechunkOne()) return false;
+      }
+      const std::string frame = decoded_.substr(0, frame_end);
+      decoded_.erase(0, frame_end + 2);
+      if (frame.rfind(":", 0) == 0) continue;  // comment (keepalive)
+      out = {};
+      std::size_t start = 0;
+      while (start < frame.size()) {
+        std::size_t eol = frame.find('\n', start);
+        if (eol == std::string::npos) eol = frame.size();
+        const std::string line = frame.substr(start, eol - start);
+        if (line.rfind("event: ", 0) == 0) out.name = line.substr(7);
+        if (line.rfind("data: ", 0) == 0) out.data = line.substr(6);
+        start = eol + 1;
+      }
+      return true;
+    }
+  }
+
+ private:
+  bool Fill() {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    raw_.append(chunk, static_cast<std::size_t>(n));
+    return true;
+  }
+
+  /// Decodes one chunked-transfer chunk into `decoded_`; false on the
+  /// terminating zero chunk or a dead socket.
+  bool DechunkOne() {
+    std::size_t size_end;
+    while ((size_end = raw_.find("\r\n")) == std::string::npos) {
+      if (!Fill()) return false;
+    }
+    const std::size_t size =
+        static_cast<std::size_t>(std::strtoull(raw_.c_str(), nullptr, 16));
+    if (size == 0) return false;  // last-chunk: stream over
+    while (raw_.size() < size_end + 2 + size + 2) {
+      if (!Fill()) return false;
+    }
+    decoded_.append(raw_, size_end + 2, size);
+    raw_.erase(0, size_end + 2 + size + 2);
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string head_;
+  std::string raw_;      // bytes as received (still chunk-framed)
+  std::string decoded_;  // de-chunked SSE payload
+};
+
+TEST(InflightTableTest, RegisterUpdateSnapshotFinish) {
+  InflightTable table;
+  InflightEntry entry;
+  entry.request_id = "req-1";
+  entry.endpoint = "check";
+  entry.deployment = "alice home";
+  entry.fingerprint = "abcd";
+  entry.deadline_seconds = 30;
+  entry.started = std::chrono::steady_clock::now();
+  table.Register(entry);
+  EXPECT_EQ(table.size(), 1u);
+
+  telemetry::GroupProgress progress;
+  progress.groups_total = 4;
+  progress.groups_done = 2;
+  progress.states_explored = 1000;
+  progress.store_memory_bytes = 4096;
+  table.Update("req-1", progress);
+  table.Update("no-such-id", progress);  // no-op, must not throw
+
+  const json::Array snapshot = table.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  const json::Value& doc = snapshot[0];
+  EXPECT_EQ(doc.At("request_id").AsString(), "req-1");
+  EXPECT_EQ(doc.At("endpoint").AsString(), "check");
+  EXPECT_EQ(doc.At("deployment").AsString(), "alice home");
+  EXPECT_EQ(doc.At("groups_total").AsInt(), 4);
+  EXPECT_EQ(doc.At("groups_done").AsInt(), 2);
+  EXPECT_EQ(doc.At("states_explored").AsInt(), 1000);
+  EXPECT_EQ(doc.At("store_memory_bytes").AsInt(), 4096);
+  EXPECT_GE(doc.At("elapsed_seconds").AsNumber(), 0.0);
+  EXPECT_GE(doc.At("states_per_second").AsNumber(), 0.0);
+  EXPECT_EQ(doc.At("deadline_seconds").AsNumber(), 30.0);
+
+  table.Finish("req-1");
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_TRUE(table.Snapshot().empty());
+}
+
+TEST(EventBrokerTest, PublishFansOutToEverySubscriber) {
+  EventBroker broker;
+  auto a = broker.Subscribe();
+  auto b = broker.Subscribe();
+  EXPECT_EQ(broker.subscriber_count(), 2u);
+
+  broker.Publish({"progress", "{\"n\":1}"});
+  Event event;
+  ASSERT_TRUE(a->Next(event, 0));
+  EXPECT_EQ(event.name, "progress");
+  EXPECT_EQ(event.data, "{\"n\":1}");
+  ASSERT_TRUE(b->Next(event, 0));
+  EXPECT_EQ(event.name, "progress");
+
+  broker.Unsubscribe(a);
+  EXPECT_EQ(broker.subscriber_count(), 1u);
+  broker.Publish({"verdict", "{}"});
+  EXPECT_FALSE(a->Next(event, 0));  // unsubscribed: nothing enqueued
+  ASSERT_TRUE(b->Next(event, 0));
+  EXPECT_EQ(event.name, "verdict");
+  broker.Unsubscribe(b);
+}
+
+TEST(EventBrokerTest, SlowSubscriberDropsOldProgressButKeepsVerdicts) {
+  EventBroker broker;
+  auto slow = broker.Subscribe();
+  // A verdict published early, then far more progress ticks than the
+  // queue bound (256): the ticks must be the casualties, not the verdict.
+  broker.Publish({"verdict", "{\"v\":1}"});
+  for (int i = 0; i < 400; ++i) {
+    broker.Publish({"progress", "{\"i\":" + std::to_string(i) + "}"});
+  }
+  EXPECT_GT(slow->dropped(), 0u);
+
+  bool saw_verdict = false;
+  std::size_t delivered = 0;
+  Event event;
+  while (slow->Next(event, 0)) {
+    ++delivered;
+    if (event.name == "verdict") saw_verdict = true;
+  }
+  EXPECT_TRUE(saw_verdict);
+  EXPECT_LE(delivered, 256u);
+  broker.Unsubscribe(slow);
+}
+
+TEST_F(ServerTest, StatusEndpointReportsIdleSnapshot) {
+  StartServer();
+  ClientResponse response = Fetch(server_->port(), "GET", "/v1/status");
+  ASSERT_TRUE(response.complete);
+  EXPECT_EQ(response.status, 200);
+  json::Value doc = json::Parse(response.body);
+  EXPECT_EQ(doc.At("schema").AsString(), "iotsan.status/1");
+  EXPECT_EQ(doc.At("status").AsString(), "ok");
+  EXPECT_GE(doc.At("uptime_seconds").AsNumber(), 0.0);
+  EXPECT_GT(doc.At("peak_rss_bytes").AsNumber(), 0.0);
+  EXPECT_TRUE(doc.At("inflight").AsArray().empty());
+  EXPECT_FALSE(doc.At("request_id").AsString().empty());
+  // The status handler samples peak RSS into the registry as it reads.
+  EXPECT_GT(registry_.memory.peak_rss_bytes.load(), 0u);
+
+  ClientResponse post = Fetch(server_->port(), "POST", "/v1/status");
+  ASSERT_TRUE(post.complete);
+  EXPECT_EQ(post.status, 405);
+}
+
+TEST_F(ServerTest, HealthCarriesBuildInfoAndIntrospectionGauges) {
+  StartServer();
+  ClientResponse response = Fetch(server_->port(), "GET", "/v1/health");
+  ASSERT_TRUE(response.complete);
+  EXPECT_EQ(response.status, 200);
+  json::Value doc = json::Parse(response.body);
+  EXPECT_FALSE(doc.At("version").AsString().empty());
+  EXPECT_FALSE(doc.At("build").At("compiler").AsString().empty());
+  EXPECT_FALSE(doc.At("build").At("standard").AsString().empty());
+  EXPECT_EQ(doc.At("inflight_requests").AsInt(), 0);
+  EXPECT_EQ(doc.At("event_subscribers").AsInt(), 0);
+  EXPECT_GE(doc.At("active_connections").AsInt(), 1);  // this request
+}
+
+TEST_F(ServerTest, EventStreamDeliversProgressThenVerdict) {
+  StartServer();
+  const int port = server_->port();
+
+  SseClient subscriber(port, "X-Request-Id: stream-1\r\n");
+  ASSERT_TRUE(subscriber.ok());
+  ASSERT_TRUE(subscriber.ReadHead());
+  EXPECT_NE(subscriber.head().find("X-Request-Id: stream-1"),
+            std::string::npos);
+
+  SseEvent hello;
+  ASSERT_TRUE(subscriber.NextEvent(hello));
+  EXPECT_EQ(hello.name, "hello");
+  EXPECT_EQ(json::Parse(hello.data).At("request_id").AsString(), "stream-1");
+
+  // With the subscriber attached, a check publishes per-group progress
+  // and one terminal verdict, all stamped with the check's request id.
+  ClientResponse check = Fetch(port, "POST", "/v1/check", CheckBody(),
+                               "X-Request-Id: check-42\r\n");
+  ASSERT_TRUE(check.complete);
+  ASSERT_EQ(check.status, 200);
+
+  std::size_t progress_events = 0;
+  std::uint64_t last_groups_done = 0;
+  SseEvent event;
+  bool saw_verdict = false;
+  while (!saw_verdict) {
+    ASSERT_TRUE(subscriber.NextEvent(event)) << "stream ended early";
+    json::Value data = json::Parse(event.data);
+    ASSERT_EQ(data.At("request_id").AsString(), "check-42");
+    if (event.name == "progress") {
+      ++progress_events;
+      const auto done = static_cast<std::uint64_t>(
+          data.At("groups_done").AsNumber());
+      EXPECT_GT(done, last_groups_done);  // strictly advancing
+      last_groups_done = done;
+      EXPECT_LE(done, static_cast<std::uint64_t>(
+                          data.At("groups_total").AsNumber()));
+      EXPECT_GE(data.At("states_explored").AsNumber(), 0.0);
+      EXPECT_GE(data.At("store_memory_bytes").AsNumber(), 0.0);
+    } else if (event.name == "verdict") {
+      saw_verdict = true;
+      EXPECT_EQ(data.At("verdict").AsString(), "violations");
+      EXPECT_EQ(data.At("exit_code").AsInt(), 1);
+      EXPECT_EQ(data.At("violations").AsInt(), 2);
+      EXPECT_GT(data.At("states_explored").AsNumber(), 0.0);
+      EXPECT_TRUE(data.At("completed").AsBool());
+    }
+  }
+  // The §8 deployment splits into two related-set groups.
+  EXPECT_GE(progress_events, 2u);
+  EXPECT_EQ(last_groups_done, progress_events);
+  subscriber.Close();
+}
+
+TEST_F(ServerTest, ConcurrentEventSubscribersBothReceiveTheVerdict) {
+  StartServer();
+  const int port = server_->port();
+
+  SseClient first(port);
+  SseClient second(port);
+  ASSERT_TRUE(first.ReadHead());
+  ASSERT_TRUE(second.ReadHead());
+
+  ClientResponse check = Fetch(port, "POST", "/v1/check", CheckBody(),
+                               "X-Request-Id: fanout-1\r\n");
+  ASSERT_TRUE(check.complete);
+
+  for (SseClient* subscriber : {&first, &second}) {
+    bool saw_verdict = false;
+    SseEvent event;
+    while (!saw_verdict) {
+      ASSERT_TRUE(subscriber->NextEvent(event));
+      if (event.name != "verdict") continue;
+      EXPECT_EQ(json::Parse(event.data).At("request_id").AsString(),
+                "fanout-1");
+      saw_verdict = true;
+    }
+  }
+}
+
+TEST_F(ServerTest, EventStreamDisconnectLeavesServerServing) {
+  StartServer();
+  const int port = server_->port();
+
+  {
+    SseClient dropper(port);
+    ASSERT_TRUE(dropper.ReadHead());
+  }  // closes the socket mid-stream
+
+  // The stream thread notices the dead peer on its next idle tick and
+  // unsubscribes; meanwhile the server keeps answering.
+  ClientResponse check = Fetch(port, "POST", "/v1/check", CheckBody());
+  ASSERT_TRUE(check.complete);
+  EXPECT_EQ(check.status, 200);
+
+  for (int i = 0; i < 50; ++i) {
+    ClientResponse health = Fetch(port, "GET", "/v1/health");
+    ASSERT_TRUE(health.complete);
+    if (json::Parse(health.body).At("event_subscribers").AsInt() == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  ClientResponse health = Fetch(port, "GET", "/v1/health");
+  ASSERT_TRUE(health.complete);
+  EXPECT_EQ(json::Parse(health.body).At("event_subscribers").AsInt(), 0);
+}
+
+TEST_F(ServerTest, AccessLogRotatesOnReopen) {
+  const std::string log_dir = TempDir("rotate");
+  const std::string log_path = log_dir + "/access.jsonl";
+  ServerConfig config;
+  config.access_log_path = log_path;
+  StartServer(std::move(config));
+  const int port = server_->port();
+
+  ASSERT_TRUE(Fetch(port, "GET", "/v1/health", "",
+                    "X-Request-Id: before-rotate\r\n")
+                  .complete);
+
+  // The operator's logrotate move-then-SIGHUP dance: rename the live
+  // file, then ask the server to reopen its path.
+  const std::string rotated = log_dir + "/access.jsonl.1";
+  std::filesystem::rename(log_path, rotated);
+  server_->RotateAccessLog();
+
+  ASSERT_TRUE(Fetch(port, "GET", "/v1/health", "",
+                    "X-Request-Id: after-rotate\r\n")
+                  .complete);
+  server_->Stop();
+
+  auto ids_in = [](const std::string& path) {
+    std::set<std::string> ids;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) ids.insert(json::Parse(line).At("id").AsString());
+    }
+    return ids;
+  };
+  EXPECT_TRUE(ids_in(rotated).count("before-rotate"));
+  EXPECT_FALSE(ids_in(rotated).count("after-rotate"));
+  EXPECT_TRUE(ids_in(log_path).count("after-rotate"));
+  std::filesystem::remove_all(log_dir);
 }
 
 }  // namespace

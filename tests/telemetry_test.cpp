@@ -88,6 +88,68 @@ TEST(RegistryTest, SnapshotTagsGaugesAndCounters) {
   EXPECT_EQ(kind_of("cache.hits"), SampleKind::kCounter);
 }
 
+// ---- Memory gauges -----------------------------------------------------------
+
+TEST(MemoryGaugesTest, SnapshotCarriesMemorySamplesWithKinds) {
+  Registry registry;
+  registry.memory.store_exhaustive_bytes = 4096;
+  registry.memory.trace_buffer_bytes = 128;
+
+  std::vector<Sample> samples = registry.Snapshot();
+  EXPECT_EQ(SampleValue(samples, "memory.store_exhaustive_bytes"), 4096u);
+  EXPECT_EQ(SampleValue(samples, "memory.trace_buffer_bytes"), 128u);
+
+  auto kind_of = [&](const std::string& name) {
+    for (const Sample& sample : samples) {
+      if (sample.name == name) return sample.kind;
+    }
+    ADD_FAILURE() << "no sample named " << name;
+    return SampleKind::kCounter;
+  };
+  // Footprints are point-in-time; emitted trace bytes only accumulate.
+  EXPECT_EQ(kind_of("memory.store_exhaustive_bytes"), SampleKind::kGauge);
+  EXPECT_EQ(kind_of("memory.store_bitstate_bytes"), SampleKind::kGauge);
+  EXPECT_EQ(kind_of("memory.cache_resident_bytes"), SampleKind::kGauge);
+  EXPECT_EQ(kind_of("memory.peak_rss_bytes"), SampleKind::kGauge);
+  EXPECT_EQ(kind_of("memory.trace_buffer_bytes"), SampleKind::kCounter);
+}
+
+TEST(MemoryGaugesTest, ToJsonHasMemoryGroup) {
+  Registry registry;
+  registry.memory.cache_resident_bytes = 77;
+  const json::Value doc = registry.ToJson();
+  EXPECT_EQ(doc.At("memory").At("cache_resident_bytes").AsNumber(), 77);
+  EXPECT_TRUE(doc.At("memory").Has("peak_rss_bytes"));
+}
+
+TEST(MemoryGaugesTest, SamplePeakRssIsPositiveAndMonotonic) {
+  Registry registry;
+  const std::uint64_t first = SamplePeakRss(registry);
+  EXPECT_GT(first, 0u);
+  EXPECT_EQ(SampleValue(registry.Snapshot(), "memory.peak_rss_bytes"), first);
+
+  // A stale higher watermark must never be regressed by a lower OS
+  // sample — the gauge is monotonic by construction.
+  const std::uint64_t inflated = first + (1ull << 40);
+  registry.memory.peak_rss_bytes = inflated;
+  SamplePeakRss(registry);
+  EXPECT_EQ(SampleValue(registry.Snapshot(), "memory.peak_rss_bytes"), inflated);
+}
+
+TEST(MemoryGaugesTest, PrometheusRendersIotsanMemoryFamilies) {
+  Registry registry;
+  registry.memory.store_exhaustive_bytes = 1024;
+  SamplePeakRss(registry);
+  const std::string text = RenderPrometheus(registry);
+  EXPECT_NE(text.find("iotsan_memory_store_exhaustive_bytes 1024"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE iotsan_memory_store_exhaustive_bytes gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE iotsan_memory_trace_buffer_bytes counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("iotsan_memory_peak_rss_bytes"), std::string::npos);
+}
+
 // ---- Histogram ---------------------------------------------------------------
 
 TEST(HistogramTest, SmallValuesAreExact) {

@@ -13,6 +13,9 @@
 //   iotsan cache <stats|prune|clear> <DIR>
 //       Inspect or maintain an incremental-analysis cache directory
 //       (--cache-dir; see docs/caching.md).
+//   iotsan top [--host A --port N] [--interval S] [--once]
+//       Live terminal view of a running service's in-flight checks
+//       (polls GET /v1/status; docs/observability.md).
 //   iotsan apps
 //       List the bundled corpus apps.
 //   iotsan version | --version
@@ -30,6 +33,11 @@
 // Deployment files use the JSON schema of config/deployment.hpp; app
 // sources not in the bundled corpus can be given in the deployment under
 // "appSources": {"Name": "path/to/app.smartscript"}.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -59,6 +67,7 @@
 #include "util/build_info.hpp"
 #include "util/error.hpp"
 #include "util/interrupt.hpp"
+#include "util/log.hpp"
 
 namespace {
 
@@ -414,6 +423,20 @@ int CmdServe(const std::vector<std::string>& args) {
     return 2;
   }
   const std::atomic<bool>& interrupted = util::InstallInterruptHandlers();
+  util::InstallRotateHandler();  // SIGHUP = reopen the access log
+
+  // Structured-log surface: serve is the one command whose operator
+  // output goes through util/log (the CLI commands keep their exact
+  // stdout/stderr bytes).
+  if (!flags.log_level.empty()) {
+    util::LogLevel level = util::LogLevel::kWarn;
+    if (!util::ParseLogLevel(flags.log_level, level)) {
+      throw Error("unknown --log-level '" + flags.log_level +
+                  "' (want debug, info, warn, error, or off)");
+    }
+    util::SetLogLevel(level);
+  }
+  if (flags.log_json) util::SetLogJson(true);
 
   // /v1/metrics serves the live registry, so serve always installs one
   // (--stats additionally prints it after the drain).
@@ -443,6 +466,7 @@ int CmdServe(const std::vector<std::string>& args) {
 
   while (!interrupted.load(std::memory_order_relaxed)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (util::TakeRotateRequest()) server.RotateAccessLog();
   }
   std::fprintf(stderr, "iotsan serve: signal %d received, draining\n",
                util::InterruptSignal());
@@ -454,6 +478,169 @@ int CmdServe(const std::vector<std::string>& args) {
               static_cast<unsigned long long>(stats.requests_served),
               static_cast<unsigned long long>(stats.shed_queue_full));
   telemetry_session.PrintStats();
+  return 0;
+}
+
+// ---- iotsan top --------------------------------------------------------------
+
+/// Minimal one-shot HTTP GET over a loopback/numeric address: returns
+/// the response body, throws iotsan::Error on connect/read failure or a
+/// non-200 status.  Just enough client for polling /v1/status — the
+/// server end speaks plain HTTP/1.1 with Content-Length framing.
+std::string HttpGetBody(const std::string& host, int port,
+                        const std::string& path) {
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw Error("top: --host wants a numeric address, got '" + host + "'");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw Error("top: cannot create socket");
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    throw Error("top: cannot connect to " + host + ":" +
+                std::to_string(port));
+  }
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent,
+                             request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      throw Error("top: send failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string data;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      ::close(fd);
+      throw Error("top: recv failed");
+    }
+    if (n == 0) break;
+    data.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t head_end = data.find("\r\n\r\n");
+  if (head_end == std::string::npos || data.rfind("HTTP/1.1 ", 0) != 0) {
+    throw Error("top: malformed HTTP response");
+  }
+  const int status = std::atoi(data.c_str() + 9);
+  if (status != 200) {
+    throw Error("top: HTTP " + std::to_string(status) + " from " + path);
+  }
+  return data.substr(head_end + 4);
+}
+
+/// Renders one /v1/status document as the `iotsan top` frame.
+std::string RenderStatusFrame(const json::Value& doc,
+                              const std::string& endpoint) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "iotsan top — %s  status %s  up %.0fs\n", endpoint.c_str(),
+                doc.At("status").AsString().c_str(),
+                doc.At("uptime_seconds").AsNumber());
+  out += line;
+  const std::int64_t active = doc.Has("active_connections")
+                                  ? doc.At("active_connections").AsInt()
+                                  : 0;
+  const std::int64_t queued =
+      doc.Has("queue_depth") ? doc.At("queue_depth").AsInt() : 0;
+  std::snprintf(line, sizeof line,
+                "connections %lld active, %lld queued   peak rss %s\n\n",
+                static_cast<long long>(active),
+                static_cast<long long>(queued),
+                core::HumanBytes(static_cast<std::uint64_t>(
+                                     doc.At("peak_rss_bytes").AsInt()))
+                    .c_str());
+  out += line;
+  const json::Array& inflight = doc.At("inflight").AsArray();
+  if (inflight.empty()) {
+    out += "(no verification requests in flight)\n";
+    return out;
+  }
+  std::snprintf(line, sizeof line, "%-18s %-20s %8s %12s %10s %10s %9s\n",
+                "REQUEST", "DEPLOYMENT", "GROUPS", "STATES", "STATES/S",
+                "STORE", "ELAPSED");
+  out += line;
+  for (const json::Value& entry : inflight) {
+    std::string groups =
+        std::to_string(entry.At("groups_done").AsInt()) + "/" +
+        std::to_string(entry.At("groups_total").AsInt());
+    std::string elapsed;
+    {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.1fs",
+                    entry.At("elapsed_seconds").AsNumber());
+      elapsed = buf;
+      const double deadline = entry.At("deadline_seconds").AsNumber();
+      if (deadline > 0) {
+        std::snprintf(buf, sizeof buf, "/%.0fs", deadline);
+        elapsed += buf;
+      }
+    }
+    std::snprintf(
+        line, sizeof line, "%-18.18s %-20.20s %8s %12lld %10.0f %10s %9s\n",
+        entry.At("request_id").AsString().c_str(),
+        entry.At("deployment").AsString().c_str(), groups.c_str(),
+        static_cast<long long>(entry.At("states_explored").AsInt()),
+        entry.At("states_per_second").AsNumber(),
+        core::HumanBytes(static_cast<std::uint64_t>(
+                             entry.At("store_memory_bytes").AsInt()))
+            .c_str(),
+        elapsed.c_str());
+    out += line;
+  }
+  return out;
+}
+
+int CmdTop(const std::vector<std::string>& args) {
+  CliFlags flags;
+  std::vector<std::string> positionals = ParseFlags(kCmdTop, args, flags);
+  if (flags.help) {
+    PrintHelp(stdout);
+    return 0;
+  }
+  if (!positionals.empty()) {
+    std::fprintf(stderr, "%s\n", UsageFor(kCmdTop).c_str());
+    return 2;
+  }
+  const std::string endpoint =
+      "http://" + flags.host + ":" + std::to_string(flags.port);
+  if (flags.once) {
+    const json::Value doc =
+        json::Parse(HttpGetBody(flags.host, flags.port, "/v1/status"));
+    std::fputs(RenderStatusFrame(doc, endpoint).c_str(), stdout);
+    return 0;
+  }
+  const std::atomic<bool>& interrupted = util::InstallInterruptHandlers();
+  while (!interrupted.load(std::memory_order_relaxed)) {
+    std::string frame;
+    try {
+      const json::Value doc =
+          json::Parse(HttpGetBody(flags.host, flags.port, "/v1/status"));
+      frame = RenderStatusFrame(doc, endpoint);
+    } catch (const Error& e) {
+      frame = "iotsan top — " + endpoint + "  unreachable: " + e.what() +
+              "\n";
+    }
+    // Home the cursor and clear to the end of the screen — a repaint,
+    // not a scroll.
+    std::printf("\x1b[H\x1b[J%s", frame.c_str());
+    std::fflush(stdout);
+    for (int tick = 0; tick < flags.interval_seconds * 10 &&
+                       !interrupted.load(std::memory_order_relaxed);
+         ++tick) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
   return 0;
 }
 
@@ -565,8 +752,8 @@ int main(int argc, char** argv) {
   if (args.empty()) {
     std::fprintf(stderr,
                  "iotsan — IoT safety sanitizer (IotSan, CoNEXT '18)\n"
-                 "commands: check, attribute, deps, promela, serve, cache, "
-                 "apps, help\n"
+                 "commands: check, attribute, deps, promela, serve, top, "
+                 "cache, apps, help\n"
                  "run 'iotsan help' for the full flag reference\n");
     return 2;
   }
@@ -578,6 +765,7 @@ int main(int argc, char** argv) {
     if (command == "deps") return CmdDeps(args);
     if (command == "promela") return CmdPromela(args);
     if (command == "serve") return CmdServe(args);
+    if (command == "top") return CmdTop(args);
     if (command == "cache") return CmdCache(args);
     if (command == "apps") return CmdApps();
     if (command == "version" || command == "--version") {

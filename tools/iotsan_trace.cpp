@@ -24,15 +24,23 @@
 //       `iotsan check --metrics-out` or `GET /v1/metrics` with
 //       `?format=prometheus`): every line must parse, histogram
 //       families must be cumulative and monotone.  Exit 0 iff valid.
+//   iotsan_trace tail [--once] <trace.jsonl>
+//       Follow a live span trace (`--trace-out` of a running command or
+//       server), pretty-printing spans as they are appended — poll
+//       based, like `tail -f`.  With --once, print what is there and
+//       exit.
 //
-// `--summary`, `--diff`, `--chrome`, `--verify`, and `--promverify`
-// are accepted as aliases.
+// `--summary`, `--diff`, `--chrome`, `--verify`, `--promverify`, and
+// `--tail` are accepted as aliases.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdint>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "checker/trace.hpp"
@@ -40,6 +48,7 @@
 #include "telemetry/prometheus.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
+#include "util/interrupt.hpp"
 #include "util/json.hpp"
 
 namespace {
@@ -411,6 +420,75 @@ int CmdPromVerify(const std::vector<std::string>& paths) {
   return invalid == 0 ? 0 : 1;
 }
 
+// ---- tail --------------------------------------------------------------------
+
+/// One span as a human-oriented line: timeline position, nesting
+/// indentation, name, duration, attributes.
+void PrintSpanLine(const json::Value& span) {
+  const double start_ms = span.At("start_us").AsNumber() / 1000.0;
+  const double dur_ms =
+      span.Has("dur_us") ? span.At("dur_us").AsNumber() / 1000.0 : 0;
+  const int depth =
+      span.Has("depth") ? static_cast<int>(span.At("depth").AsNumber()) : 0;
+  std::printf("%12.3fms %*s%-28s %10.3fms", start_ms, depth * 2, "",
+              span.At("name").AsString().c_str(), dur_ms);
+  if (span.Has("attrs") && !span.At("attrs").AsObject().empty()) {
+    std::printf("  %s", span.At("attrs").Dump(0).c_str());
+  }
+  std::printf("\n");
+}
+
+/// `iotsan_trace tail [--once] <trace.jsonl>`: print spans already in
+/// the file, then poll for appended lines until interrupted.  Partial
+/// trailing lines (a writer mid-append) are held back until their
+/// newline arrives, so every printed span parsed from a complete line.
+int CmdTail(const std::vector<std::string>& args) {
+  bool once = false;
+  std::vector<std::string> paths;
+  for (const std::string& arg : args) {
+    if (arg == "--once") {
+      once = true;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 1) {
+    throw Error("tail wants exactly one JSONL trace file");
+  }
+  std::ifstream in(paths[0], std::ios::binary);
+  if (!in) throw Error("cannot open file: " + paths[0]);
+  const std::atomic<bool>& interrupted = util::InstallInterruptHandlers();
+  std::string pending;  // bytes read but not yet newline-terminated
+  char chunk[4096];
+  while (true) {
+    in.read(chunk, sizeof chunk);
+    const std::streamsize n = in.gcount();
+    if (n > 0) {
+      pending.append(chunk, static_cast<std::size_t>(n));
+      std::size_t newline;
+      while ((newline = pending.find('\n')) != std::string::npos) {
+        const std::string line = pending.substr(0, newline);
+        pending.erase(0, newline + 1);
+        if (line.empty()) continue;
+        try {
+          PrintSpanLine(json::Parse(line));
+        } catch (const Error&) {
+          // Not a span object — show it raw rather than dropping it.
+          std::printf("%s\n", line.c_str());
+        }
+      }
+      std::fflush(stdout);
+      continue;
+    }
+    if (once || interrupted.load(std::memory_order_relaxed)) break;
+    // At end-of-file on a live file: clear the eof latch so appended
+    // bytes are picked up on the next read.
+    in.clear();
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  return 0;
+}
+
 int Usage(std::FILE* out) {
   std::fprintf(
       out,
@@ -435,7 +513,11 @@ int Usage(std::FILE* out) {
       "                                            validate Prometheus "
       "text exposition\n"
       "                                            (--metrics-out / "
-      "/v1/metrics output)\n");
+      "/v1/metrics output)\n"
+      "  iotsan_trace tail [--once] <trace.jsonl>  follow a live span "
+      "trace (tail -f);\n"
+      "                                            --once: print and "
+      "exit\n");
   return out == stdout ? 0 : 2;
 }
 
@@ -480,6 +562,10 @@ int main(int argc, char** argv) {
     if (command == "promverify") {
       if (args.empty()) return Usage(stderr);
       return CmdPromVerify(args);
+    }
+    if (command == "tail") {
+      if (args.empty()) return Usage(stderr);
+      return CmdTail(args);
     }
     if (command == "help" || command == "h") return Usage(stdout);
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
