@@ -52,6 +52,17 @@ inline void EmitStats(const std::string& bench, const std::string& label,
   payload["est_omission_probability"] = report.est_omission_probability;
   payload["store_memory_bytes"] =
       static_cast<std::int64_t>(report.store_memory_bytes);
+  payload["store_entries"] = static_cast<std::int64_t>(report.store_entries);
+  payload["store_bytes_per_state"] = report.store_bytes_per_state;
+  if (report.compress_lookups > 0) {
+    payload["compress_pool_entries"] =
+        static_cast<std::int64_t>(report.compress_pool_entries);
+    payload["compress_pool_bytes"] =
+        static_cast<std::int64_t>(report.compress_pool_bytes);
+    payload["compress_hit_rate"] =
+        static_cast<double>(report.compress_hits) /
+        static_cast<double>(report.compress_lookups);
+  }
   json::Array depths;
   for (std::uint64_t count : report.depth_histogram) {
     depths.push_back(static_cast<std::int64_t>(count));

@@ -7,7 +7,9 @@
 #include <mutex>
 #include <set>
 
+#include "checker/collapse.hpp"
 #include "checker/state_store.hpp"
+#include "model/footprint.hpp"
 #include "model/state_view.hpp"
 #include "props/eval.hpp"
 #include "util/build_info.hpp"
@@ -307,11 +309,25 @@ void CanonicalizeViolations(std::vector<Violation>& violations) {
 
 // ---- Run-finalization helpers (shared by serial and parallel paths) ----------
 
-void NoteStoreDiagnostics(CheckResult& result, const StateStore& store) {
+void NoteStoreDiagnostics(CheckResult& result, const StateStore& store,
+                          const CollapseCodec* codec) {
   result.store_entries = store.size();
   result.store_memory_bytes = store.memory_bytes();
   result.store_fill_ratio = store.FillRatio();
   result.est_omission_probability = store.EstOmissionProbability();
+  if (codec != nullptr) {
+    result.compress_states_encoded = codec->states_encoded();
+    result.compress_pool_entries = codec->pool_entries();
+    result.compress_pool_bytes = codec->pool_bytes();
+    result.compress_lookups = codec->lookups();
+    result.compress_hits = codec->hits();
+  }
+  if (result.store_entries > 0) {
+    result.store_bytes_per_state =
+        static_cast<double>(result.store_memory_bytes +
+                            result.compress_pool_bytes) /
+        static_cast<double>(result.store_entries);
+  }
 }
 
 void WarnIfSaturated(const CheckResult& result, const CheckOptions& options) {
@@ -352,6 +368,15 @@ void TickFinishTelemetry(const CheckResult& result,
       static_cast<std::uint64_t>(result.store_fill_ratio * 1000.0);
   t->store.omission_ppm =
       static_cast<std::uint64_t>(result.est_omission_probability * 1e6);
+  t->store.bytes_per_state =
+      static_cast<std::uint64_t>(result.store_bytes_per_state);
+  if (options.state_compression) {
+    t->compress.states_encoded += result.compress_states_encoded;
+    t->compress.intern_lookups += result.compress_lookups;
+    t->compress.intern_hits += result.compress_hits;
+    t->compress.pool_entries = result.compress_pool_entries;
+    t->compress.pool_bytes = result.compress_pool_bytes;
+  }
   // Memory accounting: the store footprint lands in the gauge for its
   // kind, and the OS high-water mark is refreshed while it is still
   // inflated by the live store (sampling later would under-report).
@@ -376,6 +401,10 @@ struct SharedSearch {
 
   StateStore* store = nullptr;
   util::ThreadPool* pool = nullptr;
+  /// Shared POR oracle / COLLAPSE codec (null when the feature is off);
+  /// both are thread-safe, so every branch worker uses the same instance.
+  const model::FootprintIndex* footprints = nullptr;
+  CollapseCodec* codec = nullptr;
   Clock::time_point start;
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> states_explored{0};
@@ -403,11 +432,15 @@ class Search {
          SharedSearch* shared = nullptr)
       : model_(model),
         options_(options),
-        engine_(model),
+        owned_footprints_(MakeFootprints(model, options, shared)),
+        footprints_(shared != nullptr ? shared->footprints
+                                      : owned_footprints_.get()),
+        engine_(model, footprints_),
         guide_(guide),
         shared_(shared) {
     if (shared_ != nullptr) {
       store_ = shared_->store;
+      codec_ = shared_->codec;
       start_ = shared_->start;
       lane_ = shared_->pool->CurrentLane();
     } else {
@@ -417,6 +450,10 @@ class Search {
         owned_store_ = std::make_unique<BitstateStore>(options.bitstate_bits);
       }
       store_ = owned_store_.get();
+      if (options.state_compression) {
+        owned_codec_ = std::make_unique<CollapseCodec>(model);
+        codec_ = owned_codec_.get();
+      }
     }
     result_.depth_histogram.assign(
         static_cast<std::size_t>(std::max(options.max_events, 0)) + 1, 0);
@@ -430,8 +467,8 @@ class Search {
     }
     start_ = Clock::now();
     model::SystemState initial = model_.MakeInitialState();
-    std::vector<std::uint8_t> bytes = initial.Serialize();
-    store_->TestAndInsert(bytes);
+    EncodeStateKey(initial);
+    store_->TestAndInsert(key_scratch_);
     Explore(initial, 0);
     result_.seconds =
         std::chrono::duration<double>(Clock::now() - start_).count();
@@ -468,12 +505,22 @@ class Search {
  private:
   const model::SystemModel& model_;
   const CheckOptions& options_;
+  // Declared before engine_: the engine captures the footprint pointer at
+  // construction (member-init order).
+  std::unique_ptr<model::FootprintIndex> owned_footprints_;
+  const model::FootprintIndex* footprints_ = nullptr;
   model::CascadeEngine engine_;
   const std::vector<GuideStep>* guide_;
   SharedSearch* shared_;
   std::unique_ptr<StateStore> owned_store_;
   StateStore* store_ = nullptr;  // owned_store_ or the shared run's store
-  unsigned lane_ = 0;            // pool lane, for per-worker accounting
+  std::unique_ptr<CollapseCodec> owned_codec_;
+  const CollapseCodec* codec_ = nullptr;  // null = plain serialization keys
+  // Per-worker scratch buffers: store keys are built in place so the hot
+  // loop performs no per-state allocations once capacity settles.
+  std::vector<std::uint8_t> key_scratch_;
+  std::vector<std::uint8_t> component_scratch_;
+  unsigned lane_ = 0;  // pool lane, for per-worker accounting
   CheckResult result_;
   Clock::time_point start_;
   bool stopped_ = false;
@@ -541,6 +588,32 @@ class Search {
 
   double Elapsed() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// The POR oracle is built once per run: serial searches own theirs,
+  /// parallel branch workers share the driver's via SharedSearch.  Null
+  /// when POR is off or scheduling is sequential (one dispatch order —
+  /// nothing to reduce).
+  static std::unique_ptr<model::FootprintIndex> MakeFootprints(
+      const model::SystemModel& model, const CheckOptions& options,
+      const SharedSearch* shared) {
+    if (shared != nullptr) return nullptr;
+    if (!options.por || options.scheduling != model::Scheduling::kConcurrent) {
+      return nullptr;
+    }
+    return std::make_unique<model::FootprintIndex>(model);
+  }
+
+  /// Rebuilds key_scratch_ with `state`'s store key — COLLAPSE-encoded
+  /// when compression is on, the plain serialization otherwise.  The
+  /// depth byte, when enabled, is appended by the caller.
+  void EncodeStateKey(const model::SystemState& state) {
+    key_scratch_.clear();
+    if (codec_ != nullptr) {
+      codec_->Encode(state, key_scratch_, component_scratch_);
+    } else {
+      state.SerializeTo(key_scratch_);
+    }
   }
 
   telemetry::ProgressSnapshot ProgressNow() const {
@@ -619,7 +692,7 @@ class Search {
   }
 
   void FinishDiagnostics() {
-    NoteStoreDiagnostics(result_, *store_);
+    NoteStoreDiagnostics(result_, *store_, codec_);
     if (guide_ != nullptr) {
       // Guided replays neither saturate the store (exhaustive, short
       // path) nor count as checks: their telemetry is the replay
@@ -957,11 +1030,11 @@ class Search {
       // prefix may revisit states the store would prune.
       Explore(outcome.state, depth + 1);
     } else {
-      std::vector<std::uint8_t> bytes = outcome.state.Serialize();
+      EncodeStateKey(outcome.state);
       if (options_.include_depth_in_state) {
-        bytes.push_back(static_cast<std::uint8_t>(depth + 1));
+        key_scratch_.push_back(static_cast<std::uint8_t>(depth + 1));
       }
-      if (store_->TestAndInsert(bytes)) {
+      if (store_->TestAndInsert(key_scratch_)) {
         ++result_.states_matched;
         if (shared_ != nullptr) {
           shared_->states_matched.fetch_add(1, std::memory_order_relaxed);
@@ -1085,14 +1158,35 @@ CheckResult RunParallel(const model::SystemModel& model,
     store = std::make_unique<BitstateStore>(options.bitstate_bits);
   }
 
+  std::unique_ptr<model::FootprintIndex> footprints;
+  if (options.por && options.scheduling == model::Scheduling::kConcurrent) {
+    footprints = std::make_unique<model::FootprintIndex>(model);
+  }
+  std::unique_ptr<CollapseCodec> codec;
+  if (options.state_compression) {
+    codec = std::make_unique<CollapseCodec>(model,
+                                            std::min(64u, pool->jobs() * 8));
+  }
+
   model::SystemState initial = model.MakeInitialState();
-  store->TestAndInsert(initial.Serialize());
+  {
+    std::vector<std::uint8_t> key;
+    std::vector<std::uint8_t> scratch;
+    if (codec != nullptr) {
+      codec->Encode(initial, key, scratch);
+    } else {
+      initial.SerializeTo(key);
+    }
+    store->TestAndInsert(key);
+  }
 
   const std::size_t depth_levels =
       static_cast<std::size_t>(std::max(options.max_events, 0)) + 1;
   SharedSearch shared(depth_levels, pool->jobs());
   shared.store = store.get();
   shared.pool = pool;
+  shared.footprints = footprints.get();
+  shared.codec = codec.get();
   shared.start = start;
   // The initial state is accounted here, not by any branch; it belongs
   // to the driver's lane so the per-lane counts partition the total.
@@ -1163,7 +1257,7 @@ CheckResult RunParallel(const model::SystemModel& model,
 
   result.seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
-  NoteStoreDiagnostics(result, *store);
+  NoteStoreDiagnostics(result, *store, codec.get());
   WarnIfSaturated(result, options);
   result.worker_states_explored.reserve(shared.worker_states.size());
   for (const auto& lane : shared.worker_states) {
@@ -1195,11 +1289,14 @@ CheckResult RunParallel(const model::SystemModel& model,
 /// counters.
 ReplayResult ReplayPath(const model::SystemModel& model,
                         const std::vector<TraceStep>& steps,
-                        model::Scheduling scheduling,
+                        model::Scheduling scheduling, bool por,
                         const std::string& property_id, int expected_depth) {
   CheckOptions options;  // exhaustive store, no budgets: exact re-execution
   options.max_events = static_cast<int>(steps.size());
   options.scheduling = scheduling;
+  // Replays must enumerate the same (reduced) outcome lists the recording
+  // search saw, or the recorded outcome_index points at the wrong drain.
+  options.por = por;
   const std::vector<GuideStep> guide = ResolveSteps(model, steps);
   Search search(model, options, &guide);
   CheckResult result = search.Run();
@@ -1248,7 +1345,7 @@ CheckResult Checker::Run(const CheckOptions& options) const {
     std::vector<Violation> confirmed;
     for (Violation& violation : result.violations) {
       ReplayResult replay =
-          ReplayPath(model_, violation.steps, options.scheduling,
+          ReplayPath(model_, violation.steps, options.scheduling, options.por,
                      violation.property_id, violation.depth);
       if (replay.reproduced) {
         violation.replay_verified = true;
@@ -1265,8 +1362,8 @@ ReplayResult Checker::Replay(const ViolationArtifact& artifact) const {
       artifact.manifest.scheduling == "concurrent"
           ? model::Scheduling::kConcurrent
           : model::Scheduling::kSequential;
-  return ReplayPath(model_, artifact.steps, scheduling, artifact.property_id,
-                    artifact.depth);
+  return ReplayPath(model_, artifact.steps, scheduling, artifact.manifest.por,
+                    artifact.property_id, artifact.depth);
 }
 
 std::string FormatViolation(const Violation& violation) {
@@ -1321,6 +1418,8 @@ ViolationArtifact MakeArtifact(const Violation& violation,
   manifest.bitstate_bits =
       options.store == StoreKind::kBitstate ? options.bitstate_bits : 0;
   manifest.include_depth_in_state = options.include_depth_in_state;
+  manifest.por = options.por;
+  manifest.state_compression = options.state_compression;
   manifest.stop_at_first_violation = options.stop_at_first_violation;
   manifest.max_states = options.max_states;
   manifest.time_budget_seconds = options.time_budget_seconds;

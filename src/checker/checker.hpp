@@ -66,6 +66,19 @@ struct CheckOptions {
   /// built-in false-positive filter makes each report self-certifying
   /// (`Violation::replay_verified`) and counts refutations in telemetry.
   bool reverify_bitstate = false;
+  /// Ample-set partial-order reduction for concurrent scheduling: when a
+  /// pending internal event's dispatch commutes with every other pending
+  /// dispatch (disjoint static read/write footprints, no
+  /// property-relevant writes), expand only that singleton instead of the
+  /// full interleaving fan-out.  Sound — the engine falls back to full
+  /// expansion whenever commutation cannot be proven — and a no-op under
+  /// sequential scheduling.
+  bool por = false;
+  /// COLLAPSE state compression: key the visited-state store on
+  /// component-wise interned tuples (per-device / per-app-state / timer
+  /// pools) instead of full state serializations.  Verdict-neutral: the
+  /// encoding collides exactly when the full serializations collide.
+  bool state_compression = false;
   /// Worker threads for the search: root-level (event × failure)
   /// branches are partitioned across workers sharing one visited-state
   /// store.  1 = serial, 0 = one worker per hardware thread.  Output is
@@ -143,6 +156,16 @@ struct CheckResult {
   double est_omission_probability = 0;
   std::uint64_t store_entries = 0;
   std::uint64_t store_memory_bytes = 0;
+  /// COLLAPSE compression diagnostics (zero when --state-compression is
+  /// off): intern-pool footprint and hit rate, plus the average bytes the
+  /// store pays per stored state (key + bookkeeping + pool arenas).
+  std::uint64_t compress_states_encoded = 0;
+  std::uint64_t compress_pool_entries = 0;
+  std::uint64_t compress_pool_bytes = 0;
+  std::uint64_t compress_lookups = 0;
+  std::uint64_t compress_hits = 0;
+  /// (store memory + intern-pool bytes) / stored entries; 0 when empty.
+  double store_bytes_per_state = 0;
   /// States expanded per external-event depth (index 0 = initial state).
   std::vector<std::uint64_t> depth_histogram;
   /// Worker lanes the search ran on (1 = serial) and how many root

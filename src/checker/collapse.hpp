@@ -1,0 +1,73 @@
+// COLLAPSE state compression (Spin's -DCOLLAPSE, paper §2.3).
+//
+// The visited-state stores key on the full SystemState serialization —
+// dozens to hundreds of bytes per state, most of them identical between
+// neighbouring states (one dispatch rarely changes more than one
+// device).  CollapseCodec replaces that key with a component-wise
+// interned tuple:
+//
+//   * each device's sub-vector is interned in a per-device pool and
+//     bit-packed at the width its statically-bounded component count
+//     needs (2 * prod(domain^2) distinct sub-vectors at most);
+//   * the mode and the pool indices of each `state`-using app's map and
+//     of the timer list follow as LEB128 varints.
+//
+// The encoding is injective per model: the field layout is fixed, every
+// pool is an exact byte-vector <-> index bijection, and apps whose code
+// never mentions `state` always carry an empty map, so skipping them
+// loses nothing.  Two states collide on their encoded keys iff their
+// full serializations collide — proven by checker tests.
+//
+// Thread-safe: the pools shard like ExhaustiveStore, so parallel search
+// workers encode concurrently.  Indices are only stable within one run,
+// which is all a visited set compares.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "checker/state_store.hpp"
+#include "model/state.hpp"
+#include "model/system_model.hpp"
+
+namespace iotsan::checker {
+
+class CollapseCodec {
+ public:
+  /// `shard_count` shards per intern pool (match the store's sharding
+  /// when workers encode concurrently).
+  explicit CollapseCodec(const model::SystemModel& model,
+                         unsigned shard_count = 1);
+
+  /// Appends the compressed store key of `state` to `out`.  `scratch` is
+  /// a caller-owned reusable buffer (per worker) so the hot loop does not
+  /// allocate.
+  void Encode(const model::SystemState& state, std::vector<std::uint8_t>& out,
+              std::vector<std::uint8_t>& scratch) const;
+
+  // Aggregated pool statistics (for the compress.* telemetry gauges and
+  // bench BENCH_STATS).
+  std::uint64_t pool_entries() const;
+  std::uint64_t pool_bytes() const;
+  std::uint64_t lookups() const;
+  std::uint64_t hits() const;
+  std::uint64_t states_encoded() const {
+    return states_encoded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const model::SystemModel& model_;
+  /// One pool per device; index bit-width from the device's static
+  /// component bound.
+  std::vector<std::unique_ptr<InternPool>> device_pools_;
+  std::vector<unsigned> device_index_bits_;
+  /// Apps whose handlers can touch the persistent `state` map; all other
+  /// apps' maps are provably always empty and are skipped.
+  std::vector<int> state_apps_;
+  std::unique_ptr<InternPool> app_state_pool_;
+  std::unique_ptr<InternPool> timer_pool_;
+  mutable std::atomic<std::uint64_t> states_encoded_{0};
+};
+
+}  // namespace iotsan::checker

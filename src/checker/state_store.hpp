@@ -22,6 +22,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -81,6 +82,59 @@ class ExhaustiveStore final : public StateStore {
   };
 
   std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Arena-backed byte-vector interning for COLLAPSE state compression
+/// (Spin's -DCOLLAPSE): each distinct component serialization (one
+/// device's sub-vector, one app's `state` map, the timer list) is stored
+/// once and addressed by a dense index, so a stored state shrinks to a
+/// short tuple of pool indices.
+///
+/// Thread-safe like ExhaustiveStore: the shard is picked from the top
+/// bits of the component hash, each shard guards its map with a mutex,
+/// and interned bytes live in per-shard bump-allocated arena blocks
+/// (stable addresses — the map keys are views into the arenas).  Indices
+/// are dense (one shared counter) and stable for the pool's lifetime but
+/// NOT deterministic across runs or thread schedules; store keys built
+/// from them are only compared within one run, which is all the visited
+/// set needs.
+class InternPool {
+ public:
+  explicit InternPool(unsigned shard_count = 1);
+
+  /// Index of `bytes`, interning a copy on first sight.  Equal byte
+  /// vectors always yield the same index; distinct vectors never share
+  /// one.
+  std::uint32_t Intern(std::span<const std::uint8_t> bytes);
+
+  /// Distinct entries interned.
+  std::uint64_t size() const;
+  /// Arena bytes plus per-entry index overhead.
+  std::uint64_t memory_bytes() const;
+  std::uint64_t lookups() const {
+    return lookups_.load(std::memory_order_relaxed);
+  }
+  /// Lookups served by an existing entry.
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+
+ private:
+  struct ViewHash {
+    std::size_t operator()(std::string_view key) const;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string_view, std::uint32_t, ViewHash> entries;
+    /// Bump arenas owning the key bytes (block addresses never move).
+    std::vector<std::unique_ptr<std::uint8_t[]>> blocks;
+    std::size_t block_used = 0;
+    std::size_t block_size = 0;
+    std::uint64_t memory = 0;
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint32_t> next_index_{0};
+  std::atomic<std::uint64_t> lookups_{0};
+  std::atomic<std::uint64_t> hits_{0};
 };
 
 class BitstateStore final : public StateStore {

@@ -174,6 +174,8 @@ json::Value ToJson(const RunManifest& manifest) {
   options["bitstate_bits"] =
       static_cast<std::int64_t>(manifest.bitstate_bits);
   options["include_depth_in_state"] = manifest.include_depth_in_state;
+  options["por"] = manifest.por;
+  options["state_compression"] = manifest.state_compression;
   options["stop_at_first_violation"] = manifest.stop_at_first_violation;
   options["max_states"] = static_cast<std::int64_t>(manifest.max_states);
   options["time_budget_seconds"] = manifest.time_budget_seconds;
@@ -205,6 +207,8 @@ RunManifest ManifestFromJson(const json::Value& value) {
       static_cast<std::uint64_t>(GetInt(options, "bitstate_bits"));
   manifest.include_depth_in_state =
       options.GetBool("include_depth_in_state", true);
+  manifest.por = options.GetBool("por");
+  manifest.state_compression = options.GetBool("state_compression");
   manifest.stop_at_first_violation =
       options.GetBool("stop_at_first_violation");
   manifest.max_states =

@@ -132,6 +132,12 @@ struct RunManifest {
   std::string store = "exhaustive";       // | "bitstate"
   std::uint64_t bitstate_bits = 0;        // 0 for exhaustive
   bool include_depth_in_state = true;
+  /// Ample-set partial-order reduction was active; replays must match so
+  /// recorded outcome indices resolve against the same reduced fan-out.
+  bool por = false;
+  /// COLLAPSE store-key compression was active (informational: the
+  /// encoding never changes which states are visited).
+  bool state_compression = false;
   bool stop_at_first_violation = false;
   std::uint64_t max_states = 0;
   double time_budget_seconds = 0;

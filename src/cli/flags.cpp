@@ -29,6 +29,13 @@ constexpr FlagSpec kFlagTable[] = {
      "BITSTATE bit-field size as a power of two (Spin -w; default 27 = "
      "16 MiB)",
      10, 40},
+    {Flag::kPor, "--por", nullptr, kCmdCheck | kCmdAttribute,
+     "ample-set partial-order reduction: expand a single pending dispatch "
+     "when it provably commutes with the rest (concurrent scheduling only)"},
+    {Flag::kStateCompression, "--state-compression", nullptr,
+     kCmdCheck | kCmdAttribute,
+     "Spin-style COLLAPSE store keys: intern per-device/app-state/timer "
+     "components instead of hashing full state vectors"},
     {Flag::kFirst, "--first", nullptr, kCmdCheck,
      "stop at the first property violation"},
     {Flag::kProperties, "--properties", "FILE", kCmdCheck,
@@ -271,6 +278,8 @@ std::vector<std::string> ParseFlags(unsigned command,
         flags.bitstate_bits_pow = static_cast<int>(number);
         flags.bitstate = true;
         break;
+      case Flag::kPor: flags.por = true; break;
+      case Flag::kStateCompression: flags.state_compression = true; break;
       case Flag::kFirst: flags.first = true; break;
       case Flag::kProperties: flags.properties_path = value; break;
       case Flag::kAllowDiscovery: flags.allow_discovery = true; break;

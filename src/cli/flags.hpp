@@ -32,6 +32,8 @@ enum class Flag {
   kMono,
   kBitstate,
   kBitstateBits,
+  kPor,
+  kStateCompression,
   kFirst,
   kProperties,
   kAllowDiscovery,
@@ -97,6 +99,8 @@ struct CliFlags {
   bool mono = false;
   bool bitstate = false;
   int bitstate_bits_pow = 0;  // 0 = default (27)
+  bool por = false;               // ample-set partial-order reduction
+  bool state_compression = false; // COLLAPSE store-key compression
   bool first = false;
   bool allow_discovery = false;
   bool stats = false;

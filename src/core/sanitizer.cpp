@@ -97,6 +97,14 @@ void MergeResult(SanitizerReport& report, checker::CheckResult result) {
       report.est_omission_probability, result.est_omission_probability);
   report.store_memory_bytes =
       std::max(report.store_memory_bytes, result.store_memory_bytes);
+  report.store_entries += result.store_entries;
+  report.compress_pool_entries += result.compress_pool_entries;
+  report.compress_pool_bytes =
+      std::max(report.compress_pool_bytes, result.compress_pool_bytes);
+  report.compress_lookups += result.compress_lookups;
+  report.compress_hits += result.compress_hits;
+  report.store_bytes_per_state =
+      std::max(report.store_bytes_per_state, result.store_bytes_per_state);
   if (report.depth_histogram.size() < result.depth_histogram.size()) {
     report.depth_histogram.resize(result.depth_histogram.size(), 0);
   }

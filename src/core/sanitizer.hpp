@@ -72,6 +72,16 @@ struct SanitizerReport {
   double store_fill_ratio = 0;
   double est_omission_probability = 0;
   std::uint64_t store_memory_bytes = 0;
+  /// Stored states summed across runs (exhaustive store only).
+  std::uint64_t store_entries = 0;
+  /// COLLAPSE diagnostics (zero unless check.state_compression): summed
+  /// intern-pool traffic, the peak single run's pool footprint, and the
+  /// worst per-state store cost across runs.
+  std::uint64_t compress_pool_entries = 0;
+  std::uint64_t compress_pool_bytes = 0;
+  std::uint64_t compress_lookups = 0;
+  std::uint64_t compress_hits = 0;
+  double store_bytes_per_state = 0;
   /// Element-wise sum of the per-run depth histograms.
   std::vector<std::uint64_t> depth_histogram;
 

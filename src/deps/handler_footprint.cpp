@@ -1,0 +1,32 @@
+#include "deps/handler_footprint.hpp"
+
+namespace iotsan::deps {
+
+bool IsWildcardPattern(const ir::EventPattern& pattern) {
+  return pattern.scope == ir::EventScope::kDevice && pattern.input.empty() &&
+         pattern.attribute.empty();
+}
+
+PatternFootprint FootprintOf(const ir::HandlerInfo& handler) {
+  PatternFootprint fp;
+  fp.touches_app_state = handler.touches_app_state;
+  fp.creates_timer = handler.creates_timer;
+  for (const ir::EventPattern& input : handler.inputs) {
+    // kTime / kAppTouch trigger patterns carry no shared state; device and
+    // mode inputs are genuine reads.
+    if (input.scope == ir::EventScope::kDevice ||
+        input.scope == ir::EventScope::kLocationMode) {
+      fp.reads.push_back(input);
+    }
+  }
+  for (const ir::EventPattern& output : handler.outputs) {
+    if (IsWildcardPattern(output)) {
+      fp.unknown = true;
+      continue;
+    }
+    fp.writes.push_back(output);
+  }
+  return fp;
+}
+
+}  // namespace iotsan::deps

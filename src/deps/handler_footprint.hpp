@@ -1,0 +1,44 @@
+// Pattern-level handler footprints for partial-order reduction.
+//
+// The dependency graph (§5) already classifies each handler's interface
+// into input and output event patterns.  The POR layer needs the same
+// information viewed as a read/write footprint: which patterns a handler
+// may *read* (device state reads, mode reads) and which it may *write*
+// (actuator commands, mode changes, synthetic sendEvent events), plus
+// whether it touches the app's persistent `state` map or arms one-shot
+// timers.  Resolution of these patterns against a concrete deployment —
+// turning (input, attribute) pairs into device/attribute slots — happens
+// in model/footprint.*; this header stays at the pattern level so it can
+// be unit-tested without a deployment.
+#pragma once
+
+#include <vector>
+
+#include "ir/analyzed_app.hpp"
+
+namespace iotsan::deps {
+
+/// The static read/write interface of one handler, before resolution
+/// against a deployment.
+struct PatternFootprint {
+  /// Device-attribute / mode patterns the handler may read.
+  std::vector<ir::EventPattern> reads;
+  /// Device-attribute / mode patterns the handler may write (actuator
+  /// commands, location.mode assignments, synthetic sendEvent outputs).
+  std::vector<ir::EventPattern> writes;
+  bool touches_app_state = false;
+  bool creates_timer = false;
+  /// True when the handler carries a wildcard output (dynamic device
+  /// discovery): its write set cannot be bounded statically, so POR must
+  /// treat it as conflicting with everything.
+  bool unknown = false;
+};
+
+/// True for the conservative wildcard pattern dynamic-discovery apps get
+/// attached to every handler (kDevice scope, no input, no attribute).
+bool IsWildcardPattern(const ir::EventPattern& pattern);
+
+/// Derives the pattern-level footprint of `handler`.
+PatternFootprint FootprintOf(const ir::HandlerInfo& handler);
+
+}  // namespace iotsan::deps

@@ -59,6 +59,13 @@ struct HandlerInfo {
   std::string name;  // method name
   std::vector<EventPattern> inputs;
   std::vector<EventPattern> outputs;
+  /// True when the handler (or a reachable callee) reads or writes the
+  /// app's persistent `state` map — a shared-variable footprint the
+  /// partial-order reduction must treat as a dependency.
+  bool touches_app_state = false;
+  /// True when the handler (or a reachable callee) arms a one-shot timer
+  /// via runIn/runOnce, mutating the global pending-timer list.
+  bool creates_timer = false;
 };
 
 /// A subscription registered by the app.

@@ -39,6 +39,8 @@ struct MethodFacts {
   std::vector<std::string> callees;       // user methods invoked
   bool commands_evt_device = false;       // emitted a command on evt.device
   std::vector<EventPattern> evt_device_commands;
+  bool touches_app_state = false;         // reads/writes the `state` map
+  bool creates_timer = false;             // arms runIn/runOnce one-shots
 };
 
 /// Finds the attribute a command drives by searching every capability;
@@ -217,6 +219,12 @@ class Analyzer {
   }
 
   void WalkExpr(const Expr& expr, MethodFacts& facts) {
+    // Any mention of the persistent `state` map (read or write, including
+    // as a member/index receiver) marks the method as touching app state.
+    if (expr.kind == ExprKind::kIdent &&
+        (expr.text == "state" || expr.text == "atomicState")) {
+      facts.touches_app_state = true;
+    }
     switch (expr.kind) {
       case ExprKind::kCall:
         WalkCall(expr, facts);
@@ -339,6 +347,7 @@ class Analyzer {
       return;
     }
     if (name == "runIn" || name == "runOnce") {
+      facts.creates_timer = true;
       if (expr.items.size() >= 2) {
         ScheduleInfo schedule;
         schedule.handler = HandlerNameFromArg(*expr.items[1]);
@@ -617,6 +626,8 @@ class Analyzer {
     for (const EventPattern& command : facts.commands) {
       AddUnique(handler.outputs, command);
     }
+    handler.touches_app_state |= facts.touches_app_state;
+    handler.creates_timer |= facts.creates_timer;
     if (facts.commands_evt_device) {
       // Commands on evt.device actuate whichever device input this
       // handler is subscribed to.

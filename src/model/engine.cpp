@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "model/footprint.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace iotsan::model {
@@ -249,8 +250,45 @@ void CascadeEngine::RunConcurrent(const SystemState& state,
     outcomes.push_back(std::move(outcome));
     return;
   }
-  // Choose which pending event is delivered next: all orders explored.
-  for (std::size_t pick = 0; pick < queue.size(); ++pick) {
+  // Choose which pending event is delivered next: all orders explored,
+  // unless partial-order reduction proves a singleton ample set.
+  std::size_t pick_begin = 0;
+  std::size_t pick_end = queue.size();
+  if (footprints_ && queue.size() > 1) {
+    FootprintIndex::Fallback reason = FootprintIndex::Fallback::kNone;
+    const int ample =
+        footprints_->PickAmple(queue, depth, kCascadeBound, reason);
+    if (auto* t = telemetry::Active()) {
+      if (ample >= 0) {
+        t->por.ample_singletons.fetch_add(1, std::memory_order_relaxed);
+        t->por.interleavings_pruned.fetch_add(queue.size() - 1,
+                                              std::memory_order_relaxed);
+      } else {
+        t->por.full_expansions.fetch_add(1, std::memory_order_relaxed);
+        switch (reason) {
+          case FootprintIndex::Fallback::kUnknown:
+            t->por.fallback_unknown.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case FootprintIndex::Fallback::kVisible:
+            t->por.fallback_visible.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case FootprintIndex::Fallback::kConflict:
+            t->por.fallback_conflict.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case FootprintIndex::Fallback::kDepth:
+            t->por.fallback_depth.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case FootprintIndex::Fallback::kNone:
+            break;
+        }
+      }
+    }
+    if (ample >= 0) {
+      pick_begin = static_cast<std::size_t>(ample);
+      pick_end = pick_begin + 1;
+    }
+  }
+  for (std::size_t pick = pick_begin; pick < pick_end; ++pick) {
     SystemState next_state = state;
     CascadeLog next_log = log;
     std::deque<devices::Event> next_queue = queue;

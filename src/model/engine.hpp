@@ -23,6 +23,8 @@
 
 namespace iotsan::model {
 
+class FootprintIndex;
+
 enum class Scheduling { kSequential, kConcurrent };
 
 /// One concrete external event chosen from the permutation space.
@@ -50,7 +52,14 @@ using CancelFn = std::function<bool()>;
 
 class CascadeEngine {
  public:
-  explicit CascadeEngine(const SystemModel& model) : model_(model) {}
+  /// When `footprints` is non-null, concurrent scheduling applies
+  /// ample-set partial-order reduction: a pending event whose dispatch
+  /// commutes with all other pending dispatches (and their trigger
+  /// cones) is expanded alone instead of fanning out the full
+  /// interleaving set.  Sequential scheduling ignores it.
+  explicit CascadeEngine(const SystemModel& model,
+                         const FootprintIndex* footprints = nullptr)
+      : model_(model), footprints_(footprints) {}
 
   /// Applies `event` under `failure` starting from `from`.  Sequential
   /// scheduling returns exactly one outcome; concurrent scheduling one
@@ -77,6 +86,7 @@ class CascadeEngine {
 
  private:
   const SystemModel& model_;
+  const FootprintIndex* footprints_ = nullptr;
 
   void InjectExternal(SystemState& state, const ExternalEvent& event,
                       const FailureScenario& failure,

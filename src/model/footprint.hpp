@@ -1,0 +1,128 @@
+// Concrete dispatch footprints for ample-set partial-order reduction.
+//
+// The concurrent design (paper §8, Table 7b) expands every interleaving
+// of the pending event queue — a factorial blow-up.  Most pending
+// dispatches commute: their handlers read and write disjoint slices of
+// the system state.  FootprintIndex resolves the pattern-level handler
+// footprints (deps/handler_footprint.*) against a concrete SystemModel
+// into slot sets over
+//
+//   * one slot per (device, attribute) pair (cyber + physical),
+//   * one slot for the location mode,
+//   * one slot per app's persistent `state` map,
+//   * one shared slot for the pending-timer list,
+//
+// and answers the ample-set question at each expansion: is there a
+// pending event whose dispatch commutes with every other pending
+// dispatch *and* everything those dispatches can transitively enqueue
+// (their trigger cones)?  If so, expanding that singleton preserves all
+// reachable drained states; otherwise the engine falls back to the full
+// interleaving fan-out, so verdicts stay sound.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "devices/event.hpp"
+#include "model/system_model.hpp"
+
+namespace iotsan::model {
+
+/// A fixed-width bitset over state slots.
+class SlotSet {
+ public:
+  SlotSet() = default;
+  explicit SlotSet(int slot_count)
+      : words_(static_cast<std::size_t>((slot_count + 63) / 64), 0) {}
+
+  void Add(int slot) {
+    words_[static_cast<std::size_t>(slot) / 64] |=
+        std::uint64_t{1} << (static_cast<std::size_t>(slot) % 64);
+  }
+  bool UnionWith(const SlotSet& other);  // returns true if changed
+  bool Intersects(const SlotSet& other) const;
+  bool Empty() const;
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+/// Read/write footprint of dispatching one queued event (the union over
+/// the handlers the dispatch invokes).
+struct DispatchFootprint {
+  SlotSet reads;
+  SlotSet writes;
+  /// Write set not statically boundable (dynamic discovery, unresolvable
+  /// binding, unknown handler) — conflicts with everything.
+  bool unknown = false;
+  /// Writes a slot a selected invariant observes (role-carrying device
+  /// attribute, or the mode when the property references it).
+  bool visible = false;
+
+  bool IsNoOp() const {
+    return !unknown && !visible && reads.Empty() && writes.Empty();
+  }
+};
+
+class FootprintIndex {
+ public:
+  /// Why PickAmple declined to reduce.
+  enum class Fallback { kNone, kUnknown, kVisible, kConflict, kDepth };
+
+  /// Precomputes per-event dispatch footprints and trigger cones.  Call
+  /// after SelectProperties so visibility reflects the active invariants.
+  explicit FootprintIndex(const SystemModel& model);
+
+  /// Returns the index of an ample singleton in `queue`, or -1 when the
+  /// engine must expand the full fan-out (`reason` says why).  `depth` and
+  /// `cascade_bound` feed the proviso: near the cascade bound the
+  /// reduction is disabled so truncation behaves identically to the
+  /// unreduced search.  Deterministic: always the first eligible index.
+  int PickAmple(const std::deque<devices::Event>& queue, int depth,
+                int cascade_bound, Fallback& reason) const;
+
+  /// Direct footprint of dispatching `event` (empty footprint when the
+  /// event has no subscribers).
+  const DispatchFootprint& DispatchFor(const devices::Event& event) const;
+  /// Footprint of the dispatch plus everything it can transitively
+  /// enqueue within the cascade.
+  const DispatchFootprint& ConeFor(const devices::Event& event) const;
+
+ private:
+  struct EventFootprints {
+    DispatchFootprint direct;
+    DispatchFootprint cone;
+  };
+
+  int SlotOf(int device, int attribute) const;
+  int HandlerIndexOf(int app, const std::string& name) const;
+  void ResolveHandler(int app, int handler);
+
+  const SystemModel& model_;
+  int slot_count_ = 0;
+  std::vector<int> device_slot_base_;
+  int mode_slot_ = 0;
+  int app_slot_base_ = 0;
+  int timers_slot_ = 0;
+  /// Slots a selected invariant observes.
+  SlotSet visible_slots_;
+
+  /// Per-handler resolved footprints, keyed (app, handler index); cones
+  /// computed by fixpoint over the trigger edges.
+  std::vector<std::vector<DispatchFootprint>> handler_fp_;
+  std::vector<std::vector<DispatchFootprint>> handler_cone_;
+  /// Trigger edges: handler -> handlers its outputs can enqueue.
+  std::vector<std::vector<std::vector<std::pair<int, int>>>> triggers_;
+
+  /// Event-identity tables (value-insensitive: the union over subscriber
+  /// value filters, a sound over-approximation).
+  std::map<std::pair<int, int>, EventFootprints> device_events_;
+  EventFootprints mode_event_;
+  std::map<int, EventFootprints> touch_events_;
+  std::map<std::pair<int, int>, EventFootprints> timer_events_;
+  EventFootprints empty_;
+};
+
+}  // namespace iotsan::model

@@ -45,29 +45,49 @@ void PutScalar(std::vector<std::uint8_t>& out, const Value& v) {
 
 }  // namespace
 
-void SystemState::SerializeTo(std::vector<std::uint8_t>& out) const {
-  for (const devices::State& device : devices) {
-    out.push_back(device.online ? 1 : 0);
-    for (std::int16_t value : device.values) {
-      PutU16(out, static_cast<std::uint16_t>(value));
-    }
-    for (std::int16_t value : device.physical) {
-      PutU16(out, static_cast<std::uint16_t>(value));
-    }
+void SystemState::SerializeDeviceTo(int device,
+                                    std::vector<std::uint8_t>& out) const {
+  const devices::State& d = devices[static_cast<std::size_t>(device)];
+  out.push_back(d.online ? 1 : 0);
+  for (std::int16_t value : d.values) {
+    PutU16(out, static_cast<std::uint16_t>(value));
   }
+  for (std::int16_t value : d.physical) {
+    PutU16(out, static_cast<std::uint16_t>(value));
+  }
+}
+
+void SystemState::SerializeModeTo(std::vector<std::uint8_t>& out) const {
   PutU16(out, static_cast<std::uint16_t>(mode));
-  for (const auto& state_map : app_state) {
-    PutU16(out, static_cast<std::uint16_t>(state_map.size()));
-    for (const auto& [key, value] : state_map) {  // std::map: sorted keys
-      PutString(out, key);
-      PutScalar(out, value);
-    }
+}
+
+void SystemState::SerializeAppStateTo(int app,
+                                      std::vector<std::uint8_t>& out) const {
+  const auto& state_map = app_state[static_cast<std::size_t>(app)];
+  PutU16(out, static_cast<std::uint16_t>(state_map.size()));
+  for (const auto& [key, value] : state_map) {  // std::map: sorted keys
+    PutString(out, key);
+    PutScalar(out, value);
   }
+}
+
+void SystemState::SerializeTimersTo(std::vector<std::uint8_t>& out) const {
   PutU16(out, static_cast<std::uint16_t>(timers.size()));
   for (const TimerEntry& timer : timers) {
     PutU16(out, static_cast<std::uint16_t>(timer.app));
     PutU16(out, static_cast<std::uint16_t>(timer.schedule));
   }
+}
+
+void SystemState::SerializeTo(std::vector<std::uint8_t>& out) const {
+  for (int i = 0; i < static_cast<int>(devices.size()); ++i) {
+    SerializeDeviceTo(i, out);
+  }
+  SerializeModeTo(out);
+  for (int i = 0; i < static_cast<int>(app_state.size()); ++i) {
+    SerializeAppStateTo(i, out);
+  }
+  SerializeTimersTo(out);
 }
 
 std::vector<std::uint8_t> SystemState::Serialize() const {

@@ -39,6 +39,15 @@ struct SystemState {
   /// Canonical byte serialization.
   std::vector<std::uint8_t> Serialize() const;
 
+  /// Component serializers for COLLAPSE state compression: each appends
+  /// the exact byte run SerializeTo() emits for that component, so
+  /// concatenating device 0..n-1, mode, app-state 0..m-1, timers
+  /// reproduces the full serialization byte-for-byte.
+  void SerializeDeviceTo(int device, std::vector<std::uint8_t>& out) const;
+  void SerializeModeTo(std::vector<std::uint8_t>& out) const;
+  void SerializeAppStateTo(int app, std::vector<std::uint8_t>& out) const;
+  void SerializeTimersTo(std::vector<std::uint8_t>& out) const;
+
   bool operator==(const SystemState&) const = default;
 };
 

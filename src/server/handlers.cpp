@@ -106,6 +106,10 @@ core::RequestOptions ParseOptions(const json::Value& doc,
       out.bitstate_bits_pow =
           static_cast<int>(RequireInt(value, "bitstateBits", 10, 40));
       out.bitstate = true;
+    } else if (key == "por") {
+      out.por = RequireBool(value, "por");
+    } else if (key == "stateCompression") {
+      out.state_compression = RequireBool(value, "stateCompression");
     } else if (key == "first") {
       out.first = RequireBool(value, "first");
     } else if (key == "reverifyBitstate") {

@@ -77,7 +77,20 @@ std::vector<Sample> Registry::Snapshot() const {
   add("store.memory_bytes", store.memory_bytes, SampleKind::kGauge);
   add("store.fill_permille", store.fill_permille, SampleKind::kGauge);
   add("store.omission_ppm", store.omission_ppm, SampleKind::kGauge);
+  add("store.bytes_per_state", store.bytes_per_state, SampleKind::kGauge);
   add("store.saturation_warnings", store.saturation_warnings);
+  add("por.ample_singletons", por.ample_singletons);
+  add("por.full_expansions", por.full_expansions);
+  add("por.interleavings_pruned", por.interleavings_pruned);
+  add("por.fallback_unknown", por.fallback_unknown);
+  add("por.fallback_visible", por.fallback_visible);
+  add("por.fallback_conflict", por.fallback_conflict);
+  add("por.fallback_depth", por.fallback_depth);
+  add("compress.states_encoded", compress.states_encoded);
+  add("compress.intern_lookups", compress.intern_lookups);
+  add("compress.intern_hits", compress.intern_hits);
+  add("compress.pool_entries", compress.pool_entries, SampleKind::kGauge);
+  add("compress.pool_bytes", compress.pool_bytes, SampleKind::kGauge);
   add("parallel.pools_created", parallel.pools_created);
   add("parallel.workers_spawned", parallel.workers_spawned);
   add("parallel.tasks_run", parallel.tasks_run);
@@ -158,7 +171,14 @@ void Registry::Reset() {
            &pipeline.models_built, &pipeline.checks_run,
            &pipeline.configs_enumerated, &pipeline.attributions,
            &store.entries, &store.memory_bytes, &store.fill_permille,
-           &store.omission_ppm, &store.saturation_warnings,
+           &store.omission_ppm, &store.bytes_per_state,
+           &store.saturation_warnings, &por.ample_singletons,
+           &por.full_expansions, &por.interleavings_pruned,
+           &por.fallback_unknown, &por.fallback_visible,
+           &por.fallback_conflict, &por.fallback_depth,
+           &compress.states_encoded, &compress.intern_lookups,
+           &compress.intern_hits, &compress.pool_entries,
+           &compress.pool_bytes,
            &parallel.pools_created, &parallel.workers_spawned,
            &parallel.tasks_run, &parallel.tasks_stolen,
            &parallel.branch_tasks, &parallel.group_tasks,
@@ -197,6 +217,8 @@ json::Value Registry::ToJson() const {
   json::Object search_obj;
   json::Object pipeline_obj;
   json::Object store_obj;
+  json::Object por_obj;
+  json::Object compress_obj;
   json::Object parallel_obj;
   json::Object cache_obj;
   json::Object server_obj;
@@ -210,6 +232,10 @@ json::Value Registry::ToJson() const {
       search_obj[key] = value;
     } else if (group == "pipeline") {
       pipeline_obj[key] = value;
+    } else if (group == "por") {
+      por_obj[key] = value;
+    } else if (group == "compress") {
+      compress_obj[key] = value;
     } else if (group == "parallel") {
       parallel_obj[key] = value;
     } else if (group == "cache") {
@@ -226,6 +252,8 @@ json::Value Registry::ToJson() const {
   doc["search"] = json::Value(std::move(search_obj));
   doc["pipeline"] = json::Value(std::move(pipeline_obj));
   doc["store"] = json::Value(std::move(store_obj));
+  doc["por"] = json::Value(std::move(por_obj));
+  doc["compress"] = json::Value(std::move(compress_obj));
   doc["parallel"] = json::Value(std::move(parallel_obj));
   doc["cache"] = json::Value(std::move(cache_obj));
   doc["server"] = json::Value(std::move(server_obj));

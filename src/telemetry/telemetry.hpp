@@ -90,10 +90,36 @@ struct StoreGauges {
   Counter memory_bytes{0};
   Counter fill_permille{0};   // bit occupancy for BITSTATE
   Counter omission_ppm{0};    // estimated hash-omission probability
+  /// Average store bytes paid per stored state (key bytes + bookkeeping +
+  /// intern-pool arenas when COLLAPSE compression is on).  The headline
+  /// gauge the compression work is measured by.
+  Counter bytes_per_state{0};
   /// How many checks ended above the 50%-occupancy saturation threshold
   /// (the stderr warning itself is emitted once per run; this counter
   /// still ticks per saturated check).  Monotonic, unlike the gauges.
   Counter saturation_warnings{0};
+};
+
+/// Partial-order-reduction counters (cascade engine, concurrent
+/// scheduling with --por).  All monotonic.
+struct PorCounters {
+  Counter ample_singletons{0};     // expansions reduced to one pick
+  Counter full_expansions{0};      // expansions that fanned out fully
+  Counter interleavings_pruned{0}; // picks skipped by ample singletons
+  Counter fallback_unknown{0};     // full: some footprint unboundable
+  Counter fallback_visible{0};     // full: property-relevant write
+  Counter fallback_conflict{0};    // full: overlapping footprints
+  Counter fallback_depth{0};       // full: cascade-bound proviso
+};
+
+/// COLLAPSE state-compression counters (--state-compression).  Pool
+/// entries/bytes are gauges (last-written); the rest are monotonic.
+struct CompressCounters {
+  Counter states_encoded{0};  // states turned into index tuples
+  Counter intern_lookups{0};  // component lookups across all pools
+  Counter intern_hits{0};     // ... served by an existing pool entry
+  Counter pool_entries{0};    // gauge: distinct interned components
+  Counter pool_bytes{0};      // gauge: arena + index bytes across pools
 };
 
 /// Incremental-analysis cache counters (src/cache): per-group result
@@ -276,6 +302,8 @@ class Registry {
   SearchCounters search;
   PipelineCounters pipeline;
   StoreGauges store;
+  PorCounters por;
+  CompressCounters compress;
   ParallelCounters parallel;
   CacheCounters cache;
   ServerCounters server;
@@ -293,9 +321,9 @@ class Registry {
   /// All histograms as dotted names, in a stable order.
   std::vector<HistogramSample> SnapshotHistograms() const;
 
-  /// {"search": {...}, "pipeline": {...}, "store": {...},
-  ///  "parallel": {...}, "cache": {...}, "server": {...},
-  ///  "memory": {...}}.
+  /// {"search": {...}, "pipeline": {...}, "store": {...}, "por": {...},
+  ///  "compress": {...}, "parallel": {...}, "cache": {...},
+  ///  "server": {...}, "memory": {...}}.
   json::Value ToJson() const;
 
   void Reset();

@@ -35,12 +35,14 @@ std::uint64_t SplitMix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+DoubleHash MakeDoubleHash(std::uint64_t base) {
+  // h_i = h1 + i*h2, with h1/h2 derived from the base hash.  The |1 keeps
+  // h2 odd so distinct i yield distinct positions even for small bases.
+  return {SplitMix64(base), SplitMix64(base ^ 0xa5a5a5a5a5a5a5a5ULL) | 1ULL};
+}
+
 std::uint64_t NthHash(std::uint64_t base, unsigned i) {
-  // h_i = h1 + i*h2, with h1/h2 derived from the base hash.  The +1 keeps
-  // h2 odd-ish so distinct i yield distinct positions even for small bases.
-  const std::uint64_t h1 = SplitMix64(base);
-  const std::uint64_t h2 = SplitMix64(base ^ 0xa5a5a5a5a5a5a5a5ULL) | 1ULL;
-  return h1 + static_cast<std::uint64_t>(i) * h2;
+  return MakeDoubleHash(base).Nth(i);
 }
 
 Fnv1a64Stream& Fnv1a64Stream::MixBytes(std::span<const std::uint8_t> bytes) {

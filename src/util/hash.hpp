@@ -23,8 +23,21 @@ std::uint64_t Fnv1a64(std::string_view s);
 /// SplitMix64 finalizer; a strong 64-bit mixing function.
 std::uint64_t SplitMix64(std::uint64_t x);
 
+/// The (h1, h2) pair behind NthHash, exposed so hot loops derive the two
+/// hashes once per key and step h1 + i*h2 per probe (Kirsch-Mitzenmacher)
+/// instead of remixing the base hash for every probe.
+struct DoubleHash {
+  std::uint64_t h1 = 0;
+  std::uint64_t h2 = 1;
+  std::uint64_t Nth(unsigned i) const {
+    return h1 + static_cast<std::uint64_t>(i) * h2;
+  }
+};
+DoubleHash MakeDoubleHash(std::uint64_t base);
+
 /// Derives the i-th hash for a k-hash Bloom filter from a base hash,
-/// using the Kirsch-Mitzenmacher double-hashing scheme.
+/// using the Kirsch-Mitzenmacher double-hashing scheme.  Equivalent to
+/// MakeDoubleHash(base).Nth(i).
 std::uint64_t NthHash(std::uint64_t base, unsigned i);
 
 /// Streaming FNV-1a accumulator for composite fingerprints (the

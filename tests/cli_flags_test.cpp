@@ -94,6 +94,18 @@ TEST(CliFlagsTest, MetricsOutAndAccessLogAreCommandGated) {
   EXPECT_THROW(Parse(kCmdCheck, {"--metrics-out"}), Error);
 }
 
+TEST(CliFlagsTest, PorAndStateCompressionAreCheckAndAttributeFlags) {
+  const CliFlags flags =
+      Parse(kCmdCheck, {"--por", "--state-compression"});
+  EXPECT_TRUE(flags.por);
+  EXPECT_TRUE(flags.state_compression);
+  EXPECT_FALSE(Parse(kCmdCheck, {}).por);
+  EXPECT_FALSE(Parse(kCmdCheck, {}).state_compression);
+  EXPECT_TRUE(Parse(kCmdAttribute, {"--por"}).por);
+  EXPECT_THROW(Parse(kCmdServe, {"--por"}), Error);
+  EXPECT_THROW(Parse(kCmdDeps, {"--state-compression"}), Error);
+}
+
 TEST(CliFlagsTest, BitstateBitsImpliesBitstate) {
   const CliFlags flags = Parse(kCmdCheck, {"--bitstate-bits", "20"});
   EXPECT_TRUE(flags.bitstate);

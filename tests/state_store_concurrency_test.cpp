@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <set>
 #include <span>
 #include <string>
@@ -106,6 +107,55 @@ TEST(StateStoreConcurrencyTest, BitstateStoreMatchesSerialReplay) {
   // Every state hammered in re-probes as seen.
   for (const std::string& state : distinct) {
     EXPECT_TRUE(store.TestAndInsert(Bytes(state)));
+  }
+}
+
+TEST(StateStoreConcurrencyTest, InternPoolAssignsConsistentIndices) {
+  // The COLLAPSE codec's pools are hammered exactly like the exhaustive
+  // store: overlapping component sets from racing workers.  Each
+  // distinct byte vector must end up with exactly one stable index.
+  InternPool pool(16);
+  std::vector<std::thread> threads;
+  // Per-thread observations: (component, index) pairs seen while racing.
+  std::vector<std::vector<std::pair<std::string, std::uint32_t>>> seen(
+      kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &seen, t] {
+      for (const std::string& component : StatesFor(t)) {
+        seen[static_cast<std::size_t>(t)].emplace_back(
+            component, pool.Intern(Bytes(component)));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  std::set<std::string> distinct;
+  for (int t = 0; t < kThreads; ++t) {
+    for (const std::string& component : StatesFor(t)) {
+      distinct.insert(component);
+    }
+  }
+  EXPECT_EQ(pool.size(), distinct.size());
+  EXPECT_EQ(pool.lookups(), static_cast<std::uint64_t>(kThreads) * 1000);
+  EXPECT_EQ(pool.hits(), pool.lookups() - pool.size());
+  EXPECT_GT(pool.memory_bytes(), 0u);
+
+  // Whatever index a racing thread observed must be what the pool hands
+  // out forever after — and every thread must have agreed at the time.
+  std::map<std::string, std::uint32_t> canonical;
+  for (const std::string& component : distinct) {
+    canonical[component] = pool.Intern(Bytes(component));
+  }
+  std::set<std::uint32_t> indices;
+  for (const auto& [component, index] : canonical) {
+    EXPECT_LT(index, pool.size());
+    indices.insert(index);
+  }
+  EXPECT_EQ(indices.size(), distinct.size());  // no two share an index
+  for (int t = 0; t < kThreads; ++t) {
+    for (const auto& [component, index] : seen[static_cast<std::size_t>(t)]) {
+      EXPECT_EQ(index, canonical[component]) << component;
+    }
   }
 }
 

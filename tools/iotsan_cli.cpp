@@ -205,6 +205,8 @@ core::RequestOptions RequestOptionsFromFlags(const CliFlags& flags) {
   out.mono = flags.mono;
   out.bitstate = flags.bitstate;
   out.bitstate_bits_pow = flags.bitstate_bits_pow;
+  out.por = flags.por;
+  out.state_compression = flags.state_compression;
   out.first = flags.first;
   out.reverify_bitstate = flags.reverify_bitstate;
   out.allow_discovery = flags.allow_discovery;
