@@ -3,13 +3,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
-#include <thread>
 
 #include "telemetry/telemetry.hpp"
 #include "util/build_info.hpp"
 #include "util/error.hpp"
+#include "util/fs.hpp"
 #include "util/log.hpp"
 
 namespace iotsan::cache {
@@ -26,14 +24,6 @@ bool Storable(const checker::CheckResult& result, unsigned effective_jobs) {
   if (!result.completed) return false;
   if (result.store_fill_ratio > 0 && effective_jobs > 1) return false;
   return true;
-}
-
-std::string ReadFileOrEmpty(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return {};
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
 }
 
 /// Estimated heap bytes one memoized entry holds resident: the key
@@ -96,6 +86,13 @@ json::Value EntryToJson(const GroupKey& key, const std::string& version,
   res["store_entries"] = static_cast<std::int64_t>(result.store_entries);
   res["store_memory_bytes"] =
       static_cast<std::int64_t>(result.store_memory_bytes);
+  res["store_bytes_per_state"] = result.store_bytes_per_state;
+  res["compress_pool_entries"] =
+      static_cast<std::int64_t>(result.compress_pool_entries);
+  res["compress_pool_bytes"] =
+      static_cast<std::int64_t>(result.compress_pool_bytes);
+  res["compress_lookups"] = static_cast<std::int64_t>(result.compress_lookups);
+  res["compress_hits"] = static_cast<std::int64_t>(result.compress_hits);
   json::Array depths;
   for (std::uint64_t count : result.depth_histogram) {
     depths.push_back(static_cast<std::int64_t>(count));
@@ -143,6 +140,21 @@ checker::CheckResult EntryFromJson(const json::Value& doc,
       static_cast<std::uint64_t>(res.GetNumber("store_entries"));
   result.store_memory_bytes =
       static_cast<std::uint64_t>(res.GetNumber("store_memory_bytes"));
+  // COLLAPSE diagnostics arrived after the schema froze; entries written
+  // before them read back with the fields zeroed.
+  if (res.Has("store_bytes_per_state")) {
+    result.store_bytes_per_state = res.GetNumber("store_bytes_per_state");
+  }
+  if (res.Has("compress_pool_entries")) {
+    result.compress_pool_entries =
+        static_cast<std::uint64_t>(res.GetNumber("compress_pool_entries"));
+    result.compress_pool_bytes =
+        static_cast<std::uint64_t>(res.GetNumber("compress_pool_bytes"));
+    result.compress_lookups =
+        static_cast<std::uint64_t>(res.GetNumber("compress_lookups"));
+    result.compress_hits =
+        static_cast<std::uint64_t>(res.GetNumber("compress_hits"));
+  }
   if (res.Has("depth_histogram")) {
     for (const json::Value& count : res.At("depth_histogram").AsArray()) {
       result.depth_histogram.push_back(
@@ -187,7 +199,7 @@ std::optional<checker::CheckResult> ResultCache::LookupDisk(
     const GroupKey& key) {
   if (config_.dir.empty()) return std::nullopt;
   const std::string path = EntryPath(key);
-  const std::string text = ReadFileOrEmpty(path);
+  const std::string text = util::ReadFileOrEmpty(path);
   if (text.empty()) return std::nullopt;
   auto* t = telemetry::Active();
   try {
@@ -280,29 +292,9 @@ void ResultCache::StoreDisk(const GroupKey& key,
   if (config_.dir.empty()) return;
   const std::string entry =
       EntryToJson(key, version_, result).Dump(0) + "\n";
-  const std::string path = EntryPath(key);
-  // Temp-file + rename keeps readers from ever seeing a half-written
-  // entry; the thread-id suffix keeps concurrent writers (different
-  // processes sharing one cache dir) off each other's temp files.
-  const std::string tmp =
-      path + ".tmp." +
-      std::to_string(std::hash<std::thread::id>{}(std::this_thread::get_id()) &
-                     0xffffff);
-  std::error_code ec;
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return;  // unwritable cache dir degrades to no-op
-    out << entry;
-    if (!out.good()) {
-      fs::remove(tmp, ec);
-      return;
-    }
-  }
-  fs::rename(tmp, path, ec);
-  if (ec) {
-    fs::remove(tmp, ec);
-    return;
-  }
+  // Atomic tmp+rename (util::AtomicWriteFile); an unwritable cache dir
+  // degrades to a silent no-op.
+  if (!util::AtomicWriteFile(EntryPath(key), entry)) return;
   if (auto* t = telemetry::Active()) t->cache.bytes_written += entry.size();
 }
 
@@ -387,7 +379,7 @@ namespace {
 enum class EntryState { kCurrent, kStale, kCorrupt };
 
 EntryState ClassifyEntry(const fs::path& path, const std::string& version) {
-  const std::string text = ReadFileOrEmpty(path.string());
+  const std::string text = util::ReadFileOrEmpty(path.string());
   if (text.empty()) return EntryState::kCorrupt;
   try {
     const json::Value doc = json::Parse(text);

@@ -74,12 +74,18 @@ constexpr FlagSpec kFlagTable[] = {
     {Flag::kAccessLog, "--access-log", "FILE", kCmdServe,
      "append one JSON line per request (request id, status, latency, "
      "queue wait, cache delta) to FILE"},
-    {Flag::kHost, "--host", "ADDR", kCmdServe | kCmdTop,
-     "bind address for the HTTP service (default 127.0.0.1); top: the "
-     "address to poll"},
-    {Flag::kPort, "--port", "N", kCmdServe | kCmdTop,
+    {Flag::kRegistryDir, "--registry-dir", "DIR", kCmdServe,
+     "persist fleet deployments (/v1/deployments) in DIR; without it "
+     "the registry is memory-only (docs/fleet.md)"},
+    {Flag::kIfMatch, "--if-match", "REVISION", kCmdFleet,
+     "fleet check: only run against this deployment revision (the ETag "
+     "from put/get); a stale pin fails with the server's 409"},
+    {Flag::kHost, "--host", "ADDR", kCmdServe | kCmdTop | kCmdFleet,
+     "bind address for the HTTP service (default 127.0.0.1); top/fleet: "
+     "the address to call"},
+    {Flag::kPort, "--port", "N", kCmdServe | kCmdTop | kCmdFleet,
      "TCP port for the HTTP service (0 = kernel-assigned; default 8080); "
-     "top: the port to poll",
+     "top/fleet: the port to call",
      0, 65535},
     {Flag::kHttpWorkers, "--http-workers", "N", kCmdServe,
      "HTTP session threads draining the accept queue (default 4)",
@@ -105,7 +111,7 @@ constexpr FlagSpec kFlagTable[] = {
      "redraw)"},
     {Flag::kHelp, "--help", nullptr,
      kCmdCheck | kCmdAttribute | kCmdDeps | kCmdPromela | kCmdServe |
-         kCmdTop,
+         kCmdTop | kCmdFleet,
      "show this help"},
 };
 
@@ -131,6 +137,9 @@ constexpr CommandSpec kCommands[] = {
     {kCmdTop, "top", "",
      "live terminal view of a running service's in-flight checks "
      "(polls GET /v1/status)"},
+    {kCmdFleet, "fleet", "<list|put|get|rm|check> [id] [deployment.json]",
+     "manage a serving fleet registry over /v1/deployments "
+     "(docs/fleet.md)"},
     {0, "cache", "<stats|prune|clear> <DIR>",
      "inspect or maintain an incremental-analysis cache directory"},
     {0, "apps", "", "list the bundled corpus apps"},
@@ -147,6 +156,7 @@ std::string CommandLetters(unsigned mask) {
   if (mask & kCmdPromela) out += 'P';
   if (mask & kCmdServe) out += 'S';
   if (mask & kCmdTop) out += 'T';
+  if (mask & kCmdFleet) out += 'F';
   return out;
 }
 
@@ -201,7 +211,7 @@ void PrintHelp(std::FILE* out) {
   }
   std::fprintf(out, "\nflags (letters mark the accepting commands: "
                     "C=check, A=attribute, D=deps, P=promela, S=serve, "
-                    "T=top):\n");
+                    "T=top, F=fleet):\n");
   for (const FlagSpec& spec : kFlagTable) {
     if (spec.id == Flag::kHelp) continue;
     std::fprintf(out, "  %-4s %-22s %s\n",
@@ -294,6 +304,8 @@ std::vector<std::string> ParseFlags(unsigned command,
       case Flag::kCacheDir: flags.cache_dir = value; break;
       case Flag::kMetricsOut: flags.metrics_out = value; break;
       case Flag::kAccessLog: flags.access_log = value; break;
+      case Flag::kRegistryDir: flags.registry_dir = value; break;
+      case Flag::kIfMatch: flags.if_match = value; break;
       case Flag::kHost: flags.host = value; break;
       case Flag::kPort: flags.port = static_cast<int>(number); break;
       case Flag::kHttpWorkers:

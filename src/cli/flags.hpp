@@ -23,6 +23,7 @@ enum : unsigned {
   kCmdPromela = 1u << 3,
   kCmdServe = 1u << 4,
   kCmdTop = 1u << 5,
+  kCmdFleet = 1u << 6,
 };
 
 enum class Flag {
@@ -46,6 +47,8 @@ enum class Flag {
   kCacheDir,
   kMetricsOut,
   kAccessLog,
+  kRegistryDir,
+  kIfMatch,
   kHost,
   kPort,
   kHttpWorkers,
@@ -113,8 +116,10 @@ struct CliFlags {
   std::string cache_dir;
   std::string metrics_out;   // Prometheus exposition file (check)
   std::string access_log;    // JSONL access log file (serve)
+  std::string registry_dir;  // fleet registry persistence root (serve)
+  std::string if_match;      // revision pin for `fleet check` ("" = none)
   std::uint64_t progress_every = 0;
-  // serve + top
+  // serve + top + fleet
   std::string host = "127.0.0.1";
   int port = 8080;            // 0 = kernel-assigned ephemeral port
   int http_workers = 4;       // HTTP session threads

@@ -82,9 +82,27 @@ std::vector<ir::AnalyzedApp> Sanitizer::AnalyzeInstalledApps(
   return analyzed;
 }
 
-namespace {
+model::ModelOptions EffectiveModelOptions(const SanitizerOptions& options) {
+  model::ModelOptions model_options = options.model;
+  model_options.dynamic_discovery =
+      model_options.dynamic_discovery || options.allow_dynamic_discovery;
+  // Discovery apps can reach every device, so the permutation space must
+  // cover every sensor, not just the subscribed ones.
+  model_options.all_sensor_events =
+      model_options.all_sensor_events || model_options.dynamic_discovery;
+  return model_options;
+}
 
-void MergeResult(SanitizerReport& report, checker::CheckResult result) {
+std::vector<props::Property> CandidateProperties(
+    const SanitizerOptions& options) {
+  std::vector<props::Property> all_properties = props::BuiltinProperties();
+  for (const props::Property& p : options.extra_properties) {
+    all_properties.push_back(p);
+  }
+  return all_properties;
+}
+
+void MergeGroupResult(SanitizerReport& report, checker::CheckResult result) {
   report.states_explored += result.states_explored;
   report.states_matched += result.states_matched;
   report.transitions += result.transitions;
@@ -127,24 +145,18 @@ void MergeResult(SanitizerReport& report, checker::CheckResult result) {
   }
 }
 
-}  // namespace
+void FinalizeReport(SanitizerReport& report) {
+  std::sort(report.violations.begin(), report.violations.end(),
+            [](const checker::Violation& a, const checker::Violation& b) {
+              return a.property_id < b.property_id;
+            });
+}
 
-SanitizerReport Sanitizer::Check(const SanitizerOptions& options) const {
-  telemetry::ScopedSpan pipeline_span("pipeline");
-  pipeline_span.Attr("system", deployment_.name);
-  pipeline_span.Attr("apps",
-                     static_cast<std::int64_t>(deployment_.apps.size()));
+std::vector<std::vector<std::size_t>> Sanitizer::PlanGroups(
+    const SanitizerOptions& options, SanitizerReport& report) const {
   const std::string& request_id = options.check.request_id;
-  if (!request_id.empty()) pipeline_span.Attr("request_id", request_id);
-  SanitizerReport report;
   std::vector<bool> rejected;
-  model::ModelOptions model_options = options.model;
-  model_options.dynamic_discovery =
-      model_options.dynamic_discovery || options.allow_dynamic_discovery;
-  // Discovery apps can reach every device, so the permutation space must
-  // cover every sensor, not just the subscribed ones.
-  model_options.all_sensor_events =
-      model_options.all_sensor_events || model_options.dynamic_discovery;
+  const model::ModelOptions model_options = EffectiveModelOptions(options);
   std::vector<ir::AnalyzedApp> analyzed = AnalyzeInstalledApps(
       report, rejected, model_options.dynamic_discovery, request_id);
 
@@ -186,69 +198,99 @@ SanitizerReport Sanitizer::Check(const SanitizerOptions& options) const {
     if (!accepted.empty()) groups.push_back(accepted);
     report.related_set_count = static_cast<int>(groups.size());
   }
+  return groups;
+}
 
-  // The candidate property set (built-ins + user extras).  The model
-  // filters it by applicability deterministically from the deployment, so
-  // this is the set the cache key fingerprints.
-  std::vector<props::Property> all_properties = props::BuiltinProperties();
-  for (const props::Property& p : options.extra_properties) {
-    all_properties.push_back(p);
+cache::GroupKey Sanitizer::GroupKeyFor(const std::vector<std::size_t>& group,
+                                       const SanitizerOptions& options,
+                                       const std::string& version) const {
+  const model::ModelOptions model_options = EffectiveModelOptions(options);
+  const std::vector<props::Property> all_properties =
+      CandidateProperties(options);
+  config::Deployment sub = deployment_;
+  sub.apps.clear();
+  for (std::size_t i : group) sub.apps.push_back(deployment_.apps[i]);
+  cache::GroupKeyInputs inputs;
+  inputs.deployment = &sub;
+  for (std::size_t i : group) {
+    inputs.sources.emplace_back(deployment_.apps[i].app,
+                                SourceFor(deployment_.apps[i].app));
   }
+  inputs.properties = &all_properties;
+  inputs.check = &options.check;
+  inputs.model = &model_options;
+  inputs.version = version;
+  return cache::MakeGroupKey(inputs);
+}
 
-  // Builds, property-selects, and checks one related-set group.
-  auto check_group_inner = [&](const std::vector<std::size_t>& group,
-                               const checker::CheckOptions& check) {
-    // Build a sub-deployment with this group's app instances; all devices
-    // stay visible so role-based properties bind identically.
-    config::Deployment sub = deployment_;
-    sub.apps.clear();
-    for (std::size_t i : group) sub.apps.push_back(deployment_.apps[i]);
+checker::CheckResult Sanitizer::CheckGroup(
+    const std::vector<std::size_t>& group, const SanitizerOptions& options,
+    const checker::CheckOptions& check) const {
+  const model::ModelOptions model_options = EffectiveModelOptions(options);
+  const std::vector<props::Property> all_properties =
+      CandidateProperties(options);
+  // Build a sub-deployment with this group's app instances; all devices
+  // stay visible so role-based properties bind identically.
+  config::Deployment sub = deployment_;
+  sub.apps.clear();
+  for (std::size_t i : group) sub.apps.push_back(deployment_.apps[i]);
 
-    auto run = [&]() -> checker::CheckResult {
-      std::vector<ir::AnalyzedApp> group_apps;
-      for (std::size_t i : group) {
-        // Re-analyze per group: AnalyzedApp is consumed by SystemModel and
-        // related sets may overlap.
-        group_apps.push_back(
-            ir::AnalyzeSource(SourceFor(deployment_.apps[i].app),
-                              deployment_.apps[i].app));
-      }
-      model::SystemModel model = [&] {
-        telemetry::ScopedSpan build_span("model_build");
-        build_span.Attr("apps", static_cast<std::int64_t>(group.size()));
-        if (!check.request_id.empty()) {
-          build_span.Attr("request_id", check.request_id);
-        }
-        if (auto* t = telemetry::Active()) ++t->pipeline.models_built;
-        return model::SystemModel(config::Deployment(sub),
-                                  std::move(group_apps), model_options);
-      }();
-      if (!options.extra_properties.empty()) {
-        model.SelectProperties(all_properties);
-      }
-      checker::Checker checker(model);
-      return checker.Run(check);
-    };
-
-    if (options.cache == nullptr) return run();
-    // A group's result is a pure function of this key: a hit skips the
-    // re-analysis, model build, and search above.
-    cache::GroupKeyInputs inputs;
-    inputs.deployment = &sub;
+  auto run = [&]() -> checker::CheckResult {
+    std::vector<ir::AnalyzedApp> group_apps;
     for (std::size_t i : group) {
-      inputs.sources.emplace_back(deployment_.apps[i].app,
-                                  SourceFor(deployment_.apps[i].app));
+      // Re-analyze per group: AnalyzedApp is consumed by SystemModel and
+      // related sets may overlap.
+      group_apps.push_back(
+          ir::AnalyzeSource(SourceFor(deployment_.apps[i].app),
+                            deployment_.apps[i].app));
     }
-    inputs.properties = &all_properties;
-    inputs.check = &check;
-    inputs.model = &model_options;
-    inputs.version = options.cache->version();
-    const unsigned effective_jobs =
-        check.pool != nullptr ? static_cast<unsigned>(check.pool->jobs())
-                              : util::ResolveJobs(check.jobs);
-    return options.cache->FetchOrCompute(cache::MakeGroupKey(inputs),
-                                         effective_jobs, run);
+    model::SystemModel model = [&] {
+      telemetry::ScopedSpan build_span("model_build");
+      build_span.Attr("apps", static_cast<std::int64_t>(group.size()));
+      if (!check.request_id.empty()) {
+        build_span.Attr("request_id", check.request_id);
+      }
+      if (auto* t = telemetry::Active()) ++t->pipeline.models_built;
+      return model::SystemModel(config::Deployment(sub),
+                                std::move(group_apps), model_options);
+    }();
+    if (!options.extra_properties.empty()) {
+      model.SelectProperties(all_properties);
+    }
+    checker::Checker checker(model);
+    return checker.Run(check);
   };
+
+  if (options.cache == nullptr) return run();
+  // A group's result is a pure function of this key: a hit skips the
+  // re-analysis, model build, and search above.
+  cache::GroupKeyInputs inputs;
+  inputs.deployment = &sub;
+  for (std::size_t i : group) {
+    inputs.sources.emplace_back(deployment_.apps[i].app,
+                                SourceFor(deployment_.apps[i].app));
+  }
+  inputs.properties = &all_properties;
+  inputs.check = &check;
+  inputs.model = &model_options;
+  inputs.version = options.cache->version();
+  const unsigned effective_jobs =
+      check.pool != nullptr ? static_cast<unsigned>(check.pool->jobs())
+                            : util::ResolveJobs(check.jobs);
+  return options.cache->FetchOrCompute(cache::MakeGroupKey(inputs),
+                                       effective_jobs, run);
+}
+
+SanitizerReport Sanitizer::Check(const SanitizerOptions& options) const {
+  telemetry::ScopedSpan pipeline_span("pipeline");
+  pipeline_span.Attr("system", deployment_.name);
+  pipeline_span.Attr("apps",
+                     static_cast<std::int64_t>(deployment_.apps.size()));
+  const std::string& request_id = options.check.request_id;
+  if (!request_id.empty()) pipeline_span.Attr("request_id", request_id);
+  SanitizerReport report;
+  const std::vector<std::vector<std::size_t>> groups =
+      PlanGroups(options, report);
 
   // End-to-end group latency (cache hits included — that is what a
   // caller observes) and the search throughput computed groups achieved.
@@ -261,7 +303,7 @@ SanitizerReport Sanitizer::Check(const SanitizerOptions& options) const {
   auto check_group = [&](const std::vector<std::size_t>& group,
                          const checker::CheckOptions& check) {
     const auto group_start = std::chrono::steady_clock::now();
-    checker::CheckResult result = check_group_inner(group, check);
+    checker::CheckResult result = CheckGroup(group, options, check);
     if (auto* t = telemetry::Active()) {
       t->search_hist.group_check_duration_us.Record(static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::microseconds>(
@@ -321,7 +363,7 @@ SanitizerReport Sanitizer::Check(const SanitizerOptions& options) const {
     });
     // Merge in group order: byte-identical to the serial loop.
     for (checker::CheckResult& result : results) {
-      MergeResult(report, std::move(result));
+      MergeGroupResult(report, std::move(result));
     }
     // Per-group seconds overlap under concurrency; report wall clock.
     report.seconds = std::chrono::duration<double>(
@@ -337,14 +379,11 @@ SanitizerReport Sanitizer::Check(const SanitizerOptions& options) const {
     }
   } else {
     for (const std::vector<std::size_t>& group : groups) {
-      MergeResult(report, check_group(group, options.check));
+      MergeGroupResult(report, check_group(group, options.check));
     }
   }
 
-  std::sort(report.violations.begin(), report.violations.end(),
-            [](const checker::Violation& a, const checker::Violation& b) {
-              return a.property_id < b.property_id;
-            });
+  FinalizeReport(report);
   return report;
 }
 

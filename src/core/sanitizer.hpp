@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/fingerprint.hpp"
 #include "checker/checker.hpp"
 #include "config/deployment.hpp"
 #include "deps/dependency_graph.hpp"
@@ -90,6 +91,25 @@ struct SanitizerReport {
   std::vector<std::string> ViolatedPropertyIds() const;
 };
 
+/// The model options Check derives from `options`: dynamic discovery
+/// implies covering every sensor's events.
+model::ModelOptions EffectiveModelOptions(const SanitizerOptions& options);
+
+/// The candidate property set (built-ins + user extras).  The model
+/// filters it by applicability deterministically from the deployment,
+/// so this is the set the cache key fingerprints.
+std::vector<props::Property> CandidateProperties(
+    const SanitizerOptions& options);
+
+/// Folds one related-set group's result into the aggregate report:
+/// counters sum, store diagnostics take the worst run, per-set
+/// violations append, merged violations sum occurrences per property.
+void MergeGroupResult(SanitizerReport& report, checker::CheckResult result);
+
+/// Deterministic final ordering: violations sorted by property id.
+/// Call once after the last MergeGroupResult.
+void FinalizeReport(SanitizerReport& report);
+
 class Sanitizer {
  public:
   /// `deployment` names the installed apps; sources are resolved from the
@@ -101,6 +121,28 @@ class Sanitizer {
 
   /// Runs the full pipeline.
   SanitizerReport Check(const SanitizerOptions& options = {}) const;
+
+  /// Analyzes the installed apps and computes the related-set groups
+  /// Check dispatches (each a vector of indices into
+  /// deployment().apps), filling the report's rejection/analysis/scale
+  /// fields exactly as Check does.  Exposed so the fleet registry's
+  /// delta re-verification (src/registry) can classify groups without
+  /// running them.
+  std::vector<std::vector<std::size_t>> PlanGroups(
+      const SanitizerOptions& options, SanitizerReport& report) const;
+
+  /// The content-addressed fingerprint of one group under `options` —
+  /// the exact key the result cache memoizes the group's result under.
+  cache::GroupKey GroupKeyFor(const std::vector<std::size_t>& group,
+                              const SanitizerOptions& options,
+                              const std::string& version) const;
+
+  /// Builds, property-selects, and checks one related-set group,
+  /// consulting `options.cache` when set.  `check` is `options.check`,
+  /// possibly rebound to a shared pool by a parallel dispatcher.
+  checker::CheckResult CheckGroup(const std::vector<std::size_t>& group,
+                                  const SanitizerOptions& options,
+                                  const checker::CheckOptions& check) const;
 
   const config::Deployment& deployment() const { return deployment_; }
 

@@ -1,0 +1,88 @@
+#include "registry/fleet.hpp"
+
+#include <chrono>
+
+#include "telemetry/telemetry.hpp"
+
+namespace iotsan::registry {
+
+std::vector<Fleet::Status> Fleet::List() {
+  std::vector<Status> out;
+  for (const std::string& id : store_.List()) {
+    auto deployment = store_.Get(id);
+    if (!deployment) continue;  // corrupt or deleted between list and get
+    Status status;
+    status.id = id;
+    status.revision = deployment->revision;
+    if (auto record = store_.GetRecord(id)) {
+      status.checked_revision = record->revision;
+      status.verdict = record->verdict;
+      status.groups_total = record->groups_total;
+      status.groups_recomputed = record->groups_recomputed;
+      status.check_seconds = record->check_seconds;
+    }
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+std::optional<Fleet::CheckOutcome> Fleet::Check(
+    const std::string& id, std::optional<std::uint64_t> if_match,
+    const core::RequestOptions& options, const core::ServiceEnv& env) {
+  auto deployment = store_.Get(id);
+  if (!deployment) return std::nullopt;
+  if (if_match && *if_match != deployment->revision) {
+    if (auto* t = telemetry::Active()) ++t->registry.revision_conflicts;
+    throw RevisionConflict(*if_match, deployment->revision);
+  }
+  auto prior = store_.GetRecord(id);
+
+  // Per-tenant attribution: the span carries the deployment id next to
+  // the request id, so `iotsan_trace summary` can split fleet traffic.
+  telemetry::ScopedSpan span("registry_check");
+  span.Attr("deployment", id);
+  span.Attr("revision", static_cast<std::int64_t>(deployment->revision));
+  if (!env.request_id.empty()) span.Attr("request_id", env.request_id);
+
+  core::CheckRequest request;
+  request.deployment = deployment->deployment;
+  request.extra_sources = deployment->app_sources;
+  request.extra_properties = deployment->ExtraProperties();
+  request.options = options;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  RegistryCheckOutcome outcome =
+      RunRegistryCheck(request, env, prior ? &*prior : nullptr);
+  const double wall_seconds = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() -
+                                  wall_start)
+                                  .count();
+  span.Attr("groups_reused",
+            static_cast<std::int64_t>(outcome.groups_reused));
+  span.Attr("groups_recomputed",
+            static_cast<std::int64_t>(outcome.groups_recomputed));
+
+  outcome.record.revision = deployment->revision;
+  outcome.record.check_seconds = wall_seconds;
+  store_.PutRecord(id, outcome.record);
+
+  if (auto* t = telemetry::Active()) {
+    const auto us = static_cast<std::uint64_t>(wall_seconds * 1e6);
+    if (outcome.groups_reused > 0) {
+      t->registry_hist.delta_check_duration_us.Record(us);
+    } else {
+      t->registry_hist.full_check_duration_us.Record(us);
+    }
+  }
+
+  CheckOutcome out;
+  out.response = std::move(outcome.response);
+  out.revision = deployment->revision;
+  out.groups_total = outcome.groups_total;
+  out.groups_reused = outcome.groups_reused;
+  out.groups_recomputed = outcome.groups_recomputed;
+  out.check_seconds = wall_seconds;
+  return out;
+}
+
+}  // namespace iotsan::registry

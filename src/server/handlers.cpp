@@ -1,11 +1,14 @@
 #include "server/handlers.hpp"
 
 #include <cstdio>
+#include <optional>
+#include <string_view>
 
 #include "checker/checker.hpp"
 #include "config/deployment.hpp"
 #include "corpus/corpus.hpp"
 #include "props/loader.hpp"
+#include "registry/fleet.hpp"
 #include "telemetry/prometheus.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/build_info.hpp"
@@ -202,6 +205,40 @@ HttpResponse JsonResponse(int status, json::Object body) {
   return response;
 }
 
+/// 405 with the Allow header RFC 9110 requires.
+HttpResponse MethodNotAllowed(const std::string& allow,
+                              const std::string& path,
+                              const std::string& request_id) {
+  HttpResponse response =
+      ErrorResponse(405, kErrMethod, "use " + allow + " " + path, request_id);
+  response.headers.emplace_back("Allow", allow);
+  return response;
+}
+
+/// Revision tokens travel as strong ETags: `"3"`.
+std::string ETagValue(std::uint64_t revision) {
+  return "\"" + std::to_string(revision) + "\"";
+}
+
+/// An If-Match header pins the revision a check may run against.
+/// Accepts the quoted ETag form, a bare integer, or `*` (no pin).
+std::optional<std::uint64_t> ParseIfMatch(const HttpRequest& request) {
+  const auto it = request.headers.find("if-match");
+  if (it == request.headers.end()) return std::nullopt;
+  std::string value = it->second;
+  if (value == "*") return std::nullopt;
+  if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+    value = value.substr(1, value.size() - 2);
+  }
+  if (value.empty() || value.size() > 20 ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    throw RequestError(400, kErrBadRequest,
+                       "If-Match wants a revision token as served in ETag "
+                       "(\"3\"), or *");
+  }
+  return std::stoull(value);
+}
+
 double UptimeSeconds(const ServiceState& state) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        state.start_time)
@@ -365,6 +402,34 @@ class InflightGuard {
   std::string request_id_;
 };
 
+/// Streams per-group progress into the /v1/status in-flight table and
+/// the SSE broker; shared by /v1/check and the fleet check endpoint.
+void WireProgressEvents(core::ServiceEnv& env, const ServiceState& state,
+                        const std::string& request_id) {
+  if (state.inflight == nullptr && state.events == nullptr) return;
+  InflightTable* inflight = state.inflight;
+  EventBroker* events = state.events;
+  env.on_group_progress = [inflight, events, request_id](
+                              const telemetry::GroupProgress& progress) {
+    if (inflight != nullptr) inflight->Update(request_id, progress);
+    if (events != nullptr && events->subscriber_count() > 0) {
+      json::Object data;
+      data["request_id"] = request_id;
+      data["groups_total"] =
+          static_cast<std::int64_t>(progress.groups_total);
+      data["groups_done"] =
+          static_cast<std::int64_t>(progress.groups_done);
+      data["states_explored"] =
+          static_cast<std::int64_t>(progress.states_explored);
+      data["store_memory_bytes"] =
+          static_cast<std::int64_t>(progress.store_memory_bytes);
+      data["group_seconds"] = progress.seconds;
+      events->Publish(
+          {"progress", json::Value(std::move(data)).Dump(0)});
+    }
+  };
+}
+
 HttpResponse HandleCheck(const HttpRequest& request,
                          const ServiceState& state,
                          const std::string& request_id) {
@@ -394,29 +459,7 @@ HttpResponse HandleCheck(const HttpRequest& request,
     state.inflight->Register(entry);
   }
   InflightGuard inflight_guard(state.inflight, request_id);
-  if (state.inflight != nullptr || state.events != nullptr) {
-    InflightTable* inflight = state.inflight;
-    EventBroker* events = state.events;
-    env.on_group_progress = [inflight, events, request_id](
-                                const telemetry::GroupProgress& progress) {
-      if (inflight != nullptr) inflight->Update(request_id, progress);
-      if (events != nullptr && events->subscriber_count() > 0) {
-        json::Object data;
-        data["request_id"] = request_id;
-        data["groups_total"] =
-            static_cast<std::int64_t>(progress.groups_total);
-        data["groups_done"] =
-            static_cast<std::int64_t>(progress.groups_done);
-        data["states_explored"] =
-            static_cast<std::int64_t>(progress.states_explored);
-        data["store_memory_bytes"] =
-            static_cast<std::int64_t>(progress.store_memory_bytes);
-        data["group_seconds"] = progress.seconds;
-        events->Publish(
-            {"progress", json::Value(std::move(data)).Dump(0)});
-      }
-    };
-  }
+  WireProgressEvents(env, state, request_id);
 
   core::CheckResponse result = core::RunCheck(check, env);
   if (state.events != nullptr && state.events->subscriber_count() > 0) {
@@ -482,6 +525,215 @@ HttpResponse HandleAttribute(const HttpRequest& request,
   doc["report"] = core::AttributionToJson(result.app_name, result.result);
   doc["request_id"] = request_id;
   return JsonResponse(200, std::move(doc));
+}
+
+// ---- fleet registry (docs/fleet.md) ------------------------------------------
+
+/// `GET /v1/deployments`: one status row per stored deployment.
+HttpResponse HandleDeploymentList(const ServiceState& state,
+                                  const std::string& request_id) {
+  json::Object doc;
+  doc["schema"] = "iotsan.deployments/1";
+  json::Array rows;
+  for (const registry::Fleet::Status& status : state.registry->List()) {
+    json::Object row;
+    row["id"] = status.id;
+    row["revision"] = static_cast<std::int64_t>(status.revision);
+    row["checked_revision"] =
+        static_cast<std::int64_t>(status.checked_revision);
+    row["verdict"] = status.verdict;
+    row["groups_total"] = static_cast<std::int64_t>(status.groups_total);
+    row["groups_recomputed"] =
+        static_cast<std::int64_t>(status.groups_recomputed);
+    row["check_seconds"] = status.check_seconds;
+    rows.push_back(json::Value(std::move(row)));
+  }
+  doc["deployments"] = std::move(rows);
+  doc["request_id"] = request_id;
+  return JsonResponse(200, std::move(doc));
+}
+
+/// `PUT /v1/deployments/{id}`: upsert from the same iotsan.request/1
+/// envelope POST /v1/check reads (an "options" key is ignored — options
+/// belong to check requests).  201 on create, 200 on update; the new
+/// revision travels in ETag and the body.
+HttpResponse HandleDeploymentPut(const HttpRequest& request,
+                                 const ServiceState& state,
+                                 const std::string& request_id,
+                                 const std::string& id) {
+  const json::Value doc = ParseBodyJson(request.body);
+  const json::Value& deployment_json = ValidateEnvelope(doc);
+  registry::StoredDeployment stored;
+  stored.id = id;
+  stored.deployment = ParseDeploymentOrThrow(deployment_json);
+  stored.app_sources = ParseInlineSources(doc);
+  // Validate inline properties now so a bad PUT fails fast, but persist
+  // the raw JSON: the stored document round-trips what the client sent.
+  ParseInlineProperties(doc);
+  if (doc.Has("properties")) {
+    stored.properties_json = doc.At("properties").Dump(0);
+  }
+  const std::uint64_t revision = state.registry->Put(std::move(stored));
+  json::Object body = ResponseEnvelope();
+  body["id"] = id;
+  body["revision"] = static_cast<std::int64_t>(revision);
+  body["request_id"] = request_id;
+  HttpResponse response =
+      JsonResponse(revision == 1 ? 201 : 200, std::move(body));
+  response.headers.emplace_back("ETag", ETagValue(revision));
+  return response;
+}
+
+/// `GET /v1/deployments/{id}`: the stored iotsan.deployment/1 document
+/// verbatim, revision in ETag.
+HttpResponse HandleDeploymentGet(const ServiceState& state,
+                                 const std::string& id) {
+  auto deployment = state.registry->Get(id);
+  if (!deployment) {
+    throw RequestError(404, kErrNotFound, "no such deployment: " + id);
+  }
+  HttpResponse response;
+  response.status = 200;
+  response.body = registry::StoredDeploymentToJson(*deployment).Dump(0) + "\n";
+  response.headers.emplace_back("ETag", ETagValue(deployment->revision));
+  return response;
+}
+
+HttpResponse HandleDeploymentDelete(const ServiceState& state,
+                                    const std::string& request_id,
+                                    const std::string& id) {
+  if (!state.registry->Remove(id)) {
+    throw RequestError(404, kErrNotFound, "no such deployment: " + id);
+  }
+  json::Object doc = ResponseEnvelope();
+  doc["id"] = id;
+  doc["deleted"] = true;
+  doc["request_id"] = request_id;
+  return JsonResponse(200, std::move(doc));
+}
+
+/// `POST /v1/deployments/{id}/check`: delta re-verification against the
+/// retained prior.  The body may be empty (server defaults) or carry an
+/// iotsan.request/1 "options" object; If-Match pins a revision (409
+/// when stale).
+HttpResponse HandleDeploymentCheck(const HttpRequest& request,
+                                   const ServiceState& state,
+                                   const std::string& request_id,
+                                   const std::string& id) {
+  const std::optional<std::uint64_t> if_match = ParseIfMatch(request);
+  ParsedOptionsMeta meta;
+  core::RequestOptions options;
+  if (!request.body.empty()) {
+    const json::Value doc = ParseBodyJson(request.body);
+    if (!doc.is_object()) {
+      throw RequestError(400, kErrBadSchema,
+                         "check body must be a JSON object (or empty for "
+                         "server defaults)");
+    }
+    if (doc.Has("schema") && (!doc.At("schema").is_string() ||
+                              doc.At("schema").AsString() != kRequestSchema)) {
+      throw RequestError(400, kErrBadSchema,
+                         std::string("unsupported request schema (this "
+                                     "server speaks ") + kRequestSchema + ")");
+    }
+    options = ParseOptions(doc, &meta);
+  }
+  ApplyServerDefaults(options, meta, state);
+  core::ServiceEnv env = state.env;
+  env.request_id = request_id;
+  if (state.inflight != nullptr) {
+    InflightEntry entry;
+    entry.request_id = request_id;
+    entry.endpoint = "fleet_check";
+    entry.deployment = id;
+    entry.deadline_seconds = options.deadline_seconds;
+    entry.started = std::chrono::steady_clock::now();
+    state.inflight->Register(entry);
+  }
+  InflightGuard inflight_guard(state.inflight, request_id);
+  WireProgressEvents(env, state, request_id);
+
+  std::optional<registry::Fleet::CheckOutcome> outcome;
+  try {
+    outcome = state.registry->Check(id, if_match, options, env);
+  } catch (const registry::RevisionConflict& e) {
+    // The message carries both revisions; the client re-GETs for the
+    // fresh ETag and retries.
+    throw RequestError(409, kErrConflict, e.what());
+  }
+  if (!outcome) {
+    throw RequestError(404, kErrNotFound, "no such deployment: " + id);
+  }
+  json::Object doc = ResponseEnvelope();
+  doc["id"] = id;
+  doc["revision"] = static_cast<std::int64_t>(outcome->revision);
+  doc["verdict"] = outcome->response.report.violations.empty()
+                       ? "clean"
+                       : "violations";
+  doc["exit_code"] = outcome->response.exit_code;
+  doc["text"] = outcome->response.text;
+  json::Object delta;
+  delta["groups_total"] = static_cast<std::int64_t>(outcome->groups_total);
+  delta["groups_reused"] = static_cast<std::int64_t>(outcome->groups_reused);
+  delta["groups_recomputed"] =
+      static_cast<std::int64_t>(outcome->groups_recomputed);
+  doc["delta"] = std::move(delta);
+  doc["check_seconds"] = outcome->check_seconds;
+  doc["request_id"] = request_id;
+  HttpResponse response = JsonResponse(200, std::move(doc));
+  response.headers.emplace_back("ETag", ETagValue(outcome->revision));
+  return response;
+}
+
+/// Dispatches everything under /v1/deployments.  The id segment doubles
+/// as a directory name in the store, so validation happens before any
+/// handler runs; `context` learns the id for the access log.
+HttpResponse RouteDeployments(const HttpRequest& request,
+                              const std::string& path,
+                              const ServiceState& state,
+                              const std::string& request_id,
+                              RequestContext* context) {
+  if (state.registry == nullptr) {
+    throw RequestError(404, kErrNotFound,
+                       "fleet registry is not enabled on this server");
+  }
+  if (path == "/v1/deployments") {
+    if (request.method != "GET") {
+      return MethodNotAllowed("GET", path, request_id);
+    }
+    return HandleDeploymentList(state, request_id);
+  }
+  std::string id = path.substr(std::string("/v1/deployments/").size());
+  bool check = false;
+  constexpr std::string_view kCheckSuffix = "/check";
+  if (id.size() > kCheckSuffix.size() &&
+      id.compare(id.size() - kCheckSuffix.size(), kCheckSuffix.size(),
+                 kCheckSuffix) == 0) {
+    check = true;
+    id.resize(id.size() - kCheckSuffix.size());
+  }
+  if (!registry::IsValidDeploymentId(id)) {
+    throw RequestError(400, kErrBadRequest,
+                       "invalid deployment id \"" + id + "\" (want 1-64 of "
+                       "[A-Za-z0-9._-], no leading dot)");
+  }
+  if (context != nullptr) context->deployment_id = id;
+  if (check) {
+    if (request.method != "POST") {
+      return MethodNotAllowed("POST", path, request_id);
+    }
+    return HandleDeploymentCheck(request, state, request_id, id);
+  }
+  if (request.method == "PUT") {
+    return HandleDeploymentPut(request, state, request_id, id);
+  }
+  if (request.method == "GET") {
+    return HandleDeploymentGet(state, id);
+  }
+  if (request.method == "DELETE") {
+    return HandleDeploymentDelete(state, request_id, id);
+  }
+  return MethodNotAllowed("GET, PUT, DELETE", path, request_id);
 }
 
 }  // namespace
@@ -603,33 +855,30 @@ HttpResponse Route(const HttpRequest& request, const ServiceState& state,
     if (path == "/v1/health") {
       response = request.method == "GET"
                      ? HandleHealth(state, request_id)
-                     : ErrorResponse(405, kErrMethod,
-                                     "use GET " + path, request_id);
+                     : MethodNotAllowed("GET", path, request_id);
     } else if (path == "/v1/status") {
       response = request.method == "GET"
                      ? HandleStatus(state, request_id)
-                     : ErrorResponse(405, kErrMethod, "use GET " + path,
-                                     request_id);
+                     : MethodNotAllowed("GET", path, request_id);
     } else if (path == "/v1/metrics") {
       response = request.method == "GET"
                      ? HandleMetrics(request, state)
-                     : ErrorResponse(405, kErrMethod, "use GET " + path,
-                                     request_id);
+                     : MethodNotAllowed("GET", path, request_id);
     } else if (path == "/v1/version") {
       response = request.method == "GET"
                      ? HandleVersion(request_id)
-                     : ErrorResponse(405, kErrMethod, "use GET " + path,
-                                     request_id);
+                     : MethodNotAllowed("GET", path, request_id);
     } else if (path == "/v1/check") {
       response = request.method == "POST"
                      ? HandleCheck(request, state, request_id)
-                     : ErrorResponse(405, kErrMethod, "use POST " + path,
-                                     request_id);
+                     : MethodNotAllowed("POST", path, request_id);
     } else if (path == "/v1/attribute") {
       response = request.method == "POST"
                      ? HandleAttribute(request, state, request_id)
-                     : ErrorResponse(405, kErrMethod, "use POST " + path,
-                                     request_id);
+                     : MethodNotAllowed("POST", path, request_id);
+    } else if (path == "/v1/deployments" ||
+               path.rfind("/v1/deployments/", 0) == 0) {
+      response = RouteDeployments(request, path, state, request_id, context);
     } else {
       response = ErrorResponse(404, kErrNotFound,
                                "no such endpoint: " + path, request_id);

@@ -20,6 +20,18 @@
 //                       by the connection loop (server.cpp), not Route,
 //                       because it holds the response open (chunked)
 //
+// Fleet registry (served only when `iotsan serve` runs with a
+// registry; docs/fleet.md):
+//   GET    /v1/deployments          status list: revision, last verdict,
+//                                   groups total/recomputed, last check
+//                                   duration
+//   PUT    /v1/deployments/{id}     upsert a versioned deployment; the
+//                                   response's ETag is the new revision
+//   GET    /v1/deployments/{id}     the stored deployment (+ ETag)
+//   DELETE /v1/deployments/{id}     remove deployment and retained record
+//   POST   /v1/deployments/{id}/check  delta re-verification; If-Match
+//                                   pins a revision (409 when stale)
+//
 // Correlation: every request gets a request id (taken from an
 // X-Request-Id header when well-formed, generated otherwise), echoed in
 // the response header and JSON body (except the byte-stable metrics
@@ -41,6 +53,10 @@
 #include "server/http.hpp"
 #include "util/error.hpp"
 
+namespace iotsan::registry {
+class Fleet;
+}  // namespace iotsan::registry
+
 namespace iotsan::server {
 
 /// Machine-readable error codes carried in `error.code`.
@@ -50,6 +66,7 @@ inline constexpr const char* kErrBadRequest = "bad_request";    // 400
 inline constexpr const char* kErrTooLarge = "payload_too_large";  // 413
 inline constexpr const char* kErrNotFound = "not_found";        // 404
 inline constexpr const char* kErrMethod = "method_not_allowed"; // 405
+inline constexpr const char* kErrConflict = "revision_conflict"; // 409
 inline constexpr const char* kErrQueueFull = "queue_full";      // 503
 inline constexpr const char* kErrTimeout = "request_timeout";   // 408
 inline constexpr const char* kErrInternal = "internal";         // 500
@@ -76,6 +93,8 @@ struct ServiceState {
   /// check requests publish progress/verdict events to.
   InflightTable* inflight = nullptr;
   EventBroker* events = nullptr;
+  /// Fleet registry backing /v1/deployments (null = endpoints 404).
+  registry::Fleet* registry = nullptr;
 };
 
 /// A client error with an HTTP status and a machine-readable code;
@@ -105,6 +124,9 @@ HttpResponse ErrorResponse(int status, const std::string& code,
 struct RequestContext {
   std::string request_id;
   std::string error_code;
+  /// Deployment id for /v1/deployments requests ("" elsewhere) — the
+  /// access log's per-tenant attribution field.
+  std::string deployment_id;
 };
 
 /// Accepts an X-Request-Id value when it is non-empty, at most 64

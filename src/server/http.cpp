@@ -165,8 +165,10 @@ ReadStatus ReadHttpRequest(int fd, const ReadLimits& limits,
 const char* ReasonPhrase(int status) {
   switch (status) {
     case 200: return "OK";
+    case 201: return "Created";
     case 400: return "Bad Request";
     case 404: return "Not Found";
+    case 409: return "Conflict";
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
     case 413: return "Payload Too Large";

@@ -13,6 +13,7 @@
 #include "props/property.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
+#include "util/fs.hpp"
 #include "util/json.hpp"
 #include "util/log.hpp"
 
@@ -41,9 +42,10 @@ std::uint64_t ElapsedUs(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 AccessLog::AccessLog(const std::string& path)
-    : path_(path), out_(path, std::ios::app),
-      epoch_(std::chrono::system_clock::now()) {
-  if (!out_) throw Error("serve: cannot open access log: " + path);
+    : path_(path), epoch_(std::chrono::system_clock::now()) {
+  if (!util::OpenAppend(out_, path)) {
+    throw Error("serve: cannot open access log: " + path);
+  }
 }
 
 void AccessLog::Write(const Entry& entry) {
@@ -63,6 +65,7 @@ void AccessLog::Write(const Entry& entry) {
     error["code"] = entry.error_code;
     line["error"] = std::move(error);
   }
+  if (!entry.deployment.empty()) line["deployment"] = entry.deployment;
   line["cache_hits"] = static_cast<std::int64_t>(entry.cache_hits);
   line["cache_misses"] = static_cast<std::int64_t>(entry.cache_misses);
   const std::string text = json::Value(std::move(line)).Dump(0);
@@ -88,8 +91,8 @@ void AccessLog::Flush() {
 void AccessLog::Reopen() {
   std::lock_guard<std::mutex> lock(mutex_);
   FlushLocked();
-  std::ofstream reopened(path_, std::ios::app);
-  if (!reopened) {
+  std::ofstream reopened;
+  if (!util::OpenAppend(reopened, path_)) {
     util::LogWarn("server", "access log reopen failed; keeping old stream",
                   {{"path", path_}});
     return;
@@ -118,6 +121,9 @@ void Server::Start() {
   cache::CacheConfig cache_config;
   cache_config.dir = config_.cache_dir;
   cache_ = std::make_unique<cache::ResultCache>(cache_config);
+  registry::StoreConfig store_config;
+  store_config.dir = config_.registry_dir;
+  fleet_ = std::make_unique<registry::Fleet>(store_config);
   for (const props::Property& p : props::BuiltinProperties()) {
     if (p.kind == props::PropertyKind::kInvariant) p.ParsedExpression();
   }
@@ -135,6 +141,7 @@ void Server::Start() {
   service_.start_time = std::chrono::steady_clock::now();
   service_.inflight = &inflight_;
   service_.events = &events_;
+  service_.registry = fleet_.get();
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw Error("serve: cannot create socket");
@@ -394,6 +401,7 @@ std::uint64_t Server::ServeConnection(int fd, std::uint64_t queue_wait_us) {
       entry.queue_us = request_queue_us;
       entry.bytes = request.body.size();
       entry.error_code = context.error_code;
+      entry.deployment = context.deployment_id;
       if (auto* t = telemetry::Active()) {
         entry.cache_hits =
             t->cache.hits.load(std::memory_order_relaxed) - hits_before;

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "cache/result_cache.hpp"
+#include "registry/fleet.hpp"
 #include "server/events.hpp"
 #include "server/handlers.hpp"
 #include "util/thread_pool.hpp"
@@ -69,6 +70,9 @@ struct ServerConfig {
   /// path, status, latency, queue wait, body bytes, error code, cache
   /// hit/miss delta).  "" disables.
   std::string access_log_path;
+  /// Fleet registry persistence root for /v1/deployments ("" = the
+  /// registry is memory-only; deployments do not survive a restart).
+  std::string registry_dir;
 };
 
 /// Append-only JSONL request log shared by the session threads.
@@ -93,6 +97,7 @@ class AccessLog {
     std::uint64_t queue_us = 0;
     std::uint64_t bytes = 0;          // request body size
     std::string error_code;           // "" on success
+    std::string deployment;           // fleet endpoints only ("" elsewhere)
     std::uint64_t cache_hits = 0;     // delta across this request
     std::uint64_t cache_misses = 0;   // delta across this request
   };
@@ -148,6 +153,8 @@ class Server {
 
   /// The shared result cache (tests seed it / assert hit counts).
   cache::ResultCache& result_cache() { return *cache_; }
+  /// The fleet registry behind /v1/deployments (valid after Start()).
+  registry::Fleet& fleet() { return *fleet_; }
   const ServerConfig& config() const { return config_; }
 
   /// Flushes and reopens the access log (SIGHUP rotation); no-op when
@@ -180,6 +187,7 @@ class Server {
 
   std::unique_ptr<util::ThreadPool> pool_;
   std::unique_ptr<cache::ResultCache> cache_;
+  std::unique_ptr<registry::Fleet> fleet_;
   ServiceState service_;
   InflightTable inflight_;
   EventBroker events_;

@@ -124,6 +124,16 @@ std::vector<Sample> Registry::Snapshot() const {
   add("server.active_connections", server.active_connections,
       SampleKind::kGauge);
   add("server.queue_depth", server.queue_depth, SampleKind::kGauge);
+  add("registry.deployments_put", registry.deployments_put);
+  add("registry.deployments_deleted", registry.deployments_deleted);
+  add("registry.checks_full", registry.checks_full);
+  add("registry.checks_delta", registry.checks_delta);
+  add("registry.groups_total", registry.groups_total);
+  add("registry.groups_reused", registry.groups_reused);
+  add("registry.groups_recomputed", registry.groups_recomputed);
+  add("registry.revision_conflicts", registry.revision_conflicts);
+  add("registry.corrupt_entries", registry.corrupt_entries);
+  add("registry.evictions", registry.evictions);
   add("memory.store_exhaustive_bytes", memory.store_exhaustive_bytes,
       SampleKind::kGauge);
   add("memory.store_bitstate_bytes", memory.store_bitstate_bytes,
@@ -152,6 +162,10 @@ std::vector<HistogramSample> Registry::SnapshotHistograms() const {
   add("server.request_duration_us", server_hist.request_duration_us);
   add("server.queue_wait_us", server_hist.queue_wait_us);
   add("server.request_body_bytes", server_hist.request_body_bytes);
+  add("registry.full_check_duration_us",
+      registry_hist.full_check_duration_us);
+  add("registry.delta_check_duration_us",
+      registry_hist.delta_check_duration_us);
   return out;
 }
 
@@ -192,7 +206,12 @@ void Registry::Reset() {
            &server.checks, &server.attributions, &server.bad_requests,
            &server.shed_queue_full, &server.shed_oversized,
            &server.deadline_hits, &server.active_connections,
-           &server.queue_depth, &memory.store_exhaustive_bytes,
+           &server.queue_depth, &registry.deployments_put,
+           &registry.deployments_deleted, &registry.checks_full,
+           &registry.checks_delta, &registry.groups_total,
+           &registry.groups_reused, &registry.groups_recomputed,
+           &registry.revision_conflicts, &registry.corrupt_entries,
+           &registry.evictions, &memory.store_exhaustive_bytes,
            &memory.store_bitstate_bytes, &memory.trace_buffer_bytes,
            &memory.cache_resident_bytes, &memory.peak_rss_bytes,
        }) {
@@ -208,6 +227,8 @@ void Registry::Reset() {
            &server_hist.request_duration_us,
            &server_hist.queue_wait_us,
            &server_hist.request_body_bytes,
+           &registry_hist.full_check_duration_us,
+           &registry_hist.delta_check_duration_us,
        }) {
     h->Reset();
   }
@@ -222,6 +243,7 @@ json::Value Registry::ToJson() const {
   json::Object parallel_obj;
   json::Object cache_obj;
   json::Object server_obj;
+  json::Object registry_obj;
   json::Object memory_obj;
   for (const Sample& sample : Snapshot()) {
     const auto dot = sample.name.find('.');
@@ -242,6 +264,8 @@ json::Value Registry::ToJson() const {
       cache_obj[key] = value;
     } else if (group == "server") {
       server_obj[key] = value;
+    } else if (group == "registry") {
+      registry_obj[key] = value;
     } else if (group == "memory") {
       memory_obj[key] = value;
     } else {
@@ -257,6 +281,7 @@ json::Value Registry::ToJson() const {
   doc["parallel"] = json::Value(std::move(parallel_obj));
   doc["cache"] = json::Value(std::move(cache_obj));
   doc["server"] = json::Value(std::move(server_obj));
+  doc["registry"] = json::Value(std::move(registry_obj));
   doc["memory"] = json::Value(std::move(memory_obj));
   return json::Value(std::move(doc));
 }

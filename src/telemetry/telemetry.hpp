@@ -169,6 +169,23 @@ struct ServerCounters {
   Counter queue_depth{0};          // gauge: accepted-but-unserved conns
 };
 
+/// Fleet-registry counters (src/registry): deployment lifecycle plus
+/// the delta re-verification's group classification.  The reused /
+/// recomputed split is the incrementality headline — the CI fleet
+/// smoke asserts `registry.groups_reused > 0` after a 1-app edit.
+struct FleetRegistryCounters {
+  Counter deployments_put{0};      // PUT upserts accepted
+  Counter deployments_deleted{0};  // DELETE removals
+  Counter checks_full{0};          // checks with no reusable prior groups
+  Counter checks_delta{0};         // checks that reused >=1 retained group
+  Counter groups_total{0};         // groups classified across all checks
+  Counter groups_reused{0};        // unchanged groups served from the prior rev
+  Counter groups_recomputed{0};    // dirty + added groups re-run
+  Counter revision_conflicts{0};   // If-Match guard rejections (409)
+  Counter corrupt_entries{0};      // unreadable store entries (= not_found)
+  Counter evictions{0};            // in-memory LRU layer evictions
+};
+
 /// Byte-level memory accounting: where a verification's footprint
 /// lives.  The store gauges split by kind so a bitstate run's fixed
 /// bit-field and an exhaustive run's growing hash sets are separately
@@ -291,6 +308,13 @@ struct ServerHistograms {
   Histogram request_body_bytes;
 };
 
+/// Fleet-registry distributions: wall-clock latency of a full check vs.
+/// a delta re-check (the bench_fleet_delta headline split).
+struct FleetRegistryHistograms {
+  Histogram full_check_duration_us;
+  Histogram delta_check_duration_us;
+};
+
 /// One named histogram in a Registry snapshot ("server.request_duration_us").
 struct HistogramSample {
   std::string name;
@@ -307,12 +331,14 @@ class Registry {
   ParallelCounters parallel;
   CacheCounters cache;
   ServerCounters server;
+  FleetRegistryCounters registry;
   MemoryGauges memory;
 
   SearchHistograms search_hist;
   CacheHistograms cache_hist;
   ParallelHistograms parallel_hist;
   ServerHistograms server_hist;
+  FleetRegistryHistograms registry_hist;
 
   /// All counters and gauges as dotted names ("search.states_explored"),
   /// in a stable order, each tagged counter vs. gauge.

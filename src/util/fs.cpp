@@ -1,0 +1,54 @@
+#include "util/fs.hpp"
+
+#include <filesystem>
+#include <sstream>
+#include <thread>
+
+namespace iotsan::util {
+
+namespace fs = std::filesystem;
+
+bool AtomicWriteFile(const std::string& path, std::string_view contents) {
+  // Temp-file + rename keeps readers from ever seeing a half-written
+  // file; the thread-id suffix keeps concurrent writers (different
+  // processes sharing one directory) off each other's temp files.
+  const std::string tmp =
+      path + ".tmp." +
+      std::to_string(std::hash<std::thread::id>{}(std::this_thread::get_id()) &
+                     0xffffff);
+  std::error_code ec;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;  // unwritable directory degrades to no-op
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    if (!out.good()) {
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool OpenAppend(std::ofstream& out, const std::string& path) {
+  out.close();
+  out.clear();
+  out.open(path, std::ios::app);
+  if (!out.is_open()) return false;
+  return true;
+}
+
+}  // namespace iotsan::util

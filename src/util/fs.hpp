@@ -1,0 +1,32 @@
+// Small filesystem helpers shared by the subsystems that persist JSON
+// artifacts (result cache, deployment registry, access log).
+//
+// The atomic write is the tmp+rename idiom the result cache pioneered:
+// readers never observe a half-written file, and failures degrade to a
+// silent no-op (the caller's in-memory state stays authoritative).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+
+namespace iotsan::util {
+
+/// Writes `contents` to `path` atomically: the bytes land in a
+/// same-directory temp file first, then rename into place.  The temp
+/// name carries a thread-id suffix so concurrent writers (including
+/// different processes sharing one directory) stay off each other's
+/// temp files.  Returns false — after removing any partial temp file —
+/// when the directory is unwritable or the write fails; never throws.
+bool AtomicWriteFile(const std::string& path, std::string_view contents);
+
+/// Whole-file read; returns "" for missing/unreadable files (callers
+/// treat an empty read as "no entry").
+std::string ReadFileOrEmpty(const std::string& path);
+
+/// (Re)opens `out` for appending to `path`.  On failure the stream is
+/// left closed and false is returned, so callers can keep their old
+/// stream (the access-log rotation path) or degrade to dropping lines.
+bool OpenAppend(std::ofstream& out, const std::string& path);
+
+}  // namespace iotsan::util

@@ -16,6 +16,9 @@
 //   iotsan top [--host A --port N] [--interval S] [--once]
 //       Live terminal view of a running service's in-flight checks
 //       (polls GET /v1/status; docs/observability.md).
+//   iotsan fleet <list|put|get|rm|check> [id] [deployment.json]
+//       Manage a serving fleet registry over /v1/deployments
+//       (docs/fleet.md).
 //   iotsan apps
 //       List the bundled corpus apps.
 //   iotsan version | --version
@@ -453,6 +456,7 @@ int CmdServe(const std::vector<std::string>& args) {
   config.max_queue = static_cast<std::size_t>(flags.max_queue);
   config.request_deadline_seconds = flags.deadline_seconds;
   config.access_log_path = flags.access_log;
+  config.registry_dir = flags.registry_dir;
 
   server::Server server(config);
   server.Start();
@@ -463,6 +467,10 @@ int CmdServe(const std::vector<std::string>& args) {
   if (!config.cache_dir.empty()) {
     std::printf("iotsan serve: result cache in %s\n",
                 config.cache_dir.c_str());
+  }
+  if (!config.registry_dir.empty()) {
+    std::printf("iotsan serve: fleet registry in %s\n",
+                config.registry_dir.c_str());
   }
   std::fflush(stdout);
 
@@ -483,37 +491,52 @@ int CmdServe(const std::vector<std::string>& args) {
   return 0;
 }
 
-// ---- iotsan top --------------------------------------------------------------
+// ---- minimal HTTP client (iotsan top / iotsan fleet) -------------------------
 
-/// Minimal one-shot HTTP GET over a loopback/numeric address: returns
-/// the response body, throws iotsan::Error on connect/read failure or a
-/// non-200 status.  Just enough client for polling /v1/status — the
-/// server end speaks plain HTTP/1.1 with Content-Length framing.
-std::string HttpGetBody(const std::string& host, int port,
-                        const std::string& path) {
+struct HttpResult {
+  int status = 0;
+  std::string body;
+};
+
+/// Minimal one-shot HTTP request over a loopback/numeric address:
+/// returns the status and body, throws iotsan::Error on connect/read
+/// failure.  Just enough client for /v1/status and /v1/deployments —
+/// the server end speaks plain HTTP/1.1 with Content-Length framing.
+HttpResult HttpCall(const std::string& host, int port,
+                    const std::string& method, const std::string& path,
+                    const std::string& body = "",
+                    const std::vector<std::string>& headers = {}) {
   struct sockaddr_in addr = {};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    throw Error("top: --host wants a numeric address, got '" + host + "'");
+    throw Error("http: --host wants a numeric address, got '" + host + "'");
   }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw Error("top: cannot create socket");
+  if (fd < 0) throw Error("http: cannot create socket");
   if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
     ::close(fd);
-    throw Error("top: cannot connect to " + host + ":" +
+    throw Error("http: cannot connect to " + host + ":" +
                 std::to_string(port));
   }
-  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
-                              "\r\nConnection: close\r\n\r\n";
+  std::string request = method + " " + path + " HTTP/1.1\r\nHost: " + host +
+                        "\r\nConnection: close\r\n";
+  for (const std::string& header : headers) {
+    request += header + "\r\n";
+  }
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    request += "Content-Type: application/json\r\nContent-Length: " +
+               std::to_string(body.size()) + "\r\n";
+  }
+  request += "\r\n" + body;
   std::size_t sent = 0;
   while (sent < request.size()) {
     const ssize_t n = ::send(fd, request.data() + sent,
                              request.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) {
       ::close(fd);
-      throw Error("top: send failed");
+      throw Error("http: send failed");
     }
     sent += static_cast<std::size_t>(n);
   }
@@ -523,7 +546,7 @@ std::string HttpGetBody(const std::string& host, int port,
     const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
     if (n < 0) {
       ::close(fd);
-      throw Error("top: recv failed");
+      throw Error("http: recv failed");
     }
     if (n == 0) break;
     data.append(chunk, static_cast<std::size_t>(n));
@@ -531,13 +554,24 @@ std::string HttpGetBody(const std::string& host, int port,
   ::close(fd);
   const std::size_t head_end = data.find("\r\n\r\n");
   if (head_end == std::string::npos || data.rfind("HTTP/1.1 ", 0) != 0) {
-    throw Error("top: malformed HTTP response");
+    throw Error("http: malformed HTTP response");
   }
-  const int status = std::atoi(data.c_str() + 9);
-  if (status != 200) {
-    throw Error("top: HTTP " + std::to_string(status) + " from " + path);
+  HttpResult out;
+  out.status = std::atoi(data.c_str() + 9);
+  out.body = data.substr(head_end + 4);
+  return out;
+}
+
+// ---- iotsan top --------------------------------------------------------------
+
+std::string HttpGetBody(const std::string& host, int port,
+                        const std::string& path) {
+  HttpResult result = HttpCall(host, port, "GET", path);
+  if (result.status != 200) {
+    throw Error("top: HTTP " + std::to_string(result.status) + " from " +
+                path);
   }
-  return data.substr(head_end + 4);
+  return std::move(result.body);
 }
 
 /// Renders one /v1/status document as the `iotsan top` frame.
@@ -644,6 +678,158 @@ int CmdTop(const std::vector<std::string>& args) {
     }
   }
   return 0;
+}
+
+// ---- iotsan fleet ------------------------------------------------------------
+
+/// Prints the server's structured error ({"error": {code, message}})
+/// and returns the command's failure status.
+int FleetHttpError(const std::string& action, const HttpResult& result) {
+  std::string message = result.body;
+  try {
+    const json::Value doc = json::Parse(result.body);
+    message = doc.At("error").At("message").AsString();
+  } catch (const Error&) {
+    // Leave the raw body in place when it is not the structured shape.
+  }
+  std::fprintf(stderr, "fleet %s: HTTP %d: %s\n", action.c_str(),
+               result.status, message.c_str());
+  return 1;
+}
+
+/// Builds the iotsan.request/1 envelope a PUT carries: the deployment
+/// document with its side-loaded app sources inlined as text (the
+/// server never reads files).
+std::string FleetPutBody(const std::string& path) {
+  LoadedSystem system = LoadSystem(path);
+  json::Object envelope;
+  envelope["schema"] = server::kRequestSchema;
+  envelope["deployment"] = config::DeploymentToJson(system.deployment);
+  if (!system.extra_sources.empty()) {
+    json::Object sources;
+    for (const auto& [name, source] : system.extra_sources) {
+      sources[name] = source;
+    }
+    envelope["appSources"] = std::move(sources);
+  }
+  return json::Value(std::move(envelope)).Dump(0);
+}
+
+int CmdFleet(const std::vector<std::string>& args) {
+  CliFlags flags;
+  std::vector<std::string> positionals = ParseFlags(kCmdFleet, args, flags);
+  if (flags.help) {
+    PrintHelp(stdout);
+    return 0;
+  }
+  if (positionals.empty()) {
+    std::fprintf(stderr, "%s\n", UsageFor(kCmdFleet).c_str());
+    return 2;
+  }
+  const std::string action = positionals[0];
+
+  if (action == "list") {
+    if (positionals.size() != 1) {
+      std::fprintf(stderr, "usage: iotsan fleet list\n");
+      return 2;
+    }
+    HttpResult result =
+        HttpCall(flags.host, flags.port, "GET", "/v1/deployments");
+    if (result.status != 200) return FleetHttpError(action, result);
+    const json::Value doc = json::Parse(result.body);
+    std::printf("%-24s %8s %8s %-12s %14s %9s\n", "DEPLOYMENT", "REV",
+                "CHECKED", "VERDICT", "GROUPS(RERUN)", "SECONDS");
+    for (const json::Value& row : doc.At("deployments").AsArray()) {
+      const std::string groups =
+          std::to_string(row.At("groups_recomputed").AsInt()) + "/" +
+          std::to_string(row.At("groups_total").AsInt());
+      std::printf("%-24.24s %8lld %8lld %-12s %14s %9.3f\n",
+                  row.At("id").AsString().c_str(),
+                  static_cast<long long>(row.At("revision").AsInt()),
+                  static_cast<long long>(row.At("checked_revision").AsInt()),
+                  row.At("verdict").AsString().c_str(), groups.c_str(),
+                  row.At("check_seconds").AsNumber());
+    }
+    return 0;
+  }
+
+  if (action == "put") {
+    if (positionals.size() != 3) {
+      std::fprintf(stderr, "usage: iotsan fleet put <id> <deployment.json>\n");
+      return 2;
+    }
+    HttpResult result =
+        HttpCall(flags.host, flags.port, "PUT",
+                 "/v1/deployments/" + positionals[1],
+                 FleetPutBody(positionals[2]));
+    if (result.status != 200 && result.status != 201) {
+      return FleetHttpError(action, result);
+    }
+    const json::Value doc = json::Parse(result.body);
+    std::printf("fleet put: %s %s at revision %lld\n",
+                positionals[1].c_str(),
+                result.status == 201 ? "created" : "updated",
+                static_cast<long long>(doc.At("revision").AsInt()));
+    return 0;
+  }
+
+  if (action == "get") {
+    if (positionals.size() != 2) {
+      std::fprintf(stderr, "usage: iotsan fleet get <id>\n");
+      return 2;
+    }
+    HttpResult result = HttpCall(flags.host, flags.port, "GET",
+                                 "/v1/deployments/" + positionals[1]);
+    if (result.status != 200) return FleetHttpError(action, result);
+    std::fputs(result.body.c_str(), stdout);
+    return 0;
+  }
+
+  if (action == "rm") {
+    if (positionals.size() != 2) {
+      std::fprintf(stderr, "usage: iotsan fleet rm <id>\n");
+      return 2;
+    }
+    HttpResult result = HttpCall(flags.host, flags.port, "DELETE",
+                                 "/v1/deployments/" + positionals[1]);
+    if (result.status != 200) return FleetHttpError(action, result);
+    std::printf("fleet rm: %s deleted\n", positionals[1].c_str());
+    return 0;
+  }
+
+  if (action == "check") {
+    if (positionals.size() != 2) {
+      std::fprintf(stderr,
+                   "usage: iotsan fleet check <id> [--if-match REVISION]\n");
+      return 2;
+    }
+    std::vector<std::string> headers;
+    if (!flags.if_match.empty()) {
+      headers.push_back("If-Match: \"" + flags.if_match + "\"");
+    }
+    HttpResult result =
+        HttpCall(flags.host, flags.port, "POST",
+                 "/v1/deployments/" + positionals[1] + "/check", "{}",
+                 headers);
+    if (result.status != 200) return FleetHttpError(action, result);
+    const json::Value doc = json::Parse(result.body);
+    std::fputs(doc.At("text").AsString().c_str(), stdout);
+    const json::Value& delta = doc.At("delta");
+    std::printf("delta: %lld/%lld group(s) re-verified (%lld reused) "
+                "in %.3fs at revision %lld\n",
+                static_cast<long long>(delta.At("groups_recomputed").AsInt()),
+                static_cast<long long>(delta.At("groups_total").AsInt()),
+                static_cast<long long>(delta.At("groups_reused").AsInt()),
+                doc.At("check_seconds").AsNumber(),
+                static_cast<long long>(doc.At("revision").AsInt()));
+    return static_cast<int>(doc.At("exit_code").AsInt());
+  }
+
+  std::fprintf(stderr,
+               "unknown fleet action: %s (want list, put, get, rm, or "
+               "check)\n",
+               action.c_str());
+  return 2;
 }
 
 int CmdDeps(const std::vector<std::string>& args) {
@@ -755,7 +941,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "iotsan — IoT safety sanitizer (IotSan, CoNEXT '18)\n"
                  "commands: check, attribute, deps, promela, serve, top, "
-                 "cache, apps, help\n"
+                 "fleet, cache, apps, help\n"
                  "run 'iotsan help' for the full flag reference\n");
     return 2;
   }
@@ -768,6 +954,7 @@ int main(int argc, char** argv) {
     if (command == "promela") return CmdPromela(args);
     if (command == "serve") return CmdServe(args);
     if (command == "top") return CmdTop(args);
+    if (command == "fleet") return CmdFleet(args);
     if (command == "cache") return CmdCache(args);
     if (command == "apps") return CmdApps();
     if (command == "version" || command == "--version") {
