@@ -276,9 +276,11 @@ int ComparePaths(const std::vector<TraceStep>& a, const std::string& a_detail,
   return a_detail.compare(b_detail);
 }
 
-/// Merges a violation of the same property found elsewhere in the search
-/// into `existing`: occurrences accumulate, charged apps union, and the
-/// canonically smaller counter-example wins.
+}  // namespace
+
+// Public (checker.hpp): the cluster coordinator merges branch-shard and
+// swarm-lane results from remote workers through these, so distributed
+// merges canonicalize exactly like the in-process parallel path.
 void MergeViolationInto(Violation& existing, Violation v) {
   existing.occurrences += v.occurrences;
   for (std::string& app : v.apps) {
@@ -296,9 +298,6 @@ void MergeViolationInto(Violation& existing, Violation v) {
   }
 }
 
-/// Final report canonicalization, applied identically by the serial and
-/// parallel paths: violations ordered by property id, charged apps
-/// ordered lexicographically.
 void CanonicalizeViolations(std::vector<Violation>& violations) {
   for (Violation& v : violations) std::sort(v.apps.begin(), v.apps.end());
   std::sort(violations.begin(), violations.end(),
@@ -306,6 +305,8 @@ void CanonicalizeViolations(std::vector<Violation>& violations) {
               return a.property_id < b.property_id;
             });
 }
+
+namespace {
 
 // ---- Run-finalization helpers (shared by serial and parallel paths) ----------
 
@@ -447,7 +448,9 @@ class Search {
       if (options.store == StoreKind::kExhaustive) {
         owned_store_ = std::make_unique<ExhaustiveStore>();
       } else {
-        owned_store_ = std::make_unique<BitstateStore>(options.bitstate_bits);
+        owned_store_ = std::make_unique<BitstateStore>(options.bitstate_bits,
+                                                       3,
+                                                       options.bitstate_seed);
       }
       store_ = owned_store_.get();
       if (options.state_compression) {
@@ -1155,7 +1158,8 @@ CheckResult RunParallel(const model::SystemModel& model,
     store = std::make_unique<ExhaustiveStore>(
         std::min(64u, pool->jobs() * 8));
   } else {
-    store = std::make_unique<BitstateStore>(options.bitstate_bits);
+    store = std::make_unique<BitstateStore>(options.bitstate_bits, 3,
+                                            options.bitstate_seed);
   }
 
   std::unique_ptr<model::FootprintIndex> footprints;
@@ -1212,6 +1216,19 @@ CheckResult RunParallel(const model::SystemModel& model,
         branches.push_back({event, failure});
       }
     }
+  }
+  if (options.branch_modulus > 1) {
+    // Branch-shard mode (cluster work units): keep only this shard's
+    // residue class.  Enumeration order is deterministic, so shards with
+    // residues 0..modulus-1 partition the branch set exactly.
+    std::vector<RootBranch> mine;
+    for (std::size_t i = 0; i < branches.size(); ++i) {
+      if (i % options.branch_modulus ==
+          options.branch_residue % options.branch_modulus) {
+        mine.push_back(std::move(branches[i]));
+      }
+    }
+    branches = std::move(mine);
   }
   shared.branches_total = branches.size();
 
@@ -1335,8 +1352,12 @@ ReplayResult ReplayPath(const model::SystemModel& model,
 
 CheckResult Checker::Run(const CheckOptions& options) const {
   const unsigned jobs = util::ResolveJobs(options.jobs);
-  CheckResult result = jobs > 1 ? RunParallel(model_, options, jobs)
-                                : Search(model_, options).Run();
+  // Branch-sharded runs always go through RunParallel — the serial
+  // Search has no notion of skipping root branches — even with jobs==1
+  // (ParallelFor on a 1-lane pool degenerates to a serial loop).
+  CheckResult result = jobs > 1 || options.branch_modulus > 1
+                           ? RunParallel(model_, options, std::max(jobs, 1u))
+                           : Search(model_, options).Run();
   if (options.reverify_bitstate && options.store == StoreKind::kBitstate &&
       !result.violations.empty()) {
     // Built-in false-positive filter: every violation found under

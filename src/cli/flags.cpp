@@ -12,39 +12,42 @@ namespace {
 
 constexpr FlagSpec kFlagTable[] = {
     {Flag::kEvents, "--events", "N",
-     kCmdCheck | kCmdAttribute | kCmdPromela,
+     kCmdCheck | kCmdAttribute | kCmdPromela | kCmdCluster,
      "external-event bound per run (Algorithm 1; default 3, attribute: 2)",
      1, 64},
-    {Flag::kJobs, "--jobs", "N", kCmdCheck | kCmdAttribute | kCmdServe,
+    {Flag::kJobs, "--jobs", "N",
+     kCmdCheck | kCmdAttribute | kCmdServe | kCmdCluster,
      "worker threads for the search (0 = all hardware threads; default 1, "
      "serve: 0); the report is identical for any N",
      0, 1024},
-    {Flag::kFailures, "--failures", nullptr, kCmdCheck,
+    {Flag::kFailures, "--failures", nullptr, kCmdCheck | kCmdCluster,
      "enumerate device/communication failure scenarios per event (paper §8)"},
     {Flag::kMono, "--mono", nullptr, kCmdCheck,
      "skip dependency analysis; check all apps in one monolithic model"},
-    {Flag::kBitstate, "--bitstate", nullptr, kCmdCheck | kCmdAttribute,
+    {Flag::kBitstate, "--bitstate", nullptr,
+     kCmdCheck | kCmdAttribute | kCmdCluster,
      "use Spin-style BITSTATE hashing instead of the exhaustive store"},
-    {Flag::kBitstateBits, "--bitstate-bits", "P", kCmdCheck | kCmdAttribute,
+    {Flag::kBitstateBits, "--bitstate-bits", "P",
+     kCmdCheck | kCmdAttribute | kCmdCluster,
      "BITSTATE bit-field size as a power of two (Spin -w; default 27 = "
      "16 MiB)",
      10, 40},
-    {Flag::kPor, "--por", nullptr, kCmdCheck | kCmdAttribute,
+    {Flag::kPor, "--por", nullptr, kCmdCheck | kCmdAttribute | kCmdCluster,
      "ample-set partial-order reduction: expand a single pending dispatch "
      "when it provably commutes with the rest (concurrent scheduling only)"},
     {Flag::kStateCompression, "--state-compression", nullptr,
-     kCmdCheck | kCmdAttribute,
+     kCmdCheck | kCmdAttribute | kCmdCluster,
      "Spin-style COLLAPSE store keys: intern per-device/app-state/timer "
      "components instead of hashing full state vectors"},
-    {Flag::kFirst, "--first", nullptr, kCmdCheck,
+    {Flag::kFirst, "--first", nullptr, kCmdCheck | kCmdCluster,
      "stop at the first property violation"},
-    {Flag::kProperties, "--properties", "FILE", kCmdCheck,
+    {Flag::kProperties, "--properties", "FILE", kCmdCheck | kCmdCluster,
      "load additional user-defined safety properties from JSON"},
     {Flag::kAllowDiscovery, "--allow-discovery", nullptr,
-     kCmdCheck | kCmdAttribute,
+     kCmdCheck | kCmdAttribute | kCmdCluster,
      "check dynamic-device-discovery apps instead of rejecting them"},
     {Flag::kStats, "--stats", nullptr,
-     kCmdCheck | kCmdAttribute | kCmdDeps | kCmdServe,
+     kCmdCheck | kCmdAttribute | kCmdDeps | kCmdServe | kCmdCluster,
      "print telemetry after the run: counters, per-phase durations, store "
      "diagnostics"},
     {Flag::kTraceOut, "--trace-out", "FILE",
@@ -94,7 +97,7 @@ constexpr FlagSpec kFlagTable[] = {
      "accepted-connection queue bound; beyond it the acceptor sheds "
      "with 503 queue_full (default 64)",
      1, 65536},
-    {Flag::kDeadline, "--deadline", "SECONDS", kCmdServe,
+    {Flag::kDeadline, "--deadline", "SECONDS", kCmdServe | kCmdCluster,
      "default wall-clock budget per request, seconds (0 = none); "
      "requests may override via options.deadlineSeconds",
      0, 86400},
@@ -109,9 +112,32 @@ constexpr FlagSpec kFlagTable[] = {
     {Flag::kOnce, "--once", nullptr, kCmdTop,
      "print one status snapshot and exit (plain output, no screen "
      "redraw)"},
+    {Flag::kWorkers, "--workers", "LIST", kCmdServe | kCmdCluster,
+     "comma-separated worker endpoints (host:port,...) the coordinator "
+     "dispatches work units to (docs/cluster.md)"},
+    {Flag::kCoordinator, "--coordinator", nullptr, kCmdServe,
+     "serve as a cluster coordinator: plan /v1/check requests into work "
+     "units and dispatch them across --workers"},
+    {Flag::kUnitDeadline, "--unit-deadline", "SECONDS",
+     kCmdServe | kCmdCluster,
+     "per-work-unit dispatch deadline before the coordinator retries or "
+     "re-dispatches (default 600)",
+     1, 86400},
+    {Flag::kBranchSplit, "--branch-split", "N", kCmdServe | kCmdCluster,
+     "split each related-set group into N root-branch shards (verdicts "
+     "unchanged; summed state counts reflect the aggregate work)",
+     0, 4096},
+    {Flag::kSwarmLanes, "--swarm-lanes", "N", kCmdServe | kCmdCluster,
+     "bitstate swarm: re-run each group under N diverse hash seeds and "
+     "union the violations (needs --bitstate)",
+     0, 4096},
+    {Flag::kNoLocalFallback, "--no-local-fallback", nullptr,
+     kCmdServe | kCmdCluster,
+     "fail the check when no worker is reachable instead of degrading "
+     "to local execution"},
     {Flag::kHelp, "--help", nullptr,
      kCmdCheck | kCmdAttribute | kCmdDeps | kCmdPromela | kCmdServe |
-         kCmdTop | kCmdFleet,
+         kCmdTop | kCmdFleet | kCmdCluster,
      "show this help"},
 };
 
@@ -140,6 +166,9 @@ constexpr CommandSpec kCommands[] = {
     {kCmdFleet, "fleet", "<list|put|get|rm|check> [id] [deployment.json]",
      "manage a serving fleet registry over /v1/deployments "
      "(docs/fleet.md)"},
+    {kCmdCluster, "cluster", "check <deployment.json> --workers LIST",
+     "coordinate one verification across remote iotsan workers "
+     "(docs/cluster.md)"},
     {0, "cache", "<stats|prune|clear> <DIR>",
      "inspect or maintain an incremental-analysis cache directory"},
     {0, "apps", "", "list the bundled corpus apps"},
@@ -157,6 +186,7 @@ std::string CommandLetters(unsigned mask) {
   if (mask & kCmdServe) out += 'S';
   if (mask & kCmdTop) out += 'T';
   if (mask & kCmdFleet) out += 'F';
+  if (mask & kCmdCluster) out += 'L';
   return out;
 }
 
@@ -211,7 +241,7 @@ void PrintHelp(std::FILE* out) {
   }
   std::fprintf(out, "\nflags (letters mark the accepting commands: "
                     "C=check, A=attribute, D=deps, P=promela, S=serve, "
-                    "T=top, F=fleet):\n");
+                    "T=top, F=fleet, L=cluster):\n");
   for (const FlagSpec& spec : kFlagTable) {
     if (spec.id == Flag::kHelp) continue;
     std::fprintf(out, "  %-4s %-22s %s\n",
@@ -321,6 +351,18 @@ std::vector<std::string> ParseFlags(unsigned command,
         flags.interval_seconds = static_cast<int>(number);
         break;
       case Flag::kOnce: flags.once = true; break;
+      case Flag::kWorkers: flags.workers = value; break;
+      case Flag::kCoordinator: flags.coordinator = true; break;
+      case Flag::kUnitDeadline:
+        flags.unit_deadline_seconds = static_cast<int>(number);
+        break;
+      case Flag::kBranchSplit:
+        flags.branch_split = static_cast<int>(number);
+        break;
+      case Flag::kSwarmLanes:
+        flags.swarm_lanes = static_cast<int>(number);
+        break;
+      case Flag::kNoLocalFallback: flags.no_local_fallback = true; break;
       case Flag::kHelp: flags.help = true; break;
     }
   }

@@ -24,6 +24,7 @@ enum : unsigned {
   kCmdServe = 1u << 4,
   kCmdTop = 1u << 5,
   kCmdFleet = 1u << 6,
+  kCmdCluster = 1u << 7,
 };
 
 enum class Flag {
@@ -58,6 +59,12 @@ enum class Flag {
   kLogJson,
   kInterval,
   kOnce,
+  kWorkers,
+  kCoordinator,
+  kUnitDeadline,
+  kBranchSplit,
+  kSwarmLanes,
+  kNoLocalFallback,
   kHelp,
 };
 
@@ -130,6 +137,13 @@ struct CliFlags {
   // top
   int interval_seconds = 2;   // refresh period of the live view
   bool once = false;          // one snapshot, then exit
+  // cluster (+ serve --coordinator); docs/cluster.md
+  std::string workers;        // "host:port,host:port,..." worker fleet
+  bool coordinator = false;   // serve: dispatch /v1/check across workers
+  int unit_deadline_seconds = 600;  // per-unit dispatch deadline
+  int branch_split = 0;       // root-branch shards per group (0/1 = off)
+  int swarm_lanes = 0;        // bitstate swarm lanes per group (0/1 = off)
+  bool no_local_fallback = false;  // fail instead of degrading to local
 };
 
 /// Parses `args` for `command`, separating positionals from flags.

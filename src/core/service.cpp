@@ -4,6 +4,7 @@
 
 #include "cache/result_cache.hpp"
 #include "dsl/parser.hpp"
+#include "util/error.hpp"
 
 namespace iotsan::core {
 
@@ -41,6 +42,9 @@ void ApplyCommonCheckOptions(checker::CheckOptions& check,
     }
   }
   check.time_budget_seconds = options.deadline_seconds;
+  check.branch_modulus = options.branch_modulus;
+  check.branch_residue = options.branch_residue;
+  check.bitstate_seed = options.bitstate_seed;
   check.interrupt = env.interrupt;
   check.request_id = env.request_id;
   if (env.progress_every > 0) {
@@ -78,6 +82,25 @@ CheckResponse RunCheck(const CheckRequest& request, const ServiceEnv& env) {
   response.text = RenderCheckReport(request.deployment, response.report);
   response.exit_code = response.report.violations.empty() ? 0 : 1;
   return response;
+}
+
+checker::CheckResult RunCheckUnit(const CheckRequest& request,
+                                  const ServiceEnv& env) {
+  for (std::size_t index : request.options.group_apps) {
+    if (index >= request.deployment.apps.size()) {
+      throw Error("check unit: app index " + std::to_string(index) +
+                  " out of range (deployment has " +
+                  std::to_string(request.deployment.apps.size()) + " apps)");
+    }
+  }
+  Sanitizer sanitizer(request.deployment);
+  for (const auto& [name, source] : request.extra_sources) {
+    sanitizer.AddAppSource(name, source);
+  }
+  SanitizerOptions options = MakeCheckOptions(request.options, env);
+  options.extra_properties = request.extra_properties;
+  return sanitizer.CheckGroup(request.options.group_apps, options,
+                              options.check);
 }
 
 std::string RenderCheckHeader(const config::Deployment& deployment,

@@ -44,6 +44,17 @@ struct RequestOptions {
   /// checker's existing CancelFn budget plumbing; a hit run reports
   /// `completed = false` ("budget hit") and is never cached.
   double deadline_seconds = 0;
+  /// Cluster work-unit subset (src/cluster).  Non-empty `group_apps`
+  /// switches the request from "check the whole deployment" to "check
+  /// exactly this related-set group": indices into deployment.apps, as
+  /// planned by the coordinator's PlanGroups.  Served by RunCheckUnit.
+  std::vector<std::size_t> group_apps;
+  /// Root-branch shard of the group (0/1 = whole group); see
+  /// checker::CheckOptions::branch_modulus.
+  unsigned branch_modulus = 0;
+  unsigned branch_residue = 0;
+  /// Bitstate swarm-lane hash seed (0 = default family).
+  std::uint64_t bitstate_seed = 0;
 };
 
 /// Execution environment shared across requests (none of it owned):
@@ -94,6 +105,16 @@ SanitizerOptions MakeCheckOptions(const RequestOptions& options,
 /// `POST /v1/check`.
 CheckResponse RunCheck(const CheckRequest& request,
                        const ServiceEnv& env = {});
+
+/// Runs one cluster work unit: checks exactly the related-set group
+/// named by `request.options.group_apps` (optionally one branch shard /
+/// bitstate lane of it) and returns the raw CheckResult.  The
+/// coordinator — which planned the group from the same deployment —
+/// merges unit results through MergeGroupResult/FinalizeReport, so a
+/// sharded run reproduces a single-node report byte for byte.  Throws
+/// iotsan::Error on out-of-range app indices.
+checker::CheckResult RunCheckUnit(const CheckRequest& request,
+                                  const ServiceEnv& env = {});
 
 /// "system: ..." through the "explored ... in ...s" line (plus any
 /// REJECTED lines) — everything `iotsan check` prints before the

@@ -1,10 +1,12 @@
 #include "server/handlers.hpp"
 
 #include <cstdio>
+#include <limits>
 #include <optional>
 #include <string_view>
 
 #include "checker/checker.hpp"
+#include "cluster/cluster.hpp"
 #include "config/deployment.hpp"
 #include "corpus/corpus.hpp"
 #include "props/loader.hpp"
@@ -123,6 +125,28 @@ core::RequestOptions ParseOptions(const json::Value& doc,
       out.deadline_seconds = static_cast<double>(
           RequireInt(value, "deadlineSeconds", 0, 86400));
       if (meta != nullptr) meta->deadline_given = true;
+    } else if (key == "groupApps") {
+      // Cluster work unit: check exactly this related-set group (app
+      // indices into the deployment, as planned by the coordinator).
+      if (!value.is_array() || value.AsArray().empty()) {
+        throw RequestError(400, kErrBadRequest,
+                           "\"groupApps\" must be a non-empty array of "
+                           "app indices");
+      }
+      for (const json::Value& index : value.AsArray()) {
+        out.group_apps.push_back(static_cast<std::size_t>(
+            RequireInt(index, "groupApps[]", 0, 1 << 20)));
+      }
+    } else if (key == "branchModulus") {
+      out.branch_modulus = static_cast<unsigned>(
+          RequireInt(value, "branchModulus", 1, 1 << 16));
+    } else if (key == "branchResidue") {
+      out.branch_residue = static_cast<unsigned>(
+          RequireInt(value, "branchResidue", 0, 1 << 16));
+    } else if (key == "bitstateSeed") {
+      out.bitstate_seed = static_cast<std::uint64_t>(
+          RequireInt(value, "bitstateSeed", 0,
+                     std::numeric_limits<long long>::max()));
     } else {
       throw RequestError(400, kErrBadRequest,
                          "unknown option \"" + key + "\"");
@@ -321,6 +345,26 @@ HttpResponse HandleStatus(const ServiceState& state,
       static_cast<std::int64_t>(telemetry::ReadPeakRssBytes());
   doc["inflight"] = state.inflight != nullptr ? state.inflight->Snapshot()
                                               : json::Array();
+  if (state.coordinator != nullptr) {
+    // One row per configured worker: health from the last probe plus
+    // dispatch accounting (docs/cluster.md).
+    json::Array workers;
+    for (const cluster::WorkerStatus& status :
+         state.coordinator->WorkerRows()) {
+      json::Object row;
+      row["endpoint"] = status.endpoint;
+      row["healthy"] = status.healthy;
+      row["units_done"] = static_cast<std::int64_t>(status.units_done);
+      row["units_failed"] = static_cast<std::int64_t>(status.units_failed);
+      row["retries"] = static_cast<std::int64_t>(status.retries);
+      row["last_latency_ms"] = status.last_latency_ms;
+      if (!status.last_error.empty()) row["last_error"] = status.last_error;
+      workers.push_back(json::Value(std::move(row)));
+    }
+    json::Object cluster_obj;
+    cluster_obj["workers"] = std::move(workers);
+    doc["cluster"] = std::move(cluster_obj);
+  }
   doc["request_id"] = request_id;
   return JsonResponse(200, std::move(doc));
 }
@@ -442,6 +486,25 @@ HttpResponse HandleCheck(const HttpRequest& request,
   core::ServiceEnv env = state.env;
   env.request_id = request_id;
 
+  // Cluster work unit (options.groupApps): a coordinator planned this
+  // related-set group — possibly one branch shard or swarm lane of it —
+  // and wants the raw CheckResult back, not a rendered report.  This is
+  // the worker half of the protocol, so it never re-enters the
+  // coordinator even when this node is one.
+  if (!check.options.group_apps.empty()) {
+    checker::CheckResult unit;
+    try {
+      unit = core::RunCheckUnit(check, env);
+    } catch (const Error& e) {
+      throw RequestError(400, kErrBadRequest, e.what());
+    }
+    if (auto* t = telemetry::Active()) ++t->server.checks;
+    json::Object doc = ResponseEnvelope();
+    doc["unit"] = cluster::CheckResultToJson(unit);
+    doc["request_id"] = request_id;
+    return JsonResponse(200, std::move(doc));
+  }
+
   // Live introspection: register the request in the /v1/status table and
   // stream per-group progress to it (and to any SSE subscriber).  The
   // callback fires from whichever pool thread finished a group;
@@ -461,7 +524,17 @@ HttpResponse HandleCheck(const HttpRequest& request,
   InflightGuard inflight_guard(state.inflight, request_id);
   WireProgressEvents(env, state, request_id);
 
-  core::CheckResponse result = core::RunCheck(check, env);
+  // Coordinator mode: plan work units and dispatch them to the worker
+  // fleet; the merged response is byte-identical to a local run (see
+  // src/cluster).  Standalone nodes run the check in-process.
+  cluster::ClusterOutcome cluster_outcome;
+  const bool coordinated = state.coordinator != nullptr;
+  if (coordinated) {
+    cluster_outcome = state.coordinator->Check(check, env);
+  }
+  core::CheckResponse result = coordinated
+                                   ? std::move(cluster_outcome.response)
+                                   : core::RunCheck(check, env);
   if (state.events != nullptr && state.events->subscriber_count() > 0) {
     json::Object data;
     data["request_id"] = request_id;
@@ -502,6 +575,19 @@ HttpResponse HandleCheck(const HttpRequest& request,
           violation, effective, check.deployment.name, fingerprint)));
     }
     doc["artifacts"] = std::move(artifacts);
+  }
+  if (coordinated) {
+    json::Object cluster_obj;
+    cluster_obj["units_total"] =
+        static_cast<std::int64_t>(cluster_outcome.units_total);
+    cluster_obj["units_remote"] =
+        static_cast<std::int64_t>(cluster_outcome.units_remote);
+    cluster_obj["units_local"] =
+        static_cast<std::int64_t>(cluster_outcome.units_local);
+    cluster_obj["units_redispatched"] =
+        static_cast<std::int64_t>(cluster_outcome.units_redispatched);
+    cluster_obj["degraded_local"] = cluster_outcome.degraded_local;
+    doc["cluster"] = std::move(cluster_obj);
   }
   doc["request_id"] = request_id;
   return JsonResponse(200, std::move(doc));

@@ -57,6 +57,10 @@ namespace iotsan::registry {
 class Fleet;
 }  // namespace iotsan::registry
 
+namespace iotsan::cluster {
+class Coordinator;
+}  // namespace iotsan::cluster
+
 namespace iotsan::server {
 
 /// Machine-readable error codes carried in `error.code`.
@@ -95,6 +99,12 @@ struct ServiceState {
   EventBroker* events = nullptr;
   /// Fleet registry backing /v1/deployments (null = endpoints 404).
   registry::Fleet* registry = nullptr;
+  /// Cluster coordinator (`iotsan serve --coordinator --workers ...`):
+  /// when set, whole-deployment /v1/check requests are planned into work
+  /// units and dispatched to the worker fleet instead of running
+  /// locally.  Unit requests (options.groupApps) always run locally —
+  /// they ARE the worker side of the protocol.  Null = standalone node.
+  cluster::Coordinator* coordinator = nullptr;
 };
 
 /// A client error with an HTTP status and a machine-readable code;

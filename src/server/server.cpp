@@ -142,6 +142,11 @@ void Server::Start() {
   service_.inflight = &inflight_;
   service_.events = &events_;
   service_.registry = fleet_.get();
+  if (config_.coordinator && !config_.cluster.workers.empty()) {
+    coordinator_ = std::make_unique<cluster::Coordinator>(config_.cluster);
+    coordinator_->ProbeWorkers();
+  }
+  service_.coordinator = coordinator_.get();
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw Error("serve: cannot create socket");

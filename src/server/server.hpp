@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "cache/result_cache.hpp"
+#include "cluster/cluster.hpp"
 #include "registry/fleet.hpp"
 #include "server/events.hpp"
 #include "server/handlers.hpp"
@@ -73,6 +74,12 @@ struct ServerConfig {
   /// Fleet registry persistence root for /v1/deployments ("" = the
   /// registry is memory-only; deployments do not survive a restart).
   std::string registry_dir;
+  /// Cluster coordinator mode (`iotsan serve --coordinator --workers
+  /// host:port,...`): when `coordinator` is set and `cluster.workers`
+  /// is non-empty, whole-deployment /v1/check requests are planned into
+  /// work units and dispatched across the worker fleet (docs/cluster.md).
+  bool coordinator = false;
+  cluster::ClusterOptions cluster;
 };
 
 /// Append-only JSONL request log shared by the session threads.
@@ -155,6 +162,8 @@ class Server {
   cache::ResultCache& result_cache() { return *cache_; }
   /// The fleet registry behind /v1/deployments (valid after Start()).
   registry::Fleet& fleet() { return *fleet_; }
+  /// The cluster coordinator (null unless config.coordinator).
+  cluster::Coordinator* coordinator() { return coordinator_.get(); }
   const ServerConfig& config() const { return config_; }
 
   /// Flushes and reopens the access log (SIGHUP rotation); no-op when
@@ -188,6 +197,7 @@ class Server {
   std::unique_ptr<util::ThreadPool> pool_;
   std::unique_ptr<cache::ResultCache> cache_;
   std::unique_ptr<registry::Fleet> fleet_;
+  std::unique_ptr<cluster::Coordinator> coordinator_;
   ServiceState service_;
   InflightTable inflight_;
   EventBroker events_;

@@ -134,6 +134,18 @@ std::vector<Sample> Registry::Snapshot() const {
   add("registry.revision_conflicts", registry.revision_conflicts);
   add("registry.corrupt_entries", registry.corrupt_entries);
   add("registry.evictions", registry.evictions);
+  add("cluster.checks", cluster.checks);
+  add("cluster.units_planned", cluster.units_planned);
+  add("cluster.units_dispatched", cluster.units_dispatched);
+  add("cluster.units_completed", cluster.units_completed);
+  add("cluster.units_redispatched", cluster.units_redispatched);
+  add("cluster.units_local", cluster.units_local);
+  add("cluster.local_fallback_checks", cluster.local_fallback_checks);
+  add("cluster.retries", cluster.retries);
+  add("cluster.worker_failures", cluster.worker_failures);
+  add("cluster.health_probes", cluster.health_probes);
+  add("cluster.workers_healthy", cluster.workers_healthy,
+      SampleKind::kGauge);
   add("memory.store_exhaustive_bytes", memory.store_exhaustive_bytes,
       SampleKind::kGauge);
   add("memory.store_bitstate_bytes", memory.store_bitstate_bytes,
@@ -166,6 +178,7 @@ std::vector<HistogramSample> Registry::SnapshotHistograms() const {
       registry_hist.full_check_duration_us);
   add("registry.delta_check_duration_us",
       registry_hist.delta_check_duration_us);
+  add("cluster.dispatch_latency_us", cluster_hist.dispatch_latency_us);
   return out;
 }
 
@@ -211,7 +224,12 @@ void Registry::Reset() {
            &registry.checks_delta, &registry.groups_total,
            &registry.groups_reused, &registry.groups_recomputed,
            &registry.revision_conflicts, &registry.corrupt_entries,
-           &registry.evictions, &memory.store_exhaustive_bytes,
+           &registry.evictions, &cluster.checks, &cluster.units_planned,
+           &cluster.units_dispatched, &cluster.units_completed,
+           &cluster.units_redispatched, &cluster.units_local,
+           &cluster.local_fallback_checks, &cluster.retries,
+           &cluster.worker_failures, &cluster.health_probes,
+           &cluster.workers_healthy, &memory.store_exhaustive_bytes,
            &memory.store_bitstate_bytes, &memory.trace_buffer_bytes,
            &memory.cache_resident_bytes, &memory.peak_rss_bytes,
        }) {
@@ -229,6 +247,7 @@ void Registry::Reset() {
            &server_hist.request_body_bytes,
            &registry_hist.full_check_duration_us,
            &registry_hist.delta_check_duration_us,
+           &cluster_hist.dispatch_latency_us,
        }) {
     h->Reset();
   }
@@ -244,6 +263,7 @@ json::Value Registry::ToJson() const {
   json::Object cache_obj;
   json::Object server_obj;
   json::Object registry_obj;
+  json::Object cluster_obj;
   json::Object memory_obj;
   for (const Sample& sample : Snapshot()) {
     const auto dot = sample.name.find('.');
@@ -266,6 +286,8 @@ json::Value Registry::ToJson() const {
       server_obj[key] = value;
     } else if (group == "registry") {
       registry_obj[key] = value;
+    } else if (group == "cluster") {
+      cluster_obj[key] = value;
     } else if (group == "memory") {
       memory_obj[key] = value;
     } else {
@@ -282,6 +304,7 @@ json::Value Registry::ToJson() const {
   doc["cache"] = json::Value(std::move(cache_obj));
   doc["server"] = json::Value(std::move(server_obj));
   doc["registry"] = json::Value(std::move(registry_obj));
+  doc["cluster"] = json::Value(std::move(cluster_obj));
   doc["memory"] = json::Value(std::move(memory_obj));
   return json::Value(std::move(doc));
 }

@@ -186,6 +186,22 @@ struct FleetRegistryCounters {
   Counter evictions{0};            // in-memory LRU layer evictions
 };
 
+/// Cluster-coordinator counters (src/cluster): work-unit lifecycle and
+/// worker-fleet health.  Monotonic except workers_healthy.
+struct ClusterCounters {
+  Counter checks{0};              // coordinated checks run
+  Counter units_planned{0};       // work units produced by the planner
+  Counter units_dispatched{0};    // dispatch attempts (retries included)
+  Counter units_completed{0};     // units merged into a report
+  Counter units_redispatched{0};  // units re-queued off a failed worker
+  Counter units_local{0};         // units that fell back to local execution
+  Counter local_fallback_checks{0}; // whole checks degraded to local
+  Counter retries{0};             // transient-error retry sleeps
+  Counter worker_failures{0};     // workers marked dead mid-check
+  Counter health_probes{0};       // GET /v1/health probes sent
+  Counter workers_healthy{0};     // gauge: healthy workers at last probe
+};
+
 /// Byte-level memory accounting: where a verification's footprint
 /// lives.  The store gauges split by kind so a bitstate run's fixed
 /// bit-field and an exhaustive run's growing hash sets are separately
@@ -315,6 +331,12 @@ struct FleetRegistryHistograms {
   Histogram delta_check_duration_us;
 };
 
+/// Cluster distributions: end-to-end latency of one dispatched work
+/// unit (HTTP round trip included — the coordinator's cost per unit).
+struct ClusterHistograms {
+  Histogram dispatch_latency_us;
+};
+
 /// One named histogram in a Registry snapshot ("server.request_duration_us").
 struct HistogramSample {
   std::string name;
@@ -332,6 +354,7 @@ class Registry {
   CacheCounters cache;
   ServerCounters server;
   FleetRegistryCounters registry;
+  ClusterCounters cluster;
   MemoryGauges memory;
 
   SearchHistograms search_hist;
@@ -339,6 +362,7 @@ class Registry {
   ParallelHistograms parallel_hist;
   ServerHistograms server_hist;
   FleetRegistryHistograms registry_hist;
+  ClusterHistograms cluster_hist;
 
   /// All counters and gauges as dotted names ("search.states_explored"),
   /// in a stable order, each tagged counter vs. gauge.

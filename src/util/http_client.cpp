@@ -1,0 +1,238 @@
+#include "util/http_client.hpp"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace iotsan::util {
+
+namespace {
+
+/// Owns the fd for exception-safe cleanup.
+struct Fd {
+  int fd = -1;
+  Fd() = default;
+  Fd(Fd&& other) noexcept : fd(other.fd) { other.fd = -1; }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd& operator=(Fd&&) = delete;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+bool TransientErrno(int err) {
+  return err == ECONNREFUSED || err == ECONNRESET || err == EPIPE ||
+         err == ETIMEDOUT || err == EHOSTUNREACH || err == ENETUNREACH ||
+         err == EAGAIN || err == EINTR;
+}
+
+[[noreturn]] void Fail(const std::string& what, int err) {
+  throw HttpError("http: " + what + ": " + std::strerror(err),
+                  TransientErrno(err));
+}
+
+/// Waits for `events` on `fd` for up to `timeout_ms`; throws a
+/// transient HttpError on timeout (a retry against a recovered server
+/// can cure it) or poll failure.
+void WaitFor(int fd, short events, int timeout_ms, const char* phase) {
+  struct pollfd pfd = {};
+  pfd.fd = fd;
+  pfd.events = events;
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc == 0) {
+    throw HttpError(std::string("http: ") + phase + " timed out after " +
+                        std::to_string(timeout_ms) + "ms",
+                    true);
+  }
+  if (rc < 0) Fail(std::string(phase) + " poll failed", errno);
+}
+
+Fd ConnectWithTimeout(const std::string& host, int port,
+                      const HttpClientConfig& config) {
+  struct addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  struct addrinfo* results = nullptr;
+  const int gai = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(),
+                                &hints, &results);
+  if (gai != 0) {
+    throw HttpError("http: cannot resolve '" + host +
+                        "': " + ::gai_strerror(gai),
+                    gai == EAI_AGAIN);
+  }
+  std::string last_error = "no addresses";
+  bool last_transient = false;
+  for (struct addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    Fd sock;
+    sock.fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (sock.fd < 0) continue;
+    ::fcntl(sock.fd, F_SETFL, O_NONBLOCK);
+    if (::connect(sock.fd, ai->ai_addr, ai->ai_addrlen) != 0) {
+      if (errno != EINPROGRESS) {
+        last_error = std::strerror(errno);
+        last_transient = TransientErrno(errno);
+        continue;
+      }
+      try {
+        WaitFor(sock.fd, POLLOUT, config.connect_timeout_ms, "connect");
+      } catch (const HttpError& e) {
+        last_error = e.what();
+        last_transient = e.transient();
+        continue;
+      }
+      int err = 0;
+      socklen_t len = sizeof err;
+      ::getsockopt(sock.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        last_error = std::strerror(err);
+        last_transient = TransientErrno(err);
+        continue;
+      }
+    }
+    ::freeaddrinfo(results);
+    return sock;
+  }
+  ::freeaddrinfo(results);
+  throw HttpError("http: cannot connect to " + host + ":" +
+                      std::to_string(port) + " (" + last_error + ")",
+                  last_transient);
+}
+
+void SendAll(int fd, const std::string& data, int timeout_ms) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      WaitFor(fd, POLLOUT, timeout_ms, "send");
+      continue;
+    }
+    Fail("send failed", n < 0 ? errno : EPIPE);
+  }
+}
+
+}  // namespace
+
+HttpResponse HttpCall(const std::string& host, int port,
+                      const std::string& method, const std::string& path,
+                      const std::string& body,
+                      const std::vector<std::string>& headers,
+                      const HttpClientConfig& config) {
+  Fd sock = ConnectWithTimeout(host, port, config);
+
+  std::string request = method + " " + path + " HTTP/1.1\r\nHost: " + host +
+                        "\r\nConnection: close\r\n";
+  for (const std::string& header : headers) {
+    request += header + "\r\n";
+  }
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    request += "Content-Type: application/json\r\nContent-Length: " +
+               std::to_string(body.size()) + "\r\n";
+  }
+  request += "\r\n" + body;
+  SendAll(sock.fd, request, config.read_timeout_ms);
+
+  // Read until the headers are complete, then exactly Content-Length
+  // more bytes (or EOF when the server omits the length).  Every recv
+  // is preceded by a bounded poll: a mid-body stall fails instead of
+  // blocking forever.
+  std::string data;
+  std::size_t head_end = std::string::npos;
+  std::size_t body_expected = std::string::npos;  // npos = read to EOF
+  char chunk[4096];
+  while (true) {
+    WaitFor(sock.fd, POLLIN, config.read_timeout_ms, "read");
+    const ssize_t n = ::recv(sock.fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      Fail("recv failed", errno);
+    }
+    if (n == 0) break;  // server closed the connection
+    data.append(chunk, static_cast<std::size_t>(n));
+    if (data.size() > config.max_response_bytes) {
+      throw HttpError("http: response exceeds " +
+                          std::to_string(config.max_response_bytes) +
+                          " bytes",
+                      false);
+    }
+    if (head_end == std::string::npos) {
+      head_end = data.find("\r\n\r\n");
+      if (head_end != std::string::npos) {
+        // Case-insensitive Content-Length scan over the header block.
+        std::string lower = data.substr(0, head_end);
+        for (char& c : lower) c = static_cast<char>(std::tolower(c));
+        const std::size_t pos = lower.find("content-length:");
+        if (pos != std::string::npos) {
+          body_expected = static_cast<std::size_t>(
+              std::strtoull(data.c_str() + pos + 15, nullptr, 10));
+        }
+      }
+    }
+    if (head_end != std::string::npos && body_expected != std::string::npos &&
+        data.size() - head_end - 4 >= body_expected) {
+      break;  // full body in hand: no need to wait for the close
+    }
+  }
+
+  if (head_end == std::string::npos) head_end = data.find("\r\n\r\n");
+  if (head_end == std::string::npos || data.rfind("HTTP/1.1 ", 0) != 0) {
+    throw HttpError("http: malformed HTTP response", false);
+  }
+  HttpResponse out;
+  out.status = std::atoi(data.c_str() + 9);
+  out.body = data.substr(head_end + 4);
+  if (body_expected != std::string::npos && out.body.size() > body_expected) {
+    out.body.resize(body_expected);
+  }
+  return out;
+}
+
+int BackoffDelayMs(const RetryPolicy& policy, int attempt, Rng& rng) {
+  // Full jitter (AWS-style): uniform over [0, capped exponential
+  // window].  Decorrelates a herd of clients retrying the same dead
+  // worker.
+  std::int64_t window = policy.base_delay_ms;
+  for (int i = 1; i < attempt && window < policy.max_delay_ms; ++i) {
+    window *= 2;
+  }
+  window = std::min<std::int64_t>(window, policy.max_delay_ms);
+  if (window <= 0) return 0;
+  return static_cast<int>(
+      rng.NextBelow(static_cast<std::uint64_t>(window) + 1));
+}
+
+HttpResponse HttpCallWithRetry(
+    const RetryPolicy& policy, const std::function<HttpResponse()>& call,
+    const std::function<void(int, int, const std::string&)>& on_retry) {
+  Rng rng(policy.jitter_seed == 0 ? 1 : policy.jitter_seed);
+  const int attempts = std::max(policy.max_attempts, 1);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return call();
+    } catch (const HttpError& e) {
+      if (!e.transient() || attempt >= attempts) throw;
+      const int delay_ms = BackoffDelayMs(policy, attempt, rng);
+      if (on_retry) on_retry(attempt, delay_ms, e.what());
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+  }
+}
+
+}  // namespace iotsan::util

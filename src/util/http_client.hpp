@@ -1,0 +1,89 @@
+// Minimal blocking HTTP/1.1 client shared by the CLI tools (iotsan top,
+// iotsan fleet) and the cluster coordinator (src/cluster).
+//
+// Promoted out of tools/iotsan_cli.cpp where two near-identical copies
+// of a loopback-only client lived.  This one resolves hostnames (not
+// just numeric IPv4), bounds every phase with a timeout — connect,
+// send, and each read — so a server that stalls mid-body can no longer
+// hang the caller, and caps the response size.  Errors carry a
+// `transient` bit that separates "retry may cure this" (refused
+// connection, reset, timeout) from protocol errors, which is what the
+// retry helper keys on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace iotsan::util {
+
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+};
+
+struct HttpClientConfig {
+  /// Budget for name resolution + TCP connect.
+  int connect_timeout_ms = 5000;
+  /// Inactivity budget per read: the whole response may take longer,
+  /// but any single silent stretch past this fails the call.
+  int read_timeout_ms = 30000;
+  /// Hard cap on the response (headers + body).
+  std::size_t max_response_bytes = std::size_t{64} << 20;
+};
+
+/// Transport failure.  `transient()` is true for errors a bounded retry
+/// can plausibly cure: connection refused, connection reset / broken
+/// pipe, timeouts, temporary resolver failure.  Malformed responses and
+/// permanent resolver errors are not transient.
+class HttpError : public Error {
+ public:
+  HttpError(const std::string& what, bool transient)
+      : Error(what), transient_(transient) {}
+  bool transient() const { return transient_; }
+
+ private:
+  bool transient_;
+};
+
+/// One-shot HTTP/1.1 request (Connection: close).  `headers` are extra
+/// raw header lines without the CRLF ("If-Match: \"abc\"").  Throws
+/// HttpError on transport failure.  A body (or POST/PUT method) sends
+/// Content-Type: application/json with a Content-Length.
+HttpResponse HttpCall(const std::string& host, int port,
+                      const std::string& method, const std::string& path,
+                      const std::string& body = "",
+                      const std::vector<std::string>& headers = {},
+                      const HttpClientConfig& config = {});
+
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retry).
+  int max_attempts = 4;
+  int base_delay_ms = 50;
+  int max_delay_ms = 2000;
+  /// Seed for the jitter PRNG; calls with the same seed draw the same
+  /// delay sequence (tests pin this).
+  std::uint64_t jitter_seed = 1;
+};
+
+/// Computes the backoff before retry attempt `attempt` (1-based: the
+/// delay after the attempt-th failure): full jitter over an
+/// exponentially growing window, `uniform(0, min(max_delay, base *
+/// 2^(attempt-1)))`.  Exposed for tests.
+int BackoffDelayMs(const RetryPolicy& policy, int attempt, Rng& rng);
+
+/// Runs `call` up to `policy.max_attempts` times.  Only *transient*
+/// HttpErrors are retried (with jittered exponential backoff); anything
+/// else — including an HTTP error status, which `call` is free to turn
+/// into a non-transient throw — propagates immediately.  `on_retry`
+/// (optional) observes each scheduled retry: (attempt just failed,
+/// delay_ms, error message).
+HttpResponse HttpCallWithRetry(
+    const RetryPolicy& policy, const std::function<HttpResponse()>& call,
+    const std::function<void(int, int, const std::string&)>& on_retry = {});
+
+}  // namespace iotsan::util

@@ -19,6 +19,9 @@
 //   iotsan fleet <list|put|get|rm|check> [id] [deployment.json]
 //       Manage a serving fleet registry over /v1/deployments
 //       (docs/fleet.md).
+//   iotsan cluster check <deployment.json> --workers host:port,...
+//       Coordinate one verification across remote iotsan workers
+//       (docs/cluster.md).
 //   iotsan apps
 //       List the bundled corpus apps.
 //   iotsan version | --version
@@ -36,11 +39,6 @@
 // Deployment files use the JSON schema of config/deployment.hpp; app
 // sources not in the bundled corpus can be given in the deployment under
 // "appSources": {"Name": "path/to/app.smartscript"}.
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -56,6 +54,7 @@
 #include "attrib/output_analyzer.hpp"
 #include "cache/result_cache.hpp"
 #include "cli/flags.hpp"
+#include "cluster/cluster.hpp"
 #include "core/sanitizer.hpp"
 #include "core/service.hpp"
 #include "corpus/corpus.hpp"
@@ -69,6 +68,7 @@
 #include "telemetry/telemetry.hpp"
 #include "util/build_info.hpp"
 #include "util/error.hpp"
+#include "util/http_client.hpp"
 #include "util/interrupt.hpp"
 #include "util/log.hpp"
 
@@ -457,6 +457,18 @@ int CmdServe(const std::vector<std::string>& args) {
   config.request_deadline_seconds = flags.deadline_seconds;
   config.access_log_path = flags.access_log;
   config.registry_dir = flags.registry_dir;
+  if (flags.coordinator) {
+    if (flags.workers.empty()) {
+      throw Error("serve: --coordinator needs --workers host:port,...");
+    }
+    config.coordinator = true;
+    config.cluster.workers = cluster::ParseWorkerList(flags.workers);
+    config.cluster.unit_deadline_seconds = flags.unit_deadline_seconds;
+    config.cluster.branch_split =
+        static_cast<unsigned>(flags.branch_split);
+    config.cluster.swarm_lanes = static_cast<unsigned>(flags.swarm_lanes);
+    config.cluster.allow_local_fallback = !flags.no_local_fallback;
+  }
 
   server::Server server(config);
   server.Start();
@@ -464,6 +476,10 @@ int CmdServe(const std::vector<std::string>& args) {
               "(%d http workers, deadline %ds)\n",
               config.host.c_str(), server.port(), config.http_workers,
               flags.deadline_seconds);
+  if (config.coordinator) {
+    std::printf("iotsan serve: coordinating %zu worker(s): %s\n",
+                config.cluster.workers.size(), flags.workers.c_str());
+  }
   if (!config.cache_dir.empty()) {
     std::printf("iotsan serve: result cache in %s\n",
                 config.cache_dir.c_str());
@@ -491,75 +507,18 @@ int CmdServe(const std::vector<std::string>& args) {
   return 0;
 }
 
-// ---- minimal HTTP client (iotsan top / iotsan fleet) -------------------------
+// ---- HTTP client (iotsan top / iotsan fleet) ---------------------------------
 
-struct HttpResult {
-  int status = 0;
-  std::string body;
-};
+// The blocking client itself lives in util/http_client (shared with the
+// cluster coordinator): hostname resolution, connect/read timeouts, and
+// a response-size cap, so a stalled server can no longer hang the CLI.
+using HttpResult = util::HttpResponse;
 
-/// Minimal one-shot HTTP request over a loopback/numeric address:
-/// returns the status and body, throws iotsan::Error on connect/read
-/// failure.  Just enough client for /v1/status and /v1/deployments —
-/// the server end speaks plain HTTP/1.1 with Content-Length framing.
 HttpResult HttpCall(const std::string& host, int port,
                     const std::string& method, const std::string& path,
                     const std::string& body = "",
                     const std::vector<std::string>& headers = {}) {
-  struct sockaddr_in addr = {};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    throw Error("http: --host wants a numeric address, got '" + host + "'");
-  }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw Error("http: cannot create socket");
-  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    ::close(fd);
-    throw Error("http: cannot connect to " + host + ":" +
-                std::to_string(port));
-  }
-  std::string request = method + " " + path + " HTTP/1.1\r\nHost: " + host +
-                        "\r\nConnection: close\r\n";
-  for (const std::string& header : headers) {
-    request += header + "\r\n";
-  }
-  if (!body.empty() || method == "POST" || method == "PUT") {
-    request += "Content-Type: application/json\r\nContent-Length: " +
-               std::to_string(body.size()) + "\r\n";
-  }
-  request += "\r\n" + body;
-  std::size_t sent = 0;
-  while (sent < request.size()) {
-    const ssize_t n = ::send(fd, request.data() + sent,
-                             request.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      ::close(fd);
-      throw Error("http: send failed");
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  std::string data;
-  char chunk[4096];
-  while (true) {
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n < 0) {
-      ::close(fd);
-      throw Error("http: recv failed");
-    }
-    if (n == 0) break;
-    data.append(chunk, static_cast<std::size_t>(n));
-  }
-  ::close(fd);
-  const std::size_t head_end = data.find("\r\n\r\n");
-  if (head_end == std::string::npos || data.rfind("HTTP/1.1 ", 0) != 0) {
-    throw Error("http: malformed HTTP response");
-  }
-  HttpResult out;
-  out.status = std::atoi(data.c_str() + 9);
-  out.body = data.substr(head_end + 4);
-  return out;
+  return util::HttpCall(host, port, method, path, body, headers);
 }
 
 // ---- iotsan top --------------------------------------------------------------
@@ -807,10 +766,24 @@ int CmdFleet(const std::vector<std::string>& args) {
     if (!flags.if_match.empty()) {
       headers.push_back("If-Match: \"" + flags.if_match + "\"");
     }
-    HttpResult result =
-        HttpCall(flags.host, flags.port, "POST",
-                 "/v1/deployments/" + positionals[1] + "/check", "{}",
-                 headers);
+    // Delta re-verification is idempotent, so transient transport
+    // failures (refused connection while the server restarts, a broken
+    // pipe mid-drain) are retried with jittered exponential backoff
+    // instead of failing the whole invocation.
+    util::RetryPolicy policy;
+    HttpResult result = util::HttpCallWithRetry(
+        policy,
+        [&] {
+          return HttpCall(flags.host, flags.port, "POST",
+                          "/v1/deployments/" + positionals[1] + "/check",
+                          "{}", headers);
+        },
+        [](int attempt, int delay_ms, const std::string& error) {
+          std::fprintf(stderr,
+                       "fleet check: attempt %d failed (%s), retrying in "
+                       "%dms\n",
+                       attempt, error.c_str(), delay_ms);
+        });
     if (result.status != 200) return FleetHttpError(action, result);
     const json::Value doc = json::Parse(result.body);
     std::fputs(doc.At("text").AsString().c_str(), stdout);
@@ -830,6 +803,67 @@ int CmdFleet(const std::vector<std::string>& args) {
                "check)\n",
                action.c_str());
   return 2;
+}
+
+// ---- iotsan cluster ----------------------------------------------------------
+
+/// `iotsan cluster check <deployment.json> --workers host:port,...`:
+/// run one verification as an in-process coordinator over a remote
+/// worker fleet.  stdout is byte-identical to `iotsan check` on the
+/// same deployment (docs/cluster.md); the dispatch summary goes to
+/// stderr so output comparison stays trivial.
+int CmdCluster(const std::vector<std::string>& args) {
+  CliFlags flags;
+  std::vector<std::string> positionals =
+      ParseFlags(kCmdCluster, args, flags);
+  if (flags.help) {
+    PrintHelp(stdout);
+    return 0;
+  }
+  if (positionals.size() != 2 || positionals[0] != "check") {
+    std::fprintf(stderr, "%s\n", UsageFor(kCmdCluster).c_str());
+    return 2;
+  }
+  if (flags.workers.empty()) {
+    throw Error("cluster check: --workers host:port,... is required");
+  }
+  checker::ResetSaturationWarning();
+  LoadedSystem system = LoadSystem(positionals[1]);
+  core::CheckRequest request;
+  request.deployment = std::move(system.deployment);
+  request.extra_sources = std::move(system.extra_sources);
+  request.options = RequestOptionsFromFlags(flags);
+  request.options.deadline_seconds = flags.deadline_seconds;
+  if (!flags.properties_path.empty()) {
+    request.extra_properties =
+        props::LoadPropertiesJson(ReadFile(flags.properties_path));
+  }
+  CliEnv cli = MakeCliEnv(flags);
+  TelemetrySession telemetry_session(flags);
+
+  cluster::ClusterOptions options;
+  options.workers = cluster::ParseWorkerList(flags.workers);
+  options.unit_deadline_seconds = flags.unit_deadline_seconds;
+  options.branch_split = static_cast<unsigned>(flags.branch_split);
+  options.swarm_lanes = static_cast<unsigned>(flags.swarm_lanes);
+  options.allow_local_fallback = !flags.no_local_fallback;
+  cluster::Coordinator coordinator(std::move(options));
+  cluster::ClusterOutcome outcome = coordinator.Check(request, cli.env);
+  std::fputs(outcome.response.text.c_str(), stdout);
+  std::fprintf(stderr,
+               "cluster: %zu unit(s): %zu remote, %zu local, %zu "
+               "re-dispatched%s\n",
+               outcome.units_total, outcome.units_remote,
+               outcome.units_local, outcome.units_redispatched,
+               outcome.degraded_local ? " (degraded to local)" : "");
+  telemetry_session.PrintStats();
+  if (util::InterruptRequested()) {
+    std::fprintf(stderr,
+                 "interrupted by signal %d: partial results above\n",
+                 util::InterruptSignal());
+    return util::InterruptExitCode();
+  }
+  return outcome.response.exit_code;
 }
 
 int CmdDeps(const std::vector<std::string>& args) {
@@ -941,7 +975,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "iotsan — IoT safety sanitizer (IotSan, CoNEXT '18)\n"
                  "commands: check, attribute, deps, promela, serve, top, "
-                 "fleet, cache, apps, help\n"
+                 "fleet, cluster, cache, apps, help\n"
                  "run 'iotsan help' for the full flag reference\n");
     return 2;
   }
@@ -955,6 +989,7 @@ int main(int argc, char** argv) {
     if (command == "serve") return CmdServe(args);
     if (command == "top") return CmdTop(args);
     if (command == "fleet") return CmdFleet(args);
+    if (command == "cluster") return CmdCluster(args);
     if (command == "cache") return CmdCache(args);
     if (command == "apps") return CmdApps();
     if (command == "version" || command == "--version") {
